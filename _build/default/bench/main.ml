@@ -1,0 +1,408 @@
+(* The benchmark harness: regenerates every empirical claim in the paper
+   (see DESIGN.md section 5 and EXPERIMENTS.md).
+
+   The paper has no numeric tables; its claims are about (a) which laws
+   hold (Table L below = the Section 4.5 discussion), (b) the cost of the
+   explicit ExVal encoding (Section 2.2), (c) the zero-cost of the
+   stack-trimming implementation when no exception occurs and the
+   trim-to-handler cost when one does (Section 3.3), (d) the optimisation
+   sites a fixed-order compiler loses (Section 3.4), and (e) the work
+   saved by resumable async unwinding (Section 5.1).
+
+   Deterministic machine-step tables are printed first (those are the
+   reproducible "numbers" recorded in EXPERIMENTS.md); Bechamel wall-clock
+   benches follow, one Test.make per experiment. *)
+
+open Imprecise
+
+let line = String.make 78 '-'
+
+let header title =
+  Fmt.pr "@.%s@.%s@.%s@." line title line
+
+(* ------------------------------------------------------------------ *)
+(* Workloads                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fib n =
+  Printf.sprintf
+    "let rec fib k = if k < 2 then k else fib (k - 1) + fib (k - 2) in fib %d"
+    n
+
+let sum_to n = Printf.sprintf "sum (enumFromTo 1 %d)" n
+
+let pipeline n =
+  Printf.sprintf
+    "sum (map (\\x -> x * x) (filter (\\x -> x %% 2 == 0) (enumFromTo 1 %d)))"
+    n
+
+let raise_at_depth d =
+  Printf.sprintf
+    "let rec go n = if n == 0 then error \"deep\" else 1 + go (n - 1)\n\
+     in go %d"
+    d
+
+let cbv_workload n =
+  Printf.sprintf
+    "let go = \\n ->\n\
+    \  let square = n * n in\n\
+    \  let cube = square * n in\n\
+    \  let norm = cube %% 1000 in\n\
+    \  norm + square\n\
+     in sum (map go (enumFromTo 1 %d))"
+    n
+
+let machine_steps ?(config = Machine.default_config) e =
+  let _, stats = Machine.run_deep ~config e in
+  stats.Stats.steps
+
+(* ------------------------------------------------------------------ *)
+(* Table L — the Section 4.5 law table (claim C5/E6)                   *)
+(* ------------------------------------------------------------------ *)
+
+let table_laws () =
+  header "Table L (Section 4.5): transformation validity by design";
+  let rows = Laws.table () in
+  Fmt.pr "%a" Laws.pp_table rows;
+  Fmt.pr "claims verified: %d/%d@."
+    (List.length (List.filter Laws.matches_claim rows))
+    (List.length rows)
+
+(* ------------------------------------------------------------------ *)
+(* Table E — ExVal encoding overhead (claim C6, Section 2.2)           *)
+(* ------------------------------------------------------------------ *)
+
+let table_exval () =
+  header
+    "Table E (Section 2.2): explicit ExVal encoding vs native exceptions \
+     (machine steps; exception-free runs)";
+  Fmt.pr "%-22s %12s %12s %8s %12s@." "workload" "direct" "encoded"
+    "steps x" "code-size x";
+  let big_fuel = { Machine.default_config with fuel = 50_000_000 } in
+  List.iter
+    (fun (name, src) ->
+      let e = parse src in
+      let encoded = Exval.encode e in
+      let direct = machine_steps ~config:big_fuel e in
+      let enc = machine_steps ~config:big_fuel encoded in
+      Fmt.pr "%-22s %12d %12d %8.2f %12.2f@." name direct enc
+        (float_of_int enc /. float_of_int direct)
+        (Exval.code_blowup e))
+    [
+      ("fib 14", fib 14);
+      ("sum 1..2000", sum_to 2000);
+      ("map/filter 1..500", pipeline 500);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Table N — no-exception cost of the catch frame (claim C6b, 3.3)     *)
+(* ------------------------------------------------------------------ *)
+
+let table_no_exn () =
+  header
+    "Table N (Section 3.3): cost of an installed handler when no \
+     exception occurs (machine steps)";
+  Fmt.pr "%-22s %14s %14s %10s@." "workload" "no handler" "with handler"
+    "overhead";
+  List.iter
+    (fun (name, src) ->
+      let e = parse src in
+      let without =
+        let m = Machine.create () in
+        let a = Machine.alloc m e in
+        ignore (Machine.force m a);
+        (Machine.stats m).Stats.steps
+      in
+      let with_catch =
+        let m = Machine.create () in
+        let a = Machine.alloc m e in
+        ignore (Machine.force_catch m a);
+        (Machine.stats m).Stats.steps
+      in
+      Fmt.pr "%-22s %14d %14d %10d@." name without with_catch
+        (with_catch - without))
+    [
+      ("fib 12", fib 12);
+      ("sum 1..1000", sum_to 1000);
+      ("map/filter 1..300", pipeline 300);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Table R — raise cost is distance to handler (claim C7, 3.3)         *)
+(* ------------------------------------------------------------------ *)
+
+let table_raise () =
+  header
+    "Table R (Section 3.3): raise trims the stack to the handler — cost \
+     scales with distance, not program size";
+  Fmt.pr "%-12s %12s %16s %16s@." "depth" "steps" "frames trimmed"
+    "thunks poisoned";
+  List.iter
+    (fun d ->
+      let m = Machine.create () in
+      let a = Machine.alloc m (parse (raise_at_depth d)) in
+      (match Machine.force_catch m a with
+      | Error (Machine.Fail_exn _) -> ()
+      | _ -> failwith "expected a caught raise");
+      let s = Machine.stats m in
+      Fmt.pr "%-12d %12d %16d %16d@." d s.Stats.steps s.Stats.frames_trimmed
+        s.Stats.thunks_poisoned)
+    [ 10; 100; 1_000; 5_000; 20_000 ]
+
+(* ------------------------------------------------------------------ *)
+(* Table O — optimisation sites: imprecise vs fixed order (C8, 3.4)    *)
+(* ------------------------------------------------------------------ *)
+
+let table_opt () =
+  header
+    "Table O (Section 3.4): strictness-driven call-by-value sites \
+     enabled, and machine steps after optimisation";
+  Fmt.pr "%-18s %10s %10s %12s %12s %12s@." "workload" "imp sites"
+    "fix sites" "steps orig" "steps imp" "steps fix";
+  List.iter
+    (fun (name, src) ->
+      let e = parse src in
+      let imp_sites, fix_sites = Pipeline.count_cbv_opportunities e in
+      let imp_e, _ = Pipeline.optimize Pipeline.Imprecise e in
+      let fix_e, _ =
+        Pipeline.optimize Pipeline.Fixed_order_with_effect_analysis e
+      in
+      Fmt.pr "%-18s %10d %10d %12d %12d %12d@." name imp_sites fix_sites
+        (machine_steps e) (machine_steps imp_e) (machine_steps fix_e))
+    [
+      ("cbv 1..200", cbv_workload 200);
+      ("cbv 1..1000", cbv_workload 1000);
+      ("fib 12", fib 12);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Table A — async interruption and resumption (claim C10, 5.1)        *)
+(* ------------------------------------------------------------------ *)
+
+let table_async () =
+  header
+    "Table A (Section 5.1): resumable pause cells — steps to finish \
+     after an interrupt vs restarting from scratch";
+  Fmt.pr "%-14s %14s %14s %14s %12s@." "interrupt at" "scratch" "prefix"
+    "resume" "saved";
+  let src = sum_to 3000 in
+  let scratch = machine_steps (parse src) in
+  List.iter
+    (fun k ->
+      let m = Machine.create () in
+      Machine.inject_async m ~at_step:k Exn.Timeout;
+      let a = Machine.alloc m (parse src) in
+      (match Machine.force_catch m a with
+      | Error (Machine.Fail_async _) -> ()
+      | _ -> failwith "expected interruption");
+      let prefix = (Machine.stats m).Stats.steps in
+      (match Machine.force_catch m a with
+      | Ok _ -> ()
+      | Error f -> Fmt.failwith "resume failed: %a" Machine.pp_failure f);
+      let total = (Machine.stats m).Stats.steps in
+      let resume = total - prefix in
+      Fmt.pr "%-14d %14d %14d %14d %11d%%@." k scratch prefix resume
+        (100 * (scratch - resume) / scratch))
+    [ 2_000; 8_000; 20_000 ]
+
+(* ------------------------------------------------------------------ *)
+(* Table F — exception-finding mode cost (Section 4.3, discussion)     *)
+(* ------------------------------------------------------------------ *)
+
+let table_finding () =
+  header
+    "Table F (Section 4.3): the semantics explores all case \
+     alternatives on exceptional scrutinees; the implementation does \
+     not (denotational fuel used vs machine steps)";
+  Fmt.pr "%-34s %14s %14s@." "expression" "denot fuel" "machine steps";
+  List.iter
+    (fun (name, src) ->
+      let e = parse src in
+      let fuel0 = 1_000_000 in
+      let config = Denot.with_fuel fuel0 in
+      ignore (Denot.run_deep ~config e);
+      (* Fuel used is not directly observable; re-run with decreasing
+         budgets to bracket it cheaply instead. *)
+      let rec used lo hi =
+        if hi - lo <= Stdlib.max 1 (lo / 20) then hi
+        else
+          let mid = (lo + hi) / 2 in
+          let d = Denot.run_deep ~config:(Denot.with_fuel mid) e in
+          match d with
+          | Value.DBad s when Exn_set.is_all s -> used mid hi
+          | _ -> used lo mid
+      in
+      let approx = used 1 fuel0 in
+      Fmt.pr "%-34s %14d %14d@." name approx (machine_steps e))
+    [
+      ("case (1/0) of 2 alts", "case 1/0 of { Nil -> 1; Cons h t -> 2 }");
+      ( "case (1/0) of heavy alts",
+        "case 1/0 of { Nil -> sum (enumFromTo 1 500);\n\
+         Cons h t -> product (enumFromTo 1 10) }" );
+      ("head of exceptional list", "head (forceList [1/0, 5])");
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Table G — heap residency under the copying collector                 *)
+(* ------------------------------------------------------------------ *)
+
+let table_gc () =
+  header
+    "Table G (substrate): heap cells before/after a copying collection      (root: the final value)";
+  Fmt.pr "%-24s %12s %12s %10s@." "workload" "allocated" "live" "survival";
+  List.iter
+    (fun (name, src) ->
+      let m = Machine.create () in
+      let a = Machine.alloc m (parse src) in
+      (match Machine.force m a with Ok _ -> () | Error _ -> ());
+      let before = Machine.heap_size m in
+      (match Machine.gc m ~roots:[ a ] with
+      | [ _ ] -> ()
+      | _ -> failwith "gc roots");
+      let after = Machine.heap_size m in
+      Fmt.pr "%-24s %12d %12d %9.1f%%@." name before after
+        (100.0 *. float_of_int after /. float_of_int before))
+    [
+      ("sum 1..2000 (scalar)", sum_to 2000);
+      ("fib 14 (scalar)", fib 14);
+      ("map/filter 1..500", pipeline 500);
+      ("take 20 infinite", "take 20 (iterate (\\x -> x + 1) 0)");
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Table C — concurrency scheduler characteristics (Section 4.4 rem.)   *)
+(* ------------------------------------------------------------------ *)
+
+let table_conc () =
+  header
+    "Table C (Section 4.4 closing remark): forkIO/MVar programs on the      concurrent LTS";
+  Fmt.pr "%-28s %10s %12s %14s@." "program" "threads" "switches" "outcome";
+  List.iter
+    (fun (name, src) ->
+      let r = Conc.run (parse src) in
+      Fmt.pr "%-28s %10d %12d %14s@." name r.Conc.threads_spawned
+        r.Conc.context_switches
+        (Fmt.str "%a" Conc.pp_outcome r.Conc.outcome))
+    [
+      ( "2-thread interleave",
+        "forkIO (putChar 'a' >> putChar 'b') >> putChar 'x' >> return 0" );
+      ( "MVar rendezvous",
+        "newEmptyMVar >>= \\mv -> forkIO (putMVar mv 42) >>\n\
+         takeMVar mv >>= \\v -> return v" );
+      ( "worker pool (3)",
+        "newEmptyMVar >>= \\mv ->\n\
+         forkIO (putMVar mv (sum (enumFromTo 1 100))) >>\n\
+         forkIO (putMVar mv (sum (enumFromTo 1 200))) >>\n\
+         forkIO (putMVar mv (sum (enumFromTo 1 300))) >>\n\
+         takeMVar mv >>= \\a -> takeMVar mv >>= \\b ->\n\
+         takeMVar mv >>= \\c -> return (a + b + c)" );
+      ("deadlock", "newEmptyMVar >>= \\mv -> takeMVar mv");
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel wall-clock benches: one Test.make per experiment            *)
+(* ------------------------------------------------------------------ *)
+
+open Bechamel
+open Toolkit
+
+let make_tests () =
+  let t name f = Test.make ~name (Staged.stage f) in
+  let fib12 = parse (fib 12) in
+  let fib12_encoded = Exval.encode fib12 in
+  let deep_raise = parse (raise_at_depth 1_000) in
+  let finding = parse "case 1/0 of { Nil -> sum (enumFromTo 1 100); Cons h t -> 2 }" in
+  let cbv = parse (cbv_workload 100) in
+  let cbv_opt, _ = Pipeline.optimize Pipeline.Imprecise cbv in
+  let io_prog =
+    parse "getException (sum (enumFromTo 1 200)) >>= \\v -> return v"
+  in
+  [
+    (* C1/C6: the four engines on the same pure workload. *)
+    t "engine/denot/fib12" (fun () -> ignore (Denot.run_deep fib12));
+    t "engine/machine/fib12" (fun () -> ignore (Machine.run_deep fib12));
+    t "engine/fixed_l2r/fib12" (fun () ->
+        ignore (Fixed.run_deep Fixed.Left_to_right fib12));
+    t "engine/exval_encoded/fib12" (fun () ->
+        ignore (Machine.run_deep fib12_encoded));
+    (* C6b: handler that never fires. *)
+    t "cost/no_exn_catch" (fun () ->
+        let m = Machine.create () in
+        let a = Machine.alloc m fib12 in
+        ignore (Machine.force_catch m a));
+    (* C7: trim to handler. *)
+    t "cost/raise_depth_1000" (fun () ->
+        let m = Machine.create () in
+        let a = Machine.alloc m deep_raise in
+        ignore (Machine.force_catch m a));
+    (* C4: exception-finding mode. *)
+    t "semantics/case_finding" (fun () -> ignore (Denot.run_deep finding));
+    (* C8: the optimisation pipeline itself, and its product. *)
+    t "opt/pipeline_run" (fun () ->
+        ignore (Pipeline.optimize Pipeline.Imprecise cbv));
+    t "opt/workload_original" (fun () -> ignore (Machine.run_deep cbv));
+    t "opt/workload_optimised" (fun () -> ignore (Machine.run_deep cbv_opt));
+    (* C9: the IO layer. *)
+    t "io/getException_200" (fun () -> ignore (Io.run io_prog));
+    t "io/machine_getException_200" (fun () ->
+        ignore (Machine_io.run io_prog));
+    (* C5: the full law table. *)
+    t "laws/full_table" (fun () -> ignore (Laws.table ()));
+    (* C14: type inference over the whole Prelude-closed program. *)
+    t "types/infer_fib" (fun () ->
+        ignore (Infer.infer (Infer.with_prelude ()) (parse_raw (fib 12))));
+    (* C15: concurrency scheduler. *)
+    t "conc/mvar_rendezvous" (fun () ->
+        ignore
+          (Conc.run
+             (parse
+                "newEmptyMVar >>= \\mv -> forkIO (putMVar mv 42) >>\n\
+                 takeMVar mv >>= \\v -> return v")));
+    (* Substrate: a collection over a fib-12 heap. *)
+    t "gc/collect_fib12_heap" (fun () ->
+        let m = Machine.create () in
+        let a = Machine.alloc m fib12 in
+        ignore (Machine.force m a);
+        ignore (Machine.gc m ~roots:[ a ]));
+  ]
+
+let run_bechamel () =
+  header "Bechamel wall-clock micro-benchmarks (one per experiment)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.4) ~kde:(Some 500) ()
+  in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg instances test
+        |> Hashtbl.to_seq |> List.of_seq
+        |> List.map (fun (k, v) -> (k, Analyze.one ols Instance.monotonic_clock v))
+      in
+      List.iter
+        (fun (name, result) ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] ->
+              Fmt.pr "%-34s %12.1f ns/run@." name est
+          | _ -> Fmt.pr "%-34s (no estimate)@." name)
+        results)
+    (make_tests ())
+
+let () =
+  Fmt.pr "imprecise-exceptions benchmark harness@.";
+  table_laws ();
+  table_exval ();
+  table_no_exn ();
+  table_raise ();
+  table_opt ();
+  table_async ();
+  table_finding ();
+  table_gc ();
+  table_conc ();
+  (match Sys.getenv_opt "SKIP_BECHAMEL" with
+  | Some _ -> Fmt.pr "@.(bechamel skipped)@."
+  | None -> run_bechamel ());
+  Fmt.pr "@.done.@."

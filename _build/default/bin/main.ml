@@ -1,0 +1,233 @@
+(* impexn: the command-line face of the library.
+
+   impexn eval -e "(1/0) + error \"Urk\""          exception sets
+   impexn eval --engine machine -e "fib 10"        run on the machine
+   impexn run prog.hs --input "ab"                 perform main :: IO
+   impexn laws                                     the Section 4.5 table
+   impexn encode -e "1/0 + 2"                      show the ExVal encoding
+   impexn optimize -e "..." [--fixed-order]        the pipeline + report *)
+
+open Imprecise
+open Cmdliner
+
+type engine = E_denot | E_machine | E_fixed_l2r | E_fixed_r2l | E_exval
+
+let engine_conv =
+  let parse = function
+    | "denot" | "imprecise" -> Ok E_denot
+    | "machine" -> Ok E_machine
+    | "fixed-l2r" | "fixed" -> Ok E_fixed_l2r
+    | "fixed-r2l" -> Ok E_fixed_r2l
+    | "exval" -> Ok E_exval
+    | s -> Error (`Msg (Printf.sprintf "unknown engine %S" s))
+  in
+  Arg.conv (parse, fun ppf _ -> Fmt.string ppf "<engine>")
+
+let expr_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "e"; "expr" ] ~docv:"EXPR" ~doc:"Expression to evaluate.")
+
+let engine_arg =
+  Arg.(
+    value
+    & opt engine_conv E_denot
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Evaluation engine: $(b,denot) (imprecise sets), $(b,machine) \
+           (stack-trimming), $(b,fixed-l2r), $(b,fixed-r2l) (precise \
+           baselines), $(b,exval) (explicit encoding).")
+
+let fuel_arg =
+  Arg.(
+    value
+    & opt int 200_000
+    & info [ "fuel" ] ~docv:"N" ~doc:"Evaluation fuel / machine steps.")
+
+let parse_or_die src =
+  try parse src
+  with Parse_error msg ->
+    Fmt.epr "parse error: %s@." msg;
+    exit 2
+
+let eval_cmd =
+  let run engine fuel src =
+    let e = parse_or_die src in
+    (match engine with
+    | E_denot ->
+        let d = Denot.run_deep ~config:(Denot.with_fuel fuel) e in
+        Fmt.pr "%a@." Value.pp_deep d
+    | E_machine ->
+        let config = { Machine.default_config with fuel = fuel * 10 } in
+        let d, stats = Machine.run_deep ~config e in
+        Fmt.pr "%a@.-- %a@." Value.pp_deep d Stats.pp stats
+    | E_fixed_l2r ->
+        Fmt.pr "%a@." Fixed.pp_outcome
+          (Fixed.run_deep ~fuel Fixed.Left_to_right e)
+    | E_fixed_r2l ->
+        Fmt.pr "%a@." Fixed.pp_outcome
+          (Fixed.run_deep ~fuel Fixed.Right_to_left e)
+    | E_exval ->
+        let d =
+          Exval.decode_deep
+            (Denot.run_deep ~config:(Denot.with_fuel fuel) (Exval.encode e))
+        in
+        Fmt.pr "%a@." Value.pp_deep d);
+    0
+  in
+  Cmd.v
+    (Cmd.info "eval" ~doc:"Evaluate an expression under a chosen semantics.")
+    Term.(const run $ engine_arg $ fuel_arg $ expr_arg)
+
+let set_cmd =
+  let run fuel src =
+    let e = parse_or_die src in
+    Fmt.pr "%a@." Exn_set.pp
+      (Denot.exception_set ~config:(Denot.with_fuel fuel) e);
+    0
+  in
+  Cmd.v
+    (Cmd.info "set"
+       ~doc:"Print the semantic exception set S⟦e⟧ of an expression.")
+    Term.(const run $ fuel_arg $ expr_arg)
+
+let run_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Program file defining main :: IO a.")
+  in
+  let input_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "input" ] ~docv:"STR" ~doc:"Characters for getChar.")
+  in
+  let machine_arg =
+    Arg.(
+      value & flag
+      & info [ "machine" ]
+          ~doc:"Perform on the abstract machine instead of the semantic LTS.")
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Oracle seed for getException's choice from the exception set \
+             (semantic engine only; default: pick the smallest member).")
+  in
+  let run file input machine seed =
+    let src = In_channel.with_open_text file In_channel.input_all in
+    let prog =
+      try parse_program src
+      with Parse_error msg ->
+        Fmt.epr "parse error: %s@." msg;
+        exit 2
+    in
+    if machine then begin
+      let r = run_io_machine ~input prog in
+      print_string r.Machine_io.output;
+      Fmt.pr "@.-- %a@." Machine_io.pp_outcome r.Machine_io.outcome;
+      match r.Machine_io.outcome with Machine_io.Done _ -> 0 | _ -> 1
+    end
+    else begin
+      let oracle =
+        match seed with
+        | Some s -> Oracle.create ~seed:s
+        | None -> Oracle.first ()
+      in
+      let r = run_io ~oracle ~input prog in
+      print_string (Io.output_string_of r);
+      Fmt.pr "@.-- %a@." Io.pp_outcome r.Io.outcome;
+      match r.Io.outcome with Io.Done _ -> 0 | _ -> 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a program's main under the IO semantics.")
+    Term.(const run $ file_arg $ input_arg $ machine_arg $ seed_arg)
+
+let laws_cmd =
+  let run () =
+    let rows = Laws.table () in
+    Fmt.pr "%a" Laws.pp_table rows;
+    if List.for_all Laws.matches_claim rows then begin
+      Fmt.pr "all claims verified.@.";
+      0
+    end
+    else begin
+      Fmt.pr "CLAIM MISMATCH — see (!) cells.@.";
+      1
+    end
+  in
+  Cmd.v
+    (Cmd.info "laws"
+       ~doc:
+         "Print the Section 4.5 transformation-validity table, verified \
+          empirically under all three designs.")
+    Term.(const run $ const ())
+
+let encode_cmd =
+  let run src =
+    let e = parse_or_die src in
+    Fmt.pr "%s@.@.-- code size x%.2f@."
+      (to_string (Exval.encode (parse_raw src)))
+      (Exval.code_blowup e);
+    0
+  in
+  Cmd.v
+    (Cmd.info "encode"
+       ~doc:"Show the explicit ExVal encoding (Section 2.1) of an expression.")
+    Term.(const run $ expr_arg)
+
+let typecheck_cmd =
+  let run src =
+    match Imprecise.typecheck src with
+    | Ok t ->
+        Fmt.pr "%s@." (Infer.ty_to_string t);
+        0
+    | Error e ->
+        Fmt.epr "type error: %a@." Infer.pp_error e;
+        1
+  in
+  Cmd.v
+    (Cmd.info "typecheck"
+       ~doc:
+         "Infer the Hindley-Milner type of an expression under the           Prelude.")
+    Term.(const run $ expr_arg)
+
+let optimize_cmd =
+  let fixed_arg =
+    Arg.(
+      value & flag
+      & info [ "fixed-order" ]
+          ~doc:
+            "Use the fixed-order pipeline (order-changing rewrites gated \
+             by the effect analysis).")
+  in
+  let run fixed src =
+    let e = parse_or_die src in
+    let mode =
+      if fixed then Pipeline.Fixed_order_with_effect_analysis
+      else Pipeline.Imprecise
+    in
+    let e', report = Pipeline.optimize mode e in
+    Fmt.pr "%s@.@.-- %a@." (to_string e') Pipeline.pp_report report;
+    0
+  in
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Run the optimisation pipeline and report.")
+    Term.(const run $ fixed_arg $ expr_arg)
+
+let main_cmd =
+  let doc = "A semantics for imprecise exceptions (PLDI 1999), executable." in
+  Cmd.group
+    (Cmd.info "impexn" ~version:"1.0.0" ~doc)
+    [
+      eval_cmd; set_cmd; run_cmd; laws_cmd; encode_cmd; optimize_cmd;
+      typecheck_cmd;
+    ]
+
+let () = exit (Cmd.eval' main_cmd)

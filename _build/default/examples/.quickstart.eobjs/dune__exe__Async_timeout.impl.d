@@ -1,0 +1,1 @@
+examples/async_timeout.ml: Exn Fmt Imprecise Io Machine Machine_io Printf Stats Value

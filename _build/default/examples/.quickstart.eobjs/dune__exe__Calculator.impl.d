@@ -1,0 +1,1 @@
+examples/calculator.ml: Denot Exn Fmt Imprecise Io List Machine Machine_io Printf Stats String

@@ -1,0 +1,1 @@
+examples/concurrency.ml: Conc Fmt Imprecise Infer List

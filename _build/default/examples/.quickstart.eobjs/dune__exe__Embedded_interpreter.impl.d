@@ -1,0 +1,1 @@
+examples/embedded_interpreter.ml: Exval Fmt Imprecise Io List Machine_io Stats String

@@ -1,0 +1,1 @@
+examples/optimizer_demo.ml: Exn_set Fmt Imprecise Laws List Option Pipeline Refine Rules Stats Value

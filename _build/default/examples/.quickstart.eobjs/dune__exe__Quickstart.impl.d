@@ -1,0 +1,1 @@
+examples/quickstart.ml: Exn Fmt Imprecise Io Machine_io Oracle Stats Value

@@ -1,0 +1,1 @@
+examples/zipwith_lazy.ml: Fmt Imprecise Io Stats Value

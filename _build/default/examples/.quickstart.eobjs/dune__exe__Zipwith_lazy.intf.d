@@ -1,0 +1,1 @@
+examples/zipwith_lazy.mli:

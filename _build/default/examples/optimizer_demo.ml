@@ -1,0 +1,60 @@
+(* The transformation story (Sections 3.4 and 4.5) in action:
+
+   1. the law table — which rewrites are identities, refinements, or
+      invalid under the three competing designs;
+   2. the optimisation pipeline — the imprecise semantics applies the
+      strictness-driven call-by-value pass everywhere, while the
+      fixed-order baseline must consult an effect analysis and loses
+      sites;
+   3. a measured speedup on the abstract machine.
+
+   Run with: dune exec examples/optimizer_demo.exe *)
+
+open Imprecise
+
+let workload_src =
+  "let go = \\n ->\n\
+  \  let square = n * n in\n\
+  \  let cube = square * n in\n\
+  \  let norm = cube % 1000 in\n\
+  \  norm + square\n\
+   in sum (map go (enumFromTo 1 200))"
+
+let () =
+  Fmt.pr "=== The Section 4.5 law table ===@.@.";
+  let rows = Laws.table () in
+  Fmt.pr "%a@." Laws.pp_table rows;
+  let verified = List.length (List.filter Laws.matches_claim rows) in
+  Fmt.pr "claims verified: %d / %d@.@." verified (List.length rows);
+
+  Fmt.pr "=== Optimisation site counts (C8) ===@.@.";
+  let program = parse workload_src in
+  let _, imp_report = Pipeline.optimize Pipeline.Imprecise program in
+  let _, fix_report =
+    Pipeline.optimize Pipeline.Fixed_order_with_effect_analysis program
+  in
+  Fmt.pr "imprecise pipeline:   %a@." Pipeline.pp_report imp_report;
+  Fmt.pr "fixed-order pipeline: %a@." Pipeline.pp_report fix_report;
+  Fmt.pr
+    "the fixed-order compiler had to block %d call-by-value sites that\n\
+     the imprecise semantics allows freely (no analysis required).@.@."
+    fix_report.Pipeline.blocked_sites;
+
+  Fmt.pr "=== Measured effect on the abstract machine ===@.@.";
+  let optimised, _ = Pipeline.optimize Pipeline.Imprecise program in
+  let d0, s0 = eval_machine program in
+  let d1, s1 = eval_machine optimised in
+  Fmt.pr "original:  %a  steps=%d allocs=%d max_stack=%d@." Value.pp_deep d0
+    s0.Stats.steps s0.Stats.allocations s0.Stats.max_stack;
+  Fmt.pr "optimised: %a  steps=%d allocs=%d max_stack=%d@." Value.pp_deep d1
+    s1.Stats.steps s1.Stats.allocations s1.Stats.max_stack;
+
+  Fmt.pr "@.=== Refinement in the small (the paper's 4.5 example) ===@.@.";
+  let lhs = List.hd Rules.case_switch.Rules.instances in
+  let rhs = Option.get (Rules.case_switch.Rules.applies lhs) in
+  Fmt.pr "lhs  %s@." (to_string lhs);
+  Fmt.pr "     denotes %a@." Exn_set.pp (exception_set lhs);
+  Fmt.pr "rhs  %s@." (to_string rhs);
+  Fmt.pr "     denotes %a@." Exn_set.pp (exception_set rhs);
+  Fmt.pr "verdict: %a (lhs ⊑ rhs: the rewrite gains information)@."
+    Refine.pp_verdict (Refine.compare_denot lhs rhs)

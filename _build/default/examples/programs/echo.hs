@@ -1,0 +1,7 @@
+-- Read three characters, write them back reversed.
+-- Run with: dune exec bin/main.exe -- run examples/programs/echo.hs --input abc
+
+main = getChar >>= \a ->
+       getChar >>= \b ->
+       getChar >>= \c ->
+       putChar c >> putChar b >> putChar a >> putChar newline;

@@ -1,0 +1,13 @@
+-- FizzBuzz 1..30, in the paper's lazy language.
+-- Run with: dune exec bin/main.exe -- run examples/programs/fizzbuzz.hs
+
+fizz = [chr 70, chr 105, chr 122, chr 122];
+buzz = [chr 66, chr 117, chr 122, chr 122];
+
+line n =
+  if n % 15 == 0 then fizz ++ buzz
+  else if n % 3 == 0 then fizz
+  else if n % 5 == 0 then buzz
+  else showInt n;
+
+main = mapM2 (\n -> putLine (line n)) (enumFromTo 1 30);

@@ -1,0 +1,15 @@
+-- The first primes up to 50, by trial division over an infinite list —
+-- laziness doing real work.
+-- Run with: dune exec bin/main.exe -- run examples/programs/primes.hs
+
+divides d n = n % d == 0;
+
+isPrime n =
+  if n < 2 then False
+  else null (filter (\d -> divides d n) (enumFromTo 2 (n - 1)));
+
+primes = filter isPrime (enumFromTo 2 50);
+
+showAll xs = mapM2 (\p -> putList (showInt p) >> putChar ' ') xs;
+
+main = showAll primes >> putChar newline;

@@ -1,0 +1,14 @@
+-- Disaster recovery (Section 2): evaluate a batch of divisions, catching
+-- each failure at the top with one getException.
+-- Run with: dune exec bin/main.exe -- run examples/programs/safe_div.hs
+
+pairs = [(100, 5), (7, 0), (81, 9), (1, 0), (42, 6)];
+
+divide p = case p of { Pair a b -> a / b };
+
+report r = case r of
+  { OK v -> putLine (showInt v)
+  ; Bad e -> putLine [chr 33] };
+
+main = mapM (\p -> getException (divide p)) pairs
+       >>= \results -> mapM2 report results;

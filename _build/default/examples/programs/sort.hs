@@ -1,0 +1,30 @@
+-- Merge sort, with a data declaration for the split.
+-- Run with: dune exec bin/main.exe -- run examples/programs/sort.hs
+
+data Split = MkSplit [Int] [Int];
+
+split xs = case xs of
+  { Nil -> MkSplit [] []
+  ; Cons y ys -> case ys of
+    { Nil -> MkSplit [y] []
+    ; Cons z zs -> case split zs of
+      { MkSplit l r -> MkSplit (y : l) (z : r) } } };
+
+merge xs ys = case xs of
+  { Nil -> ys
+  ; Cons a as2 -> case ys of
+    { Nil -> xs
+    ; Cons b bs ->
+        if a <= b then a : merge as2 ys else b : merge xs bs } };
+
+msort xs = case xs of
+  { Nil -> []
+  ; Cons y ys -> case ys of
+    { Nil -> [y]
+    ; Cons z zs -> case split xs of
+      { MkSplit l r -> merge (msort l) (msort r) } } };
+
+input = [5, 3, 9, 1, 4, 8, 2, 7, 6, 0];
+
+main = mapM2 (\n -> putList (showInt n) >> putChar ' ') (msort input)
+       >> putChar newline;

@@ -1,0 +1,1 @@
+lib/analysis/exn_analysis.ml: Fmt Lang List Map String

@@ -1,0 +1,1 @@
+lib/analysis/exn_analysis.mli: Fmt Lang

@@ -1,0 +1,1 @@
+lib/analysis/occurrence.ml: Fmt Lang List String

@@ -1,0 +1,1 @@
+lib/analysis/occurrence.mli: Fmt Lang

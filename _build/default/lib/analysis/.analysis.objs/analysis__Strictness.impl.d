@@ -1,0 +1,1 @@
+lib/analysis/strictness.ml: Bool Fmt Lang List Map String

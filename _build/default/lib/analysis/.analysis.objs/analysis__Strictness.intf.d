@@ -1,0 +1,1 @@
+lib/analysis/strictness.mli: Fmt Lang

@@ -1,0 +1,37 @@
+(** Effect analysis: a conservative over-approximation of the exceptions an
+    expression may raise and whether it may diverge.
+
+    This is the machinery the paper says fixed-order languages need in
+    order to re-enable reordering transformations: "optimising compilers
+    often perform some variant of effect analysis, to identify the common
+    case where exceptions cannot occur … useful transformations are
+    disabled if the sub-expressions are not provably exception-free"
+    (Section 3.4). In this repository it plays the *baseline* role: the
+    fixed-order optimisation pipeline may only apply an order-changing
+    transformation when this analysis proves the moved expression pure,
+    whereas the imprecise pipeline needs no analysis at all.
+
+    The analysis is first-order and intentionally modest: applications of
+    unknown functions, and any recursion, are treated pessimistically —
+    exactly the "pessimistic across module boundaries" behaviour the paper
+    ascribes to real compilers (Section 2.3). *)
+
+type t = {
+  may_raise : Lang.Exn.Set.t;
+      (** Exception constants that may be raised (payloads are
+          canonicalised). Meaningless if [unknown]. *)
+  may_diverge : bool;
+  unknown : bool;
+      (** Escape hatch: an application of an unknown function (or any
+          other construct the analysis cannot see through) may do
+          anything. *)
+}
+
+val pure : t -> bool
+(** Provably raises nothing, terminates, and is fully analysed — the
+    condition under which a fixed-order compiler may reorder. *)
+
+val analyze : Lang.Syntax.expr -> t
+(** Effect of demanding the expression to WHNF. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/gen/gen_term.ml: Lang List Printf QCheck2

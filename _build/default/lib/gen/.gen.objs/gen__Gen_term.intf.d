@@ -1,0 +1,1 @@
+lib/gen/gen_term.mli: Lang QCheck2

@@ -1,0 +1,281 @@
+open Lang.Syntax
+module B = Lang.Builder
+module G = QCheck2.Gen
+
+type ty = T_int | T_bool | T_list_int | T_fun_ii
+
+type cfg = {
+  raise_weight : int;
+  div_weight : int;
+  max_depth : int;
+  use_prelude : bool;
+}
+
+let default_cfg =
+  { raise_weight = 2; div_weight = 2; max_depth = 4; use_prelude = true }
+
+let pure_cfg = { default_cfg with raise_weight = 0; div_weight = 0 }
+
+(* Environment: variables in scope, by type. *)
+type env = (string * ty) list
+
+let vars_of env ty =
+  List.filter_map
+    (fun (x, t) -> if t = ty then Some (Var x) else None)
+    env
+
+let fresh_name =
+  let c = ref 0 in
+  fun () ->
+    incr c;
+    Printf.sprintf "g%d" !c
+
+let gen_exn_site : expr G.t =
+  G.oneof
+    [
+      G.return (B.raise_exn Lang.Exn.Divide_by_zero);
+      G.map (fun n -> B.error (Printf.sprintf "e%d" (abs n mod 4)))
+        G.small_int;
+      G.return (B.raise_exn Lang.Exn.Overflow);
+      G.return B.(int 1 / int 0);
+    ]
+
+let small_lit = G.map (fun n -> B.int n) (G.int_range (-20) 20)
+
+let rec gen_ty cfg (env : env) depth ty : expr G.t =
+  if depth <= 0 then gen_leaf cfg env ty
+  else
+    match ty with
+    | T_int -> gen_int_node cfg env depth
+    | T_bool -> gen_bool_node cfg env depth
+    | T_list_int -> gen_list_node cfg env depth
+    | T_fun_ii ->
+        let x = fresh_name () in
+        G.map
+          (fun body -> B.lam x body)
+          (gen_ty cfg ((x, T_int) :: env) (depth - 1) T_int)
+
+and gen_leaf cfg env ty : expr G.t =
+  let leaf_vars = vars_of env ty in
+  let base =
+    match ty with
+    | T_int -> [ small_lit ]
+    | T_bool -> [ G.oneofl [ B.true_; B.false_ ] ]
+    | T_list_int ->
+        [
+          G.return B.nil;
+          G.map (fun n -> B.list [ B.int n ]) (G.int_range 0 9);
+        ]
+    | T_fun_ii ->
+        [
+          G.return (B.lam "z" (B.var "z"));
+          G.map (fun n -> B.lam "z" B.(var "z" + int n)) (G.int_range 0 5);
+        ]
+  in
+  let with_vars =
+    if leaf_vars = [] then base else G.oneofl leaf_vars :: base
+  in
+  let with_raise =
+    if cfg.raise_weight > 0 && ty <> T_fun_ii then
+      with_vars
+      @ [ G.map (fun e -> e) gen_exn_site ]
+    else with_vars
+  in
+  G.oneof with_raise
+
+and gen_int_node cfg env depth : expr G.t =
+  let sub = gen_ty cfg env (depth - 1) in
+  let arith =
+    G.oneofl [ Lang.Prim.Add; Lang.Prim.Sub; Lang.Prim.Mul ]
+    |> fun gp -> G.bind gp (fun p ->
+           G.map2 (fun a b -> Prim (p, [ a; b ])) (sub T_int) (sub T_int))
+  in
+  let division =
+    G.oneofl [ Lang.Prim.Div; Lang.Prim.Mod ]
+    |> fun gp -> G.bind gp (fun p ->
+           G.map2 (fun a b -> Prim (p, [ a; b ])) (sub T_int) (sub T_int))
+  in
+  let conditional =
+    G.map3 (fun c t f -> B.if_ c t f) (sub T_bool) (sub T_int) (sub T_int)
+  in
+  let let_bound =
+    let x = fresh_name () in
+    G.map2
+      (fun e1 e2 -> Let (x, e1, e2))
+      (sub T_int)
+      (gen_ty cfg ((x, T_int) :: env) (depth - 1) T_int)
+  in
+  let beta_redex =
+    let x = fresh_name () in
+    G.map2
+      (fun body arg -> App (B.lam x body, arg))
+      (gen_ty cfg ((x, T_int) :: env) (depth - 1) T_int)
+      (sub T_int)
+  in
+  let apply_fun =
+    G.map2 (fun f a -> App (f, a)) (sub T_fun_ii) (sub T_int)
+  in
+  let seq_e =
+    G.map2 (fun a b -> B.seq a b) (sub T_int) (sub T_int)
+  in
+  let case_list =
+    let x = fresh_name () and xs = fresh_name () in
+    G.map3
+      (fun scrut nil_rhs cons_rhs ->
+        Case
+          ( scrut,
+            [
+              { pat = Pcon (c_nil, []); rhs = nil_rhs };
+              { pat = Pcon (c_cons, [ x; xs ]); rhs = cons_rhs };
+            ] ))
+      (sub T_list_int) (sub T_int)
+      (gen_ty cfg ((x, T_int) :: (xs, T_list_int) :: env) (depth - 1) T_int)
+  in
+  let prelude_calls =
+    if not cfg.use_prelude then []
+    else
+      [
+        ( 2,
+          G.map (fun l -> App (Var "sum", l)) (sub T_list_int) );
+        ( 2,
+          G.map (fun l -> App (Var "length", l)) (sub T_list_int) );
+        ( 1,
+          G.map2
+            (fun l n -> B.apps (Var "index") [ l; n ])
+            (sub T_list_int) (sub T_int) );
+        ( 1,
+          G.map (fun l -> App (Var "head", l)) (sub T_list_int) );
+      ]
+  in
+  let weighted =
+    [
+      (4, gen_leaf cfg env T_int);
+      (4, arith);
+      (cfg.div_weight, division);
+      (3, conditional);
+      (2, let_bound);
+      (2, beta_redex);
+      (2, apply_fun);
+      (1, seq_e);
+      (2, case_list);
+      (cfg.raise_weight, gen_exn_site);
+    ]
+    @ prelude_calls
+  in
+  G.frequency (List.filter (fun (w, _) -> w > 0) weighted)
+
+and gen_bool_node cfg env depth : expr G.t =
+  let sub = gen_ty cfg env (depth - 1) in
+  let cmp =
+    G.oneofl
+      [ Lang.Prim.Eq; Lang.Prim.Ne; Lang.Prim.Lt; Lang.Prim.Le ]
+    |> fun gp -> G.bind gp (fun p ->
+           G.map2 (fun a b -> Prim (p, [ a; b ])) (sub T_int) (sub T_int))
+  in
+  let not_e = G.map (fun b -> B.if_ b B.false_ B.true_) (sub T_bool) in
+  let null_e =
+    if cfg.use_prelude then
+      [ (1, G.map (fun l -> App (Var "null", l)) (sub T_list_int)) ]
+    else []
+  in
+  G.frequency
+    ([ (3, gen_leaf cfg env T_bool); (4, cmp); (1, not_e) ] @ null_e)
+
+and gen_list_node cfg env depth : expr G.t =
+  let sub = gen_ty cfg env (depth - 1) in
+  let cons_e =
+    G.map2 (fun x xs -> B.cons x xs) (sub T_int) (sub T_list_int)
+  in
+  let enum =
+    G.map2
+      (fun lo n -> B.apps (Var "enumFromTo") [ B.int lo; B.int (lo + n) ])
+      (G.int_range (-5) 5) (G.int_range 0 8)
+  in
+  let take_e =
+    G.map2
+      (fun n l -> B.apps (Var "take") [ B.int n; l ])
+      (G.int_range 0 6) (sub T_list_int)
+  in
+  let map_e =
+    G.map2 (fun f l -> B.apps (Var "map") [ f; l ]) (sub T_fun_ii)
+      (sub T_list_int)
+  in
+  let append_e =
+    G.map2
+      (fun a b -> B.apps (Var "append") [ a; b ])
+      (sub T_list_int) (sub T_list_int)
+  in
+  let take_iterate =
+    G.map3
+      (fun n f x ->
+        B.apps (Var "take") [ B.int n; B.apps (Var "iterate") [ f; x ] ])
+      (G.int_range 0 5) (sub T_fun_ii) (sub T_int)
+  in
+  let prelude =
+    if cfg.use_prelude then
+      [ (2, enum); (2, take_e); (2, map_e); (1, append_e); (1, take_iterate) ]
+    else []
+  in
+  G.frequency ([ (3, gen_leaf cfg env T_list_int); (3, cons_e) ] @ prelude)
+
+(* IO Int programs: a bind-chain of actions over the int generator. *)
+let rec gen_io_node cfg env depth : expr G.t =
+  let int_e = gen_ty cfg env (max 1 (depth - 1)) T_int in
+  let ret = G.map (fun e -> B.io_return e) int_e in
+  if depth <= 0 then ret
+  else
+    let bind_chain =
+      let x = fresh_name () in
+      G.map2
+        (fun m k -> B.io_bind m (B.lam x k))
+        (gen_io_node cfg env (depth - 1))
+        (gen_io_node cfg ((x, T_int) :: env) (depth - 1))
+    in
+    let put_then =
+      G.map2
+        (fun e rest ->
+          B.io_bind
+            (App (Var "putInt", e))
+            (B.lam "_" rest))
+        int_e
+        (gen_io_node cfg env (depth - 1))
+    in
+    let catch_recover =
+      (* getException e >>= \r -> case r of OK v -> return v; Bad _ -> 0 *)
+      let r = fresh_name () and v = fresh_name () in
+      G.map
+        (fun e ->
+          B.io_bind
+            (B.get_exception e)
+            (B.lam r
+               (Case
+                  ( Var r,
+                    [
+                      {
+                        pat = Pcon (c_ok, [ v ]);
+                        rhs = B.io_return (Var v);
+                      };
+                      {
+                        pat = Pcon (c_bad, [ "_e" ]);
+                        rhs = B.io_return (B.int 0);
+                      };
+                    ] ))))
+        int_e
+    in
+    G.frequency
+      [ (2, ret); (3, bind_chain); (3, put_then); (2, catch_recover) ]
+
+let gen_io ?(cfg = default_cfg) () =
+  G.sized (fun n ->
+      let depth = min 4 (1 + (n mod 4)) in
+      gen_io_node cfg [] depth)
+
+let gen ?(cfg = default_cfg) ty =
+  G.sized (fun n ->
+      let depth = min cfg.max_depth (1 + (n mod (cfg.max_depth + 1))) in
+      gen_ty cfg [] depth ty)
+
+let gen_int ?cfg () = gen ?cfg T_int
+let gen_list ?cfg () = gen ?cfg T_list_int
+
+let print_expr = Lang.Pretty.expr_to_string

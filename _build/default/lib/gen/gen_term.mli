@@ -1,0 +1,39 @@
+(** Type-directed random term generation for property-based and
+    differential testing.
+
+    Terms are well-typed by construction (so the only runtime failures are
+    the interesting ones: raised exceptions and overflow), closed up to
+    Prelude names ({!uses_prelude} terms must be wrapped with
+    {!Lang.Prelude.wrap} before evaluation), and terminating by
+    construction except through exceptions — recursion enters only through
+    Prelude functions applied to finite structures. *)
+
+type ty = T_int | T_bool | T_list_int | T_fun_ii
+    (** [T_fun_ii] = int → int. *)
+
+type cfg = {
+  raise_weight : int;
+      (** Relative weight of raise sites (0 = exception-free terms). *)
+  div_weight : int;  (** Relative weight of [/] and [%] (0 = no division). *)
+  max_depth : int;
+  use_prelude : bool;  (** Allow calls to Prelude list functions. *)
+}
+
+val default_cfg : cfg
+val pure_cfg : cfg
+(** No raise sites, no division: evaluates to a value. *)
+
+val gen : ?cfg:cfg -> ty -> Lang.Syntax.expr QCheck2.Gen.t
+(** A closed term of the given type. *)
+
+val gen_int : ?cfg:cfg -> unit -> Lang.Syntax.expr QCheck2.Gen.t
+val gen_list : ?cfg:cfg -> unit -> Lang.Syntax.expr QCheck2.Gen.t
+
+val gen_io : ?cfg:cfg -> unit -> Lang.Syntax.expr QCheck2.Gen.t
+(** A closed program of type [IO Int]: [return]/[>>=] chains, [putInt] of
+    generated integer expressions, and fully-handled [getException]
+    recoveries — used to test the semantic and machine IO drivers against
+    each other. *)
+
+val print_expr : Lang.Syntax.expr -> string
+(** For QCheck counterexample reporting. *)

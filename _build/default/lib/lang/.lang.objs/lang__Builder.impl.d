@@ -1,0 +1,1 @@
+lib/lang/builder.ml: Exn List Prim Syntax

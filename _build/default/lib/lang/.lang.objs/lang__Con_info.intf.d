@@ -1,0 +1,1 @@
+lib/lang/con_info.mli:

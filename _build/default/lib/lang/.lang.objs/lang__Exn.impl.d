@@ -1,0 +1,1 @@
+lib/lang/exn.ml: Fmt Option Stdlib

@@ -1,0 +1,1 @@
+lib/lang/exn.mli: Fmt Stdlib

@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Builder Con_info Lexer List Option Prim Printf Syntax Token

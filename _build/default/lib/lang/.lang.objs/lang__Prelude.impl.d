@@ -1,0 +1,1 @@
+lib/lang/prelude.ml: Lazy List Parser String Syntax

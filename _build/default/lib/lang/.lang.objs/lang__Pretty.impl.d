@@ -1,0 +1,1 @@
+lib/lang/pretty.ml: Fmt List Option Prim String Syntax

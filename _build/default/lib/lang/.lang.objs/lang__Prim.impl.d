@@ -1,0 +1,1 @@
+lib/lang/prim.ml: Fmt List Stdlib String

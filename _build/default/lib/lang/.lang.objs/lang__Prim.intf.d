@@ -1,0 +1,1 @@
+lib/lang/prim.mli: Fmt

@@ -1,0 +1,1 @@
+lib/lang/subst.ml: List Map Printf Set String Syntax

@@ -1,0 +1,1 @@
+lib/lang/subst.mli: Stdlib Syntax

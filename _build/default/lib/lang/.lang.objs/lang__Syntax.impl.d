@@ -1,0 +1,1 @@
+lib/lang/syntax.ml: List Prim Stdlib

@@ -1,0 +1,1 @@
+lib/lang/syntax.mli: Prim

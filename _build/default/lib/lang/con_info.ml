@@ -1,0 +1,48 @@
+type t = (string, int) Hashtbl.t
+
+let builtin_list =
+  [
+    ("True", 0);
+    ("False", 0);
+    ("Nil", 0);
+    ("Cons", 2);
+    ("Unit", 0);
+    ("Pair", 2);
+    ("Just", 1);
+    ("Nothing", 0);
+    ("OK", 1);
+    ("Bad", 1);
+    ("Return", 1);
+    ("Bind", 2);
+    ("GetChar", 0);
+    ("PutChar", 1);
+    ("GetException", 1);
+    ("Fork", 1);
+    ("NewMVar", 0);
+    ("TakeMVar", 1);
+    ("PutMVar", 2);
+    ("MVarRef", 1);
+    ("DivideByZero", 0);
+    ("Overflow", 0);
+    ("PatternMatchFail", 1);
+    ("AssertionFailed", 1);
+    ("UserError", 1);
+    ("TypeError", 1);
+    ("NonTermination", 0);
+    ("Interrupt", 0);
+    ("Timeout", 0);
+    ("StackOverflow", 0);
+    ("HeapExhaustion", 0);
+  ]
+
+let builtins () =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (c, n) -> Hashtbl.replace tbl c n) builtin_list;
+  tbl
+
+let arity tbl c = Hashtbl.find_opt tbl c
+let register tbl c n = Hashtbl.replace tbl c n
+
+let constructors tbl =
+  Hashtbl.fold (fun c n acc -> (c, n) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

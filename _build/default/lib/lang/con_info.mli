@@ -1,0 +1,20 @@
+(** Constructor arity table.
+
+    The term language has no type declarations in its AST, but the parser
+    must know each constructor's arity to build saturated [Con] nodes (and to
+    eta-expand partial applications such as [map Just xs]). The built-in
+    table covers the Prelude data types ([Bool], lists, pairs, [Maybe],
+    [ExVal], [IO], [Exception]); [data] declarations extend it. *)
+
+type t
+
+val builtins : unit -> t
+(** A fresh table containing the Prelude constructors. *)
+
+val arity : t -> string -> int option
+val register : t -> string -> int -> unit
+val constructors : t -> (string * int) list
+(** All registered constructors, sorted by name. *)
+
+val builtin_list : (string * int) list
+(** The built-in constructor/arity pairs. *)

@@ -1,0 +1,83 @@
+type t =
+  | Divide_by_zero
+  | Overflow
+  | Pattern_match_fail of string
+  | Assertion_failed of string
+  | User_error of string
+  | Type_error of string
+  | Non_termination
+  | Interrupt
+  | Timeout
+  | Stack_overflow_exn
+  | Heap_exhaustion
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+let is_asynchronous = function
+  | Interrupt | Timeout | Stack_overflow_exn | Heap_exhaustion -> true
+  | Divide_by_zero | Overflow | Pattern_match_fail _ | Assertion_failed _
+  | User_error _ | Type_error _ | Non_termination ->
+      false
+
+let is_synchronous e = not (is_asynchronous e)
+
+let constructor_name = function
+  | Divide_by_zero -> "DivideByZero"
+  | Overflow -> "Overflow"
+  | Pattern_match_fail _ -> "PatternMatchFail"
+  | Assertion_failed _ -> "AssertionFailed"
+  | User_error _ -> "UserError"
+  | Type_error _ -> "TypeError"
+  | Non_termination -> "NonTermination"
+  | Interrupt -> "Interrupt"
+  | Timeout -> "Timeout"
+  | Stack_overflow_exn -> "StackOverflow"
+  | Heap_exhaustion -> "HeapExhaustion"
+
+let of_constructor name payload =
+  let s = Option.value payload ~default:"" in
+  match name with
+  | "DivideByZero" -> Some Divide_by_zero
+  | "Overflow" -> Some Overflow
+  | "PatternMatchFail" -> Some (Pattern_match_fail s)
+  | "AssertionFailed" -> Some (Assertion_failed s)
+  | "UserError" -> Some (User_error s)
+  | "TypeError" -> Some (Type_error s)
+  | "NonTermination" -> Some Non_termination
+  | "Interrupt" -> Some Interrupt
+  | "Timeout" -> Some Timeout
+  | "StackOverflow" -> Some Stack_overflow_exn
+  | "HeapExhaustion" -> Some Heap_exhaustion
+  | _ -> None
+
+let pp ppf e =
+  match e with
+  | Pattern_match_fail s -> Fmt.pf ppf "PatternMatchFail %S" s
+  | Assertion_failed s -> Fmt.pf ppf "AssertionFailed %S" s
+  | User_error s -> Fmt.pf ppf "UserError %S" s
+  | Type_error s -> Fmt.pf ppf "TypeError %S" s
+  | Divide_by_zero | Overflow | Non_termination | Interrupt | Timeout
+  | Stack_overflow_exn | Heap_exhaustion ->
+      Fmt.string ppf (constructor_name e)
+
+module Set = Stdlib.Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+let all_known =
+  [
+    Divide_by_zero;
+    Overflow;
+    Pattern_match_fail "case";
+    Assertion_failed "assert";
+    User_error "Urk";
+    Type_error "redex";
+    Non_termination;
+    Interrupt;
+    Timeout;
+    Stack_overflow_exn;
+    Heap_exhaustion;
+  ]

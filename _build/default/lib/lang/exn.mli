@@ -1,0 +1,62 @@
+(** The [Exception] data type of the extended language.
+
+    The paper supplies [Exception] as part of the Prelude:
+
+    {v
+    data Exception = DivideByZero | Overflow | UserError String | ...
+                   | NonTermination            -- Section 4.1
+                   | Interrupt | Timeout | ... -- asynchronous, Section 5.1
+    v}
+
+    Nothing in the paper depends on the exact constructor set; this module
+    fixes a concrete, useful choice. [Non_termination] is the extra
+    constructor the paper adds when identifying bottom with the set of all
+    exceptions (Section 4.1). The asynchronous constructors are those of
+    Section 5.1. [Type_error] is our (documented) addition: the paper assumes
+    well-typed programs, but an interpreter for an untyped term language
+    needs a constructor for ill-typed redexes. *)
+
+type t =
+  | Divide_by_zero
+  | Overflow
+  | Pattern_match_fail of string
+      (** Pattern-match failure; the payload names the offending [case]. *)
+  | Assertion_failed of string
+  | User_error of string  (** Raised by the Prelude function [error]. *)
+  | Type_error of string
+      (** Runtime type error (ill-typed redex); not in the paper, which
+          assumes a typed source language. *)
+  | Non_termination
+      (** The constructor added in Section 4.1 so that bottom can be
+          identified with the set of all exceptions. *)
+  | Interrupt  (** Asynchronous: keyboard interrupt (Section 5.1). *)
+  | Timeout  (** Asynchronous: external timeout (Section 5.1). *)
+  | Stack_overflow_exn  (** Asynchronous resource exhaustion. *)
+  | Heap_exhaustion  (** Asynchronous resource exhaustion. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val is_asynchronous : t -> bool
+(** [is_asynchronous e] is true for the Section 5.1 constructors that are
+    injected by external events rather than by evaluation. *)
+
+val is_synchronous : t -> bool
+
+val constructor_name : t -> string
+(** Name of the corresponding source-language constructor, e.g.
+    ["DivideByZero"]. *)
+
+val of_constructor : string -> string option -> t option
+(** [of_constructor name payload] maps a source-language constructor
+    application back to an exception constant; [payload] supplies the
+    string argument for [UserError] and friends. *)
+
+val pp : t Fmt.t
+
+module Set : Stdlib.Set.S with type elt = t
+
+val all_known : t list
+(** Every nullary-or-canonical exception constant, used when an enumeration
+    of "representatives of E" is needed (e.g. for testing the lattice). The
+    set E itself is infinite ([User_error] has a string payload). *)

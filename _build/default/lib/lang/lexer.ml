@@ -1,0 +1,214 @@
+open Token
+
+exception Error of string * int * int
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let error st msg = raise (Error (msg, st.line, st.col))
+
+let is_lower c = (c >= 'a' && c <= 'z') || c = '_'
+let is_upper c = c >= 'A' && c <= 'Z'
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_char c = is_lower c || is_upper c || is_digit c || c = '\''
+
+let is_op_char c = String.contains "+-*/%<>=:!&|.$" c
+
+let keyword_of = function
+  | "let" -> Some Kw_let
+  | "rec" -> Some Kw_rec
+  | "and" -> Some Kw_and
+  | "in" -> Some Kw_in
+  | "case" -> Some Kw_case
+  | "of" -> Some Kw_of
+  | "if" -> Some Kw_if
+  | "then" -> Some Kw_then
+  | "else" -> Some Kw_else
+  | "raise" -> Some Kw_raise
+  | "fix" -> Some Kw_fix
+  | "data" -> Some Kw_data
+  | _ -> None
+
+let read_while st pred =
+  let start = st.pos in
+  let rec go () =
+    match peek st with
+    | Some c when pred c ->
+        advance st;
+        go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  String.sub st.src start (st.pos - start)
+
+(* Skip whitespace and comments; returns unit. *)
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_trivia st
+  | Some '-' when peek2 st = Some '-' ->
+      let rec to_eol () =
+        match peek st with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance st;
+            to_eol ()
+      in
+      to_eol ();
+      skip_trivia st
+  | Some '{' when peek2 st = Some '-' ->
+      advance st;
+      advance st;
+      skip_block st 1;
+      skip_trivia st
+  | Some _ | None -> ()
+
+and skip_block st depth =
+  if depth = 0 then ()
+  else
+    match peek st with
+    | None -> error st "unterminated block comment"
+    | Some '{' when peek2 st = Some '-' ->
+        advance st;
+        advance st;
+        skip_block st (depth + 1)
+    | Some '-' when peek2 st = Some '}' ->
+        advance st;
+        advance st;
+        skip_block st (depth - 1)
+    | Some _ ->
+        advance st;
+        skip_block st depth
+
+let read_escape st =
+  match peek st with
+  | Some 'n' -> advance st; '\n'
+  | Some 't' -> advance st; '\t'
+  | Some 'r' -> advance st; '\r'
+  | Some '\\' -> advance st; '\\'
+  | Some '\'' -> advance st; '\''
+  | Some '"' -> advance st; '"'
+  | Some '0' -> advance st; '\000'
+  | Some c -> error st (Printf.sprintf "unknown escape '\\%c'" c)
+  | None -> error st "unterminated escape"
+
+let next_token st : located =
+  skip_trivia st;
+  let line = st.line and col = st.col in
+  let mk tok = { tok; line; col } in
+  match peek st with
+  | None -> mk Eof
+  | Some c when is_digit c ->
+      let digits = read_while st is_digit in
+      mk (Int (int_of_string digits))
+  | Some c when is_lower c && c <> '_' ->
+      let word = read_while st is_ident_char in
+      mk (match keyword_of word with Some kw -> kw | None -> Lower word)
+  | Some '_' -> (
+      advance st;
+      match peek st with
+      | Some c when is_ident_char c ->
+          let rest = read_while st is_ident_char in
+          mk (Lower ("_" ^ rest))
+      | Some _ | None -> mk Underscore)
+  | Some c when is_upper c ->
+      let word = read_while st is_ident_char in
+      mk (Upper word)
+  | Some '\'' -> (
+      advance st;
+      let c =
+        match peek st with
+        | Some '\\' ->
+            advance st;
+            read_escape st
+        | Some c ->
+            advance st;
+            c
+        | None -> error st "unterminated character literal"
+      in
+      match peek st with
+      | Some '\'' ->
+          advance st;
+          mk (Char c)
+      | Some _ | None -> error st "unterminated character literal")
+  | Some '"' ->
+      advance st;
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match peek st with
+        | Some '"' ->
+            advance st;
+            mk (String (Buffer.contents buf))
+        | Some '\\' ->
+            advance st;
+            Buffer.add_char buf (read_escape st);
+            go ()
+        | Some c ->
+            advance st;
+            Buffer.add_char buf c;
+            go ()
+        | None -> error st "unterminated string literal"
+      in
+      go ()
+  | Some '\\' ->
+      advance st;
+      mk Backslash
+  | Some '(' ->
+      advance st;
+      mk Lparen
+  | Some ')' ->
+      advance st;
+      mk Rparen
+  | Some '{' ->
+      advance st;
+      mk Lbrace
+  | Some '}' ->
+      advance st;
+      mk Rbrace
+  | Some '[' ->
+      advance st;
+      mk Lbracket
+  | Some ']' ->
+      advance st;
+      mk Rbracket
+  | Some ',' ->
+      advance st;
+      mk Comma
+  | Some ';' ->
+      advance st;
+      mk Semi
+  | Some c when is_op_char c -> (
+      let op = read_while st is_op_char in
+      match op with
+      | "=" -> mk Equals
+      | "->" -> mk Arrow
+      | "|" -> mk Pipe
+      | _ -> mk (Op op))
+  | Some c -> error st (Printf.sprintf "illegal character %C" c)
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let rec go acc =
+    let t = next_token st in
+    match t.tok with Eof -> List.rev (t :: acc) | _ -> go (t :: acc)
+  in
+  go []

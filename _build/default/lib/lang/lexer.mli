@@ -1,0 +1,13 @@
+(** Hand-written lexer for the concrete syntax.
+
+    Supports Haskell-style comments ([-- line] and nested [{- block -}]),
+    decimal and negative integer literals, character and string literals
+    with the usual escapes. *)
+
+exception Error of string * int * int
+(** [Error (message, line, col)]. *)
+
+val tokenize : string -> Token.located list
+(** Tokenize a whole source string; the final element is always [Eof].
+    @raise Error on an unterminated literal/comment or an illegal
+    character. *)

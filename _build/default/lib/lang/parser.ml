@@ -1,0 +1,608 @@
+open Syntax
+open Token
+
+exception Error of string * int * int
+
+type st = { mutable toks : Token.located list; cons : Con_info.t }
+
+(* An element of an application spine, before primitive/constructor
+   resolution. *)
+type spine_atom =
+  | Ahead_var of string
+  | Ahead_con of string
+  | Ahead_expr of Syntax.expr
+
+let peek st =
+  match st.toks with [] -> { tok = Eof; line = 0; col = 0 } | t :: _ -> t
+
+let peek_tok st = (peek st).tok
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let fail st msg =
+  let t = peek st in
+  raise (Error (msg, t.line, t.col))
+
+let expect st tok =
+  let t = peek st in
+  if Token.equal t.tok tok then advance st
+  else
+    fail st
+      (Printf.sprintf "expected %s but found %s" (Token.describe tok)
+         (Token.describe t.tok))
+
+let fresh_var =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Printf.sprintf "_p%d" !counter
+
+(* Saturate or eta-expand a primitive applied to [args]. Negation of an
+   integer literal is folded so that printed negative literals
+   ("negate 5") re-parse to the literal itself. *)
+let rec saturate_prim p args =
+  match (p, args) with
+  | Prim.Neg, [ Lit (Lit_int n) ] -> Lit (Lit_int (-n))
+  | _ -> saturate_prim_general p args
+
+and saturate_prim_general p args =
+  ignore saturate_prim;
+  let n = Prim.arity p in
+  let given = List.length args in
+  if given >= n then
+    let rec split k acc = function
+      | rest when k = 0 -> (List.rev acc, rest)
+      | [] -> (List.rev acc, [])
+      | x :: rest -> split (k - 1) (x :: acc) rest
+    in
+    let prim_args, extra = split n [] args in
+    List.fold_left (fun f a -> App (f, a)) (Prim (p, prim_args)) extra
+  else
+    let missing = List.init (n - given) (fun _ -> fresh_var ()) in
+    let all = args @ List.map (fun x -> Var x) missing in
+    List.fold_right (fun x body -> Lam (x, body)) missing (Prim (p, all))
+
+let saturate_con st c args =
+  match Con_info.arity st.cons c with
+  | None -> fail st (Printf.sprintf "unknown constructor %s" c)
+  | Some n ->
+      let given = List.length args in
+      if given > n then
+        fail st
+          (Printf.sprintf "constructor %s expects %d arguments but got %d" c n
+             given)
+      else if given = n then Con (c, args)
+      else
+        let missing = List.init (n - given) (fun _ -> fresh_var ()) in
+        let all = args @ List.map (fun x -> Var x) missing in
+        List.fold_right (fun x body -> Lam (x, body)) missing (Con (c, all))
+
+(* Operator table: level, associativity. Higher level binds tighter. *)
+type assoc = Left | Right
+
+let op_table =
+  [
+    (">>=", (1, Left));
+    (">>", (1, Left));
+    ("||", (2, Right));
+    ("&&", (3, Right));
+    ("==", (4, Left));
+    ("/=", (4, Left));
+    ("<", (4, Left));
+    ("<=", (4, Left));
+    (">", (4, Left));
+    (">=", (4, Left));
+    (":", (5, Right));
+    ("++", (5, Right));
+    ("+", (6, Left));
+    ("-", (6, Left));
+    ("*", (7, Left));
+    ("/", (7, Left));
+    ("%", (7, Left));
+    (".", (8, Right));
+  ]
+
+let op_info name = List.assoc_opt name op_table
+
+let build_op st name lhs rhs =
+  match name with
+  | "+" -> Prim (Prim.Add, [ lhs; rhs ])
+  | "-" -> Prim (Prim.Sub, [ lhs; rhs ])
+  | "*" -> Prim (Prim.Mul, [ lhs; rhs ])
+  | "/" -> Prim (Prim.Div, [ lhs; rhs ])
+  | "%" -> Prim (Prim.Mod, [ lhs; rhs ])
+  | "==" -> Prim (Prim.Eq, [ lhs; rhs ])
+  | "/=" -> Prim (Prim.Ne, [ lhs; rhs ])
+  | "<" -> Prim (Prim.Lt, [ lhs; rhs ])
+  | "<=" -> Prim (Prim.Le, [ lhs; rhs ])
+  | ">" -> Prim (Prim.Gt, [ lhs; rhs ])
+  | ">=" -> Prim (Prim.Ge, [ lhs; rhs ])
+  | ":" -> Con (c_cons, [ lhs; rhs ])
+  | "++" -> App (App (Var "append", lhs), rhs)
+  | "." -> App (App (Var "compose", lhs), rhs)
+  | ">>=" -> Con (c_bind, [ lhs; rhs ])
+  | ">>" -> Con (c_bind, [ lhs; Lam ("_", rhs) ])
+  | "&&" -> Builder.if_ lhs rhs (Con (c_false, []))
+  | "||" -> Builder.if_ lhs (Con (c_true, [])) rhs
+  | _ -> fail st (Printf.sprintf "unknown operator %s" name)
+
+(* The function value of a parenthesised operator, e.g. [(+)]. *)
+let op_as_function st name =
+  let x = fresh_var () and y = fresh_var () in
+  Lam (x, Lam (y, build_op st name (Var x) (Var y)))
+
+let binder st =
+  match peek_tok st with
+  | Lower x ->
+      advance st;
+      x
+  | Underscore ->
+      advance st;
+      "_"
+  | t -> fail st (Printf.sprintf "expected a binder but found %s"
+                    (Token.describe t))
+
+let rec parse_expr st : expr =
+  match peek_tok st with
+  | Backslash ->
+      advance st;
+      let rec binders acc =
+        match peek_tok st with
+        | Arrow ->
+            advance st;
+            List.rev acc
+        | _ -> binders (binder st :: acc)
+      in
+      let xs = binders [] in
+      if xs = [] then fail st "lambda needs at least one binder";
+      let body = parse_expr st in
+      List.fold_right (fun x e -> Lam (x, e)) xs body
+  | Kw_let ->
+      advance st;
+      let recursive =
+        match peek_tok st with
+        | Kw_rec ->
+            advance st;
+            true
+        | _ -> false
+      in
+      let parse_bind () =
+        let name = binder st in
+        let rec params acc =
+          match peek_tok st with
+          | Equals ->
+              advance st;
+              List.rev acc
+          | _ -> params (binder st :: acc)
+        in
+        let ps = params [] in
+        let body = parse_expr st in
+        (name, List.fold_right (fun x e -> Lam (x, e)) ps body)
+      in
+      let rec binds acc =
+        let b = parse_bind () in
+        match peek_tok st with
+        | Kw_and ->
+            advance st;
+            binds (b :: acc)
+        | _ -> List.rev (b :: acc)
+      in
+      let bs = binds [] in
+      expect st Kw_in;
+      let body = parse_expr st in
+      if recursive then Letrec (bs, body)
+      else
+        List.fold_right (fun (x, e1) e2 -> Let (x, e1, e2)) bs body
+  | Kw_case ->
+      advance st;
+      let scrut = parse_expr st in
+      expect st Kw_of;
+      expect st Lbrace;
+      let rec alts acc =
+        let a = parse_alt st in
+        match peek_tok st with
+        | Semi ->
+            advance st;
+            (* Tolerate a trailing semicolon before '}'. *)
+            if Token.equal (peek_tok st) Rbrace then List.rev (a :: acc)
+            else alts (a :: acc)
+        | Rbrace -> List.rev (a :: acc)
+        | t ->
+            fail st
+              (Printf.sprintf "expected ';' or '}' in case but found %s"
+                 (Token.describe t))
+      in
+      let als = alts [] in
+      expect st Rbrace;
+      (* With explicit braces a case is an operand: operators may follow
+         ([case x of {...} >>= k]), as in Haskell. *)
+      parse_op ~lhs:(Case (scrut, als)) st 1
+  | Kw_if ->
+      advance st;
+      let c = parse_expr st in
+      expect st Kw_then;
+      let t = parse_expr st in
+      expect st Kw_else;
+      let f = parse_expr st in
+      parse_op ~lhs:(Builder.if_ c t f) st 1
+  | _ -> parse_op st 1
+
+and parse_alt st : alt =
+  let pat = parse_pat st in
+  expect st Arrow;
+  let rhs = parse_expr st in
+  { pat; rhs }
+
+and parse_pat st : pat =
+  match peek_tok st with
+  | Upper c -> (
+      advance st;
+      match Con_info.arity st.cons c with
+      | None -> fail st (Printf.sprintf "unknown constructor %s in pattern" c)
+      | Some n ->
+          let xs = List.init n (fun _ -> ()) |> List.map (fun () -> binder st) in
+          Pcon (c, xs))
+  | Int n ->
+      advance st;
+      Plit (Lit_int n)
+  | Char c ->
+      advance st;
+      Plit (Lit_char c)
+  | String s ->
+      advance st;
+      Plit (Lit_string s)
+  | Underscore ->
+      advance st;
+      Pany None
+  | Lower x ->
+      advance st;
+      Pany (Some x)
+  | Lbracket ->
+      advance st;
+      expect st Rbracket;
+      Pcon (c_nil, [])
+  | Lparen -> (
+      advance st;
+      match peek_tok st with
+      | Rparen ->
+          advance st;
+          Pcon (c_unit, [])
+      | _ -> (
+          let x = binder st in
+          match peek_tok st with
+          | Op ":" ->
+              advance st;
+              let y = binder st in
+              expect st Rparen;
+              Pcon (c_cons, [ x; y ])
+          | Comma ->
+              advance st;
+              let y = binder st in
+              expect st Rparen;
+              Pcon (c_pair, [ x; y ])
+          | t ->
+              fail st
+                (Printf.sprintf "expected ':' or ',' in pattern but found %s"
+                   (Token.describe t))))
+  | t -> fail st (Printf.sprintf "expected a pattern but found %s"
+                    (Token.describe t))
+
+and parse_op ?lhs st level : expr =
+  if level > 8 then
+    match lhs with Some e -> e | None -> parse_app st
+  else
+    let lhs = parse_op ?lhs st (level + 1) in
+    let rec loop lhs =
+      match peek_tok st with
+      | Op name -> (
+          match op_info name with
+          | Some (l, assoc) when l = level ->
+              advance st;
+              (* A lambda/let/case/if in operator-rhs position extends to
+                 the end of the expression, as in Haskell
+                 ([m >>= \x -> e]). *)
+              let rhs =
+                match peek_tok st with
+                | Backslash | Kw_let | Kw_case | Kw_if -> parse_expr st
+                | _ -> (
+                    match assoc with
+                    | Left -> parse_op st (level + 1)
+                    | Right -> parse_op st level)
+              in
+              let e = build_op st name lhs rhs in
+              (match assoc with Left -> loop e | Right -> e)
+          | Some _ -> lhs
+          | None -> fail st (Printf.sprintf "unknown operator %s" name))
+      | _ -> lhs
+    in
+    loop lhs
+
+and parse_app st : expr =
+  match peek_tok st with
+  | Kw_raise ->
+      advance st;
+      let arg = parse_app st in
+      Raise arg
+  | Kw_fix ->
+      advance st;
+      let arg = parse_app st in
+      Fix arg
+  | _ -> (
+      let head_tok = peek st in
+      let rec atoms acc =
+        match parse_atom_opt st with
+        | Some a -> atoms (a :: acc)
+        | None -> List.rev acc
+      in
+      (* Primitive names and constructors used as bare arguments
+         (e.g. [map negate xs], [map Just xs]) are eta-expanded so that the
+         saturated [Prim]/[Con] forms stay the only representations. *)
+      let resolve_bare = function
+        | Ahead_var name -> (
+            match Prim.of_name name with
+            | Some p -> saturate_prim p []
+            | None -> Var name)
+        | Ahead_con c -> saturate_con st c []
+        | Ahead_expr e -> e
+      in
+      match atoms [] with
+      | [] ->
+          raise
+            (Error
+               ( Printf.sprintf "expected an expression but found %s"
+                   (Token.describe head_tok.tok),
+                 head_tok.line,
+                 head_tok.col ))
+      | head :: args -> (
+          let args = List.map resolve_bare args in
+          match head with
+          | Ahead_var name when Option.is_some (Prim.of_name name) ->
+              saturate_prim (Option.get (Prim.of_name name)) args
+          | Ahead_con c -> saturate_con st c args
+          | head ->
+              List.fold_left (fun f a -> App (f, a)) (resolve_bare head) args))
+
+and parse_atom_opt st : spine_atom option =
+  match peek_tok st with
+  | Int n ->
+      advance st;
+      Some (Ahead_expr (Lit (Lit_int n)))
+  | Char c ->
+      advance st;
+      Some (Ahead_expr (Lit (Lit_char c)))
+  | String s ->
+      advance st;
+      Some (Ahead_expr (Lit (Lit_string s)))
+  | Lower x ->
+      advance st;
+      Some (Ahead_var x)
+  | Underscore ->
+      advance st;
+      Some (Ahead_var "_")
+  | Upper c ->
+      advance st;
+      Some (Ahead_con c)
+  | Lbracket ->
+      advance st;
+      let rec elems acc =
+        match peek_tok st with
+        | Rbracket ->
+            advance st;
+            List.rev acc
+        | _ -> (
+            let e = parse_expr st in
+            match peek_tok st with
+            | Comma ->
+                advance st;
+                elems (e :: acc)
+            | Rbracket ->
+                advance st;
+                List.rev (e :: acc)
+            | t ->
+                fail st
+                  (Printf.sprintf "expected ',' or ']' but found %s"
+                     (Token.describe t)))
+      in
+      Some (Ahead_expr (list_expr (elems [])))
+  | Lparen -> (
+      advance st;
+      match peek_tok st with
+      | Rparen ->
+          advance st;
+          Some (Ahead_expr (Con (c_unit, [])))
+      | Op name when is_closed_op st ->
+          advance st;
+          expect st Rparen;
+          Some (Ahead_expr (op_as_function st name))
+      | _ -> (
+          let e = parse_expr st in
+          match peek_tok st with
+          | Rparen ->
+              advance st;
+              Some (Ahead_expr e)
+          | Comma ->
+              advance st;
+              let e2 = parse_expr st in
+              expect st Rparen;
+              Some (Ahead_expr (Con (c_pair, [ e; e2 ])))
+          | t ->
+              fail st
+                (Printf.sprintf "expected ')' or ',' but found %s"
+                   (Token.describe t))))
+  | _ -> None
+
+(* Peek two tokens ahead: is the current [Op _] immediately closed by ')'
+   (an operator section like [(+)])? *)
+and is_closed_op st =
+  match st.toks with
+  | { tok = Op _; _ } :: { tok = Rparen; _ } :: _ -> true
+  | _ -> false
+
+(* data declarations: [data Name a b = C1 t1 t2 | C2 | ...]. Field types
+   are type atoms; parenthesised types admit application and arrows. *)
+let rec parse_ty_expr st : Syntax.ty_expr =
+  let lhs = parse_ty_app st in
+  match peek_tok st with
+  | Arrow ->
+      advance st;
+      Syntax.Ty_fun (lhs, parse_ty_expr st)
+  | _ -> lhs
+
+and parse_ty_app st : Syntax.ty_expr =
+  match peek_tok st with
+  | Upper name ->
+      advance st;
+      let rec args acc =
+        match parse_ty_atom_opt st with
+        | Some a -> args (a :: acc)
+        | None -> List.rev acc
+      in
+      Syntax.Ty_con (name, args [])
+  | _ -> (
+      match parse_ty_atom_opt st with
+      | Some a -> a
+      | None -> fail st "expected a type")
+
+and parse_ty_atom_opt st : Syntax.ty_expr option =
+  match peek_tok st with
+  | Lower v ->
+      advance st;
+      Some (Syntax.Ty_var v)
+  | Upper name ->
+      advance st;
+      Some (Syntax.Ty_con (name, []))
+  | Lbracket ->
+      advance st;
+      let t = parse_ty_expr st in
+      expect st Rbracket;
+      Some (Syntax.Ty_con ("List", [ t ]))
+  | Lparen -> (
+      advance st;
+      match peek_tok st with
+      | Rparen ->
+          advance st;
+          Some (Syntax.Ty_con ("Unit", []))
+      | _ -> (
+          let t = parse_ty_expr st in
+          match peek_tok st with
+          | Rparen ->
+              advance st;
+              Some t
+          | Comma ->
+              advance st;
+              let t2 = parse_ty_expr st in
+              expect st Rparen;
+              Some (Syntax.Ty_con ("Pair", [ t; t2 ]))
+          | tk ->
+              fail st
+                (Printf.sprintf "expected ')' or ',' in type but found %s"
+                   (Token.describe tk))))
+  | _ -> None
+
+let parse_data st : Syntax.data_decl =
+  expect st Kw_data;
+  let type_name =
+    match peek_tok st with
+    | Upper n ->
+        advance st;
+        n
+    | t ->
+        fail st (Printf.sprintf "expected a type name but found %s"
+                   (Token.describe t))
+  in
+  let rec params acc =
+    match peek_tok st with
+    | Lower v ->
+        advance st;
+        params (v :: acc)
+    | _ -> List.rev acc
+  in
+  let type_params = params [] in
+  expect st Equals;
+  let rec con_decls acc =
+    let cname =
+      match peek_tok st with
+      | Upper c ->
+          advance st;
+          c
+      | t ->
+          fail st (Printf.sprintf "expected a constructor but found %s"
+                     (Token.describe t))
+    in
+    let rec fields fs =
+      match parse_ty_atom_opt st with
+      | Some f -> fields (f :: fs)
+      | None -> List.rev fs
+    in
+    let field_tys = fields [] in
+    Con_info.register st.cons cname (List.length field_tys);
+    let acc = (cname, field_tys) :: acc in
+    match peek_tok st with
+    | Pipe ->
+        advance st;
+        con_decls acc
+    | _ -> List.rev acc
+  in
+  let constructors = con_decls [] in
+  { Syntax.type_name; type_params; constructors }
+
+type decl = D_def of string * expr | D_data of Syntax.data_decl
+
+let parse_decl st : decl =
+  match peek_tok st with
+  | Kw_data -> D_data (parse_data st)
+  | _ ->
+      let name = binder st in
+      let rec params acc =
+        match peek_tok st with
+        | Equals ->
+            advance st;
+            List.rev acc
+        | _ -> params (binder st :: acc)
+      in
+      let ps = params [] in
+      let body = parse_expr st in
+      D_def (name, List.fold_right (fun x e -> Lam (x, e)) ps body)
+
+let make_state ?cons src =
+  let cons = match cons with Some c -> c | None -> Con_info.builtins () in
+  let toks =
+    try Lexer.tokenize src
+    with Lexer.Error (msg, line, col) -> raise (Error (msg, line, col))
+  in
+  { toks; cons }
+
+let parse_expr ?cons src =
+  let st = make_state ?cons src in
+  let e = parse_expr st in
+  (match peek_tok st with
+  | Eof -> ()
+  | t -> fail st (Printf.sprintf "trailing input: %s" (Token.describe t)));
+  e
+
+let parse_program ?cons src =
+  let st = make_state ?cons src in
+  let rec decls defs datas =
+    match peek_tok st with
+    | Eof -> (List.rev defs, List.rev datas)
+    | _ -> (
+        let d = parse_decl st in
+        (match peek_tok st with
+        | Semi -> advance st
+        | Eof -> ()
+        | t ->
+            fail st
+              (Printf.sprintf "expected ';' after declaration but found %s"
+                 (Token.describe t)));
+        match d with
+        | D_def (name, e) -> decls ((name, e) :: defs) datas
+        | D_data dd -> decls defs (dd :: datas))
+  in
+  let defs, datas = decls [] [] in
+  match List.assoc_opt "main" defs with
+  | None -> raise (Error ("program has no 'main' definition", 0, 0))
+  | Some _ -> { defs; datas; main = Var "main" }
+
+let expr_of_program { defs; main; datas = _ } =
+  match defs with [] -> main | _ -> Letrec (defs, main)

@@ -1,0 +1,38 @@
+(** Recursive-descent parser for the concrete syntax.
+
+    Grammar sketch (Haskell-flavoured):
+
+    {v
+    program ::= (decl ';')*                      -- must define main
+    decl    ::= 'data' Upper '=' conDecl ('|' conDecl)*
+              | lower param* '=' expr
+    expr    ::= '\' binder+ '->' expr
+              | 'let' ['rec'] binds 'in' expr
+              | 'case' expr 'of' '{' alt (';' alt)* '}'
+              | 'if' expr 'then' expr 'else' expr
+              | opexpr
+    opexpr  ::= operator expressions; precedence (loose to tight):
+                >>= >>   ||   &&   == /= < <= > >=   : ++   + -   * / %   .
+    aexpr   ::= var | Con | literal | '(' expr ')' | '(' e ',' e ')'
+              | '[' e, ... ']' | '(' op ')'
+    alt     ::= pat '->' expr
+    pat     ::= Con binder* | int | char | '_' | var | '[' ']'
+              | '(' binder ':' binder ')' | '(' binder ',' binder ')'
+    v}
+
+    [raise] and [fix] are prefix keywords at application level. Primitive
+    names ([seq], [negate], [mapException], [unsafeIsException], [chr],
+    [ord]) and partial constructor applications are eta-expanded when not
+    saturated. *)
+
+exception Error of string * int * int
+
+val parse_expr : ?cons:Con_info.t -> string -> Syntax.expr
+(** Parse a single expression. @raise Error on syntax errors. *)
+
+val parse_program : ?cons:Con_info.t -> string -> Syntax.program
+(** Parse a module: a sequence of declarations, one of which must bind
+    [main]. [data] declarations extend the constructor table in place. *)
+
+val expr_of_program : Syntax.program -> Syntax.expr
+(** Wrap the top-level definitions around [main] as one [Letrec]. *)

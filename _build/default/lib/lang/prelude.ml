@@ -1,0 +1,180 @@
+let source =
+  {|
+id x = x;
+const x y = x;
+compose f g x = f (g x);
+flip f x y = f y x;
+not b = if b then False else True;
+fst p = case p of { Pair a b -> a };
+snd p = case p of { Pair a b -> b };
+error s = raise (UserError s);
+assertTrue b v = if b then v else raise (AssertionFailed "assertTrue");
+
+append xs ys = case xs of { Nil -> ys; Cons z zs -> z : append zs ys };
+map f xs = case xs of { Nil -> []; Cons y ys -> f y : map f ys };
+filter p xs = case xs of
+  { Nil -> [];
+    Cons y ys -> if p y then y : filter p ys else filter p ys };
+foldr f z xs = case xs of { Nil -> z; Cons y ys -> f y (foldr f z ys) };
+foldl f z xs = case xs of { Nil -> z; Cons y ys -> foldl f (f z y) ys };
+length xs = case xs of { Nil -> 0; Cons y ys -> 1 + length ys };
+sum xs = foldl (+) 0 xs;
+product xs = foldl (*) 1 xs;
+head xs = case xs of
+  { Nil -> raise (PatternMatchFail "head"); Cons y ys -> y };
+tail xs = case xs of
+  { Nil -> raise (PatternMatchFail "tail"); Cons y ys -> ys };
+null xs = case xs of { Nil -> True; Cons y ys -> False };
+take n xs = if n <= 0 then []
+  else case xs of { Nil -> []; Cons y ys -> y : take (n - 1) ys };
+drop n xs = if n <= 0 then xs
+  else case xs of { Nil -> []; Cons y ys -> drop (n - 1) ys };
+replicate n x = if n <= 0 then [] else x : replicate (n - 1) x;
+repeat x = x : repeat x;
+iterate f x = x : iterate f (f x);
+reverse xs = foldl (flip (\y ys -> y : ys)) [] xs;
+concat xss = foldr append [] xss;
+zip xs ys = zipWith (\a b -> (a, b)) xs ys;
+zipWith f xs ys = case xs of
+  { Nil -> case ys of { Nil -> []; Cons b bs -> error "Unequal lists" };
+    Cons a as2 -> case ys of
+      { Nil -> error "Unequal lists";
+        Cons b bs -> f a b : zipWith f as2 bs } };
+index xs n = case xs of
+  { Nil -> raise (PatternMatchFail "index");
+    Cons y ys -> if n == 0 then y else index ys (n - 1) };
+elem x xs = case xs of
+  { Nil -> False; Cons y ys -> if x == y then True else elem x ys };
+all p xs = case xs of
+  { Nil -> True; Cons y ys -> if p y then all p ys else False };
+any p xs = case xs of
+  { Nil -> False; Cons y ys -> if p y then True else any p ys };
+enumFromTo lo hi = if lo > hi then [] else lo : enumFromTo (lo + 1) hi;
+maybe d f m = case m of { Nothing -> d; Just x -> f x };
+fromJust m = case m of
+  { Nothing -> raise (PatternMatchFail "fromJust"); Just x -> x };
+lookupInt k kvs = case kvs of
+  { Nil -> Nothing;
+    Cons p ps -> case p of
+      { Pair k2 v -> if k == k2 then Just v else lookupInt k ps } };
+forceList xs = case xs of
+  { Nil -> Nil; Cons y ys -> seq y (y : forceList ys) };
+forceSpine xs = case xs of { Nil -> Nil; Cons y ys -> y : forceSpine ys };
+
+takeWhile p xs = case xs of
+  { Nil -> [];
+    Cons y ys -> if p y then y : takeWhile p ys else [] };
+dropWhile p xs = case xs of
+  { Nil -> [];
+    Cons y ys -> if p y then dropWhile p ys else xs };
+span p xs = (takeWhile p xs, dropWhile p xs);
+splitAt n xs = (take n xs, drop n xs);
+last xs = case xs of
+  { Nil -> raise (PatternMatchFail "last");
+    Cons y ys -> case ys of { Nil -> y; Cons z zs -> last ys } };
+init xs = case xs of
+  { Nil -> raise (PatternMatchFail "init");
+    Cons y ys -> case ys of { Nil -> []; Cons z zs -> y : init ys } };
+concatMap f xs = concat (map f xs);
+intersperse sep xs = case xs of
+  { Nil -> [];
+    Cons y ys -> case ys of
+      { Nil -> [y]; Cons z zs -> y : sep : intersperse sep ys } };
+unfoldr f b = case f b of
+  { Nothing -> []; Just p -> case p of { Pair a b2 -> a : unfoldr f b2 } };
+scanl f z xs = z : (case xs of
+  { Nil -> []; Cons y ys -> scanl f (f z y) ys });
+minimum xs = case xs of
+  { Nil -> raise (PatternMatchFail "minimum");
+    Cons y ys -> foldl (\a b -> if a <= b then a else b) y ys };
+maximum xs = case xs of
+  { Nil -> raise (PatternMatchFail "maximum");
+    Cons y ys -> foldl (\a b -> if a >= b then a else b) y ys };
+andList bs = case bs of
+  { Nil -> True; Cons b rest -> if b then andList rest else False };
+orList bs = case bs of
+  { Nil -> False; Cons b rest -> if b then True else orList rest };
+count p xs = length (filter p xs);
+nubInt xs = case xs of
+  { Nil -> [];
+    Cons y ys -> y : nubInt (filter (\z -> z /= y) ys) };
+insertSorted x xs = case xs of
+  { Nil -> [x];
+    Cons y ys -> if x <= y then x : xs else y : insertSorted x ys };
+sortInt xs = foldr insertSorted [] xs;
+curry2 f a b = f (a, b);
+uncurry2 f p = case p of { Pair a b -> f a b };
+
+eqExn a b = case a of
+  { DivideByZero -> case b of { DivideByZero -> True; z -> False };
+    Overflow -> case b of { Overflow -> True; z -> False };
+    NonTermination -> case b of { NonTermination -> True; z -> False };
+    Interrupt -> case b of { Interrupt -> True; z -> False };
+    Timeout -> case b of { Timeout -> True; z -> False };
+    StackOverflow -> case b of { StackOverflow -> True; z -> False };
+    HeapExhaustion -> case b of { HeapExhaustion -> True; z -> False };
+    UserError s1 -> case b of { UserError s2 -> s1 == s2; z -> False };
+    TypeError s1 -> case b of { TypeError s2 -> s1 == s2; z -> False };
+    PatternMatchFail s1 ->
+      case b of { PatternMatchFail s2 -> s1 == s2; z -> False };
+    AssertionFailed s1 ->
+      case b of { AssertionFailed s2 -> s1 == s2; z -> False } };
+eqExVal eqV a b = case a of
+  { OK x -> case b of { OK y -> eqV x y; z -> False };
+    Bad e1 -> case b of { Bad e2 -> eqExn e1 e2; z -> False } };
+eqList eqV xs ys = case xs of
+  { Nil -> null ys;
+    Cons x xs2 -> case ys of
+      { Nil -> False;
+        Cons y ys2 -> if eqV x y then eqList eqV xs2 ys2 else False } };
+eqPair eqA eqB p q = case p of
+  { Pair a1 b1 -> case q of
+      { Pair a2 b2 -> if eqA a1 a2 then eqB b1 b2 else False } };
+eqMaybe eqV m1 m2 = case m1 of
+  { Nothing -> case m2 of { Nothing -> True; z -> False };
+    Just x -> case m2 of { Just y -> eqV x y; z -> False } };
+
+showIntRev n = if n < 10 then [chr (48 + n)]
+  else chr (48 + (n % 10)) : showIntRev (n / 10);
+showInt n = if n < 0 then chr 45 : reverse (showIntRev (0 - n))
+  else reverse (showIntRev n);
+showBool b = if b then [chr 84] else [chr 70];
+
+return x = Return x;
+getChar = GetChar;
+putChar c = PutChar c;
+getException v = GetException v;
+forkIO m = Fork m;
+newEmptyMVar = NewMVar;
+takeMVar r = TakeMVar r;
+putMVar r v = PutMVar r v;
+
+putList cs = case cs of
+  { Nil -> Return Unit;
+    Cons c cs2 -> PutChar c >>= \u -> putList cs2 };
+newline = chr 10;
+putLine cs = putList (append cs [newline]);
+putInt n = putList (showInt n);
+mapM f xs = case xs of
+  { Nil -> Return [];
+    Cons y ys -> f y >>= \r -> mapM f ys >>= \rs -> Return (r : rs) };
+mapM2 f xs = case xs of
+  { Nil -> Return Unit;
+    Cons y ys -> f y >>= \u -> mapM2 f ys };
+ioSeq ms = case ms of
+  { Nil -> Return Unit; Cons m rest -> m >>= \u -> ioSeq rest };
+|}
+
+let parsed =
+  lazy
+    (let prog_src = source ^ "\nmain = Return Unit;" in
+     let prog = Parser.parse_program prog_src in
+     List.filter (fun (n, _) -> not (String.equal n "main")) prog.Syntax.defs)
+
+let defs = Lazy.force parsed
+let names = List.map fst defs
+
+let wrap e = Syntax.Letrec (defs, e)
+
+let wrap_program (p : Syntax.program) =
+  wrap (Syntax.Letrec (p.defs, p.main))

@@ -1,0 +1,21 @@
+(** The standard Prelude, written in the object language itself.
+
+    Provides the list/boolean/pair/Maybe toolbox the paper's examples use
+    ([zipWith], [map], [foldr], ...), [error] defined via [raise] exactly as
+    in Section 3.1, and IO conveniences ([putList], [putStr], [showInt])
+    built from the primitive [PutChar]/[GetChar] constructors. *)
+
+val source : string
+(** Concrete syntax of the Prelude. *)
+
+val defs : (string * Syntax.expr) list
+(** The parsed Prelude bindings (parsed once, lazily). *)
+
+val names : string list
+
+val wrap : Syntax.expr -> Syntax.expr
+(** [wrap e] closes [e] under the Prelude: [letrec prelude in e]. User
+    bindings shadow Prelude ones. *)
+
+val wrap_program : Syntax.program -> Syntax.expr
+(** Prelude, then the program's definitions, then [main]. *)

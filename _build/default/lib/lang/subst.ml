@@ -1,0 +1,218 @@
+open Syntax
+module String_set = Set.Make (String)
+
+let rec free_vars = function
+  | Var x -> String_set.singleton x
+  | Lit _ -> String_set.empty
+  | Lam (x, e) -> String_set.remove x (free_vars e)
+  | App (e1, e2) -> String_set.union (free_vars e1) (free_vars e2)
+  | Con (_, es) | Prim (_, es) ->
+      List.fold_left
+        (fun acc e -> String_set.union acc (free_vars e))
+        String_set.empty es
+  | Case (e, alts) ->
+      List.fold_left
+        (fun acc a ->
+          let bound = String_set.of_list (pat_binders a.pat) in
+          String_set.union acc (String_set.diff (free_vars a.rhs) bound))
+        (free_vars e) alts
+  | Let (x, e1, e2) ->
+      String_set.union (free_vars e1) (String_set.remove x (free_vars e2))
+  | Letrec (binds, body) ->
+      let bound = String_set.of_list (List.map fst binds) in
+      let inner =
+        List.fold_left
+          (fun acc (_, e) -> String_set.union acc (free_vars e))
+          (free_vars body) binds
+      in
+      String_set.diff inner bound
+  | Raise e | Fix e -> free_vars e
+
+let is_free_in x e = String_set.mem x (free_vars e)
+
+let fresh ~avoid x =
+  if not (String_set.mem x avoid) then x
+  else
+    let base = match String.index_opt x '\'' with
+      | Some i -> String.sub x 0 i
+      | None -> x
+    in
+    let rec go i =
+      let cand = Printf.sprintf "%s'%d" base i in
+      if String_set.mem cand avoid then go (i + 1) else cand
+    in
+    go 0
+
+(* Simultaneous capture-avoiding substitution. [sub] maps variables to
+   replacement terms; binders that would capture a free variable of any
+   replacement are renamed. *)
+let rec subst_env (sub : expr Map.Make(String).t) (e : expr) : expr =
+  let module M = Map.Make (String) in
+  if M.is_empty sub then e
+  else
+    let fv_range =
+      M.fold (fun _ t acc -> String_set.union acc (free_vars t)) sub
+        String_set.empty
+    in
+    let rebind x inner_fvs =
+      (* Rename binder [x] if it captures; returns the new name and the
+         substitution restricted/extended appropriately. *)
+      let sub' = M.remove x sub in
+      if M.is_empty sub' then (x, sub')
+      else if String_set.mem x fv_range then
+        let avoid =
+          String_set.union fv_range (String_set.union inner_fvs
+            (M.fold (fun k _ acc -> String_set.add k acc) sub'
+               String_set.empty))
+        in
+        let x' = fresh ~avoid x in
+        (x', M.add x (Var x') sub')
+      else (x, sub')
+    in
+    match e with
+    | Var x -> ( match M.find_opt x sub with Some t -> t | None -> e)
+    | Lit _ -> e
+    | Lam (x, body) ->
+        let x', sub' = rebind x (free_vars body) in
+        Lam (x', subst_env sub' body)
+    | App (e1, e2) -> App (subst_env sub e1, subst_env sub e2)
+    | Con (c, es) -> Con (c, List.map (subst_env sub) es)
+    | Prim (p, es) -> Prim (p, List.map (subst_env sub) es)
+    | Raise e1 -> Raise (subst_env sub e1)
+    | Fix e1 -> Fix (subst_env sub e1)
+    | Case (scrut, alts) ->
+        let do_alt a =
+          match a.pat with
+          | Plit _ | Pany None -> { a with rhs = subst_env sub a.rhs }
+          | Pany (Some x) ->
+              let x', sub' = rebind x (free_vars a.rhs) in
+              { pat = Pany (Some x'); rhs = subst_env sub' a.rhs }
+          | Pcon (c, xs) ->
+              let rhs_fvs = free_vars a.rhs in
+              let xs', sub' =
+                List.fold_left
+                  (fun (acc, s) x ->
+                    let sub = s in
+                    let x', s' =
+                      let sub'0 = M.remove x sub in
+                      if M.is_empty sub'0 then (x, sub'0)
+                      else if String_set.mem x fv_range then
+                        let avoid =
+                          String_set.union fv_range
+                            (String_set.union rhs_fvs
+                               (String_set.union (String_set.of_list acc)
+                                  (String_set.of_list xs)))
+                        in
+                        let x' = fresh ~avoid x in
+                        (x', M.add x (Var x') sub'0)
+                      else (x, sub'0)
+                    in
+                    (acc @ [ x' ], s'))
+                  ([], sub) xs
+              in
+              { pat = Pcon (c, xs'); rhs = subst_env sub' a.rhs }
+        in
+        Case (subst_env sub scrut, List.map do_alt alts)
+    | Let (x, e1, e2) ->
+        let x', sub' = rebind x (free_vars e2) in
+        Let (x', subst_env sub e1, subst_env sub' e2)
+    | Letrec (binds, body) ->
+        let sub' =
+          List.fold_left (fun s (x, _) -> M.remove x s) sub binds
+        in
+        if M.is_empty sub' then e
+        else
+          let captured =
+            List.exists (fun (x, _) -> String_set.mem x fv_range) binds
+          in
+          if not captured then
+            Letrec
+              ( List.map (fun (x, e1) -> (x, subst_env sub' e1)) binds,
+                subst_env sub' body )
+          else
+            (* Rename the whole recursive group. *)
+            let avoid =
+              String_set.union fv_range
+                (List.fold_left
+                   (fun acc (_, e1) -> String_set.union acc (free_vars e1))
+                   (free_vars body) binds)
+            in
+            let renaming =
+              List.map (fun (x, _) -> (x, fresh ~avoid x)) binds
+            in
+            let rsub =
+              List.fold_left
+                (fun m (x, x') -> M.add x (Var x') m)
+                M.empty renaming
+            in
+            let binds' =
+              List.map2
+                (fun (_, e1) (_, x') -> (x', subst_env rsub e1))
+                binds renaming
+            in
+            Letrec
+              ( List.map (fun (x, e1) -> (x, subst_env sub' e1)) binds',
+                subst_env sub' (subst_env rsub body) )
+
+module M = Map.Make (String)
+
+let subst x s e = subst_env (M.singleton x s) e
+
+let subst_many pairs e =
+  let sub = List.fold_left (fun m (x, t) -> M.add x t m) M.empty pairs in
+  subst_env sub e
+
+let rename_bound e =
+  let counter = ref 0 in
+  let next () =
+    let n = !counter in
+    incr counter;
+    Printf.sprintf "_v%d" n
+  in
+  let rec go env e =
+    let lookup x = match M.find_opt x env with Some x' -> x' | None -> x in
+    match e with
+    | Var x -> Var (lookup x)
+    | Lit _ -> e
+    | Lam (x, body) ->
+        let x' = next () in
+        Lam (x', go (M.add x x' env) body)
+    | App (e1, e2) -> App (go env e1, go env e2)
+    | Con (c, es) -> Con (c, List.map (go env) es)
+    | Prim (p, es) -> Prim (p, List.map (go env) es)
+    | Raise e1 -> Raise (go env e1)
+    | Fix e1 -> Fix (go env e1)
+    | Case (scrut, alts) ->
+        let do_alt a =
+          match a.pat with
+          | Plit _ as p -> { pat = p; rhs = go env a.rhs }
+          | Pany None -> { pat = Pany None; rhs = go env a.rhs }
+          | Pany (Some x) ->
+              let x' = next () in
+              { pat = Pany (Some x'); rhs = go (M.add x x' env) a.rhs }
+          | Pcon (c, xs) ->
+              let xs' = List.map (fun _ -> next ()) xs in
+              let env' =
+                List.fold_left2
+                  (fun m x x' -> M.add x x' m)
+                  env xs xs'
+              in
+              { pat = Pcon (c, xs'); rhs = go env' a.rhs }
+        in
+        Case (go env scrut, List.map do_alt alts)
+    | Let (x, e1, e2) ->
+        let e1' = go env e1 in
+        let x' = next () in
+        Let (x', e1', go (M.add x x' env) e2)
+    | Letrec (binds, body) ->
+        let renaming = List.map (fun (x, _) -> (x, next ())) binds in
+        let env' =
+          List.fold_left (fun m (x, x') -> M.add x x' m) env renaming
+        in
+        Letrec
+          ( List.map2 (fun (_, e1) (_, x') -> (x', go env' e1)) binds renaming,
+            go env' body )
+  in
+  go M.empty e
+
+let alpha_equal a b = Syntax.equal (rename_bound a) (rename_bound b)

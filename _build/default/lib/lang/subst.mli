@@ -1,0 +1,30 @@
+(** Free variables, capture-avoiding substitution and alpha-equivalence.
+
+    The transformation engine (beta reduction, inlining, let-floating) is
+    built on these; correctness here is what makes the Section 4.5 law
+    experiments meaningful, so the operations are deliberately small and
+    heavily property-tested. *)
+
+module String_set : Stdlib.Set.S with type elt = string
+
+val free_vars : Syntax.expr -> String_set.t
+
+val is_free_in : string -> Syntax.expr -> bool
+
+val fresh : avoid:String_set.t -> string -> string
+(** [fresh ~avoid x] is [x] if unused, otherwise [x'0], [x'1], ... — the
+    first variant not in [avoid]. *)
+
+val subst : string -> Syntax.expr -> Syntax.expr -> Syntax.expr
+(** [subst x s e] is [e［s/x］], capture-avoiding (binders are renamed as
+    needed). *)
+
+val subst_many : (string * Syntax.expr) list -> Syntax.expr -> Syntax.expr
+(** Simultaneous capture-avoiding substitution. *)
+
+val alpha_equal : Syntax.expr -> Syntax.expr -> bool
+(** Equality up to renaming of bound variables. *)
+
+val rename_bound : Syntax.expr -> Syntax.expr
+(** Canonically rename every binder ([_v0], [_v1], ...) in traversal order;
+    [alpha_equal a b] iff [rename_bound a = rename_bound b]. *)

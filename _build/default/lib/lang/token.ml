@@ -1,0 +1,72 @@
+type t =
+  | Int of int
+  | Char of char
+  | String of string
+  | Lower of string
+  | Upper of string
+  | Kw_let
+  | Kw_rec
+  | Kw_and
+  | Kw_in
+  | Kw_case
+  | Kw_of
+  | Kw_if
+  | Kw_then
+  | Kw_else
+  | Kw_raise
+  | Kw_fix
+  | Kw_data
+  | Backslash
+  | Arrow
+  | Equals
+  | Semi
+  | Comma
+  | Underscore
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Pipe
+  | Op of string
+  | Eof
+
+type located = { tok : t; line : int; col : int }
+
+let describe = function
+  | Int n -> Printf.sprintf "integer %d" n
+  | Char c -> Printf.sprintf "character %C" c
+  | String s -> Printf.sprintf "string %S" s
+  | Lower s -> Printf.sprintf "identifier %s" s
+  | Upper s -> Printf.sprintf "constructor %s" s
+  | Kw_let -> "'let'"
+  | Kw_rec -> "'rec'"
+  | Kw_and -> "'and'"
+  | Kw_in -> "'in'"
+  | Kw_case -> "'case'"
+  | Kw_of -> "'of'"
+  | Kw_if -> "'if'"
+  | Kw_then -> "'then'"
+  | Kw_else -> "'else'"
+  | Kw_raise -> "'raise'"
+  | Kw_fix -> "'fix'"
+  | Kw_data -> "'data'"
+  | Backslash -> "'\\'"
+  | Arrow -> "'->'"
+  | Equals -> "'='"
+  | Semi -> "';'"
+  | Comma -> "','"
+  | Underscore -> "'_'"
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Lbrace -> "'{'"
+  | Rbrace -> "'}'"
+  | Lbracket -> "'['"
+  | Rbracket -> "']'"
+  | Pipe -> "'|'"
+  | Op s -> Printf.sprintf "operator %s" s
+  | Eof -> "end of input"
+
+let pp ppf t = Fmt.string ppf (describe t)
+let equal (a : t) (b : t) = a = b

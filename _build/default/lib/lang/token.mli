@@ -1,0 +1,42 @@
+(** Tokens of the concrete syntax, with source positions for error
+    reporting. *)
+
+type t =
+  | Int of int
+  | Char of char
+  | String of string
+  | Lower of string  (** lowercase identifier / keyword candidate *)
+  | Upper of string  (** capitalised identifier: a constructor *)
+  | Kw_let
+  | Kw_rec
+  | Kw_and
+  | Kw_in
+  | Kw_case
+  | Kw_of
+  | Kw_if
+  | Kw_then
+  | Kw_else
+  | Kw_raise
+  | Kw_fix
+  | Kw_data
+  | Backslash
+  | Arrow  (** [->] *)
+  | Equals
+  | Semi
+  | Comma
+  | Underscore
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Pipe
+  | Op of string  (** infix operator: [+ - * / % == /= < <= > >= : >>= >>] *)
+  | Eof
+
+type located = { tok : t; line : int; col : int }
+
+val pp : t Fmt.t
+val describe : t -> string
+val equal : t -> t -> bool

@@ -1,0 +1,1 @@
+lib/machine/machine_conc.ml: Buffer Fmt Hashtbl Lang List Option Result Semantics Stats Stg String

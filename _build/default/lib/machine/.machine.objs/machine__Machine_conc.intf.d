@@ -1,0 +1,1 @@
+lib/machine/machine_conc.mli: Fmt Lang Semantics Stats Stg

@@ -1,0 +1,1 @@
+lib/machine/machine_io.ml: Buffer Fmt Lang List Semantics Stats Stg String

@@ -1,0 +1,1 @@
+lib/machine/machine_io.mli: Fmt Lang Semantics Stats Stg

@@ -1,0 +1,1 @@
+lib/machine/stg.ml: Array Char Fmt Growarray Lang List Map Printf Semantics Stats Stdlib String

@@ -1,0 +1,1 @@
+lib/machine/stg.mli: Fmt Lang Semantics Stats

@@ -1,0 +1,11 @@
+(** A growable array — the machine's heap substrate (OCaml 5.1 predates
+    [Dynarray]). *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+val length : 'a t -> int
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val push : 'a t -> 'a -> int
+(** Append and return the new element's index. *)

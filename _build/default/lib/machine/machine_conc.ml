@@ -1,0 +1,249 @@
+open Lang.Syntax
+module Exn = Lang.Exn
+
+type outcome =
+  | Done of Semantics.Sem_value.deep
+  | Uncaught of Exn.t
+  | Deadlock
+  | Diverged
+  | Stuck of string
+
+type result = {
+  output : string;
+  outcome : outcome;
+  threads_spawned : int;
+  transitions : int;
+  stats : Stats.t;
+}
+
+let pp_outcome ppf = function
+  | Done d -> Fmt.pf ppf "Done %a" Semantics.Sem_value.pp_deep d
+  | Uncaught e -> Fmt.pf ppf "Uncaught %a" Exn.pp e
+  | Deadlock -> Fmt.string ppf "Deadlock"
+  | Diverged -> Fmt.string ppf "Diverged"
+  | Stuck msg -> Fmt.pf ppf "Stuck %S" msg
+
+type thread_state =
+  | Runnable of Stg.addr * Stg.addr list  (** IO value, continuations *)
+  | Blocked_take of int * Stg.addr list
+  | Blocked_put of int * Stg.addr * Stg.addr list
+  | Finished
+
+type thread = { tid : int; mutable state : thread_state }
+
+type mvar = {
+  mutable contents : Stg.addr option;
+  mutable take_waiters : int list;
+  mutable put_waiters : int list;
+}
+
+let run ?config ?(input = "") ?(max_transitions = 100_000) (e : expr) =
+  let m = Stg.create ?config () in
+  let buf = Buffer.create 64 in
+  let input_pos = ref 0 in
+  let threads : thread list ref = ref [] in
+  let next_tid = ref 0 in
+  let spawned = ref 0 in
+  let transitions = ref 0 in
+  let mvars : (int, mvar) Hashtbl.t = Hashtbl.create 8 in
+  let next_mvar = ref 0 in
+  let main_result : outcome option ref = ref None in
+
+  let new_thread addr conts =
+    let tid = !next_tid in
+    incr next_tid;
+    incr spawned;
+    let t = { tid; state = Runnable (addr, conts) } in
+    threads := !threads @ [ t ];
+    t
+  in
+  let main_thread = new_thread (Stg.alloc m e) [] in
+
+  let ret_value v =
+    Stg.alloc_value m (Stg.MCon (c_return, [ Stg.alloc_value m v ]))
+  in
+  let ret_addr a = Stg.alloc_value m (Stg.MCon (c_return, [ a ])) in
+  let unit_v = Stg.MCon (c_unit, []) in
+
+  let finish (t : thread) (value_addr : Stg.addr) =
+    if t.tid = main_thread.tid then
+      main_result := Some (Done (Stg.deep m value_addr));
+    t.state <- Finished
+  in
+  let die (t : thread) exn =
+    if t.tid = main_thread.tid then main_result := Some (Uncaught exn);
+    t.state <- Finished
+  in
+
+  let find_thread tid = List.find (fun t -> t.tid = tid) !threads in
+
+  let wake tid =
+    let t = find_thread tid in
+    match t.state with
+    | Blocked_take (mv, conts) -> (
+        let s = Hashtbl.find mvars mv in
+        match s.contents with
+        | Some v ->
+            s.contents <- None;
+            t.state <- Runnable (ret_addr v, conts)
+        | None -> ())
+    | Blocked_put (mv, v, conts) -> (
+        let s = Hashtbl.find mvars mv in
+        match s.contents with
+        | None ->
+            s.contents <- Some v;
+            t.state <- Runnable (ret_value unit_v, conts)
+        | Some _ -> ())
+    | Runnable _ | Finished -> ()
+  in
+
+  let pop_waiter waiters =
+    match List.rev waiters with
+    | [] -> (None, waiters)
+    | w :: _ -> (Some w, List.filter (fun x -> x <> w) waiters)
+  in
+
+  let as_mvar_id v =
+    match v with
+    | Stg.MCon (c, [ idt ]) when String.equal c "MVarRef" -> (
+        match Stg.force m idt with
+        | Ok (Stg.MInt id) -> Result.Ok id
+        | _ -> Result.Error "corrupt MVar reference")
+    | _ -> Result.Error "not an MVar"
+  in
+
+  let step (t : thread) =
+    match t.state with
+    | Finished | Blocked_take _ | Blocked_put _ -> ()
+    | Runnable (addr, conts) -> (
+        Stg.refuel m;
+        match Stg.force m addr with
+        | Error (Stg.Fail_exn exn) -> die t exn
+        | Error Stg.Fail_diverged -> die t Exn.Non_termination
+        | Error (Stg.Fail_async _) ->
+            main_result := Some (Stuck "async outside getException")
+        | Ok (Stg.MCon (c, [ v ])) when String.equal c c_return -> (
+            match conts with
+            | [] -> finish t v
+            | k :: rest -> (
+                match Stg.force m k with
+                | Ok (Stg.MClo _) ->
+                    t.state <- Runnable (Stg.alloc_app m k v, rest)
+                | Ok _ -> main_result := Some (Stuck ">>=: not a function")
+                | Error (Stg.Fail_exn exn) -> die t exn
+                | Error _ -> die t Exn.Non_termination))
+        | Ok (Stg.MCon (c, [ m1; k ])) when String.equal c c_bind ->
+            t.state <- Runnable (m1, k :: conts)
+        | Ok (Stg.MCon (c, [])) when String.equal c c_get_char ->
+            if !input_pos >= String.length input then
+              main_result := Some (Stuck "getChar: end of input")
+            else begin
+              let ch = input.[!input_pos] in
+              incr input_pos;
+              t.state <- Runnable (ret_value (Stg.MChar ch), conts)
+            end
+        | Ok (Stg.MCon (c, [ v ])) when String.equal c c_put_char -> (
+            match Stg.force m v with
+            | Ok (Stg.MChar ch) ->
+                Buffer.add_char buf ch;
+                t.state <- Runnable (ret_value unit_v, conts)
+            | Ok _ -> main_result := Some (Stuck "putChar: not a character")
+            | Error (Stg.Fail_exn exn) -> die t exn
+            | Error _ -> die t Exn.Non_termination)
+        | Ok (Stg.MCon (c, [ v ])) when String.equal c c_get_exception -> (
+            match Stg.force_catch m v with
+            | Ok _ ->
+                t.state <-
+                  Runnable
+                    (ret_value (Stg.MCon (c_ok, [ v ])), conts)
+            | Error (Stg.Fail_exn exn) | Error (Stg.Fail_async exn) ->
+                let ev = Stg.alloc_value m (Stg.exn_to_mvalue m exn) in
+                t.state <-
+                  Runnable (ret_value (Stg.MCon (c_bad, [ ev ])), conts)
+            | Error Stg.Fail_diverged ->
+                let ev =
+                  Stg.alloc_value m (Stg.exn_to_mvalue m Exn.Non_termination)
+                in
+                t.state <-
+                  Runnable (ret_value (Stg.MCon (c_bad, [ ev ])), conts))
+        | Ok (Stg.MCon (c, [ m1 ])) when String.equal c "Fork" ->
+            let _child = new_thread m1 [] in
+            t.state <- Runnable (ret_value unit_v, conts)
+        | Ok (Stg.MCon (c, [])) when String.equal c "NewMVar" ->
+            let id = !next_mvar in
+            incr next_mvar;
+            Hashtbl.replace mvars id
+              { contents = None; take_waiters = []; put_waiters = [] };
+            let idv = Stg.alloc_value m (Stg.MInt id) in
+            t.state <-
+              Runnable (ret_value (Stg.MCon ("MVarRef", [ idv ])), conts)
+        | Ok (Stg.MCon (c, [ r ])) when String.equal c "TakeMVar" -> (
+            match Stg.force m r with
+            | Ok rv -> (
+                match as_mvar_id rv with
+                | Result.Error msg -> die t (Exn.Type_error msg)
+                | Result.Ok id -> (
+                    let s = Hashtbl.find mvars id in
+                    match s.contents with
+                    | Some v ->
+                        s.contents <- None;
+                        let w, rest = pop_waiter s.put_waiters in
+                        s.put_waiters <- rest;
+                        Option.iter wake w;
+                        t.state <- Runnable (ret_addr v, conts)
+                    | None ->
+                        s.take_waiters <- t.tid :: s.take_waiters;
+                        t.state <- Blocked_take (id, conts)))
+            | Error (Stg.Fail_exn exn) -> die t exn
+            | Error _ -> die t Exn.Non_termination)
+        | Ok (Stg.MCon (c, [ r; v ])) when String.equal c "PutMVar" -> (
+            match Stg.force m r with
+            | Ok rv -> (
+                match as_mvar_id rv with
+                | Result.Error msg -> die t (Exn.Type_error msg)
+                | Result.Ok id -> (
+                    let s = Hashtbl.find mvars id in
+                    match s.contents with
+                    | None ->
+                        s.contents <- Some v;
+                        let w, rest = pop_waiter s.take_waiters in
+                        s.take_waiters <- rest;
+                        Option.iter wake w;
+                        t.state <- Runnable (ret_value unit_v, conts)
+                    | Some _ ->
+                        s.put_waiters <- t.tid :: s.put_waiters;
+                        t.state <- Blocked_put (id, v, conts)))
+            | Error (Stg.Fail_exn exn) -> die t exn
+            | Error _ -> die t Exn.Non_termination)
+        | Ok _ -> main_result := Some (Stuck "not an IO value"))
+  in
+
+  let rec scheduler () =
+    match !main_result with
+    | Some o -> o
+    | None ->
+        if !transitions >= max_transitions then Diverged
+        else
+          let runnable =
+            List.filter
+              (fun t -> match t.state with Runnable _ -> true | _ -> false)
+              !threads
+          in
+          if runnable = [] then Deadlock
+          else begin
+            List.iter
+              (fun t ->
+                incr transitions;
+                step t)
+              runnable;
+            scheduler ()
+          end
+  in
+  let outcome = scheduler () in
+  {
+    output = Buffer.contents buf;
+    outcome;
+    threads_spawned = !spawned;
+    transitions = !transitions;
+    stats = Stg.stats m;
+  }

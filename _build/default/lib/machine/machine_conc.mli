@@ -1,0 +1,36 @@
+(** Concurrency on the abstract machine: the implementation counterpart of
+    {!Semantics.Conc} (the Section 4.4 closing remark realised twice, so
+    the two layers can be tested against each other).
+
+    A round-robin scheduler over machine threads sharing one heap — so
+    thunks forced by one thread are updated for all (call-by-need sharing
+    across threads), and a thread abandoned mid-evaluation by an uncaught
+    exception leaves poisoned thunks that other threads observe
+    consistently. [forkIO], [MVar]s, per-thread [getException]. *)
+
+type outcome =
+  | Done of Semantics.Sem_value.deep  (** Main thread's result. *)
+  | Uncaught of Lang.Exn.t
+  | Deadlock
+  | Diverged
+  | Stuck of string
+
+type result = {
+  output : string;  (** All threads' writes, in global order. *)
+  outcome : outcome;
+  threads_spawned : int;
+  transitions : int;
+  stats : Stats.t;
+}
+
+val pp_outcome : outcome Fmt.t
+
+val run :
+  ?config:Stg.config ->
+  ?input:string ->
+  ?max_transitions:int ->
+  Lang.Syntax.expr ->
+  result
+(** Perform a closed [IO] expression with the concurrent machine
+    scheduler. The machine's step budget is refuelled at every
+    transition. *)

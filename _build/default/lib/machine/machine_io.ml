@@ -1,0 +1,127 @@
+open Lang.Syntax
+module Exn = Lang.Exn
+
+type outcome =
+  | Done of Semantics.Sem_value.deep
+  | Uncaught of Exn.t
+  | Io_diverged
+  | Stuck of string
+
+type result = {
+  output : string;
+  reads : int;
+  outcome : outcome;
+  stats : Stats.t;
+}
+
+let pp_outcome ppf = function
+  | Done d -> Fmt.pf ppf "Done %a" Semantics.Sem_value.pp_deep d
+  | Uncaught e -> Fmt.pf ppf "Uncaught %a" Exn.pp e
+  | Io_diverged -> Fmt.string ppf "Io_diverged"
+  | Stuck msg -> Fmt.pf ppf "Stuck %S" msg
+
+let run ?config ?(input = "") ?(async = []) ?(max_transitions = 100_000)
+    ?gc_every e =
+  let m = Stg.create ?config () in
+  List.iter (fun (k, x) -> Stg.inject_async m ~at_step:k x) async;
+  let buf = Buffer.create 64 in
+  let reads = ref 0 in
+  let main_addr = Stg.alloc m e in
+  (* Optional heap housekeeping between transitions: the only live
+     addresses are the current action and the pending continuations. *)
+  let maybe_gc a conts n =
+    match gc_every with
+    | Some k when k > 0 && n > 0 && n mod k = 0 -> (
+        match Stg.gc m ~roots:(a :: conts) with
+        | a' :: conts' -> (a', conts')
+        | [] -> assert false)
+    | _ -> (a, conts)
+  in
+  (* [conts] holds the pending Bind continuations (addresses of
+     functions); the loop realises the two structural rules of
+     Section 4.4. *)
+  let rec perform (a : Stg.addr) (conts : Stg.addr list) (n : int) :
+      outcome =
+    if n >= max_transitions then Io_diverged
+    else
+      let a, conts = maybe_gc a conts n in
+      match Stg.force m a with
+      | Error (Stg.Fail_exn exn) -> Uncaught exn
+      | Error Stg.Fail_diverged -> Io_diverged
+      | Error (Stg.Fail_async _) ->
+          (* force (no catch) never delivers async events. *)
+          Stuck "async event outside getException"
+      | Ok (Stg.MCon (c, [ t ])) when String.equal c c_return -> (
+          match conts with
+          | [] -> Done (Stg.deep m t)
+          | k :: rest -> (
+              match Stg.force m k with
+              | Ok (Stg.MClo _) ->
+                  (* Apply the continuation to the returned thunk by
+                     building a tiny application redex. *)
+                  perform (apply_thunk k t) rest (n + 1)
+              | Ok _ -> Stuck ">>=: continuation is not a function"
+              | Error (Stg.Fail_exn exn) -> Uncaught exn
+              | Error Stg.Fail_diverged -> Io_diverged
+              | Error (Stg.Fail_async _) ->
+                  Stuck "async event outside getException"))
+      | Ok (Stg.MCon (c, [ m1; k ])) when String.equal c c_bind ->
+          perform m1 (k :: conts) (n + 1)
+      | Ok (Stg.MCon (c, [])) when String.equal c c_get_char -> (
+          if !reads >= String.length input then Stuck "getChar: end of input"
+          else
+            let ch = input.[!reads] in
+            incr reads;
+            let ca = Stg.alloc_value m (Stg.MChar ch) in
+            let ret =
+              Stg.alloc_value m (Stg.MCon (c_return, [ ca ]))
+            in
+            match conts with
+            | _ -> perform ret conts (n + 1))
+      | Ok (Stg.MCon (c, [ t ])) when String.equal c c_put_char -> (
+          match Stg.force m t with
+          | Ok (Stg.MChar ch) ->
+              Buffer.add_char buf ch;
+              let ua = Stg.alloc_value m (Stg.MCon (c_unit, [])) in
+              let ret =
+                Stg.alloc_value m (Stg.MCon (c_return, [ ua ]))
+              in
+              perform ret conts (n + 1)
+          | Ok _ -> Stuck "putChar: not a character"
+          | Error (Stg.Fail_exn exn) -> Uncaught exn
+          | Error Stg.Fail_diverged -> Io_diverged
+          | Error (Stg.Fail_async _) ->
+              Stuck "async event outside getException")
+      | Ok (Stg.MCon (c, [ t ])) when String.equal c c_get_exception -> (
+          match Stg.force_catch m t with
+          | Ok v ->
+              let va = Stg.alloc_value m v in
+              let ok = Stg.alloc_value m (Stg.MCon (c_ok, [ va ])) in
+              let ret =
+                Stg.alloc_value m (Stg.MCon (c_return, [ ok ]))
+              in
+              perform ret conts (n + 1)
+          | Error (Stg.Fail_exn exn) | Error (Stg.Fail_async exn) ->
+              let ev = Stg.alloc_value m (Stg.exn_to_mvalue m exn) in
+              let bad =
+                Stg.alloc_value m (Stg.MCon (c_bad, [ ev ]))
+              in
+              let ret =
+                Stg.alloc_value m (Stg.MCon (c_return, [ bad ]))
+              in
+              perform ret conts (n + 1)
+          | Error Stg.Fail_diverged -> Io_diverged)
+      | Ok _ -> Stuck "not an IO value"
+
+  (* Build the application of continuation [k] (a function address) to the
+     thunk [t]: a fresh thunk for the redex [k t]. *)
+  and apply_thunk (k : Stg.addr) (t : Stg.addr) : Stg.addr =
+    Stg.alloc_app m k t
+  in
+  let outcome = perform main_addr [] 0 in
+  {
+    output = Buffer.contents buf;
+    reads = !reads;
+    outcome;
+    stats = Stg.stats m;
+  }

@@ -1,0 +1,41 @@
+(** The IO driver for the abstract machine: performs a machine value of
+    type [IO t], mirroring the operational rules of Section 4.4 but on the
+    real implementation.
+
+    Where the semantic layer ({!Semantics.Iosem}) picks a member of the
+    exception *set* through an oracle, the machine simply reports the
+    exception its stack-trimming evaluation encounters first — "the set of
+    exceptions associated with an exceptional value is represented by a
+    single member, namely the exception that happens to be encountered
+    first" (Section 3.5). Differential tests check that this member is in
+    the semantic set. *)
+
+type outcome =
+  | Done of Semantics.Sem_value.deep
+  | Uncaught of Lang.Exn.t
+  | Io_diverged
+  | Stuck of string
+
+type result = {
+  output : string;
+  reads : int;  (** Characters consumed from the input. *)
+  outcome : outcome;
+  stats : Stats.t;
+}
+
+val pp_outcome : outcome Fmt.t
+
+val run :
+  ?config:Stg.config ->
+  ?input:string ->
+  ?async:(int * Lang.Exn.t) list ->
+  ?max_transitions:int ->
+  ?gc_every:int ->
+  Lang.Syntax.expr ->
+  result
+(** Perform a closed expression of type [IO t] on a fresh machine.
+    [async] events are injected into the machine's schedule (delivered at
+    the first [getException] whose evaluation is running at or after the
+    given machine step). [gc_every] runs a heap collection every that many
+    IO transitions (roots: the current action and pending
+    continuations). *)

@@ -1,0 +1,45 @@
+type t = {
+  mutable steps : int;
+  mutable allocations : int;
+  mutable updates : int;
+  mutable max_stack : int;
+  mutable frames_trimmed : int;
+  mutable thunks_poisoned : int;
+  mutable thunks_paused : int;
+  mutable catches : int;
+  mutable collections : int;
+  mutable live_copied : int;
+}
+
+let create () =
+  {
+    steps = 0;
+    allocations = 0;
+    updates = 0;
+    max_stack = 0;
+    frames_trimmed = 0;
+    thunks_poisoned = 0;
+    thunks_paused = 0;
+    catches = 0;
+    collections = 0;
+    live_copied = 0;
+  }
+
+let reset t =
+  t.steps <- 0;
+  t.allocations <- 0;
+  t.updates <- 0;
+  t.max_stack <- 0;
+  t.frames_trimmed <- 0;
+  t.thunks_poisoned <- 0;
+  t.thunks_paused <- 0;
+  t.catches <- 0;
+  t.collections <- 0;
+  t.live_copied <- 0
+
+let pp ppf t =
+  Fmt.pf ppf
+    "steps=%d allocs=%d updates=%d max_stack=%d trimmed=%d poisoned=%d \
+     paused=%d catches=%d gcs=%d"
+    t.steps t.allocations t.updates t.max_stack t.frames_trimmed
+    t.thunks_poisoned t.thunks_paused t.catches t.collections

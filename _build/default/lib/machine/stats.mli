@@ -1,0 +1,24 @@
+(** Deterministic cost counters for the abstract machine — the currency of
+    the paper's efficiency claims (C6, C7): machine steps, heap
+    allocations, thunk updates, stack depth, frames trimmed by [raise],
+    catch frames pushed. *)
+
+type t = {
+  mutable steps : int;
+  mutable allocations : int;
+  mutable updates : int;
+  mutable max_stack : int;
+  mutable frames_trimmed : int;  (** Frames popped while unwinding. *)
+  mutable thunks_poisoned : int;
+      (** Thunks overwritten with [raise ex] during sync unwinding. *)
+  mutable thunks_paused : int;
+      (** Thunks overwritten with resumable pause cells (async). *)
+  mutable catches : int;
+  mutable collections : int;  (** Heap garbage collections run. *)
+  mutable live_copied : int;
+      (** Cells copied by collections (total survivors). *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val pp : t Fmt.t

@@ -1,0 +1,587 @@
+open Lang.Syntax
+module Exn = Lang.Exn
+module Env_map = Map.Make (String)
+
+type addr = int
+
+type mvalue =
+  | MInt of int
+  | MChar of char
+  | MString of string
+  | MCon of string * addr list
+  | MClo of string * expr * env
+
+and env = addr Env_map.t
+
+type cell =
+  | Cell_thunk of expr * env
+  | Cell_value of mvalue
+  | Cell_blackhole
+  | Cell_raise of Exn.t
+      (** Thunk poisoned by a synchronous unwinding (Section 3.3). *)
+  | Cell_paused of code * frame list
+      (** Resumable continuation left by an asynchronous unwinding
+          (Section 5.1): code to resume and the stack segment above the
+          thunk's update frame (top first). *)
+  | Cell_unused
+
+and code = C_eval of expr * env | C_enter of addr | C_ret of mvalue
+
+and frame =
+  | F_update of addr
+  | F_apply of addr
+  | F_case of alt list * env
+  | F_prim of Lang.Prim.t * mvalue list * expr list * env
+  | F_raise  (** Evaluating the argument of [raise]. *)
+  | F_mapexn of addr  (** [mapException]'s function, awaiting a raise. *)
+  | F_isexn
+  | F_unsafe_catch
+      (** Section 6's pure [unsafeGetException]: reify the outcome as an
+          ExVal right here, without the IO monad. *)
+
+type config = {
+  fuel : int;
+  int_bits : int;
+  blackhole_nontermination : bool;
+  poison_thunks : bool;
+}
+
+let default_config =
+  {
+    fuel = 2_000_000;
+    int_bits = 32;
+    blackhole_nontermination = false;
+    poison_thunks = true;
+  }
+
+type t = {
+  mutable heap : cell Growarray.t;
+  stats : Stats.t;
+  cfg : config;
+  mutable fuel_left : int;
+  mutable async : (int * Exn.t) list;
+}
+
+type failure =
+  | Fail_exn of Exn.t
+  | Fail_async of Exn.t
+  | Fail_diverged
+
+let pp_failure ppf = function
+  | Fail_exn e -> Fmt.pf ppf "raise %a" Exn.pp e
+  | Fail_async e -> Fmt.pf ppf "async %a" Exn.pp e
+  | Fail_diverged -> Fmt.string ppf "diverged"
+
+let create ?(config = default_config) () =
+  {
+    heap = Growarray.create ~dummy:Cell_unused ();
+    stats = Stats.create ();
+    cfg = config;
+    fuel_left = config.fuel;
+    async = [];
+  }
+
+let stats m = m.stats
+let heap_size m = Growarray.length m.heap
+
+let refuel m = m.fuel_left <- m.cfg.fuel
+
+let alloc_cell m cell =
+  m.stats.allocations <- m.stats.allocations + 1;
+  Growarray.push m.heap cell
+
+let alloc_value m v = alloc_cell m (Cell_value v)
+
+let alloc_in m env e =
+  (* Variables are already in the heap: avoid a fresh indirection. *)
+  match e with
+  | Var x when Env_map.mem x env -> Env_map.find x env
+  | _ -> alloc_cell m (Cell_thunk (e, env))
+
+let alloc m e = alloc_cell m (Cell_thunk (e, Env_map.empty))
+
+let alloc_app m f x =
+  let env = Env_map.add "$f" f (Env_map.add "$x" x Env_map.empty) in
+  alloc_cell m (Cell_thunk (App (Var "$f", Var "$x"), env))
+
+let inject_async m ~at_step e = m.async <- m.async @ [ (at_step, e) ]
+
+let exn_to_mvalue m (e : Exn.t) : mvalue =
+  let name = Exn.constructor_name e in
+  match e with
+  | Exn.Pattern_match_fail s | Exn.Assertion_failed s | Exn.User_error s
+  | Exn.Type_error s ->
+      MCon (name, [ alloc_value m (MString s) ])
+  | _ -> MCon (name, [])
+
+exception Machine_stuck of failure
+
+(* The machine loop. [catch] marks the bottom of this run's stack as a
+   getException catch mark: synchronous raises and asynchronous events
+   that unwind all the way down are returned as [Error]. *)
+let rec run (m : t) ~(catch : bool) (code0 : code) : (mvalue, failure) result
+    =
+  let stack : frame list ref = ref [] in
+  let depth = ref 0 in
+  let code = ref code0 in
+  let push f =
+    stack := f :: !stack;
+    incr depth;
+    if !depth > m.stats.max_stack then m.stats.max_stack <- !depth
+  in
+  let pop_to rest =
+    stack := rest;
+    decr depth
+  in
+  let type_error msg = raise (Machine_stuck (Fail_exn (Exn.Type_error msg))) in
+
+  (* Synchronous unwinding: trim to the mark, poisoning update frames
+     (Section 3.3). Returns [Some code'] to continue executing, or [None]
+     when the stack is fully unwound (the failure reaches the caller). *)
+  let rec unwind_sync (exn : Exn.t) : code option =
+    match !stack with
+    | [] -> raise (Machine_stuck (Fail_exn exn))
+    | f :: rest -> (
+        pop_to rest;
+        m.stats.frames_trimmed <- m.stats.frames_trimmed + 1;
+        match f with
+        | F_update a ->
+            (* Section 3.3 (footnote 3): the abandoned thunk must be
+               overwritten with [raise ex]. The [poison_thunks] ablation
+               leaves the black hole behind instead, reproducing the bug
+               the paper warns about: re-evaluation then sees a black
+               hole, not the exception. *)
+            if m.cfg.poison_thunks then begin
+              Growarray.set m.heap a (Cell_raise exn);
+              m.stats.thunks_poisoned <- m.stats.thunks_poisoned + 1
+            end;
+            unwind_sync exn
+        | F_isexn ->
+            (* unsafeIsException observes the raise and answers True. *)
+            Some (C_ret (MCon (c_true, [])))
+        | F_unsafe_catch ->
+            Some
+              (C_ret
+                 (MCon (c_bad, [ alloc_value m (exn_to_mvalue m exn) ])))
+        | F_mapexn f_addr -> (
+            (* Transform the representative exception by applying the
+               mapped function in a nested run, then keep unwinding with
+               the transformed exception (Section 5.4). *)
+            let e_addr = alloc_value m (exn_to_mvalue m exn) in
+            let app =
+              App (Var "$mapexn_f", Var "$mapexn_e")
+            in
+            let env =
+              Env_map.add "$mapexn_f" f_addr
+                (Env_map.add "$mapexn_e" e_addr Env_map.empty)
+            in
+            let a = alloc_cell m (Cell_thunk (app, env)) in
+            match run m ~catch:false (C_enter a) with
+            | Ok v -> (
+                match mvalue_to_exn m v with
+                | Ok exn' -> unwind_sync exn'
+                | Error msg ->
+                    unwind_sync (Exn.Type_error ("mapException: " ^ msg)))
+            | Error (Fail_exn exn') -> unwind_sync exn'
+            | Error (Fail_async _ | Fail_diverged) ->
+                raise (Machine_stuck Fail_diverged))
+        | F_apply _ | F_case _ | F_prim _ | F_raise -> unwind_sync exn)
+  in
+
+  (* Asynchronous unwinding (Section 5.1): pause cells instead of poison,
+     so the abandoned work is resumable. The segment saved with each thunk
+     is the stack slice above its update frame, top first. *)
+  let unwind_async (exn : Exn.t) : 'a =
+    let rec go cur_code buf st =
+      match st with
+      | [] ->
+          stack := [];
+          depth := 0;
+          raise (Machine_stuck (Fail_async exn))
+      | F_update a :: rest ->
+          Growarray.set m.heap a (Cell_paused (cur_code, List.rev buf));
+          m.stats.thunks_paused <- m.stats.thunks_paused + 1;
+          go (C_enter a) [] rest
+      | f :: rest -> go cur_code (f :: buf) rest
+    in
+    go !code [] !stack
+  in
+
+  let pending_async () =
+    if not catch then None
+    else
+      match m.async with
+      | (k, x) :: rest when m.stats.steps >= k ->
+          m.async <- rest;
+          Some x
+      | _ -> None
+  in
+
+  let arith n =
+    let bound = 1 lsl (m.cfg.int_bits - 1) in
+    if n >= -bound && n < bound then C_ret (MInt n)
+    else
+      match unwind_sync Exn.Overflow with
+      | Some c -> c
+      | None -> assert false
+  in
+
+  let raise_to_code exn =
+    match unwind_sync exn with Some c -> c | None -> assert false
+  in
+
+  let mbool b = MCon ((if b then c_true else c_false), []) in
+
+  let apply_prim (p : Lang.Prim.t) (vs : mvalue list) : code =
+    let module P = Lang.Prim in
+    let int2 k =
+      match vs with
+      | [ MInt a; MInt b ] -> k a b
+      | _ -> type_error (P.name p ^ ": expected integers")
+    in
+    let cmp k =
+      match vs with
+      | [ MInt a; MInt b ] -> C_ret (mbool (k (Stdlib.compare a b)))
+      | [ MChar a; MChar b ] -> C_ret (mbool (k (Stdlib.compare a b)))
+      | [ MString a; MString b ] -> C_ret (mbool (k (String.compare a b)))
+      | [ MCon (a, []); MCon (b, []) ] ->
+          C_ret (mbool (k (String.compare a b)))
+      | _ -> type_error (P.name p ^ ": uncomparable values")
+    in
+    match p with
+    | P.Add -> int2 (fun a b -> arith (a + b))
+    | P.Sub -> int2 (fun a b -> arith (a - b))
+    | P.Mul -> int2 (fun a b -> arith (a * b))
+    | P.Div ->
+        int2 (fun a b ->
+            if b = 0 then raise_to_code Exn.Divide_by_zero
+            else arith (a / b))
+    | P.Mod ->
+        int2 (fun a b ->
+            if b = 0 then raise_to_code Exn.Divide_by_zero
+            else arith (a mod b))
+    | P.Neg -> (
+        match vs with
+        | [ MInt a ] -> arith (-a)
+        | _ -> type_error "negate: expected an integer")
+    | P.Eq -> cmp (fun c -> c = 0)
+    | P.Ne -> cmp (fun c -> c <> 0)
+    | P.Lt -> cmp (fun c -> c < 0)
+    | P.Le -> cmp (fun c -> c <= 0)
+    | P.Gt -> cmp (fun c -> c > 0)
+    | P.Ge -> cmp (fun c -> c >= 0)
+    | P.Seq -> (
+        match vs with
+        | [ _; v2 ] -> C_ret v2
+        | _ -> type_error "seq: arity")
+    | P.Chr -> (
+        match vs with
+        | [ MInt a ] when a >= 0 && a < 256 -> C_ret (MChar (Char.chr a))
+        | [ MInt _ ] -> type_error "chr: out of range"
+        | _ -> type_error "chr: expected an integer")
+    | P.Ord -> (
+        match vs with
+        | [ MChar c ] -> C_ret (MInt (Char.code c))
+        | _ -> type_error "ord: expected a character")
+    | P.Map_exception | P.Unsafe_is_exception | P.Unsafe_get_exception ->
+        (* Handled at C_eval via dedicated frames. *)
+        type_error (P.name p ^ ": not strict-applied")
+  in
+
+  let select_alt (v : mvalue) alts env =
+    let matches a =
+      match (a.pat, v) with
+      | Pcon (c, xs), MCon (c', addrs)
+        when String.equal c c' && List.length xs = List.length addrs ->
+          Some
+            ( List.fold_left2
+                (fun acc x ad -> Env_map.add x ad acc)
+                env xs addrs,
+              a.rhs )
+      | Plit (Lit_int n), MInt mv when n = mv -> Some (env, a.rhs)
+      | Plit (Lit_char c), MChar c' when c = c' -> Some (env, a.rhs)
+      | Plit (Lit_string s), MString s' when String.equal s s' ->
+          Some (env, a.rhs)
+      | Pany None, _ -> Some (env, a.rhs)
+      | Pany (Some x), _ -> Some (Env_map.add x (alloc_value m v) env, a.rhs)
+      | (Pcon _ | Plit _), _ -> None
+    in
+    List.find_map matches alts
+  in
+
+  let step () : unit =
+    m.stats.steps <- m.stats.steps + 1;
+    m.fuel_left <- m.fuel_left - 1;
+    if m.fuel_left <= 0 then raise (Machine_stuck Fail_diverged);
+    (match pending_async () with
+    | Some x -> unwind_async x
+    | None -> ());
+    match !code with
+    | C_enter a -> (
+        match Growarray.get m.heap a with
+        | Cell_value v -> code := C_ret v
+        | Cell_thunk (e, env) ->
+            Growarray.set m.heap a Cell_blackhole;
+            push (F_update a);
+            code := C_eval (e, env)
+        | Cell_blackhole ->
+            (* Section 5.2: a detectable bottom. *)
+            if m.cfg.blackhole_nontermination then
+              code := raise_to_code Exn.Non_termination
+            else raise (Machine_stuck Fail_diverged)
+        | Cell_raise exn ->
+            (* A poisoned thunk: re-raise the same exception. *)
+            code := raise_to_code exn
+        | Cell_paused (code', seg) ->
+            (* Resume the interrupted evaluation (Section 5.1). *)
+            Growarray.set m.heap a Cell_blackhole;
+            push (F_update a);
+            List.iter push (List.rev seg);
+            code := code'
+        | Cell_unused -> type_error "dangling address")
+    | C_eval (e, env) -> (
+        match e with
+        | Var x -> (
+            match Env_map.find_opt x env with
+            | Some a -> code := C_enter a
+            | None ->
+                code :=
+                  raise_to_code
+                    (Exn.Type_error (Printf.sprintf "unbound variable %s" x)))
+        | Lit (Lit_int n) -> code := C_ret (MInt n)
+        | Lit (Lit_char c) -> code := C_ret (MChar c)
+        | Lit (Lit_string s) -> code := C_ret (MString s)
+        | Lam (x, body) -> code := C_ret (MClo (x, body, env))
+        | App (f, a) ->
+            let a_addr = alloc_in m env a in
+            push (F_apply a_addr);
+            code := C_eval (f, env)
+        | Con (c, es) ->
+            let addrs = List.map (alloc_in m env) es in
+            code := C_ret (MCon (c, addrs))
+        | Let (x, e1, e2) ->
+            let a = alloc_in m env e1 in
+            code := C_eval (e2, Env_map.add x a env)
+        | Letrec (binds, body) ->
+            (* Reserve the cells, then tie the knot through the shared
+               environment. *)
+            let addrs =
+              List.map (fun _ -> alloc_cell m Cell_unused) binds
+            in
+            let env' =
+              List.fold_left2
+                (fun acc (x, _) a -> Env_map.add x a acc)
+                env binds addrs
+            in
+            List.iter2
+              (fun (_, e1) a ->
+                Growarray.set m.heap a (Cell_thunk (e1, env')))
+              binds addrs;
+            code := C_eval (body, env')
+        | Fix e1 ->
+            (* fix e  ≡  letrec x = e x in x *)
+            let a = alloc_cell m Cell_unused in
+            let env' = Env_map.add "$fix" a env in
+            Growarray.set m.heap a
+              (Cell_thunk (App (e1, Var "$fix"), env'));
+            code := C_enter a
+        | Raise e1 ->
+            push F_raise;
+            code := C_eval (e1, env)
+        | Prim (Lang.Prim.Map_exception, [ f; v ]) ->
+            let f_addr = alloc_in m env f in
+            push (F_mapexn f_addr);
+            code := C_eval (v, env)
+        | Prim (Lang.Prim.Unsafe_is_exception, [ v ]) ->
+            push F_isexn;
+            code := C_eval (v, env)
+        | Prim (Lang.Prim.Unsafe_get_exception, [ v ]) ->
+            push F_unsafe_catch;
+            code := C_eval (v, env)
+        | Prim (p, arg :: rest) ->
+            push (F_prim (p, [], rest, env));
+            code := C_eval (arg, env)
+        | Prim (p, []) -> type_error (Lang.Prim.name p ^ ": no arguments")
+        | Case (scrut, alts) ->
+            push (F_case (alts, env));
+            code := C_eval (scrut, env))
+    | C_ret v -> (
+        match !stack with
+        | [] ->
+            (* Handled by the caller of [step]. *)
+            assert false
+        | f :: rest -> (
+            pop_to rest;
+            match f with
+            | F_update a ->
+                Growarray.set m.heap a (Cell_value v);
+                m.stats.updates <- m.stats.updates + 1
+            | F_apply a -> (
+                match v with
+                | MClo (x, body, cenv) ->
+                    code := C_eval (body, Env_map.add x a cenv)
+                | MInt _ | MChar _ | MString _ | MCon _ ->
+                    type_error "application of a non-function")
+            | F_case (alts, env) -> (
+                match select_alt v alts env with
+                | Some (env', rhs) -> code := C_eval (rhs, env')
+                | None ->
+                    code := raise_to_code (Exn.Pattern_match_fail "case"))
+            | F_prim (p, done_, remaining, env) -> (
+                let done' = done_ @ [ v ] in
+                match remaining with
+                | [] -> code := apply_prim p done'
+                | next :: rest' ->
+                    push (F_prim (p, done', rest', env));
+                    code := C_eval (next, env))
+            | F_raise -> (
+                match mvalue_to_exn m v with
+                | Ok exn -> code := raise_to_code exn
+                | Error msg ->
+                    code := raise_to_code (Exn.Type_error ("raise: " ^ msg)))
+            | F_mapexn _ ->
+                (* The protected value was normal: mapException is the
+                   identity. *)
+                code := C_ret v
+            | F_isexn -> code := C_ret (mbool false)
+            | F_unsafe_catch ->
+                code := C_ret (MCon (c_ok, [ alloc_value m v ]))))
+  in
+  try
+    let rec loop () =
+      match (!code, !stack) with
+      | C_ret v, [] -> Ok v
+      | _ ->
+          step ();
+          loop ()
+    in
+    loop ()
+  with Machine_stuck failure -> Error failure
+
+(* Interpret a WHNF machine value as an exception constant; forces the
+   payload in a nested run. *)
+and mvalue_to_exn (m : t) (v : mvalue) : (Exn.t, string) result =
+  match v with
+  | MCon (name, args) -> (
+      let payload =
+        match args with
+        | [] -> Ok None
+        | [ a ] -> (
+            match run m ~catch:false (C_enter a) with
+            | Ok (MString s) -> Ok (Some s)
+            | Ok _ -> Error "exception payload is not a string"
+            | Error _ -> Error "exception payload failed to evaluate")
+        | _ -> Error "exception constructor arity"
+      in
+      match payload with
+      | Error _ as e -> e
+      | Ok p -> (
+          match Exn.of_constructor name p with
+          | Some e -> Ok e
+          | None -> Error (name ^ " is not an exception constructor")))
+  | MInt _ | MChar _ | MString _ | MClo _ -> Error "not an exception value"
+
+let force m a = run m ~catch:false (C_enter a)
+
+let force_catch m a =
+  m.stats.catches <- m.stats.catches + 1;
+  run m ~catch:true (C_enter a)
+
+type deep_result = DV of Semantics.Sem_value.deep | DFail of failure
+
+module SV = Semantics.Sem_value
+
+let rec deep ?(depth = 64) m a : SV.deep =
+  if depth <= 0 then SV.DCut
+  else
+    match force m a with
+    | Error (Fail_exn e) -> SV.DBad (Semantics.Exn_set.singleton e)
+    | Error (Fail_async e) -> SV.DBad (Semantics.Exn_set.singleton e)
+    | Error Fail_diverged -> SV.DBad Semantics.Exn_set.bottom
+    | Ok v -> (
+        match v with
+        | MInt n -> SV.DInt n
+        | MChar c -> SV.DChar c
+        | MString s -> SV.DString s
+        | MClo _ -> SV.DFun
+        | MCon (c, addrs) ->
+            SV.DCon (c, List.map (fun a' -> deep ~depth:(depth - 1) m a') addrs))
+
+let run_expr ?config e =
+  let m = create ?config () in
+  let a = alloc m e in
+  let r = force m a in
+  (r, m.stats)
+
+let run_deep ?config ?depth e =
+  let m = create ?config () in
+  let a = alloc m e in
+  let d = deep ?depth m a in
+  (d, m.stats)
+
+
+(* ------------------------------------------------------------------ *)
+(* Garbage collection: a semi-space copying collector over the cell    *)
+(* heap. Roots are the addresses the caller still holds; the machine   *)
+(* must be between runs (no live stack). Returns the relocated roots   *)
+(* in order.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let gc (m : t) ~(roots : addr list) : addr list =
+  let old_heap = m.heap in
+  let old_len = Growarray.length old_heap in
+  let new_heap = Growarray.create ~capacity:(max 16 old_len) ~dummy:Cell_unused () in
+  let forward = Array.make (max 1 old_len) (-1) in
+  (* Cheney-style: copy the cell shell first, then scan and rewrite. *)
+  let rec copy (a : addr) : addr =
+    if a < 0 || a >= old_len then a
+    else if forward.(a) >= 0 then forward.(a)
+    else begin
+      let a' = Growarray.push new_heap (Growarray.get old_heap a) in
+      forward.(a) <- a';
+      (* Depth-first rewrite of the freshly copied cell. OCaml's own
+         stack bounds recursion depth; heaps here are small enough, and
+         long list spines alternate through env maps which are copied
+         breadth-ish via [copy_env]. *)
+      Growarray.set new_heap a' (copy_cell (Growarray.get old_heap a));
+      a'
+    end
+
+  and copy_env (env : env) : env = Env_map.map copy env
+
+  and copy_value = function
+    | (MInt _ | MChar _ | MString _) as v -> v
+    | MCon (c, addrs) -> MCon (c, List.map copy addrs)
+    | MClo (x, body, env) -> MClo (x, body, copy_env env)
+
+  and copy_code = function
+    | C_eval (e, env) -> C_eval (e, copy_env env)
+    | C_enter a -> C_enter (copy a)
+    | C_ret v -> C_ret (copy_value v)
+
+  and copy_frame = function
+    | F_update a -> F_update (copy a)
+    | F_apply a -> F_apply (copy a)
+    | F_case (alts, env) -> F_case (alts, copy_env env)
+    | F_prim (p, done_, rest, env) ->
+        F_prim (p, List.map copy_value done_, rest, copy_env env)
+    | F_raise -> F_raise
+    | F_mapexn a -> F_mapexn (copy a)
+    | F_isexn -> F_isexn
+    | F_unsafe_catch -> F_unsafe_catch
+
+  and copy_cell = function
+    | Cell_thunk (e, env) -> Cell_thunk (e, copy_env env)
+    | Cell_value v -> Cell_value (copy_value v)
+    | Cell_blackhole -> Cell_blackhole
+    | Cell_raise e -> Cell_raise e
+    | Cell_paused (code, frames) ->
+        Cell_paused (copy_code code, List.map copy_frame frames)
+    | Cell_unused -> Cell_unused
+  in
+  let roots' = List.map copy roots in
+  m.heap <- new_heap;
+  m.stats.collections <- m.stats.collections + 1;
+  m.stats.live_copied <-
+    m.stats.live_copied + Growarray.length new_heap;
+  roots'

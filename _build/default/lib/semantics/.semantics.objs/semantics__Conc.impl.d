@@ -1,0 +1,1 @@
+lib/semantics/conc.ml: Buffer Denot Fmt Hashtbl Lang List Oracle Result Sem_value String

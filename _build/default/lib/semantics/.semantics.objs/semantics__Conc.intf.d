@@ -1,0 +1,1 @@
+lib/semantics/conc.mli: Denot Fmt Lang Oracle Sem_value

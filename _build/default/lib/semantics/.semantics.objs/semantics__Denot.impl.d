@@ -1,0 +1,1 @@
+lib/semantics/denot.ml: Char Exn_set Lang List Map Printf Sem_value Stdlib String

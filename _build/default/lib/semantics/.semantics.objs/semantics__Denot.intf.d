@@ -1,0 +1,1 @@
+lib/semantics/denot.mli: Exn_set Lang Sem_value

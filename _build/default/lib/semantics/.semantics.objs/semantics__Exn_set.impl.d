@@ -1,0 +1,1 @@
+lib/semantics/exn_set.ml: Fmt Lang

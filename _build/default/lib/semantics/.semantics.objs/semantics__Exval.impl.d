@@ -1,0 +1,1 @@
+lib/semantics/exval.ml: Exn_set Lang List Printf Sem_value String

@@ -1,0 +1,1 @@
+lib/semantics/exval.mli: Lang Sem_value

@@ -1,0 +1,1 @@
+lib/semantics/fixed.ml: Char Exn_set Fmt Int64 Lang List Map Printf Sem_value Stdlib String

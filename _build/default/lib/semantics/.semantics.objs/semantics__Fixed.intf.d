@@ -1,0 +1,1 @@
+lib/semantics/fixed.mli: Fmt Lang Sem_value

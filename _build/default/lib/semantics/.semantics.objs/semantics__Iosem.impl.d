@@ -1,0 +1,1 @@
+lib/semantics/iosem.ml: Buffer Denot Exn_set Fmt Lang List Oracle Sem_value String

@@ -1,0 +1,1 @@
+lib/semantics/iosem.mli: Denot Fmt Lang Oracle Sem_value

@@ -1,0 +1,1 @@
+lib/semantics/oracle.ml: Exn_set Int64 Lang List

@@ -1,0 +1,1 @@
+lib/semantics/oracle.mli: Exn_set Lang

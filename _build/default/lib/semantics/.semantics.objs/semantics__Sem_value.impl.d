@@ -1,0 +1,1 @@
+lib/semantics/sem_value.ml: Exn_set Fmt Lang List Printf Result String

@@ -1,0 +1,1 @@
+lib/semantics/sem_value.mli: Exn_set Fmt Lang

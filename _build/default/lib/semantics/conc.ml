@@ -1,0 +1,328 @@
+open Lang.Syntax
+open Sem_value
+module Exn = Lang.Exn
+
+type event =
+  | E_write of int * char
+  | E_read of int * char
+  | E_fork of int * int
+  | E_block of int
+  | E_wake of int
+  | E_thread_done of int
+  | E_thread_died of int * Exn.t
+
+type outcome =
+  | Done of deep
+  | Uncaught of Exn.t
+  | Deadlock
+  | Diverged
+  | Stuck of string
+
+type result = {
+  trace : event list;
+  outcome : outcome;
+  threads_spawned : int;
+  context_switches : int;
+}
+
+let pp_event ppf = function
+  | E_write (t, c) -> Fmt.pf ppf "t%d!%C" t c
+  | E_read (t, c) -> Fmt.pf ppf "t%d?%C" t c
+  | E_fork (p, c) -> Fmt.pf ppf "t%d forks t%d" p c
+  | E_block t -> Fmt.pf ppf "t%d blocks" t
+  | E_wake t -> Fmt.pf ppf "t%d wakes" t
+  | E_thread_done t -> Fmt.pf ppf "t%d done" t
+  | E_thread_died (t, e) -> Fmt.pf ppf "t%d died: %a" t Exn.pp e
+
+let pp_outcome ppf = function
+  | Done d -> Fmt.pf ppf "Done %a" pp_deep d
+  | Uncaught e -> Fmt.pf ppf "Uncaught %a" Exn.pp e
+  | Deadlock -> Fmt.string ppf "Deadlock"
+  | Diverged -> Fmt.string ppf "Diverged"
+  | Stuck msg -> Fmt.pf ppf "Stuck %S" msg
+
+(* Thread and MVar bookkeeping. *)
+
+type thread_state =
+  | Runnable of thunk * thunk list  (** IO value, Bind continuations *)
+  | Blocked_take of int * thunk list
+  | Blocked_put of int * thunk * thunk list
+      (** mvar, value to deposit, conts *)
+  | Finished
+
+type thread = { tid : int; mutable state : thread_state }
+
+type mvar = {
+  mutable contents : thunk option;
+  mutable take_waiters : int list;  (** FIFO: oldest last *)
+  mutable put_waiters : int list;
+}
+
+let mvar_con = "MVarRef"
+
+let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
+    ?(input = "") ?(max_steps = 200_000) (e : expr) =
+  let trace_rev = ref [] in
+  let emit ev = trace_rev := ev :: !trace_rev in
+  let threads : thread list ref = ref [] in
+  let next_tid = ref 0 in
+  let spawned = ref 0 in
+  let switches = ref 0 in
+  let mvars : (int, mvar) Hashtbl.t = Hashtbl.create 8 in
+  let next_mvar = ref 0 in
+  let input_pos = ref 0 in
+  let main_result : (outcome option) ref = ref None in
+
+  let new_thread m_thunk conts =
+    let tid = !next_tid in
+    incr next_tid;
+    incr spawned;
+    let t = { tid; state = Runnable (m_thunk, conts) } in
+    threads := !threads @ [ t ];
+    t
+  in
+
+  let fuel_handle = Denot.handle config in
+  let main_thread =
+    new_thread
+      (delay (fun () -> Denot.eval_in fuel_handle Denot.empty_env e))
+      []
+  in
+
+  let return_thunk w = from_whnf (Ok_v (VCon (c_return, [ from_whnf w ]))) in
+
+  let finish (t : thread) (value : thunk) =
+    emit (E_thread_done t.tid);
+    if t.tid = main_thread.tid then
+      main_result := Some (Done (deep_force ~depth:64 value));
+    t.state <- Finished
+  in
+
+  let die (t : thread) (exn : Exn.t) =
+    if t.tid = main_thread.tid then main_result := Some (Uncaught exn)
+    else emit (E_thread_died (t.tid, exn));
+    t.state <- Finished
+  in
+
+  let find_thread tid = List.find (fun t -> t.tid = tid) !threads in
+
+  let wake tid =
+    let t = find_thread tid in
+    (match t.state with
+    | Blocked_take (mv, conts) -> (
+        let m = Hashtbl.find mvars mv in
+        match m.contents with
+        | Some v ->
+            m.contents <- None;
+            emit (E_wake tid);
+            t.state <- Runnable (return_thunk (force v), conts)
+        | None -> () (* someone else won the race; stay blocked *))
+    | Blocked_put (mv, v, conts) -> (
+        let m = Hashtbl.find mvars mv in
+        match m.contents with
+        | None ->
+            m.contents <- Some v;
+            emit (E_wake tid);
+            t.state <- Runnable (return_thunk (Ok_v (VCon (c_unit, []))), conts)
+        | Some _ -> ())
+    | Runnable _ | Finished -> ())
+  in
+
+  let as_mvar_id (w : whnf) : (int, string) Result.t =
+    match w with
+    | Ok_v (VCon (c, [ idt ])) when String.equal c mvar_con -> (
+        match force idt with
+        | Ok_v (VInt id) -> Result.Ok id
+        | _ -> Result.Error "corrupt MVar reference")
+    | _ -> Result.Error "not an MVar"
+  in
+
+  (* One transition for one thread. Returns [true] if it made progress. *)
+  let step (t : thread) : bool =
+    match t.state with
+    | Finished | Blocked_take _ | Blocked_put _ -> false
+    | Runnable (m_thunk, conts) -> (
+        incr switches;
+        (* Fresh per-transition budget; see Iosem. *)
+        Denot.refill fuel_handle;
+        match force m_thunk with
+        | Bad s ->
+            if Oracle.diverge_on_non_termination oracle s then begin
+              main_result := Some Diverged;
+              true
+            end
+            else begin
+              die t (Oracle.pick_exception oracle s);
+              true
+            end
+        | Ok_v (VCon (c, [ v ])) when String.equal c c_return -> (
+            match conts with
+            | [] ->
+                finish t v;
+                true
+            | k :: rest -> (
+                match force k with
+                | Ok_v (VFun f) ->
+                    t.state <- Runnable (delay (fun () -> f v), rest);
+                    true
+                | Ok_v _ ->
+                    main_result := Some (Stuck ">>=: not a function");
+                    true
+                | Bad s ->
+                    die t (Oracle.pick_exception oracle s);
+                    true))
+        | Ok_v (VCon (c, [ m1; k ])) when String.equal c c_bind ->
+            t.state <- Runnable (m1, k :: conts);
+            true
+        | Ok_v (VCon (c, [])) when String.equal c c_get_char ->
+            if !input_pos >= String.length input then begin
+              main_result := Some (Stuck "getChar: end of input");
+              true
+            end
+            else begin
+              let ch = input.[!input_pos] in
+              incr input_pos;
+              emit (E_read (t.tid, ch));
+              t.state <- Runnable (return_thunk (Ok_v (VChar ch)), conts);
+              true
+            end
+        | Ok_v (VCon (c, [ v ])) when String.equal c c_put_char -> (
+            match force v with
+            | Ok_v (VChar ch) ->
+                emit (E_write (t.tid, ch));
+                t.state <-
+                  Runnable (return_thunk (Ok_v (VCon (c_unit, []))), conts);
+                true
+            | Ok_v _ ->
+                main_result := Some (Stuck "putChar: not a character");
+                true
+            | Bad s ->
+                die t (Oracle.pick_exception oracle s);
+                true)
+        | Ok_v (VCon (c, [ v ])) when String.equal c c_get_exception ->
+            (let w =
+               match force v with
+               | Ok_v value -> Ok_v (VCon (c_ok, [ from_whnf (Ok_v value) ]))
+               | Bad s ->
+                   let x = Oracle.pick_exception oracle s in
+                   Ok_v (VCon (c_bad, [ from_whnf (exn_to_value x) ]))
+             in
+             t.state <- Runnable (return_thunk w, conts));
+            true
+        | Ok_v (VCon (c, [ m1 ])) when String.equal c "Fork" ->
+            let child = new_thread m1 [] in
+            emit (E_fork (t.tid, child.tid));
+            t.state <-
+              Runnable (return_thunk (Ok_v (VCon (c_unit, []))), conts);
+            true
+        | Ok_v (VCon (c, [])) when String.equal c "NewMVar" ->
+            let id = !next_mvar in
+            incr next_mvar;
+            Hashtbl.replace mvars id
+              { contents = None; take_waiters = []; put_waiters = [] };
+            t.state <-
+              Runnable
+                ( return_thunk
+                    (Ok_v (VCon (mvar_con, [ from_whnf (Ok_v (VInt id)) ]))),
+                  conts );
+            true
+        | Ok_v (VCon (c, [ r ])) when String.equal c "TakeMVar" -> (
+            match as_mvar_id (force r) with
+            | Result.Error msg ->
+                die t (Exn.Type_error msg);
+                true
+            | Result.Ok id -> (
+                let m = Hashtbl.find mvars id in
+                match m.contents with
+                | Some v ->
+                    m.contents <- None;
+                    (* a blocked putter can now deposit *)
+                    (match List.rev m.put_waiters with
+                    | w :: _ ->
+                        m.put_waiters <-
+                          List.filter (fun x -> x <> w) m.put_waiters;
+                        wake w
+                    | [] -> ());
+                    t.state <- Runnable (return_thunk (force v), conts);
+                    true
+                | None ->
+                    emit (E_block t.tid);
+                    m.take_waiters <- t.tid :: m.take_waiters;
+                    t.state <- Blocked_take (id, conts);
+                    true))
+        | Ok_v (VCon (c, [ r; v ])) when String.equal c "PutMVar" -> (
+            match as_mvar_id (force r) with
+            | Result.Error msg ->
+                die t (Exn.Type_error msg);
+                true
+            | Result.Ok id -> (
+                let m = Hashtbl.find mvars id in
+                match m.contents with
+                | None ->
+                    m.contents <- Some v;
+                    (match List.rev m.take_waiters with
+                    | w :: _ ->
+                        m.take_waiters <-
+                          List.filter (fun x -> x <> w) m.take_waiters;
+                        wake w
+                    | [] -> ());
+                    t.state <-
+                      Runnable
+                        (return_thunk (Ok_v (VCon (c_unit, []))), conts);
+                    true
+                | Some _ ->
+                    emit (E_block t.tid);
+                    m.put_waiters <- t.tid :: m.put_waiters;
+                    t.state <- Blocked_put (id, v, conts);
+                    true))
+        | Ok_v _ ->
+            main_result := Some (Stuck "not an IO value");
+            true)
+  in
+
+  let rec scheduler steps =
+    match !main_result with
+    | Some o -> o
+    | None ->
+        if steps >= max_steps then Diverged
+        else
+          let runnable =
+            List.filter
+              (fun t ->
+                match t.state with Runnable _ -> true | _ -> false)
+              !threads
+          in
+          let blocked =
+            List.exists
+              (fun t ->
+                match t.state with
+                | Blocked_take _ | Blocked_put _ -> true
+                | _ -> false)
+              !threads
+          in
+          if runnable = [] then if blocked then Deadlock else Deadlock
+          else begin
+            List.iter (fun t -> ignore (step t)) runnable;
+            scheduler (steps + 1)
+          end
+  in
+  let outcome =
+    match scheduler 0 with
+    | o -> o
+    | exception Stack_overflow -> Diverged
+  in
+  {
+    trace = List.rev !trace_rev;
+    outcome;
+    threads_spawned = !spawned;
+    context_switches = !switches;
+  }
+
+let output_string_of r =
+  let buf = Buffer.create 16 in
+  List.iter
+    (function
+      | E_write (_, c) -> Buffer.add_char buf c
+      | _ -> ())
+    r.trace;
+  Buffer.contents buf

@@ -1,0 +1,64 @@
+(** Concurrency on top of the IO transition system.
+
+    Section 4.4 notes that presenting the IO layer as a labelled transition
+    system over the denotation "scales to other extensions, such as adding
+    concurrency to the language [16]" (Peyton Jones–Gordon–Finne,
+    Concurrent Haskell). This module substantiates the remark: a
+    round-robin scheduler over multiple IO threads with [forkIO] and
+    [MVar]s, running on exactly the same denotational values as
+    {!Iosem}.
+
+    New IO constructors (registered in the parser's constructor table,
+    with Prelude aliases [forkIO], [newEmptyMVar], [takeMVar], [putMVar]):
+
+    {v
+    Fork (IO a)            : IO Unit     -- spawn, return to parent
+    NewMVar                : IO (MVar a) -- fresh empty MVar
+    TakeMVar (MVar a)      : IO a        -- blocks while empty
+    PutMVar (MVar a) a     : IO Unit     -- blocks while full
+    v}
+
+    Exceptions interact with concurrency exactly as in the paper: an
+    uncaught exceptional value kills only the thread that performed it
+    (the main thread's death ends the program), and [getException] behaves
+    as in Section 4.4 within each thread. *)
+
+type event =
+  | E_write of int * char  (** thread, character written *)
+  | E_read of int * char
+  | E_fork of int * int  (** parent, child *)
+  | E_block of int  (** thread blocked on an MVar *)
+  | E_wake of int
+  | E_thread_done of int
+  | E_thread_died of int * Lang.Exn.t
+      (** A non-main thread performed an exceptional IO value. *)
+
+type outcome =
+  | Done of Sem_value.deep  (** The main thread's result. *)
+  | Uncaught of Lang.Exn.t  (** The main thread died. *)
+  | Deadlock  (** No thread runnable, some blocked. *)
+  | Diverged
+  | Stuck of string
+
+type result = {
+  trace : event list;
+  outcome : outcome;
+  threads_spawned : int;
+  context_switches : int;
+}
+
+val pp_event : event Fmt.t
+val pp_outcome : outcome Fmt.t
+
+val run :
+  ?config:Denot.config ->
+  ?oracle:Oracle.t ->
+  ?input:string ->
+  ?max_steps:int ->
+  Lang.Syntax.expr ->
+  result
+(** Perform a closed [IO] expression with the concurrent scheduler
+    (round-robin, one transition per thread per turn). *)
+
+val output_string_of : result -> string
+(** Characters written by all threads, in global order. *)

@@ -1,0 +1,292 @@
+open Lang.Syntax
+open Sem_value
+module Exn = Lang.Exn
+module Env_map = Map.Make (String)
+
+type config = {
+  fuel : int;
+  int_bits : int;
+  pessimistic_is_exception : bool;
+  app_union : bool;
+  case_finding : bool;
+}
+
+let default_config =
+  {
+    fuel = 200_000;
+    int_bits = 32;
+    pessimistic_is_exception = false;
+    app_union = true;
+    case_finding = true;
+  }
+
+let with_fuel fuel = { default_config with fuel }
+
+type env = thunk Env_map.t
+
+let empty_env = Env_map.empty
+let bind = Env_map.add
+let bind_whnf x w env = Env_map.add x (from_whnf w) env
+
+type ctx = { mutable fuel : int; cfg : config }
+
+let type_error msg = Bad (Exn_set.singleton (Exn.Type_error msg))
+
+(* Checked arithmetic: the paper's [⊕] raises Overflow outside
+   [-2^31, 2^31] (Section 4.2). *)
+let arith_result cfg n =
+  let bound = 1 lsl (cfg.int_bits - 1) in
+  if n >= -bound && n < bound then Ok_v (VInt n)
+  else Bad (Exn_set.singleton Exn.Overflow)
+
+let rec eval_ctx (ctx : ctx) (env : env) (e : expr) : whnf =
+  if ctx.fuel <= 0 then bad_all
+  else begin
+    ctx.fuel <- ctx.fuel - 1;
+    match e with
+    | Var x -> (
+        match Env_map.find_opt x env with
+        | Some t -> force t
+        | None -> type_error (Printf.sprintf "unbound variable %s" x))
+    | Lit (Lit_int n) -> Ok_v (VInt n)
+    | Lit (Lit_char c) -> Ok_v (VChar c)
+    | Lit (Lit_string s) -> Ok_v (VString s)
+    | Lam (x, body) -> Ok_v (VFun (fun t -> eval_ctx ctx (bind x t env) body))
+    | App (e1, e2) ->
+        let arg = delay (fun () -> eval_ctx ctx env e2) in
+        apply ctx (eval_ctx ctx env e1) arg
+    | Con (c, es) ->
+        Ok_v (VCon (c, List.map (fun e -> delay (fun () -> eval_ctx ctx env e)) es))
+    | Let (x, e1, e2) ->
+        let t = delay (fun () -> eval_ctx ctx env e1) in
+        eval_ctx ctx (bind x t env) e2
+    | Letrec (binds, body) ->
+        let env_cell = ref env in
+        let env' =
+          List.fold_left
+            (fun acc (x, e1) ->
+              bind x (delay (fun () -> eval_ctx ctx !env_cell e1)) acc)
+            env binds
+        in
+        env_cell := env';
+        eval_ctx ctx env' body
+    | Fix e1 ->
+        (* ⟦fix e⟧ = ⊔ₖ ⟦e⟧ᵏ(⊥): the cyclic thunk below computes
+           ⟦e⟧ applied to itself; a strict cycle is caught as a black
+           hole by [force] and yields ⊥. *)
+        force (delay_self (fun t -> apply ctx (eval_ctx ctx env e1) t))
+    | Raise e1 -> (
+        match exn_of_whnf (eval_ctx ctx env e1) with
+        | Ok exn -> Bad (Exn_set.singleton exn)
+        | Error w -> w)
+    | Prim (p, args) -> eval_prim ctx env p args
+    | Case (scrut, alts) -> eval_case ctx env (eval_ctx ctx env scrut) alts
+  end
+
+and apply ctx (f : whnf) (arg : thunk) : whnf =
+  match f with
+  | Ok_v (VFun g) -> g arg
+  | Ok_v _ -> type_error "application of a non-function"
+  | Bad s ->
+      (* Exceptional function: union in the argument's exceptions, so that
+         strictness-driven early evaluation of the argument stays valid
+         (Section 4.2). The [app_union] ablation switches to the "simpler
+         definition" the paper rejects. *)
+      if ctx.cfg.app_union then Bad (Exn_set.union s (s_of (force arg)))
+      else Bad s
+
+and eval_case ctx env (scrut_w : whnf) (alts : alt list) : whnf =
+  match scrut_w with
+  | Ok_v v -> (
+      match select_alt v alts with
+      | Some (binds, rhs) ->
+          let env' =
+            List.fold_left (fun acc (x, t) -> bind x t acc) env binds
+          in
+          eval_ctx ctx env' rhs
+      | None -> Bad (Exn_set.singleton (Exn.Pattern_match_fail "case")))
+  | Bad s when not ctx.cfg.case_finding ->
+      (* Ablation: "return just that set" — rejected in Section 4.3. *)
+      Bad s
+  | Bad s ->
+      (* Exception-finding mode (Section 4.3): evaluate every alternative
+         with pattern variables bound to Bad {} and union all the resulting
+         exception sets with the scrutinee's. *)
+      let finding =
+        List.fold_left
+          (fun acc a ->
+            let env' =
+              List.fold_left
+                (fun acc' x -> bind_whnf x bad_empty acc')
+                env (pat_binders a.pat)
+            in
+            Exn_set.union acc (s_of (eval_ctx ctx env' a.rhs)))
+          s alts
+      in
+      Bad finding
+
+and select_alt (v : value) (alts : alt list) :
+    ((string * thunk) list * expr) option =
+  let matches a =
+    match (a.pat, v) with
+    | Pcon (c, xs), VCon (c', ts)
+      when String.equal c c' && List.length xs = List.length ts ->
+        Some (List.combine xs ts, a.rhs)
+    | Plit (Lit_int n), VInt m when n = m -> Some ([], a.rhs)
+    | Plit (Lit_char c), VChar c' when c = c' -> Some ([], a.rhs)
+    | Plit (Lit_string s), VString s' when String.equal s s' ->
+        Some ([], a.rhs)
+    | Pany None, _ -> Some ([], a.rhs)
+    | Pany (Some x), _ -> Some ([ (x, from_whnf (Ok_v v)) ], a.rhs)
+    | (Pcon _ | Plit _), _ -> None
+  in
+  List.find_map matches alts
+
+and eval_prim ctx env (p : Lang.Prim.t) (args : expr list) : whnf =
+  let module P = Lang.Prim in
+  let ev e = eval_ctx ctx env e in
+  (* Force every operand and either hand the normal values to [k] or union
+     all the exception sets — the generalised Section 4.2 [+] rule. *)
+  let strict2 e1 e2 k =
+    let w1 = ev e1 and w2 = ev e2 in
+    match (w1, w2) with
+    | Ok_v v1, Ok_v v2 -> k v1 v2
+    | _ -> Bad (Exn_set.union (s_of w1) (s_of w2))
+  in
+  let strict1 e1 k = match ev e1 with Ok_v v -> k v | Bad s -> Bad s in
+  let int2 e1 e2 k =
+    strict2 e1 e2 (fun v1 v2 ->
+        match (v1, v2) with
+        | VInt a, VInt b -> k a b
+        | _ -> type_error (P.name p ^ ": expected integers"))
+  in
+  let cmp k =
+    match args with
+    | [ e1; e2 ] ->
+        strict2 e1 e2 (fun v1 v2 ->
+            match (v1, v2) with
+            | VInt a, VInt b -> vbool (k (Stdlib.compare a b))
+            | VChar a, VChar b -> vbool (k (Stdlib.compare a b))
+            | VString a, VString b -> vbool (k (String.compare a b))
+            | VCon (a, []), VCon (b, []) -> vbool (k (String.compare a b))
+            | _ -> type_error (P.name p ^ ": uncomparable values"))
+    | _ -> type_error (P.name p ^ ": arity")
+  in
+  match (p, args) with
+  | P.Add, [ e1; e2 ] -> int2 e1 e2 (fun a b -> arith_result ctx.cfg (a + b))
+  | P.Sub, [ e1; e2 ] -> int2 e1 e2 (fun a b -> arith_result ctx.cfg (a - b))
+  | P.Mul, [ e1; e2 ] -> int2 e1 e2 (fun a b -> arith_result ctx.cfg (a * b))
+  | P.Div, [ e1; e2 ] ->
+      int2 e1 e2 (fun a b ->
+          if b = 0 then Bad (Exn_set.singleton Exn.Divide_by_zero)
+          else arith_result ctx.cfg (a / b))
+  | P.Mod, [ e1; e2 ] ->
+      int2 e1 e2 (fun a b ->
+          if b = 0 then Bad (Exn_set.singleton Exn.Divide_by_zero)
+          else arith_result ctx.cfg (a mod b))
+  | P.Neg, [ e1 ] ->
+      strict1 e1 (function
+        | VInt a -> arith_result ctx.cfg (-a)
+        | _ -> type_error "negate: expected an integer")
+  | P.Eq, _ -> cmp (fun c -> c = 0)
+  | P.Ne, _ -> cmp (fun c -> c <> 0)
+  | P.Lt, _ -> cmp (fun c -> c < 0)
+  | P.Le, _ -> cmp (fun c -> c <= 0)
+  | P.Gt, _ -> cmp (fun c -> c > 0)
+  | P.Ge, _ -> cmp (fun c -> c >= 0)
+  | P.Seq, [ e1; e2 ] -> (
+      (* seq a b ≡ case a of { _ -> b }: the imprecise case rule applies,
+         so an exceptional [a] unions in the exceptions of [b]
+         (exception-finding mode). *)
+      match ev e1 with
+      | Ok_v _ -> ev e2
+      | Bad s ->
+          if ctx.cfg.case_finding then Bad (Exn_set.union s (s_of (ev e2)))
+          else Bad s)
+  | P.Map_exception, [ ef; ev_ ] -> (
+      match ev ev_ with
+      | Ok_v v -> Ok_v v
+      | Bad s -> Bad (map_exception_set ctx env ef s))
+  | P.Unsafe_is_exception, [ e1 ] -> (
+      match ev e1 with
+      | Ok_v _ -> vbool false
+      | Bad s ->
+          if
+            ctx.cfg.pessimistic_is_exception
+            && Exn_set.has_non_termination s
+          then bad_all
+          else vbool true)
+  | P.Unsafe_get_exception, [ e1 ] -> (
+      (* Section 6's pure catch. Deterministic approximation: the smallest
+         member stands for the set — sound only under the programmer's
+         proof obligation that the set has at most one member. *)
+      match ev e1 with
+      | Ok_v v -> Ok_v (VCon (Lang.Syntax.c_ok, [ from_whnf (Ok_v v) ]))
+      | Bad s -> (
+          match Exn_set.choose s with
+          | Some exn ->
+              Ok_v
+                (VCon
+                   (Lang.Syntax.c_bad, [ from_whnf (exn_to_value exn) ]))
+          | None -> Bad Exn_set.empty))
+  | P.Chr, [ e1 ] ->
+      strict1 e1 (function
+        | VInt a when a >= 0 && a < 256 -> Ok_v (VChar (Char.chr a))
+        | VInt _ -> type_error "chr: out of range"
+        | _ -> type_error "chr: expected an integer")
+  | P.Ord, [ e1 ] ->
+      strict1 e1 (function
+        | VChar c -> Ok_v (VInt (Char.code c))
+        | _ -> type_error "ord: expected a character")
+  | _, _ -> type_error (P.name p ^ ": arity")
+
+(* mapException f: apply [f] to every member of the set (Section 5.4).
+   [All] cannot be enumerated and maps to [All]; if [f e] is itself
+   exceptional, its set is unioned into the result. *)
+and map_exception_set ctx env ef s =
+  let fw = eval_ctx ctx env ef in
+  match s with
+  | Exn_set.All -> Exn_set.All
+  | Exn_set.Finite members ->
+      Exn.Set.fold
+        (fun exn acc ->
+          let applied = apply ctx fw (from_whnf (exn_to_value exn)) in
+          match exn_of_whnf applied with
+          | Ok exn' -> Exn_set.union acc (Exn_set.singleton exn')
+          | Error (Bad s') -> Exn_set.union acc s'
+          | Error _ ->
+              Exn_set.union acc
+                (Exn_set.singleton
+                   (Exn.Type_error "mapException: result is not an exception")))
+        members Exn_set.empty
+
+let make_ctx (config : config) : ctx = { fuel = config.fuel; cfg = config }
+
+let eval ?(config = default_config) env e = eval_ctx (make_ctx config) env e
+
+type handle = ctx
+
+let handle config = make_ctx config
+let refill (h : handle) = h.fuel <- h.cfg.fuel
+let eval_in (h : handle) env e = eval_ctx h env e
+
+let run ?config e = eval ?config empty_env e
+
+let run_deep ?(config = default_config) ?(depth = 64) e =
+  let ctx = make_ctx config in
+  let w = eval_ctx ctx empty_env e in
+  (* Deep forcing runs the residual thunks, which share [ctx]'s fuel
+     budget: a divergent tail is cut off as [DBad All], not an OCaml
+     loop. *)
+  deep_of_whnf ~depth w
+
+let exception_set ?config e =
+  match run ?config e with Ok_v _ -> Exn_set.empty | Bad s -> s
+
+let leq ?config ?depth a b =
+  let da = run_deep ?config ?depth a and db = run_deep ?config ?depth b in
+  deep_leq da db
+
+let equal_denot ?config ?depth a b =
+  let da = run_deep ?config ?depth a and db = run_deep ?config ?depth b in
+  deep_equal da db

@@ -1,0 +1,92 @@
+(** The denotational semantics of Section 4, as a fuel-indexed interpreter.
+
+    [eval] computes the [fuel]-th finite approximation of the denotation
+    ⟦e⟧ρ: running out of fuel yields [Bad All] (= ⊥), so the result is
+    always *below or equal to* the true denotation in the information
+    ordering, and is monotonically increasing in [fuel] (property-tested).
+
+    The equations implemented are exactly those of Sections 4.2–4.3:
+
+    - [e1 + e2]: both normal → checked addition; otherwise
+      [Bad (S⟦e1⟧ ∪ S⟦e2⟧)].
+    - [raise e]: [Bad s] if ⟦e⟧ = [Bad s]; [Bad {c}] if ⟦e⟧ = [Ok c].
+    - application: normal function [f] applied to the *unevaluated*
+      argument; exceptional function → [Bad (s ∪ S⟦arg⟧)].
+    - [case]: normal scrutinee selects an alternative; exceptional
+      scrutinee → the scrutinee's set unioned with the set of every
+      alternative evaluated in exception-finding mode, pattern variables
+      bound to [Bad {}].
+    - constructors and λ are normal values; constructors are non-strict.
+    - [fix e] is the least fixed point (cyclic demand is ⊥ via black-hole
+      detection in {!Sem_value.force}).
+
+    Section 5 extensions: [mapException] (5.4), [unsafeIsException] under
+    the optimistic or pessimistic semantics (5.4), [seq] defined as
+    [case a of { _ -> b }] so that its imprecise behaviour follows the case
+    equation. *)
+
+type config = {
+  fuel : int;  (** Evaluation steps for this approximation. *)
+  int_bits : int;
+      (** Overflow bounds: arithmetic outside [±2^(int_bits-1)] raises
+          [Overflow], as in the paper's [⊕] (32 here: the paper checks ±2^31). *)
+  pessimistic_is_exception : bool;
+      (** Use the pessimistic semantics of Section 5.4 for
+          [unsafeIsException]. Default: optimistic. *)
+  app_union : bool;
+      (** Ablation (default [true]): union the argument's exceptions when
+          an *exceptional* function is applied. Setting [false] uses the
+          "simpler definition" the paper explicitly rejects in Section 4.2
+          — with it, strictness-driven early evaluation of arguments
+          becomes invalid (see [test_ablation.ml]). *)
+  case_finding : bool;
+      (** Ablation (default [true]): evaluate case alternatives in
+          exception-finding mode on an exceptional scrutinee. Setting
+          [false] returns just the scrutinee's set — "the obvious thing to
+          do", which Section 4.3 rejects because it invalidates the
+          case-switching transformation. *)
+}
+
+val default_config : config
+(** [fuel = 200_000], [int_bits = 32], optimistic. *)
+
+val with_fuel : int -> config
+
+type env
+
+val empty_env : env
+val bind : string -> Sem_value.thunk -> env -> env
+val bind_whnf : string -> Sem_value.whnf -> env -> env
+
+val eval : ?config:config -> env -> Lang.Syntax.expr -> Sem_value.whnf
+
+type handle
+(** A shared, refillable fuel tank. Thunks created under a handle keep
+    using it, so a long-running driver (the IO layer) can grant each
+    transition a fresh approximation budget: one bottom-valued transition
+    then no longer starves every later one. *)
+
+val handle : config -> handle
+
+val refill : handle -> unit
+(** Reset the tank to [config.fuel]. *)
+
+val eval_in : handle -> env -> Lang.Syntax.expr -> Sem_value.whnf
+
+val run : ?config:config -> Lang.Syntax.expr -> Sem_value.whnf
+(** Evaluate a closed expression in the empty environment. *)
+
+val run_deep :
+  ?config:config -> ?depth:int -> Lang.Syntax.expr -> Sem_value.deep
+(** Evaluate and fully force the result to [depth]. The forcing shares the
+    same fuel budget, so a divergent tail shows up as [DBad All]. *)
+
+val exception_set : ?config:config -> Lang.Syntax.expr -> Exn_set.t
+(** [S⟦e⟧]: empty for normal values. *)
+
+val leq : ?config:config -> ?depth:int -> Lang.Syntax.expr ->
+  Lang.Syntax.expr -> bool
+(** [leq a b]: ⟦a⟧ ⊑ ⟦b⟧ at the given approximation (closed terms). *)
+
+val equal_denot : ?config:config -> ?depth:int -> Lang.Syntax.expr ->
+  Lang.Syntax.expr -> bool

@@ -1,0 +1,58 @@
+module Exn = Lang.Exn
+
+type t = All | Finite of Exn.Set.t
+
+let bottom = All
+let empty = Finite Exn.Set.empty
+let singleton e = Finite (Exn.Set.singleton e)
+let of_list es = Finite (Exn.Set.of_list es)
+
+let union a b =
+  match (a, b) with
+  | All, _ | _, All -> All
+  | Finite s1, Finite s2 -> Finite (Exn.Set.union s1 s2)
+
+let mem e = function All -> true | Finite s -> Exn.Set.mem e s
+let is_empty = function All -> false | Finite s -> Exn.Set.is_empty s
+let is_all = function All -> true | Finite _ -> false
+
+let leq a b =
+  match (a, b) with
+  | All, _ -> true
+  | Finite _, All -> false
+  | Finite s1, Finite s2 -> Exn.Set.subset s2 s1
+
+let equal a b =
+  match (a, b) with
+  | All, All -> true
+  | Finite s1, Finite s2 -> Exn.Set.equal s1 s2
+  | All, Finite _ | Finite _, All -> false
+
+let compare a b =
+  match (a, b) with
+  | All, All -> 0
+  | All, Finite _ -> -1
+  | Finite _, All -> 1
+  | Finite s1, Finite s2 -> Exn.Set.compare s1 s2
+
+let has_non_termination = mem Exn.Non_termination
+
+let choose = function
+  | All -> Some Exn.Non_termination
+  | Finite s -> Exn.Set.min_elt_opt s
+
+let elements = function All -> None | Finite s -> Some (Exn.Set.elements s)
+let cardinal = function All -> None | Finite s -> Some (Exn.Set.cardinal s)
+
+let map f = function
+  | All -> All
+  | Finite s -> Finite (Exn.Set.map f s)
+
+let filter_async = function
+  | All -> All
+  | Finite s -> Finite (Exn.Set.filter Exn.is_synchronous s)
+
+let pp ppf = function
+  | All -> Fmt.string ppf "{ALL}"
+  | Finite s ->
+      Fmt.pf ppf "{%a}" Fmt.(list ~sep:comma Exn.pp) (Exn.Set.elements s)

@@ -1,0 +1,55 @@
+(** The lattice [P(E)] of exception sets (Section 4.1).
+
+    Ordered by *reverse* inclusion: [s1 ⊑ s2 ⇔ s2 ⊆ s1]. The bottom element
+    is the set of all exceptions (to which the paper adds
+    [NonTermination] and identifies the result with ⊥); the top element is
+    the empty set — the "strange value" [Bad {}] used to evaluate case
+    alternatives in exception-finding mode (Section 4.3).
+
+    [E] is infinite ([UserError] carries a string), so the set of all
+    exceptions is represented by the distinguished constructor [All]. *)
+
+type t = All | Finite of Lang.Exn.Set.t
+
+val bottom : t
+(** [All] — the denotation of divergence. *)
+
+val empty : t
+(** [Finite ∅] — the top of the exceptional arm; not the denotation of any
+    term (Section 4.1), but needed for exception-finding mode. *)
+
+val singleton : Lang.Exn.t -> t
+val of_list : Lang.Exn.t list -> t
+val union : t -> t -> t
+val mem : Lang.Exn.t -> t -> bool
+val is_empty : t -> bool
+val is_all : t -> bool
+
+val leq : t -> t -> bool
+(** The information ordering: [leq s1 s2] iff [s2 ⊆ s1]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val has_non_termination : t -> bool
+(** Whether [NonTermination] is in the set ([All] contains everything). *)
+
+val choose : t -> Lang.Exn.t option
+(** An arbitrary member: [None] for the empty set; for [All], the
+    distinguished member [Non_termination]. Deterministic (smallest member
+    of a finite set); the operational layer's {!Oracle} makes the
+    non-deterministic choices. *)
+
+val elements : t -> Lang.Exn.t list option
+(** [None] for [All]. *)
+
+val cardinal : t -> int option
+val map : (Lang.Exn.t -> Lang.Exn.t) -> t -> t
+(** Set-map; [All] maps to [All] (the members cannot be enumerated). This is
+    the semantic core of [mapException] (Section 5.4). *)
+
+val filter_async : t -> t
+(** Remove asynchronous exception constants (they are never part of a
+    denotation; Section 5.1). [All] is unchanged. *)
+
+val pp : t Fmt.t

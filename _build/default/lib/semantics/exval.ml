@@ -1,0 +1,162 @@
+open Lang.Syntax
+module Exn = Lang.Exn
+
+(* Fresh variables for the translation; the [_ev] prefix cannot clash with
+   source binders produced by the parser ([_p..]) or user code (leading
+   underscore followed by 'e','v' is reserved here). *)
+let fresh =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Printf.sprintf "_ev%d" !counter
+
+let ok e = Con (c_ok, [ e ])
+let bad e = Con (c_bad, [ e ])
+
+(* [case scrut of { Bad b -> Bad b; OK x -> body x }] — the
+   test-and-propagate pattern the paper shows in Section 2.2. *)
+let propagate scrut k =
+  let b = fresh () and x = fresh () in
+  Case
+    ( scrut,
+      [
+        { pat = Pcon (c_bad, [ b ]); rhs = bad (Var b) };
+        { pat = Pcon (c_ok, [ x ]); rhs = k (Var x) };
+      ] )
+
+let rec encode (e : expr) : expr =
+  match e with
+  | Var x -> Var x
+  | Lit l -> ok (Lit l)
+  | Lam (x, body) -> ok (Lam (x, encode body))
+  | App (e1, e2) -> propagate (encode e1) (fun f -> App (f, encode e2))
+  | Con (c, [ e1 ]) when String.equal c c_get_exception ->
+      (* The pure getException of Section 2.1: reify the ExVal. Every
+         constructor field holds an encoded value, hence the re-wrapping
+         with OK. *)
+      let b = fresh () and x = fresh () in
+      Case
+        ( encode e1,
+          [
+            { pat = Pcon (c_bad, [ b ]); rhs = ok (bad (Var b)) };
+            { pat = Pcon (c_ok, [ x ]); rhs = ok (ok (ok (Var x))) };
+          ] )
+  | Con (c, es) -> ok (Con (c, List.map encode es))
+  | Case (scrut, alts) ->
+      propagate (encode scrut) (fun v ->
+          let do_alt a =
+            match a.pat with
+            | Pcon _ | Plit _ -> { a with rhs = encode a.rhs }
+            | Pany None -> { a with rhs = encode a.rhs }
+            | Pany (Some x) ->
+                (* The binder sees the *encoded* scrutinee. *)
+                { a with rhs = Let (x, ok v, encode a.rhs) }
+          in
+          Case (v, List.map do_alt alts))
+  | Let (x, e1, e2) -> Let (x, encode e1, encode e2)
+  | Letrec (binds, body) ->
+      Letrec (List.map (fun (x, e1) -> (x, encode e1)) binds, encode body)
+  | Fix e1 -> propagate (encode e1) (fun f -> Fix f)
+  | Raise e1 ->
+      (* Bad's field, like every constructor field, holds an *encoded*
+         value, hence the OK re-wrap. *)
+      propagate (encode e1) (fun ex -> bad (ok ex))
+  | Prim (p, args) -> encode_prim p args
+
+and encode_prim (p : Lang.Prim.t) (args : expr list) : expr =
+  let module P = Lang.Prim in
+  (* Force the encoded operands one after another (left to right: the
+     encoding fixes the evaluation order, which is exactly the paper's
+     complaint), then build the result from the raw values. *)
+  let strictn args k =
+    let rec go acc = function
+      | [] -> k (List.rev acc)
+      | a :: rest -> propagate (encode a) (fun v -> go (v :: acc) rest)
+    in
+    go [] args
+  in
+  match (p, args) with
+  | P.Div, [ a; b ] | (P.Mod, [ a; b ]) ->
+      strictn [ a; b ] (fun vs ->
+          match vs with
+          | [ x; y ] ->
+              Case
+                ( Prim (P.Eq, [ y; Lit (Lit_int 0) ]),
+                  [
+                    {
+                      pat = Pcon (c_true, []);
+                      rhs = bad (ok (Con ("DivideByZero", [])));
+                    };
+                    { pat = Pcon (c_false, []); rhs = ok (Prim (p, [ x; y ])) };
+                  ] )
+          | _ -> assert false)
+  | P.Seq, [ a; b ] -> propagate (encode a) (fun _ -> encode b)
+  | P.Map_exception, [ f; v ] ->
+      let b = fresh () and x = fresh () in
+      Case
+        ( encode v,
+          [
+            {
+              pat = Pcon (c_bad, [ b ]);
+              rhs =
+                propagate (encode f) (fun g ->
+                    propagate (App (g, Var b)) (fun ex2 -> bad (ok ex2)));
+            };
+            { pat = Pcon (c_ok, [ x ]); rhs = ok (Var x) };
+          ] )
+  | P.Unsafe_get_exception, [ a ] ->
+      let b = fresh () and x = fresh () in
+      Case
+        ( encode a,
+          [
+            { pat = Pcon (c_bad, [ b ]); rhs = ok (bad (Var b)) };
+            { pat = Pcon (c_ok, [ x ]); rhs = ok (ok (ok (Var x))) };
+          ] )
+  | P.Unsafe_is_exception, [ a ] ->
+      let b = fresh () and x = fresh () in
+      Case
+        ( encode a,
+          [
+            { pat = Pcon (c_bad, [ b ]); rhs = ok (Con (c_true, [])) };
+            { pat = Pcon (c_ok, [ x ]); rhs = ok (Con (c_false, [])) };
+          ] )
+  | _, args -> strictn args (fun vs -> ok (Prim (p, vs)))
+
+let try_expr e =
+  let b = fresh () and x = fresh () in
+  Case
+    ( encode e,
+      [
+        { pat = Pcon (c_bad, [ b ]); rhs = ok (bad (Var b)) };
+        { pat = Pcon (c_ok, [ x ]); rhs = ok (ok (ok (Var x))) };
+      ] )
+
+let code_blowup e =
+  float_of_int (size (encode e)) /. float_of_int (size e)
+
+open Sem_value
+
+(* Extract the exception constant from a deeply-forced encoded Exception
+   value, e.g. [DCon ("UserError", [DCon ("OK", [DString s])])]. *)
+let exn_of_encoded_deep (d : deep) : Exn.t option =
+  match d with
+  | DCon (name, []) -> Exn.of_constructor name None
+  | DCon (name, [ DCon (okc, [ DString s ]) ]) when String.equal okc c_ok ->
+      Exn.of_constructor name (Some s)
+  | _ -> None
+
+let rec decode_deep (d : deep) : deep =
+  match d with
+  | DCon (c, [ inner ]) when String.equal c c_ok -> decode_value inner
+  | DCon (c, [ DCon (okc, [ exnv ]) ])
+    when String.equal c c_bad && String.equal okc c_ok -> (
+      match exn_of_encoded_deep exnv with
+      | Some e -> DBad (Exn_set.singleton e)
+      | None -> DBad (Exn_set.singleton (Exn.Type_error "decode")))
+  | DBad _ | DCut -> d
+  | _ -> DBad (Exn_set.singleton (Exn.Type_error "decode: not an ExVal"))
+
+and decode_value (d : deep) : deep =
+  match d with
+  | DInt _ | DChar _ | DString _ | DFun | DBad _ | DCut -> d
+  | DCon (c, fields) -> DCon (c, List.map decode_deep fields)

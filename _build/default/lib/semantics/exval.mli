@@ -1,0 +1,33 @@
+(** Baseline: the explicit [ExVal] encoding of Section 2.1, as a
+    source-to-source translation ("monadification").
+
+    Every expression of type [t] is translated to one of type [ExVal t']
+    ([OK v] or [Bad exn]); every consumer performs the case analysis the
+    paper shows — "the explicit-encoding approach forces all the
+    intermediate code to deal explicitly with exceptional values"
+    (Section 2.2).
+
+    The translation is call-by-name: variables and constructor fields are
+    bound to *encoded* computations, so laziness is preserved. [raise]
+    becomes construction of [Bad]; division checks for zero explicitly, so
+    a well-typed encoded program never uses the host language's exception
+    mechanism at all. This is the baseline for the cost claims C6
+    (test-and-propagate at every call site; code-size blowup). *)
+
+val encode : Lang.Syntax.expr -> Lang.Syntax.expr
+(** [encode e] is the [ExVal]-passing form of [e]. If [e] is closed, so is
+    the result. *)
+
+val try_expr : Lang.Syntax.expr -> Lang.Syntax.expr
+(** [try_expr e]: reify the encoded result — the [ExVal]-level catch
+    ([case T⟦e⟧ of Bad b -> OK (Bad b); OK v -> OK (OK v)]), itself an
+    encoded expression. *)
+
+val code_blowup : Lang.Syntax.expr -> float
+(** [size (encode e) / size e] — the static cost of the encoding. *)
+
+val decode_deep : Sem_value.deep -> Sem_value.deep
+(** Interpret the deep value of an *encoded* program back into the world of
+    the direct program: strips [OK], turns [Bad exn-value] into
+    [DBad {exn}]. Used by the differential tests (the encoding must agree
+    with the fixed-order semantics on exception-free results). *)

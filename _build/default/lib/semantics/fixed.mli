@@ -1,0 +1,48 @@
+(** Baseline: *precise* exception semantics with a fixed (or randomly
+    chosen) evaluation order — the two designs Section 3.4 examines and
+    rejects.
+
+    Exceptions are control flow: evaluation raises the first exception it
+    encounters, exactly one, determined by the order policy. A pure
+    [getException] is provided (evaluating the [GetException] constructor
+    catches its argument), which under {!Random} policies exhibits the
+    β-reduction failure of Section 3.4: substituting a variable by its
+    right-hand side can change the answer.
+
+    Results are reported in the shared {!Sem_value.deep} form so they can be
+    compared against the imprecise denotation: a raised exception appears as
+    [DBad {e}] (a singleton set), divergence/fuel exhaustion as
+    [DBad All]. *)
+
+type policy =
+  | Left_to_right  (** e.g. ML: [+] evaluates its first argument first. *)
+  | Right_to_left
+  | Random of int
+      (** Each dynamic choice point flips an independent seeded coin — the
+          "go non-deterministic" design of Section 3.4. *)
+
+type outcome =
+  | Value of Sem_value.deep
+  | Raised of Lang.Exn.t
+  | Diverged  (** Fuel exhausted or a black hole was entered. *)
+
+val pp_outcome : outcome Fmt.t
+val outcome_equal : outcome -> outcome -> bool
+
+val run : ?fuel:int -> ?int_bits:int -> policy -> Lang.Syntax.expr -> outcome
+(** Evaluate a closed expression to WHNF under the given order policy. *)
+
+val run_deep :
+  ?fuel:int -> ?int_bits:int -> ?depth:int -> policy -> Lang.Syntax.expr ->
+  outcome
+(** Evaluate and force the result deeply; the first exception encountered
+    during the deep forcing is the raised one. *)
+
+val outcome_to_deep : outcome -> Sem_value.deep
+(** [Raised e ↦ DBad {e}], [Diverged ↦ DBad All]. *)
+
+val outcomes : ?fuel:int -> ?depth:int -> seeds:int list ->
+  Lang.Syntax.expr -> outcome list
+(** Run under [Random seed] for every seed and collect the distinct
+    outcomes — an empirical lower bound for the set of behaviours of the
+    non-deterministic design. *)

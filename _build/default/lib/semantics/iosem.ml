@@ -1,0 +1,145 @@
+open Lang.Syntax
+open Sem_value
+module Exn = Lang.Exn
+
+type event = E_read of char | E_write of char | E_async of Exn.t
+
+type outcome =
+  | Done of deep
+  | Uncaught of Exn.t
+  | Io_diverged
+  | Stuck of string
+
+type result = { trace : event list; outcome : outcome }
+
+type schedule = (int * Exn.t) list
+
+let pp_event ppf = function
+  | E_read c -> Fmt.pf ppf "?%C" c
+  | E_write c -> Fmt.pf ppf "!%C" c
+  | E_async e -> Fmt.pf ppf "async(%a)" Exn.pp e
+
+let pp_outcome ppf = function
+  | Done d -> Fmt.pf ppf "Done %a" pp_deep d
+  | Uncaught e -> Fmt.pf ppf "Uncaught %a" Exn.pp e
+  | Io_diverged -> Fmt.string ppf "Io_diverged"
+  | Stuck msg -> Fmt.pf ppf "Stuck %S" msg
+
+type state = {
+  oracle : Oracle.t;
+  mutable input : char list;
+  mutable async : schedule;
+  mutable steps : int;
+  max_steps : int;
+  mutable trace_rev : event list;
+}
+
+let emit st ev = st.trace_rev <- ev :: st.trace_rev
+
+(* The pending asynchronous event, if its delivery step has been reached
+   (Section 5.1): events are delivered only at getException. *)
+let pending_async st =
+  match st.async with
+  | (k, x) :: rest when st.steps >= k ->
+      st.async <- rest;
+      Some x
+  | _ -> None
+
+(* Performing [main]: a small-step loop over (current IO whnf, stack of
+   pending continuations from Bind). The two structural rules of Section
+   4.4 are realised by the [conts] stack. *)
+let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
+    ?(input = "") ?(async = []) ?(max_steps = 100_000) (e : expr) =
+  let st =
+    {
+      oracle;
+      input = List.init (String.length input) (String.get input);
+      async;
+      steps = 0;
+      max_steps;
+      trace_rev = [];
+    }
+  in
+  let fuel_handle = Denot.handle config in
+  let main_thunk =
+    delay (fun () -> Denot.eval_in fuel_handle Denot.empty_env e)
+  in
+  let return_thunk w = from_whnf (Ok_v (VCon (c_return, [ from_whnf w ]))) in
+  let rec perform (m : thunk) (conts : thunk list) : outcome =
+    if st.steps >= st.max_steps then Io_diverged
+    else begin
+      st.steps <- st.steps + 1;
+      (* Each transition gets a fresh approximation budget (a transition
+         that hits bottom must not starve the rest of the program). *)
+      Denot.refill fuel_handle;
+      match force m with
+      | Bad s -> (
+          (* The IO structure itself is exceptional: uncaught. *)
+          if Oracle.diverge_on_non_termination st.oracle s then Io_diverged
+          else
+            match Exn_set.choose s with
+            | None -> Stuck "exceptional IO value with empty set"
+            | Some _ -> Uncaught (Oracle.pick_exception st.oracle s))
+      | Ok_v (VCon (c, [ t ])) when String.equal c c_return -> (
+          match conts with
+          | [] -> Done (deep_force ~depth:64 t)
+          | k :: rest -> (
+              match force k with
+              | Ok_v (VFun f) -> perform (delay (fun () -> f t)) rest
+              | Ok_v _ -> Stuck ">>=: continuation is not a function"
+              | Bad s -> Uncaught (Oracle.pick_exception st.oracle s)))
+      | Ok_v (VCon (c, [ m1; k ])) when String.equal c c_bind ->
+          perform m1 (k :: conts)
+      | Ok_v (VCon (c, [])) when String.equal c c_get_char -> (
+          match st.input with
+          | [] -> Stuck "getChar: end of input"
+          | ch :: rest ->
+              st.input <- rest;
+              emit st (E_read ch);
+              perform (return_thunk (Ok_v (VChar ch))) conts)
+      | Ok_v (VCon (c, [ t ])) when String.equal c c_put_char -> (
+          match force t with
+          | Ok_v (VChar ch) ->
+              emit st (E_write ch);
+              perform (return_thunk (vcon0 c_unit)) conts
+          | Ok_v _ -> Stuck "putChar: not a character"
+          | Bad s -> Uncaught (Oracle.pick_exception st.oracle s))
+      | Ok_v (VCon (c, [ t ])) when String.equal c c_get_exception -> (
+          match pending_async st with
+          | Some x ->
+              (* getException v —¡x→ return (Bad x): v may be discarded
+                 even if normal (Section 5.1). *)
+              emit st (E_async x);
+              perform
+                (return_thunk
+                   (Ok_v (VCon (c_bad, [ from_whnf (exn_to_value x) ]))))
+                conts
+          | None -> (
+              match force t with
+              | Ok_v v ->
+                  perform
+                    (return_thunk (Ok_v (VCon (c_ok, [ from_whnf (Ok_v v) ]))))
+                    conts
+              | Bad s ->
+                  if Oracle.diverge_on_non_termination st.oracle s then
+                    Io_diverged
+                  else if Exn_set.is_empty s then
+                    Stuck "getException: empty exception set"
+                  else
+                    let x = Oracle.pick_exception st.oracle s in
+                    perform
+                      (return_thunk
+                         (Ok_v (VCon (c_bad, [ from_whnf (exn_to_value x) ]))))
+                      conts))
+      | Ok_v _ -> Stuck "not an IO value"
+    end
+  in
+  let outcome = perform main_thunk [] in
+  { trace = List.rev st.trace_rev; outcome }
+
+let output_string_of r =
+  let buf = Buffer.create 16 in
+  List.iter
+    (function E_write c -> Buffer.add_char buf c | E_read _ | E_async _ -> ())
+    r.trace;
+  Buffer.contents buf

@@ -1,0 +1,59 @@
+(** The operational semantics of the IO layer (Section 4.4), on top of the
+    denotational semantics of the pure fragment.
+
+    [IO] is treated as an algebraic data type with constructors [Return],
+    [Bind], [PutChar], [GetChar] and [GetException]; this module is the
+    labelled transition system that *performs* a value of that type:
+
+    {v
+    m1 → m2  ⟹  (m1 >>= k) → (m2 >>= k)
+    (return v) >>= k → k v
+    getChar  —?c→  return c
+    putChar c —!c→ return ()
+    getException (Ok v)  → return (OK v)
+    getException (Bad s) → return (Bad x)      if x ∈ s
+    getException (Bad s) → getException (Bad s) if NonTermination ∈ s
+    getException v —¡x→  return (Bad x)        x an asynchronous event
+    v}
+
+    The oracle resolves the non-deterministic choices; asynchronous events
+    are injected by a deterministic schedule (fire after a given number of
+    transitions), exercising the Section 5.1 rule reproducibly. *)
+
+type event =
+  | E_read of char  (** [?c] — a character was read. *)
+  | E_write of char  (** [!c] — a character was written. *)
+  | E_async of Lang.Exn.t  (** [¡x] — an asynchronous event was delivered. *)
+
+type outcome =
+  | Done of Sem_value.deep  (** [main] performed to [return v]. *)
+  | Uncaught of Lang.Exn.t
+      (** The final value (or the IO structure itself) was exceptional:
+          "this simply corresponds to an uncaught exception, which the
+          implementation should report" (Section 4.4). *)
+  | Io_diverged
+      (** Transition budget exhausted, or the oracle chose the
+          self-transition for a [NonTermination] set. *)
+  | Stuck of string  (** Ill-typed IO value, or input exhausted. *)
+
+type result = { trace : event list; outcome : outcome }
+
+val pp_event : event Fmt.t
+val pp_outcome : outcome Fmt.t
+
+type schedule = (int * Lang.Exn.t) list
+(** Asynchronous events: [(k, x)] delivers [x] at the first [getException]
+    performed at or after transition [k]. *)
+
+val run :
+  ?config:Denot.config ->
+  ?oracle:Oracle.t ->
+  ?input:string ->
+  ?async:schedule ->
+  ?max_steps:int ->
+  Lang.Syntax.expr ->
+  result
+(** Perform a closed expression of type [IO t]. *)
+
+val output_string_of : result -> string
+(** The characters written, in order. *)

@@ -1,0 +1,33 @@
+(** The external oracle consulted by [getException] (Section 3.5: "free —
+    although absolutely not required — to consult some external oracle (the
+    FT Share Index, say)").
+
+    A deterministic seeded RNG plus fixed policies, so every experiment is
+    reproducible while still exhibiting the non-determinism the semantics
+    allows: different seeds may pick different members of an exception
+    set. *)
+
+type t
+
+val create : seed:int -> t
+(** Seeded pseudo-random oracle. *)
+
+val first : unit -> t
+(** Always picks the first (smallest) element and never diverges — what a
+    real single-representative implementation does (Section 3.5). *)
+
+val pick : t -> 'a list -> 'a option
+(** Choose a member; [None] on the empty list. *)
+
+val pick_exception : t -> Exn_set.t -> Lang.Exn.t
+(** Choose a member of a non-empty exception set. For [All] the oracle may
+    return *any* exception — the "fictitious exceptions" of Section 5.3 —
+    drawn from {!Lang.Exn.all_known}. *)
+
+val diverge_on_non_termination : t -> Exn_set.t -> bool
+(** Whether [getException] should take the "make a transition to the same
+    state" rule (Section 4.4) for this set, i.e. diverge. Only possible
+    when [NonTermination] is a member; the [first] oracle never diverges. *)
+
+val coin : t -> bool
+val int_below : t -> int -> int

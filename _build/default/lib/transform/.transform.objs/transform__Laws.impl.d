@@ -1,0 +1,1 @@
+lib/transform/laws.ml: Fmt List Printf Refine Rules Semantics String

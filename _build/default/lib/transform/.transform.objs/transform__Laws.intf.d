@@ -1,0 +1,1 @@
+lib/transform/laws.mli: Fmt Rules

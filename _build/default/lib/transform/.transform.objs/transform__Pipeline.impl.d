@@ -1,0 +1,1 @@
+lib/transform/pipeline.ml: Analysis Fmt Lang List Rewrite String

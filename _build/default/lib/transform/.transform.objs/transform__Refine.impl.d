@@ -1,0 +1,1 @@
+lib/transform/refine.ml: Fmt Semantics

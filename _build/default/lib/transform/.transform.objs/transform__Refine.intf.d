@@ -1,0 +1,1 @@
+lib/transform/refine.mli: Fmt Lang Semantics

@@ -1,0 +1,1 @@
+lib/transform/rules.ml: Analysis Fmt Lang List Printf String

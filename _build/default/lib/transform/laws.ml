@@ -1,0 +1,84 @@
+open Rules
+module Fixed = Semantics.Fixed
+
+type observed = {
+  rule : Rules.rule;
+  imprecise : Rules.status;
+  fixed_order : Rules.status;
+  nondet : Rules.status;
+}
+
+(* Aggregate per-instance verdicts into a status. *)
+let aggregate_imprecise verdicts =
+  if List.for_all (Refine.verdict_equal Refine.Equal) verdicts then Identity
+  else if
+    List.for_all
+      (fun v ->
+        Refine.verdict_equal Refine.Equal v
+        || Refine.verdict_equal Refine.Refines v)
+      verdicts
+  then Refinement
+  else Invalid
+
+let observe ?(fuel = 300_000) ?(seeds = List.init 24 (fun i -> i)) rule =
+  let pairs =
+    List.filter_map
+      (fun lhs ->
+        match rule.applies lhs with
+        | Some rhs -> Some (lhs, rhs)
+        | None -> None)
+      rule.instances
+  in
+  let config = Semantics.Denot.with_fuel fuel in
+  let imprecise =
+    aggregate_imprecise
+      (List.map (fun (l, r) -> Refine.compare_denot ~config l r) pairs)
+  in
+  let fixed_order =
+    if
+      List.for_all
+        (fun (l, r) ->
+          Fixed.outcome_equal
+            (Fixed.run_deep ~fuel Fixed.Left_to_right l)
+            (Fixed.run_deep ~fuel Fixed.Left_to_right r))
+        pairs
+    then Identity
+    else Invalid
+  in
+  let outcome_set e =
+    Fixed.outcomes ~fuel ~seeds e
+  in
+  let same_sets l r =
+    let ol = outcome_set l and or_ = outcome_set r in
+    List.for_all (fun o -> List.exists (Fixed.outcome_equal o) or_) ol
+    && List.for_all (fun o -> List.exists (Fixed.outcome_equal o) ol) or_
+  in
+  let nondet =
+    if List.for_all (fun (l, r) -> same_sets l r) pairs then Identity
+    else Invalid
+  in
+  { rule; imprecise; fixed_order; nondet }
+
+let matches_claim o =
+  Rules.status_equal o.imprecise o.rule.imprecise
+  && Rules.status_equal o.fixed_order o.rule.fixed_order
+  && Rules.status_equal o.nondet o.rule.nondet
+
+let table ?fuel ?seeds () = List.map (observe ?fuel ?seeds) Rules.all
+
+let pp_cell claimed ppf observed =
+  let mark = if Rules.status_equal claimed observed then "" else " (!)" in
+  Fmt.pf ppf "%a%s" Rules.pp_status observed mark
+
+let pp_table ppf rows =
+  Fmt.pf ppf "%-28s | %-16s | %-16s | %-16s@."
+    "transformation (paper ref)" "imprecise sets" "fixed order" "naive nondet";
+  Fmt.pf ppf "%s@." (String.make 85 '-');
+  List.iter
+    (fun o ->
+      Fmt.pf ppf "%-28s | %-16s | %-16s | %-16s@."
+        (Printf.sprintf "%s (%s)" o.rule.name o.rule.paper_ref)
+        (Fmt.str "%a" (pp_cell o.rule.imprecise) o.imprecise)
+        (Fmt.str "%a" (pp_cell o.rule.fixed_order) o.fixed_order)
+        (Fmt.str "%a" (pp_cell o.rule.nondet) o.nondet))
+    rows

@@ -1,0 +1,31 @@
+(** The law table: empirical validation of every {!Rules.rule}'s claimed
+    status under the three competing designs. This regenerates the
+    paper's Section 4.5 discussion as a table (experiment C5/E6 in
+    DESIGN.md).
+
+    For each rule and each of its instances [lhs ==> rhs]:
+
+    - {b imprecise}: the denotations are compared in the information
+      ordering ({!Refine.compare_denot}); all-equal ⟹ identity, otherwise
+      all-[⊑] ⟹ refinement, otherwise invalid.
+    - {b fixed order}: both sides run under the deterministic left-to-right
+      precise semantics; any differing outcome ⟹ invalid.
+    - {b nondet}: both sides run under randomly drawn evaluation orders
+      (a seed sweep); the *sets* of observed outcomes are compared. *)
+
+type observed = {
+  rule : Rules.rule;
+  imprecise : Rules.status;
+  fixed_order : Rules.status;
+  nondet : Rules.status;
+}
+
+val observe : ?fuel:int -> ?seeds:int list -> Rules.rule -> observed
+(** Observe one rule's statuses on its instances. *)
+
+val matches_claim : observed -> bool
+(** Observed statuses equal the rule's claimed statuses. *)
+
+val table : ?fuel:int -> ?seeds:int list -> unit -> observed list
+val pp_table : observed list Fmt.t
+(** Render as an aligned text table with claims checked off. *)

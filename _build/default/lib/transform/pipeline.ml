@@ -1,0 +1,156 @@
+open Lang.Syntax
+module Strictness = Analysis.Strictness
+module Exn_analysis = Analysis.Exn_analysis
+
+type mode = Imprecise | Fixed_order_with_effect_analysis
+
+type report = {
+  mode : mode;
+  rounds : int;
+  sites : (string * int) list;
+  blocked_sites : int;
+  size_before : int;
+  size_after : int;
+}
+
+let pp_mode ppf = function
+  | Imprecise -> Fmt.string ppf "imprecise"
+  | Fixed_order_with_effect_analysis -> Fmt.string ppf "fixed+effects"
+
+let pp_report ppf r =
+  Fmt.pf ppf "[%a] size %d -> %d, blocked %d, %a" pp_mode r.mode r.size_before
+    r.size_after r.blocked_sites
+    Fmt.(list ~sep:comma (pair ~sep:(any ":") string int))
+    r.sites
+
+(* Non-duplicating, order-preserving simplifications: valid in every
+   design, so both pipelines share them. *)
+let simplify_rule e =
+  match e with
+  (* beta, only for atomic arguments (no sharing lost, no work moved) *)
+  | App (Lam (x, body), (Var _ as a)) | App (Lam (x, body), (Lit _ as a)) ->
+      Some (Lang.Subst.subst x a body)
+  | Let (x, ((Var _ | Lit _) as a), body) ->
+      Some (Lang.Subst.subst x a body)
+  | Let (x, _, e2) when not (Lang.Subst.is_free_in x e2) -> Some e2
+  | Case (Con _, _) | Case (Lit _, _) -> (
+      match e with
+      | Case (scrut, alts) ->
+          List.find_map
+            (fun a ->
+              match (a.pat, scrut) with
+              | Pcon (c', xs), Con (c, args)
+                when String.equal c c' && List.length xs = List.length args
+                ->
+                  Some
+                    (List.fold_right2
+                       (fun x arg acc -> Let (x, arg, acc))
+                       xs args a.rhs)
+              | Plit l, Lit l' when lit_equal l l' -> Some a.rhs
+              | Pany None, _ -> Some a.rhs
+              | Pany (Some x), _ -> Some (Let (x, scrut, a.rhs))
+              | (Pcon _ | Plit _), _ -> None)
+            alts
+      | _ -> None)
+  | _ -> None
+
+let simplify_pass e = Rewrite.fixpoint simplify_rule e
+
+let cbv_pass mode e =
+  let applied = ref 0 and blocked = ref 0 in
+  let to_case x e1 body = Case (e1, [ { pat = Pany (Some x); rhs = body } ]) in
+  let rule e =
+    match e with
+    | Let (x, e1, body) -> (
+        let demanded =
+          Lang.Subst.String_set.mem x
+            (Strictness.demanded Strictness.empty_sigs body)
+        in
+        if not demanded then None
+        else
+          match mode with
+          | Imprecise ->
+              incr applied;
+              Some (to_case x e1 body)
+          | Fixed_order_with_effect_analysis ->
+              if Exn_analysis.pure (Exn_analysis.analyze e1) then begin
+                incr applied;
+                Some (to_case x e1 body)
+              end
+              else begin
+                incr blocked;
+                None
+              end)
+    | _ -> None
+  in
+  let e', _ = Rewrite.bottom_up rule e in
+  (e', !applied, !blocked)
+
+(* Occurrence-guided inlining of non-recursive lets. *)
+let inline_pass e =
+  let module Occ = Analysis.Occurrence in
+  let cheap = function
+    | Var _ | Lit _ | Con (_, []) -> true
+    | _ -> false
+  in
+  let rule e =
+    match e with
+    | Let (x, e1, body) -> (
+        match Occ.of_binding x body with
+        | Occ.Dead -> Some body
+        | Occ.Once -> Some (Lang.Subst.subst x e1 body)
+        | Occ.Once_under_lambda | Occ.Many ->
+            if cheap e1 then Some (Lang.Subst.subst x e1 body) else None)
+    | _ -> None
+  in
+  Rewrite.fixpoint ~max_rounds:4 rule e
+
+(* Drop letrec bindings unreachable from the body. *)
+let prune_pass e =
+  let dropped = ref 0 in
+  let rule e =
+    match e with
+    | Letrec (binds, body) ->
+        let live = Analysis.Occurrence.reachable_bindings binds body in
+        let n_dropped = List.length binds - List.length live in
+        if n_dropped = 0 then None
+        else begin
+          dropped := !dropped + n_dropped;
+          match live with
+          | [] -> Some body
+          | _ -> Some (Letrec (live, body))
+        end
+    | _ -> None
+  in
+  let e', _ = Rewrite.fixpoint ~max_rounds:4 rule e in
+  (e', !dropped)
+
+let optimize mode e =
+  let size_before = size e in
+  let e0, pruned = prune_pass e in
+  let e1, simplified = simplify_pass e0 in
+  let e1b, inlined = inline_pass e1 in
+  let e2, cbv_applied, blocked = cbv_pass mode e1b in
+  let e3, simplified2 = simplify_pass e2 in
+  let report =
+    {
+      mode;
+      rounds = 5;
+      sites =
+        [
+          ("prune", pruned);
+          ("simplify", simplified + simplified2);
+          ("inline", inlined);
+          ("cbv", cbv_applied);
+        ];
+      blocked_sites = blocked;
+      size_before;
+      size_after = size e3;
+    }
+  in
+  (e3, report)
+
+let count_cbv_opportunities e =
+  let _, imprecise_sites, _ = cbv_pass Imprecise e in
+  let _, fixed_sites, _ = cbv_pass Fixed_order_with_effect_analysis e in
+  (imprecise_sites, fixed_sites)

@@ -1,0 +1,65 @@
+open Lang.Syntax
+
+let map_children f = function
+  | (Var _ | Lit _) as e -> e
+  | Lam (x, e) -> Lam (x, f e)
+  | App (e1, e2) -> App (f e1, f e2)
+  | Con (c, es) -> Con (c, List.map f es)
+  | Case (e, alts) ->
+      Case (f e, List.map (fun a -> { a with rhs = f a.rhs }) alts)
+  | Let (x, e1, e2) -> Let (x, f e1, f e2)
+  | Letrec (binds, body) ->
+      Letrec (List.map (fun (x, e1) -> (x, f e1)) binds, f body)
+  | Prim (p, es) -> Prim (p, List.map f es)
+  | Raise e -> Raise (f e)
+  | Fix e -> Fix (f e)
+
+let bottom_up rule e =
+  let count = ref 0 in
+  let rec go e =
+    let e' = map_children go e in
+    match rule e' with
+    | Some e'' ->
+        incr count;
+        e''
+    | None -> e'
+  in
+  let e' = go e in
+  (e', !count)
+
+let fixpoint ?(max_rounds = 10) rule e =
+  let rec go e total n =
+    if n >= max_rounds then (e, total)
+    else
+      let e', c = bottom_up rule e in
+      if c = 0 then (e', total) else go e' (total + c) (n + 1)
+  in
+  go e 0 0
+
+let first_site rule e =
+  let fired = ref false in
+  let rec go e =
+    if !fired then e
+    else
+      match rule e with
+      | Some e' ->
+          fired := true;
+          e'
+      | None -> map_children go e
+  in
+  let e' = go e in
+  if !fired then Some e' else None
+
+let rec subterms e =
+  let children =
+    match e with
+    | Var _ | Lit _ -> []
+    | Lam (_, b) | Raise b | Fix b -> [ b ]
+    | App (a, b) | Let (_, a, b) -> [ a; b ]
+    | Con (_, es) | Prim (_, es) -> es
+    | Case (s, alts) -> s :: List.map (fun a -> a.rhs) alts
+    | Letrec (binds, body) -> List.map snd binds @ [ body ]
+  in
+  e :: List.concat_map subterms children
+
+let count_nodes = size

@@ -1,0 +1,25 @@
+(** Generic rewriting combinators over the term language. *)
+
+val map_children : (Lang.Syntax.expr -> Lang.Syntax.expr) ->
+  Lang.Syntax.expr -> Lang.Syntax.expr
+(** Apply [f] to each immediate subexpression. *)
+
+val bottom_up : (Lang.Syntax.expr -> Lang.Syntax.expr option) ->
+  Lang.Syntax.expr -> Lang.Syntax.expr * int
+(** Rewrite bottom-up with a root rule, applying it once at each node
+    (post-order); returns the number of sites rewritten. *)
+
+val fixpoint : ?max_rounds:int ->
+  (Lang.Syntax.expr -> Lang.Syntax.expr option) ->
+  Lang.Syntax.expr -> Lang.Syntax.expr * int
+(** Iterate {!bottom_up} until no rule fires (or [max_rounds]). *)
+
+val first_site : (Lang.Syntax.expr -> Lang.Syntax.expr option) ->
+  Lang.Syntax.expr -> Lang.Syntax.expr option
+(** Rewrite exactly one site (leftmost-outermost); [None] if the rule
+    never applies. *)
+
+val subterms : Lang.Syntax.expr -> Lang.Syntax.expr list
+(** All subexpressions, including the root (pre-order). *)
+
+val count_nodes : Lang.Syntax.expr -> int

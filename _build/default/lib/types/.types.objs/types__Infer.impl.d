@@ -1,0 +1,1 @@
+lib/types/infer.ml: Array Char Fmt Format Hashtbl Lang List Map Printf String

@@ -1,0 +1,1 @@
+lib/types/infer.mli: Fmt Lang

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Denot Exn_set Fixed Gen Imprecise List Pretty QCheck2 QCheck_alcotest Refine Rules String Subst Syntax Value

@@ -1,0 +1,1 @@
+test/test_ablation.ml: Alcotest Builder Denot Exn Exn_set Fmt Helpers Imprecise List Machine Option Refine Rules Value

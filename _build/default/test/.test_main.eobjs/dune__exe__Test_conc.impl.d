@@ -1,0 +1,1 @@
+test/test_conc.ml: Alcotest Conc Denot Exn Helpers Imprecise Infer List Machine Machine_conc Printf Stats Value

@@ -1,0 +1,1 @@
+test/test_denot.ml: Alcotest Builder Denot Exn Exn_set Gen Helpers Imprecise Parser Prelude Value

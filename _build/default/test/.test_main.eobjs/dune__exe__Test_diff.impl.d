@@ -1,0 +1,1 @@
+test/test_diff.ml: Denot Exn_set Fixed Fmt Gen Helpers Imprecise Io List Machine Machine_io Pipeline Prelude QCheck2 Rewrite Rules String Value

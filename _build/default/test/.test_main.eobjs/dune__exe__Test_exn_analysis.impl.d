@@ -1,0 +1,1 @@
+test/test_exn_analysis.ml: Alcotest Denot Effects Exn Exn_set Gen Helpers Imprecise List Parser Prelude Value

@@ -1,0 +1,1 @@
+test/test_exn_set.ml: Alcotest Exn Exn_set Fmt Helpers Imprecise List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_exval.ml: Alcotest Builder Denot Exn Exn_set Exval Fixed Gen Helpers Imprecise Machine Prelude Printf Stats Value

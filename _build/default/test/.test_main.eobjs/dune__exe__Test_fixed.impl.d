@@ -1,0 +1,1 @@
+test/test_fixed.ml: Alcotest Builder Denot Exn Fixed Gen Helpers Imprecise List Prelude Value

@@ -1,0 +1,1 @@
+test/test_gc.ml: Alcotest Exn Helpers Imprecise Machine Machine_io Printf Stats

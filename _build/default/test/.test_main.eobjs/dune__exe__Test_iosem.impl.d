@@ -1,0 +1,1 @@
+test/test_iosem.ml: Alcotest Denot Exn Fmt Helpers Imprecise Io List Oracle Printf Value

@@ -1,0 +1,1 @@
+test/test_lang_misc.ml: Alcotest Builder Con_info Denot Exn Helpers Imprecise List Machine Parser Printf Syntax

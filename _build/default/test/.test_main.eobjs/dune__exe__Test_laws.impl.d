@@ -1,0 +1,1 @@
+test/test_laws.ml: Alcotest Denot Exn Fmt Helpers Imprecise Laws Lazy List Printf Rules String Value

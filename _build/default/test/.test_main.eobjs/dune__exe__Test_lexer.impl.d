@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest Helpers Imprecise Lexer List Token

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Builder Exn Helpers Imprecise Machine Printf Stats Value

@@ -1,0 +1,1 @@
+test/test_machine_io.ml: Alcotest Exn Fmt Helpers Imprecise Io List Machine_io Printf Stats Value

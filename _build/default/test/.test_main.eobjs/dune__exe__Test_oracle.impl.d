@@ -1,0 +1,1 @@
+test/test_oracle.ml: Alcotest Exn Exn_set Helpers Imprecise List Oracle Printf

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Builder Helpers Imprecise List Parser Pretty Prim Syntax

@@ -1,0 +1,1 @@
+test/test_prelude.ml: Alcotest Exn Helpers Imprecise Infer List Prelude Printf String Value

@@ -1,0 +1,1 @@
+test/test_pretty.ml: Alcotest Builder Denot Exn Gen Helpers Imprecise Parser Pretty Printf Subst Syntax Value

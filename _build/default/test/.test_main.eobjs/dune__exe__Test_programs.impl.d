@@ -1,0 +1,1 @@
+test/test_programs.ml: Alcotest Conc Filename Helpers Imprecise In_channel Infer Io Lazy List Machine Machine_io Parser Pipeline String Sys

@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Builder Denot Exn Exn_set Fmt Gen Helpers Imprecise Io Machine Oracle Prelude QCheck2 String Subst Syntax Value

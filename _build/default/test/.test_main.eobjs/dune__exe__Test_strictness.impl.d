@@ -1,0 +1,1 @@
+test/test_strictness.ml: Alcotest Builder Helpers Imprecise List Parser Prelude Strictness Syntax

@@ -1,0 +1,1 @@
+test/test_subst.ml: Alcotest Builder Denot Gen Helpers Imprecise Prelude Pretty Prim QCheck2 Subst Syntax Value

@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Builder Denot Exn Exn_set Helpers Imprecise List Option Pipeline Printf Refine Rewrite Rules Syntax Value

@@ -1,0 +1,1 @@
+test/test_types.ml: Alcotest Denot Exn Exn_set Fmt Gen Helpers Imprecise Infer List Parser Prelude Syntax Value

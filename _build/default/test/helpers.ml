@@ -1,0 +1,85 @@
+(* Shared helpers for the test suites. *)
+open Imprecise
+
+let parse = Imprecise.parse
+let parse_raw = Imprecise.parse_raw
+
+(* Alcotest testables *)
+
+let deep : Value.deep Alcotest.testable =
+  Alcotest.testable Value.pp_deep Value.deep_equal
+
+let expr : Syntax.expr Alcotest.testable =
+  Alcotest.testable Pretty.pp_expr Syntax.equal
+
+let expr_alpha : Syntax.expr Alcotest.testable =
+  Alcotest.testable Pretty.pp_expr Subst.alpha_equal
+
+let exn_set : Exn_set.t Alcotest.testable =
+  Alcotest.testable Exn_set.pp Exn_set.equal
+
+let fixed_outcome : Fixed.outcome Alcotest.testable =
+  Alcotest.testable Fixed.pp_outcome Fixed.outcome_equal
+
+let verdict : Refine.verdict Alcotest.testable =
+  Alcotest.testable Refine.pp_verdict Refine.verdict_equal
+
+let status : Rules.status Alcotest.testable =
+  Alcotest.testable Rules.pp_status Rules.status_equal
+
+(* Deep-evaluation shorthands *)
+
+let ev ?config ?depth src = Denot.run_deep ?config ?depth (parse src)
+let ev_expr ?config ?depth e = Denot.run_deep ?config ?depth e
+
+let dint n = Value.DInt n
+let dbad es = Value.DBad (Exn_set.of_list es)
+let dbad_all = Value.DBad Exn_set.All
+let dtrue = Value.DCon ("True", [])
+let dfalse = Value.DCon ("False", [])
+
+let rec dlist = function
+  | [] -> Value.DCon ("Nil", [])
+  | d :: rest -> Value.DCon ("Cons", [ d; dlist rest ])
+
+let dints ns = dlist (List.map dint ns)
+
+let check_ev ?config msg expected src =
+  Alcotest.check deep msg expected (ev ?config src)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+(* QCheck integration *)
+
+let qtest_gen ?(count = 200) ?print name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count ?print gen prop)
+
+let qtest ?count name gen prop =
+  qtest_gen ?count ~print:Gen.print_expr name gen prop
+
+let print_expr_pair = QCheck2.Print.pair Gen.print_expr Gen.print_expr
+
+(* The "implements" relation between a machine/fixed result and the
+   imprecise denotation: every exception actually raised must be a member
+   of the semantic exception set (C13). *)
+let rec implements (impl : Value.deep) (den : Value.deep) : bool =
+  match (den, impl) with
+  | Value.DBad s, _ when Exn_set.is_all s -> true
+  | Value.DCut, _ | _, Value.DCut -> true
+  | Value.DBad s_d, Value.DBad s_i -> (
+      (* The implementation reports one representative (or diverged). *)
+      match Exn_set.elements s_i with
+      | Some [ e ] -> Exn_set.mem e s_d
+      | Some _ | None -> Exn_set.leq s_i s_d)
+  | Value.DInt a, Value.DInt b -> a = b
+  | Value.DChar a, Value.DChar b -> a = b
+  | Value.DString a, Value.DString b -> String.equal a b
+  | Value.DFun, Value.DFun -> true
+  | Value.DCon (c1, ds), Value.DCon (c2, is) ->
+      String.equal c1 c2
+      && List.length ds = List.length is
+      && List.for_all2 (fun d i -> implements i d) ds is
+  | ( (Value.DInt _ | Value.DChar _ | Value.DString _ | Value.DFun
+      | Value.DCon _ | Value.DBad _),
+      _ ) ->
+      false

@@ -1,0 +1,211 @@
+open Imprecise
+open Helpers
+module E = Exn
+
+(* The concurrency extension of Section 4.4's closing remark: forkIO and
+   MVars over the same denotational values as Iosem. *)
+
+let run ?config ?input src = Conc.run ?config ?input (parse src)
+
+let check_done msg expected (r : Conc.result) =
+  match r.Conc.outcome with
+  | Conc.Done d -> Alcotest.check deep msg expected d
+  | o -> Alcotest.failf "%s: unexpected %a" msg Conc.pp_outcome o
+
+let suite =
+  [
+    tc "single-threaded programs behave as in Iosem" (fun () ->
+        check_done "ret" (dint 8) (run "return 3 >>= \\x -> return (x + 5)");
+        let r = run ~input:"z" "getChar >>= \\c -> putChar c" in
+        Alcotest.(check string) "echo" "z" (Conc.output_string_of r));
+    tc "forkIO returns unit to the parent" (fun () ->
+        check_done "fork" (dint 5) (run "forkIO (return 1) >> return 5"));
+    tc "writers interleave round-robin" (fun () ->
+        let r =
+          run
+            "forkIO (putChar 'a' >> putChar 'b' >> putChar 'c') >>\n\
+             putChar 'x' >> putChar 'y' >> putChar 'z' >> return 0"
+        in
+        Alcotest.(check string) "interleaved" "xaybzc"
+          (Conc.output_string_of r);
+        Alcotest.(check int) "threads" 2 r.Conc.threads_spawned);
+    tc "MVar rendezvous" (fun () ->
+        check_done "mv" (dint 42)
+          (run
+             "newEmptyMVar >>= \\mv -> forkIO (putMVar mv 42) >>\n\
+              takeMVar mv >>= \\v -> return v"));
+    tc "ping-pong through two MVars" (fun () ->
+        check_done "pp" (dint 42)
+          (run
+             "newEmptyMVar >>= \\a -> newEmptyMVar >>= \\b ->\n\
+              forkIO (takeMVar a >>= \\x -> putMVar b (x + 1)) >>\n\
+              putMVar a 41 >> takeMVar b >>= \\r -> return r"));
+    tc "takeMVar blocks until a put" (fun () ->
+        (* Child delays its put behind some busywork; main still gets it. *)
+        check_done "delayed" (dint 7)
+          (run
+             "newEmptyMVar >>= \\mv ->\n\
+              forkIO (putInt (sum (enumFromTo 1 50)) >> putMVar mv 7) >>\n\
+              takeMVar mv >>= \\v -> return v"));
+    tc "putMVar blocks while full" (fun () ->
+        (* The second put waits until main takes; order of takes proves
+           the first put went through first. *)
+        check_done "full" (Value.DCon ("Pair", [ dint 1; dint 2 ]))
+          (run
+             "newEmptyMVar >>= \\mv ->\n\
+              forkIO (putMVar mv 1 >> putMVar mv 2) >>\n\
+              takeMVar mv >>= \\x -> takeMVar mv >>= \\y ->\n\
+              return (x, y)"));
+    tc "deadlock is detected" (fun () ->
+        match (run "newEmptyMVar >>= \\mv -> takeMVar mv").Conc.outcome with
+        | Conc.Deadlock -> ()
+        | o -> Alcotest.failf "unexpected %a" Conc.pp_outcome o);
+    tc "two takers deadlock after one put" (fun () ->
+        match
+          (run
+             "newEmptyMVar >>= \\mv -> putMVar mv 1 >>\n\
+              takeMVar mv >>= \\a -> takeMVar mv")
+            .Conc.outcome
+        with
+        | Conc.Deadlock -> ()
+        | o -> Alcotest.failf "unexpected %a" Conc.pp_outcome o);
+    tc "a child's uncaught exception kills only that thread" (fun () ->
+        let r = run "forkIO (putInt (1/0)) >> putChar 'k' >> return 5" in
+        check_done "main survives" (dint 5) r;
+        Alcotest.(check string) "output" "k" (Conc.output_string_of r);
+        Alcotest.(check bool)
+          "death recorded" true
+          (List.exists
+             (function Conc.E_thread_died (1, _) -> true | _ -> false)
+             r.Conc.trace));
+    tc "the main thread's uncaught exception ends the program" (fun () ->
+        match (run "putChar (head []) >> return 1").Conc.outcome with
+        | Conc.Uncaught (E.Pattern_match_fail "head") -> ()
+        | o -> Alcotest.failf "unexpected %a" Conc.pp_outcome o);
+    tc "getException works per-thread" (fun () ->
+        check_done "catch" (dint 99)
+          (run
+             "newEmptyMVar >>= \\mv ->\n\
+              forkIO (getException (1/0) >>= \\r ->\n\
+              case r of { OK v -> putMVar mv v; Bad e -> putMVar mv 99 }) >>\n\
+              takeMVar mv >>= \\v -> return v"));
+    tc "worker pool sums through an MVar" (fun () ->
+        (* Three workers deposit partial sums; main collects. *)
+        check_done "pool" (dint 600)
+          (run
+             "newEmptyMVar >>= \\mv ->\n\
+              forkIO (putMVar mv 100) >>\n\
+              forkIO (putMVar mv 200) >>\n\
+              forkIO (putMVar mv 300) >>\n\
+              takeMVar mv >>= \\a -> takeMVar mv >>= \\b ->\n\
+              takeMVar mv >>= \\c -> return (a + b + c)"));
+    tc "fork inherits lazy shared structure" (fun () ->
+        (* The shared thunk is forced once; both threads see the value. *)
+        check_done "shared" (Value.DCon ("Pair", [ dint 5050; dint 5050 ]))
+          (run
+             "let s = sum (enumFromTo 1 100) in\n\
+              newEmptyMVar >>= \\mv ->\n\
+              forkIO (putMVar mv s) >>\n\
+              takeMVar mv >>= \\a -> return (a, s)"));
+    tc "scheduler budget reports divergence" (fun () ->
+        match
+          (Conc.run ~max_steps:100
+             (parse "let rec spin = return 1 >>= \\x -> spin in spin"))
+            .Conc.outcome
+        with
+        | Conc.Diverged -> ()
+        | o -> Alcotest.failf "unexpected %a" Conc.pp_outcome o);
+    tc "MVar operations are typed (MVar a)" (fun () ->
+        (match Infer.check_string "\\mv -> takeMVar mv" with
+        | Ok t ->
+            Alcotest.(check string) "take" "MVar 'a -> IO 'a"
+              (Infer.ty_to_string t)
+        | Error e -> Alcotest.failf "%a" Infer.pp_error e);
+        (match Infer.check_string "newEmptyMVar >>= \\mv -> putMVar mv 3" with
+        | Ok t ->
+            Alcotest.(check string) "put" "IO Unit" (Infer.ty_to_string t)
+        | Error e -> Alcotest.failf "%a" Infer.pp_error e);
+        match Infer.check_string "putMVar 3 4" with
+        | Ok t -> Alcotest.failf "ill-typed accepted: %s" (Infer.ty_to_string t)
+        | Error _ -> ());
+    (* The machine implementation of the same extension. *)
+    tc "machine: MVar rendezvous" (fun () ->
+        let r =
+          Machine_conc.run
+            (parse
+               "newEmptyMVar >>= \\mv -> forkIO (putMVar mv 42) >>\n\
+                takeMVar mv >>= \\v -> return v")
+        in
+        match r.Machine_conc.outcome with
+        | Machine_conc.Done d -> Alcotest.check deep "42" (dint 42) d
+        | o -> Alcotest.failf "unexpected %a" Machine_conc.pp_outcome o);
+    tc "machine: thunks are shared across threads" (fun () ->
+        (* The shared sum is computed once: with sharing, total steps stay
+           well below two full evaluations. *)
+        let r =
+          Machine_conc.run
+            (parse
+               "let s = sum (enumFromTo 1 500) in\n\
+                newEmptyMVar >>= \\mv -> forkIO (putMVar mv s) >>\n\
+                takeMVar mv >>= \\a -> return (a + s)")
+        in
+        (match r.Machine_conc.outcome with
+        | Machine_conc.Done d -> Alcotest.check deep "sum" (dint 250500) d
+        | o -> Alcotest.failf "unexpected %a" Machine_conc.pp_outcome o);
+        let single, single_stats =
+          Machine.run_deep (parse "sum (enumFromTo 1 500)")
+        in
+        Alcotest.check deep "single" (dint 125250) single;
+        Alcotest.(check bool)
+          "shared work" true
+          (r.Machine_conc.stats.Stats.steps
+          < 2 * single_stats.Stats.steps));
+    tc "semantic and machine concurrency agree on a battery" (fun () ->
+        let battery =
+          [
+            "return (1 + 1)";
+            "forkIO (return 1) >> return 5";
+            "newEmptyMVar >>= \\mv -> forkIO (putMVar mv 7) >>\n\
+             takeMVar mv >>= \\v -> return v";
+            "newEmptyMVar >>= \\mv -> takeMVar mv";
+            "forkIO (putChar 'a' >> putChar 'b') >>\n\
+             putChar 'x' >> putChar 'y' >> return 0";
+            "newEmptyMVar >>= \\a -> newEmptyMVar >>= \\b ->\n\
+             forkIO (takeMVar a >>= \\x -> putMVar b (x * 2)) >>\n\
+             putMVar a 21 >> takeMVar b >>= \\r -> return r";
+          ]
+        in
+        List.iter
+          (fun src ->
+            let sem = Conc.run (parse src) in
+            let mach = Machine_conc.run (parse src) in
+            let agree =
+              match (sem.Conc.outcome, mach.Machine_conc.outcome) with
+              | Conc.Done d1, Machine_conc.Done d2 -> Value.deep_equal d1 d2
+              | Conc.Deadlock, Machine_conc.Deadlock -> true
+              | Conc.Uncaught e1, Machine_conc.Uncaught e2 -> Exn.equal e1 e2
+              | Conc.Diverged, Machine_conc.Diverged -> true
+              | _ -> false
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "outcome of %s" src)
+              true agree;
+            Alcotest.(check string)
+              (Printf.sprintf "output of %s" src)
+              (Conc.output_string_of sem)
+              mach.Machine_conc.output)
+          battery);
+    tc "a bottom transition does not starve later transitions" (fun () ->
+        (* putInt (1/0) explores reverse of an undefined list: its
+           denotation is bottom and burns a full tank; the refill keeps
+           the rest of the program healthy. *)
+        let r =
+          Conc.run
+            ~config:(Denot.with_fuel 20_000)
+            (parse
+               "forkIO (putInt (1/0)) >>\n\
+                putInt (sum (enumFromTo 1 100)) >> return 1")
+        in
+        check_done "healthy" (dint 1) r;
+        Alcotest.(check string) "output" "5050" (Conc.output_string_of r));
+  ]

@@ -1,0 +1,229 @@
+open Imprecise
+open Helpers
+module B = Builder
+module E = Exn
+
+(* The golden semantics tests: every worked example in the paper
+   (experiment C1), plus systematic coverage of the Section 4.2-4.3
+   equations and the Section 5 extensions. *)
+
+let suite =
+  [
+    (* Section 3.4: (1/0) + error "Urk" contains both exceptions. *)
+    tc "paper: (1/0) + error collects both exceptions" (fun () ->
+        check_ev "set"
+          (dbad [ E.Divide_by_zero; E.User_error "Urk" ])
+          "1 / 0 + error \"Urk\"");
+    (* Section 4: loop + error "Urk" = bottom = all exceptions. *)
+    tc "paper: loop + error is bottom (all exceptions)" (fun () ->
+        Alcotest.check deep "all" dbad_all
+          (Denot.run_deep ~config:(Denot.with_fuel 20_000)
+             B.loop_plus_error));
+    tc "paper: black hole denotes bottom" (fun () ->
+        Alcotest.check deep "all" dbad_all
+          (Denot.run_deep ~config:(Denot.with_fuel 20_000) B.black));
+    (* Section 4.2: λx.⊥ is a normal value, distinct from ⊥. *)
+    tc "paper: lambda returning bottom is not bottom" (fun () ->
+        match ev "\\x -> fix (\\y -> y)" with
+        | Value.DFun -> ()
+        | d -> Alcotest.failf "expected a function, got %a" Value.pp_deep d);
+    (* Section 4.2: application of an exceptional function unions the
+       argument's exceptions. *)
+    tc "exceptional function unions argument exceptions" (fun () ->
+        check_ev "union"
+          (dbad [ E.User_error "f"; E.User_error "a" ])
+          "(error \"f\") (error \"a\")");
+    tc "normal function does not union its argument (beta survives)"
+      (fun () -> check_ev "const" (dint 3) "(\\x -> 3) (1/0)");
+    (* Section 4.3: case in exception-finding mode. *)
+    tc "paper: case explores all alternatives on exceptional scrutinee"
+      (fun () ->
+        check_ev "finding"
+          (dbad [ E.Divide_by_zero; E.User_error "a"; E.Overflow ])
+          "case 1 / 0 of { Nil -> error \"a\"; Cons x xs -> raise Overflow }");
+    tc "case binders are Bad {} in finding mode" (fun () ->
+        (* The alternative returns the binder: Bad {} contributes no
+           exceptions, so only the scrutinee's remain. *)
+        check_ev "badempty"
+          (dbad [ E.Divide_by_zero ])
+          "case 1 / 0 of { Cons x xs -> x }");
+    tc "case on normal value selects the branch" (fun () ->
+        check_ev "select" (dint 1)
+          "case [7] of { Nil -> 0; Cons x xs -> 1 }");
+    tc "case literal patterns" (fun () ->
+        check_ev "lit" (dint 10) "case 3 of { 0 -> 0; 3 -> 10; _ -> 99 }");
+    tc "case falls through to pattern-match failure" (fun () ->
+        check_ev "pmf"
+          (dbad [ E.Pattern_match_fail "case" ])
+          "case 5 of { 0 -> 1 }");
+    tc "default binder pattern" (fun () ->
+        check_ev "default" (dint 6) "case 5 of { 0 -> 1; n -> n + 1 }");
+    (* Constructors are non-strict. *)
+    tc "constructors are lazy" (fun () ->
+        check_ev "lazy" (dint 1) "case (1/0) : [] of { Cons x xs -> 1 }");
+    tc "exceptional values hide in lists (paper 3.2)" (fun () ->
+        check_ev "zip"
+          (dlist [ dint 1; dbad [ E.Divide_by_zero ] ])
+          "zipWith (\\a b -> a / b) [1, 2] [1, 0]");
+    tc "zipWith unequal lists raises at the end (paper 3.2)" (fun () ->
+        check_ev "zipend"
+          (Value.DCon
+             ( "Cons",
+               [ dint 2; dbad [ E.User_error "Unequal lists" ] ] ))
+          "zipWith (\\a b -> a + b) [1] [1, 2]");
+    tc "zipWith on two empties" (fun () ->
+        check_ev "zipnil" (dints []) "zipWith (\\a b -> a + b) [] []");
+    (* Arithmetic. *)
+    tc "division by zero" (fun () ->
+        check_ev "div" (dbad [ E.Divide_by_zero ]) "1 / 0");
+    tc "modulo by zero" (fun () ->
+        check_ev "mod" (dbad [ E.Divide_by_zero ]) "1 % 0");
+    tc "overflow per the paper's 2^31 bound" (fun () ->
+        check_ev "ovf" (dbad [ E.Overflow ]) "1073741824 + 1073741824");
+    tc "no overflow just below the bound" (fun () ->
+        check_ev "max" (dint 2147483647) "2147483646 + 1");
+    tc "negative overflow" (fun () ->
+        check_ev "novf" (dbad [ E.Overflow ])
+          "(negate 2147483647) - 2");
+    tc "most negative value is representable" (fun () ->
+        check_ev "minint" (dint (-2147483648)) "(negate 2147483647) - 1");
+    tc "configurable int width" (fun () ->
+        let config = { Denot.default_config with int_bits = 8 } in
+        Alcotest.check deep "8bit" (dbad [ E.Overflow ])
+          (Denot.run_deep ~config (parse "100 + 100")));
+    tc "comparisons on characters and strings" (fun () ->
+        check_ev "chars" dtrue "'a' < 'b'";
+        check_ev "strs" dtrue "\"abc\" == \"abc\"");
+    (* seq (Section 3.2). *)
+    tc "seq forces its first argument" (fun () ->
+        check_ev "seq" (dbad [ E.Divide_by_zero; E.User_error "b" ])
+          "seq (1/0) (error \"b\")");
+    tc "seq on a normal value returns the second" (fun () ->
+        check_ev "seq2" (dint 2) "seq 1 2");
+    tc "seq with lambda is normal (lambda is whnf)" (fun () ->
+        check_ev "seqlam" (dint 5) "seq (\\x -> 1/0) 5");
+    (* raise. *)
+    tc "raise of an exceptional argument propagates" (fun () ->
+        check_ev "raiseprop" (dbad [ E.Divide_by_zero ]) "raise (1/0)");
+    tc "raise with computed payload" (fun () ->
+        check_ev "payload"
+          (dbad [ E.User_error "hi" ])
+          "raise (UserError \"hi\")");
+    tc "error is raise . UserError (Section 3.1)" (fun () ->
+        Alcotest.check deep "error"
+          (ev "raise (UserError \"x\")")
+          (ev "error \"x\""));
+    (* let and letrec. *)
+    tc "let is lazy" (fun () -> check_ev "letlazy" (dint 1) "let x = 1/0 in 1");
+    tc "let shares" (fun () ->
+        check_ev "share" (dint 14) "let x = 3 + 4 in x + x");
+    tc "letrec defines recursive functions" (fun () ->
+        check_ev "fact" (dint 120)
+          "let rec fact n = if n == 0 then 1 else n * fact (n - 1) in fact 5");
+    tc "mutual recursion" (fun () ->
+        check_ev "evenodd" dtrue
+          "let rec even n = if n == 0 then True else odd (n - 1)\n\
+           and odd n = if n == 0 then False else even (n - 1) in even 10");
+    tc "letrec lazy value knot" (fun () ->
+        check_ev "knot" (dints [ 1; 1; 1 ])
+          "let rec ones = 1 : ones in take 3 ones");
+    (* fix. *)
+    tc "fix computes fixpoints" (fun () ->
+        check_ev "fix" (dint 120)
+          "(fix (\\f -> \\n -> if n == 0 then 1 else n * f (n - 1))) 5");
+    tc "strict fix is bottom" (fun () ->
+        Alcotest.check deep "fixbot" dbad_all
+          (Denot.run_deep ~config:(Denot.with_fuel 10_000) B.loop));
+    tc "lazy fix builds infinite structure" (fun () ->
+        check_ev "cofix" (dints [ 7; 7 ])
+          "take 2 (fix (\\xs -> 7 : xs))");
+    (* mapException (Section 5.4). *)
+    tc "mapException on a normal value is identity" (fun () ->
+        check_ev "mapid" (dint 4) "mapException (\\e -> Overflow) 4");
+    tc "mapException rewrites the set" (fun () ->
+        check_ev "maprw"
+          (dbad [ E.User_error "mapped" ])
+          "mapException (\\e -> UserError \"mapped\") (1/0)");
+    tc "mapException maps each member" (fun () ->
+        check_ev "mapall"
+          (dbad [ E.User_error "DivideByZero"; E.User_error "X" ])
+          "mapException\n\
+           (\\e -> case e of { DivideByZero -> UserError \"DivideByZero\";\n\
+           z -> UserError \"X\" })\n\
+           (1/0 + error \"u\")");
+    tc "mapException over bottom is bottom" (fun () ->
+        Alcotest.check deep "mapbot" dbad_all
+          (Denot.run_deep ~config:(Denot.with_fuel 10_000)
+             (parse "mapException (\\e -> Overflow) (fix (\\x -> x))")));
+    (* unsafeIsException (Section 5.4). *)
+    tc "unsafeIsException optimistic on exceptional" (fun () ->
+        check_ev "isexn" dtrue "unsafeIsException (1/0)");
+    tc "unsafeIsException optimistic on normal" (fun () ->
+        check_ev "isexn2" dfalse "unsafeIsException 3");
+    tc "pessimistic isException is bottom on possible nontermination"
+      (fun () ->
+        let config =
+          {
+            (Denot.with_fuel 10_000) with
+            pessimistic_is_exception = true;
+          }
+        in
+        Alcotest.check deep "pess" dbad_all
+          (Denot.run_deep ~config
+             (parse "unsafeIsException (1/0 + fix (\\x -> x))")));
+    tc "optimistic isException answers True on the same term" (fun () ->
+        Alcotest.check deep "opt" dtrue
+          (Denot.run_deep ~config:(Denot.with_fuel 10_000)
+             (parse "unsafeIsException (1/0 + fix (\\x -> x))")));
+    (* unsafeGetException (Section 6). *)
+    tc "unsafeGetException wraps normal values" (fun () ->
+        check_ev "ok" (Value.DCon ("OK", [ dint 7 ]))
+          "unsafeGetException (3 + 4)");
+    tc "unsafeGetException catches purely" (fun () ->
+        check_ev "bad"
+          (Value.DCon ("Bad", [ Value.DCon ("DivideByZero", []) ]))
+          "unsafeGetException (1/0)");
+    tc "unsafeGetException picks a deterministic representative" (fun () ->
+        (* The proof obligation of Section 6 is violated here (two members
+           in the set); the reference semantics answers with the smallest
+           member, deterministically. *)
+        Alcotest.check deep "same"
+          (ev "unsafeGetException (1/0 + error \"Urk\")")
+          (ev "unsafeGetException (1/0 + error \"Urk\")"));
+    (* Type errors. *)
+    tc "unbound variable is a type error" (fun () ->
+        match Denot.run_deep (Parser.parse_expr "nope") with
+        | Value.DBad s ->
+            Alcotest.(check bool) "te" true
+              (Exn_set.mem (E.Type_error "unbound variable nope") s)
+        | d -> Alcotest.failf "got %a" Value.pp_deep d);
+    tc "applying a non-function is a type error" (fun () ->
+        match ev "1 2" with
+        | Value.DBad _ -> ()
+        | d -> Alcotest.failf "got %a" Value.pp_deep d);
+    (* Fuel approximation. *)
+    tc "fuel exhaustion is bottom" (fun () ->
+        Alcotest.check deep "fuel" dbad_all
+          (Denot.run_deep ~config:(Denot.with_fuel 10)
+             (parse "sum (enumFromTo 1 100)")));
+    qtest ~count:80 "fuel monotonicity: more fuel refines the result"
+      (Gen.gen_int ())
+      (fun e ->
+        let w = Prelude.wrap e in
+        let d1 = Denot.run_deep ~config:(Denot.with_fuel 2_000) w in
+        let d2 = Denot.run_deep ~config:(Denot.with_fuel 12_000) w in
+        Value.deep_leq d1 d2);
+    qtest ~count:80 "pure generated terms raise only partiality exceptions"
+      (Gen.gen ~cfg:Gen.pure_cfg Gen.T_int)
+      (fun e ->
+        match Denot.run_deep ~config:(Denot.with_fuel 15_000)
+                (Prelude.wrap e)
+        with
+        | Value.DInt _ -> true
+        | Value.DBad s ->
+            (* Pure terms can still overflow via *, and Prelude partial
+               functions (head, index) can fail to match; division is the
+               thing [pure_cfg] rules out. *)
+            not (Exn_set.mem E.Divide_by_zero s)
+        | _ -> false);
+  ]

@@ -1,0 +1,154 @@
+open Imprecise
+open Helpers
+
+(* C13: the implementations refine the denotational semantics. Every
+   exception an implementation actually reports must be a member of the
+   semantic exception set, and normal results must agree exactly. *)
+
+let machine_config = { Machine.default_config with fuel = 2_000_000 }
+let denot_config = Denot.with_fuel 20_000
+
+let machine_deep e =
+  let d, _ = Machine.run_deep ~config:machine_config ~depth:24 e in
+  d
+
+let denot_deep e = Denot.run_deep ~config:denot_config ~depth:24 e
+
+let suite =
+  [
+    qtest ~count:150 "machine refines denotation on int terms"
+      (Gen.gen_int ())
+      (fun e ->
+        let w = Prelude.wrap e in
+        implements (machine_deep w) (denot_deep w));
+    qtest ~count:100 "machine refines denotation on list terms"
+      (Gen.gen_list ())
+      (fun e ->
+        let w = Prelude.wrap e in
+        implements (machine_deep w) (denot_deep w));
+    qtest ~count:80 "machine agrees exactly with fixed-order L2R"
+      (Gen.gen_int ())
+      (fun e ->
+        (* Both are deterministic left-to-right call-by-need evaluators,
+           so they should report the *same* representative. *)
+        let w = Prelude.wrap e in
+        let md = machine_deep w in
+        let fd =
+          Fixed.outcome_to_deep
+            (Fixed.run_deep ~fuel:1_000_000 ~depth:24 Fixed.Left_to_right w)
+        in
+        match (md, fd) with
+        | Value.DBad s, _ when Exn_set.is_all s -> true
+        | _, Value.DBad s when Exn_set.is_all s -> true
+        | _ -> Value.deep_equal md fd);
+    qtest ~count:60 "denotation is deterministic"
+      (Gen.gen_int ())
+      (fun e ->
+        let w = Prelude.wrap e in
+        Value.deep_equal (denot_deep w) (denot_deep w));
+    qtest ~count:80 "terms whose denotation is exception-free agree \
+                      exactly across all engines"
+      (Gen.gen ~cfg:Gen.pure_cfg Gen.T_int)
+      (fun e ->
+        (* pure_cfg rules out raise sites and division, but Prelude
+           partiality (head, index) and overflow can still produce
+           exceptional denotations; exact three-way agreement is required
+           only when the denotation is exception-free. *)
+        let rec has_bad = function
+          | Value.DBad _ -> true
+          | Value.DCon (_, ds) -> List.exists has_bad ds
+          | Value.DInt _ | Value.DChar _ | Value.DString _ | Value.DFun
+          | Value.DCut ->
+              false
+        in
+        let w = Prelude.wrap e in
+        let dd = denot_deep w in
+        let md = machine_deep w in
+        let fd =
+          Fixed.outcome_to_deep
+            (Fixed.run_deep ~fuel:1_000_000 ~depth:24 Fixed.Left_to_right w)
+        in
+        if has_bad dd then implements md dd
+        else Value.deep_equal dd md && Value.deep_equal md fd);
+    qtest ~count:60 "optimised terms refine the original denotation"
+      (Gen.gen_int ())
+      (fun e ->
+        let w = Prelude.wrap e in
+        let optimised, _ = Pipeline.optimize Pipeline.Imprecise w in
+        Value.deep_leq (denot_deep w) (denot_deep optimised));
+    qtest ~count:60 "machine still refines after optimisation"
+      (Gen.gen_int ())
+      (fun e ->
+        let w = Prelude.wrap e in
+        let optimised, _ = Pipeline.optimize Pipeline.Imprecise w in
+        implements (machine_deep optimised) (denot_deep w)
+        || implements (machine_deep optimised) (denot_deep optimised));
+    qtest ~count:80 "semantic and machine IO drivers agree on programs"
+      (Gen.gen_io ())
+      (fun prog ->
+        let w = Prelude.wrap prog in
+        (* Generous budgets so fuel exhaustion cannot masquerade as a
+           semantic disagreement. *)
+        let sem = Io.run ~config:(Denot.with_fuel 100_000) w in
+        let mach = Machine_io.run ~config:machine_config w in
+        let output_ok =
+          (* On uncaught/divergent runs the two drivers may cut the write
+             trace at slightly different points; one trace must still be a
+             prefix of the other. *)
+          let a = Io.output_string_of sem and b = mach.Machine_io.output in
+          let shorter, longer =
+            if String.length a <= String.length b then (a, b) else (b, a)
+          in
+          String.equal shorter (String.sub longer 0 (String.length shorter))
+        in
+        let outcome_ok =
+          match (sem.Io.outcome, mach.Machine_io.outcome) with
+          | Io.Done d1, Machine_io.Done d2 ->
+              (* The returned value may itself be exceptional: the machine
+                 reports a representative of the semantic set. *)
+              implements d2 d1
+          | Io.Uncaught _, Machine_io.Uncaught _ -> true
+          | Io.Io_diverged, _ | _, Machine_io.Io_diverged ->
+              true (* fuel budgets differ between the engines *)
+          | Io.Done _, Machine_io.Uncaught _
+          | Io.Uncaught _, Machine_io.Done _ ->
+              (* A set containing NonTermination lets the semantic layer
+                 report an uncaught (possibly fictitious, 5.3) exception
+                 where the machine simply keeps computing, or vice versa;
+                 only flag genuinely different values. *)
+              false
+          | Io.Stuck _, Machine_io.Stuck _ -> true
+          | _ -> false
+        in
+        if not (output_ok && outcome_ok) then
+          QCheck2.Test.fail_reportf "sem: %s out=%S@.mach: %s out=%S"
+            (Fmt.str "%a" Io.pp_outcome sem.Io.outcome)
+            (Io.output_string_of sem)
+            (Fmt.str "%a" Machine_io.pp_outcome mach.Machine_io.outcome)
+            mach.Machine_io.output
+        else true);
+    qtest ~count:50 "rule rewrites preserve or refine denotations"
+      (Gen.gen_int ())
+      (fun e ->
+        (* Apply every claimed-valid rule anywhere it fires and check the
+           result against the claim. *)
+        let w = Prelude.wrap e in
+        List.for_all
+          (fun (r : Rules.rule) ->
+            match r.Rules.imprecise with
+            | Rules.Invalid -> true
+            | Rules.Identity | Rules.Refinement -> (
+                match Rewrite.first_site r.Rules.applies w with
+                | None -> true
+                | Some w' ->
+                    Value.deep_leq (denot_deep w) (denot_deep w')))
+          [
+            Rules.beta;
+            Rules.let_inline;
+            Rules.plus_commute;
+            Rules.case_of_known_constructor;
+            Rules.dead_let;
+            Rules.case_of_case;
+            Rules.strictness_cbv;
+          ]);
+  ]

@@ -1,0 +1,105 @@
+open Imprecise
+open Helpers
+module EA = Effects
+module E = Exn
+
+let analyze src = EA.analyze (Parser.parse_expr src)
+let is_pure src = EA.pure (analyze src)
+
+let check_pure msg expected src =
+  Alcotest.(check bool) msg expected (is_pure src)
+
+let may_raise src e = Exn_set.mem e (Exn_set.Finite (analyze src).EA.may_raise)
+
+let suite =
+  [
+    tc "literals are pure" (fun () -> check_pure "lit" true "42");
+    tc "lambdas are pure values" (fun () ->
+        check_pure "lam" true "\\x -> 1/0");
+    tc "constructors are pure" (fun () ->
+        check_pure "con" true "Cons (1/0) Nil");
+    tc "addition may overflow" (fun () ->
+        check_pure "add" false "1 + 2";
+        Alcotest.(check bool) "ovf" true (may_raise "1 + 2" E.Overflow));
+    tc "division may divide by zero" (fun () ->
+        Alcotest.(check bool)
+          "div" true
+          (may_raise "x / y" E.Divide_by_zero));
+    tc "comparison of bound variables is pure" (fun () ->
+        (* Unbound variables are analysed as top; bind them. *)
+        check_pure "cmp" true "let x = 1 in let y = 2 in x == y");
+    tc "literal raise is precise" (fun () ->
+        Alcotest.(check bool)
+          "user" true
+          (may_raise "raise (UserError \"x\")" (E.User_error "x")));
+    tc "computed raise is unknown" (fun () ->
+        Alcotest.(check bool) "unknown" true (analyze "raise e").EA.unknown);
+    tc "non-exhaustive case may fail to match" (fun () ->
+        Alcotest.(check bool)
+          "pmf" true
+          (may_raise "let x = True in case x of { True -> 1 }"
+             (E.Pattern_match_fail "case")));
+    tc "exhaustive-by-default case does not add match failure" (fun () ->
+        let t = analyze "let x = True in case x of { True -> 1; z -> 2 }" in
+        Alcotest.(check bool)
+          "no pmf" false
+          (E.Set.exists
+             (function E.Pattern_match_fail _ -> true | _ -> false)
+             t.EA.may_raise));
+    tc "known lambda application is analysed through beta" (fun () ->
+        check_pure "beta" true "(\\x -> x) True");
+    tc "let-bound function latent effect charged at call" (fun () ->
+        let t = analyze "let f = \\x -> 1/0 in f 3" in
+        Alcotest.(check bool)
+          "div" true
+          (E.Set.mem E.Divide_by_zero t.EA.may_raise));
+    tc "let-bound function unapplied is pure" (fun () ->
+        check_pure "unapplied" true "let f = \\x -> 1/0 in True");
+    tc "unknown function application is unknown" (fun () ->
+        Alcotest.(check bool) "unknown" true (analyze "g 3").EA.unknown);
+    tc "recursion is pessimistically divergent" (fun () ->
+        let t = analyze "let rec f x = if x == 0 then 0 else f (x - 1) in f 3" in
+        Alcotest.(check bool) "diverge" true t.EA.may_diverge);
+    tc "seq combines effects" (fun () ->
+        Alcotest.(check bool)
+          "both" true
+          (may_raise "seq (1/0) (raise (UserError \"b\"))" E.Divide_by_zero
+          && may_raise "seq (1/0) (raise (UserError \"b\"))"
+               (E.User_error "b")));
+    tc "purity implies actual exception-freedom (soundness)" (fun () ->
+        (* On a battery of closed terms: whenever the analysis says pure,
+           the denotational semantics must agree. *)
+        let battery =
+          [
+            "42";
+            "let x = True in case x of { True -> 1; False -> 2 }";
+            "(\\x -> x) Nil";
+            "let f = \\x -> x in f (f True)";
+            "Cons 1 Nil";
+            "1 + 1";
+            "1 / 0";
+            "let rec f x = f x in f 1";
+            "case [1] of { Nil -> 0; Cons h t -> 5 }";
+          ]
+        in
+        List.iter
+          (fun src ->
+            let t = EA.analyze (Parser.parse_expr src) in
+            if EA.pure t then
+              match Denot.run_deep ~config:(Denot.with_fuel 20_000)
+                      (parse src)
+              with
+              | Value.DBad _ ->
+                  Alcotest.failf "claimed pure but failed: %s" src
+              | _ -> ())
+          battery);
+    qtest ~count:100 "analysis soundness on random terms" (Gen.gen_int ())
+      (fun e ->
+        let w = Prelude.wrap e in
+        let t = EA.analyze w in
+        if EA.pure t then
+          match Denot.run_deep ~config:(Denot.with_fuel 15_000) w with
+          | Value.DBad _ -> false
+          | _ -> true
+        else true);
+  ]

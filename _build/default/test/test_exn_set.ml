@@ -1,0 +1,109 @@
+open Imprecise
+module ES = Exn_set
+
+let gen_exn : Exn.t QCheck2.Gen.t = QCheck2.Gen.oneofl Exn.all_known
+
+let gen_set : ES.t QCheck2.Gen.t =
+  QCheck2.Gen.(
+    frequency
+      [
+        (1, return ES.All);
+        (1, return ES.empty);
+        (6, map ES.of_list (list_size (int_range 0 5) gen_exn));
+      ])
+
+let print_set = Fmt.str "%a" ES.pp
+let print_set2 = QCheck2.Print.pair print_set print_set
+let print_set3 =
+  QCheck2.Print.triple print_set print_set print_set
+
+let q ?(count = 500) name gen print prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count ~print gen prop)
+
+let suite =
+  [
+    Helpers.tc "bottom is All" (fun () ->
+        Alcotest.(check bool) "all" true (ES.is_all ES.bottom));
+    Helpers.tc "empty is not All and is empty" (fun () ->
+        Alcotest.(check bool) "not all" false (ES.is_all ES.empty);
+        Alcotest.(check bool) "empty" true (ES.is_empty ES.empty));
+    Helpers.tc "All contains everything" (fun () ->
+        List.iter
+          (fun e -> Alcotest.(check bool) "mem" true (ES.mem e ES.All))
+          Exn.all_known);
+    Helpers.tc "union with All is All" (fun () ->
+        Alcotest.check Helpers.exn_set "union" ES.All
+          (ES.union ES.All (ES.singleton Exn.Overflow)));
+    Helpers.tc "ordering is reverse inclusion" (fun () ->
+        let s1 = ES.of_list [ Exn.Overflow; Exn.Divide_by_zero ] in
+        let s2 = ES.singleton Exn.Overflow in
+        Alcotest.(check bool) "bigger set is lower" true (ES.leq s1 s2);
+        Alcotest.(check bool) "smaller set is not lower" false (ES.leq s2 s1));
+    Helpers.tc "bottom below empty" (fun () ->
+        Alcotest.(check bool) "leq" true (ES.leq ES.bottom ES.empty));
+    Helpers.tc "choose on All is NonTermination" (fun () ->
+        Alcotest.(check bool)
+          "choose" true
+          (ES.choose ES.All = Some Exn.Non_termination));
+    Helpers.tc "choose on empty is None" (fun () ->
+        Alcotest.(check bool) "choose" true (ES.choose ES.empty = None));
+    Helpers.tc "has_non_termination" (fun () ->
+        Alcotest.(check bool) "all" true (ES.has_non_termination ES.All);
+        Alcotest.(check bool)
+          "finite without" false
+          (ES.has_non_termination (ES.singleton Exn.Overflow));
+        Alcotest.(check bool)
+          "finite with" true
+          (ES.has_non_termination (ES.singleton Exn.Non_termination)));
+    Helpers.tc "map on All stays All" (fun () ->
+        Alcotest.check Helpers.exn_set "map" ES.All
+          (ES.map (fun _ -> Exn.Overflow) ES.All));
+    Helpers.tc "map collapses members" (fun () ->
+        Alcotest.check Helpers.exn_set "map"
+          (ES.singleton Exn.Overflow)
+          (ES.map
+             (fun _ -> Exn.Overflow)
+             (ES.of_list [ Exn.Divide_by_zero; Exn.User_error "x" ])));
+    Helpers.tc "filter_async removes async members" (fun () ->
+        Alcotest.check Helpers.exn_set "filter"
+          (ES.singleton Exn.Overflow)
+          (ES.filter_async (ES.of_list [ Exn.Overflow; Exn.Timeout ])));
+    Helpers.tc "cardinal" (fun () ->
+        Alcotest.(check (option int)) "all" None (ES.cardinal ES.All);
+        Alcotest.(check (option int))
+          "two" (Some 2)
+          (ES.cardinal (ES.of_list [ Exn.Overflow; Exn.Interrupt ])));
+    (* Lattice laws. *)
+    q "union is commutative"
+      QCheck2.Gen.(pair gen_set gen_set)
+      print_set2
+      (fun (a, b) -> ES.equal (ES.union a b) (ES.union b a));
+    q "union is associative"
+      QCheck2.Gen.(triple gen_set gen_set gen_set)
+      print_set3
+      (fun (a, b, c) ->
+        ES.equal (ES.union a (ES.union b c)) (ES.union (ES.union a b) c));
+    q "union is idempotent" gen_set print_set (fun a ->
+        ES.equal (ES.union a a) a);
+    q "union is the meet: below both operands"
+      QCheck2.Gen.(pair gen_set gen_set)
+      print_set2
+      (fun (a, b) ->
+        ES.leq (ES.union a b) a && ES.leq (ES.union a b) b);
+    q "leq is reflexive" gen_set print_set (fun a -> ES.leq a a);
+    q "leq is antisymmetric"
+      QCheck2.Gen.(pair gen_set gen_set)
+      print_set2
+      (fun (a, b) -> (not (ES.leq a b && ES.leq b a)) || ES.equal a b);
+    q "leq is transitive"
+      QCheck2.Gen.(triple gen_set gen_set gen_set)
+      print_set3
+      (fun (a, b, c) ->
+        (not (ES.leq a b && ES.leq b c)) || ES.leq a c);
+    q "bottom is least" gen_set print_set (fun a -> ES.leq ES.bottom a);
+    q "empty is greatest" gen_set print_set (fun a -> ES.leq a ES.empty);
+    q "chosen member is a member" gen_set print_set (fun a ->
+        match ES.choose a with
+        | None -> ES.is_empty a
+        | Some e -> ES.mem e a);
+  ]

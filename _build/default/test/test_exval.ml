@@ -1,0 +1,111 @@
+open Imprecise
+open Helpers
+module B = Builder
+module E = Exn
+
+(* The Section 2 baseline: explicit ExVal encoding. *)
+
+let eval_encoded ?config src =
+  Exval.decode_deep (Denot.run_deep ?config (Exval.encode (parse src)))
+
+let suite =
+  [
+    tc "pure value round-trips through the encoding" (fun () ->
+        Alcotest.check deep "int" (dint 42) (eval_encoded "6 * 7"));
+    tc "exception becomes an explicit Bad" (fun () ->
+        Alcotest.check deep "div" (dbad [ E.Divide_by_zero ])
+          (eval_encoded "1 / 0"));
+    tc "encoding fixes left-to-right order" (fun () ->
+        (* The encoded program tests operands in sequence, so only the
+           first exception survives — exactly the imprecision the paper
+           complains explicit encodings cannot avoid. *)
+        Alcotest.check deep "first" (dbad [ E.Divide_by_zero ])
+          (eval_encoded "1/0 + error \"Urk\""));
+    tc "laziness is preserved by the encoding" (fun () ->
+        Alcotest.check deep "lazy" (dint 3) (eval_encoded "(\\x -> 3) (1/0)"));
+    tc "lazy constructors in the encoding" (fun () ->
+        Alcotest.check deep "list"
+          (dlist [ dint 1; dbad [ E.Divide_by_zero ] ])
+          (eval_encoded "zipWith (\\a b -> a / b) [1, 2] [1, 0]"));
+    tc "pure getException reifies" (fun () ->
+        Alcotest.check deep "reify" (dint 99)
+          (eval_encoded
+             "case getException (1/0) of { OK v -> 0 - 1;\n\
+              Bad e -> case e of { DivideByZero -> 99; z -> 0 } }"));
+    tc "recursive functions encode" (fun () ->
+        Alcotest.check deep "fib" (dint 55)
+          (eval_encoded
+             "let rec fib n = if n < 2 then n else fib (n-1) + fib (n-2)\n\
+              in fib 10"));
+    tc "letrec data encodes" (fun () ->
+        Alcotest.check deep "take" (dints [ 1; 1; 1 ])
+          (eval_encoded "let rec ones = 1 : ones in take 3 ones"));
+    tc "fix encodes" (fun () ->
+        Alcotest.check deep "fix" (dint 120)
+          (eval_encoded
+             "(fix (\\f -> \\n -> if n == 0 then 1 else n * f (n-1))) 5"));
+    tc "seq encodes" (fun () ->
+        Alcotest.check deep "seq" (dbad [ E.User_error "a" ])
+          (eval_encoded "seq (error \"a\") 2"));
+    tc "mapException encodes" (fun () ->
+        Alcotest.check deep "mapexn"
+          (dbad [ E.User_error "m" ])
+          (eval_encoded "mapException (\\e -> UserError \"m\") (1/0)"));
+    tc "unsafeIsException encodes" (fun () ->
+        Alcotest.check deep "isexn" dtrue
+          (eval_encoded "unsafeIsException (error \"x\")"));
+    tc "raise of computed exception encodes" (fun () ->
+        Alcotest.check deep "computed"
+          (dbad [ E.User_error "abc" ])
+          (eval_encoded "raise (UserError \"abc\")"));
+    tc "code blowup is substantial (paper 2.2)" (fun () ->
+        let e =
+          parse_raw
+            "let rec fib n = if n < 2 then n else fib (n-1) + fib (n-2)\n\
+             in fib 10"
+        in
+        let blowup = Exval.code_blowup e in
+        Alcotest.(check bool)
+          (Printf.sprintf "blowup %.2f > 1.8" blowup)
+          true (blowup > 1.8));
+    tc "try_expr reifies at the top" (fun () ->
+        let d = Denot.run_deep (Exval.try_expr (parse "1/0")) in
+        match Exval.decode_deep d with
+        | Value.DCon ("Bad", _) -> ()
+        | d' -> Alcotest.failf "got %a" Value.pp_deep d');
+    (* Differential: the encoding implements the fixed-order left-to-right
+       precise semantics on scalar results. *)
+    qtest ~count:100 "encoded program agrees with fixed-order semantics"
+      (Gen.gen_int ())
+      (fun e ->
+        let w = Prelude.wrap e in
+        let encoded =
+          Exval.decode_deep
+            (Denot.run_deep ~config:(Denot.with_fuel 25_000)
+               (Exval.encode w))
+        in
+        let direct =
+          Fixed.outcome_to_deep
+            (Fixed.run_deep ~fuel:25_000 Fixed.Left_to_right w)
+        in
+        (* Fuel exhaustion on either side gives DBad All; treat any pair
+           involving All as mutually acceptable divergence. *)
+        match (encoded, direct) with
+        | Value.DBad s, _ when Exn_set.is_all s -> true
+        | _, Value.DBad s when Exn_set.is_all s -> true
+        | _ -> Value.deep_equal encoded direct);
+    qtest ~count:60 "encoding never uses the host exception mechanism"
+      (Gen.gen_int ())
+      (fun e ->
+        (* Running the encoded term on the *machine* must never unwind:
+           every failure is an explicit Bad value. (Overflow is the
+           documented exception: the encoding keeps real arithmetic.) *)
+        let w = Prelude.wrap e in
+        let _, stats =
+          Machine.run_expr
+            ~config:{ Machine.default_config with fuel = 1_000_000 }
+            (Exval.encode w)
+        in
+        stats.Stats.thunks_poisoned = 0
+        || Exn_set.mem E.Overflow (Denot.exception_set w));
+  ]

@@ -1,0 +1,127 @@
+open Imprecise
+open Helpers
+module B = Builder
+module E = Exn
+
+let l2r ?depth e = Fixed.run_deep ?depth Fixed.Left_to_right e
+let r2l ?depth e = Fixed.run_deep ?depth Fixed.Right_to_left e
+
+let check_out msg expected got = Alcotest.check fixed_outcome msg expected got
+
+let suite =
+  [
+    tc "value evaluation" (fun () ->
+        check_out "v" (Fixed.Value (dint 5)) (l2r (parse "2 + 3")));
+    tc "paper: L2R picks DivideByZero first" (fun () ->
+        check_out "l2r" (Fixed.Raised E.Divide_by_zero)
+          (l2r B.div_zero_plus_error));
+    tc "paper: R2L picks UserError first" (fun () ->
+        check_out "r2l"
+          (Fixed.Raised (E.User_error "Urk"))
+          (r2l B.div_zero_plus_error));
+    tc "the fixed order makes + non-commutative" (fun () ->
+        let a = parse "1/0 + error \"Urk\""
+        and b = parse "error \"Urk\" + 1/0" in
+        Alcotest.(check bool)
+          "differ" false
+          (Fixed.outcome_equal (l2r a) (l2r b)));
+    tc "divergence reported" (fun () ->
+        check_out "div" Fixed.Diverged (Fixed.run ~fuel:5_000 Fixed.Left_to_right B.loop));
+    tc "black hole detected as divergence" (fun () ->
+        check_out "bh" Fixed.Diverged
+          (Fixed.run ~fuel:5_000 Fixed.Left_to_right B.black));
+    tc "failed thunks re-raise the same exception" (fun () ->
+        (* let x = 1/0 in (catch x, catch x): both catches observe the
+           same exception even under a random policy. *)
+        let e =
+          parse
+            "let x = 1/0 + error \"u\" in\n\
+             eqExVal (\\a b -> a == b) (GetException x) (GetException x)"
+        in
+        List.iter
+          (fun seed ->
+            check_out "same" (Fixed.Value dtrue)
+              (Fixed.run_deep (Fixed.Random seed) e))
+          [ 0; 1; 2; 3; 4; 5; 6; 7 ]);
+    tc "paper: beta substitution breaks under pure nondet getException"
+      (fun () ->
+        let subst =
+          parse
+            "eqExVal (\\a b -> a == b)\n\
+             (GetException (1/0 + error \"Urk\"))\n\
+             (GetException (1/0 + error \"Urk\"))"
+        in
+        let outcomes =
+          Fixed.outcomes ~seeds:(List.init 40 (fun i -> i)) subst
+        in
+        Alcotest.(check bool)
+          "both True and False observed" true
+          (List.exists
+             (Fixed.outcome_equal (Fixed.Value dtrue))
+             outcomes
+          && List.exists
+               (Fixed.outcome_equal (Fixed.Value dfalse))
+               outcomes));
+    tc "pure getException catches" (fun () ->
+        check_out "catch"
+          (Fixed.Value (Value.DCon ("Bad", [ Value.DCon ("DivideByZero", []) ])))
+          (l2r (parse "GetException (1/0)")));
+    tc "pure getException wraps normal values" (fun () ->
+        check_out "ok"
+          (Fixed.Value (Value.DCon ("OK", [ dint 3 ])))
+          (l2r (parse "GetException 3")));
+    tc "deep forcing raises first exception in walk order" (fun () ->
+        check_out "deep"
+          (Fixed.Raised (E.User_error "first"))
+          (l2r (parse "[error \"first\", error \"second\"]")));
+    tc "mapException under fixed order transforms the exception" (fun () ->
+        check_out "mapexn"
+          (Fixed.Raised (E.User_error "mapped"))
+          (l2r (parse "mapException (\\e -> UserError \"mapped\") (1/0)")));
+    tc "unsafeIsException observes the raise" (fun () ->
+        check_out "isexn" (Fixed.Value dtrue)
+          (l2r (parse "unsafeIsException (1/0)")));
+    tc "paper: isException answer depends on evaluation order" (fun () ->
+        (* isException ((1/0) + loop): True if the implementation
+           evaluates 1/0 first, divergence if it evaluates loop first —
+           the Section 5.4 argument that a pure isException is
+           unimplementable. *)
+        let e = parse "unsafeIsException (1/0 + fix (\\x -> x))" in
+        check_out "l2r is True" (Fixed.Value dtrue)
+          (Fixed.run_deep ~fuel:50_000 Fixed.Left_to_right e);
+        check_out "r2l diverges" Fixed.Diverged
+          (Fixed.run_deep ~fuel:50_000 Fixed.Right_to_left e));
+    tc "seq order is fixed regardless of policy" (fun () ->
+        check_out "seq"
+          (Fixed.Raised (E.User_error "a"))
+          (Fixed.run_deep (Fixed.Random 3)
+             (parse "seq (error \"a\") (error \"b\")")));
+    tc "outcomes deduplicates" (fun () ->
+        let os = Fixed.outcomes ~seeds:[ 0; 1; 2; 3 ] (parse "1 + 1") in
+        Alcotest.(check int) "one" 1 (List.length os));
+    (* Every fixed-order outcome is a member of the denotational set. *)
+    qtest ~count:100 "L2R refines the imprecise denotation" (Gen.gen_int ())
+      (fun e ->
+        let w = Prelude.wrap e in
+        implements
+          (Fixed.outcome_to_deep (l2r ~depth:24 w))
+          (Denot.run_deep ~config:(Denot.with_fuel 20_000) ~depth:24 w));
+    qtest ~count:100 "R2L refines the imprecise denotation" (Gen.gen_int ())
+      (fun e ->
+        let w = Prelude.wrap e in
+        implements
+          (Fixed.outcome_to_deep (r2l ~depth:24 w))
+          (Denot.run_deep ~config:(Denot.with_fuel 20_000) ~depth:24 w));
+    qtest ~count:60 "random policies refine the imprecise denotation"
+      (Gen.gen_int ())
+      (fun e ->
+        let w = Prelude.wrap e in
+        let den = Denot.run_deep ~config:(Denot.with_fuel 20_000) ~depth:24 w in
+        List.for_all
+          (fun seed ->
+            implements
+              (Fixed.outcome_to_deep
+                 (Fixed.run_deep ~depth:24 (Fixed.Random seed) w))
+              den)
+          [ 11; 22; 33 ]);
+  ]

@@ -1,0 +1,140 @@
+open Imprecise
+open Helpers
+module M = Machine
+module E = Exn
+
+(* The machine's copying collector. *)
+
+let suite =
+  [
+    tc "collection shrinks a garbage-heavy heap" (fun () ->
+        let m = M.create () in
+        let a = M.alloc m (parse "sum (enumFromTo 1 300)") in
+        (match M.force m a with
+        | Ok (M.MInt 45150) -> ()
+        | _ -> Alcotest.fail "value");
+        let before = M.heap_size m in
+        (match M.gc m ~roots:[ a ] with
+        | [ a' ] -> (
+            let after = M.heap_size m in
+            Alcotest.(check bool)
+              (Printf.sprintf "shrank %d -> %d" before after)
+              true
+              (after < before / 10);
+            match M.force m a' with
+            | Ok (M.MInt 45150) -> ()
+            | _ -> Alcotest.fail "value after gc")
+        | _ -> Alcotest.fail "roots");
+        Alcotest.(check int) "collections counted" 1
+          (M.stats m).Stats.collections);
+    tc "roots are relocated in order" (fun () ->
+        let m = M.create () in
+        let a = M.alloc m (parse "1 + 1") in
+        let b = M.alloc m (parse "2 + 2") in
+        (match (M.force m a, M.force m b) with
+        | Ok (M.MInt 2), Ok (M.MInt 4) -> ()
+        | _ -> Alcotest.fail "values");
+        match M.gc m ~roots:[ a; b ] with
+        | [ a'; b' ] -> (
+            match (M.force m a', M.force m b') with
+            | Ok (M.MInt 2), Ok (M.MInt 4) -> ()
+            | _ -> Alcotest.fail "values after gc")
+        | _ -> Alcotest.fail "roots");
+    tc "lazy structures survive collection unevaluated" (fun () ->
+        let m = M.create () in
+        let a =
+          M.alloc m (parse "take 3 (iterate (\\x -> x * 2) 1)")
+        in
+        (* Force only the WHNF, collect, then force deeply. *)
+        (match M.force m a with Ok (M.MCon _) -> () | _ ->
+          Alcotest.fail "whnf");
+        (match M.gc m ~roots:[ a ] with
+        | [ a' ] ->
+            Alcotest.check deep "deep after gc" (dints [ 1; 2; 4 ])
+              (M.deep m a')
+        | _ -> Alcotest.fail "roots");
+        ());
+    tc "cycles survive collection" (fun () ->
+        let m = M.create () in
+        let a = M.alloc m (parse "let rec ones = 1 : ones in ones") in
+        (match M.force m a with Ok _ -> () | Error _ -> Alcotest.fail "f");
+        match M.gc m ~roots:[ a ] with
+        | [ a' ] -> (
+            (* take from the cyclic structure after collection *)
+            let taker =
+              M.alloc_app m
+                (M.alloc m (parse "take 4"))
+                a'
+            in
+            match M.force m taker with
+            | Ok _ ->
+                Alcotest.check deep "cyclic" (dints [ 1; 1; 1; 1 ])
+                  (M.deep m taker)
+            | Error f -> Alcotest.failf "take: %a" M.pp_failure f)
+        | _ -> Alcotest.fail "roots");
+    tc "poisoned thunks survive collection" (fun () ->
+        let m = M.create () in
+        let a = M.alloc m (parse "1/0") in
+        (match M.force_catch m a with
+        | Error (M.Fail_exn E.Divide_by_zero) -> ()
+        | _ -> Alcotest.fail "catch");
+        match M.gc m ~roots:[ a ] with
+        | [ a' ] -> (
+            match M.force_catch m a' with
+            | Error (M.Fail_exn E.Divide_by_zero) -> ()
+            | _ -> Alcotest.fail "re-raise after gc")
+        | _ -> Alcotest.fail "roots");
+    tc "paused (interrupted) computations resume across collection"
+      (fun () ->
+        let m = M.create () in
+        M.inject_async m ~at_step:2_000 E.Timeout;
+        let a = M.alloc m (parse "sum (enumFromTo 1 3000)") in
+        (match M.force_catch m a with
+        | Error (M.Fail_async E.Timeout) -> ()
+        | _ -> Alcotest.fail "interrupt");
+        match M.gc m ~roots:[ a ] with
+        | [ a' ] -> (
+            match M.force_catch m a' with
+            | Ok (M.MInt 4501500) -> ()
+            | _ -> Alcotest.fail "resume after gc")
+        | _ -> Alcotest.fail "roots");
+    tc "unrooted data is dropped" (fun () ->
+        let m = M.create () in
+        let _garbage = M.alloc m (parse "sum (enumFromTo 1 100)") in
+        let keep = M.alloc_value m (M.MInt 7) in
+        (match M.gc m ~roots:[ keep ] with
+        | [ k ] ->
+            Alcotest.(check int) "one live cell" 1 (M.heap_size m);
+            (match M.force m k with
+            | Ok (M.MInt 7) -> ()
+            | _ -> Alcotest.fail "kept value")
+        | _ -> Alcotest.fail "roots"));
+    tc "IO driver with gc_every produces identical results" (fun () ->
+        let src =
+          "mapM (\\x -> getException (100 / x)) [5, 0, 2] >>= \\rs ->\n\
+           mapM2 (\\r -> case r of { OK v -> putInt v >> putChar ' ';\n\
+           Bad e -> putChar '!' }) rs"
+        in
+        let plain = Machine_io.run (parse src) in
+        let with_gc = Machine_io.run ~gc_every:3 (parse src) in
+        Alcotest.(check string)
+          "same output" plain.Machine_io.output with_gc.Machine_io.output;
+        Alcotest.(check bool)
+          "collections ran" true
+          (with_gc.Machine_io.stats.Stats.collections > 0));
+    tc "repeated collection is idempotent on live size" (fun () ->
+        let m = M.create () in
+        let a = M.alloc m (parse "take 5 (iterate (\\x -> x + 1) 0)") in
+        (match M.force m a with Ok _ -> () | Error _ -> Alcotest.fail "f");
+        match M.gc m ~roots:[ a ] with
+        | [ a1 ] -> (
+            let s1 = M.heap_size m in
+            match M.gc m ~roots:[ a1 ] with
+            | [ a2 ] ->
+                let s2 = M.heap_size m in
+                Alcotest.(check int) "stable" s1 s2;
+                Alcotest.check deep "value" (dints [ 0; 1; 2; 3; 4 ])
+                  (M.deep m a2)
+            | _ -> Alcotest.fail "roots2")
+        | _ -> Alcotest.fail "roots1");
+  ]

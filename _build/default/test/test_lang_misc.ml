@@ -1,0 +1,103 @@
+module G = Machine.Growarray
+open Imprecise
+open Helpers
+module B = Builder
+
+(* Odds and ends of the lang layer and the machine's heap substrate. *)
+
+let suite =
+  [
+    (* Con_info *)
+    tc "builtin constructor arities" (fun () ->
+        let t = Con_info.builtins () in
+        Alcotest.(check (option int)) "Cons" (Some 2) (Con_info.arity t "Cons");
+        Alcotest.(check (option int)) "True" (Some 0) (Con_info.arity t "True");
+        Alcotest.(check (option int))
+          "GetException" (Some 1)
+          (Con_info.arity t "GetException");
+        Alcotest.(check (option int)) "unknown" None (Con_info.arity t "Zzz"));
+    tc "data declarations extend the table" (fun () ->
+        let cons = Con_info.builtins () in
+        let _ =
+          Parser.parse_program ~cons
+            "data Shape = Circle Int | Rect Int Int | Dot;\nmain = Return Dot;"
+        in
+        Alcotest.(check (option int)) "Circle" (Some 1)
+          (Con_info.arity cons "Circle");
+        Alcotest.(check (option int)) "Rect" (Some 2)
+          (Con_info.arity cons "Rect");
+        Alcotest.(check (option int)) "Dot" (Some 0)
+          (Con_info.arity cons "Dot"));
+    tc "data declarations with compound field types" (fun () ->
+        let cons = Con_info.builtins () in
+        let _ =
+          Parser.parse_program ~cons
+            "data Tree a = Leaf | Node (Tree a) a (Tree a);\n\
+             main = Return Leaf;"
+        in
+        Alcotest.(check (option int)) "Node" (Some 3)
+          (Con_info.arity cons "Node"));
+    (* Exn *)
+    tc "exception constructor names round-trip" (fun () ->
+        List.iter
+          (fun e ->
+            let name = Exn.constructor_name e in
+            let payload =
+              match e with
+              | Exn.User_error s | Exn.Type_error s
+              | Exn.Pattern_match_fail s | Exn.Assertion_failed s ->
+                  Some s
+              | _ -> None
+            in
+            match Exn.of_constructor name payload with
+            | Some e' ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s" name)
+                  true (Exn.equal e e')
+            | None -> Alcotest.failf "no constructor for %s" name)
+          Exn.all_known);
+    tc "async classification" (fun () ->
+        Alcotest.(check bool) "timeout" true (Exn.is_asynchronous Exn.Timeout);
+        Alcotest.(check bool)
+          "div" false
+          (Exn.is_asynchronous Exn.Divide_by_zero));
+    (* Syntax metrics *)
+    tc "size and depth" (fun () ->
+        let e = B.(int 1 + (int 2 * int 3)) in
+        Alcotest.(check int) "size" 5 (Syntax.size e);
+        Alcotest.(check int) "depth" 3 (Syntax.depth e));
+    tc "list_expr builds spines" (fun () ->
+        Alcotest.check expr "spine"
+          (B.cons (B.int 1) (B.cons (B.int 2) B.nil))
+          (Syntax.list_expr [ B.int 1; B.int 2 ]));
+    (* Growarray *)
+    tc "growarray push/get/set" (fun () ->
+        let g = G.create ~capacity:2 ~dummy:0 () in
+        let i0 = G.push g 10 and i1 = G.push g 11 in
+        let i2 = G.push g 12 in
+        Alcotest.(check (list int)) "indices" [ 0; 1; 2 ] [ i0; i1; i2 ];
+        Alcotest.(check int) "len" 3 (G.length g);
+        Alcotest.(check int) "get" 11 (G.get g 1);
+        G.set g 1 99;
+        Alcotest.(check int) "set" 99 (G.get g 1));
+    tc "growarray grows past capacity" (fun () ->
+        let g = G.create ~capacity:1 ~dummy:"" () in
+        for i = 0 to 99 do
+          ignore (G.push g (string_of_int i))
+        done;
+        Alcotest.(check int) "len" 100 (G.length g);
+        Alcotest.(check string) "last" "99" (G.get g 99));
+    tc "growarray bounds checked" (fun () ->
+        let g = G.create ~dummy:0 () in
+        (match G.get g 0 with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected bounds error");
+        match G.set g 5 1 with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected bounds error");
+    (* Builder sanity *)
+    tc "builder paper terms evaluate as documented" (fun () ->
+        Alcotest.check deep "div0"
+          (dbad [ Exn.Divide_by_zero; Exn.User_error "Urk" ])
+          (Denot.run_deep B.div_zero_plus_error));
+  ]

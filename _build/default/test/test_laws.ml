@@ -1,0 +1,81 @@
+open Imprecise
+open Helpers
+module E = Exn
+
+(* The Section 4.5 law table (experiment C5/E6): observe every rule's
+   status under the three designs and check it against the paper-derived
+   claim. *)
+
+let table = lazy (Laws.table ())
+
+(* A tiny substring check, avoiding a dependency. *)
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else if String.equal (String.sub haystack i nn) needle then true
+    else go (i + 1)
+  in
+  go 0
+
+let find_row name =
+  List.find
+    (fun (o : Laws.observed) -> String.equal o.rule.Rules.name name)
+    (Lazy.force table)
+
+let check_row name =
+  tc (Printf.sprintf "claims hold for %s" name) (fun () ->
+      let row = find_row name in
+      Alcotest.check status "imprecise" row.rule.Rules.imprecise
+        row.Laws.imprecise;
+      Alcotest.check status "fixed order" row.rule.Rules.fixed_order
+        row.Laws.fixed_order;
+      Alcotest.check status "nondet" row.rule.Rules.nondet row.Laws.nondet)
+
+let suite =
+  List.map (fun (r : Rules.rule) -> check_row r.Rules.name) Rules.all
+  @ [
+      tc "every law-table row matches its claim" (fun () ->
+          List.iter
+            (fun (o : Laws.observed) ->
+              Alcotest.(check bool)
+                (Printf.sprintf "row %s" o.Laws.rule.Rules.name)
+                true (Laws.matches_claim o))
+            (Lazy.force table));
+      tc "the headline: + commutes here, not under a fixed order" (fun () ->
+          let row = find_row "plus_commute" in
+          Alcotest.check status "imprecise identity" Rules.Identity
+            row.Laws.imprecise;
+          Alcotest.check status "fixed invalid" Rules.Invalid
+            row.Laws.fixed_order);
+      tc "the headline: beta survives, except under pure nondet catch"
+        (fun () ->
+          let row = find_row "beta" in
+          Alcotest.check status "imprecise identity" Rules.Identity
+            row.Laws.imprecise;
+          Alcotest.check status "nondet invalid" Rules.Invalid
+            row.Laws.nondet);
+      tc "error \"This\" is distinguished from error \"That\" (4.5)"
+        (fun () ->
+          Alcotest.(check bool)
+            "not equal" false
+            (Denot.equal_denot (parse "error \"This\"")
+               (parse "error \"That\"")));
+      tc "but both are identified with bottom's arm, not with values"
+        (fun () ->
+          match
+            ( Denot.run_deep (parse "error \"This\""),
+              Denot.run_deep (parse "error \"That\"") )
+          with
+          | Value.DBad _, Value.DBad _ -> ()
+          | _ -> Alcotest.fail "both should be exceptional");
+      tc "pp_table renders every rule" (fun () ->
+          let rendered = Fmt.str "%a" Laws.pp_table (Lazy.force table) in
+          List.iter
+            (fun (r : Rules.rule) ->
+              Alcotest.(check bool)
+                (Printf.sprintf "mentions %s" r.Rules.name)
+                true
+                (contains rendered r.Rules.name))
+            Rules.all);
+    ]

@@ -1,0 +1,88 @@
+open Imprecise
+
+let toks src = List.map (fun t -> t.Token.tok) (Lexer.tokenize src)
+
+let token_list : Token.t list Alcotest.testable =
+  Alcotest.(list (testable Token.pp Token.equal))
+
+let check msg expected src =
+  Alcotest.check token_list msg (expected @ [ Token.Eof ]) (toks src)
+
+let check_error msg src =
+  match Lexer.tokenize src with
+  | exception Lexer.Error _ -> ()
+  | ts ->
+      Alcotest.failf "%s: expected a lexer error, got %d tokens" msg
+        (List.length ts)
+
+open Token
+
+let suite =
+  [
+    Helpers.tc "integers" (fun () ->
+        check "ints" [ Int 0; Int 42; Int 1234567 ] "0 42 1234567");
+    Helpers.tc "identifiers" (fun () ->
+        check "idents"
+          [ Lower "x"; Lower "fooBar"; Lower "x'"; Lower "_y2" ]
+          "x fooBar x' _y2");
+    Helpers.tc "constructors" (fun () ->
+        check "uppers" [ Upper "Cons"; Upper "Nil"; Upper "OK" ] "Cons Nil OK");
+    Helpers.tc "keywords" (fun () ->
+        check "kw"
+          [ Kw_let; Kw_rec; Kw_in; Kw_case; Kw_of; Kw_if; Kw_then; Kw_else ]
+          "let rec in case of if then else");
+    Helpers.tc "raise-fix-data-and" (fun () ->
+        check "kw2" [ Kw_raise; Kw_fix; Kw_data; Kw_and ] "raise fix data and");
+    Helpers.tc "keyword prefix is identifier" (fun () ->
+        check "prefix" [ Lower "letter"; Lower "inn"; Lower "iff" ]
+          "letter inn iff");
+    Helpers.tc "operators" (fun () ->
+        check "ops"
+          [
+            Op "+"; Op "-"; Op "*"; Op "/"; Op "%"; Op "=="; Op "/=";
+            Op "<"; Op "<="; Op ">"; Op ">="; Op ":"; Op ">>="; Op ">>";
+          ]
+          "+ - * / % == /= < <= > >= : >>= >>");
+    Helpers.tc "equals vs eqeq" (fun () ->
+        check "eq" [ Lower "x"; Equals; Int 1 ] "x = 1");
+    Helpers.tc "arrow and lambda" (fun () ->
+        check "lam" [ Backslash; Lower "x"; Arrow; Lower "x" ] "\\x -> x");
+    Helpers.tc "punctuation" (fun () ->
+        check "punct"
+          [
+            Lparen; Rparen; Lbrace; Rbrace; Lbracket; Rbracket; Semi; Comma;
+            Pipe; Underscore;
+          ]
+          "( ) { } [ ] ; , | _");
+    Helpers.tc "char literals" (fun () ->
+        check "chars" [ Char 'a'; Char '\n'; Char '\\'; Char '\'' ]
+          "'a' '\\n' '\\\\' '\\''");
+    Helpers.tc "string literals" (fun () ->
+        check "strings"
+          [ String "hello"; String "a\nb"; String "quote\"x" ]
+          "\"hello\" \"a\\nb\" \"quote\\\"x\"");
+    Helpers.tc "empty string" (fun () -> check "empty" [ String "" ] "\"\"");
+    Helpers.tc "line comments" (fun () ->
+        check "line" [ Int 1; Int 2 ] "1 -- comment here\n2");
+    Helpers.tc "block comments" (fun () ->
+        check "block" [ Int 1; Int 2 ] "1 {- a comment -} 2");
+    Helpers.tc "nested block comments" (fun () ->
+        check "nested" [ Int 1; Int 2 ] "1 {- outer {- inner -} still -} 2");
+    Helpers.tc "comment containing dashes" (fun () ->
+        check "dashes" [ Int 7 ] "-- ---- xx\n7");
+    Helpers.tc "positions recorded" (fun () ->
+        let located = Lexer.tokenize "ab\n  cd" in
+        match located with
+        | [ a; b; _eof ] ->
+            Alcotest.(check (pair int int)) "a" (1, 1) Token.(a.line, a.col);
+            Alcotest.(check (pair int int)) "b" (2, 3) Token.(b.line, b.col)
+        | _ -> Alcotest.fail "expected two tokens");
+    Helpers.tc "error: unterminated string" (fun () ->
+        check_error "string" "\"abc");
+    Helpers.tc "error: unterminated block comment" (fun () ->
+        check_error "comment" "{- abc");
+    Helpers.tc "error: unterminated char" (fun () -> check_error "char" "'a");
+    Helpers.tc "error: bad escape" (fun () -> check_error "esc" "\"\\q\"");
+    Helpers.tc "error: illegal character" (fun () -> check_error "ill" "#");
+    Helpers.tc "whitespace only" (fun () -> check "ws" [] "  \t\r\n  ");
+  ]

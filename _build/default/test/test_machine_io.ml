@@ -1,0 +1,114 @@
+open Imprecise
+open Helpers
+module E = Exn
+module Mio = Machine_io
+
+let run ?config ?input ?async src = Mio.run ?config ?input ?async (parse src)
+
+let check_done msg expected (r : Mio.result) =
+  match r.outcome with
+  | Mio.Done d -> Alcotest.check deep msg expected d
+  | o -> Alcotest.failf "%s: unexpected %a" msg Mio.pp_outcome o
+
+let suite =
+  [
+    tc "return" (fun () -> check_done "ret" (dint 5) (run "return (2+3)"));
+    tc "echo" (fun () ->
+        let r =
+          run ~input:"hi"
+            "getChar >>= \\a -> getChar >>= \\b -> putChar b >> putChar a"
+        in
+        Alcotest.(check string) "out" "ih" r.Mio.output;
+        Alcotest.(check int) "reads" 2 r.Mio.reads);
+    tc "putLine showInt" (fun () ->
+        let r = run "putLine (showInt 9876)" in
+        Alcotest.(check string) "out" "9876\n" r.Mio.output);
+    tc "getException catches on the machine" (fun () ->
+        check_done "catch"
+          (Value.DCon ("Bad", [ Value.DCon ("DivideByZero", []) ]))
+          (run "getException (1/0 + error \"Urk\") >>= \\v -> return v"));
+    tc "the machine representative is deterministic" (fun () ->
+        let once () =
+          Fmt.str "%a"
+            Mio.pp_outcome
+            (run "getException (1/0 + error \"Urk\") >>= \\v -> return v")
+              .Mio.outcome
+        in
+        Alcotest.(check string) "same" (once ()) (once ()));
+    tc "uncaught exception" (fun () ->
+        match (run "putInt (1/0)").Mio.outcome with
+        | Mio.Uncaught E.Divide_by_zero -> ()
+        | o -> Alcotest.failf "unexpected %a" Mio.pp_outcome o);
+    tc "getChar end of input is stuck" (fun () ->
+        match (run "getChar").Mio.outcome with
+        | Mio.Stuck _ -> ()
+        | o -> Alcotest.failf "unexpected %a" Mio.pp_outcome o);
+    tc "async timeout delivered at getException, work resumes" (fun () ->
+        let r =
+          run
+            ~async:[ (500, E.Timeout) ]
+            "getException (sum (enumFromTo 1 2000)) >>= \\v1 ->\n\
+             getException (sum (enumFromTo 1 2000)) >>= \\v2 ->\n\
+             return (Pair v1 v2)"
+        in
+        check_done "pair"
+          (Value.DCon
+             ( "Pair",
+               [
+                 Value.DCon ("Bad", [ Value.DCon ("Timeout", []) ]);
+                 Value.DCon ("OK", [ dint 2001000 ]);
+               ] ))
+          r;
+        Alcotest.(check bool)
+          "pause cells were created" true
+          (r.Mio.stats.Stats.thunks_paused > 0));
+    tc "poisoned thunk: same exception at both catches" (fun () ->
+        check_done "same"
+          dtrue
+          (run
+             "let x = 1/0 + error \"u\" in\n\
+              getException x >>= \\v1 -> getException x >>= \\v2 ->\n\
+              return (eqExVal (\\a b -> a == b) v1 v2)"));
+    tc "mapM over machine IO" (fun () ->
+        check_done "mapM" (dints [ 10; 20 ])
+          (run "mapM (\\x -> return (10 * x)) [1, 2]"));
+    tc "io divergence budget" (fun () ->
+        let r =
+          Mio.run ~max_transitions:40
+            (parse "let rec spin = return 1 >>= \\x -> spin in spin")
+        in
+        match r.Mio.outcome with
+        | Mio.Io_diverged -> ()
+        | o -> Alcotest.failf "unexpected %a" Mio.pp_outcome o);
+    tc "machine IO agrees with semantic IO on a program battery" (fun () ->
+        let programs =
+          [
+            "return (1 + 1)";
+            "putInt 42";
+            "putLine (showInt (sum (enumFromTo 1 10)))";
+            "getException (1/0) >>= \\v -> return v";
+            "getException (head []) >>= \\v -> return v";
+            "mapM2 (\\c -> putChar c) (showInt 123)";
+            "ioSeq [putChar 'a', putChar 'b']";
+          ]
+        in
+        List.iter
+          (fun src ->
+            let sem = Io.run (parse src) in
+            let mach = run src in
+            Alcotest.(check string)
+              (Printf.sprintf "output of %s" src)
+              (Io.output_string_of sem) mach.Mio.output;
+            let comparable =
+              match (sem.Io.outcome, mach.Mio.outcome) with
+              | Io.Done d1, Mio.Done d2 -> Value.deep_equal d1 d2
+              | Io.Uncaught e1, Mio.Uncaught e2 -> E.equal e1 e2
+              | Io.Io_diverged, Mio.Io_diverged -> true
+              | Io.Stuck _, Mio.Stuck _ -> true
+              | _ -> false
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "outcome of %s" src)
+              true comparable)
+          programs);
+  ]

@@ -1,0 +1,29 @@
+let () =
+  Alcotest.run "imprecise"
+    [
+      ("lexer", Test_lexer.suite);
+      ("parser", Test_parser.suite);
+      ("pretty", Test_pretty.suite);
+      ("subst", Test_subst.suite);
+      ("exn_set", Test_exn_set.suite);
+      ("types", Test_types.suite);
+      ("lang_misc", Test_lang_misc.suite);
+      ("denot", Test_denot.suite);
+      ("fixed", Test_fixed.suite);
+      ("exval", Test_exval.suite);
+      ("iosem", Test_iosem.suite);
+      ("oracle", Test_oracle.suite);
+      ("conc", Test_conc.suite);
+      ("programs", Test_programs.suite);
+      ("machine", Test_machine.suite);
+      ("machine_io", Test_machine_io.suite);
+      ("gc", Test_gc.suite);
+      ("strictness", Test_strictness.suite);
+      ("exn_analysis", Test_exn_analysis.suite);
+      ("transform", Test_transform.suite);
+      ("laws", Test_laws.suite);
+      ("ablation", Test_ablation.suite);
+      ("prelude", Test_prelude.suite);
+      ("props", Test_props.suite);
+      ("diff", Test_diff.suite);
+    ]

@@ -1,0 +1,180 @@
+open Imprecise
+open Syntax
+module B = Builder
+
+let p = Parser.parse_expr
+let check msg expected src = Alcotest.check Helpers.expr msg expected (p src)
+
+let check_error msg src =
+  match Parser.parse_expr src with
+  | exception Parser.Error _ -> ()
+  | e ->
+      Alcotest.failf "%s: expected a parse error, got %s" msg
+        (Pretty.expr_to_string e)
+
+let suite =
+  [
+    Helpers.tc "literal" (fun () -> check "int" (B.int 5) "5");
+    Helpers.tc "application is left-assoc" (fun () ->
+        check "app"
+          (App (App (Var "f", Var "x"), Var "y"))
+          "f x y");
+    Helpers.tc "arith precedence" (fun () ->
+        check "prec" B.(int 1 + (int 2 * int 3)) "1 + 2 * 3");
+    Helpers.tc "left associativity of minus" (fun () ->
+        check "minus" B.(int 1 - int 2 - int 3) "1 - 2 - 3");
+    Helpers.tc "parens override" (fun () ->
+        check "parens" B.((int 1 + int 2) * int 3) "(1 + 2) * 3");
+    Helpers.tc "comparison" (fun () ->
+        check "cmp" B.(int 1 + int 2 < int 4) "1 + 2 < 4");
+    Helpers.tc "application binds tighter than ops" (fun () ->
+        check "appop"
+          (Prim (Prim.Add, [ App (Var "f", Var "x"); App (Var "g", Var "y") ]))
+          "f x + g y");
+    Helpers.tc "lambda with several binders" (fun () ->
+        check "lam" (B.lams [ "x"; "y" ] B.(var "x" + var "y"))
+          "\\x y -> x + y");
+    Helpers.tc "lambda body extends right" (fun () ->
+        check "lamext"
+          (B.lam "x" B.(var "x" + int 1))
+          "\\x -> x + 1");
+    Helpers.tc "let" (fun () ->
+        check "let" (Let ("x", B.int 1, B.(var "x" + var "x")))
+          "let x = 1 in x + x");
+    Helpers.tc "let with params sugar" (fun () ->
+        check "letf"
+          (Let ("f", B.lam "x" B.(var "x" + int 1), App (Var "f", B.int 1)))
+          "let f x = x + 1 in f 1");
+    Helpers.tc "let rec ... and" (fun () ->
+        check "letrec"
+          (Letrec
+             ( [
+                 ("ev", B.lam "n" (Var "n"));
+                 ("od", B.lam "n" (App (Var "ev", Var "n")));
+               ],
+               App (Var "ev", B.int 4) ))
+          "let rec ev n = n and od n = ev n in ev 4");
+    Helpers.tc "non-recursive lets are sequential" (fun () ->
+        check "seq-let"
+          (Let ("x", B.int 1, Let ("y", Var "x", Var "y")))
+          "let x = 1 and y = x in y");
+    Helpers.tc "case with constructor patterns" (fun () ->
+        check "case"
+          (Case
+             ( Var "xs",
+               [
+                 { pat = Pcon ("Nil", []); rhs = B.int 0 };
+                 { pat = Pcon ("Cons", [ "y"; "ys" ]); rhs = Var "y" };
+               ] ))
+          "case xs of { Nil -> 0; Cons y ys -> y }");
+    Helpers.tc "case literal and default patterns" (fun () ->
+        check "caselit"
+          (Case
+             ( Var "n",
+               [
+                 { pat = Plit (Lit_int 0); rhs = B.int 1 };
+                 { pat = Pany (Some "m"); rhs = Var "m" };
+               ] ))
+          "case n of { 0 -> 1; m -> m }");
+    Helpers.tc "case trailing semicolon tolerated" (fun () ->
+        check "trailing"
+          (Case (Var "b", [ { pat = Pany None; rhs = B.int 1 } ]))
+          "case b of { _ -> 1; }");
+    Helpers.tc "cons pattern sugar" (fun () ->
+        check "conspat"
+          (Case
+             ( Var "xs",
+               [ { pat = Pcon ("Cons", [ "y"; "ys" ]); rhs = Var "ys" } ] ))
+          "case xs of { (y : ys) -> ys }");
+    Helpers.tc "pair pattern sugar" (fun () ->
+        check "pairpat"
+          (Case
+             (Var "p", [ { pat = Pcon ("Pair", [ "a"; "b" ]); rhs = Var "a" } ]))
+          "case p of { (a, b) -> a }");
+    Helpers.tc "if sugar" (fun () ->
+        check "if" (B.if_ (Var "b") (B.int 1) (B.int 2)) "if b then 1 else 2");
+    Helpers.tc "list literal" (fun () ->
+        check "list" (B.list [ B.int 1; B.int 2; B.int 3 ]) "[1, 2, 3]");
+    Helpers.tc "empty list" (fun () -> check "nil" B.nil "[]");
+    Helpers.tc "cons operator is right-assoc" (fun () ->
+        check "cons" (B.cons (B.int 1) (B.cons (B.int 2) B.nil))
+          "1 : 2 : []");
+    Helpers.tc "pair literal" (fun () ->
+        check "pair" (B.pair (B.int 1) (B.int 2)) "(1, 2)");
+    Helpers.tc "unit" (fun () -> check "unit" B.unit_ "()");
+    Helpers.tc "raise at application level" (fun () ->
+        check "raise"
+          (Raise (Con ("UserError", [ B.str "x" ])))
+          "raise (UserError \"x\")");
+    Helpers.tc "fix" (fun () ->
+        check "fix" (Fix (B.lam "x" (Var "x"))) "fix (\\x -> x)");
+    Helpers.tc "saturated constructor" (fun () ->
+        check "con" (B.cons (Var "x") (Var "xs")) "Cons x xs");
+    Helpers.tc "partial constructor eta-expands" (fun () ->
+        match p "Cons x" with
+        | Lam (v, Con ("Cons", [ Var "x"; Var v' ])) when v = v' -> ()
+        | e -> Alcotest.failf "got %s" (Pretty.expr_to_string e));
+    Helpers.tc "constructor as bare argument eta-expands" (fun () ->
+        match p "map Just xs" with
+        | App (App (Var "map", Lam (v, Con ("Just", [ Var v' ]))), Var "xs")
+          when v = v' ->
+            ()
+        | e -> Alcotest.failf "got %s" (Pretty.expr_to_string e));
+    Helpers.tc "saturated primitive" (fun () ->
+        check "prim" (Prim (Prim.Seq, [ Var "a"; Var "b" ])) "seq a b");
+    Helpers.tc "primitive as bare argument eta-expands" (fun () ->
+        match p "map negate xs" with
+        | App (App (Var "map", Lam (v, Prim (Prim.Neg, [ Var v' ]))), Var "xs")
+          when v = v' ->
+            ()
+        | e -> Alcotest.failf "got %s" (Pretty.expr_to_string e));
+    Helpers.tc "operator section (+)" (fun () ->
+        match p "(+)" with
+        | Lam (x, Lam (y, Prim (Prim.Add, [ Var x'; Var y' ])))
+          when x = x' && y = y' ->
+            ()
+        | e -> Alcotest.failf "got %s" (Pretty.expr_to_string e));
+    Helpers.tc "bind operator" (fun () ->
+        check "bind"
+          (Con ("Bind", [ Var "m"; Var "k" ]))
+          "m >>= k");
+    Helpers.tc "then operator discards" (fun () ->
+        check "then"
+          (Con ("Bind", [ Var "m"; Lam ("_", Var "k") ]))
+          "m >> k");
+    Helpers.tc "lambda as operator rhs" (fun () ->
+        check "lamrhs"
+          (Con ("Bind", [ Var "m"; Lam ("x", App (Var "k", Var "x")) ]))
+          "m >>= \\x -> k x");
+    Helpers.tc "boolean && sugar" (fun () ->
+        check "and" (B.if_ (Var "a") (Var "b") B.false_) "a && b");
+    Helpers.tc "boolean || sugar" (fun () ->
+        check "or" (B.if_ (Var "a") B.true_ (Var "b")) "a || b");
+    Helpers.tc "append operator" (fun () ->
+        check "append"
+          (App (App (Var "append", Var "xs"), Var "ys"))
+          "xs ++ ys");
+    Helpers.tc "program with data declaration" (fun () ->
+        let prog =
+          Parser.parse_program
+            "data Tree = Leaf | Node Tree Int Tree;\n\
+             depth t = case t of { Leaf -> 0; Node l v r -> 1 };\n\
+             main = depth Leaf;"
+        in
+        Alcotest.(check (list string))
+          "names" [ "depth"; "main" ]
+          (List.map fst prog.defs));
+    Helpers.tc "program rejects missing main" (fun () ->
+        match Parser.parse_program "f x = x;" with
+        | exception Parser.Error _ -> ()
+        | _ -> Alcotest.fail "expected an error");
+    Helpers.tc "error: unknown constructor" (fun () ->
+        check_error "unknown" "Bogus 1 2");
+    Helpers.tc "error: over-applied constructor" (fun () ->
+        check_error "overapp" "Just 1 2");
+    Helpers.tc "error: trailing input" (fun () -> check_error "trail" "1 + 2)");
+    Helpers.tc "error: unknown operator" (fun () -> check_error "op" "a $ b");
+    Helpers.tc "error: case without braces" (fun () ->
+        check_error "braces" "case x of Nil -> 1");
+    Helpers.tc "error: empty lambda" (fun () -> check_error "lam" "\\ -> 1");
+  ]

@@ -1,0 +1,198 @@
+open Imprecise
+open Helpers
+module E = Exn
+
+(* The Prelude, exercised end-to-end through the denotational semantics. *)
+
+let suite =
+  [
+    tc "map" (fun () ->
+        check_ev "map" (dints [ 2; 4; 6 ]) "map (\\x -> 2 * x) [1,2,3]");
+    tc "filter" (fun () ->
+        check_ev "filter" (dints [ 2; 4 ])
+          "filter (\\x -> x % 2 == 0) [1,2,3,4]");
+    tc "foldr" (fun () ->
+        check_ev "foldr" (dint 10) "foldr (\\a b -> a + b) 0 [1,2,3,4]");
+    tc "foldl" (fun () ->
+        check_ev "foldl" (dint 24) "foldl (\\a b -> a * b) 1 [1,2,3,4]");
+    tc "foldr is lazy in the tail" (fun () ->
+        check_ev "foldr-lazy" dtrue
+          "case foldr (\\a b -> a : b) [] (1 : 2 : error \"tail\") of\n\
+           { Cons h t -> h == 1 }");
+    tc "length, sum, product" (fun () ->
+        check_ev "len" (dint 3) "length [7,8,9]";
+        check_ev "sum" (dint 24) "sum [7,8,9]";
+        check_ev "prod" (dint 504) "product [7,8,9]");
+    tc "append and reverse" (fun () ->
+        check_ev "append" (dints [ 1; 2; 3; 4 ]) "[1,2] ++ [3,4]";
+        check_ev "reverse" (dints [ 3; 2; 1 ]) "reverse [1,2,3]");
+    tc "concat" (fun () ->
+        check_ev "concat" (dints [ 1; 2; 3 ]) "concat [[1],[2],[3]]");
+    tc "take and drop" (fun () ->
+        check_ev "take" (dints [ 1; 2 ]) "take 2 [1,2,3]";
+        check_ev "drop" (dints [ 3 ]) "drop 2 [1,2,3]";
+        check_ev "take-all" (dints [ 1 ]) "take 5 [1]";
+        check_ev "take-neg" (dints []) "take (negate 1) [1]");
+    tc "take on infinite structures" (fun () ->
+        check_ev "repeat" (dints [ 9; 9; 9 ]) "take 3 (repeat 9)";
+        check_ev "iterate" (dints [ 1; 2; 4; 8 ])
+          "take 4 (iterate (\\x -> 2 * x) 1)");
+    tc "head and tail are partial" (fun () ->
+        check_ev "head" (dint 1) "head [1,2]";
+        check_ev "head-nil" (dbad [ E.Pattern_match_fail "head" ]) "head []";
+        check_ev "tail-nil" (dbad [ E.Pattern_match_fail "tail" ]) "tail []");
+    tc "null, elem" (fun () ->
+        check_ev "null" dtrue "null []";
+        check_ev "elem" dtrue "elem 2 [1,2]";
+        check_ev "not-elem" dfalse "elem 5 [1,2]");
+    tc "all, any" (fun () ->
+        check_ev "all" dtrue "all (\\x -> x > 0) [1,2]";
+        check_ev "any" dfalse "any (\\x -> x > 9) [1,2]");
+    tc "zip and zipWith" (fun () ->
+        check_ev "zip"
+          (dlist
+             [
+               Value.DCon ("Pair", [ dint 1; dint 3 ]);
+               Value.DCon ("Pair", [ dint 2; dint 4 ]);
+             ])
+          "zip [1,2] [3,4]");
+    tc "index" (fun () ->
+        check_ev "index" (dint 20) "index [10,20,30] 1";
+        check_ev "index-out"
+          (dbad [ E.Pattern_match_fail "index" ])
+          "index [10] 3");
+    tc "enumFromTo" (fun () ->
+        check_ev "enum" (dints [ 3; 4; 5 ]) "enumFromTo 3 5";
+        check_ev "enum-empty" (dints []) "enumFromTo 5 3");
+    tc "maybe, fromJust, lookupInt" (fun () ->
+        check_ev "maybe-j" (dint 6) "maybe 0 (\\x -> x + 1) (Just 5)";
+        check_ev "maybe-n" (dint 0) "maybe 0 (\\x -> x + 1) Nothing";
+        check_ev "fromJust" (dint 3) "fromJust (Just 3)";
+        check_ev "fromJust-n"
+          (dbad [ E.Pattern_match_fail "fromJust" ])
+          "fromJust Nothing";
+        check_ev "lookup" (Value.DCon ("Just", [ dint 2 ]))
+          "lookupInt 1 [(0, 1), (1, 2)]";
+        check_ev "lookup-miss" (Value.DCon ("Nothing", []))
+          "lookupInt 9 [(0, 1)]");
+    tc "fst and snd" (fun () ->
+        check_ev "fst" (dint 1) "fst (1, 2)";
+        check_ev "snd" (dint 2) "snd (1, 2)");
+    tc "compose and flip" (fun () ->
+        check_ev "compose" (dint 9) "(compose (\\x -> x * 3) (\\x -> x + 2)) 1";
+        check_ev "dot" (dint 9) "((\\x -> x * 3) . (\\x -> x + 2)) 1";
+        check_ev "flip" (dint 2) "flip (\\a b -> a / b) 3 6");
+    tc "not" (fun () ->
+        check_ev "not" dfalse "not True");
+    tc "showInt" (fun () ->
+        let as_string deep_list =
+          let rec go = function
+            | Value.DCon ("Nil", []) -> ""
+            | Value.DCon ("Cons", [ Value.DChar c; rest ]) ->
+                String.make 1 c ^ go rest
+            | _ -> "?"
+          in
+          go deep_list
+        in
+        Alcotest.(check string) "pos" "123" (as_string (ev "showInt 123"));
+        Alcotest.(check string) "zero" "0" (as_string (ev "showInt 0"));
+        Alcotest.(check string)
+          "neg" "-45"
+          (as_string (ev "showInt (negate 45)")));
+    tc "forceList flushes exceptional elements (Section 3.2)" (fun () ->
+        (* forceList uses seq to expose exceptions hiding in elements;
+           head additionally contributes its own match failure in
+           exception-finding mode. *)
+        check_ev "forced"
+          (dbad [ E.Divide_by_zero; E.Pattern_match_fail "head" ])
+          "head (forceList [1/0, 5])";
+        check_ev "spine-only" (dint 2) "length (forceSpine [1/0, 5])");
+    tc "assertTrue" (fun () ->
+        check_ev "ok" (dint 1) "assertTrue True 1";
+        check_ev "fail"
+          (dbad [ E.Assertion_failed "assertTrue" ])
+          "assertTrue False 1");
+    tc "eqExn distinguishes payloads" (fun () ->
+        check_ev "same" dtrue
+          "eqExn (UserError \"a\") (UserError \"a\")";
+        check_ev "diff" dfalse
+          "eqExn (UserError \"a\") (UserError \"b\")";
+        check_ev "cons" dfalse "eqExn DivideByZero Overflow");
+    tc "eqList and eqPair" (fun () ->
+        check_ev "lists" dtrue
+          "eqList (\\a b -> a == b) [1,2] [1,2]";
+        check_ev "lists-ne" dfalse
+          "eqList (\\a b -> a == b) [1,2] [1,3]";
+        check_ev "pairs" dtrue
+          "eqPair (\\a b -> a == b) (\\a b -> a == b) (1, 2) (1, 2)");
+    tc "eqMaybe" (fun () ->
+        check_ev "just" dtrue
+          "eqMaybe (\\a b -> a == b) (Just 1) (Just 1)";
+        check_ev "nothing" dtrue "eqMaybe (\\a b -> a == b) Nothing Nothing";
+        check_ev "mixed" dfalse "eqMaybe (\\a b -> a == b) (Just 1) Nothing");
+    tc "takeWhile, dropWhile, span" (fun () ->
+        check_ev "takeWhile" (dints [ 1; 2; 3 ])
+          "takeWhile (\\x -> x < 4) (iterate (\\x -> x + 1) 1)";
+        check_ev "dropWhile" (dints [ 3; 4 ])
+          "dropWhile (\\x -> x < 3) [1, 2, 3, 4]";
+        check_ev "span"
+          (Value.DCon ("Pair", [ dints [ 1; 2 ]; dints [ 5; 1 ] ]))
+          "span (\\x -> x < 3) [1, 2, 5, 1]");
+    tc "splitAt, last, init" (fun () ->
+        check_ev "splitAt"
+          (Value.DCon ("Pair", [ dints [ 1; 2 ]; dints [ 3 ] ]))
+          "splitAt 2 [1, 2, 3]";
+        check_ev "last" (dint 3) "last [1, 2, 3]";
+        check_ev "last-nil" (dbad [ E.Pattern_match_fail "last" ]) "last []";
+        check_ev "init" (dints [ 1; 2 ]) "init [1, 2, 3]");
+    tc "concatMap, intersperse" (fun () ->
+        check_ev "concatMap" (dints [ 1; 1; 2; 2 ])
+          "concatMap (\\x -> [x, x]) [1, 2]";
+        check_ev "intersperse" (dints [ 1; 0; 2; 0; 3 ])
+          "intersperse 0 [1, 2, 3]");
+    tc "unfoldr and scanl" (fun () ->
+        check_ev "unfoldr" (dints [ 1; 2; 3 ])
+          "unfoldr (\\b -> if b > 3 then Nothing else Just (b, b + 1)) 1";
+        check_ev "scanl" (dints [ 0; 1; 3; 6 ])
+          "scanl (\\a b -> a + b) 0 [1, 2, 3]");
+    tc "minimum, maximum, andList, orList, count" (fun () ->
+        check_ev "min" (dint 1) "minimum [3, 1, 2]";
+        check_ev "max" (dint 3) "maximum [3, 1, 2]";
+        check_ev "min-nil" (dbad [ E.Pattern_match_fail "minimum" ])
+          "minimum []";
+        check_ev "and" dfalse "andList [True, False]";
+        check_ev "or" dtrue "orList [False, True]";
+        check_ev "count" (dint 2) "count (\\x -> x > 1) [1, 2, 3]");
+    tc "nubInt and sortInt" (fun () ->
+        check_ev "nub" (dints [ 3; 1; 2 ]) "nubInt [3, 1, 3, 2, 1]";
+        check_ev "sort" (dints [ 1; 2; 3; 5 ]) "sortInt [3, 5, 1, 2]";
+        check_ev "sort-empty" (dints []) "sortInt []");
+    tc "curry2 and uncurry2" (fun () ->
+        check_ev "curry" (dint 7) "curry2 (\\p -> fst p + snd p) 3 4";
+        check_ev "uncurry" (dint 12) "uncurry2 (\\a b -> a * b) (3, 4)");
+    tc "extended prelude functions type-check" (fun () ->
+        List.iter
+          (fun (name, expected) ->
+            match Infer.check_string name with
+            | Ok t ->
+                Alcotest.(check string) name expected (Infer.ty_to_string t)
+            | Error e -> Alcotest.failf "%s: %a" name Infer.pp_error e)
+          [
+            ("takeWhile", "('a -> Bool) -> ['a] -> ['a]");
+            ("unfoldr", "('a -> Maybe ('b, 'a)) -> 'a -> ['b]");
+            ("scanl", "('a -> 'b -> 'a) -> 'a -> ['b] -> ['a]");
+            ("intersperse", "'a -> ['a] -> ['a]");
+            ("sortInt", "['a] -> ['a]");
+          ]);
+    tc "prelude names are stable" (fun () ->
+        List.iter
+          (fun n ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s present" n)
+              true
+              (List.mem n Prelude.names))
+          [
+            "map"; "foldr"; "foldl"; "zipWith"; "take"; "iterate"; "error";
+            "sum"; "append"; "showInt"; "putList"; "eqExVal"; "return";
+          ]);
+  ]

@@ -1,0 +1,66 @@
+open Imprecise
+module B = Builder
+
+let roundtrip e =
+  let printed = Pretty.expr_to_string e in
+  match Parser.parse_expr printed with
+  | parsed -> Subst.alpha_equal e parsed
+  | exception Parser.Error (msg, l, c) ->
+      Alcotest.failf "re-parse failed (%d:%d %s) on:\n%s" l c msg printed
+
+let check_rt name e =
+  Helpers.tc name (fun () ->
+      Alcotest.(check bool)
+        (Printf.sprintf "roundtrip %s" (Pretty.expr_to_string e))
+        true (roundtrip e))
+
+let check_str name expected e =
+  Helpers.tc name (fun () ->
+      Alcotest.(check string) "printed" expected (Pretty.expr_to_string e))
+
+let suite =
+  [
+    check_str "int" "42" (B.int 42);
+    check_str "addition" "1 + 2" B.(int 1 + int 2);
+    check_str "precedence parens" "(1 + 2) * 3" B.((int 1 + int 2) * int 3);
+    check_str "no spurious parens" "1 + 2 * 3" B.(int 1 + int 2 * int 3);
+    check_str "application" "f x y"
+      (Syntax.App (Syntax.App (B.var "f", B.var "x"), B.var "y"));
+    check_str "nested application parens" "f (g x)"
+      (Syntax.App (B.var "f", Syntax.App (B.var "g", B.var "x")));
+    check_str "list literal" "[1, 2]" (B.list [ B.int 1; B.int 2 ]);
+    check_str "pair" "(1, 2)" (B.pair (B.int 1) (B.int 2));
+    check_str "cons chain" "1 : xs" (B.cons (B.int 1) (B.var "xs"));
+    check_str "lambda" "\\x y -> x" (B.lams [ "x"; "y" ] (B.var "x"));
+    check_str "raise" "raise DivideByZero" (B.raise_exn Exn.Divide_by_zero);
+    check_rt "roundtrip let" (Syntax.Let ("x", B.int 1, B.(var "x" + int 2)));
+    check_rt "roundtrip letrec"
+      (B.letrec [ ("f", B.lam "n" (B.var "n")) ] (B.var "f"));
+    check_rt "roundtrip case"
+      (B.case (B.var "xs")
+         [
+           (B.pcon "Nil" [], B.int 0);
+           (B.pcon "Cons" [ "y"; "ys" ], B.var "y");
+         ]);
+    check_rt "roundtrip if" (B.if_ B.true_ (B.int 1) (B.int 2));
+    check_rt "roundtrip seq" (B.seq (B.var "a") (B.var "b"));
+    check_rt "roundtrip fix" (B.fix (B.lam "x" (B.var "x")));
+    check_rt "roundtrip bind"
+      (B.io_bind B.get_char (B.lam "c" (B.io_return (B.var "c"))));
+    check_rt "roundtrip strings and chars"
+      (B.pair (B.str "a\nb\"c") (B.char '\t'));
+    check_rt "roundtrip paper example" B.div_zero_plus_error;
+    check_rt "roundtrip black" B.black;
+    Helpers.qtest ~count:200 "print/parse roundtrip on random int terms"
+      (Gen.gen_int ()) roundtrip;
+    Helpers.qtest ~count:200 "print/parse roundtrip on random list terms"
+      (Gen.gen_list ()) roundtrip;
+    Helpers.qtest ~count:60 "printed prelude-free terms re-evaluate equally"
+      (Gen.gen ~cfg:{ Gen.default_cfg with use_prelude = false } Gen.T_int)
+      (fun e ->
+        let e' = Parser.parse_expr (Pretty.expr_to_string e) in
+        let cfg = Denot.with_fuel 10_000 in
+        Value.deep_equal
+          (Denot.run_deep ~config:cfg e)
+          (Denot.run_deep ~config:cfg e'));
+  ]

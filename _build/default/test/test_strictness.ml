@@ -1,0 +1,109 @@
+open Imprecise
+open Helpers
+module St = Strictness
+module B = Builder
+
+let parse_e = Parser.parse_expr
+
+let sig_of src name =
+  let sigs = St.analyze (parse_e src) in
+  St.find_sig sigs name
+
+let check_sig msg expected src name =
+  Alcotest.(check (option (list bool))) msg expected (sig_of src name)
+
+let demanded src =
+  St.String_set.elements (St.demanded St.empty_sigs (parse_e src))
+
+let suite =
+  [
+    tc "identity is strict" (fun () ->
+        check_sig "id" (Some [ true ]) "let rec f x = x in f" "f");
+    tc "const is strict in first, lazy in second" (fun () ->
+        check_sig "const" (Some [ true; false ])
+          "let rec k x y = x in k" "k");
+    tc "arithmetic forces both arguments" (fun () ->
+        check_sig "plus" (Some [ true; true ])
+          "let rec plus x y = x + y in plus" "plus");
+    tc "branching demands only the common part" (fun () ->
+        (* x is scrutinised; y is used in one branch only. *)
+        check_sig "branch" (Some [ true; false ])
+          "let rec f x y = if x == 0 then y else 1 in f" "f");
+    tc "both branches demanding y makes y strict" (fun () ->
+        check_sig "both" (Some [ true; true ])
+          "let rec f x y = if x == 0 then y + 1 else y - 1 in f" "f");
+    tc "constructors are lazy" (fun () ->
+        check_sig "cons" (Some [ false; false ])
+          "let rec f x y = x : y in f" "f");
+    tc "recursive accumulator is strict (greatest fixpoint)" (fun () ->
+        (* sumTo is strict in both: the base case returns acc, and the
+           recursive call keeps demanding it. *)
+        check_sig "sumTo" (Some [ true; true ])
+          "let rec sumTo n acc = if n == 0 then acc else sumTo (n-1) (acc+n)\n\
+           in sumTo"
+          "sumTo");
+    tc "diverging recursion stays strict (soundness trivia)" (fun () ->
+        check_sig "spin" (Some [ true ]) "let rec f x = f x in f" "f");
+    tc "laziness through recursion is detected" (fun () ->
+        (* The second argument is never forced, only rebuilt. *)
+        check_sig "lazyacc" (Some [ true; false ])
+          "let rec f n acc = if n == 0 then acc else f (n-1) (n : acc) in f"
+          "f");
+    tc "mutual recursion fixpoint" (fun () ->
+        let sigs =
+          St.analyze
+            (parse_e
+               "let rec even n = if n == 0 then True else odd (n - 1)\n\
+                and odd n = if n == 0 then False else even (n - 1) in even")
+        in
+        Alcotest.(check (option (list bool)))
+          "even" (Some [ true ]) (St.find_sig sigs "even");
+        Alcotest.(check (option (list bool)))
+          "odd" (Some [ true ]) (St.find_sig sigs "odd"));
+    tc "seq demands both sides" (fun () ->
+        Alcotest.(check (list string))
+          "seq" [ "a"; "b" ] (demanded "seq a b"));
+    tc "case demands the scrutinee" (fun () ->
+        Alcotest.(check (list string))
+          "case" [ "xs" ]
+          (demanded "case xs of { Nil -> 1; Cons h t -> 2 }"));
+    tc "raise demands its argument" (fun () ->
+        Alcotest.(check (list string)) "raise" [ "e" ] (demanded "raise e"));
+    tc "lambda demands nothing" (fun () ->
+        Alcotest.(check (list string)) "lam" [] (demanded "\\x -> y + x"));
+    tc "let chains demand" (fun () ->
+        Alcotest.(check (list string))
+          "let" [ "a" ]
+          (demanded "let x = a in x + 1"));
+    tc "unused let binding not demanded" (fun () ->
+        Alcotest.(check (list string))
+          "unused" [ "b" ]
+          (demanded "let x = a in b"));
+    tc "strict_args_of_app" (fun () ->
+        let e =
+          parse_e
+            "let rec k x y = x in k (1 + 1) (1 / 0)"
+        in
+        let sigs = St.analyze e in
+        match e with
+        | Syntax.Letrec (_, app) ->
+            Alcotest.(check (list bool))
+              "k app" [ true; false ]
+              (St.strict_args_of_app sigs app)
+        | _ -> Alcotest.fail "shape");
+    tc "signatures are sound: strict position forces bottom" (fun () ->
+        (* For every analysed Prelude function with a strict first
+           argument, feeding bottom must give bottom. *)
+        let sigs = St.analyze (Prelude.wrap (B.int 0)) in
+        let strict_unary =
+          List.filter_map
+            (fun (name, sg) ->
+              match sg with
+              | true :: _ -> Some name
+              | _ -> None)
+            (St.sigs_to_list sigs)
+        in
+        Alcotest.(check bool)
+          "some strict prelude functions" true
+          (List.length strict_unary > 0));
+  ]

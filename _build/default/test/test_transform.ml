@@ -1,0 +1,198 @@
+open Imprecise
+open Helpers
+open Syntax
+module B = Builder
+module E = Exn
+
+let suite =
+  [
+    tc "beta applies" (fun () ->
+        match Rules.beta.Rules.applies (App (B.lam "x" B.(var "x" + int 1), B.int 2)) with
+        | Some r -> Alcotest.check expr "beta" B.(int 2 + int 1) r
+        | None -> Alcotest.fail "should apply");
+    tc "beta does not apply to non-redexes" (fun () ->
+        Alcotest.(check bool)
+          "no" true
+          (Rules.beta.Rules.applies (B.int 1) = None));
+    tc "plus_commute swaps" (fun () ->
+        match Rules.plus_commute.Rules.applies B.(int 1 + int 2) with
+        | Some r -> Alcotest.check expr "swap" B.(int 2 + int 1) r
+        | None -> Alcotest.fail "should apply");
+    tc "case_switch pushes the application in" (fun () ->
+        let lhs =
+          App
+            ( Case
+                ( B.true_,
+                  [
+                    { pat = Pcon ("True", []); rhs = Var "f" };
+                    { pat = Pcon ("False", []); rhs = Var "g" };
+                  ] ),
+              Var "x" )
+        in
+        match Rules.case_switch.Rules.applies lhs with
+        | Some (Case (_, alts)) ->
+            Alcotest.(check int) "two alts" 2 (List.length alts);
+            List.iter
+              (fun a ->
+                match a.rhs with
+                | App (_, Var "x") -> ()
+                | _ -> Alcotest.fail "expected pushed application")
+              alts
+        | _ -> Alcotest.fail "should apply");
+    tc "case_switch refuses capture" (fun () ->
+        let lhs =
+          App
+            ( Case
+                ( B.true_,
+                  [ { pat = Pcon ("Just", [ "x" ]); rhs = Var "x" } ] ),
+              Var "x" )
+        in
+        Alcotest.(check bool)
+          "refuses" true
+          (Rules.case_switch.Rules.applies lhs = None));
+    tc "paper 4.5: case_switch loses exactly the argument's exceptions"
+      (fun () ->
+        (* lhs = (case raise E of {...->\v.1}) (raise X): Bad {E, X}
+           rhs = case raise E of {...-> (\v.1) (raise X)}: Bad {E}. *)
+        let lhs = List.hd Rules.case_switch.Rules.instances in
+        let rhs = Option.get (Rules.case_switch.Rules.applies lhs) in
+        Alcotest.check exn_set "lhs"
+          (Exn_set.of_list [ E.User_error "E"; E.User_error "X" ])
+          (Denot.exception_set lhs);
+        Alcotest.check exn_set "rhs"
+          (Exn_set.of_list [ E.User_error "E" ])
+          (Denot.exception_set rhs);
+        Alcotest.check verdict "refines" Refine.Refines
+          (Refine.compare_denot lhs rhs));
+    tc "case_commute swaps independent scrutinees" (fun () ->
+        let lhs = List.hd Rules.case_commute.Rules.instances in
+        match Rules.case_commute.Rules.applies lhs with
+        | Some (Case (s2, _)) ->
+            Alcotest.check expr "outer is y" (B.pair (B.int 3) (B.int 4)) s2
+        | _ -> Alcotest.fail "should apply");
+    tc "error_collapse is invalid (the lost law)" (fun () ->
+        let lhs = B.error "This" in
+        let rhs = Option.get (Rules.error_collapse.Rules.applies lhs) in
+        Alcotest.check verdict "incomparable" Refine.Incomparable
+          (Refine.compare_denot lhs rhs));
+    tc "case_of_known_constructor selects and binds lazily" (fun () ->
+        let lhs =
+          Case
+            ( B.pair (B.int 1) B.(int 1 / int 0),
+              [ { pat = Pcon ("Pair", [ "a"; "b" ]); rhs = Var "a" } ] )
+        in
+        let rhs = Option.get (Rules.case_of_known_constructor.Rules.applies lhs) in
+        Alcotest.check deep "lazy fields" (dint 1) (Denot.run_deep rhs));
+    tc "dead_let drops" (fun () ->
+        let lhs = Let ("x", B.loop, B.int 1) in
+        Alcotest.check expr "drop" (B.int 1)
+          (Option.get (Rules.dead_let.Rules.applies lhs)));
+    tc "dead_let keeps used bindings" (fun () ->
+        Alcotest.(check bool)
+          "keeps" true
+          (Rules.dead_let.Rules.applies (Let ("x", B.int 1, Var "x")) = None));
+    tc "strictness_cbv converts demanded lets to case" (fun () ->
+        let lhs = Let ("x", B.int 1, B.(var "x" + int 2)) in
+        match Rules.strictness_cbv.Rules.applies lhs with
+        | Some (Case (Lit (Lit_int 1), [ { pat = Pany (Some "x"); _ } ])) ->
+            ()
+        | _ -> Alcotest.fail "expected let-to-case");
+    tc "strictness_cbv skips lazy bindings" (fun () ->
+        Alcotest.(check bool)
+          "skips" true
+          (Rules.strictness_cbv.Rules.applies
+             (Let ("x", B.int 1, B.int 2))
+          = None));
+    tc "every rule's instances fire at the root" (fun () ->
+        List.iter
+          (fun (r : Rules.rule) ->
+            List.iter
+              (fun inst ->
+                if r.Rules.applies inst = None then
+                  Alcotest.failf "rule %s: instance does not fire"
+                    r.Rules.name)
+              r.Rules.instances)
+          Rules.all);
+    (* Rewrite combinators. *)
+    tc "bottom_up counts sites" (fun () ->
+        let e = B.(int 1 + int 2 + (int 3 + int 4)) in
+        let _, n = Rewrite.bottom_up Rules.plus_commute.Rules.applies e in
+        Alcotest.(check int) "three" 3 n);
+    tc "fixpoint terminates on non-confluent rules" (fun () ->
+        (* plus_commute flips forever; max_rounds bounds it. *)
+        let e = B.(int 1 + int 2) in
+        let _, n =
+          Rewrite.fixpoint ~max_rounds:4 Rules.plus_commute.Rules.applies e
+        in
+        Alcotest.(check int) "rounds" 4 n);
+    tc "first_site rewrites exactly one site" (fun () ->
+        let e = B.(int 1 + int 2 + (int 3 + int 4)) in
+        match Rewrite.first_site Rules.plus_commute.Rules.applies e with
+        | Some e' ->
+            let _, remaining =
+              Rewrite.bottom_up Rules.plus_commute.Rules.applies e'
+            in
+            Alcotest.(check int) "others untouched" 3 remaining
+        | None -> Alcotest.fail "should fire");
+    tc "subterms includes the root" (fun () ->
+        let e = B.(int 1 + int 2) in
+        Alcotest.(check int) "count" 3 (List.length (Rewrite.subterms e)));
+    (* Pipeline. *)
+    tc "simplify removes beta redexes and dead lets" (fun () ->
+        let e =
+          Let
+            ( "dead",
+              B.loop,
+              App (B.lam "x" B.(var "x" + int 1), B.int 41) )
+        in
+        let e', n = Pipeline.simplify_pass e in
+        Alcotest.(check bool) "fired" true (n >= 2);
+        Alcotest.check deep "meaning" (dint 42) (Denot.run_deep e'));
+    tc "cbv pass counts applied and blocked sites" (fun () ->
+        let e =
+          Let
+            ( "a",
+              B.(int 1 / int 0),
+              Let ("b", B.int 2, B.(var "a" + var "b")) )
+        in
+        let _, applied_imp, blocked_imp = Pipeline.cbv_pass Pipeline.Imprecise e in
+        let _, applied_fix, blocked_fix =
+          Pipeline.cbv_pass Pipeline.Fixed_order_with_effect_analysis e
+        in
+        Alcotest.(check int) "imprecise applies both" 2 applied_imp;
+        Alcotest.(check int) "imprecise blocks none" 0 blocked_imp;
+        (* Fixed order can only move the provably pure binding b; 1/0 is
+           blocked. b = 2 is a literal... bound to 2, pure. *)
+        Alcotest.(check int) "fixed applies one" 1 applied_fix;
+        Alcotest.(check int) "fixed blocks one" 1 blocked_fix);
+    tc "imprecise pipeline preserves meaning on goldens" (fun () ->
+        let goldens =
+          [
+            ("sum (enumFromTo 1 20)", dint 210);
+            ("let x = 2 + 3 in x * x", dint 25);
+            ("zipWith (\\a b -> a + b) [1,2] [10,20]", dints [ 11; 22 ]);
+            ("1/0 + error \"Urk\"",
+             dbad [ E.Divide_by_zero; E.User_error "Urk" ]);
+          ]
+        in
+        List.iter
+          (fun (src, expected) ->
+            let e = parse src in
+            let e', _ = Pipeline.optimize Pipeline.Imprecise e in
+            Alcotest.(check bool)
+              (Printf.sprintf "refines: %s" src)
+              true
+              (Value.deep_leq expected (Denot.run_deep e')))
+          goldens);
+    tc "count_cbv_opportunities: imprecise >= fixed" (fun () ->
+        let e =
+          parse
+            "let a = sum (enumFromTo 1 10) in\n\
+             let b = 1 in\n\
+             a + b"
+        in
+        let imp, fix = Pipeline.count_cbv_opportunities e in
+        Alcotest.(check bool)
+          (Printf.sprintf "imp %d >= fix %d" imp fix)
+          true (imp >= fix));
+  ]

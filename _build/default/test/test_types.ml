@@ -1,0 +1,198 @@
+open Imprecise
+open Helpers
+module I = Infer
+
+(* Hindley–Milner inference: the typed-source-language assumption of the
+   paper, checked. *)
+
+let infer_str src =
+  match I.check_string src with
+  | Ok t -> Ok (I.ty_to_string t)
+  | Error e -> Error (Fmt.str "%a" I.pp_error e)
+
+let check_ty msg expected src =
+  match infer_str src with
+  | Ok t -> Alcotest.(check string) msg expected t
+  | Error e -> Alcotest.failf "%s: unexpected type error: %s" msg e
+
+let check_ill msg src =
+  match infer_str src with
+  | Ok t -> Alcotest.failf "%s: expected a type error, inferred %s" msg t
+  | Error _ -> ()
+
+let suite =
+  [
+    tc "literals" (fun () ->
+        check_ty "int" "Int" "42";
+        check_ty "char" "Char" "'x'";
+        check_ty "string" "String" "\"s\"");
+    tc "arithmetic and comparison" (fun () ->
+        check_ty "add" "Int" "1 + 2 * 3";
+        check_ty "cmp" "Bool" "1 < 2";
+        check_ty "eq-char" "Bool" "'a' == 'b'");
+    tc "lambda and application" (fun () ->
+        check_ty "id" "'a -> 'a" "\\x -> x";
+        check_ty "const" "'a -> 'b -> 'a" "\\x y -> x";
+        check_ty "apply" "Int" "(\\x -> x + 1) 41");
+    tc "lists and constructors" (fun () ->
+        check_ty "list" "[Int]" "[1, 2, 3]";
+        check_ty "nil" "['a]" "[]";
+        check_ty "cons" "[Bool]" "True : []";
+        check_ty "pair" "(Int, Char)" "(1, 'c')";
+        check_ty "maybe" "Maybe Int" "Just 5");
+    tc "prelude polymorphism" (fun () ->
+        check_ty "map" "('a -> 'b) -> ['a] -> ['b]" "map";
+        check_ty "foldr" "('a -> 'b -> 'b) -> 'b -> ['a] -> 'b" "foldr";
+        check_ty "zipWith" "('a -> 'b -> 'c) -> ['a] -> ['b] -> ['c]"
+          "zipWith";
+        check_ty "compose" "('a -> 'b) -> ('c -> 'a) -> 'c -> 'b" "compose";
+        check_ty "showInt" "Int -> [Char]" "showInt");
+    tc "let-polymorphism" (fun () ->
+        check_ty "poly" "(Int, Bool)"
+          "let id2 = \\x -> x in (id2 1, id2 True)");
+    tc "lambda-bound variables stay monomorphic" (fun () ->
+        check_ill "mono" "(\\f -> (f 1, f True)) (\\x -> x)");
+    tc "letrec" (fun () ->
+        check_ty "fact" "Int"
+          "let rec fact n = if n == 0 then 1 else n * fact (n - 1)\n\
+           in fact 5";
+        check_ty "mutual" "Bool"
+          "let rec even n = if n == 0 then True else odd (n - 1)\n\
+           and odd n = if n == 0 then False else even (n - 1) in even 4");
+    tc "polymorphic recursion group via SCC split" (fun () ->
+        (* foldl is used at two different types inside one letrec. *)
+        check_ty "scc" "(Int, [Bool])"
+          "let rec myfold f z xs =\n\
+           case xs of { Nil -> z; Cons y ys -> myfold f (f z y) ys }\n\
+           and s = myfold (\\a b -> a + b) 0 [1,2]\n\
+           and r = myfold (\\a b -> b : a) [] [True]\n\
+           in (s, r)");
+    tc "exceptions are typed" (fun () ->
+        check_ty "raise" "'a" "raise DivideByZero";
+        check_ty "error" "'a" "error \"x\"";
+        check_ty "payload" "'a" "raise (UserError \"u\")";
+        check_ill "raise-non-exn" "raise 3";
+        check_ill "payload-type" "raise (UserError 5)");
+    tc "the IO layer types (Section 4.4 as a data type)" (fun () ->
+        check_ty "return" "IO Int" "return 3";
+        check_ty "getChar" "IO Char" "getChar";
+        check_ty "putChar" "IO Unit" "putChar 'c'";
+        check_ty "bind" "IO 'a -> ('a -> IO 'b) -> IO 'b"
+          "\\m k -> m >>= k";
+        check_ty "echo" "IO Unit" "getChar >>= \\c -> putChar c";
+        check_ill "bad-bind" "3 >>= \\x -> return x";
+        check_ill "bad-putChar" "putChar 3");
+    tc "getException has the paper's type (3.5)" (fun () ->
+        (* getException :: a -> IO (ExVal a) *)
+        check_ty "catch" "IO (ExVal Int)" "getException (1/0)";
+        check_ty "catch-poly" "'a -> IO (ExVal 'a)"
+          "\\v -> getException v");
+    tc "mapException and unsafe primitives (5.4, 6)" (fun () ->
+        check_ty "mapExn" "'a -> 'a" "mapException (\\e -> Overflow)";
+        check_ill "mapExn-bad-fn" "mapException (\\e -> 3) 1";
+        check_ty "isExn" "Bool" "unsafeIsException (1/0)";
+        check_ty "unsafeGet" "ExVal Int" "unsafeGetException (1 + 1)");
+    tc "seq is polymorphic" (fun () ->
+        check_ty "seq" "Int" "seq [True] 3");
+    tc "case alternatives must agree" (fun () ->
+        check_ill "branches" "case True of { True -> 1; False -> 'c' }";
+        check_ill "scrutinee" "case 1 of { Nil -> 0; Cons h t -> 1 }");
+    tc "occurs check" (fun () ->
+        check_ill "selfapp" "\\x -> x x");
+    tc "fix" (fun () ->
+        check_ty "fix" "Int"
+          "(fix (\\f -> \\n -> if n == 0 then 1 else n * f (n - 1))) 5");
+    tc "user data declarations" (fun () ->
+        let prog =
+          Parser.parse_program
+            "data Tree a = Leaf | Node (Tree a) a (Tree a);\n\
+             insert t x = case t of\n\
+             { Leaf -> Node Leaf x Leaf\n\
+             ; Node l v r -> if x < v then Node (insert l x) v r\n\
+               else Node l v (insert r x) };\n\
+             toList t = case t of\n\
+             { Leaf -> []\n\
+             ; Node l v r -> toList l ++ (v : toList r) };\n\
+             main = return (toList (insert (insert Leaf 2) 1));"
+        in
+        match I.infer_program prog with
+        | Ok tys ->
+            let find n = I.ty_to_string (List.assoc n tys) in
+            Alcotest.(check string)
+              "insert" "Tree 'a -> 'a -> Tree 'a" (find "insert");
+            Alcotest.(check string) "toList" "Tree 'a -> ['a]"
+              (find "toList");
+            Alcotest.(check string) "main" "IO [Int]" (find "main")
+        | Error e -> Alcotest.failf "program: %a" I.pp_error e);
+    tc "ill-formed data declarations are rejected" (fun () ->
+        let env = I.initial_env () in
+        (match
+           I.add_data env
+             {
+               Syntax.type_name = "Bad1";
+               type_params = [];
+               constructors = [ ("MkBad1", [ Syntax.Ty_var "a" ]) ];
+             }
+         with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "unbound type variable accepted");
+        match
+          I.add_data env
+            {
+              Syntax.type_name = "Bad2";
+              type_params = [];
+              constructors =
+                [ ("MkBad2", [ Syntax.Ty_con ("Nonexistent", []) ]) ];
+            }
+        with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "unknown type constructor accepted");
+    tc "main must be IO" (fun () ->
+        match
+          I.infer_program (Parser.parse_program "main = 42;")
+        with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "non-IO main accepted");
+    tc "the Prelude itself type-checks" (fun () ->
+        (* with_prelude raises if it does not. *)
+        ignore (I.with_prelude ()));
+    tc "examples' embedded programs type-check" (fun () ->
+        let prog =
+          Parser.parse_program
+            "squares n = map (\\x -> x * x) (enumFromTo 1 n);\n\
+             main = putLine (showInt (sum (squares 10)));"
+        in
+        match I.infer_program prog with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "%a" I.pp_error e);
+    (* Soundness: a well-typed closed term never evaluates to the
+       defensive TypeError constant (the checker discharges exactly the
+       assumption the untyped interpreters guard). *)
+    qtest ~count:150 "well-typed terms never hit TypeError at run time"
+      (Gen.gen_int ())
+      (fun e ->
+        let w = Prelude.wrap e in
+        match I.infer (I.with_prelude ()) e with
+        | Error _ ->
+            (* The generator can produce heterogeneous comparisons the
+               checker rejects; nothing to check then. *)
+            true
+        | Ok _ -> (
+            match Denot.run_deep ~config:(Denot.with_fuel 15_000) w with
+            | Value.DBad s -> (
+                match Exn_set.elements s with
+                | None -> true (* bottom: fuel ran out *)
+                | Some es ->
+                    List.for_all
+                      (function Exn.Type_error _ -> false | _ -> true)
+                      es)
+            | _ -> true));
+    qtest ~count:150 "generated terms are well-typed"
+      (Gen.gen ~cfg:{ Gen.default_cfg with raise_weight = 0 } Gen.T_int)
+      (fun e ->
+        (* With raise sites disabled the generator should produce only
+           typeable terms (raise's argument type is what can clash). *)
+        match I.infer (I.with_prelude ()) e with
+        | Ok _ -> true
+        | Error _ -> false);
+  ]
