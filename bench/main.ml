@@ -300,6 +300,61 @@ let table_conc () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Table F — bracket/mask hot-path overhead (robustness layer)          *)
+(* ------------------------------------------------------------------ *)
+
+(* The exception-safety combinators must be pay-as-you-go: wrapping a
+   loop that never raises in [bracket] or [mask] should cost a constant
+   number of IO transitions, not a per-iteration tax. Deterministic
+   machine-step counts, plus a JSON record for trend tracking. *)
+let fault_base = "mapM (\\x -> return (x + 1)) (enumFromTo 1 200)"
+
+let fault_scenarios =
+  [
+    ("baseline", fault_base);
+    ( "bracket",
+      Printf.sprintf
+        "bracket (return 0) (\\r -> return Unit) (\\r -> %s)" fault_base );
+    ("mask", Printf.sprintf "mask (%s)" fault_base);
+    ( "bracket+mask",
+      Printf.sprintf
+        "mask (bracket (return 0) (\\r -> return Unit) (\\r -> %s))"
+        fault_base );
+  ]
+
+let table_fault () =
+  header
+    "Table B (robustness): bracket/mask hot-path overhead                   (machine steps, no exception raised)";
+  let steps_of src =
+    let r = Machine_io.run (parse src) in
+    (match r.Machine_io.outcome with
+    | Machine_io.Done _ -> ()
+    | o -> Fmt.failwith "bench scenario failed: %a" Machine_io.pp_outcome o);
+    r.Machine_io.stats.Stats.steps
+  in
+  let base_steps = steps_of fault_base in
+  Fmt.pr "%-16s %12s %10s@." "scenario" "steps" "overhead";
+  let rows =
+    List.map
+      (fun (name, src) ->
+        let s = steps_of src in
+        let pct =
+          100.0 *. float_of_int (s - base_steps) /. float_of_int base_steps
+        in
+        Fmt.pr "%-16s %12d %9.2f%%@." name s pct;
+        (name, s, pct))
+      fault_scenarios
+  in
+  Fmt.pr "@.JSON {\"bench\":\"bracket_mask_overhead\",\"base_steps\":%d,\"scenarios\":[%s]}@."
+    base_steps
+    (String.concat ","
+       (List.map
+          (fun (n, s, p) ->
+            Printf.sprintf
+              "{\"name\":%S,\"steps\":%d,\"overhead_pct\":%.2f}" n s p)
+          rows))
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock benches: one Test.make per experiment            *)
 (* ------------------------------------------------------------------ *)
 
@@ -346,6 +401,11 @@ let make_tests () =
     t "io/getException_200" (fun () -> ignore (Io.run io_prog));
     t "io/machine_getException_200" (fun () ->
         ignore (Machine_io.run io_prog));
+    (* Robustness: exception-safety combinators on the hot path. *)
+    t "io/hot_path_baseline" (fun () ->
+        ignore (Machine_io.run (parse fault_base)));
+    t "io/hot_path_bracket_mask" (fun () ->
+        ignore (Machine_io.run (parse (List.assoc "bracket+mask" fault_scenarios))));
     (* C5: the full law table. *)
     t "laws/full_table" (fun () -> ignore (Laws.table ()));
     (* C14: type inference over the whole Prelude-closed program. *)
@@ -402,6 +462,7 @@ let () =
   table_finding ();
   table_gc ();
   table_conc ();
+  table_fault ();
   (match Sys.getenv_opt "SKIP_BECHAMEL" with
   | Some _ -> Fmt.pr "@.(bechamel skipped)@."
   | None -> run_bechamel ());

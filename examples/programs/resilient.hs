@@ -1,0 +1,17 @@
+-- Exception-safe IO (DESIGN.md 4b): bracket guarantees its release runs,
+-- retryWithBackoff re-attempts while the input changes, timeout bounds a
+-- writer that would overrun.
+-- Run with: dune exec bin/main.exe -- run examples/programs/resilient.hs --input xxo
+-- (input "xxx" exhausts the retries: the exception escapes, but the
+-- bracket still prints its closing marker first.)
+
+attempt = getChar >>= \c ->
+  case c of { 'x' -> seq (1 / 0) (return 0)
+            ; z -> putChar c >>= \u -> return 1 };
+
+main =
+  bracket (putChar (chr 91)) (\u -> putLine [chr 93]) (\u ->
+    retryWithBackoff 2 3 attempt >>= \v ->
+    timeout 8 (putList (replicate 20 '.')) >>= \mv ->
+    case mv of { Nothing -> putChar '!' >>= \u2 -> return v
+               ; Just w -> return v });

@@ -1,0 +1,68 @@
+(* A supervisor that survives resource exhaustion.
+
+   The paper's pitch (Sections 1 and 3) is that built-in errors are
+   recoverable values, not process aborts. This example pushes that to
+   resource exhaustion: the machine runs with a heap ceiling, the big
+   computation blows it, and the HeapOverflow arrives as an ordinary
+   catchable imprecise exception at the supervisor's getException — which
+   then degrades gracefully to a smaller workload. A second run shows
+   bracket guaranteeing cleanup when a timeout tears the worker down.
+
+   Run with: dune exec examples/supervisor.exe *)
+
+open Imprecise
+
+(* A supervisor in the object language: attempt the big job; on
+   HeapOverflow fall back to a smaller one; on any other exception give
+   up with a report. *)
+let supervisor_src =
+  "getException (seq (sum (enumFromTo 1 5000)) 1) >>= \\v ->\n\
+   case v of {\n\
+     OK x -> putInt x >>= \\u -> return x ;\n\
+     Bad e -> case e of {\n\
+       HeapOverflow ->\n\
+         putChar 'D' >>= \\u -> putChar ':' >>= \\u1 ->\n\
+         getException (sum (enumFromTo 1 100)) >>= \\w ->\n\
+         case w of {\n\
+           OK y -> putInt y >>= \\u2 -> return y ;\n\
+           Bad e2 -> putChar 'L' >>= \\u2 -> return (0 - 1) } ;\n\
+       z -> putChar '?' >>= \\u -> return (0 - 2) } }"
+
+(* The same shape with bracket: the release runs even when the timeout
+   rips the worker out mid-write. *)
+let bracket_src =
+  "timeout 10 (bracket (putChar 'A' >>= \\u -> return 1)\n\
+  \                    (\\r -> putChar 'R')\n\
+  \                    (\\r -> putList (replicate 40 '.')))\n\
+   >>= \\mv -> case mv of {\n\
+     Nothing -> putChar 'T' >>= \\u -> return 0 ;\n\
+     Just x -> putChar 'J' >>= \\u -> return x }"
+
+let () =
+  (* Denotationally there is no heap, so the supervisor's happy path
+     runs: this is the spec the machine refines. *)
+  let d = Io.run (parse supervisor_src) in
+  Fmt.pr "spec (no heap):    %a  output %S@." Io.pp_outcome d.Io.outcome
+    (Io.output_string_of d);
+
+  (* The machine under a 2500-cell ceiling: the big sum overflows, the
+     supervisor catches HeapOverflow and completes the small job. *)
+  let r =
+    Machine_io.run
+      ~config:{ Machine.default_config with heap_limit = Some 2_500 }
+      (parse supervisor_src)
+  in
+  Fmt.pr "machine (ceiling): %a  output %S@." Machine_io.pp_outcome
+    r.Machine_io.outcome r.Machine_io.output;
+  Fmt.pr "                   heap overflows caught: %d@."
+    r.Machine_io.stats.Stats.heap_overflows;
+
+  (* Exception safety: the bracket's release runs exactly once whether
+     the use phase finishes or the timeout tears it down. *)
+  let b = Machine_io.run (parse bracket_src) in
+  Fmt.pr "bracket+timeout:   %a@." Machine_io.pp_outcome b.Machine_io.outcome;
+  Fmt.pr "                   output: %s@." b.Machine_io.output;
+  Fmt.pr "                   brackets entered %d, released %d, timeouts %d@."
+    b.Machine_io.stats.Stats.brackets_entered
+    b.Machine_io.stats.Stats.brackets_released
+    b.Machine_io.stats.Stats.timeouts_fired

@@ -1,0 +1,685 @@
+(* A cross-layer fault-injection harness.
+
+   From a seeded oracle we generate a [fault] — a schedule of
+   asynchronous events, optional heap/stack ceilings, a starved machine
+   fuel budget, truncated input, and a GC cadence — then run a small
+   library of template programs under all four IO layers (denotational
+   {!Semantics.Iosem}, denotational concurrent {!Semantics.Conc}, machine
+   {!Machine.Machine_io}, concurrent machine {!Machine.Machine_conc}) and
+   check the exception-safety invariants that are supposed to survive
+   *any* fault:
+
+   - every surfaced uncaught exception is a member of the denotational
+     exception set of the program's pure core (or is an asynchronous /
+     resource event, which the semantics allows anywhere);
+   - bracket releases run exactly once per completed acquire
+     ([brackets_entered = brackets_released] whenever the program ran to
+     [Done]/[Uncaught], and the 'A'/'R' output markers pair up);
+   - a shared thunk interrupted mid-evaluation never loses work: a second
+     force sees the same value or the same exception, never a different
+     one (the pause-cell invariant, template [shared-thunk]);
+   - [Mask] really defers delivery: a masked section's output is never
+     torn by an injected event. *)
+
+module Exn = Lang.Exn
+module Denot = Semantics.Denot
+module Exn_set = Semantics.Exn_set
+module Oracle = Semantics.Oracle
+module Iosem = Semantics.Iosem
+module Conc = Semantics.Conc
+module Stg = Machine.Stg
+module Machine_io = Machine.Machine_io
+module Machine_conc = Machine.Machine_conc
+module Stats = Machine.Stats
+
+type fault = {
+  seed : int;
+  async : (int * Exn.t) list;
+  heap_limit : int option;
+  stack_limit : int option;
+  starved_fuel : int option;
+      (** Machine fuel override (tiny), simulating fuel exhaustion. *)
+  truncate_input : bool;
+  gc_every : int option;  (** Machine-layer collection cadence. *)
+}
+
+let no_fault seed =
+  {
+    seed;
+    async = [];
+    heap_limit = None;
+    stack_limit = None;
+    starved_fuel = None;
+    truncate_input = false;
+    gc_every = None;
+  }
+
+(* A fault is "clean" when it cannot legitimately change the program's
+   termination behaviour: only then do the strictest checks apply. *)
+let clean f =
+  f.heap_limit = None && f.stack_limit = None && f.starved_fuel = None
+
+let pp_fault ppf f =
+  Fmt.pf ppf "{seed=%d; async=[%a]; heap=%a; stack=%a; fuel=%a; trunc=%b}"
+    f.seed
+    Fmt.(list ~sep:comma (pair ~sep:(any "@") int Exn.pp))
+    f.async
+    Fmt.(option ~none:(any "-") int)
+    f.heap_limit
+    Fmt.(option ~none:(any "-") int)
+    f.stack_limit
+    Fmt.(option ~none:(any "-") int)
+    f.starved_fuel f.truncate_input
+
+type layer = L_iosem | L_conc | L_machine_io | L_machine_conc
+
+let layer_name = function
+  | L_iosem -> "iosem"
+  | L_conc -> "conc"
+  | L_machine_io -> "machine_io"
+  | L_machine_conc -> "machine_conc"
+
+type status = S_done | S_uncaught of Exn.t | S_diverged | S_stuck | S_deadlock
+
+let status_name = function
+  | S_done -> "done"
+  | S_uncaught e -> Fmt.str "uncaught %a" Exn.pp e
+  | S_diverged -> "diverged"
+  | S_stuck -> "stuck"
+  | S_deadlock -> "deadlock"
+
+type observation = {
+  status : status;
+  output : string;
+  entered : int;  (** Bracket acquires that completed. *)
+  released : int;  (** Bracket releases that ran. *)
+}
+
+(* Template programs: the [source] is surface syntax wrapped with the
+   Prelude (we cannot use [Imprecise.parse] here — the core library
+   depends on this one). [core] is the pure sub-expression whose
+   denotational exception set bounds the uncaught exceptions the program
+   may surface; [special] holds per-template invariants. *)
+type template = {
+  name : string;
+  source : string;
+  base_input : string;
+  core : string option;
+  conc_only : bool;
+  deterministic : bool;
+      (** Zero-fault output is identical across layers (false for
+          templates whose output depends on the layer's clock). *)
+  special : fault -> observation -> string list;
+}
+
+let parse_tbl : (string, Lang.Syntax.expr) Hashtbl.t = Hashtbl.create 32
+
+let parse src =
+  match Hashtbl.find_opt parse_tbl src with
+  | Some e -> e
+  | None ->
+      let e = Lang.Prelude.wrap (Lang.Parser.parse_expr src) in
+      Hashtbl.add parse_tbl src e;
+      e
+
+let exn_set_tbl : (string, Exn_set.t) Hashtbl.t = Hashtbl.create 8
+
+(* The denotational exception set of a pure core, at generous fuel. *)
+let core_exn_set core =
+  match Hashtbl.find_opt exn_set_tbl core with
+  | Some s -> s
+  | None ->
+      let s = Denot.exception_set (parse core) in
+      Hashtbl.add exn_set_tbl core s;
+      s
+
+let count c s =
+  String.fold_left (fun n ch -> if ch = c then n + 1 else n) 0 s
+
+let no_special _ _ = []
+
+(* ------------------------------------------------------------------ *)
+(* Template library                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let cores =
+  [
+    ("pure", "sum (enumFromTo 1 40)");
+    ("divzero", "1 / 0");
+    ("headnil", "head []");
+    ("mixed", "(1 / 0) + error \"Urk\"");
+  ]
+
+(* T1: a supervised core inside a bracket; the supervisor catches, so the
+   program always completes (an injected event only changes which [Bad]
+   the supervisor sees). *)
+let t_bracket_supervised (cname, core) =
+  {
+    name = "bracket-supervised/" ^ cname;
+    source =
+      Fmt.str
+        "bracket (putChar 'A' >>= \\u -> return 7) (\\r -> putChar 'R') \
+         (\\r -> getException (%s) >>= \\v -> putChar 'B' >>= \\u2 -> \
+         return 3)"
+        core;
+    base_input = "";
+    core = Some core;
+    conc_only = false;
+    deterministic = true;
+    special = no_special;
+  }
+
+(* T2: the use phase forces the core unprotected — exceptional cores
+   escape, but only after the release has run. *)
+let t_bracket_uncaught (cname, core) =
+  {
+    name = "bracket-uncaught/" ^ cname;
+    source =
+      Fmt.str
+        "putChar 'S' >>= \\u0 -> bracket (putChar 'A' >>= \\u -> return 0) \
+         (\\r -> putChar 'R') (\\r -> seq (%s) (return Unit))"
+        core;
+    base_input = "";
+    core = Some core;
+    conc_only = false;
+    deterministic = true;
+    special = no_special;
+  }
+
+(* T3: a timeout interrupts a bracketed writer; the release must still
+   run before the timeout is converted to Nothing. Output length depends
+   on the layer's clock, so it is not deterministic across layers. *)
+let t_timeout_bracket =
+  {
+    name = "timeout-bracket";
+    source =
+      "timeout 12 (bracket (putChar 'A' >>= \\u -> return 1) (\\r -> \
+       putChar 'R') (\\r -> putList (replicate 40 'x'))) >>= \\mv -> case \
+       mv of { Nothing -> putChar 'T' >>= \\u -> return 0 ; Just x -> \
+       putChar 'J' >>= \\u -> return 1 }";
+    base_input = "";
+    core = None;
+    conc_only = false;
+    deterministic = false;
+    special = no_special;
+  }
+
+(* T4: the pause-cell / no-lost-work invariant. A shared thunk is forced
+   by two successive getExceptions; whatever faults strike, the two
+   *synchronous* observations must be consistent: 'D' (both synchronous,
+   yet a different value or a different exception) must never appear. An
+   asynchronous [Bad] — an injected event, a resource ceiling — says
+   nothing about the thunk, only about the moment, so any comparison
+   involving one is excused ('w'). Cores are restricted to ones with
+   at-most-singleton exception sets so the denotational oracle cannot
+   legitimately pick two different representatives. *)
+let t_shared_thunk (cname, core) =
+  {
+    name = "shared-thunk/" ^ cname;
+    source =
+      Fmt.str
+        "let isAsync = \\ex -> case ex of { Interrupt -> True; Timeout -> \
+         True; HeapExhaustion -> True; HeapOverflow -> True; \
+         StackOverflow -> True; zz -> False } in let shared = %s in \
+         getException shared >>= \\a -> getException shared >>= \\b -> \
+         case a of { OK x -> case b of { OK y -> (if x == y then putChar \
+         'E' else putChar 'D') >>= \\u -> return 1 ; Bad e2 -> (if \
+         isAsync e2 then putChar 'w' else putChar 'D') >>= \\u -> return \
+         2 } ; Bad e1 -> case b of { Bad e2 -> (if eqExn e1 e2 then \
+         putChar 'E' else if isAsync e1 then putChar 'w' else if isAsync \
+         e2 then putChar 'w' else putChar 'D') >>= \\u -> return 3 ; OK y \
+         -> (if isAsync e1 then putChar 'w' else putChar 'D') >>= \\u -> \
+         return 4 } }"
+        core;
+    base_input = "";
+    core = Some core;
+    conc_only = false;
+    deterministic = true;
+    special =
+      (fun _fault obs ->
+        if String.contains obs.output 'D' then
+          [ "shared thunk observed two different values/exceptions" ]
+        else []);
+  }
+
+(* T5: retry with deterministic backoff — one 't' per attempt, at most
+   1 + 3 retries. *)
+let t_retry (cname, core) =
+  {
+    name = "retry/" ^ cname;
+    source =
+      Fmt.str
+        "retryWithBackoff 3 5 (putChar 't' >>= \\u -> seq (%s) (return \
+         Unit)) >>= \\v -> putChar 'F' >>= \\u -> return 9"
+        core;
+    base_input = "";
+    core = Some core;
+    conc_only = false;
+    deterministic = true;
+    special =
+      (fun _fault obs ->
+        if count 't' obs.output > 4 then
+          [
+            Fmt.str "retry ran %d attempts (max 4)" (count 't' obs.output);
+          ]
+        else []);
+  }
+
+(* T7: a forked child's bracket; the parent waits on an MVar, so the
+   child's release must appear in the output before the join. *)
+let t_fork_bracket =
+  {
+    name = "fork-bracket";
+    source =
+      "newEmptyMVar >>= \\mv -> forkIO (bracket (putChar 'A' >>= \\u -> \
+       return 1) (\\r -> putChar 'R') (\\r -> putChar 'B' >>= \\u -> \
+       return 2) >>= \\x -> putMVar mv x) >>= \\u -> takeMVar mv >>= \\y \
+       -> putChar 'J' >>= \\u2 -> return y";
+    base_input = "";
+    core = None;
+    conc_only = true;
+    deterministic = false;
+    special = no_special;
+  }
+
+(* T8: Mask must defer injected events past the whole masked section —
+   under a clean fault the output is exactly "MU" no matter what the
+   async schedule says. *)
+let t_mask_shield =
+  {
+    name = "mask-shield";
+    source =
+      "mask (getException (sum (enumFromTo 1 50)) >>= \\v -> putChar 'M' \
+       >>= \\u -> return 0) >>= \\w -> getException 7 >>= \\v2 -> putChar \
+       'U' >>= \\u3 -> return 0";
+    base_input = "";
+    core = None;
+    conc_only = false;
+    deterministic = true;
+    special =
+      (fun fault obs ->
+        if clean fault && obs.output <> "MU" then
+          [ Fmt.str "masked section torn: output %S (expected MU)" obs.output ]
+        else []);
+  }
+
+(* T9: truncated input — every layer must report the same stuck-on-EOF
+   behaviour. *)
+let t_echo =
+  {
+    name = "echo";
+    source = "getChar >>= \\c -> putChar c >>= \\u -> return 5";
+    base_input = "q";
+    core = None;
+    conc_only = false;
+    deterministic = true;
+    special =
+      (fun fault obs ->
+        if not (clean fault) then []
+        else if fault.truncate_input then
+          if obs.status <> S_stuck then
+            [
+              Fmt.str "EOF not reported as stuck: %s"
+                (status_name obs.status);
+            ]
+          else []
+        else if obs.status = S_done && obs.output <> "q" then
+          [ Fmt.str "echo wrote %S" obs.output ]
+        else []);
+  }
+
+let templates =
+  List.map t_bracket_supervised cores
+  @ List.map t_bracket_uncaught cores
+  @ [ t_timeout_bracket ]
+  @ List.map t_shared_thunk
+      [ ("pure", "sum (enumFromTo 1 200)"); ("headnil", "head []") ]
+  @ List.map t_retry [ ("pure", List.assoc "pure" cores); ("mixed", List.assoc "mixed" cores) ]
+  @ [ t_fork_bracket; t_mask_shield; t_echo ]
+
+(* ------------------------------------------------------------------ *)
+(* Running one template under one layer                                *)
+(* ------------------------------------------------------------------ *)
+
+let max_transitions = 20_000
+
+let input_of tpl fault = if fault.truncate_input then "" else tpl.base_input
+
+let machine_config fault =
+  {
+    Stg.default_config with
+    heap_limit = fault.heap_limit;
+    stack_limit = fault.stack_limit;
+    fuel =
+      (match fault.starved_fuel with
+      | Some f -> f
+      | None -> Stg.default_config.fuel);
+  }
+
+let observe layer tpl fault : observation =
+  let e = parse tpl.source in
+  let input = input_of tpl fault in
+  match layer with
+  | L_iosem ->
+      let r =
+        Iosem.run
+          ~oracle:(Oracle.create ~seed:fault.seed)
+          ~input ~async:fault.async ~max_steps:max_transitions e
+      in
+      let status =
+        match r.Iosem.outcome with
+        | Iosem.Done _ -> S_done
+        | Iosem.Uncaught x -> S_uncaught x
+        | Iosem.Io_diverged -> S_diverged
+        | Iosem.Stuck _ -> S_stuck
+      in
+      {
+        status;
+        output = Iosem.output_string_of r;
+        entered = r.Iosem.counters.Iosem.brackets_entered;
+        released = r.Iosem.counters.Iosem.brackets_released;
+      }
+  | L_conc ->
+      let r =
+        Conc.run
+          ~oracle:(Oracle.create ~seed:fault.seed)
+          ~input ~async:fault.async ~max_steps:max_transitions e
+      in
+      let status =
+        match r.Conc.outcome with
+        | Conc.Done _ -> S_done
+        | Conc.Uncaught x -> S_uncaught x
+        | Conc.Deadlock -> S_deadlock
+        | Conc.Diverged -> S_diverged
+        | Conc.Stuck _ -> S_stuck
+      in
+      {
+        status;
+        output = Conc.output_string_of r;
+        entered = r.Conc.counters.Iosem.brackets_entered;
+        released = r.Conc.counters.Iosem.brackets_released;
+      }
+  | L_machine_io ->
+      let r =
+        Machine_io.run ~config:(machine_config fault) ~input
+          ~async:fault.async ~max_transitions ?gc_every:fault.gc_every e
+      in
+      let status =
+        match r.Machine_io.outcome with
+        | Machine_io.Done _ -> S_done
+        | Machine_io.Uncaught x -> S_uncaught x
+        | Machine_io.Io_diverged -> S_diverged
+        | Machine_io.Stuck _ -> S_stuck
+      in
+      {
+        status;
+        output = r.Machine_io.output;
+        entered = r.Machine_io.stats.Stats.brackets_entered;
+        released = r.Machine_io.stats.Stats.brackets_released;
+      }
+  | L_machine_conc ->
+      let r =
+        Machine_conc.run ~config:(machine_config fault) ~input
+          ~async:fault.async ~max_transitions e
+      in
+      let status =
+        match r.Machine_conc.outcome with
+        | Machine_conc.Done _ -> S_done
+        | Machine_conc.Uncaught x -> S_uncaught x
+        | Machine_conc.Deadlock -> S_deadlock
+        | Machine_conc.Diverged -> S_diverged
+        | Machine_conc.Stuck _ -> S_stuck
+      in
+      {
+        status;
+        output = r.Machine_conc.output;
+        entered = r.Machine_conc.stats.Stats.brackets_entered;
+        released = r.Machine_conc.stats.Stats.brackets_released;
+      }
+
+let layers_for tpl =
+  if tpl.conc_only then [ L_conc; L_machine_conc ]
+  else [ L_iosem; L_conc; L_machine_io; L_machine_conc ]
+
+(* ------------------------------------------------------------------ *)
+(* Invariant checks                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type report = {
+  runs : int;  (** (template, layer, fault) executions. *)
+  checks : int;  (** Individual invariant checks evaluated. *)
+  violations : string list;
+}
+
+let pp_report ppf r =
+  Fmt.pf ppf "%d runs, %d checks, %d violations" r.runs r.checks
+    (List.length r.violations)
+
+let finished obs =
+  match obs.status with S_done | S_uncaught _ -> true | _ -> false
+
+(* The differential invariant: an uncaught exception must belong to the
+   denotational exception set of the pure core — unless it is an
+   asynchronous or resource event (allowed anywhere by Section 5.1), or a
+   starved fuel budget turned an ordinary computation into
+   NonTermination. *)
+let check_membership tpl fault obs =
+  match obs.status with
+  | S_uncaught e ->
+      if Exn.is_asynchronous e then []
+      else if fault.starved_fuel <> None && e = Exn.Non_termination then []
+      else begin
+        match tpl.core with
+        | None ->
+            [
+              Fmt.str "uncaught %a but the template has no exceptional core"
+                Exn.pp e;
+            ]
+        | Some core ->
+            let s = core_exn_set core in
+            if Exn_set.is_all s || Exn_set.mem e s then []
+            else
+              [
+                Fmt.str "uncaught %a not in the denotational set %a" Exn.pp
+                  e Exn_set.pp s;
+              ]
+      end
+  | _ -> []
+
+(* Release-exactly-once, from the counters: holds whenever the program
+   ran to completion, whatever the fault. *)
+let check_counters obs =
+  if obs.released > obs.entered then
+    [
+      Fmt.str "released %d brackets but entered only %d" obs.released
+        obs.entered;
+    ]
+  else if finished obs && obs.entered <> obs.released then
+    [
+      Fmt.str "entered %d brackets but released %d" obs.entered
+        obs.released;
+    ]
+  else []
+
+(* Release-exactly-once, from the output markers: every 'A' the acquire
+   wrote is paired with the release's 'R'. Resource exhaustion may strike
+   *inside* the release action itself (after the counter bump but before
+   the marker), so this stricter check only applies to clean faults. *)
+let check_markers tpl fault obs =
+  let applicable =
+    clean fault
+    && (finished obs || (tpl.conc_only && obs.status = S_deadlock))
+  in
+  if applicable && count 'A' obs.output <> count 'R' obs.output then
+    [
+      Fmt.str "unbalanced bracket markers in output %S (%d acquires, %d \
+               releases)"
+        obs.output (count 'A' obs.output) (count 'R' obs.output);
+    ]
+  else []
+
+let check_one tpl fault layer =
+  let obs = observe layer tpl fault in
+  let tag v =
+    Fmt.str "[%s/%s %a] %s" tpl.name (layer_name layer) pp_fault fault v
+  in
+  let vs =
+    check_membership tpl fault obs
+    @ check_counters obs
+    @ check_markers tpl fault obs
+    @ tpl.special fault obs
+  in
+  (4, List.map tag vs)
+
+(* Zero-fault baseline: with no fault injected, the four layers must
+   agree — same status class and (for clock-independent templates) the
+   same output. *)
+let baseline tpl =
+  let obss =
+    List.map (fun l -> (l, observe l tpl (no_fault 0))) (layers_for tpl)
+  in
+  match obss with
+  | [] -> (0, [])
+  | (l0, o0) :: rest ->
+      let vs =
+        List.concat_map
+          (fun (l, o) ->
+            let status_ok =
+              match (o0.status, o.status) with
+              | S_done, S_done
+              | S_uncaught _, S_uncaught _
+              | S_diverged, S_diverged
+              | S_stuck, S_stuck
+              | S_deadlock, S_deadlock ->
+                  true
+              | _ -> false
+            in
+            let s =
+              if not status_ok then
+                [
+                  Fmt.str "baseline status mismatch: %s=%s vs %s=%s"
+                    (layer_name l0) (status_name o0.status) (layer_name l)
+                    (status_name o.status);
+                ]
+              else []
+            in
+            let out =
+              if tpl.deterministic && o.output <> o0.output then
+                [
+                  Fmt.str "baseline output mismatch: %s=%S vs %s=%S"
+                    (layer_name l0) o0.output (layer_name l) o.output;
+                ]
+              else []
+            in
+            s @ out)
+          rest
+      in
+      ( 2 * List.length rest,
+        List.map (fun v -> Fmt.str "[%s] %s" tpl.name v) vs )
+
+(* ------------------------------------------------------------------ *)
+(* Fault generation and the suite driver                               *)
+(* ------------------------------------------------------------------ *)
+
+let gen_fault ~seed tpl =
+  let o = Oracle.create ~seed:((seed * 7919) + 17) in
+  let exns = [| Exn.Interrupt; Exn.Timeout; Exn.Heap_exhaustion |] in
+  let n_async = Oracle.int_below o 4 in
+  let async =
+    List.init n_async (fun _ ->
+        (Oracle.int_below o 2_000, exns.(Oracle.int_below o 3)))
+  in
+  let heap_limit =
+    if Oracle.int_below o 4 = 0 then
+      Some (1_500 + (40 * Oracle.int_below o 100))
+    else None
+  in
+  let stack_limit =
+    if Oracle.int_below o 5 = 0 then Some (80 + Oracle.int_below o 400)
+    else None
+  in
+  let starved_fuel =
+    if Oracle.int_below o 6 = 0 then Some 3_000 else None
+  in
+  let truncate_input =
+    tpl.base_input <> "" && Oracle.coin o
+  in
+  let gc_every =
+    if Oracle.coin o then Some (16 + Oracle.int_below o 64) else None
+  in
+  { seed; async; heap_limit; stack_limit; starved_fuel; truncate_input;
+    gc_every }
+
+let run_seed seed =
+  let tpl = List.nth templates (seed mod List.length templates) in
+  let fault = gen_fault ~seed tpl in
+  List.fold_left
+    (fun (runs, checks, vs) layer ->
+      let c, v = check_one tpl fault layer in
+      (runs + 1, checks + c, vs @ v))
+    (0, 0, []) (layers_for tpl)
+
+(* The supervisor scenario: under a heap ceiling the machine raises a
+   catchable HeapOverflow; the supervisor catches it, an emergency
+   collection frees the abandoned allocations, and a smaller retry
+   succeeds ('H' then 'K'). Denotationally there is no heap, so the same
+   program just succeeds ('O'). *)
+let supervisor_source =
+  "getException (seq (sum (enumFromTo 1 5000)) 1) >>= \\v -> case v of { \
+   OK x -> putChar 'O' >>= \\u -> return 0 ; Bad e -> case e of { \
+   HeapOverflow -> putChar 'H' >>= \\u -> getException (seq (sum \
+   (enumFromTo 1 10)) 2) >>= \\w -> (case w of { OK y -> putChar 'K' ; \
+   Bad e2 -> putChar 'Z' }) >>= \\u2 -> return 1 ; z -> putChar 'Y' >>= \
+   \\u -> return 0 } }"
+
+let check_supervisor () =
+  let e = parse supervisor_source in
+  let r =
+    Machine_io.run
+      ~config:{ Stg.default_config with heap_limit = Some 2_500 }
+      ~max_transitions e
+  in
+  let machine_vs =
+    match r.Machine_io.outcome with
+    | Machine_io.Done _ when r.Machine_io.output = "HK" -> []
+    | _ ->
+        [
+          Fmt.str
+            "[supervisor/machine_io] expected Done with output HK, got %a \
+             with %S"
+            Machine_io.pp_outcome r.Machine_io.outcome r.Machine_io.output;
+        ]
+  in
+  let d = Iosem.run ~oracle:(Oracle.first ()) e in
+  let denot_vs =
+    match d.Iosem.outcome with
+    | Iosem.Done _ when Iosem.output_string_of d = "O" -> []
+    | _ ->
+        [
+          Fmt.str
+            "[supervisor/iosem] expected Done with output O, got %a with %S"
+            Iosem.pp_outcome d.Iosem.outcome (Iosem.output_string_of d);
+        ]
+  in
+  (2, machine_vs @ denot_vs)
+
+let run_suite ?(count = 250) () =
+  let runs = ref 0 and checks = ref 0 and vs = ref [] in
+  List.iter
+    (fun tpl ->
+      let c, v = baseline tpl in
+      checks := !checks + c;
+      runs := !runs + List.length (layers_for tpl);
+      vs := !vs @ v)
+    templates;
+  for seed = 0 to count - 1 do
+    let r, c, v = run_seed seed in
+    runs := !runs + r;
+    checks := !checks + c;
+    vs := !vs @ v
+  done;
+  let c, v = check_supervisor () in
+  runs := !runs + 2;
+  checks := !checks + c;
+  vs := !vs @ v;
+  { runs = !runs; checks = !checks; violations = !vs }

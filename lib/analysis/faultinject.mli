@@ -1,0 +1,106 @@
+(** A cross-layer fault-injection harness.
+
+    From a seeded oracle, generate a {!fault} — a schedule of asynchronous
+    events (Section 5.1), optional heap/stack ceilings (catchable resource
+    exhaustion in {!Machine.Stg}), a starved machine fuel budget,
+    truncated input, and a GC cadence — then run a library of template
+    programs under all four IO layers ({!Semantics.Iosem},
+    {!Semantics.Conc}, {!Machine.Machine_io}, {!Machine.Machine_conc})
+    and check the invariants that must survive any fault:
+
+    - every surfaced uncaught exception is a member of the pure core's
+      denotational exception set, or an asynchronous/resource event;
+    - bracket releases run exactly once per completed acquire
+      (counters and paired 'A'/'R' output markers);
+    - a shared thunk interrupted mid-force never loses work (a second
+      force sees the same value or exception — the pause-cell invariant);
+    - [Mask] really defers delivery (a masked section is never torn);
+    - with no fault injected, all four layers agree (baseline). *)
+
+type fault = {
+  seed : int;  (** Oracle seed; also seeds the layers' oracles. *)
+  async : (int * Lang.Exn.t) list;
+      (** Asynchronous events: deliver [x] at the first [getException] at
+          or after the given transition. *)
+  heap_limit : int option;  (** Machine heap ceiling in cells. *)
+  stack_limit : int option;  (** Machine stack ceiling in frames. *)
+  starved_fuel : int option;
+      (** Tiny machine fuel budget, simulating fuel exhaustion. *)
+  truncate_input : bool;  (** Run with the template's input removed. *)
+  gc_every : int option;
+      (** Collect the machine heap every [k] IO transitions, exercising
+          frame relocation under faults. *)
+}
+
+val no_fault : int -> fault
+(** A fault record that injects nothing (baseline runs). *)
+
+val clean : fault -> bool
+(** No resource limits and no starved fuel: the strictest checks apply. *)
+
+val pp_fault : fault Fmt.t
+
+type layer = L_iosem | L_conc | L_machine_io | L_machine_conc
+
+val layer_name : layer -> string
+
+type status = S_done | S_uncaught of Lang.Exn.t | S_diverged | S_stuck | S_deadlock
+
+val status_name : status -> string
+
+type observation = {
+  status : status;
+  output : string;
+  entered : int;  (** Bracket acquires that completed. *)
+  released : int;  (** Bracket releases that ran. *)
+}
+
+type template = {
+  name : string;
+  source : string;  (** Surface syntax, wrapped with the Prelude. *)
+  base_input : string;
+  core : string option;
+      (** The pure sub-expression whose denotational exception set bounds
+          the program's uncaught exceptions. *)
+  conc_only : bool;  (** Uses [forkIO]/MVars: concurrent layers only. *)
+  deterministic : bool;
+      (** Zero-fault output is identical across layers. *)
+  special : fault -> observation -> string list;
+      (** Per-template invariants; returns violation messages. *)
+}
+
+val templates : template list
+
+val observe : layer -> template -> fault -> observation
+(** Run one template under one layer with the fault applied. *)
+
+val layers_for : template -> layer list
+
+val gen_fault : seed:int -> template -> fault
+(** The seeded fault generator used by {!run_suite}. *)
+
+val check_one : template -> fault -> layer -> int * string list
+(** Run and check one (template, fault, layer) cell: returns the number
+    of checks evaluated and any violations. *)
+
+val baseline : template -> int * string list
+(** Cross-layer agreement with no fault injected. *)
+
+val check_supervisor : unit -> int * string list
+(** The heap-exhaustion recovery scenario: under a heap ceiling the
+    machine surfaces a catchable [HeapOverflow], the supervisor catches
+    it, an emergency collection frees the abandoned allocations, and a
+    smaller retry succeeds. *)
+
+type report = {
+  runs : int;  (** (template, layer, fault) executions performed. *)
+  checks : int;  (** Individual invariant checks evaluated. *)
+  violations : string list;  (** Empty iff every check passed. *)
+}
+
+val pp_report : report Fmt.t
+
+val run_suite : ?count:int -> unit -> report
+(** Run the baselines, [count] seeded fault schedules (default 250, each
+    over one template on every applicable layer), and the supervisor
+    scenario. *)

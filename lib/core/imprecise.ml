@@ -45,6 +45,7 @@ module Stats = Machine.Stats
 module Machine = Machine.Stg
 module Strictness = Analysis.Strictness
 module Effects = Analysis.Exn_analysis
+module Faultinject = Analysis.Faultinject
 module Rules = Transform.Rules
 module Refine = Transform.Refine
 module Laws = Transform.Laws

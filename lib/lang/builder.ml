@@ -55,7 +55,8 @@ let exn_con (e : Exn.t) =
   | Exn.Type_error s ->
       Con (name, [ str s ])
   | Exn.Divide_by_zero | Exn.Overflow | Exn.Non_termination | Exn.Interrupt
-  | Exn.Timeout | Exn.Stack_overflow_exn | Exn.Heap_exhaustion ->
+  | Exn.Timeout | Exn.Stack_overflow_exn | Exn.Heap_exhaustion
+  | Exn.Heap_overflow ->
       Con (name, [])
 
 let raise_exn e = Raise (exn_con e)
@@ -66,6 +67,12 @@ let io_bind m k = Con (c_bind, [ m; k ])
 let get_char = Con (c_get_char, [])
 let put_char e = Con (c_put_char, [ e ])
 let get_exception e = Con (c_get_exception, [ e ])
+let io_bracket acq rel use = Con (c_bracket, [ acq; rel; use ])
+let io_on_exception m h = Con (c_on_exception, [ m; h ])
+let io_mask m = Con (c_mask, [ m ])
+let io_unmask m = Con (c_unmask, [ m ])
+let io_timeout k m = Con (c_timeout, [ k; m ])
+let io_retry n b m = Con (c_retry, [ n; b; m ])
 
 let loop = Fix (lam "x" (var "x"))
 let loop_plus_error = loop + error "Urk"

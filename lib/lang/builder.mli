@@ -69,6 +69,20 @@ val get_char : expr
 val put_char : expr -> expr
 val get_exception : expr -> expr
 
+val io_bracket : expr -> expr -> expr -> expr
+(** [io_bracket acquire release use]: perform [acquire]; on success run
+    [use resource]; run [release resource] exactly once whether [use]
+    returns, raises, or is interrupted. *)
+
+val io_on_exception : expr -> expr -> expr
+val io_mask : expr -> expr
+val io_unmask : expr -> expr
+val io_timeout : expr -> expr -> expr
+val io_retry : expr -> expr -> expr -> expr
+(** [io_retry attempts backoff m]: re-perform [m] up to [attempts] more
+    times when it fails, doubling the deterministic tick-counted [backoff]
+    between attempts. *)
+
 (* The paper's running examples. *)
 
 val loop : expr

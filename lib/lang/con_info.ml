@@ -17,6 +17,12 @@ let builtin_list =
     ("GetChar", 0);
     ("PutChar", 1);
     ("GetException", 1);
+    ("Bracket", 3);
+    ("OnException", 2);
+    ("Mask", 1);
+    ("Unmask", 1);
+    ("WithTimeout", 2);
+    ("Retry", 3);
     ("Fork", 1);
     ("NewMVar", 0);
     ("TakeMVar", 1);
@@ -33,6 +39,7 @@ let builtin_list =
     ("Timeout", 0);
     ("StackOverflow", 0);
     ("HeapExhaustion", 0);
+    ("HeapOverflow", 0);
   ]
 
 let builtins () =

@@ -10,12 +10,15 @@ type t =
   | Timeout
   | Stack_overflow_exn
   | Heap_exhaustion
+  | Heap_overflow
 
 let compare = Stdlib.compare
 let equal a b = compare a b = 0
 
 let is_asynchronous = function
-  | Interrupt | Timeout | Stack_overflow_exn | Heap_exhaustion -> true
+  | Interrupt | Timeout | Stack_overflow_exn | Heap_exhaustion
+  | Heap_overflow ->
+      true
   | Divide_by_zero | Overflow | Pattern_match_fail _ | Assertion_failed _
   | User_error _ | Type_error _ | Non_termination ->
       false
@@ -34,6 +37,7 @@ let constructor_name = function
   | Timeout -> "Timeout"
   | Stack_overflow_exn -> "StackOverflow"
   | Heap_exhaustion -> "HeapExhaustion"
+  | Heap_overflow -> "HeapOverflow"
 
 let of_constructor name payload =
   let s = Option.value payload ~default:"" in
@@ -49,6 +53,7 @@ let of_constructor name payload =
   | "Timeout" -> Some Timeout
   | "StackOverflow" -> Some Stack_overflow_exn
   | "HeapExhaustion" -> Some Heap_exhaustion
+  | "HeapOverflow" -> Some Heap_overflow
   | _ -> None
 
 let pp ppf e =
@@ -58,7 +63,7 @@ let pp ppf e =
   | User_error s -> Fmt.pf ppf "UserError %S" s
   | Type_error s -> Fmt.pf ppf "TypeError %S" s
   | Divide_by_zero | Overflow | Non_termination | Interrupt | Timeout
-  | Stack_overflow_exn | Heap_exhaustion ->
+  | Stack_overflow_exn | Heap_exhaustion | Heap_overflow ->
       Fmt.string ppf (constructor_name e)
 
 module Set = Stdlib.Set.Make (struct
@@ -80,4 +85,5 @@ let all_known =
     Timeout;
     Stack_overflow_exn;
     Heap_exhaustion;
+    Heap_overflow;
   ]

@@ -33,6 +33,11 @@ type t =
   | Timeout  (** Asynchronous: external timeout (Section 5.1). *)
   | Stack_overflow_exn  (** Asynchronous resource exhaustion. *)
   | Heap_exhaustion  (** Asynchronous resource exhaustion. *)
+  | Heap_overflow
+      (** Raised by the abstract machine when a configured heap limit is
+          hit ({!Machine.Stg}): catchable resource exhaustion, delivered
+          through the ordinary trim-the-stack path so a supervisor can
+          recover (GHC's [HeapOverflow]). *)
 
 val compare : t -> t -> int
 val equal : t -> t -> bool

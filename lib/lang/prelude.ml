@@ -113,6 +113,7 @@ eqExn a b = case a of
     Timeout -> case b of { Timeout -> True; z -> False };
     StackOverflow -> case b of { StackOverflow -> True; z -> False };
     HeapExhaustion -> case b of { HeapExhaustion -> True; z -> False };
+    HeapOverflow -> case b of { HeapOverflow -> True; z -> False };
     UserError s1 -> case b of { UserError s2 -> s1 == s2; z -> False };
     TypeError s1 -> case b of { TypeError s2 -> s1 == s2; z -> False };
     PatternMatchFail s1 ->
@@ -148,6 +149,15 @@ forkIO m = Fork m;
 newEmptyMVar = NewMVar;
 takeMVar r = TakeMVar r;
 putMVar r v = PutMVar r v;
+
+bracket acq rel use = Bracket acq rel use;
+bracket2 before after use = Bracket before (\u -> after) (\u -> use);
+finally m cleanup = Bracket (Return Unit) (\u -> cleanup) (\u -> m);
+onException m h = OnException m h;
+mask m = Mask m;
+unmask m = Unmask m;
+timeout n m = WithTimeout n m;
+retryWithBackoff n b m = Retry n b m;
 
 putList cs = case cs of
   { Nil -> Return Unit;

@@ -85,9 +85,28 @@ let c_bind = "Bind"
 let c_get_char = "GetChar"
 let c_put_char = "PutChar"
 let c_get_exception = "GetException"
+let c_bracket = "Bracket"
+let c_on_exception = "OnException"
+let c_mask = "Mask"
+let c_unmask = "Unmask"
+let c_timeout = "WithTimeout"
+let c_retry = "Retry"
 
 let is_io_constructor c =
-  List.mem c [ c_return; c_bind; c_get_char; c_put_char; c_get_exception ]
+  List.mem c
+    [
+      c_return;
+      c_bind;
+      c_get_char;
+      c_put_char;
+      c_get_exception;
+      c_bracket;
+      c_on_exception;
+      c_mask;
+      c_unmask;
+      c_timeout;
+      c_retry;
+    ]
 
 let bool_expr b = Con ((if b then c_true else c_false), [])
 let int_expr n = Lit (Lit_int n)

@@ -96,9 +96,17 @@ val c_bind : string
 val c_get_char : string
 val c_put_char : string
 val c_get_exception : string
+val c_bracket : string
+val c_on_exception : string
+val c_mask : string
+val c_unmask : string
+val c_timeout : string
+val c_retry : string
 
 val is_io_constructor : string -> bool
-(** True for the five constructors of the [IO] data type. *)
+(** True for the constructors of the [IO] data type, including the
+    exception-safety combinators ([Bracket], [OnException], [Mask],
+    [Unmask], [WithTimeout], [Retry]). *)
 
 val bool_expr : bool -> expr
 val int_expr : int -> expr

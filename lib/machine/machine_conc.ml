@@ -23,13 +23,28 @@ let pp_outcome ppf = function
   | Diverged -> Fmt.string ppf "Diverged"
   | Stuck msg -> Fmt.pf ppf "Stuck %S" msg
 
+(* Per-thread IO continuation frames; see {!Machine_io}. *)
+type frame =
+  | F_k of Stg.addr
+  | F_bracket of Stg.addr * Stg.addr
+  | F_release of Stg.addr
+  | F_onexn of Stg.addr
+  | F_mask_pop
+  | F_unmask_pop
+  | F_timeout of int  (** deadline in scheduler transitions *)
+  | F_retry of Stg.addr * int * int
+  | F_rethrow of Exn.t
+  | F_restore of Stg.addr
+
 type thread_state =
-  | Runnable of Stg.addr * Stg.addr list  (** IO value, continuations *)
-  | Blocked_take of int * Stg.addr list
-  | Blocked_put of int * Stg.addr * Stg.addr list
+  | Runnable of Stg.addr * frame list  (** IO value, continuation frames *)
+  | Blocked_take of int * frame list
+  | Blocked_put of int * Stg.addr * frame list
+  | Sleeping of int * Stg.addr * frame list
+      (** Wake at the given transition count ([Retry] backoff). *)
   | Finished
 
-type thread = { tid : int; mutable state : thread_state }
+type thread = { tid : int; mutable state : thread_state; mutable mask : int }
 
 type mvar = {
   mutable contents : Stg.addr option;
@@ -37,8 +52,11 @@ type mvar = {
   mutable put_waiters : int list;
 }
 
-let run ?config ?(input = "") ?(max_transitions = 100_000) (e : expr) =
+let run ?config ?(input = "") ?(async = []) ?(max_transitions = 100_000)
+    (e : expr) =
   let m = Stg.create ?config () in
+  List.iter (fun (k, x) -> Stg.inject_async m ~at_step:k x) async;
+  let stats = Stg.stats m in
   let buf = Buffer.create 64 in
   let input_pos = ref 0 in
   let threads : thread list ref = ref [] in
@@ -49,11 +67,11 @@ let run ?config ?(input = "") ?(max_transitions = 100_000) (e : expr) =
   let next_mvar = ref 0 in
   let main_result : outcome option ref = ref None in
 
-  let new_thread addr conts =
+  let new_thread addr frames =
     let tid = !next_tid in
     incr next_tid;
     incr spawned;
-    let t = { tid; state = Runnable (addr, conts) } in
+    let t = { tid; state = Runnable (addr, frames); mask = 0 } in
     threads := !threads @ [ t ];
     t
   in
@@ -75,26 +93,97 @@ let run ?config ?(input = "") ?(max_transitions = 100_000) (e : expr) =
     t.state <- Finished
   in
 
+  let restore_mask () = Stg.set_mask_depth m (Stg.mask_depth m + 1) in
+
+  (* Normal return through [t]'s frames (machine mask depth is synced to
+     [t] while this runs). *)
+  let rec pop_t (t : thread) (v : Stg.addr) (stack : frame list) : unit =
+    match stack with
+    | [] -> finish t v
+    | F_k k :: rest -> (
+        match Stg.force m k with
+        | Ok (Stg.MClo _) -> t.state <- Runnable (Stg.alloc_app m k v, rest)
+        | Ok _ -> main_result := Some (Stuck ">>=: not a function")
+        | Error (Stg.Fail_exn exn) -> unwind_t t exn rest
+        | Error _ -> unwind_t t Exn.Non_termination rest)
+    | F_bracket (rel, use) :: rest ->
+        stats.Stats.brackets_entered <- stats.Stats.brackets_entered + 1;
+        Stg.pop_mask m;
+        t.state <-
+          Runnable
+            (Stg.alloc_app m use v, F_release (Stg.alloc_app m rel v) :: rest)
+    | F_release r :: rest ->
+        stats.Stats.brackets_released <- stats.Stats.brackets_released + 1;
+        Stg.push_mask m;
+        t.state <- Runnable (r, F_mask_pop :: F_restore v :: rest)
+    | F_onexn _ :: rest -> pop_t t v rest
+    | F_mask_pop :: rest ->
+        Stg.pop_mask m;
+        pop_t t v rest
+    | F_unmask_pop :: rest ->
+        restore_mask ();
+        pop_t t v rest
+    | F_timeout _ :: rest ->
+        pop_t t (Stg.alloc_value m (Stg.MCon (c_just, [ v ]))) rest
+    | F_retry _ :: rest -> pop_t t v rest
+    | F_rethrow exn :: rest -> unwind_t t exn rest
+    | F_restore saved :: rest -> pop_t t saved rest
+
+  and unwind_t (t : thread) (exn : Exn.t) (stack : frame list) : unit =
+    match stack with
+    | [] -> die t exn
+    | F_k _ :: rest -> unwind_t t exn rest
+    | F_bracket _ :: rest ->
+        Stg.pop_mask m;
+        unwind_t t exn rest
+    | F_release r :: rest ->
+        stats.Stats.brackets_released <- stats.Stats.brackets_released + 1;
+        Stg.push_mask m;
+        t.state <- Runnable (r, F_mask_pop :: F_rethrow exn :: rest)
+    | F_onexn h :: rest ->
+        Stg.push_mask m;
+        t.state <- Runnable (h, F_mask_pop :: F_rethrow exn :: rest)
+    | F_mask_pop :: rest ->
+        Stg.pop_mask m;
+        unwind_t t exn rest
+    | F_unmask_pop :: rest ->
+        restore_mask ();
+        unwind_t t exn rest
+    | F_timeout _ :: rest when exn = Exn.Timeout ->
+        pop_t t (Stg.alloc_value m (Stg.MCon (c_nothing, []))) rest
+    | F_timeout _ :: rest -> unwind_t t exn rest
+    | F_retry (action, attempts, backoff) :: rest ->
+        if attempts > 0 then
+          t.state <-
+            Sleeping
+              ( !transitions + backoff,
+                action,
+                F_retry (action, attempts - 1, 2 * backoff) :: rest )
+        else unwind_t t exn rest
+    | F_rethrow _ :: rest -> unwind_t t exn rest
+    | F_restore _ :: rest -> unwind_t t exn rest
+  in
+
   let find_thread tid = List.find (fun t -> t.tid = tid) !threads in
 
   let wake tid =
     let t = find_thread tid in
     match t.state with
-    | Blocked_take (mv, conts) -> (
+    | Blocked_take (mv, frames) -> (
         let s = Hashtbl.find mvars mv in
         match s.contents with
         | Some v ->
             s.contents <- None;
-            t.state <- Runnable (ret_addr v, conts)
+            t.state <- Runnable (ret_addr v, frames)
         | None -> ())
-    | Blocked_put (mv, v, conts) -> (
+    | Blocked_put (mv, v, frames) -> (
         let s = Hashtbl.find mvars mv in
         match s.contents with
         | None ->
             s.contents <- Some v;
-            t.state <- Runnable (ret_value unit_v, conts)
+            t.state <- Runnable (ret_value unit_v, frames)
         | Some _ -> ())
-    | Runnable _ | Finished -> ()
+    | Runnable _ | Sleeping _ | Finished -> ()
   in
 
   let pop_waiter waiters =
@@ -112,110 +201,166 @@ let run ?config ?(input = "") ?(max_transitions = 100_000) (e : expr) =
     | _ -> Result.Error "not an MVar"
   in
 
+  let expired (t : thread) stack =
+    t.mask = 0
+    && List.exists
+         (function F_timeout d -> d <= !transitions | _ -> false)
+         stack
+  in
+
+  let step_runnable (t : thread) (addr : Stg.addr) (frames : frame list) :
+      unit =
+    if expired t frames then begin
+      stats.Stats.timeouts_fired <- stats.Stats.timeouts_fired + 1;
+      unwind_t t Exn.Timeout frames
+    end
+    else
+      match Stg.force m addr with
+      | Error (Stg.Fail_exn exn) -> unwind_t t exn frames
+      | Error Stg.Fail_diverged -> unwind_t t Exn.Non_termination frames
+      | Error (Stg.Fail_async _) ->
+          main_result := Some (Stuck "async outside getException")
+      | Ok (Stg.MCon (c, [ v ])) when String.equal c c_return ->
+          pop_t t v frames
+      | Ok (Stg.MCon (c, [ m1; k ])) when String.equal c c_bind ->
+          t.state <- Runnable (m1, F_k k :: frames)
+      | Ok (Stg.MCon (c, [])) when String.equal c c_get_char ->
+          if !input_pos >= String.length input then
+            main_result := Some (Stuck "getChar: end of input")
+          else begin
+            let ch = input.[!input_pos] in
+            incr input_pos;
+            t.state <- Runnable (ret_value (Stg.MChar ch), frames)
+          end
+      | Ok (Stg.MCon (c, [ v ])) when String.equal c c_put_char -> (
+          match Stg.force m v with
+          | Ok (Stg.MChar ch) ->
+              Buffer.add_char buf ch;
+              t.state <- Runnable (ret_value unit_v, frames)
+          | Ok _ -> main_result := Some (Stuck "putChar: not a character")
+          | Error (Stg.Fail_exn exn) -> unwind_t t exn frames
+          | Error _ -> unwind_t t Exn.Non_termination frames)
+      | Ok (Stg.MCon (c, [ v ])) when String.equal c c_get_exception -> (
+          match Stg.force_catch m v with
+          | Ok _ ->
+              t.state <-
+                Runnable (ret_value (Stg.MCon (c_ok, [ v ])), frames)
+          | Error (Stg.Fail_exn exn) | Error (Stg.Fail_async exn) ->
+              let ev = Stg.alloc_value m (Stg.exn_to_mvalue m exn) in
+              t.state <-
+                Runnable (ret_value (Stg.MCon (c_bad, [ ev ])), frames)
+          | Error Stg.Fail_diverged ->
+              let ev =
+                Stg.alloc_value m (Stg.exn_to_mvalue m Exn.Non_termination)
+              in
+              t.state <-
+                Runnable (ret_value (Stg.MCon (c_bad, [ ev ])), frames))
+      | Ok (Stg.MCon (c, [ acq; rel; use ])) when String.equal c c_bracket ->
+          Stg.push_mask m;
+          t.state <- Runnable (acq, F_bracket (rel, use) :: frames)
+      | Ok (Stg.MCon (c, [ m1; h ])) when String.equal c c_on_exception ->
+          t.state <- Runnable (m1, F_onexn h :: frames)
+      | Ok (Stg.MCon (c, [ m1 ])) when String.equal c c_mask ->
+          Stg.push_mask m;
+          t.state <- Runnable (m1, F_mask_pop :: frames)
+      | Ok (Stg.MCon (c, [ m1 ])) when String.equal c c_unmask ->
+          Stg.pop_mask m;
+          t.state <- Runnable (m1, F_unmask_pop :: frames)
+      | Ok (Stg.MCon (c, [ nt; m1 ])) when String.equal c c_timeout -> (
+          match Stg.force m nt with
+          | Ok (Stg.MInt k) ->
+              t.state <-
+                Runnable (m1, F_timeout (!transitions + max 0 k) :: frames)
+          | Ok _ ->
+              main_result := Some (Stuck "timeout: budget is not an integer")
+          | Error (Stg.Fail_exn exn) -> unwind_t t exn frames
+          | Error _ -> unwind_t t Exn.Non_termination frames)
+      | Ok (Stg.MCon (c, [ nt; bt; m1 ])) when String.equal c c_retry -> (
+          match (Stg.force m nt, Stg.force m bt) with
+          | Ok (Stg.MInt attempts), Ok (Stg.MInt backoff) ->
+              t.state <-
+                Runnable
+                  (m1, F_retry (m1, max 0 attempts, max 1 backoff) :: frames)
+          | Error (Stg.Fail_exn exn), _ | _, Error (Stg.Fail_exn exn) ->
+              unwind_t t exn frames
+          | Error _, _ | _, Error _ ->
+              unwind_t t Exn.Non_termination frames
+          | _ ->
+              main_result :=
+                Some (Stuck "retry: attempts/backoff are not integers"))
+      | Ok (Stg.MCon (c, [ m1 ])) when String.equal c "Fork" ->
+          let _child = new_thread m1 [] in
+          t.state <- Runnable (ret_value unit_v, frames)
+      | Ok (Stg.MCon (c, [])) when String.equal c "NewMVar" ->
+          let id = !next_mvar in
+          incr next_mvar;
+          Hashtbl.replace mvars id
+            { contents = None; take_waiters = []; put_waiters = [] };
+          let idv = Stg.alloc_value m (Stg.MInt id) in
+          t.state <-
+            Runnable (ret_value (Stg.MCon ("MVarRef", [ idv ])), frames)
+      | Ok (Stg.MCon (c, [ r ])) when String.equal c "TakeMVar" -> (
+          match Stg.force m r with
+          | Ok rv -> (
+              match as_mvar_id rv with
+              | Result.Error msg -> unwind_t t (Exn.Type_error msg) frames
+              | Result.Ok id -> (
+                  let s = Hashtbl.find mvars id in
+                  match s.contents with
+                  | Some v ->
+                      s.contents <- None;
+                      let w, rest = pop_waiter s.put_waiters in
+                      s.put_waiters <- rest;
+                      Option.iter wake w;
+                      t.state <- Runnable (ret_addr v, frames)
+                  | None ->
+                      s.take_waiters <- t.tid :: s.take_waiters;
+                      t.state <- Blocked_take (id, frames)))
+          | Error (Stg.Fail_exn exn) -> unwind_t t exn frames
+          | Error _ -> unwind_t t Exn.Non_termination frames)
+      | Ok (Stg.MCon (c, [ r; v ])) when String.equal c "PutMVar" -> (
+          match Stg.force m r with
+          | Ok rv -> (
+              match as_mvar_id rv with
+              | Result.Error msg -> unwind_t t (Exn.Type_error msg) frames
+              | Result.Ok id -> (
+                  let s = Hashtbl.find mvars id in
+                  match s.contents with
+                  | None ->
+                      s.contents <- Some v;
+                      let w, rest = pop_waiter s.take_waiters in
+                      s.take_waiters <- rest;
+                      Option.iter wake w;
+                      t.state <- Runnable (ret_value unit_v, frames)
+                  | Some _ ->
+                      s.put_waiters <- t.tid :: s.put_waiters;
+                      t.state <- Blocked_put (id, v, frames)))
+          | Error (Stg.Fail_exn exn) -> unwind_t t exn frames
+          | Error _ -> unwind_t t Exn.Non_termination frames)
+      | Ok _ -> main_result := Some (Stuck "not an IO value")
+  in
+
   let step (t : thread) =
     match t.state with
-    | Finished | Blocked_take _ | Blocked_put _ -> ()
-    | Runnable (addr, conts) -> (
+    | Finished | Blocked_take _ | Blocked_put _ | Sleeping _ -> ()
+    | Runnable (addr, frames) ->
+        (* Each thread carries its own mask depth; sync it into the
+           machine for the duration of the step so force_catch defers
+           async delivery while this thread is masked. *)
+        Stg.set_mask_depth m t.mask;
         Stg.refuel m;
-        match Stg.force m addr with
-        | Error (Stg.Fail_exn exn) -> die t exn
-        | Error Stg.Fail_diverged -> die t Exn.Non_termination
-        | Error (Stg.Fail_async _) ->
-            main_result := Some (Stuck "async outside getException")
-        | Ok (Stg.MCon (c, [ v ])) when String.equal c c_return -> (
-            match conts with
-            | [] -> finish t v
-            | k :: rest -> (
-                match Stg.force m k with
-                | Ok (Stg.MClo _) ->
-                    t.state <- Runnable (Stg.alloc_app m k v, rest)
-                | Ok _ -> main_result := Some (Stuck ">>=: not a function")
-                | Error (Stg.Fail_exn exn) -> die t exn
-                | Error _ -> die t Exn.Non_termination))
-        | Ok (Stg.MCon (c, [ m1; k ])) when String.equal c c_bind ->
-            t.state <- Runnable (m1, k :: conts)
-        | Ok (Stg.MCon (c, [])) when String.equal c c_get_char ->
-            if !input_pos >= String.length input then
-              main_result := Some (Stuck "getChar: end of input")
-            else begin
-              let ch = input.[!input_pos] in
-              incr input_pos;
-              t.state <- Runnable (ret_value (Stg.MChar ch), conts)
-            end
-        | Ok (Stg.MCon (c, [ v ])) when String.equal c c_put_char -> (
-            match Stg.force m v with
-            | Ok (Stg.MChar ch) ->
-                Buffer.add_char buf ch;
-                t.state <- Runnable (ret_value unit_v, conts)
-            | Ok _ -> main_result := Some (Stuck "putChar: not a character")
-            | Error (Stg.Fail_exn exn) -> die t exn
-            | Error _ -> die t Exn.Non_termination)
-        | Ok (Stg.MCon (c, [ v ])) when String.equal c c_get_exception -> (
-            match Stg.force_catch m v with
-            | Ok _ ->
-                t.state <-
-                  Runnable
-                    (ret_value (Stg.MCon (c_ok, [ v ])), conts)
-            | Error (Stg.Fail_exn exn) | Error (Stg.Fail_async exn) ->
-                let ev = Stg.alloc_value m (Stg.exn_to_mvalue m exn) in
-                t.state <-
-                  Runnable (ret_value (Stg.MCon (c_bad, [ ev ])), conts)
-            | Error Stg.Fail_diverged ->
-                let ev =
-                  Stg.alloc_value m (Stg.exn_to_mvalue m Exn.Non_termination)
-                in
-                t.state <-
-                  Runnable (ret_value (Stg.MCon (c_bad, [ ev ])), conts))
-        | Ok (Stg.MCon (c, [ m1 ])) when String.equal c "Fork" ->
-            let _child = new_thread m1 [] in
-            t.state <- Runnable (ret_value unit_v, conts)
-        | Ok (Stg.MCon (c, [])) when String.equal c "NewMVar" ->
-            let id = !next_mvar in
-            incr next_mvar;
-            Hashtbl.replace mvars id
-              { contents = None; take_waiters = []; put_waiters = [] };
-            let idv = Stg.alloc_value m (Stg.MInt id) in
-            t.state <-
-              Runnable (ret_value (Stg.MCon ("MVarRef", [ idv ])), conts)
-        | Ok (Stg.MCon (c, [ r ])) when String.equal c "TakeMVar" -> (
-            match Stg.force m r with
-            | Ok rv -> (
-                match as_mvar_id rv with
-                | Result.Error msg -> die t (Exn.Type_error msg)
-                | Result.Ok id -> (
-                    let s = Hashtbl.find mvars id in
-                    match s.contents with
-                    | Some v ->
-                        s.contents <- None;
-                        let w, rest = pop_waiter s.put_waiters in
-                        s.put_waiters <- rest;
-                        Option.iter wake w;
-                        t.state <- Runnable (ret_addr v, conts)
-                    | None ->
-                        s.take_waiters <- t.tid :: s.take_waiters;
-                        t.state <- Blocked_take (id, conts)))
-            | Error (Stg.Fail_exn exn) -> die t exn
-            | Error _ -> die t Exn.Non_termination)
-        | Ok (Stg.MCon (c, [ r; v ])) when String.equal c "PutMVar" -> (
-            match Stg.force m r with
-            | Ok rv -> (
-                match as_mvar_id rv with
-                | Result.Error msg -> die t (Exn.Type_error msg)
-                | Result.Ok id -> (
-                    let s = Hashtbl.find mvars id in
-                    match s.contents with
-                    | None ->
-                        s.contents <- Some v;
-                        let w, rest = pop_waiter s.take_waiters in
-                        s.take_waiters <- rest;
-                        Option.iter wake w;
-                        t.state <- Runnable (ret_value unit_v, conts)
-                    | Some _ ->
-                        s.put_waiters <- t.tid :: s.put_waiters;
-                        t.state <- Blocked_put (id, v, conts)))
-            | Error (Stg.Fail_exn exn) -> die t exn
-            | Error _ -> die t Exn.Non_termination)
-        | Ok _ -> main_result := Some (Stuck "not an IO value"))
+        step_runnable t addr frames;
+        t.mask <- Stg.mask_depth m
+  in
+
+  let wake_sleepers () =
+    List.iter
+      (fun t ->
+        match t.state with
+        | Sleeping (until, action, frames) when until <= !transitions ->
+            t.state <- Runnable (action, frames)
+        | _ -> ())
+      !threads
   in
 
   let rec scheduler () =
@@ -223,13 +368,29 @@ let run ?config ?(input = "") ?(max_transitions = 100_000) (e : expr) =
     | Some o -> o
     | None ->
         if !transitions >= max_transitions then Diverged
-        else
+        else begin
+          wake_sleepers ();
           let runnable =
             List.filter
               (fun t -> match t.state with Runnable _ -> true | _ -> false)
               !threads
           in
-          if runnable = [] then Deadlock
+          let sleepers =
+            List.filter_map
+              (fun t ->
+                match t.state with
+                | Sleeping (until, _, _) -> Some until
+                | _ -> None)
+              !threads
+          in
+          if runnable = [] then
+            match sleepers with
+            | [] -> Deadlock
+            | _ :: _ ->
+                (* Only sleepers left: fast-forward to the earliest
+                   wake-up. *)
+                transitions := List.fold_left min max_int sleepers;
+                scheduler ()
           else begin
             List.iter
               (fun t ->
@@ -238,6 +399,7 @@ let run ?config ?(input = "") ?(max_transitions = 100_000) (e : expr) =
               runnable;
             scheduler ()
           end
+        end
   in
   let outcome = scheduler () in
   {

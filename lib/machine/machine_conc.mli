@@ -28,9 +28,12 @@ val pp_outcome : outcome Fmt.t
 val run :
   ?config:Stg.config ->
   ?input:string ->
+  ?async:(int * Lang.Exn.t) list ->
   ?max_transitions:int ->
   Lang.Syntax.expr ->
   result
 (** Perform a closed [IO] expression with the concurrent machine
     scheduler. The machine's step budget is refuelled at every
-    transition. *)
+    transition. [async] events go into the machine's schedule and are
+    delivered at the first [getException] of an unmasked thread; each
+    thread carries its own mask depth (brackets, [Mask] sections). *)

@@ -20,75 +20,122 @@ let pp_outcome ppf = function
   | Io_diverged -> Fmt.string ppf "Io_diverged"
   | Stuck msg -> Fmt.pf ppf "Stuck %S" msg
 
+(* The driver's continuation stack, mirroring {!Semantics.Iosem}'s frames
+   but over machine addresses. *)
+type frame =
+  | F_k of Stg.addr
+  | F_bracket of Stg.addr * Stg.addr  (** (release fn, use fn) *)
+  | F_release of Stg.addr  (** applied release action *)
+  | F_onexn of Stg.addr
+  | F_mask_pop
+  | F_unmask_pop
+  | F_timeout of int  (** deadline in IO transitions *)
+  | F_retry of Stg.addr * int * int
+  | F_rethrow of Exn.t
+  | F_restore of Stg.addr
+
+let frame_addrs (fs : frame list) : Stg.addr list =
+  List.concat_map
+    (function
+      | F_k a | F_release a | F_onexn a | F_restore a -> [ a ]
+      | F_bracket (a, b) -> [ a; b ]
+      | F_retry (a, _, _) -> [ a ]
+      | F_mask_pop | F_unmask_pop | F_timeout _ | F_rethrow _ -> [])
+    fs
+
+(* Rebuild the frames from addresses relocated by a collection, in the
+   same order [frame_addrs] emitted them. *)
+let relocate_frames (fs : frame list) (addrs : Stg.addr list) : frame list =
+  let rem = ref addrs in
+  let next () =
+    match !rem with
+    | a :: rest ->
+        rem := rest;
+        a
+    | [] -> assert false
+  in
+  List.map
+    (function
+      | F_k _ -> F_k (next ())
+      | F_release _ -> F_release (next ())
+      | F_onexn _ -> F_onexn (next ())
+      | F_restore _ -> F_restore (next ())
+      | F_bracket _ ->
+          let a = next () in
+          let b = next () in
+          F_bracket (a, b)
+      | F_retry (_, n, b) -> F_retry (next (), n, b)
+      | (F_mask_pop | F_unmask_pop | F_timeout _ | F_rethrow _) as f -> f)
+    fs
+
 let run ?config ?(input = "") ?(async = []) ?(max_transitions = 100_000)
     ?gc_every e =
   let m = Stg.create ?config () in
   List.iter (fun (k, x) -> Stg.inject_async m ~at_step:k x) async;
   let buf = Buffer.create 64 in
   let reads = ref 0 in
+  let stats = Stg.stats m in
   let main_addr = Stg.alloc m e in
   (* Optional heap housekeeping between transitions: the only live
-     addresses are the current action and the pending continuations. *)
-  let maybe_gc a conts n =
+     addresses are the current action and the frames' addresses. *)
+  let maybe_gc a stack n =
     match gc_every with
     | Some k when k > 0 && n > 0 && n mod k = 0 -> (
-        match Stg.gc m ~roots:(a :: conts) with
-        | a' :: conts' -> (a', conts')
+        match Stg.gc m ~roots:(a :: frame_addrs stack) with
+        | a' :: addrs' -> (a', relocate_frames stack addrs')
         | [] -> assert false)
-    | _ -> (a, conts)
+    | _ -> (a, stack)
   in
-  (* [conts] holds the pending Bind continuations (addresses of
-     functions); the loop realises the two structural rules of
-     Section 4.4. *)
-  let rec perform (a : Stg.addr) (conts : Stg.addr list) (n : int) :
-      outcome =
+  (* Recovery point for catchable resource exhaustion: a HeapOverflow just
+     surfaced at a getException, so collect from the driver's roots. This
+     both frees the abandoned allocations and re-arms the heap limit. *)
+  let emergency_gc a stack =
+    match Stg.gc m ~roots:(a :: frame_addrs stack) with
+    | a' :: addrs' -> (a', relocate_frames stack addrs')
+    | [] -> assert false
+  in
+  let ret_addr v_addr =
+    Stg.alloc_value m (Stg.MCon (c_return, [ v_addr ]))
+  in
+  let expired stack n =
+    Stg.mask_depth m = 0
+    && List.exists (function F_timeout d -> d <= n | _ -> false) stack
+  in
+  let restore_mask () = Stg.set_mask_depth m (Stg.mask_depth m + 1) in
+  let rec perform (a : Stg.addr) (stack : frame list) (n : int) : outcome =
     if n >= max_transitions then Io_diverged
+    else if expired stack n then begin
+      stats.Stats.timeouts_fired <- stats.Stats.timeouts_fired + 1;
+      unwind Exn.Timeout stack n
+    end
     else
-      let a, conts = maybe_gc a conts n in
+      let a, stack = maybe_gc a stack n in
       match Stg.force m a with
-      | Error (Stg.Fail_exn exn) -> Uncaught exn
+      | Error (Stg.Fail_exn exn) -> unwind exn stack n
       | Error Stg.Fail_diverged -> Io_diverged
       | Error (Stg.Fail_async _) ->
           (* force (no catch) never delivers async events. *)
           Stuck "async event outside getException"
-      | Ok (Stg.MCon (c, [ t ])) when String.equal c c_return -> (
-          match conts with
-          | [] -> Done (Stg.deep m t)
-          | k :: rest -> (
-              match Stg.force m k with
-              | Ok (Stg.MClo _) ->
-                  (* Apply the continuation to the returned thunk by
-                     building a tiny application redex. *)
-                  perform (apply_thunk k t) rest (n + 1)
-              | Ok _ -> Stuck ">>=: continuation is not a function"
-              | Error (Stg.Fail_exn exn) -> Uncaught exn
-              | Error Stg.Fail_diverged -> Io_diverged
-              | Error (Stg.Fail_async _) ->
-                  Stuck "async event outside getException"))
+      | Ok (Stg.MCon (c, [ t ])) when String.equal c c_return ->
+          pop t stack n
       | Ok (Stg.MCon (c, [ m1; k ])) when String.equal c c_bind ->
-          perform m1 (k :: conts) (n + 1)
-      | Ok (Stg.MCon (c, [])) when String.equal c c_get_char -> (
+          perform m1 (F_k k :: stack) (n + 1)
+      | Ok (Stg.MCon (c, [])) when String.equal c c_get_char ->
           if !reads >= String.length input then Stuck "getChar: end of input"
-          else
+          else begin
             let ch = input.[!reads] in
             incr reads;
             let ca = Stg.alloc_value m (Stg.MChar ch) in
-            let ret =
-              Stg.alloc_value m (Stg.MCon (c_return, [ ca ]))
-            in
-            match conts with
-            | _ -> perform ret conts (n + 1))
+            perform (ret_addr ca) stack (n + 1)
+          end
       | Ok (Stg.MCon (c, [ t ])) when String.equal c c_put_char -> (
           match Stg.force m t with
           | Ok (Stg.MChar ch) ->
               Buffer.add_char buf ch;
               let ua = Stg.alloc_value m (Stg.MCon (c_unit, [])) in
-              let ret =
-                Stg.alloc_value m (Stg.MCon (c_return, [ ua ]))
-              in
-              perform ret conts (n + 1)
+              perform (ret_addr ua) stack (n + 1)
           | Ok _ -> Stuck "putChar: not a character"
-          | Error (Stg.Fail_exn exn) -> Uncaught exn
+          | Error (Stg.Fail_exn exn) -> unwind exn stack n
           | Error Stg.Fail_diverged -> Io_diverged
           | Error (Stg.Fail_async _) ->
               Stuck "async event outside getException")
@@ -97,26 +144,121 @@ let run ?config ?(input = "") ?(async = []) ?(max_transitions = 100_000)
           | Ok v ->
               let va = Stg.alloc_value m v in
               let ok = Stg.alloc_value m (Stg.MCon (c_ok, [ va ])) in
-              let ret =
-                Stg.alloc_value m (Stg.MCon (c_return, [ ok ]))
-              in
-              perform ret conts (n + 1)
+              perform (ret_addr ok) stack (n + 1)
           | Error (Stg.Fail_exn exn) | Error (Stg.Fail_async exn) ->
+              (* The exception was caught here: reify it as Bad. A caught
+                 HeapOverflow additionally triggers an emergency
+                 collection so the supervisor actually has room to
+                 recover. *)
+              let stack =
+                if exn = Exn.Heap_overflow then snd (emergency_gc t stack)
+                else stack
+              in
               let ev = Stg.alloc_value m (Stg.exn_to_mvalue m exn) in
-              let bad =
-                Stg.alloc_value m (Stg.MCon (c_bad, [ ev ]))
-              in
-              let ret =
-                Stg.alloc_value m (Stg.MCon (c_return, [ bad ]))
-              in
-              perform ret conts (n + 1)
+              let bad = Stg.alloc_value m (Stg.MCon (c_bad, [ ev ])) in
+              perform (ret_addr bad) stack (n + 1)
           | Error Stg.Fail_diverged -> Io_diverged)
+      | Ok (Stg.MCon (c, [ acq; rel; use ])) when String.equal c c_bracket ->
+          Stg.push_mask m;
+          perform acq (F_bracket (rel, use) :: stack) (n + 1)
+      | Ok (Stg.MCon (c, [ m1; h ])) when String.equal c c_on_exception ->
+          perform m1 (F_onexn h :: stack) (n + 1)
+      | Ok (Stg.MCon (c, [ m1 ])) when String.equal c c_mask ->
+          Stg.push_mask m;
+          perform m1 (F_mask_pop :: stack) (n + 1)
+      | Ok (Stg.MCon (c, [ m1 ])) when String.equal c c_unmask ->
+          Stg.pop_mask m;
+          perform m1 (F_unmask_pop :: stack) (n + 1)
+      | Ok (Stg.MCon (c, [ nt; m1 ])) when String.equal c c_timeout -> (
+          match Stg.force m nt with
+          | Ok (Stg.MInt k) ->
+              perform m1 (F_timeout (n + max 0 k) :: stack) (n + 1)
+          | Ok _ -> Stuck "timeout: budget is not an integer"
+          | Error (Stg.Fail_exn exn) -> unwind exn stack n
+          | Error Stg.Fail_diverged -> Io_diverged
+          | Error (Stg.Fail_async _) ->
+              Stuck "async event outside getException")
+      | Ok (Stg.MCon (c, [ nt; bt; m1 ])) when String.equal c c_retry -> (
+          match (Stg.force m nt, Stg.force m bt) with
+          | Ok (Stg.MInt attempts), Ok (Stg.MInt backoff) ->
+              perform m1
+                (F_retry (m1, max 0 attempts, max 1 backoff) :: stack)
+                (n + 1)
+          | Error (Stg.Fail_exn exn), _ | _, Error (Stg.Fail_exn exn) ->
+              unwind exn stack n
+          | Error Stg.Fail_diverged, _ | _, Error Stg.Fail_diverged ->
+              Io_diverged
+          | _ -> Stuck "retry: attempts/backoff are not integers")
       | Ok _ -> Stuck "not an IO value"
-
-  (* Build the application of continuation [k] (a function address) to the
-     thunk [t]: a fresh thunk for the redex [k t]. *)
-  and apply_thunk (k : Stg.addr) (t : Stg.addr) : Stg.addr =
-    Stg.alloc_app m k t
+  and pop (v : Stg.addr) (stack : frame list) (n : int) : outcome =
+    match stack with
+    | [] -> Done (Stg.deep m v)
+    | F_k k :: rest -> (
+        match Stg.force m k with
+        | Ok (Stg.MClo _) -> perform (Stg.alloc_app m k v) rest (n + 1)
+        | Ok _ -> Stuck ">>=: continuation is not a function"
+        | Error (Stg.Fail_exn exn) -> unwind exn rest n
+        | Error Stg.Fail_diverged -> Io_diverged
+        | Error (Stg.Fail_async _) ->
+            Stuck "async event outside getException")
+    | F_bracket (rel, use) :: rest ->
+        stats.Stats.brackets_entered <- stats.Stats.brackets_entered + 1;
+        Stg.pop_mask m;
+        perform (Stg.alloc_app m use v)
+          (F_release (Stg.alloc_app m rel v) :: rest)
+          (n + 1)
+    | F_release r :: rest ->
+        stats.Stats.brackets_released <- stats.Stats.brackets_released + 1;
+        Stg.push_mask m;
+        perform r (F_mask_pop :: F_restore v :: rest) (n + 1)
+    | F_onexn _ :: rest -> pop v rest n
+    | F_mask_pop :: rest ->
+        Stg.pop_mask m;
+        pop v rest n
+    | F_unmask_pop :: rest ->
+        restore_mask ();
+        pop v rest n
+    | F_timeout _ :: rest ->
+        pop (Stg.alloc_value m (Stg.MCon (c_just, [ v ]))) rest n
+    | F_retry _ :: rest -> pop v rest n
+    | F_rethrow e :: rest -> unwind e rest n
+    | F_restore saved :: rest -> pop saved rest n
+  and unwind (exn : Exn.t) (stack : frame list) (n : int) : outcome =
+    match stack with
+    | [] -> Uncaught exn
+    | F_k _ :: rest -> unwind exn rest n
+    | F_bracket _ :: rest ->
+        (* The acquire failed: nothing to release. *)
+        Stg.pop_mask m;
+        unwind exn rest n
+    | F_release r :: rest ->
+        stats.Stats.brackets_released <- stats.Stats.brackets_released + 1;
+        Stg.push_mask m;
+        perform r (F_mask_pop :: F_rethrow exn :: rest) (n + 1)
+    | F_onexn h :: rest ->
+        Stg.push_mask m;
+        perform h (F_mask_pop :: F_rethrow exn :: rest) (n + 1)
+    | F_mask_pop :: rest ->
+        Stg.pop_mask m;
+        unwind exn rest n
+    | F_unmask_pop :: rest ->
+        restore_mask ();
+        unwind exn rest n
+    | F_timeout _ :: rest when exn = Exn.Timeout ->
+        pop (Stg.alloc_value m (Stg.MCon (c_nothing, []))) rest n
+    | F_timeout _ :: rest -> unwind exn rest n
+    | F_retry (action, attempts, backoff) :: rest ->
+        if attempts > 0 then
+          (* Deterministic tick-counted backoff: burn [backoff] IO
+             transitions before the next attempt. *)
+          perform action
+            (F_retry (action, attempts - 1, 2 * backoff) :: rest)
+            (n + backoff)
+        else unwind exn rest n
+    | F_rethrow _ :: rest ->
+        (* A cleanup raised while unwinding: the newer exception wins. *)
+        unwind exn rest n
+    | F_restore _ :: rest -> unwind exn rest n
   in
   let outcome = perform main_addr [] 0 in
   {

@@ -9,6 +9,13 @@ type t = {
   mutable catches : int;
   mutable collections : int;
   mutable live_copied : int;
+  mutable async_delivered : int;
+  mutable brackets_entered : int;
+  mutable brackets_released : int;
+  mutable timeouts_fired : int;
+  mutable masked_sections : int;
+  mutable heap_overflows : int;
+  mutable stack_overflows : int;
 }
 
 let create () =
@@ -23,6 +30,13 @@ let create () =
     catches = 0;
     collections = 0;
     live_copied = 0;
+    async_delivered = 0;
+    brackets_entered = 0;
+    brackets_released = 0;
+    timeouts_fired = 0;
+    masked_sections = 0;
+    heap_overflows = 0;
+    stack_overflows = 0;
   }
 
 let reset t =
@@ -35,11 +49,21 @@ let reset t =
   t.thunks_paused <- 0;
   t.catches <- 0;
   t.collections <- 0;
-  t.live_copied <- 0
+  t.live_copied <- 0;
+  t.async_delivered <- 0;
+  t.brackets_entered <- 0;
+  t.brackets_released <- 0;
+  t.timeouts_fired <- 0;
+  t.masked_sections <- 0;
+  t.heap_overflows <- 0;
+  t.stack_overflows <- 0
 
 let pp ppf t =
   Fmt.pf ppf
     "steps=%d allocs=%d updates=%d max_stack=%d trimmed=%d poisoned=%d \
-     paused=%d catches=%d gcs=%d"
+     paused=%d catches=%d gcs=%d async=%d brackets=%d/%d timeouts=%d \
+     masked=%d heap_ovf=%d stack_ovf=%d"
     t.steps t.allocations t.updates t.max_stack t.frames_trimmed
     t.thunks_poisoned t.thunks_paused t.catches t.collections
+    t.async_delivered t.brackets_entered t.brackets_released
+    t.timeouts_fired t.masked_sections t.heap_overflows t.stack_overflows

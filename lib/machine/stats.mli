@@ -1,7 +1,12 @@
 (** Deterministic cost counters for the abstract machine — the currency of
     the paper's efficiency claims (C6, C7): machine steps, heap
     allocations, thunk updates, stack depth, frames trimmed by [raise],
-    catch frames pushed. *)
+    catch frames pushed.
+
+    The fault counters ([async_delivered], [brackets_entered], ...) feed
+    the fault-injection harness ({!Analysis.Faultinject}): a run is
+    exception-safe only if [brackets_entered = brackets_released] once
+    the program has terminated. *)
 
 type t = {
   mutable steps : int;
@@ -17,6 +22,20 @@ type t = {
   mutable collections : int;  (** Heap garbage collections run. *)
   mutable live_copied : int;
       (** Cells copied by collections (total survivors). *)
+  mutable async_delivered : int;
+      (** Asynchronous exceptions actually delivered (not deferred). *)
+  mutable brackets_entered : int;
+      (** [Bracket] acquires that completed (a release became due). *)
+  mutable brackets_released : int;
+      (** [Bracket] releases that ran (must equal entered on exit). *)
+  mutable timeouts_fired : int;  (** [WithTimeout] deadlines that expired. *)
+  mutable masked_sections : int;
+      (** Times async delivery was masked (bracket acquire/release,
+          explicit [Mask]). *)
+  mutable heap_overflows : int;
+      (** [HeapOverflow] raises from a configured heap limit. *)
+  mutable stack_overflows : int;
+      (** [StackOverflow] raises from a configured stack limit. *)
 }
 
 val create : unit -> t

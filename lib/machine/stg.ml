@@ -44,6 +44,8 @@ type config = {
   int_bits : int;
   blackhole_nontermination : bool;
   poison_thunks : bool;
+  heap_limit : int option;
+  stack_limit : int option;
 }
 
 let default_config =
@@ -52,6 +54,8 @@ let default_config =
     int_bits = 32;
     blackhole_nontermination = false;
     poison_thunks = true;
+    heap_limit = None;
+    stack_limit = None;
   }
 
 type t = {
@@ -60,6 +64,12 @@ type t = {
   cfg : config;
   mutable fuel_left : int;
   mutable async : (int * Exn.t) list;
+  mutable mask_depth : int;
+  mutable heap_check_armed : bool;
+      (* The heap limit fires once, then stays disarmed until a collection
+         brings the heap back under the limit: the raise itself cannot
+         free memory, so without the latch every subsequent step would
+         re-raise before a supervisor could recover. *)
 }
 
 type failure =
@@ -79,12 +89,23 @@ let create ?(config = default_config) () =
     cfg = config;
     fuel_left = config.fuel;
     async = [];
+    mask_depth = 0;
+    heap_check_armed = true;
   }
 
 let stats m = m.stats
 let heap_size m = Growarray.length m.heap
 
 let refuel m = m.fuel_left <- m.cfg.fuel
+
+let mask_depth m = m.mask_depth
+
+let push_mask m =
+  m.mask_depth <- m.mask_depth + 1;
+  m.stats.masked_sections <- m.stats.masked_sections + 1
+
+let pop_mask m = if m.mask_depth > 0 then m.mask_depth <- m.mask_depth - 1
+let set_mask_depth m d = m.mask_depth <- max 0 d
 
 let alloc_cell m cell =
   m.stats.allocations <- m.stats.allocations + 1;
@@ -192,6 +213,7 @@ let rec run (m : t) ~(catch : bool) (code0 : code) : (mvalue, failure) result
      so the abandoned work is resumable. The segment saved with each thunk
      is the stack slice above its update frame, top first. *)
   let unwind_async (exn : Exn.t) : 'a =
+    m.stats.async_delivered <- m.stats.async_delivered + 1;
     let rec go cur_code buf st =
       match st with
       | [] ->
@@ -208,7 +230,7 @@ let rec run (m : t) ~(catch : bool) (code0 : code) : (mvalue, failure) result
   in
 
   let pending_async () =
-    if not catch then None
+    if (not catch) || m.mask_depth > 0 then None
     else
       match m.async with
       | (k, x) :: rest when m.stats.steps >= k ->
@@ -313,6 +335,27 @@ let rec run (m : t) ~(catch : bool) (code0 : code) : (mvalue, failure) result
     m.stats.steps <- m.stats.steps + 1;
     m.fuel_left <- m.fuel_left - 1;
     if m.fuel_left <= 0 then raise (Machine_stuck Fail_diverged);
+    (* Resource exhaustion (GHC's HeapOverflow/StackOverflow): delivered
+       through the ordinary trim-the-stack path, so it poisons abandoned
+       thunks and is catchable by getException like any other imprecise
+       exception. *)
+    let exhausted =
+      match m.cfg.stack_limit with
+      | Some lim when !depth > lim ->
+          m.stats.stack_overflows <- m.stats.stack_overflows + 1;
+          Some Exn.Stack_overflow_exn
+      | _ -> (
+          match m.cfg.heap_limit with
+          | Some lim when m.heap_check_armed && Growarray.length m.heap >= lim
+            ->
+              m.heap_check_armed <- false;
+              m.stats.heap_overflows <- m.stats.heap_overflows + 1;
+              Some Exn.Heap_overflow
+          | _ -> None)
+    in
+    match exhausted with
+    | Some exn -> code := raise_to_code exn
+    | None -> (
     (match pending_async () with
     | Some x -> unwind_async x
     | None -> ());
@@ -445,7 +488,7 @@ let rec run (m : t) ~(catch : bool) (code0 : code) : (mvalue, failure) result
                 code := C_ret v
             | F_isexn -> code := C_ret (mbool false)
             | F_unsafe_catch ->
-                code := C_ret (MCon (c_ok, [ alloc_value m v ]))))
+                code := C_ret (MCon (c_ok, [ alloc_value m v ])))))
   in
   try
     let rec loop () =
@@ -584,4 +627,10 @@ let gc (m : t) ~(roots : addr list) : addr list =
   m.stats.collections <- m.stats.collections + 1;
   m.stats.live_copied <-
     m.stats.live_copied + Growarray.length new_heap;
+  (* Re-arm the heap limit only once a collection has actually brought the
+     heap back under it; otherwise the next step would re-raise before the
+     supervisor makes progress. *)
+  (match m.cfg.heap_limit with
+  | Some lim when Growarray.length new_heap < lim -> m.heap_check_armed <- true
+  | _ -> ());
   roots'

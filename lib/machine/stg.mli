@@ -45,6 +45,17 @@ type config = {
           requires. With [false] the black hole is left in place and
           re-evaluation wrongly reports non-termination — the bug the
           paper's footnote 3 warns about. *)
+  heap_limit : int option;
+      (** Soft heap ceiling in cells (default [None]): when the heap
+          reaches it, the machine raises [HeapOverflow] through the
+          ordinary trim-the-stack path — a catchable imprecise exception,
+          so a supervisor under [getException] can recover. The check
+          then stays disarmed until {!gc} brings the heap back under the
+          limit (the raise itself frees nothing). *)
+  stack_limit : int option;
+      (** Stack ceiling in frames (default [None]): exceeding it raises
+          [StackOverflow] synchronously, trimming (and poisoning) the
+          frames that overflowed. *)
 }
 
 val default_config : config
@@ -60,6 +71,22 @@ val refuel : t -> unit
 (** Reset the step budget to [config.fuel] — the machine counterpart of
     {!Semantics.Denot.refill}, used by long-running drivers so one
     divergent transition does not starve the rest of the program. *)
+
+val mask_depth : t -> int
+(** Current asynchronous-exception mask depth. While positive, pending
+    async events are deferred even under a catch mark — this is how
+    [bracket]'s acquire and release phases (and explicit [Mask] sections)
+    are protected from being torn mid-flight. *)
+
+val push_mask : t -> unit
+(** Enter a masked section (counts into [Stats.masked_sections]). *)
+
+val pop_mask : t -> unit
+(** Leave a masked section; never goes below zero. *)
+
+val set_mask_depth : t -> int -> unit
+(** Restore a saved mask depth — used by the concurrent driver when
+    switching threads, each of which carries its own depth. *)
 
 val alloc : t -> Lang.Syntax.expr -> addr
 (** Allocate a closed expression as a thunk. *)

@@ -10,6 +10,8 @@ type event =
   | E_wake of int
   | E_thread_done of int
   | E_thread_died of int * Exn.t
+  | E_async of int * Exn.t
+  | E_sleep of int * int
 
 type outcome =
   | Done of deep
@@ -23,6 +25,7 @@ type result = {
   outcome : outcome;
   threads_spawned : int;
   context_switches : int;
+  counters : Iosem.counters;
 }
 
 let pp_event ppf = function
@@ -33,6 +36,8 @@ let pp_event ppf = function
   | E_wake t -> Fmt.pf ppf "t%d wakes" t
   | E_thread_done t -> Fmt.pf ppf "t%d done" t
   | E_thread_died (t, e) -> Fmt.pf ppf "t%d died: %a" t Exn.pp e
+  | E_async (t, e) -> Fmt.pf ppf "t%d async %a" t Exn.pp e
+  | E_sleep (t, until) -> Fmt.pf ppf "t%d sleeps until %d" t until
 
 let pp_outcome ppf = function
   | Done d -> Fmt.pf ppf "Done %a" pp_deep d
@@ -43,14 +48,30 @@ let pp_outcome ppf = function
 
 (* Thread and MVar bookkeeping. *)
 
+(* Same IO continuation frames as {!Iosem}, one stack per thread. *)
+type frame =
+  | F_k of thunk
+  | F_bracket of thunk * thunk
+  | F_release of thunk
+  | F_onexn of thunk
+  | F_mask_pop
+  | F_unmask_pop
+  | F_timeout of int
+  | F_retry of thunk * int * int
+  | F_rethrow of Exn.t
+  | F_restore of thunk
+
 type thread_state =
-  | Runnable of thunk * thunk list  (** IO value, Bind continuations *)
-  | Blocked_take of int * thunk list
-  | Blocked_put of int * thunk * thunk list
-      (** mvar, value to deposit, conts *)
+  | Runnable of thunk * frame list  (** IO value, continuation frames *)
+  | Blocked_take of int * frame list
+  | Blocked_put of int * thunk * frame list
+      (** mvar, value to deposit, frames *)
+  | Sleeping of int * thunk * frame list
+      (** Wake at the given clock tick and re-perform the action
+          ([Retry]'s deterministic backoff). *)
   | Finished
 
-type thread = { tid : int; mutable state : thread_state }
+type thread = { tid : int; mutable state : thread_state; mutable mask : int }
 
 type mvar = {
   mutable contents : thunk option;
@@ -61,23 +82,26 @@ type mvar = {
 let mvar_con = "MVarRef"
 
 let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
-    ?(input = "") ?(max_steps = 200_000) (e : expr) =
+    ?(input = "") ?(async = []) ?(max_steps = 200_000) (e : expr) =
   let trace_rev = ref [] in
   let emit ev = trace_rev := ev :: !trace_rev in
   let threads : thread list ref = ref [] in
   let next_tid = ref 0 in
   let spawned = ref 0 in
   let switches = ref 0 in
+  let clock = ref 0 in
+  let pending = ref async in
+  let counters = Iosem.fresh_counters () in
   let mvars : (int, mvar) Hashtbl.t = Hashtbl.create 8 in
   let next_mvar = ref 0 in
   let input_pos = ref 0 in
-  let main_result : (outcome option) ref = ref None in
+  let main_result : outcome option ref = ref None in
 
-  let new_thread m_thunk conts =
+  let new_thread m_thunk frames =
     let tid = !next_tid in
     incr next_tid;
     incr spawned;
-    let t = { tid; state = Runnable (m_thunk, conts) } in
+    let t = { tid; state = Runnable (m_thunk, frames); mask = 0 } in
     threads := !threads @ [ t ];
     t
   in
@@ -90,6 +114,31 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
   in
 
   let return_thunk w = from_whnf (Ok_v (VCon (c_return, [ from_whnf w ]))) in
+
+  let apply f_thunk arg =
+    delay (fun () ->
+        match force f_thunk with
+        | Ok_v (VFun f) -> f arg
+        | Ok_v _ ->
+            Bad (Exn_set.singleton (Exn.Type_error "applied a non-function"))
+        | Bad s -> Bad s)
+  in
+
+  let enter_mask t =
+    t.mask <- t.mask + 1;
+    counters.masked_sections <- counters.masked_sections + 1
+  in
+  let leave_mask t = t.mask <- max 0 (t.mask - 1) in
+
+  let pending_async (t : thread) =
+    if t.mask > 0 then None
+    else
+      match !pending with
+      | (k, x) :: rest when !clock >= k ->
+          pending := rest;
+          Some x
+      | _ -> None
+  in
 
   let finish (t : thread) (value : thunk) =
     emit (E_thread_done t.tid);
@@ -104,28 +153,98 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
     t.state <- Finished
   in
 
+  (* Normal return [v] through thread [t]'s frames; installs the next
+     runnable action (or finishes the thread). *)
+  let rec pop_t (t : thread) (v : thunk) (stack : frame list) : unit =
+    match stack with
+    | [] -> finish t v
+    | F_k k :: rest -> (
+        match force k with
+        | Ok_v (VFun f) -> t.state <- Runnable (delay (fun () -> f v), rest)
+        | Ok_v _ -> main_result := Some (Stuck ">>=: not a function")
+        | Bad s -> unwind_t t (Oracle.pick_exception oracle s) rest)
+    | F_bracket (rel, use) :: rest ->
+        counters.brackets_entered <- counters.brackets_entered + 1;
+        leave_mask t;
+        t.state <- Runnable (apply use v, F_release (apply rel v) :: rest)
+    | F_release r :: rest ->
+        counters.brackets_released <- counters.brackets_released + 1;
+        enter_mask t;
+        t.state <- Runnable (r, F_mask_pop :: F_restore v :: rest)
+    | F_onexn _ :: rest -> pop_t t v rest
+    | F_mask_pop :: rest ->
+        leave_mask t;
+        pop_t t v rest
+    | F_unmask_pop :: rest ->
+        t.mask <- t.mask + 1;
+        pop_t t v rest
+    | F_timeout _ :: rest ->
+        pop_t t (from_whnf (Ok_v (VCon (c_just, [ v ])))) rest
+    | F_retry _ :: rest -> pop_t t v rest
+    | F_rethrow e :: rest -> unwind_t t e rest
+    | F_restore saved :: rest -> pop_t t saved rest
+
+  (* Exceptional return through [t]'s frames: run releases and handlers,
+     or kill the thread at the bottom. *)
+  and unwind_t (t : thread) (e : Exn.t) (stack : frame list) : unit =
+    match stack with
+    | [] -> die t e
+    | F_k _ :: rest -> unwind_t t e rest
+    | F_bracket _ :: rest ->
+        leave_mask t;
+        unwind_t t e rest
+    | F_release r :: rest ->
+        counters.brackets_released <- counters.brackets_released + 1;
+        enter_mask t;
+        t.state <- Runnable (r, F_mask_pop :: F_rethrow e :: rest)
+    | F_onexn h :: rest ->
+        enter_mask t;
+        t.state <- Runnable (h, F_mask_pop :: F_rethrow e :: rest)
+    | F_mask_pop :: rest ->
+        leave_mask t;
+        unwind_t t e rest
+    | F_unmask_pop :: rest ->
+        t.mask <- t.mask + 1;
+        unwind_t t e rest
+    | F_timeout _ :: rest when e = Exn.Timeout ->
+        pop_t t (from_whnf (Ok_v (VCon (c_nothing, [])))) rest
+    | F_timeout _ :: rest -> unwind_t t e rest
+    | F_retry (action, attempts, backoff) :: rest ->
+        if attempts > 0 then begin
+          counters.retries <- counters.retries + 1;
+          let until = !clock + backoff in
+          emit (E_sleep (t.tid, until));
+          t.state <-
+            Sleeping
+              (until, action, F_retry (action, attempts - 1, 2 * backoff) :: rest)
+        end
+        else unwind_t t e rest
+    | F_rethrow _ :: rest -> unwind_t t e rest
+    | F_restore _ :: rest -> unwind_t t e rest
+  in
+
   let find_thread tid = List.find (fun t -> t.tid = tid) !threads in
 
   let wake tid =
     let t = find_thread tid in
     (match t.state with
-    | Blocked_take (mv, conts) -> (
+    | Blocked_take (mv, frames) -> (
         let m = Hashtbl.find mvars mv in
         match m.contents with
         | Some v ->
             m.contents <- None;
             emit (E_wake tid);
-            t.state <- Runnable (return_thunk (force v), conts)
+            t.state <- Runnable (return_thunk (force v), frames)
         | None -> () (* someone else won the race; stay blocked *))
-    | Blocked_put (mv, v, conts) -> (
+    | Blocked_put (mv, v, frames) -> (
         let m = Hashtbl.find mvars mv in
         match m.contents with
         | None ->
             m.contents <- Some v;
             emit (E_wake tid);
-            t.state <- Runnable (return_thunk (Ok_v (VCon (c_unit, []))), conts)
+            t.state <- Runnable (return_thunk (Ok_v (VCon (c_unit, []))), frames)
         | Some _ -> ())
-    | Runnable _ | Finished -> ())
+    | Runnable _ | Sleeping _ | Finished -> ())
   in
 
   let as_mvar_id (w : whnf) : (int, string) Result.t =
@@ -137,147 +256,211 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
     | _ -> Result.Error "not an MVar"
   in
 
+  let expired (t : thread) stack =
+    t.mask = 0
+    && List.exists (function F_timeout d -> d <= !clock | _ -> false) stack
+  in
+
   (* One transition for one thread. Returns [true] if it made progress. *)
   let step (t : thread) : bool =
     match t.state with
-    | Finished | Blocked_take _ | Blocked_put _ -> false
-    | Runnable (m_thunk, conts) -> (
+    | Finished | Blocked_take _ | Blocked_put _ | Sleeping _ -> false
+    | Runnable (m_thunk, frames) -> (
         incr switches;
+        incr clock;
         (* Fresh per-transition budget; see Iosem. *)
         Denot.refill fuel_handle;
-        match force m_thunk with
-        | Bad s ->
-            if Oracle.diverge_on_non_termination oracle s then begin
-              main_result := Some Diverged;
+        if expired t frames then begin
+          counters.timeouts_fired <- counters.timeouts_fired + 1;
+          unwind_t t Exn.Timeout frames;
+          true
+        end
+        else
+          match force m_thunk with
+          | Bad s ->
+              if Oracle.diverge_on_non_termination oracle s then begin
+                main_result := Some Diverged;
+                true
+              end
+              else begin
+                unwind_t t (Oracle.pick_exception oracle s) frames;
+                true
+              end
+          | Ok_v (VCon (c, [ v ])) when String.equal c c_return ->
+              pop_t t v frames;
               true
-            end
-            else begin
-              die t (Oracle.pick_exception oracle s);
+          | Ok_v (VCon (c, [ m1; k ])) when String.equal c c_bind ->
+              t.state <- Runnable (m1, F_k k :: frames);
               true
-            end
-        | Ok_v (VCon (c, [ v ])) when String.equal c c_return -> (
-            match conts with
-            | [] ->
-                finish t v;
+          | Ok_v (VCon (c, [])) when String.equal c c_get_char ->
+              if !input_pos >= String.length input then begin
+                main_result := Some (Stuck "getChar: end of input");
                 true
-            | k :: rest -> (
-                match force k with
-                | Ok_v (VFun f) ->
-                    t.state <- Runnable (delay (fun () -> f v), rest);
-                    true
-                | Ok_v _ ->
-                    main_result := Some (Stuck ">>=: not a function");
-                    true
-                | Bad s ->
-                    die t (Oracle.pick_exception oracle s);
-                    true))
-        | Ok_v (VCon (c, [ m1; k ])) when String.equal c c_bind ->
-            t.state <- Runnable (m1, k :: conts);
-            true
-        | Ok_v (VCon (c, [])) when String.equal c c_get_char ->
-            if !input_pos >= String.length input then begin
-              main_result := Some (Stuck "getChar: end of input");
+              end
+              else begin
+                let ch = input.[!input_pos] in
+                incr input_pos;
+                emit (E_read (t.tid, ch));
+                t.state <- Runnable (return_thunk (Ok_v (VChar ch)), frames);
+                true
+              end
+          | Ok_v (VCon (c, [ v ])) when String.equal c c_put_char -> (
+              match force v with
+              | Ok_v (VChar ch) ->
+                  emit (E_write (t.tid, ch));
+                  t.state <-
+                    Runnable (return_thunk (Ok_v (VCon (c_unit, []))), frames);
+                  true
+              | Ok_v _ ->
+                  main_result := Some (Stuck "putChar: not a character");
+                  true
+              | Bad s ->
+                  unwind_t t (Oracle.pick_exception oracle s) frames;
+                  true)
+          | Ok_v (VCon (c, [ v ])) when String.equal c c_get_exception -> (
+              match pending_async t with
+              | Some x ->
+                  counters.async_delivered <- counters.async_delivered + 1;
+                  emit (E_async (t.tid, x));
+                  t.state <-
+                    Runnable
+                      ( return_thunk
+                          (Ok_v (VCon (c_bad, [ from_whnf (exn_to_value x) ]))),
+                        frames );
+                  true
+              | None ->
+                  (let w =
+                     match force v with
+                     | Ok_v value ->
+                         Ok_v (VCon (c_ok, [ from_whnf (Ok_v value) ]))
+                     | Bad s ->
+                         let x = Oracle.pick_exception oracle s in
+                         Ok_v (VCon (c_bad, [ from_whnf (exn_to_value x) ]))
+                   in
+                   t.state <- Runnable (return_thunk w, frames));
+                  true)
+          | Ok_v (VCon (c, [ acq; rel; use ])) when String.equal c c_bracket
+            ->
+              enter_mask t;
+              t.state <- Runnable (acq, F_bracket (rel, use) :: frames);
               true
-            end
-            else begin
-              let ch = input.[!input_pos] in
-              incr input_pos;
-              emit (E_read (t.tid, ch));
-              t.state <- Runnable (return_thunk (Ok_v (VChar ch)), conts);
+          | Ok_v (VCon (c, [ m1; h ])) when String.equal c c_on_exception ->
+              t.state <- Runnable (m1, F_onexn h :: frames);
               true
-            end
-        | Ok_v (VCon (c, [ v ])) when String.equal c c_put_char -> (
-            match force v with
-            | Ok_v (VChar ch) ->
-                emit (E_write (t.tid, ch));
-                t.state <-
-                  Runnable (return_thunk (Ok_v (VCon (c_unit, []))), conts);
-                true
-            | Ok_v _ ->
-                main_result := Some (Stuck "putChar: not a character");
-                true
-            | Bad s ->
-                die t (Oracle.pick_exception oracle s);
-                true)
-        | Ok_v (VCon (c, [ v ])) when String.equal c c_get_exception ->
-            (let w =
-               match force v with
-               | Ok_v value -> Ok_v (VCon (c_ok, [ from_whnf (Ok_v value) ]))
-               | Bad s ->
-                   let x = Oracle.pick_exception oracle s in
-                   Ok_v (VCon (c_bad, [ from_whnf (exn_to_value x) ]))
-             in
-             t.state <- Runnable (return_thunk w, conts));
-            true
-        | Ok_v (VCon (c, [ m1 ])) when String.equal c "Fork" ->
-            let child = new_thread m1 [] in
-            emit (E_fork (t.tid, child.tid));
-            t.state <-
-              Runnable (return_thunk (Ok_v (VCon (c_unit, []))), conts);
-            true
-        | Ok_v (VCon (c, [])) when String.equal c "NewMVar" ->
-            let id = !next_mvar in
-            incr next_mvar;
-            Hashtbl.replace mvars id
-              { contents = None; take_waiters = []; put_waiters = [] };
-            t.state <-
-              Runnable
-                ( return_thunk
-                    (Ok_v (VCon (mvar_con, [ from_whnf (Ok_v (VInt id)) ]))),
-                  conts );
-            true
-        | Ok_v (VCon (c, [ r ])) when String.equal c "TakeMVar" -> (
-            match as_mvar_id (force r) with
-            | Result.Error msg ->
-                die t (Exn.Type_error msg);
-                true
-            | Result.Ok id -> (
-                let m = Hashtbl.find mvars id in
-                match m.contents with
-                | Some v ->
-                    m.contents <- None;
-                    (* a blocked putter can now deposit *)
-                    (match List.rev m.put_waiters with
-                    | w :: _ ->
-                        m.put_waiters <-
-                          List.filter (fun x -> x <> w) m.put_waiters;
-                        wake w
-                    | [] -> ());
-                    t.state <- Runnable (return_thunk (force v), conts);
-                    true
-                | None ->
-                    emit (E_block t.tid);
-                    m.take_waiters <- t.tid :: m.take_waiters;
-                    t.state <- Blocked_take (id, conts);
-                    true))
-        | Ok_v (VCon (c, [ r; v ])) when String.equal c "PutMVar" -> (
-            match as_mvar_id (force r) with
-            | Result.Error msg ->
-                die t (Exn.Type_error msg);
-                true
-            | Result.Ok id -> (
-                let m = Hashtbl.find mvars id in
-                match m.contents with
-                | None ->
-                    m.contents <- Some v;
-                    (match List.rev m.take_waiters with
-                    | w :: _ ->
-                        m.take_waiters <-
-                          List.filter (fun x -> x <> w) m.take_waiters;
-                        wake w
-                    | [] -> ());
-                    t.state <-
-                      Runnable
-                        (return_thunk (Ok_v (VCon (c_unit, []))), conts);
-                    true
-                | Some _ ->
-                    emit (E_block t.tid);
-                    m.put_waiters <- t.tid :: m.put_waiters;
-                    t.state <- Blocked_put (id, v, conts);
-                    true))
-        | Ok_v _ ->
-            main_result := Some (Stuck "not an IO value");
-            true)
+          | Ok_v (VCon (c, [ m1 ])) when String.equal c c_mask ->
+              enter_mask t;
+              t.state <- Runnable (m1, F_mask_pop :: frames);
+              true
+          | Ok_v (VCon (c, [ m1 ])) when String.equal c c_unmask ->
+              leave_mask t;
+              t.state <- Runnable (m1, F_unmask_pop :: frames);
+              true
+          | Ok_v (VCon (c, [ n; m1 ])) when String.equal c c_timeout -> (
+              match force n with
+              | Ok_v (VInt k) ->
+                  t.state <-
+                    Runnable (m1, F_timeout (!clock + max 0 k) :: frames);
+                  true
+              | Ok_v _ ->
+                  main_result := Some (Stuck "timeout: budget is not an integer");
+                  true
+              | Bad s ->
+                  unwind_t t (Oracle.pick_exception oracle s) frames;
+                  true)
+          | Ok_v (VCon (c, [ n; b; m1 ])) when String.equal c c_retry -> (
+              match (force n, force b) with
+              | Ok_v (VInt attempts), Ok_v (VInt backoff) ->
+                  t.state <-
+                    Runnable
+                      (m1, F_retry (m1, max 0 attempts, max 1 backoff) :: frames);
+                  true
+              | Bad s, _ | _, Bad s ->
+                  unwind_t t (Oracle.pick_exception oracle s) frames;
+                  true
+              | _ ->
+                  main_result :=
+                    Some (Stuck "retry: attempts/backoff are not integers");
+                  true)
+          | Ok_v (VCon (c, [ m1 ])) when String.equal c "Fork" ->
+              let child = new_thread m1 [] in
+              emit (E_fork (t.tid, child.tid));
+              t.state <-
+                Runnable (return_thunk (Ok_v (VCon (c_unit, []))), frames);
+              true
+          | Ok_v (VCon (c, [])) when String.equal c "NewMVar" ->
+              let id = !next_mvar in
+              incr next_mvar;
+              Hashtbl.replace mvars id
+                { contents = None; take_waiters = []; put_waiters = [] };
+              t.state <-
+                Runnable
+                  ( return_thunk
+                      (Ok_v (VCon (mvar_con, [ from_whnf (Ok_v (VInt id)) ]))),
+                    frames );
+              true
+          | Ok_v (VCon (c, [ r ])) when String.equal c "TakeMVar" -> (
+              match as_mvar_id (force r) with
+              | Result.Error msg ->
+                  unwind_t t (Exn.Type_error msg) frames;
+                  true
+              | Result.Ok id -> (
+                  let m = Hashtbl.find mvars id in
+                  match m.contents with
+                  | Some v ->
+                      m.contents <- None;
+                      (* a blocked putter can now deposit *)
+                      (match List.rev m.put_waiters with
+                      | w :: _ ->
+                          m.put_waiters <-
+                            List.filter (fun x -> x <> w) m.put_waiters;
+                          wake w
+                      | [] -> ());
+                      t.state <- Runnable (return_thunk (force v), frames);
+                      true
+                  | None ->
+                      emit (E_block t.tid);
+                      m.take_waiters <- t.tid :: m.take_waiters;
+                      t.state <- Blocked_take (id, frames);
+                      true))
+          | Ok_v (VCon (c, [ r; v ])) when String.equal c "PutMVar" -> (
+              match as_mvar_id (force r) with
+              | Result.Error msg ->
+                  unwind_t t (Exn.Type_error msg) frames;
+                  true
+              | Result.Ok id -> (
+                  let m = Hashtbl.find mvars id in
+                  match m.contents with
+                  | None ->
+                      m.contents <- Some v;
+                      (match List.rev m.take_waiters with
+                      | w :: _ ->
+                          m.take_waiters <-
+                            List.filter (fun x -> x <> w) m.take_waiters;
+                          wake w
+                      | [] -> ());
+                      t.state <-
+                        Runnable
+                          (return_thunk (Ok_v (VCon (c_unit, []))), frames);
+                      true
+                  | Some _ ->
+                      emit (E_block t.tid);
+                      m.put_waiters <- t.tid :: m.put_waiters;
+                      t.state <- Blocked_put (id, v, frames);
+                      true))
+          | Ok_v _ ->
+              main_result := Some (Stuck "not an IO value");
+              true)
+  in
+
+  let wake_sleepers () =
+    List.iter
+      (fun t ->
+        match t.state with
+        | Sleeping (until, action, frames) when until <= !clock ->
+            emit (E_wake t.tid);
+            t.state <- Runnable (action, frames)
+        | _ -> ())
+      !threads
   in
 
   let rec scheduler steps =
@@ -285,26 +468,34 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
     | Some o -> o
     | None ->
         if steps >= max_steps then Diverged
-        else
+        else begin
+          wake_sleepers ();
           let runnable =
             List.filter
-              (fun t ->
-                match t.state with Runnable _ -> true | _ -> false)
+              (fun t -> match t.state with Runnable _ -> true | _ -> false)
               !threads
           in
-          let blocked =
-            List.exists
+          let sleepers =
+            List.filter_map
               (fun t ->
                 match t.state with
-                | Blocked_take _ | Blocked_put _ -> true
-                | _ -> false)
+                | Sleeping (until, _, _) -> Some until
+                | _ -> None)
               !threads
           in
-          if runnable = [] then if blocked then Deadlock else Deadlock
+          if runnable = [] then
+            match sleepers with
+            | [] -> Deadlock
+            | _ :: _ ->
+                (* Nothing to run but sleepers exist: fast-forward the
+                   clock to the earliest wake-up instead of deadlocking. *)
+                clock := List.fold_left min max_int sleepers;
+                scheduler (steps + 1)
           else begin
             List.iter (fun t -> ignore (step t)) runnable;
             scheduler (steps + 1)
           end
+        end
   in
   let outcome =
     match scheduler 0 with
@@ -316,6 +507,7 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
     outcome;
     threads_spawned = !spawned;
     context_switches = !switches;
+    counters;
   }
 
 let output_string_of r =

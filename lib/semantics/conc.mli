@@ -32,6 +32,10 @@ type event =
   | E_thread_done of int
   | E_thread_died of int * Lang.Exn.t
       (** A non-main thread performed an exceptional IO value. *)
+  | E_async of int * Lang.Exn.t
+      (** An asynchronous event was delivered to this thread. *)
+  | E_sleep of int * int
+      (** Thread sleeping until the given clock tick ([Retry] backoff). *)
 
 type outcome =
   | Done of Sem_value.deep  (** The main thread's result. *)
@@ -45,6 +49,8 @@ type result = {
   outcome : outcome;
   threads_spawned : int;
   context_switches : int;
+  counters : Iosem.counters;
+      (** Fault/exception-safety counters, shared across all threads. *)
 }
 
 val pp_event : event Fmt.t
@@ -54,6 +60,7 @@ val run :
   ?config:Denot.config ->
   ?oracle:Oracle.t ->
   ?input:string ->
+  ?async:Iosem.schedule ->
   ?max_steps:int ->
   Lang.Syntax.expr ->
   result

@@ -10,7 +10,26 @@ type outcome =
   | Io_diverged
   | Stuck of string
 
-type result = { trace : event list; outcome : outcome }
+type counters = {
+  mutable async_delivered : int;
+  mutable brackets_entered : int;
+  mutable brackets_released : int;
+  mutable timeouts_fired : int;
+  mutable masked_sections : int;
+  mutable retries : int;
+}
+
+let fresh_counters () =
+  {
+    async_delivered = 0;
+    brackets_entered = 0;
+    brackets_released = 0;
+    timeouts_fired = 0;
+    masked_sections = 0;
+    retries = 0;
+  }
+
+type result = { trace : event list; outcome : outcome; counters : counters }
 
 type schedule = (int * Exn.t) list
 
@@ -45,9 +64,30 @@ let pending_async st =
       Some x
   | _ -> None
 
-(* Performing [main]: a small-step loop over (current IO whnf, stack of
-   pending continuations from Bind). The two structural rules of Section
-   4.4 are realised by the [conts] stack. *)
+(* The IO continuation stack. Plain [>>=] continuations ride alongside the
+   administrative frames of the exception-safety combinators; normal
+   returns pop frames with [pop], exceptions trim them with [unwind] —
+   running the protected cleanups on the way down, exactly like the
+   machine's trim-the-stack rule but one level up. *)
+type frame =
+  | F_k of thunk  (** [>>=] continuation awaiting the result. *)
+  | F_bracket of thunk * thunk
+      (** [(release, use)] — the acquire action is running (masked). *)
+  | F_release of thunk
+      (** The applied release action; runs on either exit path. *)
+  | F_onexn of thunk  (** Handler, run only on the exceptional path. *)
+  | F_mask_pop  (** Leave a [Mask] section. *)
+  | F_unmask_pop  (** Leave an [Unmask] section. *)
+  | F_timeout of int  (** Deadline in transitions. *)
+  | F_retry of thunk * int * int
+      (** [(action, attempts_left, next_backoff)]. *)
+  | F_rethrow of Exn.t
+      (** Continue unwinding with this exception once the cleanup above
+          finishes normally; a cleanup that itself raises wins. *)
+  | F_restore of thunk
+      (** Continue popping with this saved value once the cleanup above
+          finishes (the cleanup's own result is discarded). *)
+
 let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
     ?(input = "") ?(async = []) ?(max_steps = 100_000) (e : expr) =
   let st =
@@ -60,82 +100,207 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
       trace_rev = [];
     }
   in
+  let counters = fresh_counters () in
+  let mask = ref 0 in
+  let enter_mask () =
+    incr mask;
+    counters.masked_sections <- counters.masked_sections + 1
+  in
+  let leave_mask () = mask := max 0 (!mask - 1) in
   let fuel_handle = Denot.handle config in
   let main_thunk =
     delay (fun () -> Denot.eval_in fuel_handle Denot.empty_env e)
   in
   let return_thunk w = from_whnf (Ok_v (VCon (c_return, [ from_whnf w ]))) in
-  let rec perform (m : thunk) (conts : thunk list) : outcome =
+  (* Lazy application for release/use functions: an ill-typed "function"
+     surfaces as an exceptional IO value, which then unwinds normally. *)
+  let apply f_thunk arg =
+    delay (fun () ->
+        match force f_thunk with
+        | Ok_v (VFun f) -> f arg
+        | Ok_v _ ->
+            Bad (Exn_set.singleton (Exn.Type_error "applied a non-function"))
+        | Bad s -> Bad s)
+  in
+  let expired stack =
+    !mask = 0
+    && List.exists
+         (function F_timeout d -> d <= st.steps | _ -> false)
+         stack
+  in
+  let rec perform (m : thunk) (stack : frame list) : outcome =
     if st.steps >= st.max_steps then Io_diverged
     else begin
       st.steps <- st.steps + 1;
       (* Each transition gets a fresh approximation budget (a transition
          that hits bottom must not starve the rest of the program). *)
       Denot.refill fuel_handle;
-      match force m with
-      | Bad s -> (
-          (* The IO structure itself is exceptional: uncaught. *)
-          if Oracle.diverge_on_non_termination st.oracle s then Io_diverged
-          else
-            match Exn_set.choose s with
-            | None -> Stuck "exceptional IO value with empty set"
-            | Some _ -> Uncaught (Oracle.pick_exception st.oracle s))
-      | Ok_v (VCon (c, [ t ])) when String.equal c c_return -> (
-          match conts with
-          | [] -> Done (deep_force ~depth:64 t)
-          | k :: rest -> (
-              match force k with
-              | Ok_v (VFun f) -> perform (delay (fun () -> f t)) rest
-              | Ok_v _ -> Stuck ">>=: continuation is not a function"
-              | Bad s -> Uncaught (Oracle.pick_exception st.oracle s)))
-      | Ok_v (VCon (c, [ m1; k ])) when String.equal c c_bind ->
-          perform m1 (k :: conts)
-      | Ok_v (VCon (c, [])) when String.equal c c_get_char -> (
-          match st.input with
-          | [] -> Stuck "getChar: end of input"
-          | ch :: rest ->
-              st.input <- rest;
-              emit st (E_read ch);
-              perform (return_thunk (Ok_v (VChar ch))) conts)
-      | Ok_v (VCon (c, [ t ])) when String.equal c c_put_char -> (
-          match force t with
-          | Ok_v (VChar ch) ->
-              emit st (E_write ch);
-              perform (return_thunk (vcon0 c_unit)) conts
-          | Ok_v _ -> Stuck "putChar: not a character"
-          | Bad s -> Uncaught (Oracle.pick_exception st.oracle s))
-      | Ok_v (VCon (c, [ t ])) when String.equal c c_get_exception -> (
-          match pending_async st with
-          | Some x ->
-              (* getException v —¡x→ return (Bad x): v may be discarded
-                 even if normal (Section 5.1). *)
-              emit st (E_async x);
-              perform
-                (return_thunk
-                   (Ok_v (VCon (c_bad, [ from_whnf (exn_to_value x) ]))))
-                conts
-          | None -> (
-              match force t with
-              | Ok_v v ->
-                  perform
-                    (return_thunk (Ok_v (VCon (c_ok, [ from_whnf (Ok_v v) ]))))
-                    conts
-              | Bad s ->
-                  if Oracle.diverge_on_non_termination st.oracle s then
-                    Io_diverged
-                  else if Exn_set.is_empty s then
-                    Stuck "getException: empty exception set"
-                  else
-                    let x = Oracle.pick_exception st.oracle s in
+      if expired stack then begin
+        counters.timeouts_fired <- counters.timeouts_fired + 1;
+        unwind Exn.Timeout stack
+      end
+      else
+        match force m with
+        | Bad s -> (
+            (* The IO structure itself is exceptional: unwind (running any
+               pending releases), then report uncaught. *)
+            if Oracle.diverge_on_non_termination st.oracle s then Io_diverged
+            else
+              match Exn_set.choose s with
+              | None -> Stuck "exceptional IO value with empty set"
+              | Some _ -> unwind (Oracle.pick_exception st.oracle s) stack)
+        | Ok_v (VCon (c, [ t ])) when String.equal c c_return -> pop t stack
+        | Ok_v (VCon (c, [ m1; k ])) when String.equal c c_bind ->
+            perform m1 (F_k k :: stack)
+        | Ok_v (VCon (c, [])) when String.equal c c_get_char -> (
+            match st.input with
+            | [] -> Stuck "getChar: end of input"
+            | ch :: rest ->
+                st.input <- rest;
+                emit st (E_read ch);
+                perform (return_thunk (Ok_v (VChar ch))) stack)
+        | Ok_v (VCon (c, [ t ])) when String.equal c c_put_char -> (
+            match force t with
+            | Ok_v (VChar ch) ->
+                emit st (E_write ch);
+                perform (return_thunk (vcon0 c_unit)) stack
+            | Ok_v _ -> Stuck "putChar: not a character"
+            | Bad s -> unwind (Oracle.pick_exception st.oracle s) stack)
+        | Ok_v (VCon (c, [ t ])) when String.equal c c_get_exception -> (
+            match if !mask = 0 then pending_async st else None with
+            | Some x ->
+                (* getException v —¡x→ return (Bad x): v may be discarded
+                   even if normal (Section 5.1). *)
+                counters.async_delivered <- counters.async_delivered + 1;
+                emit st (E_async x);
+                perform
+                  (return_thunk
+                     (Ok_v (VCon (c_bad, [ from_whnf (exn_to_value x) ]))))
+                  stack
+            | None -> (
+                match force t with
+                | Ok_v v ->
                     perform
                       (return_thunk
-                         (Ok_v (VCon (c_bad, [ from_whnf (exn_to_value x) ]))))
-                      conts))
-      | Ok_v _ -> Stuck "not an IO value"
+                         (Ok_v (VCon (c_ok, [ from_whnf (Ok_v v) ]))))
+                      stack
+                | Bad s ->
+                    if Oracle.diverge_on_non_termination st.oracle s then
+                      Io_diverged
+                    else if Exn_set.is_empty s then
+                      Stuck "getException: empty exception set"
+                    else
+                      let x = Oracle.pick_exception st.oracle s in
+                      perform
+                        (return_thunk
+                           (Ok_v
+                              (VCon (c_bad, [ from_whnf (exn_to_value x) ]))))
+                        stack))
+        | Ok_v (VCon (c, [ acq; rel; use ])) when String.equal c c_bracket ->
+            (* The acquire phase runs masked, so an async event cannot slip
+               in between acquire completing and the release being
+               registered. *)
+            enter_mask ();
+            perform acq (F_bracket (rel, use) :: stack)
+        | Ok_v (VCon (c, [ m1; h ])) when String.equal c c_on_exception ->
+            perform m1 (F_onexn h :: stack)
+        | Ok_v (VCon (c, [ m1 ])) when String.equal c c_mask ->
+            enter_mask ();
+            perform m1 (F_mask_pop :: stack)
+        | Ok_v (VCon (c, [ m1 ])) when String.equal c c_unmask ->
+            leave_mask ();
+            perform m1 (F_unmask_pop :: stack)
+        | Ok_v (VCon (c, [ n; m1 ])) when String.equal c c_timeout -> (
+            match force n with
+            | Ok_v (VInt k) ->
+                perform m1 (F_timeout (st.steps + max 0 k) :: stack)
+            | Ok_v _ -> Stuck "timeout: budget is not an integer"
+            | Bad s -> unwind (Oracle.pick_exception st.oracle s) stack)
+        | Ok_v (VCon (c, [ n; b; m1 ])) when String.equal c c_retry -> (
+            match (force n, force b) with
+            | Ok_v (VInt attempts), Ok_v (VInt backoff) ->
+                perform m1
+                  (F_retry (m1, max 0 attempts, max 1 backoff) :: stack)
+            | Bad s, _ | _, Bad s ->
+                unwind (Oracle.pick_exception st.oracle s) stack
+            | _ -> Stuck "retry: attempts/backoff are not integers")
+        | Ok_v _ -> Stuck "not an IO value"
     end
+  (* Normal return: pop administrative frames until the next [>>=]
+     continuation (or the bottom of the stack). *)
+  and pop (v : thunk) (stack : frame list) : outcome =
+    match stack with
+    | [] -> Done (deep_force ~depth:64 v)
+    | F_k k :: rest -> (
+        match force k with
+        | Ok_v (VFun f) -> perform (delay (fun () -> f v)) rest
+        | Ok_v _ -> Stuck ">>=: continuation is not a function"
+        | Bad s -> unwind (Oracle.pick_exception st.oracle s) rest)
+    | F_bracket (rel, use) :: rest ->
+        (* Acquire finished: the release is now registered; unmask and run
+           the use phase under its protection. *)
+        counters.brackets_entered <- counters.brackets_entered + 1;
+        leave_mask ();
+        perform (apply use v) (F_release (apply rel v) :: rest)
+    | F_release r :: rest ->
+        counters.brackets_released <- counters.brackets_released + 1;
+        enter_mask ();
+        perform r (F_mask_pop :: F_restore v :: rest)
+    | F_onexn _ :: rest -> pop v rest
+    | F_mask_pop :: rest ->
+        leave_mask ();
+        pop v rest
+    | F_unmask_pop :: rest ->
+        incr mask;
+        pop v rest
+    | F_timeout _ :: rest ->
+        pop (from_whnf (Ok_v (VCon (c_just, [ v ])))) rest
+    | F_retry _ :: rest -> pop v rest
+    | F_rethrow e :: rest -> unwind e rest
+    | F_restore saved :: rest -> pop saved rest
+  (* Exceptional return: trim the stack, running releases and handlers. *)
+  and unwind (e : Exn.t) (stack : frame list) : outcome =
+    match stack with
+    | [] -> Uncaught e
+    | F_k _ :: rest -> unwind e rest
+    | F_bracket _ :: rest ->
+        (* The acquire itself failed: nothing was acquired, nothing to
+           release. *)
+        leave_mask ();
+        unwind e rest
+    | F_release r :: rest ->
+        counters.brackets_released <- counters.brackets_released + 1;
+        enter_mask ();
+        perform r (F_mask_pop :: F_rethrow e :: rest)
+    | F_onexn h :: rest ->
+        enter_mask ();
+        perform h (F_mask_pop :: F_rethrow e :: rest)
+    | F_mask_pop :: rest ->
+        leave_mask ();
+        unwind e rest
+    | F_unmask_pop :: rest ->
+        incr mask;
+        unwind e rest
+    | F_timeout _ :: rest when e = Exn.Timeout ->
+        pop (from_whnf (Ok_v (VCon (c_nothing, [])))) rest
+    | F_timeout _ :: rest -> unwind e rest
+    | F_retry (action, attempts, backoff) :: rest ->
+        if attempts > 0 then begin
+          counters.retries <- counters.retries + 1;
+          (* Deterministic backoff: advance the transition clock, so the
+             wait interacts reproducibly with timeouts and the async
+             schedule. *)
+          st.steps <- st.steps + backoff;
+          perform action (F_retry (action, attempts - 1, 2 * backoff) :: rest)
+        end
+        else unwind e rest
+    | F_rethrow _ :: rest ->
+        (* A cleanup raised while unwinding: the newer exception wins. *)
+        unwind e rest
+    | F_restore _ :: rest -> unwind e rest
   in
   let outcome = perform main_thunk [] in
-  { trace = List.rev st.trace_rev; outcome }
+  { trace = List.rev st.trace_rev; outcome; counters }
 
 let output_string_of r =
   let buf = Buffer.create 16 in

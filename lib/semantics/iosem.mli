@@ -18,7 +18,16 @@
 
     The oracle resolves the non-deterministic choices; asynchronous events
     are injected by a deterministic schedule (fire after a given number of
-    transitions), exercising the Section 5.1 rule reproducibly. *)
+    transitions), exercising the Section 5.1 rule reproducibly.
+
+    On top of the paper's five constructors sit the exception-safety
+    combinators in the style of GHC's [Control.Exception] ([Bracket],
+    [OnException], [Mask], [Unmask], [WithTimeout], [Retry]). They are
+    implemented with an explicit IO continuation stack: normal returns pop
+    frames, exceptions trim them — running registered releases and
+    handlers on the way down. [Bracket]'s acquire and every release run
+    masked (async events and timeouts are deferred), so a cleanup can
+    never be torn mid-flight. *)
 
 type event =
   | E_read of char  (** [?c] — a character was read. *)
@@ -36,7 +45,25 @@ type outcome =
           self-transition for a [NonTermination] set. *)
   | Stuck of string  (** Ill-typed IO value, or input exhausted. *)
 
-type result = { trace : event list; outcome : outcome }
+type counters = {
+  mutable async_delivered : int;
+      (** Asynchronous events actually delivered (not deferred by a
+          mask). *)
+  mutable brackets_entered : int;
+      (** Acquire phases that completed, registering a release. *)
+  mutable brackets_released : int;
+      (** Releases run; equals [brackets_entered] whenever the program
+          terminated ([Done]/[Uncaught]). *)
+  mutable timeouts_fired : int;  (** [WithTimeout] deadlines that expired. *)
+  mutable masked_sections : int;
+      (** Times async delivery was masked (explicit [Mask], bracket
+          acquire, every cleanup). *)
+  mutable retries : int;  (** [Retry] re-attempts actually taken. *)
+}
+
+val fresh_counters : unit -> counters
+
+type result = { trace : event list; outcome : outcome; counters : counters }
 
 val pp_event : event Fmt.t
 val pp_outcome : outcome Fmt.t

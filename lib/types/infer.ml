@@ -198,6 +198,7 @@ let builtin_data : data_decl list =
           ("Timeout", []);
           ("StackOverflow", []);
           ("HeapExhaustion", []);
+          ("HeapOverflow", []);
         ] };
     { type_name = "ExVal"; type_params = [ "a" ];
       constructors =
@@ -438,6 +439,33 @@ let rec infer_exn (env : env) (e : expr) : ty =
       t_io t_unit
   | Con (c, [ v ]) when String.equal c c_get_exception ->
       t_io (t_exval (infer_exn env v))
+  | Con (c, [ acq; rel; use ]) when String.equal c c_bracket ->
+      let a = fresh_var () and b = fresh_var () and r = fresh_var () in
+      unify (infer_exn env acq) (t_io a);
+      unify (infer_exn env rel) (T_arrow (a, t_io b));
+      unify (infer_exn env use) (T_arrow (a, t_io r));
+      t_io r
+  | Con (c, [ m; h ]) when String.equal c c_on_exception ->
+      let a = fresh_var () in
+      unify (infer_exn env m) (t_io a);
+      unify (infer_exn env h) (t_io (fresh_var ()));
+      t_io a
+  | Con (c, [ m ])
+    when String.equal c c_mask || String.equal c c_unmask ->
+      let a = fresh_var () in
+      unify (infer_exn env m) (t_io a);
+      t_io a
+  | Con (c, [ n; m ]) when String.equal c c_timeout ->
+      let a = fresh_var () in
+      unify (infer_exn env n) t_int;
+      unify (infer_exn env m) (t_io a);
+      t_io (T_con ("Maybe", [ a ]))
+  | Con (c, [ n; b; m ]) when String.equal c c_retry ->
+      let a = fresh_var () in
+      unify (infer_exn env n) t_int;
+      unify (infer_exn env b) t_int;
+      unify (infer_exn env m) (t_io a);
+      t_io a
   | Con ("Fork", [ m ]) ->
       unify (infer_exn env m) (t_io (fresh_var ()));
       t_io t_unit

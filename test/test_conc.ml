@@ -208,4 +208,46 @@ let suite =
         in
         check_done "healthy" (dint 1) r;
         Alcotest.(check string) "output" "5050" (Conc.output_string_of r));
+    tc "a forked thread's bracket releases before the join" (fun () ->
+        let r =
+          run
+            "newEmptyMVar >>= \\mv -> forkIO (bracket (putChar 'A' >>= \\u \
+             -> return 1) (\\r -> putChar 'R') (\\r -> putChar 'B' >>= \\u \
+             -> return 2) >>= \\x -> putMVar mv x) >>= \\u -> takeMVar mv \
+             >>= \\y -> putChar 'J' >>= \\u2 -> return y"
+        in
+        check_done "joined with the use result" (dint 2) r;
+        let out = Conc.output_string_of r in
+        Alcotest.(check bool)
+          "release before join" true
+          (String.index out 'R' < String.index out 'J');
+        Alcotest.(check int) "entered" 1 r.Conc.counters.Io.brackets_entered;
+        Alcotest.(check int) "released" 1
+          r.Conc.counters.Io.brackets_released);
+    tc "retry backoff sleeps without deadlocking the scheduler" (fun () ->
+        (* The only thread sleeps between attempts: the scheduler must
+           fast-forward the clock, not report deadlock. *)
+        let r = run "retryWithBackoff 2 10 (seq (head []) (return 0))" in
+        match r.Conc.outcome with
+        | Conc.Uncaught (E.Pattern_match_fail _) -> ()
+        | o -> Alcotest.failf "unexpected %a" Conc.pp_outcome o);
+    tc "per-thread masks are independent" (fun () ->
+        (* The child masks; the parent stays interruptible, so the
+           injected event lands on the parent's getException while the
+           child completes untouched. *)
+        let r =
+          Conc.run
+            ~async:[ (0, E.Interrupt) ]
+            (parse
+               "forkIO (mask (getException 1 >>= \\a -> putChar 'M' >>= \
+                \\u -> return 0)) >>= \\u -> getException 2 >>= \\b -> \
+                case b of { Bad e -> putChar '!' >>= \\u2 -> return 1 ; OK \
+                x -> putChar '.' >>= \\u2 -> return 2 }"
+        )
+        in
+        check_done "parent took the event" (dint 1) r;
+        let out = Conc.output_string_of r in
+        Alcotest.(check bool) "child finished" true (String.contains out 'M');
+        Alcotest.(check bool) "parent interrupted" true
+          (String.contains out '!'));
   ]

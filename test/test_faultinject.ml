@@ -1,0 +1,40 @@
+(* The cross-layer fault-injection harness: seeded schedules of async
+   events, resource limits, starved fuel and truncated input, run over
+   every IO layer, must never violate the exception-safety invariants. *)
+open Imprecise
+open Helpers
+
+let show_violations vs =
+  String.concat "\n" (List.filteri (fun i _ -> i < 8) vs)
+
+let suite =
+  [
+    tc "template library covers all layers" (fun () ->
+        Alcotest.(check bool)
+          "has concurrent-only template" true
+          (List.exists (fun t -> t.Faultinject.conc_only)
+             Faultinject.templates);
+        Alcotest.(check bool)
+          "has at least a dozen templates" true
+          (List.length Faultinject.templates >= 12));
+    tc "zero-fault baselines agree across layers" (fun () ->
+        List.iter
+          (fun t ->
+            let _, vs = Faultinject.baseline t in
+            Alcotest.(check (list string))
+              ("baseline " ^ t.Faultinject.name)
+              [] vs)
+          Faultinject.templates);
+    tc "supervisor recovers from HeapOverflow" (fun () ->
+        let _, vs = Faultinject.check_supervisor () in
+        Alcotest.(check (list string)) "supervisor" [] vs);
+    tc "250 seeded fault schedules, no violations" (fun () ->
+        let r = Faultinject.run_suite ~count:250 () in
+        if r.Faultinject.violations <> [] then
+          Alcotest.failf "%a:@.%s" Faultinject.pp_report r
+            (show_violations r.Faultinject.violations);
+        Alcotest.(check bool)
+          "ran at least 200 schedules plus baselines" true
+          (r.Faultinject.runs >= 200);
+        Alcotest.(check bool) "checks counted" true (r.Faultinject.checks > 0));
+  ]

@@ -159,4 +159,88 @@ let suite =
         check_outcome "spin" Io.Io_diverged r);
     tc "non-IO value is stuck" (fun () ->
         check_outcome "stuck" (Io.Stuck "") (run "42"));
+    tc "bracket releases on success, in order" (fun () ->
+        let r =
+          run
+            "bracket (putChar 'A' >>= \\u -> return 1) (\\r -> putChar 'R') \
+             (\\r -> putChar 'U' >>= \\u -> return (r + 1))"
+        in
+        check_outcome "done" (Io.Done (dint 2)) r;
+        Alcotest.(check string) "order" "AUR" (Io.output_string_of r);
+        Alcotest.(check int) "entered" 1 r.Io.counters.Io.brackets_entered;
+        Alcotest.(check int) "released" 1 r.Io.counters.Io.brackets_released);
+    tc "bracket releases on exception, which still propagates" (fun () ->
+        let r =
+          run
+            "bracket (putChar 'A' >>= \\u -> return 1) (\\r -> putChar 'R') \
+             (\\r -> seq (1/0) (return 0))"
+        in
+        check_outcome "uncaught" (Io.Uncaught E.Divide_by_zero) r;
+        Alcotest.(check string) "released" "AR" (Io.output_string_of r);
+        Alcotest.(check int) "released" 1 r.Io.counters.Io.brackets_released);
+    tc "finally always runs, onException only on exceptions" (fun () ->
+        let fin = run "finally (putChar 'x' >>= \\u -> return 3) (putChar 'c')" in
+        check_outcome "finally" (Io.Done (dint 3)) fin;
+        Alcotest.(check string) "out" "xc" (Io.output_string_of fin);
+        let ok = run "onException (return 3) (putChar 'h')" in
+        Alcotest.(check string) "no handler" "" (Io.output_string_of ok);
+        let ex = run "onException (seq (head []) (return 0)) (putChar 'h')" in
+        (match ex.Io.outcome with
+        | Io.Uncaught (E.Pattern_match_fail _) -> ()
+        | o -> Alcotest.failf "unexpected %a" Io.pp_outcome o);
+        Alcotest.(check string) "handler ran" "h" (Io.output_string_of ex));
+    tc "timeout expires to Nothing; an enclosed bracket still releases"
+      (fun () ->
+        let r =
+          run
+            "timeout 6 (bracket (putChar 'A' >>= \\u -> return 1) (\\r -> \
+             putChar 'R') (\\r -> putList (replicate 30 'x'))) >>= \\mv -> \
+             case mv of { Nothing -> putChar 'T' >>= \\u -> return 0 ; \
+             Just v -> return v }"
+        in
+        check_outcome "timed out" (Io.Done (dint 0)) r;
+        Alcotest.(check int) "fired" 1 r.Io.counters.Io.timeouts_fired;
+        let out = Io.output_string_of r in
+        Alcotest.(check bool) "released" true (String.contains out 'R');
+        Alcotest.(check bool) "Nothing branch" true (String.contains out 'T'));
+    tc "timeout that does not expire yields Just" (fun () ->
+        check_outcome "just"
+          (Io.Done (Value.DCon ("Just", [ dint 7 ])))
+          (run "timeout 50 (return 7)"));
+    tc "mask defers async delivery past the masked section" (fun () ->
+        let r =
+          run
+            ~async:[ (0, E.Interrupt) ]
+            "mask (getException 1 >>= \\a -> putChar 'M' >>= \\u -> return \
+             0) >>= \\w -> getException 2 >>= \\b -> case b of { Bad e -> \
+             putChar '!' >>= \\u -> return 1 ; OK x -> putChar '.' >>= \\u \
+             -> return 2 }"
+        in
+        check_outcome "deferred to the unmasked getException"
+          (Io.Done (dint 1)) r;
+        Alcotest.(check string) "out" "M!" (Io.output_string_of r);
+        Alcotest.(check int) "delivered once" 1
+          r.Io.counters.Io.async_delivered);
+    tc "retryWithBackoff retries then gives up" (fun () ->
+        let r =
+          run "retryWithBackoff 3 2 (putChar 't' >>= \\u -> seq (1/0) (return 0))"
+        in
+        check_outcome "exhausted" (Io.Uncaught E.Divide_by_zero) r;
+        Alcotest.(check string) "one t per attempt" "tttt"
+          (Io.output_string_of r);
+        Alcotest.(check int) "retries" 3 r.Io.counters.Io.retries);
+    tc "retryWithBackoff succeeds once the input changes" (fun () ->
+        let r =
+          run ~input:"xxy"
+            "retryWithBackoff 3 2 (getChar >>= \\c -> case c of { 'x' -> \
+             seq (1/0) (return 0) ; z -> return 99 })"
+        in
+        check_outcome "third attempt" (Io.Done (dint 99)) r;
+        let reads =
+          List.length
+            (List.filter
+               (function Io.E_read _ -> true | _ -> false)
+               r.Io.trace)
+        in
+        Alcotest.(check int) "three reads" 3 reads);
   ]

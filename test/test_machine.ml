@@ -217,4 +217,57 @@ let suite =
         Alcotest.(check bool) "steps" true (stats.Stats.steps > 100);
         Alcotest.(check bool) "allocs" true (stats.Stats.allocations > 50);
         Alcotest.(check bool) "stack" true (stats.Stats.max_stack > 2));
+    tc "repeated async injection: pause cells never lose work" (fun () ->
+        let m = M.create () in
+        M.inject_async m ~at_step:500 E.Timeout;
+        M.inject_async m ~at_step:1_500 E.Interrupt;
+        M.inject_async m ~at_step:2_500 E.Heap_exhaustion;
+        let a = M.alloc m (parse "sum (enumFromTo 1 3000)") in
+        let rec go acc =
+          match M.force_catch m a with
+          | Error (M.Fail_async e) -> go (e :: acc)
+          | Ok (M.MInt n) -> (List.rev acc, n)
+          | Ok _ -> Alcotest.fail "non-int result"
+          | Error f -> Alcotest.failf "unexpected %a" M.pp_failure f
+        in
+        let delivered, n = go [] in
+        Alcotest.(check int) "value despite three interruptions" 4_501_500 n;
+        Alcotest.(check int) "all three delivered" 3 (List.length delivered);
+        Alcotest.(check bool)
+          "work was paused" true
+          ((M.stats m).Stats.thunks_paused > 0));
+    tc "heap limit raises catchable HeapOverflow; gc re-arms it" (fun () ->
+        let m =
+          M.create ~config:{ M.default_config with heap_limit = Some 2_000 } ()
+        in
+        let a = M.alloc m (parse "sum (enumFromTo 1 5000)") in
+        (match M.force_catch m a with
+        | Error (M.Fail_exn E.Heap_overflow) -> ()
+        | Ok _ -> Alcotest.fail "expected HeapOverflow"
+        | Error f -> Alcotest.failf "unexpected %a" M.pp_failure f);
+        Alcotest.(check bool)
+          "counted" true
+          ((M.stats m).Stats.heap_overflows > 0);
+        (* The raise frees nothing and the check is disarmed until a
+           collection brings the heap back under the limit. *)
+        ignore (M.gc m ~roots:[]);
+        let b = M.alloc m (parse "sum (enumFromTo 1 10)") in
+        match M.force_catch m b with
+        | Ok (M.MInt 55) -> ()
+        | Ok _ -> Alcotest.fail "wrong value after recovery"
+        | Error f -> Alcotest.failf "post-gc failure: %a" M.pp_failure f);
+    tc "stack limit raises catchable StackOverflow" (fun () ->
+        let m =
+          M.create ~config:{ M.default_config with stack_limit = Some 100 } ()
+        in
+        let a =
+          M.alloc m (parse "foldr (\\a b -> a + b) 0 (enumFromTo 1 2000)")
+        in
+        match M.force_catch m a with
+        | Error (M.Fail_exn E.Stack_overflow_exn) ->
+            Alcotest.(check bool)
+              "counted" true
+              ((M.stats m).Stats.stack_overflows > 0)
+        | Ok _ -> Alcotest.fail "expected StackOverflow"
+        | Error f -> Alcotest.failf "unexpected %a" M.pp_failure f);
   ]

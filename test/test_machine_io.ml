@@ -111,4 +111,95 @@ let suite =
               (Printf.sprintf "outcome of %s" src)
               true comparable)
           programs);
+    tc "bracket releases exactly once (stats)" (fun () ->
+        let r =
+          run
+            "bracket (putChar 'A' >>= \\u -> return 1) (\\r -> putChar 'R') \
+             (\\r -> putChar 'U' >>= \\u -> return 9)"
+        in
+        check_done "v" (dint 9) r;
+        Alcotest.(check string) "order" "AUR" r.Mio.output;
+        Alcotest.(check int) "entered" 1 r.Mio.stats.Stats.brackets_entered;
+        Alcotest.(check int) "released" 1 r.Mio.stats.Stats.brackets_released);
+    tc "bracket frames survive collections (gc_every)" (fun () ->
+        let r =
+          Mio.run ~gc_every:3
+            (parse
+               "bracket (putChar 'A' >>= \\u -> return 1) (\\r -> putChar \
+                'R') (\\r -> putList (showInt (sum (enumFromTo 1 100))))")
+        in
+        (match r.Mio.outcome with
+        | Mio.Done _ -> ()
+        | o -> Alcotest.failf "unexpected %a" Mio.pp_outcome o);
+        Alcotest.(check string) "out" "A5050R" r.Mio.output;
+        Alcotest.(check int) "released" 1 r.Mio.stats.Stats.brackets_released);
+    tc "timeout fires on the machine clock and releases" (fun () ->
+        let r =
+          run
+            "timeout 6 (bracket (putChar 'A' >>= \\u -> return 1) (\\r -> \
+             putChar 'R') (\\r -> putList (replicate 30 'x'))) >>= \\mv -> \
+             case mv of { Nothing -> putChar 'T' >>= \\u -> return 0 ; \
+             Just v -> return v }"
+        in
+        check_done "timed out" (dint 0) r;
+        Alcotest.(check int) "fired" 1 r.Mio.stats.Stats.timeouts_fired;
+        Alcotest.(check bool) "released" true (String.contains r.Mio.output 'R'));
+    tc "mask defers injected events on the machine" (fun () ->
+        let r =
+          run
+            ~async:[ (0, E.Interrupt) ]
+            "mask (getException 1 >>= \\a -> putChar 'M' >>= \\u -> return \
+             0) >>= \\w -> getException 2 >>= \\b -> case b of { Bad e -> \
+             putChar '!' >>= \\u -> return 1 ; OK x -> putChar '.' >>= \\u \
+             -> return 2 }"
+        in
+        check_done "deferred" (dint 1) r;
+        Alcotest.(check string) "out" "M!" r.Mio.output;
+        Alcotest.(check int) "delivered once" 1
+          r.Mio.stats.Stats.async_delivered;
+        Alcotest.(check bool)
+          "masked sections counted" true
+          (r.Mio.stats.Stats.masked_sections > 0));
+    tc "retryWithBackoff succeeds once the input changes" (fun () ->
+        let r =
+          run ~input:"xxy"
+            "retryWithBackoff 3 2 (getChar >>= \\c -> case c of { 'x' -> \
+             seq (1/0) (return 0) ; z -> return 99 })"
+        in
+        check_done "third attempt" (dint 99) r;
+        Alcotest.(check int) "three reads" 3 r.Mio.reads);
+    tc "heap limit surfaces as catchable HeapOverflow; supervisor recovers"
+      (fun () ->
+        let r =
+          Mio.run
+            ~config:{ Machine.default_config with heap_limit = Some 2_500 }
+            (parse
+               "getException (seq (sum (enumFromTo 1 5000)) 1) >>= \\v -> \
+                case v of { OK x -> putChar 'O' >>= \\u -> return 0 ; Bad \
+                e -> case e of { HeapOverflow -> putChar 'H' >>= \\u -> \
+                getException (seq (sum (enumFromTo 1 10)) 2) >>= \\w -> \
+                (case w of { OK y -> putChar 'K' ; Bad e2 -> putChar 'Z' \
+                }) >>= \\u2 -> return 1 ; z -> putChar 'Y' >>= \\u -> \
+                return 0 } }")
+        in
+        check_done "recovered" (dint 1) r;
+        Alcotest.(check string) "caught then retried smaller" "HK" r.Mio.output;
+        Alcotest.(check bool)
+          "overflow counted" true
+          (r.Mio.stats.Stats.heap_overflows > 0));
+    tc "stack limit surfaces as catchable StackOverflow" (fun () ->
+        let r =
+          Mio.run
+            ~config:{ Machine.default_config with stack_limit = Some 100 }
+            (parse
+               "getException (foldr (\\a b -> a + b) 0 (enumFromTo 1 \
+                2000)) >>= \\v -> case v of { Bad e -> case e of { \
+                StackOverflow -> putChar 'S' >>= \\u -> return 1 ; z -> \
+                return 0 } ; OK x -> return 2 }")
+        in
+        check_done "caught" (dint 1) r;
+        Alcotest.(check string) "marker" "S" r.Mio.output;
+        Alcotest.(check bool)
+          "overflow counted" true
+          (r.Mio.stats.Stats.stack_overflows > 0));
   ]

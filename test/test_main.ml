@@ -26,4 +26,5 @@ let () =
       ("prelude", Test_prelude.suite);
       ("props", Test_props.suite);
       ("diff", Test_diff.suite);
+      ("faultinject", Test_faultinject.suite);
     ]
