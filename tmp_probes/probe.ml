@@ -1,0 +1,14 @@
+open Imprecise
+
+let () =
+  (* timeout around a blocking takeMVar: should expire to Nothing, or deadlock? *)
+  let src =
+    "newEmptyMVar >>= \\mv -> timeout 5 (takeMVar mv) >>= \\r -> case r of \
+     { Nothing -> putChar 'T' >>= \\u -> return 0 ; Just x -> return 1 }"
+  in
+  let r = Conc.run (parse src) in
+  Fmt.pr "conc: %a out=%S@." Conc.pp_outcome r.Conc.outcome
+    (Conc.output_string_of r);
+  let m = Machine_conc.run (parse src) in
+  Fmt.pr "machine_conc: %a out=%S@." Machine_conc.pp_outcome
+    m.Machine_conc.outcome m.Machine_conc.output
