@@ -361,6 +361,128 @@ let table_fault () =
 open Bechamel
 open Toolkit
 
+let ols =
+  Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+
+(* One-off wall-clock estimate (ns/run) for a single thunk. *)
+let measure_ns name f =
+  let test = Test.make ~name (Staged.stage f) in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:(Some 500) ()
+  in
+  let results =
+    Benchmark.all cfg Instance.[ monotonic_clock ] test
+    |> Hashtbl.to_seq |> List.of_seq
+  in
+  match results with
+  | [ (_, v) ] -> (
+      match Analyze.OLS.estimates (Analyze.one ols Instance.monotonic_clock v)
+      with
+      | Some [ est ] -> Some est
+      | _ -> None)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Table R' — the compile-to-slots pass (resolution + array envs)      *)
+(* ------------------------------------------------------------------ *)
+
+(* Before/after for the resolution pass: the name-based reference
+   machine (string-keyed map environments, every variable a map lookup)
+   vs the slot-compiled machine (pre-resolved IR, array environments,
+   zero string-map lookups at runtime — asserted here, not assumed).
+   Steps and counters are deterministic; the wall-clock columns are
+   Bechamel estimates and are skipped under [--smoke]. The whole table
+   is also emitted as machine-readable BENCH_2.json. *)
+let slot_workloads =
+  [
+    ("fib 16", fib 16, false);
+    ("sum 1..5000", sum_to 5000, false);
+    ("map/filter 1..2000", pipeline 2000, false);
+    ("raise at 5000", raise_at_depth 5000, true);
+  ]
+
+let table_slots ~wallclock () =
+  header
+    "Table R' (compile-to-slots): pre-resolved IR + array environments \
+     vs name-based map environments";
+  Fmt.pr "%-20s %12s %12s %12s %12s %10s %10s %8s@." "workload" "ref steps"
+    "slot steps" "map lookups" "slot reads" "ref ns" "slot ns" "speedup";
+  let big_ref = { Machine_ref.default_config with fuel = 50_000_000 } in
+  let big_slot = { Machine.default_config with fuel = 50_000_000 } in
+  let rows =
+    List.map
+      (fun (name, src, raises) ->
+        let e = parse src in
+        (* Compile once, run many: resolution is a per-program cost, not
+           a per-run one, so it sits outside the timed thunk — exactly as
+           a driver would use it. *)
+        let r = Resolve.expr e in
+        let run_ref () =
+          let m = Machine_ref.create ~config:big_ref () in
+          let a = Machine_ref.alloc m e in
+          if raises then ignore (Machine_ref.force_catch m a)
+          else ignore (Machine_ref.force m a);
+          Machine_ref.stats m
+        in
+        let run_slot () =
+          let m = Machine.create ~config:big_slot () in
+          let a = Machine.alloc_resolved m r in
+          if raises then ignore (Machine.force_catch m a)
+          else ignore (Machine.force m a);
+          Machine.stats m
+        in
+        let str = run_ref () in
+        let sts = run_slot () in
+        if sts.Stats.env_lookups <> 0 then
+          Fmt.failwith "slot machine paid %d string-map lookups on %s"
+            sts.Stats.env_lookups name;
+        let ns_ref, ns_slot =
+          if wallclock then
+            ( measure_ns ("ref/" ^ name) (fun () -> ignore (run_ref ())),
+              measure_ns ("slot/" ^ name) (fun () -> ignore (run_slot ())) )
+          else (None, None)
+        in
+        let speedup =
+          match (ns_ref, ns_slot) with
+          | Some r, Some s when s > 0.0 -> Some (r /. s)
+          | _ -> None
+        in
+        let fopt = function
+          | Some x -> Printf.sprintf "%.0f" x
+          | None -> "-"
+        in
+        Fmt.pr "%-20s %12d %12d %12d %12d %10s %10s %8s@." name
+          str.Stats.steps sts.Stats.steps str.Stats.env_lookups
+          sts.Stats.slot_reads (fopt ns_ref) (fopt ns_slot)
+          (match speedup with
+          | Some x -> Printf.sprintf "%.2fx" x
+          | None -> "-");
+        (name, str, sts, ns_ref, ns_slot, speedup))
+      slot_workloads
+  in
+  let jopt = function
+    | Some x -> Printf.sprintf "%.1f" x
+    | None -> "null"
+  in
+  let json =
+    Printf.sprintf
+      "{\"bench\":\"compile_to_slots\",\"wallclock\":%b,\"rows\":[%s]}\n"
+      wallclock
+      (String.concat ","
+         (List.map
+            (fun (name, (str : Stats.t), (sts : Stats.t), nr, ns, sp) ->
+              Printf.sprintf
+                "{\"workload\":%S,\"steps_ref\":%d,\"steps_slot\":%d,\"env_lookups_ref\":%d,\"env_lookups_slot\":%d,\"slot_reads\":%d,\"ns_ref\":%s,\"ns_slot\":%s,\"speedup\":%s}"
+                name str.Stats.steps sts.Stats.steps str.Stats.env_lookups
+                sts.Stats.env_lookups sts.Stats.slot_reads (jopt nr)
+                (jopt ns) (jopt sp))
+            rows))
+  in
+  let oc = open_out "BENCH_2.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pr "@.(BENCH_2.json written)@."
+
 let make_tests () =
   let t name f = Test.make ~name (Staged.stage f) in
   let fib12 = parse (fib 12) in
@@ -428,9 +550,6 @@ let make_tests () =
 
 let run_bechamel () =
   header "Bechamel wall-clock micro-benchmarks (one per experiment)";
-  let ols =
-    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
-  in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
     Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.4) ~kde:(Some 500) ()
@@ -452,7 +571,13 @@ let run_bechamel () =
     (make_tests ())
 
 let () =
-  Fmt.pr "imprecise-exceptions benchmark harness@.";
+  (* [--smoke]: deterministic counters only — no Bechamel wall-clock
+     anywhere (CI-friendly); BENCH_2.json is still written, with null
+     wall-clock fields. *)
+  let smoke = Array.exists (String.equal "--smoke") Sys.argv in
+  let skip_bechamel = smoke || Sys.getenv_opt "SKIP_BECHAMEL" <> None in
+  Fmt.pr "imprecise-exceptions benchmark harness%s@."
+    (if smoke then " (smoke mode)" else "");
   table_laws ();
   table_exval ();
   table_no_exn ();
@@ -463,7 +588,7 @@ let () =
   table_gc ();
   table_conc ();
   table_fault ();
-  (match Sys.getenv_opt "SKIP_BECHAMEL" with
-  | Some _ -> Fmt.pr "@.(bechamel skipped)@."
-  | None -> run_bechamel ());
+  table_slots ~wallclock:(not skip_bechamel) ();
+  if skip_bechamel then Fmt.pr "@.(bechamel skipped)@."
+  else run_bechamel ();
   Fmt.pr "@.done.@."

@@ -10,8 +10,9 @@
     - {!Exn}, {!Exn_set}, {!Value}, {!Denot}: the imprecise denotational
       semantics with exception sets (Section 4).
     - {!Io}, {!Oracle}: the operational IO layer (Section 4.4, 5.1).
-    - {!Machine}, {!Machine_io}, {!Stats}: the stack-trimming
-      implementation (Section 3.3).
+    - {!Resolve}, {!Machine}, {!Machine_io}, {!Stats}: the compile-to-slots
+      pass and the stack-trimming implementation (Section 3.3);
+      {!Machine_ref} is the name-based baseline it is measured against.
     - {!Fixed}, {!Exval}: the rejected baseline designs (Sections 2, 3.4).
     - {!Strictness}, {!Effects}: the analyses.
     - {!Rules}, {!Refine}, {!Laws}, {!Pipeline}: the transformation
@@ -39,9 +40,11 @@ module Conc = Semantics.Conc
 module Oracle = Semantics.Oracle
 module Fixed = Semantics.Fixed
 module Exval = Semantics.Exval
+module Resolve = Lang.Resolve
 module Machine_io = Machine.Machine_io
 module Machine_conc = Machine.Machine_conc
 module Stats = Machine.Stats
+module Machine_ref = Machine.Stg_ref
 module Machine = Machine.Stg
 module Strictness = Analysis.Strictness
 module Effects = Analysis.Exn_analysis

@@ -1,0 +1,304 @@
+(* The resolution (compile-to-slots) pass: one walk over {!Syntax.expr}
+   that eliminates every runtime string operation the abstract machine
+   used to pay for.
+
+   - Variable occurrences become lexical slot references: a (frame,
+     offset) pair into a chain of array-backed environment frames.
+   - Constructor names are interned into integer tags through a global
+     table seeded with {!Con_info.builtin_list}, so constructor dispatch
+     (including the IO drivers' [Return]/[Bind]/... matching) is integer
+     comparison.
+   - Every heap-allocation site (let right-hand sides, application and
+     constructor arguments, letrec bindings) and every lambda gets its
+     free-variable footprint precomputed as an array of slot references,
+     so closures capture a compact [addr array] instead of a whole
+     name-keyed map.
+
+   Scoping mirrors the name-based machine exactly, including its lazy
+   treatment of unbound variables: an out-of-scope name resolves to
+   {!RUnbound}, which raises [TypeError "unbound variable ..."] only if
+   the occurrence is actually evaluated. *)
+
+open Syntax
+
+type slot = { frame : int; idx : int }
+(** A resolved variable occurrence: walk [frame] environment links
+    outward, then read array index [idx]. *)
+
+type rexpr =
+  | RVar of slot
+  | RUnbound of string
+      (** Out-of-scope name; raises [TypeError] if evaluated (the
+          name-based machine's behaviour, preserved for dead code). *)
+  | RLit of lit
+  | RLam of lam
+  | RApp of rexpr * arg
+  | RCon of int * arg array  (** Interned constructor tag. *)
+  | RCase of rexpr * ralt array
+  | RLet of arg * rexpr  (** Body runs under one pushed 1-slot frame. *)
+  | RLetrec of tspec array * rexpr
+  | RPrim of Prim.t * rexpr list
+  | RMapexn of arg * rexpr
+  | RIsexn of rexpr
+  | RGetexn of rexpr
+  | RRaise of rexpr
+
+and arg =
+  | Aslot of slot
+      (** The argument is a variable: reuse its heap address directly
+          (the machine's [alloc_in] fast path, now decided statically). *)
+  | Athunk of tspec
+
+and tspec = { caps : slot array; tbody : rexpr }
+(** A thunk template: at allocation time the capture array is filled by
+    reading [caps] from the current environment; [tbody] is compiled
+    against a single frame holding exactly those captures. *)
+
+and lam = { lcaps : slot array; lbody : rexpr; lname : string }
+(** A lambda: evaluating it captures [lcaps] into a flat array; applying
+    the closure runs [lbody] under a 1-slot argument frame chained onto
+    the capture frame. *)
+
+and ralt = { rpat : rpat; rrhs : rexpr }
+
+and rpat =
+  | Rpcon of int * int  (** tag, binder count *)
+  | Rplit of lit
+  | Rpany of bool  (** [true] when the wildcard binds the scrutinee. *)
+
+(* ------------------------------------------------------------------ *)
+(* Constructor interning                                               *)
+(* ------------------------------------------------------------------ *)
+
+let con_table : (string, int) Hashtbl.t = Hashtbl.create 64
+let con_names : (int, string) Hashtbl.t = Hashtbl.create 64
+let next_tag = ref 0
+
+let con_tag c =
+  match Hashtbl.find_opt con_table c with
+  | Some t -> t
+  | None ->
+      let t = !next_tag in
+      incr next_tag;
+      Hashtbl.add con_table c t;
+      Hashtbl.add con_names t c;
+      t
+
+let con_name t =
+  match Hashtbl.find_opt con_names t with
+  | Some c -> c
+  | None -> Printf.sprintf "<con:%d>" t
+
+(* Builtins are interned first, in {!Con_info.builtin_list} order, so
+   their tags are stable process-wide and the drivers below can bind
+   them once. *)
+let () = List.iter (fun (c, _) -> ignore (con_tag c)) Con_info.builtin_list
+
+let t_true = con_tag c_true
+let t_false = con_tag c_false
+let t_nil = con_tag c_nil
+let t_cons = con_tag c_cons
+let t_unit = con_tag c_unit
+let t_pair = con_tag c_pair
+let t_ok = con_tag c_ok
+let t_bad = con_tag c_bad
+let t_just = con_tag c_just
+let t_nothing = con_tag c_nothing
+let t_return = con_tag c_return
+let t_bind = con_tag c_bind
+let t_get_char = con_tag c_get_char
+let t_put_char = con_tag c_put_char
+let t_get_exception = con_tag c_get_exception
+let t_bracket = con_tag c_bracket
+let t_on_exception = con_tag c_on_exception
+let t_mask = con_tag c_mask
+let t_unmask = con_tag c_unmask
+let t_timeout = con_tag c_timeout
+let t_retry = con_tag c_retry
+let t_fork = con_tag "Fork"
+let t_new_mvar = con_tag "NewMVar"
+let t_take_mvar = con_tag "TakeMVar"
+let t_put_mvar = con_tag "PutMVar"
+let t_mvar_ref = con_tag "MVarRef"
+
+(* ------------------------------------------------------------------ *)
+(* Free variables                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module S = Set.Make (String)
+
+let rec fv = function
+  | Var x -> S.singleton x
+  | Lit _ -> S.empty
+  | Lam (x, b) -> S.remove x (fv b)
+  | App (f, a) -> S.union (fv f) (fv a)
+  | Con (_, es) | Prim (_, es) ->
+      List.fold_left (fun s e -> S.union s (fv e)) S.empty es
+  | Case (scrut, alts) ->
+      List.fold_left
+        (fun acc a ->
+          S.union acc (S.diff (fv a.rhs) (S.of_list (pat_binders a.pat))))
+        (fv scrut) alts
+  | Let (x, e1, e2) -> S.union (fv e1) (S.remove x (fv e2))
+  | Letrec (binds, body) ->
+      let bound = S.of_list (List.map fst binds) in
+      S.diff
+        (List.fold_left
+           (fun s (_, e) -> S.union s (fv e))
+           (fv body) binds)
+        bound
+  | Raise e | Fix e -> fv e
+
+(* ------------------------------------------------------------------ *)
+(* Scope: a static image of the runtime frame chain                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Innermost frame first. Within a frame, later binders shadow earlier
+   ones (the map-based machine folded [Env_map.add] left to right), so
+   frames are scanned right to left. *)
+type scope = string array list
+
+let find_slot (scope : scope) (x : string) : slot option =
+  let rec in_frame (arr : string array) i =
+    if i < 0 then None
+    else if String.equal arr.(i) x then Some i
+    else in_frame arr (i - 1)
+  in
+  let rec go frame = function
+    | [] -> None
+    | arr :: rest -> (
+        match in_frame arr (Array.length arr - 1) with
+        | Some idx -> Some { frame; idx }
+        | None -> go (frame + 1) rest)
+  in
+  go 0 scope
+
+(* The ordered capture list of an expression under a scope: its free
+   variables that are actually in scope (out-of-scope names stay free
+   and resolve to [RUnbound] inside the body). Order is the set's
+   (sorted) order — deterministic, and mirrored by the body scope. *)
+let captures (scope : scope) (e : expr) : string array * slot array =
+  let names =
+    List.filter (fun x -> find_slot scope x <> None) (S.elements (fv e))
+  in
+  ( Array.of_list names,
+    Array.of_list
+      (List.map
+         (fun x ->
+           match find_slot scope x with
+           | Some s -> s
+           | None -> assert false)
+         names) )
+
+(* ------------------------------------------------------------------ *)
+(* The pass                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec resolve (scope : scope) (e : expr) : rexpr =
+  match e with
+  | Var x -> (
+      match find_slot scope x with
+      | Some s -> RVar s
+      | None -> RUnbound x)
+  | Lit l -> RLit l
+  | Lam (x, body) ->
+      let names, lcaps = captures scope e in
+      RLam { lcaps; lbody = resolve [ [| x |]; names ] body; lname = x }
+  | App (f, a) -> RApp (resolve scope f, resolve_arg scope a)
+  | Con (c, es) ->
+      RCon (con_tag c, Array.of_list (List.map (resolve_arg scope) es))
+  | Case (scrut, alts) ->
+      RCase
+        ( resolve scope scrut,
+          Array.of_list (List.map (resolve_alt scope) alts) )
+  | Let (x, e1, e2) ->
+      RLet (resolve_arg scope e1, resolve ([| x |] :: scope) e2)
+  | Letrec (binds, body) ->
+      let frame = Array.of_list (List.map fst binds) in
+      let scope' = frame :: scope in
+      let specs =
+        Array.of_list
+          (List.map (fun (_, rhs) -> thunk_spec scope' rhs) binds)
+      in
+      RLetrec (specs, resolve scope' body)
+  | Fix e1 ->
+      (* fix e ≡ letrec x = e x in x — the machine's own reading,
+         desugared here so the IR needs no fixpoint node. *)
+      resolve scope
+        (Letrec ([ ("$fix", App (e1, Var "$fix")) ], Var "$fix"))
+  | Raise e1 -> RRaise (resolve scope e1)
+  | Prim (Prim.Map_exception, [ f; v ]) ->
+      RMapexn (resolve_arg scope f, resolve scope v)
+  | Prim (Prim.Unsafe_is_exception, [ v ]) -> RIsexn (resolve scope v)
+  | Prim (Prim.Unsafe_get_exception, [ v ]) -> RGetexn (resolve scope v)
+  | Prim (p, es) -> RPrim (p, List.map (resolve scope) es)
+
+and resolve_arg scope e =
+  match e with
+  | Var x -> (
+      (* alloc_in's "variables are already in the heap" fast path,
+         decided once at compile time instead of per allocation. *)
+      match find_slot scope x with
+      | Some s -> Aslot s
+      | None -> Athunk { caps = [||]; tbody = RUnbound x })
+  | _ -> Athunk (thunk_spec scope e)
+
+and thunk_spec scope e =
+  let names, caps = captures scope e in
+  { caps; tbody = resolve [ names ] e }
+
+and resolve_alt scope (a : alt) : ralt =
+  match a.pat with
+  | Pcon (c, xs) ->
+      let n = List.length xs in
+      let scope' = if n = 0 then scope else Array.of_list xs :: scope in
+      { rpat = Rpcon (con_tag c, n); rrhs = resolve scope' a.rhs }
+  | Plit l -> { rpat = Rplit l; rrhs = resolve scope a.rhs }
+  | Pany None -> { rpat = Rpany false; rrhs = resolve scope a.rhs }
+  | Pany (Some x) ->
+      { rpat = Rpany true; rrhs = resolve ([| x |] :: scope) a.rhs }
+
+let expr (e : expr) : rexpr = resolve [] e
+
+(* ------------------------------------------------------------------ *)
+(* Static accounting (for tests and docs)                              *)
+(* ------------------------------------------------------------------ *)
+
+let rec count_nodes (r : rexpr) : int =
+  let arg = function Aslot _ -> 1 | Athunk t -> 1 + count_nodes t.tbody in
+  match r with
+  | RVar _ | RUnbound _ | RLit _ -> 1
+  | RLam l -> 1 + count_nodes l.lbody
+  | RApp (f, a) -> 1 + count_nodes f + arg a
+  | RCon (_, args) -> Array.fold_left (fun acc a -> acc + arg a) 1 args
+  | RCase (s, alts) ->
+      Array.fold_left
+        (fun acc a -> acc + count_nodes a.rrhs)
+        (1 + count_nodes s) alts
+  | RLet (a, b) -> 1 + arg a + count_nodes b
+  | RLetrec (specs, b) ->
+      Array.fold_left
+        (fun acc t -> acc + count_nodes t.tbody)
+        (1 + count_nodes b) specs
+  | RPrim (_, es) -> List.fold_left (fun acc e -> acc + count_nodes e) 1 es
+  | RMapexn (a, v) -> 1 + arg a + count_nodes v
+  | RIsexn v | RGetexn v | RRaise v -> 1 + count_nodes v
+
+let rec unbound (r : rexpr) : string list =
+  let arg = function Aslot _ -> [] | Athunk t -> unbound t.tbody in
+  match r with
+  | RUnbound x -> [ x ]
+  | RVar _ | RLit _ -> []
+  | RLam l -> unbound l.lbody
+  | RApp (f, a) -> unbound f @ arg a
+  | RCon (_, args) -> Array.to_list args |> List.concat_map arg
+  | RCase (s, alts) ->
+      unbound s
+      @ (Array.to_list alts |> List.concat_map (fun a -> unbound a.rrhs))
+  | RLet (a, b) -> arg a @ unbound b
+  | RLetrec (specs, b) ->
+      (Array.to_list specs |> List.concat_map (fun t -> unbound t.tbody))
+      @ unbound b
+  | RPrim (_, es) -> List.concat_map unbound es
+  | RMapexn (a, v) -> arg a @ unbound v
+  | RIsexn v | RGetexn v | RRaise v -> unbound v

@@ -1,0 +1,98 @@
+(** The resolution (compile-to-slots) pass.
+
+    One static walk over {!Syntax.expr} producing a pre-resolved IR the
+    abstract machine can evaluate without any runtime string operation:
+    variables become lexical (frame, offset) slots into array-backed
+    environment frames, constructor names become interned integer tags,
+    and every allocation site carries its precomputed free-variable
+    footprint so closures capture a compact address array.
+
+    Scoping is value-compatible with the name-based machine, including
+    its lazy failure on unbound variables: resolution never rejects a
+    term; dead unbound occurrences stay dead. *)
+
+type slot = { frame : int; idx : int }
+(** Walk [frame] environment links outward, then read index [idx]. *)
+
+type rexpr =
+  | RVar of slot
+  | RUnbound of string
+      (** Out-of-scope name; raises [TypeError "unbound variable ..."]
+          only if evaluated. *)
+  | RLit of Syntax.lit
+  | RLam of lam
+  | RApp of rexpr * arg
+  | RCon of int * arg array
+  | RCase of rexpr * ralt array
+  | RLet of arg * rexpr
+  | RLetrec of tspec array * rexpr
+  | RPrim of Prim.t * rexpr list
+  | RMapexn of arg * rexpr
+  | RIsexn of rexpr
+  | RGetexn of rexpr
+  | RRaise of rexpr
+
+and arg =
+  | Aslot of slot  (** Argument is a variable: reuse its address. *)
+  | Athunk of tspec
+
+and tspec = { caps : slot array; tbody : rexpr }
+(** Thunk template: fill the capture array from the current environment
+    at allocation time; [tbody] runs under that single frame. *)
+
+and lam = { lcaps : slot array; lbody : rexpr; lname : string }
+(** Closure template: [lbody] runs under a 1-slot argument frame chained
+    onto the captured frame. *)
+
+and ralt = { rpat : rpat; rrhs : rexpr }
+
+and rpat =
+  | Rpcon of int * int  (** tag, binder count *)
+  | Rplit of Syntax.lit
+  | Rpany of bool  (** [true] when the wildcard binds the scrutinee. *)
+
+val expr : Syntax.expr -> rexpr
+(** Resolve a (usually closed) top-level expression. *)
+
+val con_tag : string -> int
+(** Intern a constructor name (idempotent; builtins are pre-interned in
+    {!Con_info.builtin_list} order, so their tags are stable). *)
+
+val con_name : int -> string
+(** The name a tag was interned from. *)
+
+(** {2 Pre-interned tags for the machine and its IO drivers} *)
+
+val t_true : int
+val t_false : int
+val t_nil : int
+val t_cons : int
+val t_unit : int
+val t_pair : int
+val t_ok : int
+val t_bad : int
+val t_just : int
+val t_nothing : int
+val t_return : int
+val t_bind : int
+val t_get_char : int
+val t_put_char : int
+val t_get_exception : int
+val t_bracket : int
+val t_on_exception : int
+val t_mask : int
+val t_unmask : int
+val t_timeout : int
+val t_retry : int
+val t_fork : int
+val t_new_mvar : int
+val t_take_mvar : int
+val t_put_mvar : int
+val t_mvar_ref : int
+
+(** {2 Static accounting} *)
+
+val count_nodes : rexpr -> int
+
+val unbound : rexpr -> string list
+(** Names that resolved to {!RUnbound} (in occurrence order). *)

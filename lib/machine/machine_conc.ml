@@ -1,5 +1,6 @@
 open Lang.Syntax
 module Exn = Lang.Exn
+module R = Lang.Resolve
 
 type outcome =
   | Done of Semantics.Sem_value.deep
@@ -78,10 +79,10 @@ let run ?config ?(input = "") ?(async = []) ?(max_transitions = 100_000)
   let main_thread = new_thread (Stg.alloc m e) [] in
 
   let ret_value v =
-    Stg.alloc_value m (Stg.MCon (c_return, [ Stg.alloc_value m v ]))
+    Stg.alloc_value m (Stg.MCon (R.t_return, [| Stg.alloc_value m v |]))
   in
-  let ret_addr a = Stg.alloc_value m (Stg.MCon (c_return, [ a ])) in
-  let unit_v = Stg.MCon (c_unit, []) in
+  let ret_addr a = Stg.alloc_value m (Stg.MCon (R.t_return, [| a |])) in
+  let unit_v = Stg.MCon (R.t_unit, [||]) in
 
   let finish (t : thread) (value_addr : Stg.addr) =
     if t.tid = main_thread.tid then
@@ -124,7 +125,7 @@ let run ?config ?(input = "") ?(async = []) ?(max_transitions = 100_000)
         restore_mask ();
         pop_t t v rest
     | F_timeout _ :: rest ->
-        pop_t t (Stg.alloc_value m (Stg.MCon (c_just, [ v ]))) rest
+        pop_t t (Stg.alloc_value m (Stg.MCon (R.t_just, [| v |]))) rest
     | F_retry _ :: rest -> pop_t t v rest
     | F_rethrow exn :: rest -> unwind_t t exn rest
     | F_restore saved :: rest -> pop_t t saved rest
@@ -150,7 +151,7 @@ let run ?config ?(input = "") ?(async = []) ?(max_transitions = 100_000)
         restore_mask ();
         unwind_t t exn rest
     | F_timeout _ :: rest when exn = Exn.Timeout ->
-        pop_t t (Stg.alloc_value m (Stg.MCon (c_nothing, []))) rest
+        pop_t t (Stg.alloc_value m (Stg.MCon (R.t_nothing, [||]))) rest
     | F_timeout _ :: rest -> unwind_t t exn rest
     | F_retry (action, attempts, backoff) :: rest ->
         if attempts > 0 then
@@ -194,7 +195,7 @@ let run ?config ?(input = "") ?(async = []) ?(max_transitions = 100_000)
 
   let as_mvar_id v =
     match v with
-    | Stg.MCon (c, [ idt ]) when String.equal c "MVarRef" -> (
+    | Stg.MCon (c, [| idt |]) when c = R.t_mvar_ref -> (
         match Stg.force m idt with
         | Ok (Stg.MInt id) -> Result.Ok id
         | _ -> Result.Error "corrupt MVar reference")
@@ -220,11 +221,11 @@ let run ?config ?(input = "") ?(async = []) ?(max_transitions = 100_000)
       | Error Stg.Fail_diverged -> unwind_t t Exn.Non_termination frames
       | Error (Stg.Fail_async _) ->
           main_result := Some (Stuck "async outside getException")
-      | Ok (Stg.MCon (c, [ v ])) when String.equal c c_return ->
+      | Ok (Stg.MCon (c, [| v |])) when c = R.t_return ->
           pop_t t v frames
-      | Ok (Stg.MCon (c, [ m1; k ])) when String.equal c c_bind ->
+      | Ok (Stg.MCon (c, [| m1; k |])) when c = R.t_bind ->
           t.state <- Runnable (m1, F_k k :: frames)
-      | Ok (Stg.MCon (c, [])) when String.equal c c_get_char ->
+      | Ok (Stg.MCon (c, [||])) when c = R.t_get_char ->
           if !input_pos >= String.length input then
             main_result := Some (Stuck "getChar: end of input")
           else begin
@@ -232,7 +233,7 @@ let run ?config ?(input = "") ?(async = []) ?(max_transitions = 100_000)
             incr input_pos;
             t.state <- Runnable (ret_value (Stg.MChar ch), frames)
           end
-      | Ok (Stg.MCon (c, [ v ])) when String.equal c c_put_char -> (
+      | Ok (Stg.MCon (c, [| v |])) when c = R.t_put_char -> (
           match Stg.force m v with
           | Ok (Stg.MChar ch) ->
               Buffer.add_char buf ch;
@@ -240,33 +241,33 @@ let run ?config ?(input = "") ?(async = []) ?(max_transitions = 100_000)
           | Ok _ -> main_result := Some (Stuck "putChar: not a character")
           | Error (Stg.Fail_exn exn) -> unwind_t t exn frames
           | Error _ -> unwind_t t Exn.Non_termination frames)
-      | Ok (Stg.MCon (c, [ v ])) when String.equal c c_get_exception -> (
+      | Ok (Stg.MCon (c, [| v |])) when c = R.t_get_exception -> (
           match Stg.force_catch m v with
           | Ok _ ->
               t.state <-
-                Runnable (ret_value (Stg.MCon (c_ok, [ v ])), frames)
+                Runnable (ret_value (Stg.MCon (R.t_ok, [| v |])), frames)
           | Error (Stg.Fail_exn exn) | Error (Stg.Fail_async exn) ->
               let ev = Stg.alloc_value m (Stg.exn_to_mvalue m exn) in
               t.state <-
-                Runnable (ret_value (Stg.MCon (c_bad, [ ev ])), frames)
+                Runnable (ret_value (Stg.MCon (R.t_bad, [| ev |])), frames)
           | Error Stg.Fail_diverged ->
               let ev =
                 Stg.alloc_value m (Stg.exn_to_mvalue m Exn.Non_termination)
               in
               t.state <-
-                Runnable (ret_value (Stg.MCon (c_bad, [ ev ])), frames))
-      | Ok (Stg.MCon (c, [ acq; rel; use ])) when String.equal c c_bracket ->
+                Runnable (ret_value (Stg.MCon (R.t_bad, [| ev |])), frames))
+      | Ok (Stg.MCon (c, [| acq; rel; use |])) when c = R.t_bracket ->
           Stg.push_mask m;
           t.state <- Runnable (acq, F_bracket (rel, use) :: frames)
-      | Ok (Stg.MCon (c, [ m1; h ])) when String.equal c c_on_exception ->
+      | Ok (Stg.MCon (c, [| m1; h |])) when c = R.t_on_exception ->
           t.state <- Runnable (m1, F_onexn h :: frames)
-      | Ok (Stg.MCon (c, [ m1 ])) when String.equal c c_mask ->
+      | Ok (Stg.MCon (c, [| m1 |])) when c = R.t_mask ->
           Stg.push_mask m;
           t.state <- Runnable (m1, F_mask_pop :: frames)
-      | Ok (Stg.MCon (c, [ m1 ])) when String.equal c c_unmask ->
+      | Ok (Stg.MCon (c, [| m1 |])) when c = R.t_unmask ->
           Stg.pop_mask m;
           t.state <- Runnable (m1, F_unmask_pop :: frames)
-      | Ok (Stg.MCon (c, [ nt; m1 ])) when String.equal c c_timeout -> (
+      | Ok (Stg.MCon (c, [| nt; m1 |])) when c = R.t_timeout -> (
           match Stg.force m nt with
           | Ok (Stg.MInt k) ->
               t.state <-
@@ -275,7 +276,7 @@ let run ?config ?(input = "") ?(async = []) ?(max_transitions = 100_000)
               main_result := Some (Stuck "timeout: budget is not an integer")
           | Error (Stg.Fail_exn exn) -> unwind_t t exn frames
           | Error _ -> unwind_t t Exn.Non_termination frames)
-      | Ok (Stg.MCon (c, [ nt; bt; m1 ])) when String.equal c c_retry -> (
+      | Ok (Stg.MCon (c, [| nt; bt; m1 |])) when c = R.t_retry -> (
           match (Stg.force m nt, Stg.force m bt) with
           | Ok (Stg.MInt attempts), Ok (Stg.MInt backoff) ->
               t.state <-
@@ -288,18 +289,18 @@ let run ?config ?(input = "") ?(async = []) ?(max_transitions = 100_000)
           | _ ->
               main_result :=
                 Some (Stuck "retry: attempts/backoff are not integers"))
-      | Ok (Stg.MCon (c, [ m1 ])) when String.equal c "Fork" ->
+      | Ok (Stg.MCon (c, [| m1 |])) when c = R.t_fork ->
           let _child = new_thread m1 [] in
           t.state <- Runnable (ret_value unit_v, frames)
-      | Ok (Stg.MCon (c, [])) when String.equal c "NewMVar" ->
+      | Ok (Stg.MCon (c, [||])) when c = R.t_new_mvar ->
           let id = !next_mvar in
           incr next_mvar;
           Hashtbl.replace mvars id
             { contents = None; take_waiters = []; put_waiters = [] };
           let idv = Stg.alloc_value m (Stg.MInt id) in
           t.state <-
-            Runnable (ret_value (Stg.MCon ("MVarRef", [ idv ])), frames)
-      | Ok (Stg.MCon (c, [ r ])) when String.equal c "TakeMVar" -> (
+            Runnable (ret_value (Stg.MCon (R.t_mvar_ref, [| idv |])), frames)
+      | Ok (Stg.MCon (c, [| r |])) when c = R.t_take_mvar -> (
           match Stg.force m r with
           | Ok rv -> (
               match as_mvar_id rv with
@@ -318,7 +319,7 @@ let run ?config ?(input = "") ?(async = []) ?(max_transitions = 100_000)
                       t.state <- Blocked_take (id, frames)))
           | Error (Stg.Fail_exn exn) -> unwind_t t exn frames
           | Error _ -> unwind_t t Exn.Non_termination frames)
-      | Ok (Stg.MCon (c, [ r; v ])) when String.equal c "PutMVar" -> (
+      | Ok (Stg.MCon (c, [| r; v |])) when c = R.t_put_mvar -> (
           match Stg.force m r with
           | Ok rv -> (
               match as_mvar_id rv with

@@ -1,5 +1,5 @@
-open Lang.Syntax
 module Exn = Lang.Exn
+module R = Lang.Resolve
 
 type outcome =
   | Done of Semantics.Sem_value.deep
@@ -95,7 +95,7 @@ let run ?config ?(input = "") ?(async = []) ?(max_transitions = 100_000)
     | [] -> assert false
   in
   let ret_addr v_addr =
-    Stg.alloc_value m (Stg.MCon (c_return, [ v_addr ]))
+    Stg.alloc_value m (Stg.MCon (R.t_return, [| v_addr |]))
   in
   let expired stack n =
     Stg.mask_depth m = 0
@@ -116,11 +116,11 @@ let run ?config ?(input = "") ?(async = []) ?(max_transitions = 100_000)
       | Error (Stg.Fail_async _) ->
           (* force (no catch) never delivers async events. *)
           Stuck "async event outside getException"
-      | Ok (Stg.MCon (c, [ t ])) when String.equal c c_return ->
+      | Ok (Stg.MCon (c, [| t |])) when c = R.t_return ->
           pop t stack n
-      | Ok (Stg.MCon (c, [ m1; k ])) when String.equal c c_bind ->
+      | Ok (Stg.MCon (c, [| m1; k |])) when c = R.t_bind ->
           perform m1 (F_k k :: stack) (n + 1)
-      | Ok (Stg.MCon (c, [])) when String.equal c c_get_char ->
+      | Ok (Stg.MCon (c, [||])) when c = R.t_get_char ->
           if !reads >= String.length input then Stuck "getChar: end of input"
           else begin
             let ch = input.[!reads] in
@@ -128,22 +128,22 @@ let run ?config ?(input = "") ?(async = []) ?(max_transitions = 100_000)
             let ca = Stg.alloc_value m (Stg.MChar ch) in
             perform (ret_addr ca) stack (n + 1)
           end
-      | Ok (Stg.MCon (c, [ t ])) when String.equal c c_put_char -> (
+      | Ok (Stg.MCon (c, [| t |])) when c = R.t_put_char -> (
           match Stg.force m t with
           | Ok (Stg.MChar ch) ->
               Buffer.add_char buf ch;
-              let ua = Stg.alloc_value m (Stg.MCon (c_unit, [])) in
+              let ua = Stg.alloc_value m (Stg.MCon (R.t_unit, [||])) in
               perform (ret_addr ua) stack (n + 1)
           | Ok _ -> Stuck "putChar: not a character"
           | Error (Stg.Fail_exn exn) -> unwind exn stack n
           | Error Stg.Fail_diverged -> Io_diverged
           | Error (Stg.Fail_async _) ->
               Stuck "async event outside getException")
-      | Ok (Stg.MCon (c, [ t ])) when String.equal c c_get_exception -> (
+      | Ok (Stg.MCon (c, [| t |])) when c = R.t_get_exception -> (
           match Stg.force_catch m t with
           | Ok v ->
               let va = Stg.alloc_value m v in
-              let ok = Stg.alloc_value m (Stg.MCon (c_ok, [ va ])) in
+              let ok = Stg.alloc_value m (Stg.MCon (R.t_ok, [| va |])) in
               perform (ret_addr ok) stack (n + 1)
           | Error (Stg.Fail_exn exn) | Error (Stg.Fail_async exn) ->
               (* The exception was caught here: reify it as Bad. A caught
@@ -155,21 +155,21 @@ let run ?config ?(input = "") ?(async = []) ?(max_transitions = 100_000)
                 else stack
               in
               let ev = Stg.alloc_value m (Stg.exn_to_mvalue m exn) in
-              let bad = Stg.alloc_value m (Stg.MCon (c_bad, [ ev ])) in
+              let bad = Stg.alloc_value m (Stg.MCon (R.t_bad, [| ev |])) in
               perform (ret_addr bad) stack (n + 1)
           | Error Stg.Fail_diverged -> Io_diverged)
-      | Ok (Stg.MCon (c, [ acq; rel; use ])) when String.equal c c_bracket ->
+      | Ok (Stg.MCon (c, [| acq; rel; use |])) when c = R.t_bracket ->
           Stg.push_mask m;
           perform acq (F_bracket (rel, use) :: stack) (n + 1)
-      | Ok (Stg.MCon (c, [ m1; h ])) when String.equal c c_on_exception ->
+      | Ok (Stg.MCon (c, [| m1; h |])) when c = R.t_on_exception ->
           perform m1 (F_onexn h :: stack) (n + 1)
-      | Ok (Stg.MCon (c, [ m1 ])) when String.equal c c_mask ->
+      | Ok (Stg.MCon (c, [| m1 |])) when c = R.t_mask ->
           Stg.push_mask m;
           perform m1 (F_mask_pop :: stack) (n + 1)
-      | Ok (Stg.MCon (c, [ m1 ])) when String.equal c c_unmask ->
+      | Ok (Stg.MCon (c, [| m1 |])) when c = R.t_unmask ->
           Stg.pop_mask m;
           perform m1 (F_unmask_pop :: stack) (n + 1)
-      | Ok (Stg.MCon (c, [ nt; m1 ])) when String.equal c c_timeout -> (
+      | Ok (Stg.MCon (c, [| nt; m1 |])) when c = R.t_timeout -> (
           match Stg.force m nt with
           | Ok (Stg.MInt k) ->
               perform m1 (F_timeout (n + max 0 k) :: stack) (n + 1)
@@ -178,7 +178,7 @@ let run ?config ?(input = "") ?(async = []) ?(max_transitions = 100_000)
           | Error Stg.Fail_diverged -> Io_diverged
           | Error (Stg.Fail_async _) ->
               Stuck "async event outside getException")
-      | Ok (Stg.MCon (c, [ nt; bt; m1 ])) when String.equal c c_retry -> (
+      | Ok (Stg.MCon (c, [| nt; bt; m1 |])) when c = R.t_retry -> (
           match (Stg.force m nt, Stg.force m bt) with
           | Ok (Stg.MInt attempts), Ok (Stg.MInt backoff) ->
               perform m1
@@ -219,7 +219,7 @@ let run ?config ?(input = "") ?(async = []) ?(max_transitions = 100_000)
         restore_mask ();
         pop v rest n
     | F_timeout _ :: rest ->
-        pop (Stg.alloc_value m (Stg.MCon (c_just, [ v ]))) rest n
+        pop (Stg.alloc_value m (Stg.MCon (R.t_just, [| v |]))) rest n
     | F_retry _ :: rest -> pop v rest n
     | F_rethrow e :: rest -> unwind e rest n
     | F_restore saved :: rest -> pop saved rest n
@@ -245,7 +245,7 @@ let run ?config ?(input = "") ?(async = []) ?(max_transitions = 100_000)
         restore_mask ();
         unwind exn rest n
     | F_timeout _ :: rest when exn = Exn.Timeout ->
-        pop (Stg.alloc_value m (Stg.MCon (c_nothing, []))) rest n
+        pop (Stg.alloc_value m (Stg.MCon (R.t_nothing, [||]))) rest n
     | F_timeout _ :: rest -> unwind exn rest n
     | F_retry (action, attempts, backoff) :: rest ->
         if attempts > 0 then

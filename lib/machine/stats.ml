@@ -16,6 +16,8 @@ type t = {
   mutable masked_sections : int;
   mutable heap_overflows : int;
   mutable stack_overflows : int;
+  mutable env_lookups : int;
+  mutable slot_reads : int;
 }
 
 let create () =
@@ -37,6 +39,8 @@ let create () =
     masked_sections = 0;
     heap_overflows = 0;
     stack_overflows = 0;
+    env_lookups = 0;
+    slot_reads = 0;
   }
 
 let reset t =
@@ -56,14 +60,17 @@ let reset t =
   t.timeouts_fired <- 0;
   t.masked_sections <- 0;
   t.heap_overflows <- 0;
-  t.stack_overflows <- 0
+  t.stack_overflows <- 0;
+  t.env_lookups <- 0;
+  t.slot_reads <- 0
 
 let pp ppf t =
   Fmt.pf ppf
     "steps=%d allocs=%d updates=%d max_stack=%d trimmed=%d poisoned=%d \
      paused=%d catches=%d gcs=%d async=%d brackets=%d/%d timeouts=%d \
-     masked=%d heap_ovf=%d stack_ovf=%d"
+     masked=%d heap_ovf=%d stack_ovf=%d env_lookups=%d slot_reads=%d"
     t.steps t.allocations t.updates t.max_stack t.frames_trimmed
     t.thunks_poisoned t.thunks_paused t.catches t.collections
     t.async_delivered t.brackets_entered t.brackets_released
     t.timeouts_fired t.masked_sections t.heap_overflows t.stack_overflows
+    t.env_lookups t.slot_reads

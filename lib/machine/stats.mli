@@ -36,6 +36,14 @@ type t = {
       (** [HeapOverflow] raises from a configured heap limit. *)
   mutable stack_overflows : int;
       (** [StackOverflow] raises from a configured stack limit. *)
+  mutable env_lookups : int;
+      (** Runtime string-keyed map lookups. The slot-compiled machine
+          ({!Stg}) must keep this at exactly 0 — only the name-based
+          reference machine ({!Stg_ref}) pays it, once per variable
+          occurrence, let binding and case binder. *)
+  mutable slot_reads : int;
+      (** Array-environment slot reads by the slot-compiled machine —
+          the pre-resolved counterpart of [env_lookups]. *)
 }
 
 val create : unit -> t

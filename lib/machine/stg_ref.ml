@@ -1,19 +1,13 @@
-(* The slot-compiled stack-trimming machine: {!Lang.Resolve} turns every
-   expression into a pre-resolved IR (variables are (frame, offset)
-   slots, constructors are interned integer tags, allocation sites carry
-   their free-variable footprints), and this machine evaluates that IR
-   with array-backed environments. No string is compared and no
-   string-keyed map is touched at runtime — [Stats.slot_reads] counts
-   the array reads that replaced [Stats.env_lookups], which stays 0.
-
-   The exception machinery (poisoning, pause cells, masks, resource
-   limits) is transition-for-transition the PR-1 semantics; the
-   name-based original survives unchanged in {!Stg_ref} as the measured
-   baseline. *)
+(* The name-based reference machine: the pre-resolution implementation
+   kept verbatim as the executable baseline for the compile-to-slots
+   pass in {!Stg}. Environments are string-keyed maps and every variable
+   occurrence pays a map lookup, counted in [Stats.env_lookups] — bench
+   Table R measures the slot machine against exactly this. Do not add
+   features here first; {!Stg} is the machine, this is the yardstick. *)
 
 open Lang.Syntax
 module Exn = Lang.Exn
-module R = Lang.Resolve
+module Env_map = Map.Make (String)
 
 type addr = int
 
@@ -21,16 +15,13 @@ type mvalue =
   | MInt of int
   | MChar of char
   | MString of string
-  | MCon of int * addr array  (** Interned constructor tag. *)
-  | MClo of R.lam * addr array  (** Code template + captured slots. *)
+  | MCon of string * addr list
+  | MClo of string * expr * env
 
-(* The runtime environment: a chain of address frames mirroring the
-   static scope the resolver compiled against. Capture points (thunks,
-   closures) cut the chain to a single compact frame. *)
-and env = Env_nil | Env_frame of addr array * env
+and env = addr Env_map.t
 
 type cell =
-  | Cell_thunk of R.rexpr * env
+  | Cell_thunk of expr * env
   | Cell_value of mvalue
   | Cell_blackhole
   | Cell_raise of Exn.t
@@ -41,13 +32,13 @@ type cell =
           thunk's update frame (top first). *)
   | Cell_unused
 
-and code = C_eval of R.rexpr * env | C_enter of addr | C_ret of mvalue
+and code = C_eval of expr * env | C_enter of addr | C_ret of mvalue
 
 and frame =
   | F_update of addr
   | F_apply of addr
-  | F_case of R.ralt array * env
-  | F_prim of Lang.Prim.t * mvalue list * R.rexpr list * env
+  | F_case of alt list * env
+  | F_prim of Lang.Prim.t * mvalue list * expr list * env
   | F_raise  (** Evaluating the argument of [raise]. *)
   | F_mapexn of addr  (** [mapException]'s function, awaiting a raise. *)
   | F_isexn
@@ -123,65 +114,39 @@ let push_mask m =
 let pop_mask m = if m.mask_depth > 0 then m.mask_depth <- m.mask_depth - 1
 let set_mask_depth m d = m.mask_depth <- max 0 d
 
-exception Machine_stuck of failure
-
-(* The slot read that replaced the string-map lookup. The resolver
-   guarantees the frame walk and the index are in bounds for well-formed
-   IR; a corrupt environment is a machine bug, reported as stuck. *)
-let lookup (m : t) (env : env) (s : R.slot) : addr =
-  m.stats.slot_reads <- m.stats.slot_reads + 1;
-  let rec go env n =
-    match env with
-    | Env_frame (arr, up) -> if n = 0 then arr.(s.R.idx) else go up (n - 1)
-    | Env_nil ->
-        raise
-          (Machine_stuck (Fail_exn (Exn.Type_error "corrupt environment")))
-  in
-  go env s.R.frame
-
 let alloc_cell m cell =
   m.stats.allocations <- m.stats.allocations + 1;
   Growarray.push m.heap cell
 
 let alloc_value m v = alloc_cell m (Cell_value v)
 
-(* Fill a thunk template's capture array from the current environment
-   and allocate it as a single-frame closure over exactly its free
-   variables. *)
-let capture m env (caps : R.slot array) : env =
-  if Array.length caps = 0 then Env_nil
-  else Env_frame (Array.map (lookup m env) caps, Env_nil)
+let alloc_in m env e =
+  (* Variables are already in the heap: avoid a fresh indirection. *)
+  match e with
+  | Var x -> (
+      m.stats.env_lookups <- m.stats.env_lookups + 1;
+      match Env_map.find_opt x env with
+      | Some a -> a
+      | None -> alloc_cell m (Cell_thunk (e, env)))
+  | _ -> alloc_cell m (Cell_thunk (e, env))
 
-let alloc_spec m env (spec : R.tspec) : addr =
-  alloc_cell m (Cell_thunk (spec.R.tbody, capture m env spec.R.caps))
-
-(* The resolver's statically-decided [alloc_in]: variable arguments
-   reuse their heap address, everything else becomes a compact thunk. *)
-let arg_addr m env = function
-  | R.Aslot s -> lookup m env s
-  | R.Athunk spec -> alloc_spec m env spec
-
-let alloc_resolved m r = alloc_cell m (Cell_thunk (r, Env_nil))
-let alloc m e = alloc_resolved m (R.expr e)
-
-(* Pre-resolved [$f $x] template shared by [alloc_app] and the nested
-   mapException application: frame 0 holds [|f; x|]. *)
-let app01 : R.rexpr =
-  R.RApp
-    (R.RVar { R.frame = 0; R.idx = 0 }, R.Aslot { R.frame = 0; R.idx = 1 })
+let alloc m e = alloc_cell m (Cell_thunk (e, Env_map.empty))
 
 let alloc_app m f x =
-  alloc_cell m (Cell_thunk (app01, Env_frame ([| f; x |], Env_nil)))
+  let env = Env_map.add "$f" f (Env_map.add "$x" x Env_map.empty) in
+  alloc_cell m (Cell_thunk (App (Var "$f", Var "$x"), env))
 
 let inject_async m ~at_step e = m.async <- m.async @ [ (at_step, e) ]
 
 let exn_to_mvalue m (e : Exn.t) : mvalue =
-  let tag = R.con_tag (Exn.constructor_name e) in
+  let name = Exn.constructor_name e in
   match e with
   | Exn.Pattern_match_fail s | Exn.Assertion_failed s | Exn.User_error s
   | Exn.Type_error s ->
-      MCon (tag, [| alloc_value m (MString s) |])
-  | _ -> MCon (tag, [||])
+      MCon (name, [ alloc_value m (MString s) ])
+  | _ -> MCon (name, [])
+
+exception Machine_stuck of failure
 
 (* The machine loop. [catch] marks the bottom of this run's stack as a
    getException catch mark: synchronous raises and asynchronous events
@@ -225,17 +190,24 @@ let rec run (m : t) ~(catch : bool) (code0 : code) : (mvalue, failure) result
             unwind_sync exn
         | F_isexn ->
             (* unsafeIsException observes the raise and answers True. *)
-            Some (C_ret (MCon (R.t_true, [||])))
+            Some (C_ret (MCon (c_true, [])))
         | F_unsafe_catch ->
             Some
               (C_ret
-                 (MCon (R.t_bad, [| alloc_value m (exn_to_mvalue m exn) |])))
+                 (MCon (c_bad, [ alloc_value m (exn_to_mvalue m exn) ])))
         | F_mapexn f_addr -> (
             (* Transform the representative exception by applying the
                mapped function in a nested run, then keep unwinding with
                the transformed exception (Section 5.4). *)
             let e_addr = alloc_value m (exn_to_mvalue m exn) in
-            let a = alloc_app m f_addr e_addr in
+            let app =
+              App (Var "$mapexn_f", Var "$mapexn_e")
+            in
+            let env =
+              Env_map.add "$mapexn_f" f_addr
+                (Env_map.add "$mapexn_e" e_addr Env_map.empty)
+            in
+            let a = alloc_cell m (Cell_thunk (app, env)) in
             match run m ~catch:false (C_enter a) with
             | Ok v -> (
                 match mvalue_to_exn m v with
@@ -291,7 +263,7 @@ let rec run (m : t) ~(catch : bool) (code0 : code) : (mvalue, failure) result
     match unwind_sync exn with Some c -> c | None -> assert false
   in
 
-  let mbool b = MCon ((if b then R.t_true else R.t_false), [||]) in
+  let mbool b = MCon ((if b then c_true else c_false), []) in
 
   let apply_prim (p : Lang.Prim.t) (vs : mvalue list) : code =
     let module P = Lang.Prim in
@@ -305,10 +277,8 @@ let rec run (m : t) ~(catch : bool) (code0 : code) : (mvalue, failure) result
       | [ MInt a; MInt b ] -> C_ret (mbool (k (Stdlib.compare a b)))
       | [ MChar a; MChar b ] -> C_ret (mbool (k (Stdlib.compare a b)))
       | [ MString a; MString b ] -> C_ret (mbool (k (String.compare a b)))
-      | [ MCon (a, [||]); MCon (b, [||]) ] ->
-          (* Nullary constructors compare by name, as before interning:
-             tag order is interning order, not lexicographic. *)
-          C_ret (mbool (k (String.compare (R.con_name a) (R.con_name b))))
+      | [ MCon (a, []); MCon (b, []) ] ->
+          C_ret (mbool (k (String.compare a b)))
       | _ -> type_error (P.name p ^ ": uncomparable values")
     in
     match p with
@@ -347,33 +317,29 @@ let rec run (m : t) ~(catch : bool) (code0 : code) : (mvalue, failure) result
         | [ MChar c ] -> C_ret (MInt (Char.code c))
         | _ -> type_error "ord: expected a character")
     | P.Map_exception | P.Unsafe_is_exception | P.Unsafe_get_exception ->
-        (* Handled at C_eval via dedicated IR nodes. *)
+        (* Handled at C_eval via dedicated frames. *)
         type_error (P.name p ^ ": not strict-applied")
   in
 
-  let select_alt (v : mvalue) (alts : R.ralt array) env =
-    let n = Array.length alts in
-    let rec go i =
-      if i >= n then None
-      else
-        let a = alts.(i) in
-        match (a.R.rpat, v) with
-        | R.Rpcon (tag, nb), MCon (tag', addrs)
-          when tag = tag' && Array.length addrs = nb ->
-            (* The constructor's argument array doubles as the binder
-               frame: no copy, no per-binder insertion. *)
-            Some
-              ((if nb = 0 then env else Env_frame (addrs, env)), a.R.rrhs)
-        | R.Rplit (Lit_int k), MInt mv when k = mv -> Some (env, a.R.rrhs)
-        | R.Rplit (Lit_char c), MChar c' when c = c' -> Some (env, a.R.rrhs)
-        | R.Rplit (Lit_string s), MString s' when String.equal s s' ->
-            Some (env, a.R.rrhs)
-        | R.Rpany false, _ -> Some (env, a.R.rrhs)
-        | R.Rpany true, _ ->
-            Some (Env_frame ([| alloc_value m v |], env), a.R.rrhs)
-        | (R.Rpcon _ | R.Rplit _), _ -> go (i + 1)
+  let select_alt (v : mvalue) alts env =
+    let matches a =
+      match (a.pat, v) with
+      | Pcon (c, xs), MCon (c', addrs)
+        when String.equal c c' && List.length xs = List.length addrs ->
+          Some
+            ( List.fold_left2
+                (fun acc x ad -> Env_map.add x ad acc)
+                env xs addrs,
+              a.rhs )
+      | Plit (Lit_int n), MInt mv when n = mv -> Some (env, a.rhs)
+      | Plit (Lit_char c), MChar c' when c = c' -> Some (env, a.rhs)
+      | Plit (Lit_string s), MString s' when String.equal s s' ->
+          Some (env, a.rhs)
+      | Pany None, _ -> Some (env, a.rhs)
+      | Pany (Some x), _ -> Some (Env_map.add x (alloc_value m v) env, a.rhs)
+      | (Pcon _ | Plit _), _ -> None
     in
-    go 0
+    List.find_map matches alts
   in
 
   let step () : unit =
@@ -429,57 +395,69 @@ let rec run (m : t) ~(catch : bool) (code0 : code) : (mvalue, failure) result
         | Cell_unused -> type_error "dangling address")
     | C_eval (e, env) -> (
         match e with
-        | R.RVar s -> code := C_enter (lookup m env s)
-        | R.RUnbound x ->
-            code :=
-              raise_to_code
-                (Exn.Type_error (Printf.sprintf "unbound variable %s" x))
-        | R.RLit (Lit_int n) -> code := C_ret (MInt n)
-        | R.RLit (Lit_char c) -> code := C_ret (MChar c)
-        | R.RLit (Lit_string s) -> code := C_ret (MString s)
-        | R.RLam l -> code := C_ret (MClo (l, Array.map (lookup m env) l.R.lcaps))
-        | R.RApp (f, a) ->
-            let a_addr = arg_addr m env a in
+        | Var x -> (
+            m.stats.env_lookups <- m.stats.env_lookups + 1;
+            match Env_map.find_opt x env with
+            | Some a -> code := C_enter a
+            | None ->
+                code :=
+                  raise_to_code
+                    (Exn.Type_error (Printf.sprintf "unbound variable %s" x)))
+        | Lit (Lit_int n) -> code := C_ret (MInt n)
+        | Lit (Lit_char c) -> code := C_ret (MChar c)
+        | Lit (Lit_string s) -> code := C_ret (MString s)
+        | Lam (x, body) -> code := C_ret (MClo (x, body, env))
+        | App (f, a) ->
+            let a_addr = alloc_in m env a in
             push (F_apply a_addr);
             code := C_eval (f, env)
-        | R.RCon (tag, args) ->
-            code := C_ret (MCon (tag, Array.map (arg_addr m env) args))
-        | R.RLet (a, body) ->
-            let addr = arg_addr m env a in
-            code := C_eval (body, Env_frame ([| addr |], env))
-        | R.RLetrec (specs, body) ->
+        | Con (c, es) ->
+            let addrs = List.map (alloc_in m env) es in
+            code := C_ret (MCon (c, addrs))
+        | Let (x, e1, e2) ->
+            let a = alloc_in m env e1 in
+            code := C_eval (e2, Env_map.add x a env)
+        | Letrec (binds, body) ->
             (* Reserve the cells, then tie the knot through the shared
-               binder frame: each right-hand side captures its footprint
-               from the extended environment, in which the siblings'
-               addresses already exist. *)
+               environment. *)
             let addrs =
-              Array.map (fun _ -> alloc_cell m Cell_unused) specs
+              List.map (fun _ -> alloc_cell m Cell_unused) binds
             in
-            let env' = Env_frame (addrs, env) in
-            Array.iteri
-              (fun i spec ->
-                Growarray.set m.heap addrs.(i)
-                  (Cell_thunk (spec.R.tbody, capture m env' spec.R.caps)))
-              specs;
+            let env' =
+              List.fold_left2
+                (fun acc (x, _) a -> Env_map.add x a acc)
+                env binds addrs
+            in
+            List.iter2
+              (fun (_, e1) a ->
+                Growarray.set m.heap a (Cell_thunk (e1, env')))
+              binds addrs;
             code := C_eval (body, env')
-        | R.RRaise e1 ->
+        | Fix e1 ->
+            (* fix e  ≡  letrec x = e x in x *)
+            let a = alloc_cell m Cell_unused in
+            let env' = Env_map.add "$fix" a env in
+            Growarray.set m.heap a
+              (Cell_thunk (App (e1, Var "$fix"), env'));
+            code := C_enter a
+        | Raise e1 ->
             push F_raise;
             code := C_eval (e1, env)
-        | R.RMapexn (f, v) ->
-            let f_addr = arg_addr m env f in
+        | Prim (Lang.Prim.Map_exception, [ f; v ]) ->
+            let f_addr = alloc_in m env f in
             push (F_mapexn f_addr);
             code := C_eval (v, env)
-        | R.RIsexn v ->
+        | Prim (Lang.Prim.Unsafe_is_exception, [ v ]) ->
             push F_isexn;
             code := C_eval (v, env)
-        | R.RGetexn v ->
+        | Prim (Lang.Prim.Unsafe_get_exception, [ v ]) ->
             push F_unsafe_catch;
             code := C_eval (v, env)
-        | R.RPrim (p, arg :: rest) ->
+        | Prim (p, arg :: rest) ->
             push (F_prim (p, [], rest, env));
             code := C_eval (arg, env)
-        | R.RPrim (p, []) -> type_error (Lang.Prim.name p ^ ": no arguments")
-        | R.RCase (scrut, alts) ->
+        | Prim (p, []) -> type_error (Lang.Prim.name p ^ ": no arguments")
+        | Case (scrut, alts) ->
             push (F_case (alts, env));
             code := C_eval (scrut, env))
     | C_ret v -> (
@@ -495,14 +473,8 @@ let rec run (m : t) ~(catch : bool) (code0 : code) : (mvalue, failure) result
                 m.stats.updates <- m.stats.updates + 1
             | F_apply a -> (
                 match v with
-                | MClo (l, caps) ->
-                    (* One 1-slot argument frame chained onto the
-                       captured frame: no copying of the captures. *)
-                    code :=
-                      C_eval
-                        ( l.R.lbody,
-                          Env_frame
-                            ([| a |], Env_frame (caps, Env_nil)) )
+                | MClo (x, body, cenv) ->
+                    code := C_eval (body, Env_map.add x a cenv)
                 | MInt _ | MChar _ | MString _ | MCon _ ->
                     type_error "application of a non-function")
             | F_case (alts, env) -> (
@@ -528,7 +500,7 @@ let rec run (m : t) ~(catch : bool) (code0 : code) : (mvalue, failure) result
                 code := C_ret v
             | F_isexn -> code := C_ret (mbool false)
             | F_unsafe_catch ->
-                code := C_ret (MCon (R.t_ok, [| alloc_value m v |])))))
+                code := C_ret (MCon (c_ok, [ alloc_value m v ])))))
   in
   try
     let rec loop () =
@@ -545,11 +517,11 @@ let rec run (m : t) ~(catch : bool) (code0 : code) : (mvalue, failure) result
    payload in a nested run. *)
 and mvalue_to_exn (m : t) (v : mvalue) : (Exn.t, string) result =
   match v with
-  | MCon (tag, args) -> (
+  | MCon (name, args) -> (
       let payload =
         match args with
-        | [||] -> Ok None
-        | [| a |] -> (
+        | [] -> Ok None
+        | [ a ] -> (
             match run m ~catch:false (C_enter a) with
             | Ok (MString s) -> Ok (Some s)
             | Ok _ -> Error "exception payload is not a string"
@@ -559,7 +531,6 @@ and mvalue_to_exn (m : t) (v : mvalue) : (Exn.t, string) result =
       match payload with
       | Error _ as e -> e
       | Ok p -> (
-          let name = R.con_name tag in
           match Exn.of_constructor name p with
           | Some e -> Ok e
           | None -> Error (name ^ " is not an exception constructor")))
@@ -588,12 +559,8 @@ let rec deep ?(depth = 64) m a : SV.deep =
         | MChar c -> SV.DChar c
         | MString s -> SV.DString s
         | MClo _ -> SV.DFun
-        | MCon (tag, addrs) ->
-            SV.DCon
-              ( R.con_name tag,
-                List.map
-                  (fun a' -> deep ~depth:(depth - 1) m a')
-                  (Array.to_list addrs) ))
+        | MCon (c, addrs) ->
+            SV.DCon (c, List.map (fun a' -> deep ~depth:(depth - 1) m a') addrs))
 
 let run_expr ?config e =
   let m = create ?config () in
@@ -629,20 +596,18 @@ let gc (m : t) ~(roots : addr list) : addr list =
       forward.(a) <- a';
       (* Depth-first rewrite of the freshly copied cell. OCaml's own
          stack bounds recursion depth; heaps here are small enough, and
-         long list spines alternate through environment frames which are
-         copied breadth-ish via [copy_env]. *)
+         long list spines alternate through env maps which are copied
+         breadth-ish via [copy_env]. *)
       Growarray.set new_heap a' (copy_cell (Growarray.get old_heap a));
       a'
     end
 
-  and copy_env = function
-    | Env_nil -> Env_nil
-    | Env_frame (arr, up) -> Env_frame (Array.map copy arr, copy_env up)
+  and copy_env (env : env) : env = Env_map.map copy env
 
   and copy_value = function
     | (MInt _ | MChar _ | MString _) as v -> v
-    | MCon (tag, addrs) -> MCon (tag, Array.map copy addrs)
-    | MClo (l, caps) -> MClo (l, Array.map copy caps)
+    | MCon (c, addrs) -> MCon (c, List.map copy addrs)
+    | MClo (x, body, env) -> MClo (x, body, copy_env env)
 
   and copy_code = function
     | C_eval (e, env) -> C_eval (e, copy_env env)

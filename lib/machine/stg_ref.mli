@@ -1,19 +1,12 @@
-(** The slot-compiled stack-trimming implementation of Section 3.3: a
-    lazy (call-by-need) abstract machine in the style of Sestoft's
-    mark-2 machine, extended with the paper's exception machinery, and
-    fed by the {!Lang.Resolve} compile-to-slots pass.
+(** The {e name-based reference machine}: the stack-trimming
+    implementation of Section 3.3 with string-keyed map environments,
+    kept as the measured "before" baseline (and executable spec) for the
+    compile-to-slots machine in {!Stg}. Every runtime variable lookup is
+    counted in [Stats.env_lookups]; bench Table R and the differential
+    tests compare the two machines transition for transition.
 
-    {!alloc} resolves the expression once — variables to (frame, offset)
-    slots, constructor names to interned integer tags, allocation sites
-    to precomputed free-variable footprints — and the machine then
-    evaluates the resolved IR with array-backed environments: no string
-    comparison and no string-keyed map on any runtime path
-    ([Stats.env_lookups] stays 0; [Stats.slot_reads] counts the array
-    reads that replaced it). The name-based original is preserved in
-    {!Stg_ref} as the measured baseline; bench Table R quantifies the
-    difference.
-
-    The exception machinery is unchanged from PR 1:
+    A lazy (call-by-need) abstract machine in the style of Sestoft's
+    mark-2 machine, extended with the paper's exception machinery.
 
     - [getException] "marks the evaluation stack": {!force_catch} runs the
       machine with a catch mark at the bottom of the stack.
@@ -41,11 +34,8 @@ type mvalue =
   | MInt of int
   | MChar of char
   | MString of string
-  | MCon of int * addr array
-      (** Constructor tag interned by {!Lang.Resolve.con_tag}; recover
-          the name with {!Lang.Resolve.con_name}. *)
-  | MClo of Lang.Resolve.lam * addr array
-      (** λ-closure: code template + captured addresses. *)
+  | MCon of string * addr list
+  | MClo of string * Lang.Syntax.expr * env  (** λ-closure *)
 
 and env
 
@@ -105,21 +95,14 @@ val set_mask_depth : t -> int -> unit
     switching threads, each of which carries its own depth. *)
 
 val alloc : t -> Lang.Syntax.expr -> addr
-(** Resolve a closed expression (one {!Lang.Resolve.expr} pass) and
-    allocate it as a thunk. *)
-
-val alloc_resolved : t -> Lang.Resolve.rexpr -> addr
-(** Allocate an already-resolved expression — the compile-once/run-many
-    entry point: resolve with {!Lang.Resolve.expr} ahead of time, then
-    allocate it on any number of fresh machines without re-resolving. *)
+(** Allocate a closed expression as a thunk. *)
 
 val alloc_value : t -> mvalue -> addr
 
 val alloc_app : t -> addr -> addr -> addr
 (** [alloc_app m f x]: a thunk for the application of the function at [f]
     to the argument at [x] (used by the IO driver for [>>=]
-    continuations). Uses a pre-resolved application template — no
-    resolution at runtime. *)
+    continuations). *)
 
 val inject_async : t -> at_step:int -> Lang.Exn.t -> unit
 (** Schedule an asynchronous event: it fires at the first step at or after
@@ -152,13 +135,12 @@ val deep : ?depth:int -> t -> addr -> Semantics.Sem_value.deep
 
 val run_expr :
   ?config:config -> Lang.Syntax.expr -> (mvalue, failure) result * Stats.t
-(** One-shot: resolve, allocate, force (no catch), return result and
-    stats. *)
+(** One-shot: allocate, force (no catch), return result and stats. *)
 
 val run_deep : ?config:config -> ?depth:int -> Lang.Syntax.expr ->
   Semantics.Sem_value.deep * Stats.t
-(** One-shot: resolve, allocate, force deeply. A top-level failure
-    appears as [DBad]. *)
+(** One-shot: allocate, force deeply. A top-level failure appears as
+    [DBad]. *)
 
 val gc : t -> roots:addr list -> addr list
 (** Copying garbage collection over the machine heap. Must be called

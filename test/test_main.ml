@@ -16,6 +16,7 @@ let () =
       ("conc", Test_conc.suite);
       ("programs", Test_programs.suite);
       ("machine", Test_machine.suite);
+      ("resolve", Test_resolve.suite);
       ("machine_io", Test_machine_io.suite);
       ("gc", Test_gc.suite);
       ("strictness", Test_strictness.suite);
