@@ -483,6 +483,66 @@ let table_slots ~wallclock () =
   close_out oc;
   Fmt.pr "@.(BENCH_2.json written)@."
 
+(* ------------------------------------------------------------------ *)
+(* Table T — flight-recorder overhead (observability layer)            *)
+(* ------------------------------------------------------------------ *)
+
+(* The recorder's contract: OFF it records nothing and leaves the
+   machine's step counts untouched (asserted, not assumed — including
+   under [--smoke]); ON it pays only on the exceptional/administrative
+   transitions, never on plain steps, so exception-free workloads record
+   zero events even when enabled. Wall-clock columns are Bechamel
+   estimates, skipped under [--smoke]. *)
+let table_tracing ~wallclock () =
+  header
+    "Table T (observability): flight recorder off vs on                      (slot machine, Table R' workloads)";
+  Fmt.pr "%-20s %12s %10s %10s %10s %9s@." "workload" "steps" "events on"
+    "off ns" "on ns" "overhead";
+  let big = { Machine.default_config with fuel = 50_000_000 } in
+  List.iter
+    (fun (name, src, raises) ->
+      let e = parse src in
+      let r = Resolve.expr e in
+      let run ~on () =
+        let tr = Obs.create ~capacity:256 ~on () in
+        let m = Machine.create ~config:big ~trace:tr () in
+        let a = Machine.alloc_resolved m r in
+        if raises then ignore (Machine.force_catch m a)
+        else ignore (Machine.force m a);
+        (Machine.stats m, tr)
+      in
+      let s_off, tr_off = run ~on:false () in
+      let s_on, tr_on = run ~on:true () in
+      if Obs.seen tr_off <> 0 then
+        Fmt.failwith "tracing-off recorded %d events on %s"
+          (Obs.seen tr_off) name;
+      if s_off.Stats.steps <> s_on.Stats.steps then
+        Fmt.failwith
+          "tracing changed the step count on %s: %d off vs %d on" name
+          s_off.Stats.steps s_on.Stats.steps;
+      let ns_off, ns_on =
+        if wallclock then
+          ( measure_ns ("trace-off/" ^ name) (fun () ->
+                ignore (run ~on:false ())),
+            measure_ns ("trace-on/" ^ name) (fun () ->
+                ignore (run ~on:true ())) )
+        else (None, None)
+      in
+      let fopt = function
+        | Some x -> Printf.sprintf "%.0f" x
+        | None -> "-"
+      in
+      let overhead =
+        match (ns_off, ns_on) with
+        | Some off, Some on when off > 0.0 ->
+            Printf.sprintf "%+.1f%%" (100.0 *. (on -. off) /. off)
+        | _ -> "-"
+      in
+      Fmt.pr "%-20s %12d %10d %10s %10s %9s@." name s_off.Stats.steps
+        (Obs.seen tr_on) (fopt ns_off) (fopt ns_on) overhead)
+    slot_workloads;
+  Fmt.pr "(asserted: tracing off records 0 events and identical steps)@."
+
 let make_tests () =
   let t name f = Test.make ~name (Staged.stage f) in
   let fib12 = parse (fib 12) in
@@ -589,6 +649,7 @@ let () =
   table_conc ();
   table_fault ();
   table_slots ~wallclock:(not skip_bechamel) ();
+  table_tracing ~wallclock:(not skip_bechamel) ();
   if skip_bechamel then Fmt.pr "@.(bechamel skipped)@."
   else run_bechamel ();
   Fmt.pr "@.done.@."

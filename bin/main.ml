@@ -221,13 +221,137 @@ let optimize_cmd =
     (Cmd.info "optimize" ~doc:"Run the optimisation pipeline and report.")
     Term.(const run $ fixed_arg $ expr_arg)
 
+let trace_cmd =
+  let file_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Program file defining main :: IO a.")
+  in
+  let expr_opt_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "e"; "expr" ] ~docv:"EXPR"
+          ~doc:"Trace a pure expression instead of a program file.")
+  in
+  let input_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "input" ] ~docv:"STR" ~doc:"Characters for getChar.")
+  in
+  let denot_arg =
+    Arg.(
+      value & flag
+      & info [ "denot" ]
+          ~doc:
+            "Trace the denotational IO layer (oracle picks carry the \
+             un-chosen members of the exception set) instead of the \
+             machine.")
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"N" ~doc:"Oracle seed (denotational layer).")
+  in
+  (* The uncaught exception's origin, recovered from the event stream
+     (the machine that produced it lives inside the IO driver). *)
+  let origin_from_trace tr e =
+    List.fold_left
+      (fun acc ev ->
+        match ev with
+        | (Obs.Ev_raise (x, o) | Obs.Ev_rethrow (x, o)) when x = e -> Some o
+        | _ -> acc)
+      None (Obs.events tr)
+  in
+  let pr_uncaught tr e =
+    match origin_from_trace tr e with
+    | Some o -> Fmt.pr "-- uncaught: %a (from %a)@." Exn.pp e Obs.pp_origin o
+    | None -> Fmt.pr "-- uncaught: %a@." Exn.pp e
+  in
+  let run file expr input denot seed =
+    let tr = Obs.create ~capacity:4096 ~on:true () in
+    let print_events () =
+      Fmt.pr "== flight recorder: %d event(s) ==@." (Obs.seen tr);
+      List.iteri
+        (fun i ev -> Fmt.pr "%4d  %a@." i Obs.pp_event ev)
+        (Obs.events tr)
+    in
+    match (expr, file) with
+    | None, None ->
+        Fmt.epr "trace: provide FILE or --expr EXPR@.";
+        2
+    | Some src, _ ->
+        (* Pure expression on the machine, under a catch mark. The
+           denotational set is computed first so the un-chosen members
+           carry their own raise-site origins. *)
+        let e = parse_or_die src in
+        let dset = Denot.exception_set e in
+        let m = Machine.create ~trace:tr () in
+        let a = Machine.alloc m e in
+        let r = Machine.force_catch m a in
+        print_events ();
+        (match r with
+        | Ok _ -> Fmt.pr "-- value: %a@." Value.pp_deep (Machine.deep m a)
+        | Error (Machine.Fail_exn x) | Error (Machine.Fail_async x) ->
+            Fmt.pr "-- caught: %a@." (Machine.pp_exn_with_origin m) x;
+            Fmt.pr "-- denotational set: %a@."
+              (Exn_set.pp_annotated Value.pp_exn_with_origin)
+              dset
+        | Error Machine.Fail_diverged -> Fmt.pr "-- diverged@.");
+        0
+    | None, Some f ->
+        let src = In_channel.with_open_text f In_channel.input_all in
+        let prog =
+          try parse_program src
+          with Parse_error msg ->
+            Fmt.epr "parse error: %s@." msg;
+            exit 2
+        in
+        if denot then begin
+          let oracle =
+            match seed with
+            | Some s -> Oracle.create ~seed:s
+            | None -> Oracle.first ()
+          in
+          let r = run_io ~oracle ~trace:tr ~input prog in
+          print_events ();
+          Fmt.pr "-- output: %S@." (Io.output_string_of r);
+          (match r.Io.outcome with
+          | Io.Uncaught x ->
+              Fmt.pr "-- uncaught: %a@." Value.pp_exn_with_origin x
+          | o -> Fmt.pr "-- %a@." Io.pp_outcome o);
+          match r.Io.outcome with Io.Done _ -> 0 | _ -> 1
+        end
+        else begin
+          let r = run_io_machine ~trace:tr ~input prog in
+          print_events ();
+          Fmt.pr "-- output: %S@." r.Machine_io.output;
+          (match r.Machine_io.outcome with
+          | Machine_io.Uncaught x -> pr_uncaught tr x
+          | o -> Fmt.pr "-- %a@." Machine_io.pp_outcome o);
+          match r.Machine_io.outcome with Machine_io.Done _ -> 0 | _ -> 1
+        end
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run with the flight recorder on and print the provenance-\
+          annotated event log: every raise with its origin (site label, \
+          stack depth, step), poisoned and paused thunks, catches, \
+          oracle picks, mask transitions, bracket acquire/release, GC.")
+    Term.(
+      const run $ file_arg $ expr_opt_arg $ input_arg $ denot_arg
+      $ seed_arg)
+
 let main_cmd =
   let doc = "A semantics for imprecise exceptions (PLDI 1999), executable." in
   Cmd.group
     (Cmd.info "impexn" ~version:"1.0.0" ~doc)
     [
       eval_cmd; set_cmd; run_cmd; laws_cmd; encode_cmd; optimize_cmd;
-      typecheck_cmd;
+      typecheck_cmd; trace_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

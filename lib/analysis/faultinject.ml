@@ -356,7 +356,7 @@ let machine_config fault =
       | None -> Stg.default_config.fuel);
   }
 
-let observe layer tpl fault : observation =
+let observe ?trace layer tpl fault : observation =
   let e = parse tpl.source in
   let input = input_of tpl fault in
   match layer with
@@ -364,7 +364,7 @@ let observe layer tpl fault : observation =
       let r =
         Iosem.run
           ~oracle:(Oracle.create ~seed:fault.seed)
-          ~input ~async:fault.async ~max_steps:max_transitions e
+          ?trace ~input ~async:fault.async ~max_steps:max_transitions e
       in
       let status =
         match r.Iosem.outcome with
@@ -383,7 +383,7 @@ let observe layer tpl fault : observation =
       let r =
         Conc.run
           ~oracle:(Oracle.create ~seed:fault.seed)
-          ~input ~async:fault.async ~max_steps:max_transitions e
+          ?trace ~input ~async:fault.async ~max_steps:max_transitions e
       in
       let status =
         match r.Conc.outcome with
@@ -401,7 +401,7 @@ let observe layer tpl fault : observation =
       }
   | L_machine_io ->
       let r =
-        Machine_io.run ~config:(machine_config fault) ~input
+        Machine_io.run ~config:(machine_config fault) ?trace ~input
           ~async:fault.async ~max_transitions ?gc_every:fault.gc_every e
       in
       let status =
@@ -419,7 +419,7 @@ let observe layer tpl fault : observation =
       }
   | L_machine_conc ->
       let r =
-        Machine_conc.run ~config:(machine_config fault) ~input
+        Machine_conc.run ~config:(machine_config fault) ?trace ~input
           ~async:fault.async ~max_transitions e
       in
       let status =
@@ -518,6 +518,20 @@ let check_markers tpl fault obs =
     ]
   else []
 
+(* Replay a failing (template, layer, fault) cell with the flight
+   recorder on and return its dump. Tracing is off during the sweep
+   itself (zero cost on passing schedules); only a violation pays for
+   the second, instrumented run. *)
+let trace_of_failure layer tpl fault =
+  let tr = Obs.create ~capacity:512 ~on:true () in
+  (try ignore (observe ~trace:tr layer tpl fault)
+   with Obs.Machine_invariant _ -> ());
+  Obs.dump ~last:24
+    ~note:
+      (Fmt.str "replay of failing schedule %s/%s" tpl.name
+         (layer_name layer))
+    tr
+
 let check_one tpl fault layer =
   let obs = observe layer tpl fault in
   let tag v =
@@ -528,6 +542,11 @@ let check_one tpl fault layer =
     @ check_counters obs
     @ check_markers tpl fault obs
     @ tpl.special fault obs
+  in
+  let vs =
+    match vs with
+    | [] -> []
+    | _ :: _ -> vs @ [ trace_of_failure layer tpl fault ]
   in
   (4, List.map tag vs)
 

@@ -71,8 +71,15 @@ type template = {
 
 val templates : template list
 
-val observe : layer -> template -> fault -> observation
-(** Run one template under one layer with the fault applied. *)
+val observe : ?trace:Obs.t -> layer -> template -> fault -> observation
+(** Run one template under one layer with the fault applied. [trace] is
+    threaded into the layer's flight recorder. *)
+
+val trace_of_failure : layer -> template -> fault -> string
+(** Replay one (layer, template, fault) cell with an enabled recorder
+    and return the crash-dump text. {!check_one} calls this on every
+    violation, so failing schedules always report their event trace;
+    passing schedules never pay for tracing. *)
 
 val layers_for : template -> layer list
 
@@ -81,7 +88,9 @@ val gen_fault : seed:int -> template -> fault
 
 val check_one : template -> fault -> layer -> int * string list
 (** Run and check one (template, fault, layer) cell: returns the number
-    of checks evaluated and any violations. *)
+    of checks evaluated and any violations. When there are violations,
+    the last entry is the flight-recorder dump of an instrumented
+    replay of the same schedule. *)
 
 val baseline : template -> int * string list
 (** Cross-layer agreement with no fault injected. *)

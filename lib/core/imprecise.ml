@@ -10,6 +10,8 @@
     - {!Exn}, {!Exn_set}, {!Value}, {!Denot}: the imprecise denotational
       semantics with exception sets (Section 4).
     - {!Io}, {!Oracle}: the operational IO layer (Section 4.4, 5.1).
+    - {!Obs}: the flight recorder — structured transition tracing and
+      exception provenance shared by every machine and IO layer.
     - {!Resolve}, {!Machine}, {!Machine_io}, {!Stats}: the compile-to-slots
       pass and the stack-trimming implementation (Section 3.3);
       {!Machine_ref} is the name-based baseline it is measured against.
@@ -32,6 +34,7 @@ module Subst = Lang.Subst
 module Prim = Lang.Prim
 module Con_info = Lang.Con_info
 module Exn = Lang.Exn
+module Obs = Obs
 module Exn_set = Semantics.Exn_set
 module Value = Semantics.Sem_value
 module Denot = Semantics.Denot
@@ -91,12 +94,12 @@ let exception_set ?config e = Semantics.Denot.exception_set ?config e
 
 (** Run a closed [IO] expression under the operational semantics
     (Section 4.4). *)
-let run_io ?config ?oracle ?input ?async e =
-  Semantics.Iosem.run ?config ?oracle ?input ?async e
+let run_io ?config ?oracle ?trace ?input ?async e =
+  Semantics.Iosem.run ?config ?oracle ?trace ?input ?async e
 
 (** Run a closed [IO] expression on the abstract machine. *)
-let run_io_machine ?config ?input ?async e =
-  Machine_io.run ?config ?input ?async e
+let run_io_machine ?config ?trace ?input ?async e =
+  Machine_io.run ?config ?trace ?input ?async e
 
 (** Evaluate on the abstract machine (pure, deep) and return the value
     with the machine's cost counters. *)

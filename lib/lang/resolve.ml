@@ -41,7 +41,10 @@ type rexpr =
   | RMapexn of arg * rexpr
   | RIsexn of rexpr
   | RGetexn of rexpr
-  | RRaise of rexpr
+  | RRaise of string * rexpr
+      (** The string is the raise site's static label (site number plus
+          a hint of the raised expression), threaded into the machine's
+          exception provenance. *)
 
 and arg =
   | Aslot of slot
@@ -191,6 +194,26 @@ let captures (scope : scope) (e : expr) : string array * slot array =
          names) )
 
 (* ------------------------------------------------------------------ *)
+(* Raise-site labels                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Each [raise] occurrence gets a process-wide site number (like the
+   constructor tags above) plus a hint of what it raises, so exception
+   provenance can name the site: "raise#3:UserError". *)
+let next_raise_site = ref 0
+
+let raise_label (e : expr) : string =
+  let n = !next_raise_site in
+  incr next_raise_site;
+  let hint =
+    match e with
+    | Con (c, _) -> ":" ^ c
+    | Var x -> ":" ^ x
+    | _ -> ""
+  in
+  Printf.sprintf "raise#%d%s" n hint
+
+(* ------------------------------------------------------------------ *)
 (* The pass                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -226,7 +249,7 @@ let rec resolve (scope : scope) (e : expr) : rexpr =
          desugared here so the IR needs no fixpoint node. *)
       resolve scope
         (Letrec ([ ("$fix", App (e1, Var "$fix")) ], Var "$fix"))
-  | Raise e1 -> RRaise (resolve scope e1)
+  | Raise e1 -> RRaise (raise_label e1, resolve scope e1)
   | Prim (Prim.Map_exception, [ f; v ]) ->
       RMapexn (resolve_arg scope f, resolve scope v)
   | Prim (Prim.Unsafe_is_exception, [ v ]) -> RIsexn (resolve scope v)
@@ -282,7 +305,7 @@ let rec count_nodes (r : rexpr) : int =
         (1 + count_nodes b) specs
   | RPrim (_, es) -> List.fold_left (fun acc e -> acc + count_nodes e) 1 es
   | RMapexn (a, v) -> 1 + arg a + count_nodes v
-  | RIsexn v | RGetexn v | RRaise v -> 1 + count_nodes v
+  | RIsexn v | RGetexn v | RRaise (_, v) -> 1 + count_nodes v
 
 let rec unbound (r : rexpr) : string list =
   let arg = function Aslot _ -> [] | Athunk t -> unbound t.tbody in
@@ -301,4 +324,4 @@ let rec unbound (r : rexpr) : string list =
       @ unbound b
   | RPrim (_, es) -> List.concat_map unbound es
   | RMapexn (a, v) -> arg a @ unbound v
-  | RIsexn v | RGetexn v | RRaise v -> unbound v
+  | RIsexn v | RGetexn v | RRaise (_, v) -> unbound v

@@ -30,7 +30,10 @@ type rexpr =
   | RMapexn of arg * rexpr
   | RIsexn of rexpr
   | RGetexn of rexpr
-  | RRaise of rexpr
+  | RRaise of string * rexpr
+      (** The string is the raise site's static label
+          ("raise#<site>[:<hint>]"), threaded into exception
+          provenance by the machine. *)
 
 and arg =
   | Aslot of slot  (** Argument is a variable: reuse its address. *)

@@ -53,9 +53,10 @@ type mvar = {
   mutable put_waiters : int list;
 }
 
-let run ?config ?(input = "") ?(async = []) ?(max_transitions = 100_000)
-    (e : expr) =
-  let m = Stg.create ?config () in
+let run ?config ?trace ?(input = "") ?(async = [])
+    ?(max_transitions = 100_000) (e : expr) =
+  let m = Stg.create ?config ?trace () in
+  let tr = Stg.trace m in
   List.iter (fun (k, x) -> Stg.inject_async m ~at_step:k x) async;
   let stats = Stg.stats m in
   let buf = Buffer.create 64 in
@@ -109,12 +110,14 @@ let run ?config ?(input = "") ?(async = []) ?(max_transitions = 100_000)
         | Error _ -> unwind_t t Exn.Non_termination rest)
     | F_bracket (rel, use) :: rest ->
         stats.Stats.brackets_entered <- stats.Stats.brackets_entered + 1;
+        if Obs.on tr then Obs.record tr Obs.Ev_acquire;
         Stg.pop_mask m;
         t.state <-
           Runnable
             (Stg.alloc_app m use v, F_release (Stg.alloc_app m rel v) :: rest)
     | F_release r :: rest ->
         stats.Stats.brackets_released <- stats.Stats.brackets_released + 1;
+        if Obs.on tr then Obs.record tr Obs.Ev_release;
         Stg.push_mask m;
         t.state <- Runnable (r, F_mask_pop :: F_restore v :: rest)
     | F_onexn _ :: rest -> pop_t t v rest
@@ -139,6 +142,7 @@ let run ?config ?(input = "") ?(async = []) ?(max_transitions = 100_000)
         unwind_t t exn rest
     | F_release r :: rest ->
         stats.Stats.brackets_released <- stats.Stats.brackets_released + 1;
+        if Obs.on tr then Obs.record tr Obs.Ev_release;
         Stg.push_mask m;
         t.state <- Runnable (r, F_mask_pop :: F_rethrow exn :: rest)
     | F_onexn h :: rest ->
@@ -213,6 +217,7 @@ let run ?config ?(input = "") ?(async = []) ?(max_transitions = 100_000)
       unit =
     if expired t frames then begin
       stats.Stats.timeouts_fired <- stats.Stats.timeouts_fired + 1;
+      if Obs.on tr then Obs.record tr (Obs.Ev_io "timeout fired");
       unwind_t t Exn.Timeout frames
     end
     else
@@ -290,7 +295,10 @@ let run ?config ?(input = "") ?(async = []) ?(max_transitions = 100_000)
               main_result :=
                 Some (Stuck "retry: attempts/backoff are not integers"))
       | Ok (Stg.MCon (c, [| m1 |])) when c = R.t_fork ->
-          let _child = new_thread m1 [] in
+          let child = new_thread m1 [] in
+          if Obs.on tr then
+            Obs.record tr
+              (Obs.Ev_io (Printf.sprintf "fork thread %d" child.tid));
           t.state <- Runnable (ret_value unit_v, frames)
       | Ok (Stg.MCon (c, [||])) when c = R.t_new_mvar ->
           let id = !next_mvar in

@@ -27,6 +27,7 @@ val pp_outcome : outcome Fmt.t
 
 val run :
   ?config:Stg.config ->
+  ?trace:Obs.t ->
   ?input:string ->
   ?async:(int * Lang.Exn.t) list ->
   ?max_transitions:int ->
@@ -36,4 +37,6 @@ val run :
     scheduler. The machine's step budget is refuelled at every
     transition. [async] events go into the machine's schedule and are
     delivered at the first [getException] of an unmasked thread; each
-    thread carries its own mask depth (brackets, [Mask] sections). *)
+    thread carries its own mask depth (brackets, [Mask] sections).
+    [trace] is shared with the underlying machine: the scheduler adds
+    fork, bracket and timeout events to the machine's stream. *)

@@ -68,9 +68,10 @@ let relocate_frames (fs : frame list) (addrs : Stg.addr list) : frame list =
       | (F_mask_pop | F_unmask_pop | F_timeout _ | F_rethrow _) as f -> f)
     fs
 
-let run ?config ?(input = "") ?(async = []) ?(max_transitions = 100_000)
-    ?gc_every e =
-  let m = Stg.create ?config () in
+let run ?config ?trace ?(input = "") ?(async = [])
+    ?(max_transitions = 100_000) ?gc_every e =
+  let m = Stg.create ?config ?trace () in
+  let tr = Stg.trace m in
   List.iter (fun (k, x) -> Stg.inject_async m ~at_step:k x) async;
   let buf = Buffer.create 64 in
   let reads = ref 0 in
@@ -106,6 +107,7 @@ let run ?config ?(input = "") ?(async = []) ?(max_transitions = 100_000)
     if n >= max_transitions then Io_diverged
     else if expired stack n then begin
       stats.Stats.timeouts_fired <- stats.Stats.timeouts_fired + 1;
+      if Obs.on tr then Obs.record tr (Obs.Ev_io "timeout fired");
       unwind Exn.Timeout stack n
     end
     else
@@ -203,12 +205,14 @@ let run ?config ?(input = "") ?(async = []) ?(max_transitions = 100_000)
             Stuck "async event outside getException")
     | F_bracket (rel, use) :: rest ->
         stats.Stats.brackets_entered <- stats.Stats.brackets_entered + 1;
+        if Obs.on tr then Obs.record tr Obs.Ev_acquire;
         Stg.pop_mask m;
         perform (Stg.alloc_app m use v)
           (F_release (Stg.alloc_app m rel v) :: rest)
           (n + 1)
     | F_release r :: rest ->
         stats.Stats.brackets_released <- stats.Stats.brackets_released + 1;
+        if Obs.on tr then Obs.record tr Obs.Ev_release;
         Stg.push_mask m;
         perform r (F_mask_pop :: F_restore v :: rest) (n + 1)
     | F_onexn _ :: rest -> pop v rest n
@@ -233,6 +237,7 @@ let run ?config ?(input = "") ?(async = []) ?(max_transitions = 100_000)
         unwind exn rest n
     | F_release r :: rest ->
         stats.Stats.brackets_released <- stats.Stats.brackets_released + 1;
+        if Obs.on tr then Obs.record tr Obs.Ev_release;
         Stg.push_mask m;
         perform r (F_mask_pop :: F_rethrow exn :: rest) (n + 1)
     | F_onexn h :: rest ->

@@ -27,6 +27,7 @@ val pp_outcome : outcome Fmt.t
 
 val run :
   ?config:Stg.config ->
+  ?trace:Obs.t ->
   ?input:string ->
   ?async:(int * Lang.Exn.t) list ->
   ?max_transitions:int ->
@@ -38,4 +39,6 @@ val run :
     the first [getException] whose evaluation is running at or after the
     given machine step). [gc_every] runs a heap collection every that many
     IO transitions (roots: the current action and pending
-    continuations). *)
+    continuations). [trace] is shared with the underlying machine: the
+    driver adds bracket acquire/release and timeout events to the
+    machine's raise/poison/async stream. *)

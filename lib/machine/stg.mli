@@ -79,9 +79,24 @@ val default_config : config
 type t
 (** A machine: heap + counters + pending asynchronous events. *)
 
-val create : ?config:config -> unit -> t
+val create : ?config:config -> ?trace:Obs.t -> unit -> t
+(** [trace] is the flight recorder this machine reports into (default: a
+    fresh, disabled recorder — tracing costs one dead branch on the
+    exceptional paths and nothing on the per-step fast path). *)
+
 val stats : t -> Stats.t
 val heap_size : t -> int
+
+val trace : t -> Obs.t
+(** The machine's flight recorder (enable/inspect it through {!Obs}). *)
+
+val origin_of : t -> Lang.Exn.t -> Obs.origin option
+(** Provenance of the most recent raise of this exception constant:
+    raise-site label, stack depth and step number. Maintained whether or
+    not the recorder is on. *)
+
+val pp_exn_with_origin : t -> Lang.Exn.t Fmt.t
+(** Print an exception annotated with its origin, when known. *)
 
 val refuel : t -> unit
 (** Reset the step budget to [config.fuel] — the machine counterpart of

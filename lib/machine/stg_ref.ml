@@ -24,8 +24,10 @@ type cell =
   | Cell_thunk of expr * env
   | Cell_value of mvalue
   | Cell_blackhole
-  | Cell_raise of Exn.t
-      (** Thunk poisoned by a synchronous unwinding (Section 3.3). *)
+  | Cell_raise of Exn.t * Obs.origin
+      (** Thunk poisoned by a synchronous unwinding (Section 3.3); the
+          origin of the raise rides along so a later re-entry still
+          reports where the exception originally came from. *)
   | Cell_paused of code * frame list
       (** Resumable continuation left by an asynchronous unwinding
           (Section 5.1): code to resume and the stack segment above the
@@ -77,6 +79,11 @@ type t = {
          brings the heap back under the limit: the raise itself cannot
          free memory, so without the latch every subsequent step would
          re-raise before a supervisor could recover. *)
+  trace : Obs.t;
+  prov : Obs.provenance;
+      (* Origin of the most recent raise of each exception constant;
+         maintained whether or not the recorder is on (raise paths are
+         off the per-step fast path, so this costs nothing per step). *)
 }
 
 type failure =
@@ -89,7 +96,7 @@ let pp_failure ppf = function
   | Fail_async e -> Fmt.pf ppf "async %a" Exn.pp e
   | Fail_diverged -> Fmt.string ppf "diverged"
 
-let create ?(config = default_config) () =
+let create ?(config = default_config) ?(trace = Obs.create ()) () =
   {
     heap = Growarray.create ~dummy:Cell_unused ();
     stats = Stats.create ();
@@ -98,10 +105,30 @@ let create ?(config = default_config) () =
     async = [];
     mask_depth = 0;
     heap_check_armed = true;
+    trace;
+    prov = Obs.new_provenance ();
   }
 
 let stats m = m.stats
 let heap_size m = Growarray.length m.heap
+let trace m = m.trace
+let origin_of m e = Obs.find_origin m.prov e
+let pp_exn_with_origin m = Obs.pp_exn_with m.prov
+
+(* A broken unwind or a return into an empty stack mid-step: the dead
+   branches that used to be [assert false]. Fatal, but debuggable — the
+   exception carries the flight-recorder dump and a stats snapshot. *)
+let invariant_failure (m : t) (msg : string) : 'a =
+  let extra =
+    [
+      ("stats", Fmt.str "%a" Stats.pp m.stats);
+      ("heap", Printf.sprintf "%d cells" (Growarray.length m.heap));
+      ("mask-depth", string_of_int m.mask_depth);
+    ]
+  in
+  raise
+    (Obs.Machine_invariant
+       (Obs.dump ~note:("machine invariant violated: " ^ msg) ~extra m.trace))
 
 let refuel m = m.fuel_left <- m.cfg.fuel
 
@@ -109,9 +136,14 @@ let mask_depth m = m.mask_depth
 
 let push_mask m =
   m.mask_depth <- m.mask_depth + 1;
-  m.stats.masked_sections <- m.stats.masked_sections + 1
+  m.stats.masked_sections <- m.stats.masked_sections + 1;
+  if Obs.on m.trace then Obs.record m.trace Obs.Ev_mask_push
 
-let pop_mask m = if m.mask_depth > 0 then m.mask_depth <- m.mask_depth - 1
+let pop_mask m =
+  if m.mask_depth > 0 then begin
+    m.mask_depth <- m.mask_depth - 1;
+    if Obs.on m.trace then Obs.record m.trace Obs.Ev_mask_pop
+  end
 let set_mask_depth m d = m.mask_depth <- max 0 d
 
 let alloc_cell m cell =
@@ -167,10 +199,19 @@ let rec run (m : t) ~(catch : bool) (code0 : code) : (mvalue, failure) result
   in
   let type_error msg = raise (Machine_stuck (Fail_exn (Exn.Type_error msg))) in
 
+  (* Register the origin of a raise (provenance is always-on: raises are
+     off the fast path) and record the event when the recorder is on. *)
+  let note_raise label exn =
+    let o = Obs.origin ~label ~depth:!depth ~step:m.stats.steps in
+    Obs.set_origin m.prov exn o;
+    if Obs.on m.trace then Obs.record m.trace (Obs.Ev_raise (exn, o));
+    o
+  in
+
   (* Synchronous unwinding: trim to the mark, poisoning update frames
      (Section 3.3). Returns [Some code'] to continue executing, or [None]
      when the stack is fully unwound (the failure reaches the caller). *)
-  let rec unwind_sync (exn : Exn.t) : code option =
+  let rec unwind_sync (o : Obs.origin) (exn : Exn.t) : code option =
     match !stack with
     | [] -> raise (Machine_stuck (Fail_exn exn))
     | f :: rest -> (
@@ -184,10 +225,12 @@ let rec run (m : t) ~(catch : bool) (code0 : code) : (mvalue, failure) result
                the paper warns about: re-evaluation then sees a black
                hole, not the exception. *)
             if m.cfg.poison_thunks then begin
-              Growarray.set m.heap a (Cell_raise exn);
-              m.stats.thunks_poisoned <- m.stats.thunks_poisoned + 1
+              Growarray.set m.heap a (Cell_raise (exn, o));
+              m.stats.thunks_poisoned <- m.stats.thunks_poisoned + 1;
+              if Obs.on m.trace then
+                Obs.record m.trace (Obs.Ev_poison (a, exn))
             end;
-            unwind_sync exn
+            unwind_sync o exn
         | F_isexn ->
             (* unsafeIsException observes the raise and answers True. *)
             Some (C_ret (MCon (c_true, [])))
@@ -211,13 +254,32 @@ let rec run (m : t) ~(catch : bool) (code0 : code) : (mvalue, failure) result
             match run m ~catch:false (C_enter a) with
             | Ok v -> (
                 match mvalue_to_exn m v with
-                | Ok exn' -> unwind_sync exn'
+                | Ok exn' -> unwind_sync (note_raise "mapException" exn') exn'
                 | Error msg ->
-                    unwind_sync (Exn.Type_error ("mapException: " ^ msg)))
-            | Error (Fail_exn exn') -> unwind_sync exn'
+                    let exn' = Exn.Type_error ("mapException: " ^ msg) in
+                    unwind_sync (note_raise "mapException" exn') exn')
+            | Error (Fail_exn exn') ->
+                unwind_sync (note_raise "mapException" exn') exn'
             | Error (Fail_async _ | Fail_diverged) ->
                 raise (Machine_stuck Fail_diverged))
-        | F_apply _ | F_case _ | F_prim _ | F_raise -> unwind_sync exn)
+        | F_apply _ | F_case _ | F_prim _ | F_raise -> unwind_sync o exn)
+  in
+
+  (* A fresh raise at a labelled site, continued as machine code. *)
+  let raise_to_code ?(label = "raise") exn =
+    match unwind_sync (note_raise label exn) exn with
+    | Some c -> c
+    | None -> invariant_failure m "unwind_sync returned no continuation"
+  in
+
+  (* A poisoned thunk re-entered: replay the raise with its original
+     origin intact. *)
+  let reraise_to_code o exn =
+    Obs.set_origin m.prov exn o;
+    if Obs.on m.trace then Obs.record m.trace (Obs.Ev_rethrow (exn, o));
+    match unwind_sync o exn with
+    | Some c -> c
+    | None -> invariant_failure m "unwind_sync returned no continuation"
   in
 
   (* Asynchronous unwinding (Section 5.1): pause cells instead of poison,
@@ -225,6 +287,8 @@ let rec run (m : t) ~(catch : bool) (code0 : code) : (mvalue, failure) result
      is the stack slice above its update frame, top first. *)
   let unwind_async (exn : Exn.t) : 'a =
     m.stats.async_delivered <- m.stats.async_delivered + 1;
+    ignore (note_raise "async" exn);
+    if Obs.on m.trace then Obs.record m.trace (Obs.Ev_async exn);
     let rec go cur_code buf st =
       match st with
       | [] ->
@@ -234,6 +298,7 @@ let rec run (m : t) ~(catch : bool) (code0 : code) : (mvalue, failure) result
       | F_update a :: rest ->
           Growarray.set m.heap a (Cell_paused (cur_code, List.rev buf));
           m.stats.thunks_paused <- m.stats.thunks_paused + 1;
+          if Obs.on m.trace then Obs.record m.trace (Obs.Ev_pause a);
           go (C_enter a) [] rest
       | f :: rest -> go cur_code (f :: buf) rest
     in
@@ -253,14 +318,7 @@ let rec run (m : t) ~(catch : bool) (code0 : code) : (mvalue, failure) result
   let arith n =
     let bound = 1 lsl (m.cfg.int_bits - 1) in
     if n >= -bound && n < bound then C_ret (MInt n)
-    else
-      match unwind_sync Exn.Overflow with
-      | Some c -> c
-      | None -> assert false
-  in
-
-  let raise_to_code exn =
-    match unwind_sync exn with Some c -> c | None -> assert false
+    else raise_to_code ~label:"arith-overflow" Exn.Overflow
   in
 
   let mbool b = MCon ((if b then c_true else c_false), []) in
@@ -287,11 +345,11 @@ let rec run (m : t) ~(catch : bool) (code0 : code) : (mvalue, failure) result
     | P.Mul -> int2 (fun a b -> arith (a * b))
     | P.Div ->
         int2 (fun a b ->
-            if b = 0 then raise_to_code Exn.Divide_by_zero
+            if b = 0 then raise_to_code ~label:"div" Exn.Divide_by_zero
             else arith (a / b))
     | P.Mod ->
         int2 (fun a b ->
-            if b = 0 then raise_to_code Exn.Divide_by_zero
+            if b = 0 then raise_to_code ~label:"mod" Exn.Divide_by_zero
             else arith (a mod b))
     | P.Neg -> (
         match vs with
@@ -354,18 +412,18 @@ let rec run (m : t) ~(catch : bool) (code0 : code) : (mvalue, failure) result
       match m.cfg.stack_limit with
       | Some lim when !depth > lim ->
           m.stats.stack_overflows <- m.stats.stack_overflows + 1;
-          Some Exn.Stack_overflow_exn
+          Some ("stack-limit", Exn.Stack_overflow_exn)
       | _ -> (
           match m.cfg.heap_limit with
           | Some lim when m.heap_check_armed && Growarray.length m.heap >= lim
             ->
               m.heap_check_armed <- false;
               m.stats.heap_overflows <- m.stats.heap_overflows + 1;
-              Some Exn.Heap_overflow
+              Some ("heap-limit", Exn.Heap_overflow)
           | _ -> None)
     in
     match exhausted with
-    | Some exn -> code := raise_to_code exn
+    | Some (label, exn) -> code := raise_to_code ~label exn
     | None -> (
     (match pending_async () with
     | Some x -> unwind_async x
@@ -381,16 +439,18 @@ let rec run (m : t) ~(catch : bool) (code0 : code) : (mvalue, failure) result
         | Cell_blackhole ->
             (* Section 5.2: a detectable bottom. *)
             if m.cfg.blackhole_nontermination then
-              code := raise_to_code Exn.Non_termination
+              code := raise_to_code ~label:"blackhole" Exn.Non_termination
             else raise (Machine_stuck Fail_diverged)
-        | Cell_raise exn ->
-            (* A poisoned thunk: re-raise the same exception. *)
-            code := raise_to_code exn
+        | Cell_raise (exn, o) ->
+            (* A poisoned thunk: re-raise the same exception, with the
+               origin of the poisoning raise intact. *)
+            code := reraise_to_code o exn
         | Cell_paused (code', seg) ->
             (* Resume the interrupted evaluation (Section 5.1). *)
             Growarray.set m.heap a Cell_blackhole;
             push (F_update a);
             List.iter push (List.rev seg);
+            if Obs.on m.trace then Obs.record m.trace (Obs.Ev_resume a);
             code := code'
         | Cell_unused -> type_error "dangling address")
     | C_eval (e, env) -> (
@@ -401,7 +461,7 @@ let rec run (m : t) ~(catch : bool) (code0 : code) : (mvalue, failure) result
             | Some a -> code := C_enter a
             | None ->
                 code :=
-                  raise_to_code
+                  raise_to_code ~label:"unbound"
                     (Exn.Type_error (Printf.sprintf "unbound variable %s" x)))
         | Lit (Lit_int n) -> code := C_ret (MInt n)
         | Lit (Lit_char c) -> code := C_ret (MChar c)
@@ -463,8 +523,9 @@ let rec run (m : t) ~(catch : bool) (code0 : code) : (mvalue, failure) result
     | C_ret v -> (
         match !stack with
         | [] ->
-            (* Handled by the caller of [step]. *)
-            assert false
+            (* [loop] returns before stepping a finished configuration,
+               so reaching here means the driver invariant broke. *)
+            invariant_failure m "C_ret with an empty stack reached step"
         | f :: rest -> (
             pop_to rest;
             match f with
@@ -481,7 +542,9 @@ let rec run (m : t) ~(catch : bool) (code0 : code) : (mvalue, failure) result
                 match select_alt v alts env with
                 | Some (env', rhs) -> code := C_eval (rhs, env')
                 | None ->
-                    code := raise_to_code (Exn.Pattern_match_fail "case"))
+                    code :=
+                      raise_to_code ~label:"case"
+                        (Exn.Pattern_match_fail "case"))
             | F_prim (p, done_, remaining, env) -> (
                 let done' = done_ @ [ v ] in
                 match remaining with
@@ -491,9 +554,11 @@ let rec run (m : t) ~(catch : bool) (code0 : code) : (mvalue, failure) result
                     code := C_eval (next, env))
             | F_raise -> (
                 match mvalue_to_exn m v with
-                | Ok exn -> code := raise_to_code exn
+                | Ok exn -> code := raise_to_code ~label:"raise" exn
                 | Error msg ->
-                    code := raise_to_code (Exn.Type_error ("raise: " ^ msg)))
+                    code :=
+                      raise_to_code ~label:"raise"
+                        (Exn.Type_error ("raise: " ^ msg)))
             | F_mapexn _ ->
                 (* The protected value was normal: mapException is the
                    identity. *)
@@ -540,7 +605,13 @@ let force m a = run m ~catch:false (C_enter a)
 
 let force_catch m a =
   m.stats.catches <- m.stats.catches + 1;
-  run m ~catch:true (C_enter a)
+  let r = run m ~catch:true (C_enter a) in
+  (if Obs.on m.trace then
+     match r with
+     | Error (Fail_exn e) | Error (Fail_async e) ->
+         Obs.record m.trace (Obs.Ev_catch (Some e))
+     | Ok _ | Error Fail_diverged -> Obs.record m.trace (Obs.Ev_catch None));
+  r
 
 type deep_result = DV of Semantics.Sem_value.deep | DFail of failure
 
@@ -629,7 +700,7 @@ let gc (m : t) ~(roots : addr list) : addr list =
     | Cell_thunk (e, env) -> Cell_thunk (e, copy_env env)
     | Cell_value v -> Cell_value (copy_value v)
     | Cell_blackhole -> Cell_blackhole
-    | Cell_raise e -> Cell_raise e
+    | Cell_raise _ as c -> c
     | Cell_paused (code, frames) ->
         Cell_paused (copy_code code, List.map copy_frame frames)
     | Cell_unused -> Cell_unused
@@ -639,6 +710,8 @@ let gc (m : t) ~(roots : addr list) : addr list =
   m.stats.collections <- m.stats.collections + 1;
   m.stats.live_copied <-
     m.stats.live_copied + Growarray.length new_heap;
+  if Obs.on m.trace then
+    Obs.record m.trace (Obs.Ev_gc (old_len, Growarray.length new_heap));
   (* Re-arm the heap limit only once a collection has actually brought the
      heap back under it; otherwise the next step would re-raise before the
      supervisor makes progress. *)

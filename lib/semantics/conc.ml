@@ -82,7 +82,9 @@ type mvar = {
 let mvar_con = "MVarRef"
 
 let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
-    ?(input = "") ?(async = []) ?(max_steps = 200_000) (e : expr) =
+    ?(trace = Obs.create ()) ?(input = "") ?(async = [])
+    ?(max_steps = 200_000) (e : expr) =
+  let tr = trace in
   let trace_rev = ref [] in
   let emit ev = trace_rev := ev :: !trace_rev in
   let threads : thread list ref = ref [] in
@@ -124,11 +126,28 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
         | Bad s -> Bad s)
   in
 
+  (* See {!Iosem}: the oracle pick, recorded with the un-chosen rest. *)
+  let pick s =
+    let x = Oracle.pick_exception oracle s in
+    if Obs.on tr then begin
+      let unchosen =
+        match Exn_set.elements s with
+        | None -> []
+        | Some es -> List.filter (fun e -> e <> x) es
+      in
+      Obs.record tr (Obs.Ev_oracle_pick (x, unchosen))
+    end;
+    x
+  in
   let enter_mask t =
     t.mask <- t.mask + 1;
-    counters.masked_sections <- counters.masked_sections + 1
+    counters.masked_sections <- counters.masked_sections + 1;
+    if Obs.on tr then Obs.record tr Obs.Ev_mask_push
   in
-  let leave_mask t = t.mask <- max 0 (t.mask - 1) in
+  let leave_mask t =
+    t.mask <- max 0 (t.mask - 1);
+    if Obs.on tr then Obs.record tr Obs.Ev_mask_pop
+  in
 
   let pending_async (t : thread) =
     if t.mask > 0 then None
@@ -162,13 +181,15 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
         match force k with
         | Ok_v (VFun f) -> t.state <- Runnable (delay (fun () -> f v), rest)
         | Ok_v _ -> main_result := Some (Stuck ">>=: not a function")
-        | Bad s -> unwind_t t (Oracle.pick_exception oracle s) rest)
+        | Bad s -> unwind_t t (pick s) rest)
     | F_bracket (rel, use) :: rest ->
         counters.brackets_entered <- counters.brackets_entered + 1;
+        if Obs.on tr then Obs.record tr Obs.Ev_acquire;
         leave_mask t;
         t.state <- Runnable (apply use v, F_release (apply rel v) :: rest)
     | F_release r :: rest ->
         counters.brackets_released <- counters.brackets_released + 1;
+        if Obs.on tr then Obs.record tr Obs.Ev_release;
         enter_mask t;
         t.state <- Runnable (r, F_mask_pop :: F_restore v :: rest)
     | F_onexn _ :: rest -> pop_t t v rest
@@ -195,6 +216,7 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
         unwind_t t e rest
     | F_release r :: rest ->
         counters.brackets_released <- counters.brackets_released + 1;
+        if Obs.on tr then Obs.record tr Obs.Ev_release;
         enter_mask t;
         t.state <- Runnable (r, F_mask_pop :: F_rethrow e :: rest)
     | F_onexn h :: rest ->
@@ -272,6 +294,7 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
         Denot.refill fuel_handle;
         if expired t frames then begin
           counters.timeouts_fired <- counters.timeouts_fired + 1;
+          if Obs.on tr then Obs.record tr (Obs.Ev_io "timeout fired");
           unwind_t t Exn.Timeout frames;
           true
         end
@@ -283,7 +306,7 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
                 true
               end
               else begin
-                unwind_t t (Oracle.pick_exception oracle s) frames;
+                unwind_t t (pick s) frames;
                 true
               end
           | Ok_v (VCon (c, [ v ])) when String.equal c c_return ->
@@ -315,12 +338,16 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
                   main_result := Some (Stuck "putChar: not a character");
                   true
               | Bad s ->
-                  unwind_t t (Oracle.pick_exception oracle s) frames;
+                  unwind_t t (pick s) frames;
                   true)
           | Ok_v (VCon (c, [ v ])) when String.equal c c_get_exception -> (
               match pending_async t with
               | Some x ->
                   counters.async_delivered <- counters.async_delivered + 1;
+                  if Obs.on tr then begin
+                    Obs.record tr (Obs.Ev_async x);
+                    Obs.record tr (Obs.Ev_catch (Some x))
+                  end;
                   emit (E_async (t.tid, x));
                   t.state <-
                     Runnable
@@ -332,9 +359,12 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
                   (let w =
                      match force v with
                      | Ok_v value ->
+                         if Obs.on tr then Obs.record tr (Obs.Ev_catch None);
                          Ok_v (VCon (c_ok, [ from_whnf (Ok_v value) ]))
                      | Bad s ->
-                         let x = Oracle.pick_exception oracle s in
+                         let x = pick s in
+                         if Obs.on tr then
+                           Obs.record tr (Obs.Ev_catch (Some x));
                          Ok_v (VCon (c_bad, [ from_whnf (exn_to_value x) ]))
                    in
                    t.state <- Runnable (return_thunk w, frames));
@@ -365,7 +395,7 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
                   main_result := Some (Stuck "timeout: budget is not an integer");
                   true
               | Bad s ->
-                  unwind_t t (Oracle.pick_exception oracle s) frames;
+                  unwind_t t (pick s) frames;
                   true)
           | Ok_v (VCon (c, [ n; b; m1 ])) when String.equal c c_retry -> (
               match (force n, force b) with
@@ -375,7 +405,7 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
                       (m1, F_retry (m1, max 0 attempts, max 1 backoff) :: frames);
                   true
               | Bad s, _ | _, Bad s ->
-                  unwind_t t (Oracle.pick_exception oracle s) frames;
+                  unwind_t t (pick s) frames;
                   true
               | _ ->
                   main_result :=
@@ -383,6 +413,9 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
                   true)
           | Ok_v (VCon (c, [ m1 ])) when String.equal c "Fork" ->
               let child = new_thread m1 [] in
+              if Obs.on tr then
+                Obs.record tr
+                  (Obs.Ev_io (Printf.sprintf "fork thread %d" child.tid));
               emit (E_fork (t.tid, child.tid));
               t.state <-
                 Runnable (return_thunk (Ok_v (VCon (c_unit, []))), frames);

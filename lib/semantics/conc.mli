@@ -59,13 +59,16 @@ val pp_outcome : outcome Fmt.t
 val run :
   ?config:Denot.config ->
   ?oracle:Oracle.t ->
+  ?trace:Obs.t ->
   ?input:string ->
   ?async:Iosem.schedule ->
   ?max_steps:int ->
   Lang.Syntax.expr ->
   result
 (** Perform a closed [IO] expression with the concurrent scheduler
-    (round-robin, one transition per thread per turn). *)
+    (round-robin, one transition per thread per turn). [trace] receives
+    structured oracle-pick, catch, async, mask, bracket, fork and
+    timeout events. *)
 
 val output_string_of : result -> string
 (** Characters written by all threads, in global order. *)

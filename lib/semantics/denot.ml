@@ -30,14 +30,14 @@ let bind_whnf x w env = Env_map.add x (from_whnf w) env
 
 type ctx = { mutable fuel : int; cfg : config }
 
-let type_error msg = Bad (Exn_set.singleton (Exn.Type_error msg))
+let type_error msg = bad_at ~label:"type-error" (Exn.Type_error msg)
 
 (* Checked arithmetic: the paper's [⊕] raises Overflow outside
    [-2^31, 2^31] (Section 4.2). *)
 let arith_result cfg n =
   let bound = 1 lsl (cfg.int_bits - 1) in
   if n >= -bound && n < bound then Ok_v (VInt n)
-  else Bad (Exn_set.singleton Exn.Overflow)
+  else bad_at ~label:"arith-overflow" Exn.Overflow
 
 let rec eval_ctx (ctx : ctx) (env : env) (e : expr) : whnf =
   if ctx.fuel <= 0 then bad_all
@@ -77,7 +77,7 @@ let rec eval_ctx (ctx : ctx) (env : env) (e : expr) : whnf =
         force (delay_self (fun t -> apply ctx (eval_ctx ctx env e1) t))
     | Raise e1 -> (
         match exn_of_whnf (eval_ctx ctx env e1) with
-        | Ok exn -> Bad (Exn_set.singleton exn)
+        | Ok exn -> bad_at ~label:"raise" exn
         | Error w -> w)
     | Prim (p, args) -> eval_prim ctx env p args
     | Case (scrut, alts) -> eval_case ctx env (eval_ctx ctx env scrut) alts
@@ -104,7 +104,7 @@ and eval_case ctx env (scrut_w : whnf) (alts : alt list) : whnf =
             List.fold_left (fun acc (x, t) -> bind x t acc) env binds
           in
           eval_ctx ctx env' rhs
-      | None -> Bad (Exn_set.singleton (Exn.Pattern_match_fail "case")))
+      | None -> bad_at ~label:"case" (Exn.Pattern_match_fail "case"))
   | Bad s when not ctx.cfg.case_finding ->
       (* Ablation: "return just that set" — rejected in Section 4.3. *)
       Bad s
@@ -178,11 +178,11 @@ and eval_prim ctx env (p : Lang.Prim.t) (args : expr list) : whnf =
   | P.Mul, [ e1; e2 ] -> int2 e1 e2 (fun a b -> arith_result ctx.cfg (a * b))
   | P.Div, [ e1; e2 ] ->
       int2 e1 e2 (fun a b ->
-          if b = 0 then Bad (Exn_set.singleton Exn.Divide_by_zero)
+          if b = 0 then bad_at ~label:"div" Exn.Divide_by_zero
           else arith_result ctx.cfg (a / b))
   | P.Mod, [ e1; e2 ] ->
       int2 e1 e2 (fun a b ->
-          if b = 0 then Bad (Exn_set.singleton Exn.Divide_by_zero)
+          if b = 0 then bad_at ~label:"mod" Exn.Divide_by_zero
           else arith_result ctx.cfg (a mod b))
   | P.Neg, [ e1 ] ->
       strict1 e1 (function

@@ -48,11 +48,22 @@ let map f = function
   | All -> All
   | Finite s -> Finite (Exn.Set.map f s)
 
-let filter_async = function
+(* Formerly (mis)named [filter_async]: it always *kept* the synchronous
+   members, i.e. dropped the asynchronous ones. *)
+let drop_async = function
   | All -> All
   | Finite s -> Finite (Exn.Set.filter Exn.is_synchronous s)
+
+let keep_async = function
+  | All -> All
+  | Finite s -> Finite (Exn.Set.filter Exn.is_asynchronous s)
 
 let pp ppf = function
   | All -> Fmt.string ppf "{ALL}"
   | Finite s ->
       Fmt.pf ppf "{%a}" Fmt.(list ~sep:comma Exn.pp) (Exn.Set.elements s)
+
+let pp_annotated pp_exn ppf = function
+  | All -> Fmt.string ppf "{ALL}"
+  | Finite s ->
+      Fmt.pf ppf "{%a}" Fmt.(list ~sep:comma pp_exn) (Exn.Set.elements s)

@@ -48,8 +48,18 @@ val map : (Lang.Exn.t -> Lang.Exn.t) -> t -> t
 (** Set-map; [All] maps to [All] (the members cannot be enumerated). This is
     the semantic core of [mapException] (Section 5.4). *)
 
-val filter_async : t -> t
-(** Remove asynchronous exception constants (they are never part of a
-    denotation; Section 5.1). [All] is unchanged. *)
+val drop_async : t -> t
+(** Keep only the synchronous members, dropping asynchronous exception
+    constants (which are never part of a denotation; Section 5.1). [All]
+    is unchanged — its members cannot be enumerated. Formerly misnamed
+    [filter_async], which read as if it removed the synchronous side. *)
+
+val keep_async : t -> t
+(** The complement of {!drop_async}: keep only the asynchronous members.
+    [All] is unchanged. *)
 
 val pp : t Fmt.t
+
+val pp_annotated : Lang.Exn.t Fmt.t -> t Fmt.t
+(** Print with a caller-supplied member printer — used by the flight
+    recorder to annotate each member with its raise-site provenance. *)

@@ -89,7 +89,9 @@ type frame =
           finishes (the cleanup's own result is discarded). *)
 
 let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
-    ?(input = "") ?(async = []) ?(max_steps = 100_000) (e : expr) =
+    ?(trace = Obs.create ()) ?(input = "") ?(async = [])
+    ?(max_steps = 100_000) (e : expr) =
+  let tr = trace in
   let st =
     {
       oracle;
@@ -101,12 +103,31 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
     }
   in
   let counters = fresh_counters () in
+  (* Ask the oracle for a member of [s], recording both the chosen member
+     and the members that were *not* chosen — the imprecision the
+     operational layer hides. *)
+  let pick s =
+    let x = Oracle.pick_exception st.oracle s in
+    if Obs.on tr then begin
+      let unchosen =
+        match Exn_set.elements s with
+        | None -> []
+        | Some es -> List.filter (fun e -> e <> x) es
+      in
+      Obs.record tr (Obs.Ev_oracle_pick (x, unchosen))
+    end;
+    x
+  in
   let mask = ref 0 in
   let enter_mask () =
     incr mask;
-    counters.masked_sections <- counters.masked_sections + 1
+    counters.masked_sections <- counters.masked_sections + 1;
+    if Obs.on tr then Obs.record tr Obs.Ev_mask_push
   in
-  let leave_mask () = mask := max 0 (!mask - 1) in
+  let leave_mask () =
+    mask := max 0 (!mask - 1);
+    if Obs.on tr then Obs.record tr Obs.Ev_mask_pop
+  in
   let fuel_handle = Denot.handle config in
   let main_thunk =
     delay (fun () -> Denot.eval_in fuel_handle Denot.empty_env e)
@@ -137,6 +158,7 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
       Denot.refill fuel_handle;
       if expired stack then begin
         counters.timeouts_fired <- counters.timeouts_fired + 1;
+        if Obs.on tr then Obs.record tr (Obs.Ev_io "timeout fired");
         unwind Exn.Timeout stack
       end
       else
@@ -148,7 +170,7 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
             else
               match Exn_set.choose s with
               | None -> Stuck "exceptional IO value with empty set"
-              | Some _ -> unwind (Oracle.pick_exception st.oracle s) stack)
+              | Some _ -> unwind (pick s) stack)
         | Ok_v (VCon (c, [ t ])) when String.equal c c_return -> pop t stack
         | Ok_v (VCon (c, [ m1; k ])) when String.equal c c_bind ->
             perform m1 (F_k k :: stack)
@@ -165,13 +187,17 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
                 emit st (E_write ch);
                 perform (return_thunk (vcon0 c_unit)) stack
             | Ok_v _ -> Stuck "putChar: not a character"
-            | Bad s -> unwind (Oracle.pick_exception st.oracle s) stack)
+            | Bad s -> unwind (pick s) stack)
         | Ok_v (VCon (c, [ t ])) when String.equal c c_get_exception -> (
             match if !mask = 0 then pending_async st else None with
             | Some x ->
                 (* getException v —¡x→ return (Bad x): v may be discarded
                    even if normal (Section 5.1). *)
                 counters.async_delivered <- counters.async_delivered + 1;
+                if Obs.on tr then begin
+                  Obs.record tr (Obs.Ev_async x);
+                  Obs.record tr (Obs.Ev_catch (Some x))
+                end;
                 emit st (E_async x);
                 perform
                   (return_thunk
@@ -180,6 +206,7 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
             | None -> (
                 match force t with
                 | Ok_v v ->
+                    if Obs.on tr then Obs.record tr (Obs.Ev_catch None);
                     perform
                       (return_thunk
                          (Ok_v (VCon (c_ok, [ from_whnf (Ok_v v) ]))))
@@ -190,7 +217,8 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
                     else if Exn_set.is_empty s then
                       Stuck "getException: empty exception set"
                     else
-                      let x = Oracle.pick_exception st.oracle s in
+                      let x = pick s in
+                      if Obs.on tr then Obs.record tr (Obs.Ev_catch (Some x));
                       perform
                         (return_thunk
                            (Ok_v
@@ -215,14 +243,13 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
             | Ok_v (VInt k) ->
                 perform m1 (F_timeout (st.steps + max 0 k) :: stack)
             | Ok_v _ -> Stuck "timeout: budget is not an integer"
-            | Bad s -> unwind (Oracle.pick_exception st.oracle s) stack)
+            | Bad s -> unwind (pick s) stack)
         | Ok_v (VCon (c, [ n; b; m1 ])) when String.equal c c_retry -> (
             match (force n, force b) with
             | Ok_v (VInt attempts), Ok_v (VInt backoff) ->
                 perform m1
                   (F_retry (m1, max 0 attempts, max 1 backoff) :: stack)
-            | Bad s, _ | _, Bad s ->
-                unwind (Oracle.pick_exception st.oracle s) stack
+            | Bad s, _ | _, Bad s -> unwind (pick s) stack
             | _ -> Stuck "retry: attempts/backoff are not integers")
         | Ok_v _ -> Stuck "not an IO value"
     end
@@ -235,15 +262,17 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
         match force k with
         | Ok_v (VFun f) -> perform (delay (fun () -> f v)) rest
         | Ok_v _ -> Stuck ">>=: continuation is not a function"
-        | Bad s -> unwind (Oracle.pick_exception st.oracle s) rest)
+        | Bad s -> unwind (pick s) rest)
     | F_bracket (rel, use) :: rest ->
         (* Acquire finished: the release is now registered; unmask and run
            the use phase under its protection. *)
         counters.brackets_entered <- counters.brackets_entered + 1;
+        if Obs.on tr then Obs.record tr Obs.Ev_acquire;
         leave_mask ();
         perform (apply use v) (F_release (apply rel v) :: rest)
     | F_release r :: rest ->
         counters.brackets_released <- counters.brackets_released + 1;
+        if Obs.on tr then Obs.record tr Obs.Ev_release;
         enter_mask ();
         perform r (F_mask_pop :: F_restore v :: rest)
     | F_onexn _ :: rest -> pop v rest
@@ -270,6 +299,7 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
         unwind e rest
     | F_release r :: rest ->
         counters.brackets_released <- counters.brackets_released + 1;
+        if Obs.on tr then Obs.record tr Obs.Ev_release;
         enter_mask ();
         perform r (F_mask_pop :: F_rethrow e :: rest)
     | F_onexn h :: rest ->

@@ -75,12 +75,16 @@ type schedule = (int * Lang.Exn.t) list
 val run :
   ?config:Denot.config ->
   ?oracle:Oracle.t ->
+  ?trace:Obs.t ->
   ?input:string ->
   ?async:schedule ->
   ?max_steps:int ->
   Lang.Syntax.expr ->
   result
-(** Perform a closed expression of type [IO t]. *)
+(** Perform a closed expression of type [IO t]. [trace] receives a
+    structured event per oracle pick (chosen member plus the un-chosen
+    rest of the set), catch, async delivery, mask transition, bracket
+    acquire/release and timeout. *)
 
 val output_string_of : result -> string
 (** The characters written, in order. *)

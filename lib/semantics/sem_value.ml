@@ -39,6 +39,20 @@ let s_of = function Ok_v _ -> Exn_set.empty | Bad s -> s
 let bad_all = Bad Exn_set.bottom
 let bad e = Bad (Exn_set.singleton e)
 let bad_empty = Bad Exn_set.empty
+
+(* Shared provenance registry for the denotational layer: every labelled
+   raise site deposits the origin of its exception here, keyed by the
+   exception constant (most recent raise wins), so [getException]'s
+   chosen member can be printed with where it came from. Denotational
+   evaluation has no step counter or stack depth, so origins carry the
+   label only. *)
+let provenance : Obs.provenance = Obs.new_provenance ()
+
+let bad_at ~label e =
+  Obs.set_origin provenance e (Obs.origin ~label ~depth:0 ~step:0);
+  Bad (Exn_set.singleton e)
+
+let pp_exn_with_origin ppf e = Obs.pp_exn_with provenance ppf e
 let vint n = Ok_v (VInt n)
 
 let vcon0 c = Ok_v (VCon (c, []))

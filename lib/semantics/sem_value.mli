@@ -39,6 +39,18 @@ val bad : Lang.Exn.t -> whnf
 val bad_empty : whnf
 (** The "strange value" [Bad {}] (Section 4.3). *)
 
+val provenance : Obs.provenance
+(** Raise-site provenance for the denotational layer, keyed by exception
+    constant; most recent raise wins. Origins here carry a site label
+    only (no step counter or stack depth exists denotationally). *)
+
+val bad_at : label:string -> Lang.Exn.t -> whnf
+(** [bad e], registering [label] as the exception's origin in
+    {!provenance}. *)
+
+val pp_exn_with_origin : Lang.Exn.t Fmt.t
+(** Print an exception annotated with its {!provenance} origin. *)
+
 val vint : int -> whnf
 val vbool : bool -> whnf
 val vcon0 : string -> whnf

@@ -64,10 +64,31 @@ let suite =
           (ES.map
              (fun _ -> Exn.Overflow)
              (ES.of_list [ Exn.Divide_by_zero; Exn.User_error "x" ])));
-    Helpers.tc "filter_async removes async members" (fun () ->
-        Alcotest.check Helpers.exn_set "filter"
+    Helpers.tc "drop_async removes async members" (fun () ->
+        Alcotest.check Helpers.exn_set "drop"
           (ES.singleton Exn.Overflow)
-          (ES.filter_async (ES.of_list [ Exn.Overflow; Exn.Timeout ])));
+          (ES.drop_async (ES.of_list [ Exn.Overflow; Exn.Timeout ]));
+        (* Synchronous members are kept — the direction the old
+           [filter_async] name obscured. *)
+        Alcotest.check Helpers.exn_set "keeps sync"
+          (ES.of_list [ Exn.Overflow; Exn.Divide_by_zero ])
+          (ES.drop_async
+             (ES.of_list
+                [ Exn.Overflow; Exn.Divide_by_zero; Exn.Interrupt ]));
+        Alcotest.check Helpers.exn_set "All unchanged" ES.All
+          (ES.drop_async ES.All));
+    Helpers.tc "keep_async is the complement of drop_async" (fun () ->
+        let s =
+          ES.of_list [ Exn.Overflow; Exn.Timeout; Exn.Interrupt ]
+        in
+        Alcotest.check Helpers.exn_set "keep"
+          (ES.of_list [ Exn.Timeout; Exn.Interrupt ])
+          (ES.keep_async s);
+        Alcotest.check Helpers.exn_set "union restores"
+          s
+          (ES.union (ES.drop_async s) (ES.keep_async s));
+        Alcotest.check Helpers.exn_set "All unchanged" ES.All
+          (ES.keep_async ES.All));
     Helpers.tc "cardinal" (fun () ->
         Alcotest.(check (option int)) "all" None (ES.cardinal ES.All);
         Alcotest.(check (option int))

@@ -137,4 +137,35 @@ let suite =
                   (M.deep m a2)
             | _ -> Alcotest.fail "roots2")
         | _ -> Alcotest.fail "roots1");
+    tc "heap-overflow latch re-arms across two recovery cycles" (fun () ->
+        (* Regression for the [heap_check_armed] latch: HeapOverflow is
+           raised once per exhaustion (the latch disarms so unwinding
+           itself can allocate), and a collection must re-arm it so a
+           *second* exhaustion raises again instead of growing without
+           bound — two full overflow -> recover -> overflow cycles. *)
+        let config = { M.default_config with heap_limit = Some 800 } in
+        let m = M.create ~config () in
+        let overflow_once tag =
+          let a = M.alloc m (parse "sum (enumFromTo 1 2000)") in
+          match M.force_catch m a with
+          | Error (M.Fail_exn E.Heap_overflow) -> ()
+          | Ok _ -> Alcotest.failf "%s: expected overflow, got a value" tag
+          | Error f -> Alcotest.failf "%s: unexpected %a" tag M.pp_failure f
+        in
+        overflow_once "first cycle";
+        (* Recover: drop everything and collect, which re-arms the
+           latch alongside freeing the heap. *)
+        (match M.gc m ~roots:[] with
+        | [] -> ()
+        | _ -> Alcotest.fail "no roots requested");
+        Alcotest.(check bool) "heap freed" true (M.heap_size m < 100);
+        (* A small allocation must now succeed... *)
+        (match M.force m (M.alloc m (parse "1 + 2")) with
+        | Ok (M.MInt 3) -> ()
+        | _ -> Alcotest.fail "small alloc after recovery");
+        (* ...and a second exhaustion must raise again, proving the
+           latch re-armed rather than staying disarmed after cycle one. *)
+        overflow_once "second cycle";
+        Alcotest.(check int) "two overflows counted" 2
+          (M.stats m).Stats.heap_overflows);
   ]

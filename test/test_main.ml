@@ -28,4 +28,5 @@ let () =
       ("props", Test_props.suite);
       ("diff", Test_diff.suite);
       ("faultinject", Test_faultinject.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -31,15 +31,35 @@ let rec mentions_all = function
     ->
       false
 
+(* The exception machinery must fire identically on both machines: same
+   number of catch marks consulted, same thunks poisoned while
+   unwinding, same async deliveries. (Step-dependent counters such as
+   [frames_trimmed] are compared separately on curated programs — the
+   resolver's [Fix] desugaring changes the stack shape slightly, so they
+   need not match on arbitrary generated terms.) *)
+let check_stats_parity (sts : Stats.t) (str : Stats.t) =
+  let pair name a b =
+    if a <> b then
+      QCheck2.Test.fail_reportf "stats parity: %s %d (slot) vs %d (ref)"
+        name a b
+    else true
+  in
+  pair "catches" sts.Stats.catches str.Stats.catches
+  && pair "thunks_poisoned" sts.Stats.thunks_poisoned
+       str.Stats.thunks_poisoned
+  && pair "async_delivered" sts.Stats.async_delivered
+       str.Stats.async_delivered
+
 let machines_agree w =
   let ds, sts = slot_deep w in
-  let dr, _ = ref_deep w in
+  let dr, str = ref_deep w in
   (* The resolved runtime path must never touch a string-keyed map. *)
   if sts.Stats.env_lookups <> 0 then
     QCheck2.Test.fail_reportf "slot machine paid %d env_lookups"
       sts.Stats.env_lookups;
   if mentions_all ds || mentions_all dr then true
-  else if Value.deep_equal ds dr then true
+  else if Value.deep_equal ds dr then
+    check_stats_parity sts str
   else
     QCheck2.Test.fail_reportf "slot: %a@.ref:  %a" Value.pp_deep ds
       Value.pp_deep dr
@@ -127,4 +147,47 @@ let suite =
     tc "async interruption under a deeper pipeline" (fun () ->
         interrupted_resume_agree
           "sum (map (\\x -> x * x) (enumFromTo 1 40))");
+    tc "exception-path stats match across machines" (fun () ->
+        (* Same raise under a catch on curated programs with identical
+           stack shapes (no [Fix], so the resolver adds no extra hops):
+           the unwinding machinery must do exactly the same amount of
+           work on both machines — frames trimmed, thunks poisoned,
+           catch marks consulted, async events delivered. *)
+        List.iter
+          (fun (src, async) ->
+            let run_slot () =
+              let m = M.create ~config:config_m () in
+              Option.iter
+                (fun (k, x) -> M.inject_async m ~at_step:k x)
+                async;
+              ignore (M.force_catch m (M.alloc m (parse src)));
+              M.stats m
+            in
+            let run_ref () =
+              let m = MR.create ~config:config_r () in
+              Option.iter
+                (fun (k, x) -> MR.inject_async m ~at_step:k x)
+                async;
+              ignore (MR.force_catch m (MR.alloc m (parse src)));
+              MR.stats m
+            in
+            let sts = run_slot () and str = run_ref () in
+            let check name a b =
+              Alcotest.(check int) (Printf.sprintf "%s: %s" src name) b a
+            in
+            check "catches" sts.Stats.catches str.Stats.catches;
+            check "thunks_poisoned" sts.Stats.thunks_poisoned
+              str.Stats.thunks_poisoned;
+            check "async_delivered" sts.Stats.async_delivered
+              str.Stats.async_delivered;
+            check "frames_trimmed" sts.Stats.frames_trimmed
+              str.Stats.frames_trimmed)
+          [
+            ("1/0", None);
+            ("head []", None);
+            ("sum [1, 2, 1/0, 4]", None);
+            ("let rec go n = if n == 0 then error \"deep\" \
+              else 1 + go (n - 1) in go 500", None);
+            ("sum (enumFromTo 1 3000)", Some (2_000, E.Timeout));
+          ]);
   ]
