@@ -345,13 +345,156 @@ let trace_cmd =
       const run $ file_arg $ expr_opt_arg $ input_arg $ denot_arg
       $ seed_arg)
 
+let fuzz_cmd =
+  let run runs seconds seed minimize smoke corpus_dir crash_dir persist
+      inject quiet =
+    let vconfig =
+      List.fold_left
+        (fun v name ->
+          match Fuzz.inject_bug name v with
+          | Ok v -> v
+          | Error msg ->
+              Fmt.epr "%s@." msg;
+              exit 2)
+        Differ.default_vconfig inject
+    in
+    let cfg =
+      {
+        Fuzz.default_config with
+        Fuzz.seed;
+        runs;
+        seconds;
+        corpus_dir = Some corpus_dir;
+        crash_dir = Some crash_dir;
+        persist;
+        vconfig;
+        log = (if quiet then ignore else fun s -> Fmt.epr "%s@." s);
+      }
+    in
+    match minimize with
+    | Some file -> (
+        match Fuzz.minimize_file cfg file with
+        | Error msg ->
+            Fmt.epr "%s@." msg;
+            2
+        | Ok None ->
+            Fmt.pr "%s: no violation@." file;
+            0
+        | Ok (Some c) ->
+            Fmt.pr "%s: %s@.%s@.minimised to %d nodes:@.%s@." file
+              c.Fuzz.check c.Fuzz.detail c.Fuzz.minimized_size
+              (Pretty.expr_to_string c.Fuzz.minimized);
+            Option.iter (Fmt.pr "%s@.") c.Fuzz.dump;
+            1)
+    | None ->
+        let cfg =
+          if smoke then
+            { cfg with Fuzz.runs = 400; seconds = None; persist = false }
+          else cfg
+        in
+        let report = Fuzz.run cfg in
+        Fmt.pr "%a" Fuzz.pp_report report;
+        if inject = [] then if Fuzz.passed report then 0 else 1
+        else if Fuzz.passed report then begin
+          (* A campaign with a deliberately-broken evaluator must fail;
+             passing means the fuzzer has lost its teeth. *)
+          Fmt.epr
+            "injected bug%s (%s) was NOT caught@."
+            (if List.length inject = 1 then "" else "s")
+            (String.concat ", " inject);
+          1
+        end
+        else begin
+          Fmt.pr "injected bug caught as expected.@.";
+          0
+        end
+  in
+  let runs_arg =
+    Arg.(
+      value & opt int 500
+      & info [ "runs" ] ~docv:"N"
+          ~doc:"Total executions (corpus replay + exploration).")
+  in
+  let seconds_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "seconds" ] ~docv:"S"
+          ~doc:"Wall-clock budget in seconds (overrides $(b,--runs)).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Campaign seed; same seed, same campaign.")
+  in
+  let minimize_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "minimize" ] ~docv:"FILE"
+          ~doc:
+            "Replay one $(b,.impexn) file and greedily minimise any \
+             violation it triggers.")
+  in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "CI mode: deterministically replay the committed corpus plus \
+             a short exploration burst (400 runs), never persisting.")
+  in
+  let corpus_arg =
+    Arg.(
+      value & opt string "fuzz/corpus"
+      & info [ "corpus" ] ~docv:"DIR" ~doc:"Corpus directory.")
+  in
+  let crashes_arg =
+    Arg.(
+      value & opt string "fuzz/crashes"
+      & info [ "crashes" ] ~docv:"DIR"
+          ~doc:"Where minimised counterexamples and dumps are written.")
+  in
+  let persist_arg =
+    Arg.(
+      value & flag
+      & info [ "persist" ]
+          ~doc:"Write inputs that found new coverage back to the corpus.")
+  in
+  let inject_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "inject-bug" ] ~docv:"BUG"
+          ~doc:
+            "Reintroduce a known bug ($(b,no-poison), $(b,no-app-union), \
+             $(b,no-case-finding)) and demand the campaign catches it: \
+             exit 0 iff it fails.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"No progress lines.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Coverage-guided metamorphic differential fuzzing across all five \
+          evaluators (denotational, slot machine, reference machine, fixed \
+          orders) and the four IO layers, with flight-recorder event-kind \
+          coverage, transformation-law oracles, fault schedules, corpus \
+          persistence and crash minimisation.")
+    Term.(
+      const run $ runs_arg $ seconds_arg $ seed_arg $ minimize_arg
+      $ smoke_arg $ corpus_arg $ crashes_arg $ persist_arg $ inject_arg
+      $ quiet_arg)
+
 let main_cmd =
   let doc = "A semantics for imprecise exceptions (PLDI 1999), executable." in
   Cmd.group
     (Cmd.info "impexn" ~version:"1.0.0" ~doc)
     [
       eval_cmd; set_cmd; run_cmd; laws_cmd; encode_cmd; optimize_cmd;
-      typecheck_cmd; trace_cmd;
+      typecheck_cmd; trace_cmd; fuzz_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

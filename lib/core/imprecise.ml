@@ -21,7 +21,10 @@
       algebra (Section 4.5).
     - {!Infer}: Hindley–Milner type inference (the paper assumes typed
       programs; this checks them).
-    - {!Gen}: random well-typed term generation for testing. *)
+    - {!Gen}: random well-typed term generation for testing.
+    - {!Fuzz} (with {!Coverage}, {!Corpus}, {!Metamorph}, {!Differ}): the
+      coverage-guided metamorphic differential fuzzer over all five
+      evaluators. *)
 
 module Syntax = Lang.Syntax
 module Token = Lang.Token
@@ -59,6 +62,11 @@ module Pipeline = Transform.Pipeline
 module Rewrite = Transform.Rewrite
 module Gen = Gen.Gen_term
 module Infer = Types.Infer
+module Coverage = Fuzz.Coverage
+module Corpus = Fuzz.Corpus
+module Metamorph = Fuzz.Metamorph
+module Differ = Fuzz.Differ
+module Fuzz = Fuzz.Engine
 
 (** {1 High-level API} *)
 

@@ -1,0 +1,489 @@
+open Lang.Syntax
+module Denot = Semantics.Denot
+module Fixed = Semantics.Fixed
+module Io = Semantics.Iosem
+module Conc = Semantics.Conc
+module Oracle = Semantics.Oracle
+module Exn_set = Semantics.Exn_set
+module V = Semantics.Sem_value
+module Refine = Semantics.Refine
+module Stg = Machine.Stg
+module Stg_ref = Machine.Stg_ref
+module Machine_io = Machine.Machine_io
+module Machine_conc = Machine.Machine_conc
+
+type vconfig = {
+  denot_fuel : int;
+  machine_fuel : int;
+  fixed_fuel : int;
+  depth : int;
+  io_max_steps : int;
+  poison_thunks : bool;
+  app_union : bool;
+  case_finding : bool;
+}
+
+let default_vconfig =
+  {
+    denot_fuel = 50_000;
+    machine_fuel = 400_000;
+    fixed_fuel = 200_000;
+    depth = 24;
+    io_max_steps = 4_000;
+    poison_thunks = true;
+    app_union = true;
+    case_finding = true;
+  }
+
+type violation = { check : string; detail : string }
+
+let pp_violation ppf v = Fmt.pf ppf "[%s] %s" v.check v.detail
+
+type result = { violations : violation list; dump : string option }
+
+let denot_config v =
+  {
+    Denot.default_config with
+    fuel = v.denot_fuel;
+    app_union = v.app_union;
+    case_finding = v.case_finding;
+  }
+
+let stg_config v =
+  {
+    Stg.default_config with
+    fuel = v.machine_fuel;
+    poison_thunks = v.poison_thunks;
+    blackhole_nontermination = true;
+  }
+
+let ref_config v =
+  {
+    Stg_ref.default_config with
+    fuel = v.machine_fuel;
+    poison_thunks = v.poison_thunks;
+    blackhole_nontermination = true;
+  }
+
+let rec contains_bottom = function
+  | V.DBad s -> Exn_set.is_all s
+  | V.DCon (_, ds) -> List.exists contains_bottom ds
+  | V.DInt _ | V.DChar _ | V.DString _ | V.DFun | V.DCut -> false
+
+let rec bad_sets acc = function
+  | V.DBad s -> s :: acc
+  | V.DCon (_, ds) -> List.fold_left bad_sets acc ds
+  | V.DInt _ | V.DChar _ | V.DString _ | V.DFun | V.DCut -> acc
+
+(* C13 lifted through structure: the precise evaluator aborts the whole
+   deep forcing at the first exceptional component, so [Raised e]
+   implements a structured denotation whenever [e] is a member of some
+   exception set occurring anywhere inside it. *)
+let raised_implements e d =
+  contains_bottom d || List.exists (Exn_set.mem e) (bad_sets [] d)
+
+let exn_of_deep = function
+  | V.DCon (name, []) -> Lang.Exn.of_constructor name None
+  | V.DCon (name, [ V.DString s ]) -> Lang.Exn.of_constructor name (Some s)
+  | _ -> None
+
+(* Denot and the machines leave pure [getException] uninterpreted (a
+   [GetException] constructor around the possibly-exceptional argument);
+   the fixed-order baseline interprets it, returning [OK v] or a caught
+   [Bad e]. The interpretation implements the symbolic form when the
+   caught member belongs to the argument's exception set. *)
+let rec fixed_deep_implements fd dl =
+  match (fd, dl) with
+  | _, V.DBad s when Exn_set.is_all s -> true
+  | V.DCon ("OK", [ d ]), V.DCon ("GetException", [ dd ]) ->
+      fixed_deep_implements d dd
+  | V.DCon ("Bad", [ de ]), V.DCon ("GetException", [ dd ]) -> (
+      match (exn_of_deep de, bad_sets [] dd) with
+      | Some e, sets -> List.exists (Exn_set.mem e) sets
+      | None, _ -> false)
+  | V.DCon (c1, ds1), V.DCon (c2, ds2) ->
+      String.equal c1 c2
+      && List.length ds1 = List.length ds2
+      && List.for_all2 fixed_deep_implements ds1 ds2
+  | _ -> Refine.implements_deep fd dl
+
+let fixed_implements fo dl =
+  match fo with
+  | Fixed.Value d -> fixed_deep_implements d dl
+  | Fixed.Raised e -> raised_implements e dl
+  | Fixed.Diverged -> true
+
+let uses_get_exception t =
+  List.exists
+    (function
+      | Con ("GetException", _) -> true
+      | Var "getException" -> true
+      | _ -> false)
+    (Transform.Rewrite.subterms t)
+
+(* A [DBad] buried inside a constructor: the machine's per-field deep
+   forcing and the precise evaluator's abort-on-first-raise legitimately
+   disagree on such values, so exact comparisons skip them. *)
+let rec has_nested_bad inside = function
+  | V.DBad _ -> inside
+  | V.DCon (_, ds) -> List.exists (has_nested_bad true) ds
+  | V.DInt _ | V.DChar _ | V.DString _ | V.DFun | V.DCut -> false
+
+(* Structural agreement between two *implementation* results: each
+   reports a single representative member of the semantic set, and the
+   members may legitimately differ, so exceptional positions (and
+   source-level exception-constructor values, e.g. a caught [Bad e]
+   carried into the result) compare equal regardless of which exception
+   they hold. *)
+let is_exn_con name =
+  List.exists
+    (fun e -> String.equal (Lang.Exn.constructor_name e) name)
+    Lang.Exn.all_known
+
+let rec agree_modulo_exn a b =
+  match (a, b) with
+  | V.DBad _, V.DBad _ -> true
+  | V.DCon (c1, _), V.DCon (c2, _) when is_exn_con c1 && is_exn_con c2 -> true
+  | V.DCon (c1, a1), V.DCon (c2, a2) ->
+      String.equal c1 c2
+      && List.length a1 = List.length a2
+      && List.for_all2 agree_modulo_exn a1 a2
+  | _ -> V.deep_equal a b
+
+let timing_sensitive t =
+  List.exists
+    (function Con (("WithTimeout" | "Retry"), _) -> true | _ -> false)
+    (Transform.Rewrite.subterms t)
+
+let is_prefix a b =
+  let shorter, longer =
+    if String.length a <= String.length b then (a, b) else (b, a)
+  in
+  String.equal shorter (String.sub longer 0 (String.length shorter))
+
+let multiset s =
+  let cs = List.init (String.length s) (String.get s) in
+  List.sort Char.compare cs
+
+let note_cov cov tr stats_list io_counters_list =
+  match cov with
+  | None -> ()
+  | Some c ->
+      Coverage.note_events c (Obs.events tr);
+      List.iter (Coverage.note_stats c) stats_list;
+      List.iter (Coverage.note_io_counters c) io_counters_list
+
+let finish ?(extra = []) tr note violations =
+  let violations = List.rev violations in
+  let dump =
+    if violations = [] then None
+    else
+      Some
+        (Obs.dump ~last:48
+           ~extra:
+             (("violations",
+               String.concat "; "
+                 (List.map (fun v -> v.check ^ ": " ^ v.detail) violations))
+             :: extra)
+           ~note tr)
+  in
+  { violations; dump }
+
+(* ------------------------------------------------------------------ *)
+(* Pure terms: five evaluators                                         *)
+(* ------------------------------------------------------------------ *)
+
+let check_pure ?cov v t =
+  let w = Lang.Prelude.wrap t in
+  let tr = Obs.create ~capacity:1024 ~on:true () in
+  let violations = ref [] in
+  let flag check detail = violations := { check; detail } :: !violations in
+  let dl = Denot.run_deep ~config:(denot_config v) ~depth:v.depth w in
+  let m = Stg.create ~config:(stg_config v) ~trace:tr () in
+  let d_stg = Stg.deep ~depth:v.depth m (Stg.alloc m w) in
+  (* Exercise the root catch/poison machinery for coverage on a fresh
+     allocation: catching at the root abandons it black-holed, so a
+     [deep] after [force_catch] is not the term's denotation and feeds
+     no comparison. *)
+  ignore (Stg.force_catch m (Stg.alloc m w));
+  let mr = Stg_ref.create ~config:(ref_config v) ~trace:tr () in
+  let d_ref = Stg_ref.deep ~depth:v.depth mr (Stg_ref.alloc mr w) in
+  let ref_stats = Stg_ref.stats mr in
+  let fo_l = Fixed.run_deep ~fuel:v.fixed_fuel ~depth:v.depth Fixed.Left_to_right w in
+  let fo_r = Fixed.run_deep ~fuel:v.fixed_fuel ~depth:v.depth Fixed.Right_to_left w in
+  let pd = Fmt.str "%a" V.pp_deep in
+  if not (Refine.implements_deep d_stg dl) then
+    flag "stg-implements-denot"
+      (Printf.sprintf "machine %s !⊑ denot %s" (pd d_stg) (pd dl));
+  if not (Refine.implements_deep d_ref dl) then
+    flag "stg-ref-implements-denot"
+      (Printf.sprintf "reference machine %s !⊑ denot %s" (pd d_ref) (pd dl));
+  if not (fixed_implements fo_l dl) then
+    flag "fixed-l2r-implements-denot"
+      (Fmt.str "fixed L2R %a !⊑ denot %s" Fixed.pp_outcome fo_l (pd dl));
+  if not (fixed_implements fo_r dl) then
+    flag "fixed-r2l-implements-denot"
+      (Fmt.str "fixed R2L %a !⊑ denot %s" Fixed.pp_outcome fo_r (pd dl));
+  if
+    (not (contains_bottom d_stg))
+    && (not (contains_bottom d_ref))
+    && not (V.deep_equal d_stg d_ref)
+  then
+    flag "stg-vs-stg-ref"
+      (Printf.sprintf "slot machine %s <> reference machine %s" (pd d_stg)
+         (pd d_ref));
+  (let fd_l = Fixed.outcome_to_deep fo_l in
+   if
+     (not (uses_get_exception t))
+     && (not (contains_bottom d_stg))
+     && (not (contains_bottom fd_l))
+     && (not (has_nested_bad false d_stg))
+     && (not (has_nested_bad false fd_l))
+     && not (V.deep_equal d_stg fd_l)
+   then
+     flag "stg-vs-fixed-l2r"
+       (Printf.sprintf "machine %s <> fixed L2R %s" (pd d_stg) (pd fd_l)));
+  note_cov cov tr [ Stg.stats m; ref_stats ] [];
+  finish
+    ~extra:[ ("term", Lang.Pretty.expr_to_string t); ("denot", pd dl) ]
+    tr "pure differential violation" !violations
+
+(* ------------------------------------------------------------------ *)
+(* IO programs: four layers + fault schedules                          *)
+(* ------------------------------------------------------------------ *)
+
+let bracket_balance_io flag check (c : Io.counters) terminated =
+  if terminated && c.Io.brackets_entered <> c.Io.brackets_released then
+    flag check
+      (Printf.sprintf "brackets entered %d <> released %d"
+         c.Io.brackets_entered c.Io.brackets_released)
+
+let bracket_balance_stats flag check (s : Machine.Stats.t) terminated =
+  if terminated && s.Machine.Stats.brackets_entered <> s.Machine.Stats.brackets_released
+  then
+    flag check
+      (Printf.sprintf "brackets entered %d <> released %d"
+         s.Machine.Stats.brackets_entered s.Machine.Stats.brackets_released)
+
+let check_io ?cov v ~seed t =
+  let w = Lang.Prelude.wrap t in
+  let tr = Obs.create ~capacity:1024 ~on:true () in
+  let violations = ref [] in
+  let flag check detail = violations := { check; detail } :: !violations in
+  let dcfg = denot_config v in
+  let mcfg = stg_config v in
+  let ts = timing_sensitive t in
+  (* Clean runs, deterministic oracle: strict cross-layer agreement. *)
+  let sem =
+    Io.run ~config:dcfg ~oracle:(Oracle.first ()) ~trace:tr ~input:""
+      ~max_steps:v.io_max_steps w
+  in
+  let mio =
+    Machine_io.run ~config:mcfg ~trace:tr ~input:""
+      ~max_transitions:v.io_max_steps w
+  in
+  let sem_out = Io.output_string_of sem in
+  (if not ts then begin
+     if not (is_prefix sem_out mio.Machine_io.output) then
+       flag "io-output"
+         (Printf.sprintf "iosem wrote %S, machine wrote %S" sem_out
+            mio.Machine_io.output);
+     let outcome_ok =
+       match (sem.Io.outcome, mio.Machine_io.outcome) with
+       | Io.Done d1, Machine_io.Done d2 -> Refine.implements_deep d2 d1
+       | Io.Uncaught _, Machine_io.Uncaught _ -> true
+       | Io.Io_diverged, _ | _, Machine_io.Io_diverged -> true
+       | Io.Stuck _, Machine_io.Stuck _ -> true
+       | _ -> false
+     in
+     if not outcome_ok then
+       flag "io-outcome"
+         (Fmt.str "iosem %a, machine %a" Io.pp_outcome sem.Io.outcome
+            Machine_io.pp_outcome mio.Machine_io.outcome)
+   end);
+  let sem_terminated =
+    match sem.Io.outcome with Io.Done _ | Io.Uncaught _ -> true | _ -> false
+  in
+  let mio_terminated =
+    match mio.Machine_io.outcome with
+    | Machine_io.Done _ | Machine_io.Uncaught _ -> true
+    | _ -> false
+  in
+  bracket_balance_io flag "iosem-bracket-balance" sem.Io.counters sem_terminated;
+  bracket_balance_stats flag "machine-io-bracket-balance" mio.Machine_io.stats
+    mio_terminated;
+  (* Concurrent layers run the same (single-threaded) program. *)
+  let csem =
+    Conc.run ~config:dcfg ~oracle:(Oracle.first ()) ~trace:tr ~input:""
+      ~max_steps:v.io_max_steps w
+  in
+  (if not ts then
+     let ok =
+       match (sem.Io.outcome, csem.Conc.outcome) with
+       | Io.Done d1, Conc.Done d2 ->
+           contains_bottom d1 || contains_bottom d2 || V.deep_equal d1 d2
+       | Io.Uncaught _, Conc.Uncaught _ -> true
+       | Io.Io_diverged, _ | _, Conc.Diverged -> true
+       | Io.Stuck _, Conc.Stuck _ -> true
+       | _ -> false
+     in
+     if not ok then
+       flag "iosem-vs-conc"
+         (Fmt.str "iosem %a, conc %a" Io.pp_outcome sem.Io.outcome
+            Conc.pp_outcome csem.Conc.outcome));
+  let mconc =
+    Machine_conc.run ~config:mcfg ~trace:tr ~input:""
+      ~max_transitions:v.io_max_steps w
+  in
+  (if not ts then
+     let ok =
+       match (mio.Machine_io.outcome, mconc.Machine_conc.outcome) with
+       | Machine_io.Done d1, Machine_conc.Done d2 ->
+           contains_bottom d1 || contains_bottom d2 || agree_modulo_exn d1 d2
+       | Machine_io.Uncaught _, Machine_conc.Uncaught _ -> true
+       | Machine_io.Io_diverged, _ | _, Machine_conc.Diverged -> true
+       | Machine_io.Stuck _, Machine_conc.Stuck _ -> true
+       | _ -> false
+     in
+     if not ok then
+       flag "machine-io-vs-machine-conc"
+         (Fmt.str "machine io %a, machine conc %a" Machine_io.pp_outcome
+            mio.Machine_io.outcome Machine_conc.pp_outcome
+            mconc.Machine_conc.outcome));
+  (* Fault schedule 1: GC every 3 transitions must be transparent. *)
+  let mio_gc =
+    Machine_io.run ~config:mcfg ~trace:tr ~input:""
+      ~max_transitions:v.io_max_steps ~gc_every:3 w
+  in
+  (if not ts then begin
+     if not (String.equal mio.Machine_io.output mio_gc.Machine_io.output) then
+       flag "gc-transparency-output"
+         (Printf.sprintf "without gc %S, with gc %S" mio.Machine_io.output
+            mio_gc.Machine_io.output);
+     let ok =
+       match (mio.Machine_io.outcome, mio_gc.Machine_io.outcome) with
+       | Machine_io.Done d1, Machine_io.Done d2 ->
+           contains_bottom d1 || contains_bottom d2 || agree_modulo_exn d1 d2
+       | Machine_io.Uncaught _, Machine_io.Uncaught _ -> true
+       | Machine_io.Io_diverged, Machine_io.Io_diverged -> true
+       | Machine_io.Stuck _, Machine_io.Stuck _ -> true
+       | _ -> false
+     in
+     if not ok then
+       flag "gc-transparency-outcome"
+         (Fmt.str "without gc %a, with gc %a" Machine_io.pp_outcome
+            mio.Machine_io.outcome Machine_io.pp_outcome
+            mio_gc.Machine_io.outcome)
+   end);
+  (* Fault schedule 2: a seeded async interrupt — invariants only
+     (delivery timing is layer-relative). *)
+  let async_at = 2 + (abs seed mod 7) in
+  let sem_async =
+    Io.run ~config:dcfg ~oracle:(Oracle.create ~seed) ~trace:tr ~input:""
+      ~async:[ (async_at, Lang.Exn.Interrupt) ] ~max_steps:v.io_max_steps w
+  in
+  let mio_async =
+    Machine_io.run ~config:mcfg ~trace:tr ~input:""
+      ~async:[ (async_at * 20, Lang.Exn.Interrupt) ]
+      ~max_transitions:v.io_max_steps w
+  in
+  bracket_balance_io flag "iosem-async-bracket-balance" sem_async.Io.counters
+    (match sem_async.Io.outcome with
+    | Io.Done _ | Io.Uncaught _ -> true
+    | _ -> false);
+  bracket_balance_stats flag "machine-io-async-bracket-balance"
+    mio_async.Machine_io.stats
+    (match mio_async.Machine_io.outcome with
+    | Machine_io.Done _ | Machine_io.Uncaught _ -> true
+    | _ -> false);
+  note_cov cov tr
+    [ mio.Machine_io.stats; mio_gc.Machine_io.stats; mio_async.Machine_io.stats;
+      mconc.Machine_conc.stats ]
+    [ sem.Io.counters; csem.Conc.counters; sem_async.Io.counters ];
+  finish
+    ~extra:[ ("program", Lang.Pretty.expr_to_string t) ]
+    tr "io differential violation" !violations
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent programs: the two concurrent layers                      *)
+(* ------------------------------------------------------------------ *)
+
+let check_conc ?cov v ~seed t =
+  let w = Lang.Prelude.wrap t in
+  let tr = Obs.create ~capacity:1024 ~on:true () in
+  let violations = ref [] in
+  let flag check detail = violations := { check; detail } :: !violations in
+  let dcfg = denot_config v in
+  let mcfg = stg_config v in
+  let ts = timing_sensitive t in
+  let csem =
+    Conc.run ~config:dcfg ~oracle:(Oracle.first ()) ~trace:tr ~input:""
+      ~max_steps:v.io_max_steps w
+  in
+  let mconc =
+    Machine_conc.run ~config:mcfg ~trace:tr ~input:""
+      ~max_transitions:v.io_max_steps w
+  in
+  (if not ts then begin
+     let ok =
+       match (csem.Conc.outcome, mconc.Machine_conc.outcome) with
+       | Conc.Done d1, Machine_conc.Done d2 ->
+           contains_bottom d1 || contains_bottom d2 || agree_modulo_exn d1 d2
+       | Conc.Uncaught _, Machine_conc.Uncaught _ -> true
+       | Conc.Deadlock, Machine_conc.Deadlock -> true
+       | Conc.Diverged, _ | _, Machine_conc.Diverged -> true
+       | Conc.Stuck _, Machine_conc.Stuck _ -> true
+       | _ -> false
+     in
+     if not ok then
+       flag "conc-outcome"
+         (Fmt.str "semantic %a, machine %a" Conc.pp_outcome csem.Conc.outcome
+            Machine_conc.pp_outcome mconc.Machine_conc.outcome);
+     (match (csem.Conc.outcome, mconc.Machine_conc.outcome) with
+     | Conc.Done _, Machine_conc.Done _ ->
+         let so = Conc.output_string_of csem in
+         if multiset so <> multiset mconc.Machine_conc.output then
+           flag "conc-output-multiset"
+             (Printf.sprintf "semantic wrote %S, machine wrote %S" so
+                mconc.Machine_conc.output)
+     | _ -> ());
+     if csem.Conc.threads_spawned <> mconc.Machine_conc.threads_spawned then
+       flag "conc-threads-spawned"
+         (Printf.sprintf "semantic spawned %d, machine spawned %d"
+            csem.Conc.threads_spawned mconc.Machine_conc.threads_spawned)
+   end);
+  bracket_balance_io flag "conc-bracket-balance" csem.Conc.counters
+    (match csem.Conc.outcome with
+    | Conc.Done _ | Conc.Uncaught _ -> true
+    | _ -> false);
+  bracket_balance_stats flag "machine-conc-bracket-balance"
+    mconc.Machine_conc.stats
+    (match mconc.Machine_conc.outcome with
+    | Machine_conc.Done _ | Machine_conc.Uncaught _ -> true
+    | _ -> false);
+  (* Async fault: invariants only. *)
+  let async_at = 2 + (abs seed mod 5) in
+  let csem_a =
+    Conc.run ~config:dcfg ~oracle:(Oracle.create ~seed) ~trace:tr ~input:""
+      ~async:[ (async_at, Lang.Exn.Interrupt) ] ~max_steps:v.io_max_steps w
+  in
+  let mconc_a =
+    Machine_conc.run ~config:mcfg ~trace:tr ~input:""
+      ~async:[ (async_at * 20, Lang.Exn.Interrupt) ]
+      ~max_transitions:v.io_max_steps w
+  in
+  bracket_balance_io flag "conc-async-bracket-balance" csem_a.Conc.counters
+    (match csem_a.Conc.outcome with
+    | Conc.Done _ | Conc.Uncaught _ -> true
+    | _ -> false);
+  bracket_balance_stats flag "machine-conc-async-bracket-balance"
+    mconc_a.Machine_conc.stats
+    (match mconc_a.Machine_conc.outcome with
+    | Machine_conc.Done _ | Machine_conc.Uncaught _ -> true
+    | _ -> false);
+  note_cov cov tr
+    [ mconc.Machine_conc.stats; mconc_a.Machine_conc.stats ]
+    [ csem.Conc.counters; csem_a.Conc.counters ];
+  finish
+    ~extra:[ ("program", Lang.Pretty.expr_to_string t) ]
+    tr "concurrency differential violation" !violations

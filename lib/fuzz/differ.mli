@@ -1,0 +1,71 @@
+(** The differential driver: one term, every evaluator, one verdict.
+
+    Pure terms run through all five engines — the imprecise denotational
+    semantics (the reference), the slot-compiled machine {!Machine.Stg},
+    the name-based machine {!Machine.Stg_ref}, and the precise
+    fixed-order evaluator under both orders — and the results are
+    cross-checked:
+
+    - every implementation result {e implements} the denotation (C13,
+      via {!Semantics.Refine.implements_deep});
+    - the two machines agree exactly (same representative member);
+    - the machine agrees with fixed-order left-to-right (both are
+      deterministic left-to-right call-by-need evaluators).
+
+    IO and concurrent programs run through the four IO layers with a
+    shared flight recorder, under a clean schedule (strict cross-layer
+    agreement, [Oracle.first]), a GC-every-3-transitions schedule
+    (collections must be transparent), and a seeded asynchronous
+    schedule (invariants only: termination classes and bracket balance —
+    delivery timing is layer-relative, so exact agreement is not owed).
+    Programs containing [WithTimeout]/[Retry] are {e timing-sensitive}:
+    the layers count ticks differently, so only the invariant checks
+    apply to them.
+
+    Machine fuel-exhaustion and denotational fuel differ, so any side
+    whose result contains [DBad All] (bottom) is exempt from exact
+    agreement — the {e implements} direction still applies.
+
+    All runs feed the optional {!Coverage} accumulator with recorded
+    events and stats; on any violation the shared recorder's crash dump
+    rides along in the result. *)
+
+type vconfig = {
+  denot_fuel : int;
+  machine_fuel : int;
+  fixed_fuel : int;
+  depth : int;  (** Deep-forcing depth for result comparison. *)
+  io_max_steps : int;  (** IO transition budget, every layer. *)
+  poison_thunks : bool;
+      (** Bug-injection toggle: [false] reintroduces the footnote-3
+          poison-replay bug in both machines. *)
+  app_union : bool;  (** Bug-injection: the rejected Section 4.2 design. *)
+  case_finding : bool;  (** Bug-injection: the rejected Section 4.3 design. *)
+}
+
+val default_vconfig : vconfig
+
+type violation = { check : string; detail : string }
+
+val pp_violation : violation Fmt.t
+
+type result = {
+  violations : violation list;
+  dump : string option;
+      (** Flight-recorder dump of the run, present iff violations. *)
+}
+
+val check_pure : ?cov:Coverage.t -> vconfig -> Lang.Syntax.expr -> result
+(** Cross-check one pure term (open over the Prelude). *)
+
+val check_io :
+  ?cov:Coverage.t -> vconfig -> seed:int -> Lang.Syntax.expr -> result
+(** Cross-check one [IO Int] program across {!Semantics.Iosem},
+    {!Machine.Machine_io} and the two concurrent layers, plus the GC and
+    async fault schedules. [seed] drives the seeded-oracle fault run. *)
+
+val check_conc :
+  ?cov:Coverage.t -> vconfig -> seed:int -> Lang.Syntax.expr -> result
+(** Cross-check one concurrent program ({!Semantics.Conc} vs
+    {!Machine.Machine_conc}): termination classes, output multisets,
+    thread counts, bracket balance; plus an async fault schedule. *)

@@ -1,0 +1,82 @@
+(** The fuzzing campaign driver.
+
+    A campaign is seeded and fully deterministic: one
+    [Random.State] drives QCheck2 generation, mode choice and
+    mutation choice, so [--seed S --runs N] replays identically.
+
+    Structure of a run:
+
+    + {e replay}: every corpus entry — the built-in {!Corpus.dictionary}
+      plus any [*.impexn] files under [corpus_dir] — goes through the
+      {!Differ} harness for its mode and (pure modes) the {!Metamorph}
+      oracles. This deterministically witnesses the claimed-invalid
+      rules and re-checks every previously-interesting input.
+    + {e explore}: until the run/second budget is exhausted, either
+      generate a fresh term ({!Gen.Gen_term} — the mode is chosen by
+      weighted coin) or mutate a random corpus entry (exception-site
+      grafting, rule rewriting, [mapException]/mask/bracket wrapping,
+      crossover). Inputs that change the {!Coverage} signature are
+      retained (and persisted when [persist] is set).
+    + {e minimise}: each violation is greedily shrunk with
+      {!Gen.Gen_term.shrink} under "the same check still fails" (same
+      per-run seed, scratch metamorphic state), and written to
+      [crash_dir] with its flight-recorder dump. One crash is kept per
+      distinct check name; repeats only count.
+
+    A campaign {e passes} when there are no crashes, no unwitnessed
+    non-laws, and no unparsable corpus files. *)
+
+type config = {
+  seed : int;
+  runs : int;  (** Total executions (replay + explore); used when [seconds] is [None]. *)
+  seconds : float option;  (** Wall-clock budget; overrides [runs]. *)
+  corpus_dir : string option;
+  crash_dir : string option;
+  persist : bool;  (** Write new-coverage inputs back to [corpus_dir]. *)
+  vconfig : Differ.vconfig;
+  max_retained : int;  (** Cap on inputs retained by coverage. *)
+  log : string -> unit;  (** Progress lines (default: dropped). *)
+}
+
+val default_config : config
+
+val inject_bug : string -> Differ.vconfig -> (Differ.vconfig, string) result
+(** Map a [--inject-bug] name to the evaluator misconfiguration that
+    reintroduces it: ["no-poison"] (footnote 3: abandoned thunks are not
+    overwritten with [raise ex]), ["no-app-union"] (Section 4.2's
+    rejected application rule), ["no-case-finding"] (Section 4.3's
+    rejected case rule). The campaign is then expected to {e fail}. *)
+
+val bug_names : string list
+
+type crash = {
+  entry : Corpus.entry;  (** The input that first tripped the check. *)
+  check : string;
+  detail : string;
+  minimized : Lang.Syntax.expr;
+  minimized_size : int;  (** AST nodes in the minimised witness. *)
+  occurrences : int;  (** How many inputs tripped this check in total. *)
+  dump : string option;  (** Flight-recorder dump from the first trip. *)
+}
+
+type report = {
+  total_runs : int;
+  replayed : int;
+  generated : int;
+  mutated : int;
+  retained : int;  (** Inputs kept for new coverage. *)
+  crashes : crash list;
+  coverage : Coverage.t;
+  meta : Metamorph.state;
+  corpus_errors : (string * string) list;
+  elapsed : float;  (** CPU seconds. *)
+}
+
+val passed : report -> bool
+val pp_report : report Fmt.t
+
+val run : config -> report
+
+val minimize_file : config -> string -> (crash option, string) result
+(** Replay one [.impexn] file through its mode's harness; on a
+    violation, minimise and return the crash ([Ok None] if it passes). *)

@@ -9,12 +9,31 @@ type cfg = {
   div_weight : int;
   max_depth : int;
   use_prelude : bool;
+  letrec_weight : int;
+  map_exception_weight : int;
+  sharing_weight : int;
+  io_combinators : bool;
 }
 
 let default_cfg =
-  { raise_weight = 2; div_weight = 2; max_depth = 4; use_prelude = true }
+  {
+    raise_weight = 2;
+    div_weight = 2;
+    max_depth = 4;
+    use_prelude = true;
+    letrec_weight = 1;
+    map_exception_weight = 1;
+    sharing_weight = 2;
+    io_combinators = true;
+  }
 
-let pure_cfg = { default_cfg with raise_weight = 0; div_weight = 0 }
+let pure_cfg =
+  {
+    default_cfg with
+    raise_weight = 0;
+    div_weight = 0;
+    letrec_weight = 0;
+  }
 
 (* Environment: variables in scope, by type. *)
 type env = (string * ty) list
@@ -42,6 +61,17 @@ let gen_exn_site : expr G.t =
 
 let small_lit = G.map (fun n -> B.int n) (G.int_range (-20) 20)
 
+(* The exception-to-exception mappers fed to [mapException]: identity, a
+   constant relabel, and a payload rewrite. All are closed and typed
+   [Exception -> Exception]. *)
+let gen_mapper : expr G.t =
+  G.oneofl
+    [
+      B.lam "e" (B.var "e");
+      B.lam "e" (B.exn_con Lang.Exn.Overflow);
+      B.lam "e" (B.exn_con (Lang.Exn.User_error "mapped"));
+    ]
+
 let rec gen_ty cfg (env : env) depth ty : expr G.t =
   if depth <= 0 then gen_leaf cfg env ty
   else
@@ -57,6 +87,9 @@ let rec gen_ty cfg (env : env) depth ty : expr G.t =
 
 and gen_leaf cfg env ty : expr G.t =
   let leaf_vars = vars_of env ty in
+  (* Constant leaves come first: QCheck2's integrated shrinking steers
+     choices toward the head of the list, so failures report literal
+     leaves rather than environment variables where possible. *)
   let base =
     match ty with
     | T_int -> [ small_lit ]
@@ -73,12 +106,11 @@ and gen_leaf cfg env ty : expr G.t =
         ]
   in
   let with_vars =
-    if leaf_vars = [] then base else G.oneofl leaf_vars :: base
+    if leaf_vars = [] then base else base @ [ G.oneofl leaf_vars ]
   in
   let with_raise =
     if cfg.raise_weight > 0 && ty <> T_fun_ii then
-      with_vars
-      @ [ G.map (fun e -> e) gen_exn_site ]
+      with_vars @ [ gen_exn_site ]
     else with_vars
   in
   G.oneof with_raise
@@ -105,6 +137,24 @@ and gen_int_node cfg env depth : expr G.t =
       (sub T_int)
       (gen_ty cfg ((x, T_int) :: env) (depth - 1) T_int)
   in
+  (* A binding used more than once: the call-by-need sharing that the
+     machine's poison-replay (Section 3.3, footnote 3) must preserve —
+     forcing the thunk a second time has to replay the same exception. *)
+  let shared_let =
+    let x = fresh_name () in
+    let ctxs =
+      [
+        B.(var x + var x);
+        B.(seq (var x) (var x));
+        B.(var x * (var x + int 1));
+        Con (c_pair, [ Var x; Var x ])
+        |> fun p ->
+        Case (p, [ { pat = Pcon (c_pair, [ "a"; "b" ]);
+                     rhs = B.(var "a" + var "b") } ]);
+      ]
+    in
+    G.map2 (fun body e -> Let (x, e, body)) (G.oneofl ctxs) (sub T_int)
+  in
   let beta_redex =
     let x = fresh_name () in
     G.map2
@@ -117,6 +167,31 @@ and gen_int_node cfg env depth : expr G.t =
   in
   let seq_e =
     G.map2 (fun a b -> B.seq a b) (sub T_int) (sub T_int)
+  in
+  let map_exc =
+    G.map2 (fun f e -> B.map_exception f e) gen_mapper (sub T_int)
+  in
+  let letrec_e =
+    let f = fresh_name () and n = fresh_name () in
+    G.oneof
+      [
+        (* The black hole of Section 5.2: cyclic demand, detectable. *)
+        G.return (Letrec ([ (f, B.(var f + int 1)) ], Var f));
+        (* Bounded structural recursion through a letrec binder. *)
+        G.map2
+          (fun base k ->
+            Letrec
+              ( [
+                  ( f,
+                    B.lam n
+                      (B.if_
+                         B.(var n <= int 0)
+                         base
+                         B.(var n + App (Var f, var n - int 1))) );
+                ],
+                App (Var f, B.int k) ))
+          (gen_leaf cfg env T_int) (G.int_range 0 6);
+      ]
   in
   let case_list =
     let x = fresh_name () and xs = fresh_name () in
@@ -154,9 +229,12 @@ and gen_int_node cfg env depth : expr G.t =
       (cfg.div_weight, division);
       (3, conditional);
       (2, let_bound);
+      (cfg.sharing_weight, shared_let);
       (2, beta_redex);
       (2, apply_fun);
       (1, seq_e);
+      (cfg.map_exception_weight, map_exc);
+      (cfg.letrec_weight, letrec_e);
       (2, case_list);
       (cfg.raise_weight, gen_exn_site);
     ]
@@ -185,6 +263,17 @@ and gen_list_node cfg env depth : expr G.t =
   let sub = gen_ty cfg env (depth - 1) in
   let cons_e =
     G.map2 (fun x xs -> B.cons x xs) (sub T_int) (sub T_list_int)
+  in
+  let shared_cons =
+    (* The same element thunk in two list positions — deep forcing visits
+       it twice, exercising update/replay on structured results. *)
+    let x = fresh_name () in
+    G.map2
+      (fun e tail -> Let (x, e, B.cons (Var x) (B.cons (Var x) tail)))
+      (sub T_int) (sub T_list_int)
+  in
+  let map_exc =
+    G.map2 (fun f l -> B.map_exception f l) gen_mapper (sub T_list_int)
   in
   let enum =
     G.map2
@@ -216,7 +305,14 @@ and gen_list_node cfg env depth : expr G.t =
       [ (2, enum); (2, take_e); (2, map_e); (1, append_e); (1, take_iterate) ]
     else []
   in
-  G.frequency ([ (3, gen_leaf cfg env T_list_int); (3, cons_e) ] @ prelude)
+  G.frequency
+    ([
+       (3, gen_leaf cfg env T_list_int);
+       (3, cons_e);
+       (cfg.sharing_weight, shared_cons);
+       (cfg.map_exception_weight, map_exc);
+     ]
+    @ prelude)
 
 (* IO Int programs: a bind-chain of actions over the int generator. *)
 let rec gen_io_node cfg env depth : expr G.t =
@@ -262,20 +358,203 @@ let rec gen_io_node cfg env depth : expr G.t =
                     ] ))))
         int_e
     in
+    let combinators =
+      if not cfg.io_combinators then []
+      else
+        let r = fresh_name () in
+        [
+          ( 1,
+            (* bracket: acquire returns a resource, release writes a
+               marker, use continues the program — releases must balance
+               acquires on every exit path. *)
+            G.map2
+              (fun a rest ->
+                B.io_bracket (B.io_return a)
+                  (B.lam r (App (Var "putInt", B.int 9)))
+                  (B.lam r rest))
+              int_e
+              (gen_io_node cfg ((r, T_int) :: env) (depth - 1)) );
+          ( 1,
+            G.map (fun m -> B.io_mask m) (gen_io_node cfg env (depth - 1)) );
+          ( 1,
+            G.map2
+              (fun k m -> B.io_timeout (B.int k) m)
+              (G.int_range 1 24)
+              (gen_io_node cfg env (depth - 1)) );
+          ( 1,
+            G.map
+              (fun m ->
+                B.io_on_exception m (App (Var "putInt", B.int 8)))
+              (gen_io_node cfg env (depth - 1)) );
+        ]
+    in
     G.frequency
-      [ (2, ret); (3, bind_chain); (3, put_then); (2, catch_recover) ]
+      ([ (2, ret); (3, bind_chain); (3, put_then); (2, catch_recover) ]
+      @ combinators)
+
+(* Concurrent programs: forkIO/MVar skeletons whose communication
+   structure is fixed (so they do not trivially deadlock) with generated
+   payloads. *)
+let gen_conc_node cfg env depth : expr G.t =
+  let int_e = gen_ty cfg env (max 1 depth) T_int in
+  let handoff =
+    (* newEmptyMVar >>= \r -> forkIO (putMVar r e) >> (takeMVar r >>= putInt) *)
+    let r = fresh_name () and v = fresh_name () in
+    G.map
+      (fun e ->
+        B.io_bind
+          (Con ("NewMVar", []))
+          (B.lam r
+             (B.io_bind
+                (Con ("Fork", [ Con ("PutMVar", [ Var r; e ]) ]))
+                (B.lam "_"
+                   (B.io_bind
+                      (Con ("TakeMVar", [ Var r ]))
+                      (B.lam v (App (Var "putInt", Var v))))))))
+      int_e
+  in
+  let fork_fire_and_forget =
+    G.map2
+      (fun e rest ->
+        B.io_bind
+          (Con ("Fork", [ App (Var "putInt", e) ]))
+          (B.lam "_" rest))
+      int_e
+      (gen_io_node cfg env (max 0 (depth - 1)))
+  in
+  let fork_exceptional =
+    (* The child dies of its own exception; the parent must survive. *)
+    G.map2
+      (fun e rest ->
+        B.io_bind
+          (Con ("Fork", [ B.io_return B.(e / int 0) ]))
+          (B.lam "_" rest))
+      int_e
+      (gen_io_node cfg env (max 0 (depth - 1)))
+  in
+  G.frequency
+    [ (3, handoff); (2, fork_fire_and_forget); (1, fork_exceptional) ]
+
+(* Size accounting: QCheck2's [sized] parameter maps *monotonically* to
+   generation depth, so integrated shrinking of the size genuinely
+   reduces the term (the previous [n mod k] mapping made shrinking
+   regenerate at unrelated depths instead of reducing). *)
+let depth_of_size cfg n = min cfg.max_depth (1 + (n / 24))
 
 let gen_io ?(cfg = default_cfg) () =
-  G.sized (fun n ->
-      let depth = min 4 (1 + (n mod 4)) in
-      gen_io_node cfg [] depth)
+  G.sized (fun n -> gen_io_node cfg [] (min 4 (depth_of_size cfg n)))
+
+let gen_conc ?(cfg = default_cfg) () =
+  G.sized (fun n -> gen_conc_node cfg [] (min 3 (depth_of_size cfg n)))
 
 let gen ?(cfg = default_cfg) ty =
-  G.sized (fun n ->
-      let depth = min cfg.max_depth (1 + (n mod (cfg.max_depth + 1))) in
-      gen_ty cfg [] depth ty)
+  G.sized (fun n -> gen_ty cfg [] (depth_of_size cfg n) ty)
 
 let gen_int ?cfg () = gen ?cfg T_int
 let gen_list ?cfg () = gen ?cfg T_list_int
 
 let print_expr = Lang.Pretty.expr_to_string
+
+(* ------------------------------------------------------------------ *)
+(* Structural shrinking                                                *)
+(* ------------------------------------------------------------------ *)
+
+let replace_nth i x xs = List.mapi (fun j y -> if j = i then x else y) xs
+
+(* Immediate subexpressions with their one-hole rebuilding contexts. *)
+let children_with_context (e : expr) : (expr * (expr -> expr)) list =
+  match e with
+  | Var _ | Lit _ -> []
+  | Lam (x, b) -> [ (b, fun b' -> Lam (x, b')) ]
+  | App (f, a) ->
+      [ (f, (fun f' -> App (f', a))); (a, fun a' -> App (f, a')) ]
+  | Con (c, es) ->
+      List.mapi (fun i ei -> (ei, fun e' -> Con (c, replace_nth i e' es))) es
+  | Prim (p, es) ->
+      List.mapi (fun i ei -> (ei, fun e' -> Prim (p, replace_nth i e' es))) es
+  | Case (s, alts) ->
+      (s, (fun s' -> Case (s', alts)))
+      :: List.mapi
+           (fun i a ->
+             ( a.rhs,
+               fun r -> Case (s, replace_nth i { a with rhs = r } alts) ))
+           alts
+  | Let (x, e1, e2) ->
+      [
+        (e1, (fun e1' -> Let (x, e1', e2)));
+        (e2, fun e2' -> Let (x, e1, e2'));
+      ]
+  | Letrec (binds, body) ->
+      (body, (fun b' -> Letrec (binds, b')))
+      :: List.mapi
+           (fun i (x, ei) ->
+             (ei, fun e' -> Letrec (replace_nth i (x, e') binds, body)))
+           binds
+  | Raise e1 -> [ (e1, fun e' -> Raise e') ]
+  | Fix e1 -> [ (e1, fun e' -> Fix e') ]
+
+(* Close an alternative's right-hand side by plugging its binders with a
+   literal, so it is a shrink candidate for the whole case. *)
+let close_rhs (a : alt) =
+  let plugs =
+    List.map (fun x -> (x, Lit (Lit_int 0))) (pat_binders a.pat)
+  in
+  Lang.Subst.subst_many plugs a.rhs
+
+let rec shrink (e : expr) : expr list =
+  let special =
+    match e with
+    | Lit (Lit_int n) when n <> 0 ->
+        if n / 2 <> 0 && n / 2 <> n then [ B.int 0; B.int (n / 2) ]
+        else [ B.int 0 ]
+    | Lit (Lit_string s) when String.length s > 0 -> [ B.str "" ]
+    | App (Lam (x, b), a) -> [ Lang.Subst.subst x a b ]
+    | Let (x, e1, e2) ->
+        if Lang.Subst.is_free_in x e2 then [ Lang.Subst.subst x e1 e2 ]
+        else [ e2 ]
+    | Letrec (binds, body)
+      when not
+             (List.exists
+                (fun (x, _) -> Lang.Subst.is_free_in x body)
+                binds) ->
+        [ body ]
+    | Case (s, alts) -> s :: List.map close_rhs alts
+    | Lam (x, b) -> [ b; Lang.Subst.subst x (B.int 0) b ]
+    | Fix e1 -> [ e1 ]
+    | Raise _ -> [ B.raise_exn Lang.Exn.Divide_by_zero ]
+    | _ -> []
+  in
+  let subterms = List.map fst (children_with_context e) in
+  let recursive =
+    List.concat_map
+      (fun (c, ctx) -> List.map ctx (shrink_shallow c))
+      (children_with_context e)
+  in
+  let n = size e in
+  let ok c =
+    match (e, c) with
+    | Lit (Lit_int a), Lit (Lit_int b) -> abs b < abs a
+    | _ -> size c < n
+  in
+  (* Every candidate strictly decreases (size, |literal|): any greedy
+     minimisation loop over [shrink] terminates. Smaller candidates are
+     sorted first so the minimiser reaches small witnesses quickly. *)
+  let cands =
+    List.filter ok (special @ subterms @ recursive)
+    |> List.filter (fun c -> size c <= n)
+    |> List.sort_uniq (fun a b ->
+           match Stdlib.compare (size a) (size b) with
+           | 0 -> Lang.Syntax.compare a b
+           | c -> c)
+  in
+  cands
+
+(* One non-recursive level, used inside [shrink] to bound the candidate
+   fan-out (full recursion re-enters through the minimiser's loop). *)
+and shrink_shallow (e : expr) : expr list =
+  match e with
+  | Lit (Lit_int n) when n <> 0 -> [ B.int 0 ]
+  | App (Lam (x, b), a) -> [ Lang.Subst.subst x a b ]
+  | Let (x, _, e2) when not (Lang.Subst.is_free_in x e2) -> [ e2 ]
+  | Case (s, _) -> [ s ]
+  | _ -> List.map fst (children_with_context e)

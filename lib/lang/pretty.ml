@@ -72,8 +72,16 @@ let rec pp_level lvl ppf e =
         | head -> (head, acc)
       in
       let head, args = collect [] e in
+      (* A nullary-constructor head must be parenthesised: [Nil x] would
+         re-parse as an over-applied constructor, not an application of
+         the constructor value. *)
+      let pp_head ppf h =
+        match h with
+        | Con (_, []) -> Fmt.pf ppf "(%a)" (pp_level 0) h
+        | _ -> pp_level 11 ppf h
+      in
       parens_if (lvl > 10) (fun ppf _ ->
-          Fmt.pf ppf "@[<hv 2>%a@ %a@]" (pp_level 11) head
+          Fmt.pf ppf "@[<hv 2>%a@ %a@]" pp_head head
             Fmt.(list ~sep:sp (pp_level 11))
             args)
   | Prim (p, [ a; b ]) when Option.is_some (prim_level p) ->

@@ -96,6 +96,13 @@ let pp_failure ppf = function
   | Fail_async e -> Fmt.pf ppf "async %a" Exn.pp e
   | Fail_diverged -> Fmt.string ppf "diverged"
 
+(* Why a WHNF value could not be read back as an exception constant:
+   either it is not an exception at all (the caller chooses the message
+   -- [raise] and [mapException] report differently, matching the
+   denotational semantics), or interpreting it raised an exception of
+   its own (a payload that raises propagates that exception). *)
+type to_exn_error = Not_exn | Exn_err of Exn.t
+
 let create ?(config = default_config) ?(trace = Obs.create ()) () =
   {
     heap = Growarray.create ~dummy:Cell_unused ();
@@ -180,6 +187,13 @@ let exn_to_mvalue m (e : Exn.t) : mvalue =
 
 exception Machine_stuck of failure
 
+(* A primitive or pattern-match type error inside [run]: caught at the
+   loop boundary and re-entered as an ordinary synchronous raise, so it
+   unwinds the stack (poisoning thunks, feeding [mapException] and catch
+   frames) exactly like any other exception — the denotational semantics
+   makes no distinction. *)
+exception Prim_type_error of string
+
 (* The machine loop. [catch] marks the bottom of this run's stack as a
    getException catch mark: synchronous raises and asynchronous events
    that unwind all the way down are returned as [Error]. *)
@@ -197,7 +211,7 @@ let rec run (m : t) ~(catch : bool) (code0 : code) : (mvalue, failure) result
     stack := rest;
     decr depth
   in
-  let type_error msg = raise (Machine_stuck (Fail_exn (Exn.Type_error msg))) in
+  let type_error msg = raise (Prim_type_error msg) in
 
   (* Register the origin of a raise (provenance is always-on: raises are
      off the fast path) and record the event when the recorder is on. *)
@@ -255,8 +269,13 @@ let rec run (m : t) ~(catch : bool) (code0 : code) : (mvalue, failure) result
             | Ok v -> (
                 match mvalue_to_exn m v with
                 | Ok exn' -> unwind_sync (note_raise "mapException" exn') exn'
-                | Error msg ->
-                    let exn' = Exn.Type_error ("mapException: " ^ msg) in
+                | Error Not_exn ->
+                    (* Matches [Sem_value.exn_of_whnf]: the denotational
+                       semantics reports a non-exception uniformly, with
+                       no mapException-specific message. *)
+                    let exn' = Exn.Type_error "raise: not an exception" in
+                    unwind_sync (note_raise "mapException" exn') exn'
+                | Error (Exn_err exn') ->
                     unwind_sync (note_raise "mapException" exn') exn')
             | Error (Fail_exn exn') ->
                 unwind_sync (note_raise "mapException" exn') exn'
@@ -555,10 +574,11 @@ let rec run (m : t) ~(catch : bool) (code0 : code) : (mvalue, failure) result
             | F_raise -> (
                 match mvalue_to_exn m v with
                 | Ok exn -> code := raise_to_code ~label:"raise" exn
-                | Error msg ->
+                | Error Not_exn ->
                     code :=
                       raise_to_code ~label:"raise"
-                        (Exn.Type_error ("raise: " ^ msg)))
+                        (Exn.Type_error "raise: not an exception")
+                | Error (Exn_err e) -> code := raise_to_code ~label:"raise" e)
             | F_mapexn _ ->
                 (* The protected value was normal: mapException is the
                    identity. *)
@@ -575,12 +595,18 @@ let rec run (m : t) ~(catch : bool) (code0 : code) : (mvalue, failure) result
           step ();
           loop ()
     in
-    loop ()
+    let rec exec () =
+      try loop ()
+      with Prim_type_error msg ->
+        code := raise_to_code ~label:"type-error" (Exn.Type_error msg);
+        exec ()
+    in
+    exec ()
   with Machine_stuck failure -> Error failure
 
 (* Interpret a WHNF machine value as an exception constant; forces the
    payload in a nested run. *)
-and mvalue_to_exn (m : t) (v : mvalue) : (Exn.t, string) result =
+and mvalue_to_exn (m : t) (v : mvalue) : (Exn.t, to_exn_error) result =
   match v with
   | MCon (name, args) -> (
       let payload =
@@ -589,17 +615,24 @@ and mvalue_to_exn (m : t) (v : mvalue) : (Exn.t, string) result =
         | [ a ] -> (
             match run m ~catch:false (C_enter a) with
             | Ok (MString s) -> Ok (Some s)
-            | Ok _ -> Error "exception payload is not a string"
-            | Error _ -> Error "exception payload failed to evaluate")
-        | _ -> Error "exception constructor arity"
+            | Ok _ ->
+                Error (Exn.Type_error "exception payload is not a string")
+            | Error (Fail_exn e) | Error (Fail_async e) -> Error e
+            | Error Fail_diverged ->
+                Error (Exn.Type_error "exception payload failed to evaluate"))
+        | _ -> Error (Exn.Type_error "exception constructor arity")
       in
       match payload with
-      | Error _ as e -> e
+      | Error e -> Error (Exn_err e)
       | Ok p -> (
           match Exn.of_constructor name p with
           | Some e -> Ok e
-          | None -> Error (name ^ " is not an exception constructor")))
-  | MInt _ | MChar _ | MString _ | MClo _ -> Error "not an exception value"
+          | None ->
+              Error
+                (Exn_err
+                   (Exn.Type_error
+                      (name ^ " is not an exception constructor")))))
+  | MInt _ | MChar _ | MString _ | MClo _ -> Error Not_exn
 
 let force m a = run m ~catch:false (C_enter a)
 

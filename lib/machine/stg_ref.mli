@@ -166,4 +166,11 @@ val gc : t -> roots:addr list -> addr list
     computations stay resumable across collections. *)
 
 val exn_to_mvalue : t -> Lang.Exn.t -> mvalue
-val mvalue_to_exn : t -> mvalue -> (Lang.Exn.t, string) result
+
+(** Why a WHNF value could not be read back as an exception constant:
+    not an exception at all (the caller chooses the message), or
+    interpreting it raised an exception of its own (an exceptional
+    payload propagates). *)
+type to_exn_error = Not_exn | Exn_err of Lang.Exn.t
+
+val mvalue_to_exn : t -> mvalue -> (Lang.Exn.t, to_exn_error) result

@@ -96,6 +96,29 @@ and apply ctx (f : whnf) (arg : thunk) : whnf =
       else Bad s
 
 and eval_case ctx env (scrut_w : whnf) (alts : alt list) : whnf =
+  (* Exception-finding mode (Section 4.3): when the case cannot choose a
+     branch, evaluate every alternative with pattern variables bound to
+     Bad {} and union all the resulting exception sets with the blocking
+     one.  This applies both to an exceptional scrutinee and to a value
+     that matches no pattern: a failed match is just another exception
+     the case raises, and covering it keeps [case_commute] an identity
+     (the commuted program may surface the other scrutinee's exceptions
+     first — found by fuzzing).  With [case_finding] off, "return just
+     that set" — the ablation rejected in Section 4.3. *)
+  let finding s =
+    if not ctx.cfg.case_finding then Bad s
+    else
+      Bad
+        (List.fold_left
+           (fun acc a ->
+             let env' =
+               List.fold_left
+                 (fun acc' x -> bind_whnf x bad_empty acc')
+                 env (pat_binders a.pat)
+             in
+             Exn_set.union acc (s_of (eval_ctx ctx env' a.rhs)))
+           s alts)
+  in
   match scrut_w with
   | Ok_v v -> (
       match select_alt v alts with
@@ -104,26 +127,11 @@ and eval_case ctx env (scrut_w : whnf) (alts : alt list) : whnf =
             List.fold_left (fun acc (x, t) -> bind x t acc) env binds
           in
           eval_ctx ctx env' rhs
-      | None -> bad_at ~label:"case" (Exn.Pattern_match_fail "case"))
-  | Bad s when not ctx.cfg.case_finding ->
-      (* Ablation: "return just that set" — rejected in Section 4.3. *)
-      Bad s
-  | Bad s ->
-      (* Exception-finding mode (Section 4.3): evaluate every alternative
-         with pattern variables bound to Bad {} and union all the resulting
-         exception sets with the scrutinee's. *)
-      let finding =
-        List.fold_left
-          (fun acc a ->
-            let env' =
-              List.fold_left
-                (fun acc' x -> bind_whnf x bad_empty acc')
-                env (pat_binders a.pat)
-            in
-            Exn_set.union acc (s_of (eval_ctx ctx env' a.rhs)))
-          s alts
-      in
-      Bad finding
+      | None -> (
+          match bad_at ~label:"case" (Exn.Pattern_match_fail "case") with
+          | Bad s -> finding s
+          | w -> w))
+  | Bad s -> finding s
 
 and select_alt (v : value) (alts : alt list) :
     ((string * thunk) list * expr) option =

@@ -27,3 +27,5 @@ let is_valid_rewrite ?config ?depth a b =
   match compare_denot ?config ?depth a b with
   | Equal | Refines -> true
   | Refined_by | Incomparable -> false
+
+let implements_deep = Semantics.Refine.implements_deep

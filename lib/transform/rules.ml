@@ -128,11 +128,15 @@ let case_switch =
     name = "case_switch";
     description =
       "(case e of {True->f; False->g}) x  ==>  case e of {True->f x; \
-       False->g x}.  The Section 4.5 example: an identity in old Haskell, \
-       a *refinement* here (the right-hand side can raise fewer \
-       exceptions: lhs ⊑ rhs).";
+       False->g x}.  The Section 4.5 example: an identity in old Haskell \
+       and, on the paper's instance, a refinement here (the right-hand \
+       side drops the argument's exceptions: lhs ⊑ rhs).  Found by \
+       fuzzing: NOT a refinement in general.  The exception-finding rule \
+       cannot see exceptions latent behind a lambda, so pushing the \
+       application inside an alternative can surface new ones — a branch \
+       body that raises, or a non-function branch hitting a type error.";
     paper_ref = "4.5";
-    imprecise = Refinement;
+    imprecise = Invalid;
     fixed_order = Identity;
     nondet = Identity;
     applies =
@@ -177,6 +181,32 @@ let case_switch =
                   { pat = Pcon (c_false, []); rhs = B.lam "v" (B.int 7) };
                 ] ),
             e_div0 );
+        (* Fuzzer-minimised witness of the invalidity: the False branch
+           is not a function, so the pushed-in application manufactures
+           a type error the finding rule never saw on the left.
+           lhs denotes Bad {E}, rhs Bad {E, TypeError}: lost information. *)
+        App
+          ( Case
+              ( B.raise_exn (Lang.Exn.User_error "E"),
+                [
+                  { pat = Pcon (c_true, []); rhs = B.lam "v" (B.int 1) };
+                  { pat = Pcon (c_false, []); rhs = B.int 1 };
+                ] ),
+            B.str "X" );
+        (* Same defect without a type error: both branches are lambdas,
+           but their bodies raise.  A lambda's latent exceptions are
+           invisible to the finding union, so the left side is Bad {E}
+           while the right side gains Overflow. *)
+        App
+          ( Case
+              ( B.raise_exn (Lang.Exn.User_error "E"),
+                [
+                  { pat = Pcon (c_true, []);
+                    rhs = B.lam "v" (B.raise_exn Lang.Exn.Overflow) };
+                  { pat = Pcon (c_false, []);
+                    rhs = B.lam "v" (B.raise_exn Lang.Exn.Overflow) };
+                ] ),
+            B.int 1 );
       ];
   }
 

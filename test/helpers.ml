@@ -60,26 +60,6 @@ let qtest ?count name gen prop =
 let print_expr_pair = QCheck2.Print.pair Gen.print_expr Gen.print_expr
 
 (* The "implements" relation between a machine/fixed result and the
-   imprecise denotation: every exception actually raised must be a member
-   of the semantic exception set (C13). *)
-let rec implements (impl : Value.deep) (den : Value.deep) : bool =
-  match (den, impl) with
-  | Value.DBad s, _ when Exn_set.is_all s -> true
-  | Value.DCut, _ | _, Value.DCut -> true
-  | Value.DBad s_d, Value.DBad s_i -> (
-      (* The implementation reports one representative (or diverged). *)
-      match Exn_set.elements s_i with
-      | Some [ e ] -> Exn_set.mem e s_d
-      | Some _ | None -> Exn_set.leq s_i s_d)
-  | Value.DInt a, Value.DInt b -> a = b
-  | Value.DChar a, Value.DChar b -> a = b
-  | Value.DString a, Value.DString b -> String.equal a b
-  | Value.DFun, Value.DFun -> true
-  | Value.DCon (c1, ds), Value.DCon (c2, is) ->
-      String.equal c1 c2
-      && List.length ds = List.length is
-      && List.for_all2 (fun d i -> implements i d) ds is
-  | ( (Value.DInt _ | Value.DChar _ | Value.DString _ | Value.DFun
-      | Value.DCon _ | Value.DBad _),
-      _ ) ->
-      false
+   imprecise denotation (C13) — promoted to the library proper so tests
+   and the fuzzer share one checker. *)
+let implements = Refine.implements_deep

@@ -250,4 +250,36 @@ let suite =
         Alcotest.(check bool) "child finished" true (String.contains out 'M');
         Alcotest.(check bool) "parent interrupted" true
           (String.contains out '!'));
+    tc "a seeded oracle replays the same schedule" (fun () ->
+        (* The oracle owns every nondeterministic choice, so two runs
+           with the same seed must agree on outcome, output and thread
+           accounting — the property the fuzzer's replay depends on. *)
+        let racy =
+          parse
+            "newEmptyMVar >>= \\mv ->\n\
+             forkIO (putChar 'a' >>= \\u -> putMVar mv (1/0)) >>= \\u ->\n\
+             forkIO (putChar 'b' >>= \\u -> putMVar mv 2) >>= \\u ->\n\
+             takeMVar mv >>= \\x -> getException x >>= \\r ->\n\
+             case r of { Bad e -> return 0 ; OK v -> return v }"
+        in
+        let go seed = Conc.run ~oracle:(Oracle.create ~seed) racy in
+        List.iter
+          (fun seed ->
+            let r1 = go seed and r2 = go seed in
+            let ok =
+              match (r1.Conc.outcome, r2.Conc.outcome) with
+              | Conc.Done d1, Conc.Done d2 -> Value.deep_equal d1 d2
+              | o1, o2 -> o1 = o2
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "outcome deterministic (seed %d)" seed)
+              true ok;
+            Alcotest.(check string)
+              (Printf.sprintf "output deterministic (seed %d)" seed)
+              (Conc.output_string_of r1)
+              (Conc.output_string_of r2);
+            Alcotest.(check int)
+              (Printf.sprintf "threads deterministic (seed %d)" seed)
+              r1.Conc.threads_spawned r2.Conc.threads_spawned)
+          [ 1; 7; 42; 1999 ]);
   ]

@@ -127,4 +127,42 @@ let suite =
         match ES.choose a with
         | None -> ES.is_empty a
         | Some e -> ES.mem e a);
+    (* drop_async/keep_async partition the set (Section 5.1), and the
+       partition interacts with map — the core of mapException. *)
+    q "drop/keep async partition the set" gen_set print_set (fun a ->
+        if ES.is_all a then
+          ES.is_all (ES.drop_async a) && ES.is_all (ES.keep_async a)
+        else
+          ES.equal a (ES.union (ES.drop_async a) (ES.keep_async a))
+          &&
+          match ES.elements (ES.drop_async a) with
+          | None -> false
+          | Some kept ->
+              List.for_all (fun e -> not (ES.mem e (ES.keep_async a))) kept);
+    q "drop_async keeps exactly the synchronous members" gen_set print_set
+      (fun a ->
+        match (ES.elements a, ES.elements (ES.drop_async a)) with
+        | None, None -> true
+        | Some es, Some kept ->
+            List.for_all (fun e -> Exn.is_synchronous e) kept
+            && List.for_all
+                 (fun e -> Exn.is_asynchronous e || List.mem e kept)
+                 es
+        | _ -> false);
+    q "map to an async constant lands in keep_async" gen_set print_set
+      (fun a ->
+        let m = ES.map (fun _ -> Exn.Interrupt) a in
+        if ES.is_all a then ES.is_all m
+        else
+          ES.is_empty (ES.drop_async m)
+          && (ES.is_empty a
+             || ES.equal (ES.keep_async m) (ES.singleton Exn.Interrupt)));
+    q "map to a sync constant lands in drop_async" gen_set print_set
+      (fun a ->
+        let m = ES.map (fun _ -> Exn.Overflow) a in
+        if ES.is_all a then ES.is_all m
+        else
+          ES.is_empty (ES.keep_async m)
+          && (ES.is_empty a
+             || ES.equal (ES.drop_async m) (ES.singleton Exn.Overflow)));
   ]

@@ -29,4 +29,5 @@ let () =
       ("diff", Test_diff.suite);
       ("faultinject", Test_faultinject.suite);
       ("obs", Test_obs.suite);
+      ("fuzz", Test_fuzz.suite);
     ]

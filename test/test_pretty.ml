@@ -55,6 +55,24 @@ let suite =
       (Gen.gen_int ()) roundtrip;
     Helpers.qtest ~count:200 "print/parse roundtrip on random list terms"
       (Gen.gen_list ()) roundtrip;
+    Helpers.qtest ~count:200 "print/parse roundtrip on random IO programs"
+      (Gen.gen_io ()) roundtrip;
+    Helpers.qtest ~count:200
+      "print/parse roundtrip on random concurrent programs" (Gen.gen_conc ())
+      roundtrip;
+    check_rt "roundtrip mapException"
+      (B.map_exception
+         (B.lam "e" (B.con "Overflow" []))
+         B.div_zero_plus_error);
+    check_rt "roundtrip mask and bracket"
+      (B.io_bind
+         (B.con "Mask" [ B.io_return (B.int 1) ])
+         (B.lam "u"
+            (B.con "Bracket"
+               [
+                 B.io_return (B.int 2); B.lam "r" (B.io_return (B.var "r"));
+                 B.lam "r" (B.io_return (B.int 0));
+               ])));
     Helpers.qtest ~count:60 "printed prelude-free terms re-evaluate equally"
       (Gen.gen ~cfg:{ Gen.default_cfg with use_prelude = false } Gen.T_int)
       (fun e ->
