@@ -543,6 +543,156 @@ let table_tracing ~wallclock () =
     slot_workloads;
   Fmt.pr "(asserted: tracing off records 0 events and identical steps)@."
 
+(* ------------------------------------------------------------------ *)
+(* Table K — asynchronous thread-to-thread exceptions (Section 5.1)    *)
+(* ------------------------------------------------------------------ *)
+
+(* The async-exception runtime's contract: a kill schedule that never
+   fires is free — identical machine step counts and zero deliveries,
+   asserted (not assumed) including under [--smoke] — and a used one
+   pays a bounded per-delivery cost, reported here as machine steps per
+   delivered throwTo. Wall-clock columns are Bechamel estimates,
+   skipped under [--smoke]. The table is emitted as machine-readable
+   BENCH_K.json. *)
+
+let k_pingpong =
+  "newEmptyMVar >>= \\a -> newEmptyMVar >>= \\b ->\n\
+   forkIO (takeMVar a >>= \\x -> putMVar b (x + 1)) >>\n\
+   putMVar a 41 >> takeMVar b >>= \\r -> return r"
+
+let k_worker =
+  "superviseWorker 3\n\
+  \  (putInt (sum (enumFromTo 1 200)) >>= \\u -> return 9)\n\
+  \  (return 0)\n\
+   >>= \\v -> putChar 'S' >>= \\u -> return v"
+
+let k_worker_kills =
+  [ (6, 1, Exn.Thread_killed); (8, 1, Exn.Thread_killed);
+    (10, 1, Exn.Thread_killed); (30, 2, Exn.Thread_killed);
+    (35, 2, Exn.Thread_killed); (40, 2, Exn.Thread_killed) ]
+
+(* Fifty delivered self-throws against the same loop without them: the
+   difference, divided by fifty, is the per-delivery machine cost. *)
+let k_selfthrow =
+  "mapM2 (\\i -> getException (myThreadId >>= \\t -> killThread t) >>= \
+   \\u -> return Unit) (enumFromTo 1 50)"
+
+let k_selfbase =
+  "mapM2 (\\i -> getException (return i) >>= \\u -> return Unit) \
+   (enumFromTo 1 50)"
+
+let table_asyncexn ~wallclock () =
+  header
+    "Table K (Section 5.1): throwTo/killThread — free when unused,          bounded steps per delivery";
+  Fmt.pr "%-18s %12s %12s %10s %10s %12s %10s %10s@." "workload" "steps"
+    "steps armed" "delivered" "recovered" "per-deliver" "plain ns"
+    "faulted ns";
+  let run ?(kills = []) src = Machine_conc.run ~kills (parse src) in
+  let fopt = function Some x -> Printf.sprintf "%.0f" x | None -> "-" in
+  let jopt = function Some x -> Printf.sprintf "%.1f" x | None -> "null" in
+  (* Row 1: an unused schedule must not cost a single machine step. The
+     armed run carries kill entries aimed at a tid that never spawns. *)
+  let plain = run k_pingpong in
+  let armed =
+    run ~kills:[ (5, 99, Exn.Thread_killed); (9, 99, Exn.Interrupt) ]
+      k_pingpong
+  in
+  if
+    plain.Machine_conc.stats.Stats.steps
+    <> armed.Machine_conc.stats.Stats.steps
+  then
+    Fmt.failwith "an unused kill schedule changed the step count: %d vs %d"
+      plain.Machine_conc.stats.Stats.steps
+      armed.Machine_conc.stats.Stats.steps;
+  if armed.Machine_conc.stats.Stats.throwtos_delivered <> 0 then
+    Fmt.failwith "an unused kill schedule delivered %d exceptions"
+      armed.Machine_conc.stats.Stats.throwtos_delivered;
+  let ns_plain, ns_armed =
+    if wallclock then
+      ( measure_ns "asyncexn/pingpong" (fun () -> ignore (run k_pingpong)),
+        measure_ns "asyncexn/pingpong-armed" (fun () ->
+            ignore
+              (run ~kills:[ (5, 99, Exn.Thread_killed) ] k_pingpong)) )
+    else (None, None)
+  in
+  Fmt.pr "%-18s %12d %12d %10d %10d %12s %10s %10s@." "pingpong"
+    plain.Machine_conc.stats.Stats.steps armed.Machine_conc.stats.Stats.steps
+    0 0 "-" (fopt ns_plain) (fopt ns_armed);
+  (* Row 2: a supervised worker murdered twice; the supervisor restarts
+     it and the third incarnation finishes. *)
+  let wplain = run k_worker in
+  let wkill = run ~kills:k_worker_kills k_worker in
+  let delivered = wkill.Machine_conc.stats.Stats.throwtos_delivered in
+  let recovered = wkill.Machine_conc.stats.Stats.blocked_recoveries in
+  if delivered = 0 then
+    Fmt.failwith "the worker kill schedule delivered nothing";
+  let ns_wplain, ns_wkill =
+    if wallclock then
+      ( measure_ns "asyncexn/worker" (fun () -> ignore (run k_worker)),
+        measure_ns "asyncexn/worker-killed" (fun () ->
+            ignore (run ~kills:k_worker_kills k_worker)) )
+    else (None, None)
+  in
+  Fmt.pr "%-18s %12d %12d %10d %10d %12s %10s %10s@." "worker-killed"
+    wplain.Machine_conc.stats.Stats.steps
+    wkill.Machine_conc.stats.Stats.steps delivered recovered "-"
+    (fopt ns_wplain) (fopt ns_wkill);
+  (* Row 3: per-delivery machine steps, from 50 self-throws. *)
+  let sthrow = run k_selfthrow in
+  let sbase = run k_selfbase in
+  if sthrow.Machine_conc.stats.Stats.throwtos_delivered <> 50 then
+    Fmt.failwith "expected 50 self-deliveries, saw %d"
+      sthrow.Machine_conc.stats.Stats.throwtos_delivered;
+  let per_delivery =
+    float_of_int
+      (sthrow.Machine_conc.stats.Stats.steps
+      - sbase.Machine_conc.stats.Stats.steps)
+    /. 50.0
+  in
+  let ns_sbase, ns_sthrow =
+    if wallclock then
+      ( measure_ns "asyncexn/selfbase" (fun () -> ignore (run k_selfbase)),
+        measure_ns "asyncexn/selfthrow" (fun () -> ignore (run k_selfthrow))
+      )
+    else (None, None)
+  in
+  Fmt.pr "%-18s %12d %12d %10d %10d %12.1f %10s %10s@." "selfthrow-x50"
+    sbase.Machine_conc.stats.Stats.steps
+    sthrow.Machine_conc.stats.Stats.steps 50
+    sthrow.Machine_conc.stats.Stats.blocked_recoveries per_delivery
+    (fopt ns_sbase) (fopt ns_sthrow);
+  Fmt.pr
+    "(asserted: an unused schedule leaves steps identical and delivers \
+     nothing)@.";
+  let json =
+    Printf.sprintf
+      "{\"bench\":\"async_exceptions\",\"wallclock\":%b,\"rows\":[%s]}\n"
+      wallclock
+      (String.concat ","
+         [
+           Printf.sprintf
+             "{\"workload\":\"pingpong\",\"steps_plain\":%d,\"steps_armed\":%d,\"delivered\":0,\"recovered\":0,\"per_delivery_steps\":null,\"ns_plain\":%s,\"ns_faulted\":%s}"
+             plain.Machine_conc.stats.Stats.steps
+             armed.Machine_conc.stats.Stats.steps (jopt ns_plain)
+             (jopt ns_armed);
+           Printf.sprintf
+             "{\"workload\":\"worker-killed\",\"steps_plain\":%d,\"steps_armed\":%d,\"delivered\":%d,\"recovered\":%d,\"per_delivery_steps\":null,\"ns_plain\":%s,\"ns_faulted\":%s}"
+             wplain.Machine_conc.stats.Stats.steps
+             wkill.Machine_conc.stats.Stats.steps delivered recovered
+             (jopt ns_wplain) (jopt ns_wkill);
+           Printf.sprintf
+             "{\"workload\":\"selfthrow-x50\",\"steps_plain\":%d,\"steps_armed\":%d,\"delivered\":50,\"recovered\":%d,\"per_delivery_steps\":%.1f,\"ns_plain\":%s,\"ns_faulted\":%s}"
+             sbase.Machine_conc.stats.Stats.steps
+             sthrow.Machine_conc.stats.Stats.steps
+             sthrow.Machine_conc.stats.Stats.blocked_recoveries per_delivery
+             (jopt ns_sbase) (jopt ns_sthrow);
+         ])
+  in
+  let oc = open_out "BENCH_K.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pr "(BENCH_K.json written)@."
+
 let make_tests () =
   let t name f = Test.make ~name (Staged.stage f) in
   let fib12 = parse (fib 12) in
@@ -650,6 +800,7 @@ let () =
   table_fault ();
   table_slots ~wallclock:(not skip_bechamel) ();
   table_tracing ~wallclock:(not skip_bechamel) ();
+  table_asyncexn ~wallclock:(not skip_bechamel) ();
   if skip_bechamel then Fmt.pr "@.(bechamel skipped)@."
   else run_bechamel ();
   Fmt.pr "@.done.@."

@@ -488,13 +488,88 @@ let fuzz_cmd =
       $ smoke_arg $ corpus_arg $ crashes_arg $ persist_arg $ inject_arg
       $ quiet_arg)
 
+let faults_cmd =
+  let run count kills quiet =
+    (* Phase 1: the general fault suite (baselines, [count] seeded
+       schedules over every applicable layer, the supervisor
+       scenario). *)
+    let report = Faultinject.run_suite ~count () in
+    if not quiet then Fmt.pr "%a@." Faultinject.pp_report report;
+    (* Phase 2: the throwTo/killThread axis specifically — keep
+       generating seeded schedules until [kills] of them carry
+       thread-targeted exceptions, and check every concurrent layer.
+       Violations come back with a flight-recorder dump of an
+       instrumented replay, so a failing schedule is diagnosable from
+       the CI log alone. *)
+    let conc_templates =
+      List.filter (fun t -> t.Faultinject.conc_only) Faultinject.templates
+    in
+    let scheduled = ref 0 and checks = ref 0 and violations = ref [] in
+    let seed = ref 0 in
+    while !scheduled < kills && !seed < 100 * (max kills 1) do
+      List.iter
+        (fun t ->
+          if !scheduled < kills then
+            let f = Faultinject.gen_fault ~seed:!seed t in
+            if f.Faultinject.kills <> [] then begin
+              incr scheduled;
+              List.iter
+                (fun layer ->
+                  let n, vs = Faultinject.check_one t f layer in
+                  checks := !checks + n;
+                  violations := !violations @ vs)
+                (Faultinject.layers_for t)
+            end)
+        conc_templates;
+      incr seed
+    done;
+    if not quiet then
+      Fmt.pr "kill schedules: %d executed, %d checks@." !scheduled !checks;
+    match (report.Faultinject.violations, !violations) with
+    | [], [] ->
+        if not quiet then Fmt.pr "all fault-injection invariants hold@.";
+        0
+    | suite_vs, kill_vs ->
+        List.iter (Fmt.epr "violation: %s@.") suite_vs;
+        List.iter (Fmt.epr "kill-schedule violation: %s@.") kill_vs;
+        1
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 250
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Seeded fault schedules for the general suite.")
+  in
+  let kills_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "kills" ] ~docv:"N"
+          ~doc:
+            "Seeded schedules that must carry thread-targeted \
+             throwTo/killThread exceptions, each run on every concurrent \
+             layer.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Only report violations.")
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Cross-layer fault injection: seeded schedules of asynchronous \
+          events, thread-targeted kills, resource ceilings, starved fuel \
+          and truncated input, checked against the exception-safety \
+          invariants on all four IO layers. Exits nonzero on any \
+          violation, with a flight-recorder replay of the failing \
+          schedule.")
+    Term.(const run $ count_arg $ kills_arg $ quiet_arg)
+
 let main_cmd =
   let doc = "A semantics for imprecise exceptions (PLDI 1999), executable." in
   Cmd.group
     (Cmd.info "impexn" ~version:"1.0.0" ~doc)
     [
       eval_cmd; set_cmd; run_cmd; laws_cmd; encode_cmd; optimize_cmd;
-      typecheck_cmd; trace_cmd; fuzz_cmd;
+      typecheck_cmd; trace_cmd; fuzz_cmd; faults_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,20 +1,45 @@
-(* A supervisor that survives resource exhaustion.
+(* A supervisor that survives resource exhaustion, killed workers and
+   deadlocked joins.
 
    The paper's pitch (Sections 1 and 3) is that built-in errors are
-   recoverable values, not process aborts. This example pushes that to
-   resource exhaustion: the machine runs with a heap ceiling, the big
-   computation blows it, and the HeapOverflow arrives as an ordinary
-   catchable imprecise exception at the supervisor's getException — which
-   then degrades gracefully to a smaller workload. A second run shows
-   bracket guaranteeing cleanup when a timeout tears the worker down.
+   recoverable values, not process aborts. This example pushes that in
+   three directions:
+
+   - resource exhaustion: the machine runs with a heap ceiling, the big
+     computation blows it, and HeapOverflow arrives as an ordinary
+     catchable imprecise exception at the supervisor's getException —
+     which degrades gracefully to a smaller workload;
+
+   - asynchronous kills (Section 5.1): a fault schedule throwTo-kills
+     the supervised worker mid-job; the join on its result MVar then
+     blocks forever, the scheduler delivers the catchable
+     BlockedIndefinitely, and superviseWorker restarts a fresh worker
+     until one survives;
+
+   - deadlock: a worker that can never be satisfied is not a global
+     abort either — the supervisor catches BlockedIndefinitely at its
+     own getException and completes the fallback.
+
+   Every scenario runs on both concurrent layers (Semantics.Conc and
+   Machine.Machine_conc) and the process exits nonzero if any outcome
+   deviates, so CI can use this binary as a smoke test.
 
    Run with: dune exec examples/supervisor.exe *)
 
 open Imprecise
 
-(* A supervisor in the object language: attempt the big job; on
-   HeapOverflow fall back to a smaller one; on any other exception give
-   up with a report. *)
+let failures = ref 0
+
+let expect name got want =
+  if got then Fmt.pr "  [ok] %s@." name
+  else begin
+    incr failures;
+    Fmt.pr "  [FAILED] %s (wanted %s)@." name want
+  end
+
+(* ------------------------------------------------------------------ *)
+(* 1. Heap exhaustion: the original scenario.                          *)
+
 let supervisor_src =
   "getException (seq (sum (enumFromTo 1 5000)) 1) >>= \\v ->\n\
    case v of {\n\
@@ -28,23 +53,16 @@ let supervisor_src =
            Bad e2 -> putChar 'L' >>= \\u2 -> return (0 - 1) } ;\n\
        z -> putChar '?' >>= \\u -> return (0 - 2) } }"
 
-(* The same shape with bracket: the release runs even when the timeout
-   rips the worker out mid-write. *)
-let bracket_src =
-  "timeout 10 (bracket (putChar 'A' >>= \\u -> return 1)\n\
-  \                    (\\r -> putChar 'R')\n\
-  \                    (\\r -> putList (replicate 40 '.')))\n\
-   >>= \\mv -> case mv of {\n\
-     Nothing -> putChar 'T' >>= \\u -> return 0 ;\n\
-     Just x -> putChar 'J' >>= \\u -> return x }"
-
-let () =
+let heap_scenario () =
+  Fmt.pr "== heap exhaustion ==@.";
   (* Denotationally there is no heap, so the supervisor's happy path
      runs: this is the spec the machine refines. *)
   let d = Io.run (parse supervisor_src) in
   Fmt.pr "spec (no heap):    %a  output %S@." Io.pp_outcome d.Io.outcome
     (Io.output_string_of d);
-
+  expect "spec completes"
+    (match d.Io.outcome with Io.Done _ -> true | _ -> false)
+    "Done";
   (* The machine under a 2500-cell ceiling: the big sum overflows, the
      supervisor catches HeapOverflow and completes the small job. *)
   let r =
@@ -56,13 +74,136 @@ let () =
     r.Machine_io.outcome r.Machine_io.output;
   Fmt.pr "                   heap overflows caught: %d@."
     r.Machine_io.stats.Stats.heap_overflows;
+  expect "machine degrades to the small job"
+    (match r.Machine_io.outcome with
+    | Machine_io.Done d -> Value.deep_equal d (Value.DInt 5050)
+    | _ -> false)
+    "Done 5050";
+  expect "overflow was caught, not fatal"
+    (r.Machine_io.stats.Stats.heap_overflows > 0)
+    "heap_overflows > 0"
 
-  (* Exception safety: the bracket's release runs exactly once whether
-     the use phase finishes or the timeout tears it down. *)
+(* ------------------------------------------------------------------ *)
+(* 2. Killed workers: superviseWorker restarts until one survives.     *)
+
+let worker_src =
+  "superviseWorker 3\n\
+  \  (putInt (sum (enumFromTo 1 200)) >>= \\u -> return 9)\n\
+  \  (return 0)\n\
+   >>= \\v -> putChar 'S' >>= \\u -> return v"
+
+(* Each retry forks a fresh worker thread (tids 1, 2, ...). Kill the
+   first two workers mid-sum: the supervisor's join blocks forever each
+   time, catches BlockedIndefinitely, and retries; worker three runs to
+   completion. The thresholds are spread out so each victim is alive
+   when its entry falls due. *)
+let worker_kills =
+  [ (6, 1, Exn.Thread_killed); (8, 1, Exn.Thread_killed);
+    (10, 1, Exn.Thread_killed); (30, 2, Exn.Thread_killed);
+    (35, 2, Exn.Thread_killed); (40, 2, Exn.Thread_killed);
+    (45, 2, Exn.Thread_killed) ]
+
+let kill_scenario () =
+  Fmt.pr "== killed workers ==@.";
+  let sem = Conc.run ~kills:worker_kills (parse worker_src) in
+  Fmt.pr "semantic: %a  output %S  kills delivered %d, joins recovered %d@."
+    Conc.pp_outcome sem.Conc.outcome
+    (Conc.output_string_of sem)
+    sem.Conc.counters.Io.throwtos_delivered
+    sem.Conc.counters.Io.blocked_recoveries;
+  expect "semantic supervisor survives its murdered workers"
+    (match sem.Conc.outcome with
+    | Conc.Done d -> Value.deep_equal d (Value.DInt 9)
+    | _ -> false)
+    "Done 9";
+  expect "semantic kills were delivered"
+    (sem.Conc.counters.Io.throwtos_delivered > 0)
+    "throwtos_delivered > 0";
+  expect "semantic blocked joins recovered"
+    (sem.Conc.counters.Io.blocked_recoveries > 0)
+    "blocked_recoveries > 0";
+  let mach = Machine_conc.run ~kills:worker_kills (parse worker_src) in
+  Fmt.pr "machine:  %a  output %S  kills delivered %d, joins recovered %d@."
+    Machine_conc.pp_outcome mach.Machine_conc.outcome mach.Machine_conc.output
+    mach.Machine_conc.stats.Stats.throwtos_delivered
+    mach.Machine_conc.stats.Stats.blocked_recoveries;
+  expect "machine supervisor survives its murdered workers"
+    (match mach.Machine_conc.outcome with
+    | Machine_conc.Done d -> Value.deep_equal d (Value.DInt 9)
+    | _ -> false)
+    "Done 9";
+  expect "machine kills were delivered"
+    (mach.Machine_conc.stats.Stats.throwtos_delivered > 0)
+    "throwtos_delivered > 0"
+
+(* ------------------------------------------------------------------ *)
+(* 3. A hopeless join: BlockedIndefinitely is caught, not fatal.       *)
+
+let blocked_src =
+  "newEmptyMVar >>= \\mv ->\n\
+   getException (takeMVar mv) >>= \\r ->\n\
+   case r of {\n\
+     OK x -> return x ;\n\
+     Bad e -> (if eqExn e BlockedIndefinitely\n\
+               then putChar 'B' else putChar '?') >>= \\u -> return 7 }"
+
+let blocked_scenario () =
+  Fmt.pr "== hopeless join ==@.";
+  let sem = Conc.run (parse blocked_src) in
+  Fmt.pr "semantic: %a  output %S@." Conc.pp_outcome sem.Conc.outcome
+    (Conc.output_string_of sem);
+  expect "semantic fallback completed"
+    (match sem.Conc.outcome with
+    | Conc.Done d -> Value.deep_equal d (Value.DInt 7)
+    | _ -> false)
+    "Done 7";
+  expect "semantic saw BlockedIndefinitely"
+    (String.equal (Conc.output_string_of sem) "B")
+    "output \"B\"";
+  let mach = Machine_conc.run (parse blocked_src) in
+  Fmt.pr "machine:  %a  output %S@." Machine_conc.pp_outcome
+    mach.Machine_conc.outcome mach.Machine_conc.output;
+  expect "machine fallback completed"
+    (match mach.Machine_conc.outcome with
+    | Machine_conc.Done d -> Value.deep_equal d (Value.DInt 7)
+    | _ -> false)
+    "Done 7";
+  expect "machine saw BlockedIndefinitely"
+    (String.equal mach.Machine_conc.output "B")
+    "output \"B\""
+
+(* ------------------------------------------------------------------ *)
+(* 4. Bracket under timeout, as before: cleanup still guaranteed.      *)
+
+let bracket_src =
+  "timeout 10 (bracket (putChar 'A' >>= \\u -> return 1)\n\
+  \                    (\\r -> putChar 'R')\n\
+  \                    (\\r -> putList (replicate 40 '.')))\n\
+   >>= \\mv -> case mv of {\n\
+     Nothing -> putChar 'T' >>= \\u -> return 0 ;\n\
+     Just x -> putChar 'J' >>= \\u -> return x }"
+
+let bracket_scenario () =
+  Fmt.pr "== bracket + timeout ==@.";
   let b = Machine_io.run (parse bracket_src) in
-  Fmt.pr "bracket+timeout:   %a@." Machine_io.pp_outcome b.Machine_io.outcome;
-  Fmt.pr "                   output: %s@." b.Machine_io.output;
-  Fmt.pr "                   brackets entered %d, released %d, timeouts %d@."
+  Fmt.pr "machine: %a@." Machine_io.pp_outcome b.Machine_io.outcome;
+  Fmt.pr "         output: %s@." b.Machine_io.output;
+  Fmt.pr "         brackets entered %d, released %d, timeouts %d@."
     b.Machine_io.stats.Stats.brackets_entered
     b.Machine_io.stats.Stats.brackets_released
-    b.Machine_io.stats.Stats.timeouts_fired
+    b.Machine_io.stats.Stats.timeouts_fired;
+  expect "release ran exactly once"
+    (b.Machine_io.stats.Stats.brackets_entered = 1
+    && b.Machine_io.stats.Stats.brackets_released = 1)
+    "1 acquire, 1 release"
+
+let () =
+  heap_scenario ();
+  kill_scenario ();
+  blocked_scenario ();
+  bracket_scenario ();
+  if !failures > 0 then begin
+    Fmt.pr "@.%d scenario check(s) FAILED@." !failures;
+    exit 1
+  end;
+  Fmt.pr "@.all supervisor scenarios survived their faults@."

@@ -35,6 +35,9 @@ module Stats = Machine.Stats
 type fault = {
   seed : int;
   async : (int * Exn.t) list;
+  kills : (int * int * Exn.t) list;
+      (** Thread-targeted sends [(clock, tid, exn)], the [throwTo] /
+          [killThread] axis; concurrent layers only. *)
   heap_limit : int option;
   stack_limit : int option;
   starved_fuel : int option;
@@ -47,6 +50,7 @@ let no_fault seed =
   {
     seed;
     async = [];
+    kills = [];
     heap_limit = None;
     stack_limit = None;
     starved_fuel = None;
@@ -55,15 +59,22 @@ let no_fault seed =
   }
 
 (* A fault is "clean" when it cannot legitimately change the program's
-   termination behaviour: only then do the strictest checks apply. *)
+   termination behaviour: only then do the strictest checks apply. Kill
+   schedules can end threads mid-output, so they are not clean. *)
 let clean f =
   f.heap_limit = None && f.stack_limit = None && f.starved_fuel = None
+  && f.kills = []
 
 let pp_fault ppf f =
-  Fmt.pf ppf "{seed=%d; async=[%a]; heap=%a; stack=%a; fuel=%a; trunc=%b}"
+  Fmt.pf ppf
+    "{seed=%d; async=[%a]; kills=[%a]; heap=%a; stack=%a; fuel=%a; trunc=%b}"
     f.seed
     Fmt.(list ~sep:comma (pair ~sep:(any "@") int Exn.pp))
     f.async
+    Fmt.(
+      list ~sep:comma (fun ppf (k, tid, x) ->
+          Fmt.pf ppf "%a→t%d@%d" Exn.pp x tid k))
+    f.kills
     Fmt.(option ~none:(any "-") int)
     f.heap_limit
     Fmt.(option ~none:(any "-") int)
@@ -303,6 +314,72 @@ let t_mask_shield =
         else []);
   }
 
+(* T10: a supervised worker under a kill schedule. [superviseWorker]
+   forks the worker, joins it through an MVar under [catchIO], and on any
+   exception — a delivered kill, or the BlockedIndefinitely recovery when
+   the dead worker leaves the join irrecoverably blocked — retries with a
+   fresh worker, falling back after three attempts. A fault may kill the
+   workers (tids 1..) as often as it likes; as long as it leaves the
+   supervising main thread (tid 0) alone and sets no resource ceilings,
+   the program must complete. *)
+let t_supervised_kill =
+  {
+    name = "supervised-kill";
+    source =
+      "superviseWorker 3 (putInt (sum (enumFromTo 1 200)) >>= \\u -> \
+       return 9) (return 0) >>= \\v -> putChar 'S' >>= \\u2 -> return v";
+    base_input = "";
+    core = None;
+    conc_only = true;
+    deterministic = true;
+    special =
+      (fun fault obs ->
+        let spares_main =
+          List.for_all (fun (_, tid, _) -> tid <> 0) fault.kills
+        in
+        if
+          fault.heap_limit = None && fault.stack_limit = None
+          && fault.starved_fuel = None && spares_main
+          && obs.status <> S_done
+        then
+          [
+            Fmt.str "supervised worker did not complete: %s"
+              (status_name obs.status);
+          ]
+        else []);
+  }
+
+(* T11: blocked-indefinitely recovery. The main thread blocks forever on
+   an empty MVar inside a getException; the scheduler must deliver the
+   catchable BlockedIndefinitely there (never a global deadlock), and the
+   fallback must run. Any injected kill aimed at the blocked thread is
+   equally caught, so under every resource-clean fault the program
+   completes with output "F". *)
+let t_blocked_recover =
+  {
+    name = "blocked-recover";
+    source =
+      "newEmptyMVar >>= \\mv -> getException (takeMVar mv) >>= \\r -> \
+       case r of { OK x -> return 0 ; Bad e -> putChar 'F' >>= \\u -> \
+       return 7 }";
+    base_input = "";
+    core = None;
+    conc_only = true;
+    deterministic = true;
+    special =
+      (fun fault obs ->
+        if
+          fault.heap_limit = None && fault.stack_limit = None
+          && fault.starved_fuel = None
+          && not (obs.status = S_done && obs.output = "F")
+        then
+          [
+            Fmt.str "blocked thread not recovered: %s with output %S"
+              (status_name obs.status) obs.output;
+          ]
+        else []);
+  }
+
 (* T9: truncated input — every layer must report the same stuck-on-EOF
    behaviour. *)
 let t_echo =
@@ -335,7 +412,8 @@ let templates =
   @ List.map t_shared_thunk
       [ ("pure", "sum (enumFromTo 1 200)"); ("headnil", "head []") ]
   @ List.map t_retry [ ("pure", List.assoc "pure" cores); ("mixed", List.assoc "mixed" cores) ]
-  @ [ t_fork_bracket; t_mask_shield; t_echo ]
+  @ [ t_fork_bracket; t_mask_shield; t_supervised_kill; t_blocked_recover;
+      t_echo ]
 
 (* ------------------------------------------------------------------ *)
 (* Running one template under one layer                                *)
@@ -383,7 +461,8 @@ let observe ?trace layer tpl fault : observation =
       let r =
         Conc.run
           ~oracle:(Oracle.create ~seed:fault.seed)
-          ?trace ~input ~async:fault.async ~max_steps:max_transitions e
+          ?trace ~input ~async:fault.async ~kills:fault.kills
+          ~max_steps:max_transitions e
       in
       let status =
         match r.Conc.outcome with
@@ -420,7 +499,7 @@ let observe ?trace layer tpl fault : observation =
   | L_machine_conc ->
       let r =
         Machine_conc.run ~config:(machine_config fault) ?trace ~input
-          ~async:fault.async ~max_transitions e
+          ~async:fault.async ~kills:fault.kills ~max_transitions e
       in
       let status =
         match r.Machine_conc.outcome with
@@ -608,6 +687,17 @@ let gen_fault ~seed tpl =
     List.init n_async (fun _ ->
         (Oracle.int_below o 2_000, exns.(Oracle.int_below o 3)))
   in
+  (* Thread-targeted kills: concurrent templates get 0–2 throwTo sends
+     aimed at the first few tids (sends to never-spawned tids are
+     dropped by the schedulers, which is itself worth exercising). *)
+  let kill_exns = [| Exn.Thread_killed; Exn.Interrupt |] in
+  let n_kills = if tpl.conc_only then Oracle.int_below o 3 else 0 in
+  let kills =
+    List.init n_kills (fun _ ->
+        ( Oracle.int_below o 2_000,
+          Oracle.int_below o 3,
+          kill_exns.(Oracle.int_below o 2) ))
+  in
   let heap_limit =
     if Oracle.int_below o 4 = 0 then
       Some (1_500 + (40 * Oracle.int_below o 100))
@@ -626,8 +716,8 @@ let gen_fault ~seed tpl =
   let gc_every =
     if Oracle.coin o then Some (16 + Oracle.int_below o 64) else None
   in
-  { seed; async; heap_limit; stack_limit; starved_fuel; truncate_input;
-    gc_every }
+  { seed; async; kills; heap_limit; stack_limit; starved_fuel;
+    truncate_input; gc_every }
 
 let run_seed seed =
   let tpl = List.nth templates (seed mod List.length templates) in

@@ -22,6 +22,11 @@ type fault = {
   async : (int * Lang.Exn.t) list;
       (** Asynchronous events: deliver [x] at the first [getException] at
           or after the given transition. *)
+  kills : (int * int * Lang.Exn.t) list;
+      (** Thread-targeted sends [(clock, tid, exn)] — the
+          [throwTo]/[killThread] fault axis, applied to the concurrent
+          layers only; sends to finished or never-spawned threads are
+          dropped, like a dead [throwTo]. *)
   heap_limit : int option;  (** Machine heap ceiling in cells. *)
   stack_limit : int option;  (** Machine stack ceiling in frames. *)
   starved_fuel : int option;
@@ -36,7 +41,8 @@ val no_fault : int -> fault
 (** A fault record that injects nothing (baseline runs). *)
 
 val clean : fault -> bool
-(** No resource limits and no starved fuel: the strictest checks apply. *)
+(** No resource limits, no starved fuel and no kill schedule: the
+    strictest checks apply. *)
 
 val pp_fault : fault Fmt.t
 

@@ -74,7 +74,13 @@ let rec demanded_in (sigs : sigs) (e : expr) : String_set.t =
   | Prim (p, args) -> (
       let module P = Lang.Prim in
       match (p, args) with
-      | P.Map_exception, [ _f; v ] -> demanded_in sigs v
+      | P.Map_exception, _ ->
+          (* [mapException f v] does force [v], but it rewrites the
+             exceptions [v] surfaces — so a variable demanded only
+             through it is NOT safe to force early: the consumers of
+             this analysis (let-to-case, seq insertion) would surface
+             the un-mapped exception. Report no demand through it. *)
+          String_set.empty
       | _, args ->
           List.fold_left
             (fun acc a -> String_set.union acc (demanded_in sigs a))

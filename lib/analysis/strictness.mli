@@ -34,7 +34,12 @@ val analyze : Lang.Syntax.expr -> sigs
 
 val demanded : sigs -> Lang.Syntax.expr -> String_set.t
 (** [demanded sigs e]: free variables of [e] certainly forced whenever [e]
-    is forced to WHNF. *)
+    is forced to WHNF — restricted to demand paths along which early
+    forcing is observationally safe under the imprecise semantics.
+    Demand through [mapException] is deliberately not reported: it
+    forces its argument but rewrites the exceptions it surfaces, so the
+    transformations this analysis licenses (let-to-case, [seq]
+    insertion) would change the exception set. *)
 
 val strict_args_of_app : sigs -> Lang.Syntax.expr -> bool list
 (** For an application spine [f a1 ... an] with [f] a known function,

@@ -143,6 +143,32 @@ let conc_seeds =
            (B.io_bind
               (Con ("Fork", [ put_int (B.int 2) ]))
               (B.lam "w" (B.io_return (B.int 0))))) );
+    ( "conc-self-throw",
+      (* A self-send is synchronous on both layers: caught as Bad. *)
+      M_conc,
+      B.io_bind
+        (B.get_exception
+           (B.io_bind
+              (Con ("MyThreadId", []))
+              (B.lam "t"
+                 (B.io_bind
+                    (Con ("ThrowTo", [ Var "t"; Con ("ThreadKilled", []) ]))
+                    (B.lam "u" (B.io_return (B.int 1)))))))
+        (B.lam "r"
+           (B.case (Var "r")
+              [
+                (B.pcon "OK" [ "x" ], put_int (B.var "x"));
+                (B.pcon "Bad" [ "e" ], put_int (B.int 0));
+              ])) );
+    ( "conc-kill-finished",
+      (* Kill a child that already finished: silently dropped. *)
+      M_conc,
+      B.io_bind
+        (Con ("Fork", [ put_int (B.int 2) ]))
+        (B.lam "t"
+           (B.io_bind
+              (Con ("ThrowTo", [ Var "t"; Con ("ThreadKilled", []) ]))
+              (B.lam "u" (put_int (B.int 6))))) );
   ]
 
 let dictionary () =

@@ -1,4 +1,4 @@
-let n_kinds = 14
+let n_kinds = 17
 
 let kind_of_event : Obs.event -> int = function
   | Obs.Ev_raise _ -> 0
@@ -15,6 +15,9 @@ let kind_of_event : Obs.event -> int = function
   | Obs.Ev_release -> 11
   | Obs.Ev_oracle_pick _ -> 12
   | Obs.Ev_io _ -> 13
+  | Obs.Ev_throwto _ -> 14
+  | Obs.Ev_kill_delivered _ -> 15
+  | Obs.Ev_blocked_recover _ -> 16
 
 let kind_name = function
   | 0 -> "raise"
@@ -31,6 +34,9 @@ let kind_name = function
   | 11 -> "release"
   | 12 -> "oracle-pick"
   | 13 -> "io"
+  | 14 -> "throwto"
+  | 15 -> "kill-delivered"
+  | 16 -> "blocked-recover"
   | _ -> "?"
 
 type t = {
@@ -73,14 +79,18 @@ let note_stats t (s : Machine.Stats.t) =
   note_counter t "timeouts_fired" s.timeouts_fired;
   note_counter t "masked_sections" s.masked_sections;
   note_counter t "env_lookups" s.env_lookups;
-  note_counter t "slot_reads" s.slot_reads
+  note_counter t "slot_reads" s.slot_reads;
+  note_counter t "throwtos_delivered" s.throwtos_delivered;
+  note_counter t "blocked_recoveries" s.blocked_recoveries
 
 let note_io_counters t (c : Semantics.Iosem.counters) =
   note_counter t "io.async_delivered" c.async_delivered;
   note_counter t "io.brackets_entered" c.brackets_entered;
   note_counter t "io.timeouts_fired" c.timeouts_fired;
   note_counter t "io.masked_sections" c.masked_sections;
-  note_counter t "io.retries" c.retries
+  note_counter t "io.retries" c.retries;
+  note_counter t "io.throwtos_delivered" c.throwtos_delivered;
+  note_counter t "io.blocked_recoveries" c.blocked_recoveries
 
 let kinds_hit t =
   Array.fold_left (fun n c -> if c > 0 then n + 1 else n) 0 t.counts

@@ -6,8 +6,9 @@
     - the {e event-kind bitmap}: which of the {!Obs.event} constructors
       have ever been recorded by any run — raise, rethrow, catch, poison,
       pause, resume, mask push/pop, async delivery, gc, bracket
-      acquire/release, oracle pick, other IO. 14 kinds; a campaign that
-      exercises all the paper's machinery hits all 14.
+      acquire/release, oracle pick, throwTo, kill delivery, blocked
+      recovery, other IO. 17 kinds; a campaign exercising all the
+      machinery hits all 17.
     - {e stats buckets}: each {!Machine.Stats} counter (and the IO-layer
       {!Semantics.Iosem.counters}) quantised to a power-of-two bucket.
       An input that drives a counter into a bucket never seen before
@@ -22,7 +23,7 @@ type t
 val create : unit -> t
 
 val n_kinds : int
-(** Number of {!Obs.event} constructors (14). *)
+(** Number of {!Obs.event} constructors (17). *)
 
 val kind_name : int -> string
 

@@ -432,8 +432,88 @@ let gen_conc_node cfg env depth : expr G.t =
       int_e
       (gen_io_node cfg env (max 0 (depth - 1)))
   in
+  let self_throw_caught =
+    (* getException (myThreadId >>= \t -> throwTo t ThreadKilled >> return e)
+       — a self-send is synchronous, so both layers catch it as Bad. *)
+    let tn = fresh_name () and rn = fresh_name () in
+    G.map
+      (fun e ->
+        B.io_bind
+          (B.get_exception
+             (B.io_bind
+                (Con ("MyThreadId", []))
+                (B.lam tn
+                   (B.io_bind
+                      (Con ("ThrowTo", [ Var tn; Con ("ThreadKilled", []) ]))
+                      (B.lam "_" (B.io_return e))))))
+          (B.lam rn
+             (B.case (Var rn)
+                [
+                  (B.pcon "OK" [ "x" ], App (Var "putInt", Var "x"));
+                  (B.pcon "Bad" [ "e" ], App (Var "putInt", B.int 0));
+                ])))
+      int_e
+  in
+  let kill_child =
+    (* The child hands its ThreadId to the parent, which kills it; the
+       parent's continuation must survive the dead child. *)
+    let r = fresh_name () and tn = fresh_name () in
+    G.map2
+      (fun e rest ->
+        B.io_bind
+          (Con ("NewMVar", []))
+          (B.lam r
+             (B.io_bind
+                (Con
+                   ( "Fork",
+                     [
+                       B.io_bind
+                         (Con ("MyThreadId", []))
+                         (B.lam tn
+                            (B.io_bind
+                               (Con ("PutMVar", [ Var r; Var tn ]))
+                               (B.lam "_" (App (Var "putInt", e)))));
+                     ] ))
+                (B.lam "_"
+                   (B.io_bind
+                      (Con ("TakeMVar", [ Var r ]))
+                      (B.lam tn
+                         (B.io_bind
+                            (Con
+                               ( "ThrowTo",
+                                 [ Var tn; Con ("ThreadKilled", []) ] ))
+                            (B.lam "_" rest))))))))
+      int_e
+      (gen_io_node cfg env (max 0 (depth - 1)))
+  in
+  let blocked_recover =
+    (* Nobody ever puts: the blocked take must come back as a catchable
+       BlockedIndefinitely, never a global deadlock. *)
+    let r = fresh_name () and rn = fresh_name () in
+    G.map
+      (fun e ->
+        B.io_bind
+          (Con ("NewMVar", []))
+          (B.lam r
+             (B.io_bind
+                (B.get_exception (Con ("TakeMVar", [ Var r ])))
+                (B.lam rn
+                   (B.case (Var rn)
+                      [
+                        (B.pcon "OK" [ "x" ], App (Var "putInt", Var "x"));
+                        (B.pcon "Bad" [ "e" ], App (Var "putInt", e));
+                      ])))))
+      int_e
+  in
   G.frequency
-    [ (3, handoff); (2, fork_fire_and_forget); (1, fork_exceptional) ]
+    [
+      (3, handoff);
+      (2, fork_fire_and_forget);
+      (1, fork_exceptional);
+      (2, self_throw_caught);
+      (2, kill_child);
+      (1, blocked_recover);
+    ]
 
 (* Size accounting: QCheck2's [sized] parameter maps *monotonically* to
    generation depth, so integrated shrinking of the size genuinely

@@ -56,7 +56,7 @@ let exn_con (e : Exn.t) =
       Con (name, [ str s ])
   | Exn.Divide_by_zero | Exn.Overflow | Exn.Non_termination | Exn.Interrupt
   | Exn.Timeout | Exn.Stack_overflow_exn | Exn.Heap_exhaustion
-  | Exn.Heap_overflow ->
+  | Exn.Heap_overflow | Exn.Thread_killed | Exn.Blocked_indefinitely ->
       Con (name, [])
 
 let raise_exn e = Raise (exn_con e)

@@ -40,6 +40,13 @@ let builtin_list =
     ("StackOverflow", 0);
     ("HeapExhaustion", 0);
     ("HeapOverflow", 0);
+    (* Appended after the PR-4 tail so the interned tags of everything
+       above stay stable (Resolve interns builtins in list order). *)
+    ("MyThreadId", 0);
+    ("ThrowTo", 2);
+    ("ThreadId", 1);
+    ("ThreadKilled", 0);
+    ("BlockedIndefinitely", 0);
   ]
 
 let builtins () =

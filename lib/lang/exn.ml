@@ -11,13 +11,15 @@ type t =
   | Stack_overflow_exn
   | Heap_exhaustion
   | Heap_overflow
+  | Thread_killed
+  | Blocked_indefinitely
 
 let compare = Stdlib.compare
 let equal a b = compare a b = 0
 
 let is_asynchronous = function
   | Interrupt | Timeout | Stack_overflow_exn | Heap_exhaustion
-  | Heap_overflow ->
+  | Heap_overflow | Thread_killed | Blocked_indefinitely ->
       true
   | Divide_by_zero | Overflow | Pattern_match_fail _ | Assertion_failed _
   | User_error _ | Type_error _ | Non_termination ->
@@ -38,6 +40,8 @@ let constructor_name = function
   | Stack_overflow_exn -> "StackOverflow"
   | Heap_exhaustion -> "HeapExhaustion"
   | Heap_overflow -> "HeapOverflow"
+  | Thread_killed -> "ThreadKilled"
+  | Blocked_indefinitely -> "BlockedIndefinitely"
 
 let of_constructor name payload =
   let s = Option.value payload ~default:"" in
@@ -54,6 +58,8 @@ let of_constructor name payload =
   | "StackOverflow" -> Some Stack_overflow_exn
   | "HeapExhaustion" -> Some Heap_exhaustion
   | "HeapOverflow" -> Some Heap_overflow
+  | "ThreadKilled" -> Some Thread_killed
+  | "BlockedIndefinitely" -> Some Blocked_indefinitely
   | _ -> None
 
 let pp ppf e =
@@ -63,7 +69,8 @@ let pp ppf e =
   | User_error s -> Fmt.pf ppf "UserError %S" s
   | Type_error s -> Fmt.pf ppf "TypeError %S" s
   | Divide_by_zero | Overflow | Non_termination | Interrupt | Timeout
-  | Stack_overflow_exn | Heap_exhaustion | Heap_overflow ->
+  | Stack_overflow_exn | Heap_exhaustion | Heap_overflow | Thread_killed
+  | Blocked_indefinitely ->
       Fmt.string ppf (constructor_name e)
 
 module Set = Stdlib.Set.Make (struct
@@ -86,4 +93,6 @@ let all_known =
     Stack_overflow_exn;
     Heap_exhaustion;
     Heap_overflow;
+    Thread_killed;
+    Blocked_indefinitely;
   ]

@@ -38,6 +38,15 @@ type t =
           hit ({!Machine.Stg}): catchable resource exhaustion, delivered
           through the ordinary trim-the-stack path so a supervisor can
           recover (GHC's [HeapOverflow]). *)
+  | Thread_killed
+      (** Asynchronous: delivered by [killThread] ([throwTo] with this
+          constant) from another thread — GHC's [ThreadKilled]. *)
+  | Blocked_indefinitely
+      (** Asynchronous: delivered to a thread that is blocked on an
+          [MVar] no other live thread can ever fill or empty. The paper's
+          pitch applied to deadlock: an ordinary catchable imprecise
+          exception instead of a global abort (GHC's
+          [BlockedIndefinitelyOnMVar]). *)
 
 val compare : t -> t -> int
 val equal : t -> t -> bool

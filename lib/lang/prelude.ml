@@ -114,6 +114,9 @@ eqExn a b = case a of
     StackOverflow -> case b of { StackOverflow -> True; z -> False };
     HeapExhaustion -> case b of { HeapExhaustion -> True; z -> False };
     HeapOverflow -> case b of { HeapOverflow -> True; z -> False };
+    ThreadKilled -> case b of { ThreadKilled -> True; z -> False };
+    BlockedIndefinitely ->
+      case b of { BlockedIndefinitely -> True; z -> False };
     UserError s1 -> case b of { UserError s2 -> s1 == s2; z -> False };
     TypeError s1 -> case b of { TypeError s2 -> s1 == s2; z -> False };
     PatternMatchFail s1 ->
@@ -149,6 +152,9 @@ forkIO m = Fork m;
 newEmptyMVar = NewMVar;
 takeMVar r = TakeMVar r;
 putMVar r v = PutMVar r v;
+myThreadId = MyThreadId;
+throwTo t e = ThrowTo t e;
+killThread t = ThrowTo t ThreadKilled;
 
 bracket acq rel use = Bracket acq rel use;
 bracket2 before after use = Bracket before (\u -> after) (\u -> use);
@@ -158,6 +164,21 @@ mask m = Mask m;
 unmask m = Unmask m;
 timeout n m = WithTimeout n m;
 retryWithBackoff n b m = Retry n b m;
+
+catchIO m h = GetException (m >>= \x -> Return x) >>= \r ->
+  case r of { OK x -> Return x; Bad e -> h e };
+orElseIO m1 m2 = catchIO m1 (\e -> m2);
+fallbacks ms = case ms of
+  { Nil -> raise (UserError "fallbacks: no alternative");
+    Cons m rest -> case rest of
+      { Nil -> m; Cons m2 ms2 -> orElseIO m (fallbacks rest) } };
+supervise n m = if n <= 0 then m
+  else catchIO m (\e -> supervise (n - 1) m);
+superviseWorker n worker fallback = if n <= 0 then fallback
+  else newEmptyMVar >>= \mv ->
+    forkIO (worker >>= \x -> putMVar mv x) >>= \u ->
+    catchIO (takeMVar mv)
+      (\e -> superviseWorker (n - 1) worker fallback);
 
 putList cs = case cs of
   { Nil -> Return Unit;

@@ -92,6 +92,14 @@ val t_new_mvar : int
 val t_take_mvar : int
 val t_put_mvar : int
 val t_mvar_ref : int
+val t_my_thread_id : int
+val t_throw_to : int
+val t_thread_id : int
+
+val is_io_action_tag : int -> bool
+(** Tags whose constructor is an IO action the drivers can perform
+    (excludes the value wrappers [MVarRef] and [ThreadId]). Used by
+    [getException] on an IO argument: performing-under-a-catch. *)
 
 (** {2 Static accounting} *)
 

@@ -108,6 +108,14 @@ let is_io_constructor c =
       c_retry;
     ]
 
+(* Every performable IO action, including the concurrency extension —
+   but not the value wrappers MVarRef/ThreadId. The IO drivers use this
+   to recognise [getException <io action>] (perform-under-a-catch). *)
+let is_io_action_constructor c =
+  is_io_constructor c
+  || List.mem c
+       [ "Fork"; "NewMVar"; "TakeMVar"; "PutMVar"; "MyThreadId"; "ThrowTo" ]
+
 let bool_expr b = Con ((if b then c_true else c_false), [])
 let int_expr n = Lit (Lit_int n)
 

@@ -108,6 +108,12 @@ val is_io_constructor : string -> bool
     exception-safety combinators ([Bracket], [OnException], [Mask],
     [Unmask], [WithTimeout], [Retry]). *)
 
+val is_io_action_constructor : string -> bool
+(** Like {!is_io_constructor} but also covering the concurrency
+    extension ([Fork], MVar operations, [MyThreadId], [ThrowTo]) — every
+    performable action, excluding the value wrappers [MVarRef] and
+    [ThreadId]. *)
+
 val bool_expr : bool -> expr
 val int_expr : int -> expr
 val list_expr : expr list -> expr

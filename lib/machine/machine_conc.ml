@@ -36,6 +36,10 @@ type frame =
   | F_retry of Stg.addr * int * int
   | F_rethrow of Exn.t
   | F_restore of Stg.addr
+  | F_catch
+      (** [getException] on an IO action (GHC's [try]): a normal result
+          pops as [OK v], an unwinding exception — including one
+          delivered while the thread is blocked — stops here as [Bad]. *)
 
 type thread_state =
   | Runnable of Stg.addr * frame list  (** IO value, continuation frames *)
@@ -45,7 +49,14 @@ type thread_state =
       (** Wake at the given transition count ([Retry] backoff). *)
   | Finished
 
-type thread = { tid : int; mutable state : thread_state; mutable mask : int }
+type thread = {
+  tid : int;
+  mutable state : thread_state;
+  mutable mask : int;
+  mutable pending_exns : Exn.t list;
+      (** Thread-targeted asynchronous exceptions ([throwTo], kill
+          schedules), FIFO, delivered only while [mask = 0]. *)
+}
 
 type mvar = {
   mutable contents : Stg.addr option;
@@ -53,7 +64,7 @@ type mvar = {
   mutable put_waiters : int list;
 }
 
-let run ?config ?trace ?(input = "") ?(async = [])
+let run ?config ?trace ?(input = "") ?(async = []) ?(kills = [])
     ?(max_transitions = 100_000) (e : expr) =
   let m = Stg.create ?config ?trace () in
   let tr = Stg.trace m in
@@ -69,11 +80,14 @@ let run ?config ?trace ?(input = "") ?(async = [])
   let next_mvar = ref 0 in
   let main_result : outcome option ref = ref None in
 
+  let kills = ref kills in
   let new_thread addr frames =
     let tid = !next_tid in
     incr next_tid;
     incr spawned;
-    let t = { tid; state = Runnable (addr, frames); mask = 0 } in
+    let t =
+      { tid; state = Runnable (addr, frames); mask = 0; pending_exns = [] }
+    in
     threads := !threads @ [ t ];
     t
   in
@@ -132,6 +146,9 @@ let run ?config ?trace ?(input = "") ?(async = [])
     | F_retry _ :: rest -> pop_t t v rest
     | F_rethrow exn :: rest -> unwind_t t exn rest
     | F_restore saved :: rest -> pop_t t saved rest
+    | F_catch :: rest ->
+        if Obs.on tr then Obs.record tr (Obs.Ev_catch None);
+        pop_t t (Stg.alloc_value m (Stg.MCon (R.t_ok, [| v |]))) rest
 
   and unwind_t (t : thread) (exn : Exn.t) (stack : frame list) : unit =
     match stack with
@@ -167,6 +184,10 @@ let run ?config ?trace ?(input = "") ?(async = [])
         else unwind_t t exn rest
     | F_rethrow _ :: rest -> unwind_t t exn rest
     | F_restore _ :: rest -> unwind_t t exn rest
+    | F_catch :: rest ->
+        if Obs.on tr then Obs.record tr (Obs.Ev_catch (Some exn));
+        let ev = Stg.alloc_value m (Stg.exn_to_mvalue m exn) in
+        pop_t t (Stg.alloc_value m (Stg.MCon (R.t_bad, [| ev |]))) rest
   in
 
   let find_thread tid = List.find (fun t -> t.tid = tid) !threads in
@@ -195,6 +216,41 @@ let run ?config ?trace ?(input = "") ?(async = [])
     match List.rev waiters with
     | [] -> (None, waiters)
     | w :: _ -> (Some w, List.filter (fun x -> x <> w) waiters)
+  in
+
+  let find_thread_opt tid = List.find_opt (fun t -> t.tid = tid) !threads in
+
+  (* Forget a thread that is being woken exceptionally: it no longer
+     waits on any MVar. *)
+  let scrub_waiters tid =
+    Hashtbl.iter
+      (fun _ s ->
+        s.take_waiters <- List.filter (fun x -> x <> tid) s.take_waiters;
+        s.put_waiters <- List.filter (fun x -> x <> tid) s.put_waiters)
+      mvars
+  in
+
+  let take_pending_exn (t : thread) =
+    if t.mask > 0 then None
+    else
+      match t.pending_exns with
+      | [] -> None
+      | x :: rest ->
+          t.pending_exns <- rest;
+          Some x
+  in
+
+  (* Thread-targeted delivery by unwinding [t]'s frames: releases and
+     handlers run, an [F_catch] (getException-on-IO) stops it. The
+     machine mask depth is synced to [t] for the duration, since this
+     may run from the scheduler, outside [step]. *)
+  let deliver_unwind (t : thread) (x : Exn.t) (frames : frame list) =
+    stats.Stats.throwtos_delivered <- stats.Stats.throwtos_delivered + 1;
+    if Obs.on tr then Obs.record tr (Obs.Ev_kill_delivered (t.tid, x));
+    scrub_waiters t.tid;
+    Stg.set_mask_depth m t.mask;
+    unwind_t t x frames;
+    t.mask <- Stg.mask_depth m
   in
 
   let as_mvar_id v =
@@ -248,6 +304,10 @@ let run ?config ?trace ?(input = "") ?(async = [])
           | Error _ -> unwind_t t Exn.Non_termination frames)
       | Ok (Stg.MCon (c, [| v |])) when c = R.t_get_exception -> (
           match Stg.force_catch m v with
+          | Ok (Stg.MCon (ca, _)) when R.is_io_action_tag ca ->
+              (* getException of an IO action (GHC's [try]): perform it
+                 under a catch frame; [v] is updated to its WHNF. *)
+              t.state <- Runnable (v, F_catch :: frames)
           | Ok _ ->
               t.state <-
                 Runnable (ret_value (Stg.MCon (R.t_ok, [| v |])), frames)
@@ -296,6 +356,10 @@ let run ?config ?trace ?(input = "") ?(async = [])
                 Some (Stuck "retry: attempts/backoff are not integers"))
       | Ok (Stg.MCon (c, [| m1 |])) when c = R.t_fork ->
           let child = new_thread m1 [] in
+          (* The child starts at the parent's mask depth: a thread forked
+             inside an acquire is born protected, so an async exception
+             cannot slip in before its own mask/bracket. *)
+          child.mask <- Stg.mask_depth m;
           if Obs.on tr then
             Obs.record tr
               (Obs.Ev_io (Printf.sprintf "fork thread %d" child.tid));
@@ -346,6 +410,58 @@ let run ?config ?trace ?(input = "") ?(async = [])
                       t.state <- Blocked_put (id, v, frames)))
           | Error (Stg.Fail_exn exn) -> unwind_t t exn frames
           | Error _ -> unwind_t t Exn.Non_termination frames)
+      | Ok (Stg.MCon (c, [||])) when c = R.t_my_thread_id ->
+          let ida = Stg.alloc_value m (Stg.MInt t.tid) in
+          t.state <-
+            Runnable (ret_value (Stg.MCon (R.t_thread_id, [| ida |])), frames)
+      | Ok (Stg.MCon (c, [| tt; et |])) when c = R.t_throw_to -> (
+          match Stg.force m tt with
+          | Ok (Stg.MCon (ct, [| nt |])) when ct = R.t_thread_id -> (
+              match Stg.force m nt with
+              | Ok (Stg.MInt target) -> (
+                  match Stg.force m et with
+                  | Ok ev -> (
+                      match Stg.mvalue_to_exn m ev with
+                      | Ok x ->
+                          if Obs.on tr then
+                            Obs.record tr (Obs.Ev_throwto (t.tid, target, x));
+                          if target = t.tid then begin
+                            (* throwTo to oneself is synchronous (GHC):
+                               deliver regardless of masking. *)
+                            stats.Stats.throwtos_delivered <-
+                              stats.Stats.throwtos_delivered + 1;
+                            if Obs.on tr then
+                              Obs.record tr
+                                (Obs.Ev_kill_delivered (t.tid, x));
+                            unwind_t t x frames
+                          end
+                          else begin
+                            (match find_thread_opt target with
+                            | Some tgt -> (
+                                match tgt.state with
+                                | Finished ->
+                                    () (* dead target: send is a no-op *)
+                                | _ ->
+                                    tgt.pending_exns <-
+                                      tgt.pending_exns @ [ x ])
+                            | None -> () (* unknown target: no-op *));
+                            t.state <- Runnable (ret_value unit_v, frames)
+                          end
+                      | Error (Stg.Exn_err x) -> unwind_t t x frames
+                      | Error Stg.Not_exn ->
+                          unwind_t t
+                            (Exn.Type_error "throwTo: not an exception")
+                            frames)
+                  | Error (Stg.Fail_exn exn) -> unwind_t t exn frames
+                  | Error _ -> unwind_t t Exn.Non_termination frames)
+              | Ok _ ->
+                  unwind_t t (Exn.Type_error "throwTo: not a ThreadId") frames
+              | Error (Stg.Fail_exn exn) -> unwind_t t exn frames
+              | Error _ -> unwind_t t Exn.Non_termination frames)
+          | Ok _ ->
+              unwind_t t (Exn.Type_error "throwTo: not a ThreadId") frames
+          | Error (Stg.Fail_exn exn) -> unwind_t t exn frames
+          | Error _ -> unwind_t t Exn.Non_termination frames)
       | Ok _ -> main_result := Some (Stuck "not an IO value")
   in
 
@@ -358,7 +474,25 @@ let run ?config ?trace ?(input = "") ?(async = [])
            async delivery while this thread is masked. *)
         Stg.set_mask_depth m t.mask;
         Stg.refuel m;
-        step_runnable t addr frames;
+        (match take_pending_exn t with
+        | Some x -> (
+            (* A thread-targeted exception is due (thread is unmasked).
+               If the interrupted action is a [getException] it is caught
+               right here — §5.1 delivery at getException; otherwise
+               unwind the thread's frames (releases and handlers run). *)
+            match Stg.force m addr with
+            | Ok (Stg.MCon (c, [| _ |])) when c = R.t_get_exception ->
+                stats.Stats.throwtos_delivered <-
+                  stats.Stats.throwtos_delivered + 1;
+                if Obs.on tr then begin
+                  Obs.record tr (Obs.Ev_kill_delivered (t.tid, x));
+                  Obs.record tr (Obs.Ev_catch (Some x))
+                end;
+                let ev = Stg.alloc_value m (Stg.exn_to_mvalue m x) in
+                t.state <-
+                  Runnable (ret_value (Stg.MCon (R.t_bad, [| ev |])), frames)
+            | _ -> deliver_unwind t x frames)
+        | None -> step_runnable t addr frames);
         t.mask <- Stg.mask_depth m
   in
 
@@ -379,35 +513,106 @@ let run ?config ?trace ?(input = "") ?(async = [])
         if !transitions >= max_transitions then Diverged
         else begin
           wake_sleepers ();
-          let runnable =
-            List.filter
-              (fun t -> match t.state with Runnable _ -> true | _ -> false)
-              !threads
+          (* Due kill-schedule entries become pending thread-targeted
+             exceptions (the fault-injection axis; sends to finished or
+             unknown threads are dropped, like a dead [throwTo]). *)
+          let due, later =
+            List.partition (fun (k, _, _) -> !transitions >= k) !kills
           in
-          let sleepers =
-            List.filter_map
-              (fun t ->
-                match t.state with
-                | Sleeping (until, _, _) -> Some until
-                | _ -> None)
-              !threads
-          in
-          if runnable = [] then
-            match sleepers with
-            | [] -> Deadlock
-            | _ :: _ ->
-                (* Only sleepers left: fast-forward to the earliest
-                   wake-up. *)
-                transitions := List.fold_left min max_int sleepers;
+          kills := later;
+          List.iter
+            (fun (_, target, x) ->
+              match find_thread_opt target with
+              | Some tgt -> (
+                  match tgt.state with
+                  | Finished -> ()
+                  | _ -> tgt.pending_exns <- tgt.pending_exns @ [ x ])
+              | None -> ())
+            due;
+          (* Blocked and sleeping threads cannot reach a delivery point on
+             their own: interrupt them here (masked threads keep their
+             pending exceptions and stay blocked). *)
+          List.iter
+            (fun t ->
+              match t.state with
+              | Blocked_take (_, frames)
+              | Blocked_put (_, _, frames)
+              | Sleeping (_, _, frames) -> (
+                  match take_pending_exn t with
+                  | Some x -> deliver_unwind t x frames
+                  | None -> ())
+              | Runnable _ | Finished -> ())
+            !threads;
+          match !main_result with
+          | Some o -> o
+          | None ->
+              let runnable =
+                List.filter
+                  (fun t ->
+                    match t.state with Runnable _ -> true | _ -> false)
+                  !threads
+              in
+              let sleepers =
+                List.filter_map
+                  (fun t ->
+                    match t.state with
+                    | Sleeping (until, _, _) -> Some until
+                    | _ -> None)
+                  !threads
+              in
+              if runnable = [] then
+                match sleepers with
+                | [] -> (
+                    (* Irrecoverably blocked. Instead of giving up with a
+                       global [Deadlock], deliver [BlockedIndefinitely] to
+                       every unmasked blocked thread (tid order) as a
+                       catchable imprecise exception and keep scheduling;
+                       only when every blocked thread is masked is this a
+                       true deadlock. *)
+                    let victims =
+                      List.filter
+                        (fun t ->
+                          t.mask = 0
+                          &&
+                          match t.state with
+                          | Blocked_take _ | Blocked_put _ -> true
+                          | _ -> false)
+                        !threads
+                    in
+                    match victims with
+                    | [] -> Deadlock
+                    | _ :: _ ->
+                        List.iter
+                          (fun t ->
+                            let frames =
+                              match t.state with
+                              | Blocked_take (_, fs) -> fs
+                              | Blocked_put (_, _, fs) -> fs
+                              | _ -> []
+                            in
+                            stats.Stats.blocked_recoveries <-
+                              stats.Stats.blocked_recoveries + 1;
+                            if Obs.on tr then
+                              Obs.record tr (Obs.Ev_blocked_recover t.tid);
+                            scrub_waiters t.tid;
+                            Stg.set_mask_depth m t.mask;
+                            unwind_t t Exn.Blocked_indefinitely frames;
+                            t.mask <- Stg.mask_depth m)
+                          victims;
+                        scheduler ())
+                | _ :: _ ->
+                    (* Only sleepers left: fast-forward to the earliest
+                       wake-up. *)
+                    transitions := List.fold_left min max_int sleepers;
+                    scheduler ()
+              else begin
+                List.iter
+                  (fun t ->
+                    incr transitions;
+                    step t)
+                  runnable;
                 scheduler ()
-          else begin
-            List.iter
-              (fun t ->
-                incr transitions;
-                step t)
-              runnable;
-            scheduler ()
-          end
+              end
         end
   in
   let outcome = scheduler () in

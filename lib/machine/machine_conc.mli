@@ -6,12 +6,24 @@
     thunks forced by one thread are updated for all (call-by-need sharing
     across threads), and a thread abandoned mid-evaluation by an uncaught
     exception leaves poisoned thunks that other threads observe
-    consistently. [forkIO], [MVar]s, per-thread [getException]. *)
+    consistently. [forkIO], [MVar]s, per-thread [getException].
+
+    Thread-to-thread asynchronous exceptions ([myThreadId], [throwTo],
+    [killThread]) follow {!Semantics.Conc} exactly: non-blocking send,
+    queued on the target, delivered at the target's next scheduling point
+    while its mask depth is zero (a self-[throwTo] is synchronous and
+    ignores masking). Delivery at a [getException] is caught there as
+    [Bad e]; anywhere else it unwinds the target's frames, running
+    releases and handlers. Irrecoverably blocked unmasked threads receive
+    the catchable [BlockedIndefinitely] exception instead of a global
+    [Deadlock]. *)
 
 type outcome =
   | Done of Semantics.Sem_value.deep  (** Main thread's result. *)
   | Uncaught of Lang.Exn.t
   | Deadlock
+      (** No thread can ever run again and every blocked thread is
+          masked, so not even [BlockedIndefinitely] can be delivered. *)
   | Diverged
   | Stuck of string
 
@@ -30,6 +42,7 @@ val run :
   ?trace:Obs.t ->
   ?input:string ->
   ?async:(int * Lang.Exn.t) list ->
+  ?kills:(int * int * Lang.Exn.t) list ->
   ?max_transitions:int ->
   Lang.Syntax.expr ->
   result
@@ -39,4 +52,10 @@ val run :
     delivered at the first [getException] of an unmasked thread; each
     thread carries its own mask depth (brackets, [Mask] sections).
     [trace] is shared with the underlying machine: the scheduler adds
-    fork, bracket and timeout events to the machine's stream. *)
+    fork, bracket and timeout events to the machine's stream.
+
+    [kills] is a fault-injection schedule of [(transition, tid, exn)]
+    triples: once the transition counter reaches [transition], [exn] is
+    queued on thread [tid] exactly as if a live thread had performed
+    [ThrowTo (ThreadId tid) exn]. Entries naming finished or unknown
+    threads are dropped silently. *)

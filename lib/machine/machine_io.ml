@@ -33,6 +33,9 @@ type frame =
   | F_retry of Stg.addr * int * int
   | F_rethrow of Exn.t
   | F_restore of Stg.addr
+  | F_catch
+      (** [getException] on an IO action (GHC's [try]): a normal result
+          pops as [OK v], an unwinding exception stops here as [Bad e]. *)
 
 let frame_addrs (fs : frame list) : Stg.addr list =
   List.concat_map
@@ -40,7 +43,8 @@ let frame_addrs (fs : frame list) : Stg.addr list =
       | F_k a | F_release a | F_onexn a | F_restore a -> [ a ]
       | F_bracket (a, b) -> [ a; b ]
       | F_retry (a, _, _) -> [ a ]
-      | F_mask_pop | F_unmask_pop | F_timeout _ | F_rethrow _ -> [])
+      | F_mask_pop | F_unmask_pop | F_timeout _ | F_rethrow _ | F_catch ->
+          [])
     fs
 
 (* Rebuild the frames from addresses relocated by a collection, in the
@@ -65,7 +69,9 @@ let relocate_frames (fs : frame list) (addrs : Stg.addr list) : frame list =
           let b = next () in
           F_bracket (a, b)
       | F_retry (_, n, b) -> F_retry (next (), n, b)
-      | (F_mask_pop | F_unmask_pop | F_timeout _ | F_rethrow _) as f -> f)
+      | (F_mask_pop | F_unmask_pop | F_timeout _ | F_rethrow _ | F_catch)
+        as f ->
+          f)
     fs
 
 let run ?config ?trace ?(input = "") ?(async = [])
@@ -143,6 +149,10 @@ let run ?config ?trace ?(input = "") ?(async = [])
               Stuck "async event outside getException")
       | Ok (Stg.MCon (c, [| t |])) when c = R.t_get_exception -> (
           match Stg.force_catch m t with
+          | Ok (Stg.MCon (ca, _)) when R.is_io_action_tag ca ->
+              (* getException on an IO action: perform it under a catch
+                 frame (GHC's [try]); [t] is updated to its WHNF. *)
+              perform t (F_catch :: stack) (n + 1)
           | Ok v ->
               let va = Stg.alloc_value m v in
               let ok = Stg.alloc_value m (Stg.MCon (R.t_ok, [| va |])) in
@@ -191,6 +201,61 @@ let run ?config ?trace ?(input = "") ?(async = [])
           | Error Stg.Fail_diverged, _ | _, Error Stg.Fail_diverged ->
               Io_diverged
           | _ -> Stuck "retry: attempts/backoff are not integers")
+      | Ok (Stg.MCon (c, [||])) when c = R.t_my_thread_id ->
+          (* The single-threaded driver is its own main thread 0. *)
+          let ida = Stg.alloc_value m (Stg.MInt 0) in
+          let tida =
+            Stg.alloc_value m (Stg.MCon (R.t_thread_id, [| ida |]))
+          in
+          perform (ret_addr tida) stack (n + 1)
+      | Ok (Stg.MCon (c, [| tt; et |])) when c = R.t_throw_to -> (
+          match Stg.force m tt with
+          | Ok (Stg.MCon (ct, [| nt |])) when ct = R.t_thread_id -> (
+              match Stg.force m nt with
+              | Ok (Stg.MInt tid) -> (
+                  match Stg.force m et with
+                  | Ok ev -> (
+                      match Stg.mvalue_to_exn m ev with
+                      | Ok x ->
+                          if tid = 0 then begin
+                            (* throwTo to oneself is synchronous (GHC):
+                               deliver regardless of masking. *)
+                            stats.Stats.throwtos_delivered <-
+                              stats.Stats.throwtos_delivered + 1;
+                            if Obs.on tr then begin
+                              Obs.record tr (Obs.Ev_throwto (0, 0, x));
+                              Obs.record tr (Obs.Ev_kill_delivered (0, x))
+                            end;
+                            unwind x stack n
+                          end
+                          else begin
+                            (* Dead or unknown target: a no-op send. *)
+                            let ua =
+                              Stg.alloc_value m (Stg.MCon (R.t_unit, [||]))
+                            in
+                            perform (ret_addr ua) stack (n + 1)
+                          end
+                      | Error (Stg.Exn_err x) -> unwind x stack n
+                      | Error Stg.Not_exn ->
+                          unwind
+                            (Exn.Type_error "throwTo: not an exception")
+                            stack n)
+                  | Error (Stg.Fail_exn exn) -> unwind exn stack n
+                  | Error Stg.Fail_diverged -> Io_diverged
+                  | Error (Stg.Fail_async _) ->
+                      Stuck "async event outside getException")
+              | Ok _ ->
+                  unwind (Exn.Type_error "throwTo: not a ThreadId") stack n
+              | Error (Stg.Fail_exn exn) -> unwind exn stack n
+              | Error Stg.Fail_diverged -> Io_diverged
+              | Error (Stg.Fail_async _) ->
+                  Stuck "async event outside getException")
+          | Ok _ ->
+              unwind (Exn.Type_error "throwTo: not a ThreadId") stack n
+          | Error (Stg.Fail_exn exn) -> unwind exn stack n
+          | Error Stg.Fail_diverged -> Io_diverged
+          | Error (Stg.Fail_async _) ->
+              Stuck "async event outside getException")
       | Ok _ -> Stuck "not an IO value"
   and pop (v : Stg.addr) (stack : frame list) (n : int) : outcome =
     match stack with
@@ -227,6 +292,9 @@ let run ?config ?trace ?(input = "") ?(async = [])
     | F_retry _ :: rest -> pop v rest n
     | F_rethrow e :: rest -> unwind e rest n
     | F_restore saved :: rest -> pop saved rest n
+    | F_catch :: rest ->
+        if Obs.on tr then Obs.record tr (Obs.Ev_catch None);
+        pop (Stg.alloc_value m (Stg.MCon (R.t_ok, [| v |]))) rest n
   and unwind (exn : Exn.t) (stack : frame list) (n : int) : outcome =
     match stack with
     | [] -> Uncaught exn
@@ -264,6 +332,18 @@ let run ?config ?trace ?(input = "") ?(async = [])
         (* A cleanup raised while unwinding: the newer exception wins. *)
         unwind exn rest n
     | F_restore _ :: rest -> unwind exn rest n
+    | F_catch :: rest ->
+        if Obs.on tr then Obs.record tr (Obs.Ev_catch (Some exn));
+        let stack =
+          if exn = Exn.Heap_overflow then
+            (* As at a direct getException: free the abandoned
+               allocations so the handler has room to recover. *)
+            let r = Stg.alloc_value m (Stg.MCon (R.t_unit, [||])) in
+            snd (emergency_gc r rest)
+          else rest
+        in
+        let ev = Stg.alloc_value m (Stg.exn_to_mvalue m exn) in
+        pop (Stg.alloc_value m (Stg.MCon (R.t_bad, [| ev |]))) stack n
   in
   let outcome = perform main_addr [] 0 in
   {

@@ -18,6 +18,8 @@ type t = {
   mutable stack_overflows : int;
   mutable env_lookups : int;
   mutable slot_reads : int;
+  mutable throwtos_delivered : int;
+  mutable blocked_recoveries : int;
 }
 
 let create () =
@@ -41,6 +43,8 @@ let create () =
     stack_overflows = 0;
     env_lookups = 0;
     slot_reads = 0;
+    throwtos_delivered = 0;
+    blocked_recoveries = 0;
   }
 
 let reset t =
@@ -62,15 +66,18 @@ let reset t =
   t.heap_overflows <- 0;
   t.stack_overflows <- 0;
   t.env_lookups <- 0;
-  t.slot_reads <- 0
+  t.slot_reads <- 0;
+  t.throwtos_delivered <- 0;
+  t.blocked_recoveries <- 0
 
 let pp ppf t =
   Fmt.pf ppf
     "steps=%d allocs=%d updates=%d max_stack=%d trimmed=%d poisoned=%d \
      paused=%d catches=%d gcs=%d async=%d brackets=%d/%d timeouts=%d \
-     masked=%d heap_ovf=%d stack_ovf=%d env_lookups=%d slot_reads=%d"
+     masked=%d heap_ovf=%d stack_ovf=%d env_lookups=%d slot_reads=%d \
+     throwtos=%d blocked_rec=%d"
     t.steps t.allocations t.updates t.max_stack t.frames_trimmed
     t.thunks_poisoned t.thunks_paused t.catches t.collections
     t.async_delivered t.brackets_entered t.brackets_released
     t.timeouts_fired t.masked_sections t.heap_overflows t.stack_overflows
-    t.env_lookups t.slot_reads
+    t.env_lookups t.slot_reads t.throwtos_delivered t.blocked_recoveries

@@ -44,6 +44,14 @@ type t = {
   mutable slot_reads : int;
       (** Array-environment slot reads by the slot-compiled machine —
           the pre-resolved counterpart of [env_lookups]. *)
+  mutable throwtos_delivered : int;
+      (** Thread-targeted exceptions ([throwTo]/[killThread], or a
+          seeded kill schedule) that reached their target thread. Bench
+          Table K asserts this stays 0 — at zero cost — when no thread
+          ever throws. *)
+  mutable blocked_recoveries : int;
+      (** Irrecoverably blocked threads woken exceptionally with
+          [BlockedIndefinitely] instead of deadlocking the program. *)
 }
 
 val create : unit -> t

@@ -70,6 +70,14 @@ type event =
   | Ev_oracle_pick of Exn.t * Exn.t list
       (** [getException]'s oracle chose a member; the un-chosen members
           of the set ride along (empty for [All]). *)
+  | Ev_throwto of int * int * Exn.t
+      (** [throwTo]: source thread, target thread, exception sent. *)
+  | Ev_kill_delivered of int * Exn.t
+      (** A thread-targeted asynchronous exception reached its target
+          (after any masked deferral). *)
+  | Ev_blocked_recover of int
+      (** An irrecoverably blocked thread was woken exceptionally with
+          [BlockedIndefinitely] instead of deadlocking the program. *)
   | Ev_io of string  (** Other IO-layer transition (timeout, fork...). *)
 
 let pp_event ppf = function
@@ -92,6 +100,11 @@ let pp_event ppf = function
       Fmt.pf ppf "oracle pick %a (not: %a)" Exn.pp e
         Fmt.(list ~sep:comma Exn.pp)
         rest
+  | Ev_throwto (src, dst, e) ->
+      Fmt.pf ppf "throwTo t%d \xe2\x86\x92 t%d: %a" src dst Exn.pp e
+  | Ev_kill_delivered (t, e) ->
+      Fmt.pf ppf "deliver to t%d: %a" t Exn.pp e
+  | Ev_blocked_recover t -> Fmt.pf ppf "t%d blocked-indefinitely recovery" t
   | Ev_io s -> Fmt.pf ppf "io %s" s
 
 (* ------------------------------------------------------------------ *)

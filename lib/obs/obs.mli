@@ -64,6 +64,14 @@ type event =
   | Ev_oracle_pick of Lang.Exn.t * Lang.Exn.t list
       (** [getException]'s oracle chose a member; the un-chosen members
           of the set ride along (empty for [All]). *)
+  | Ev_throwto of int * int * Lang.Exn.t
+      (** [throwTo]: source thread, target thread, exception sent. *)
+  | Ev_kill_delivered of int * Lang.Exn.t
+      (** A thread-targeted asynchronous exception reached its target
+          thread (after any masked deferral). *)
+  | Ev_blocked_recover of int
+      (** An irrecoverably blocked thread was woken exceptionally with
+          [BlockedIndefinitely] instead of deadlocking the program. *)
   | Ev_io of string  (** Other IO-layer transition (timeout, fork...). *)
 
 val pp_event : event Fmt.t

@@ -12,6 +12,7 @@ type event =
   | E_thread_died of int * Exn.t
   | E_async of int * Exn.t
   | E_sleep of int * int
+  | E_throwto of int * int * Exn.t
 
 type outcome =
   | Done of deep
@@ -38,6 +39,7 @@ let pp_event ppf = function
   | E_thread_died (t, e) -> Fmt.pf ppf "t%d died: %a" t Exn.pp e
   | E_async (t, e) -> Fmt.pf ppf "t%d async %a" t Exn.pp e
   | E_sleep (t, until) -> Fmt.pf ppf "t%d sleeps until %d" t until
+  | E_throwto (s, d, e) -> Fmt.pf ppf "t%d throws %a to t%d" s Exn.pp e d
 
 let pp_outcome ppf = function
   | Done d -> Fmt.pf ppf "Done %a" pp_deep d
@@ -60,6 +62,10 @@ type frame =
   | F_retry of thunk * int * int
   | F_rethrow of Exn.t
   | F_restore of thunk
+  | F_catch
+      (** [getException] on an IO action (GHC's [try]): a normal result
+          pops as [OK v], an unwinding exception — including one
+          delivered while the thread is blocked — stops here as [Bad]. *)
 
 type thread_state =
   | Runnable of thunk * frame list  (** IO value, continuation frames *)
@@ -71,7 +77,14 @@ type thread_state =
           ([Retry]'s deterministic backoff). *)
   | Finished
 
-type thread = { tid : int; mutable state : thread_state; mutable mask : int }
+type thread = {
+  tid : int;
+  mutable state : thread_state;
+  mutable mask : int;
+  mutable pending_exns : Exn.t list;
+      (** Thread-targeted asynchronous exceptions ([throwTo], kill
+          schedules), FIFO, delivered only while [mask = 0]. *)
+}
 
 type mvar = {
   mutable contents : thunk option;
@@ -82,7 +95,7 @@ type mvar = {
 let mvar_con = "MVarRef"
 
 let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
-    ?(trace = Obs.create ()) ?(input = "") ?(async = [])
+    ?(trace = Obs.create ()) ?(input = "") ?(async = []) ?(kills = [])
     ?(max_steps = 200_000) (e : expr) =
   let tr = trace in
   let trace_rev = ref [] in
@@ -99,11 +112,14 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
   let input_pos = ref 0 in
   let main_result : outcome option ref = ref None in
 
+  let kills = ref kills in
   let new_thread m_thunk frames =
     let tid = !next_tid in
     incr next_tid;
     incr spawned;
-    let t = { tid; state = Runnable (m_thunk, frames); mask = 0 } in
+    let t =
+      { tid; state = Runnable (m_thunk, frames); mask = 0; pending_exns = [] }
+    in
     threads := !threads @ [ t ];
     t
   in
@@ -204,6 +220,9 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
     | F_retry _ :: rest -> pop_t t v rest
     | F_rethrow e :: rest -> unwind_t t e rest
     | F_restore saved :: rest -> pop_t t saved rest
+    | F_catch :: rest ->
+        if Obs.on tr then Obs.record tr (Obs.Ev_catch None);
+        pop_t t (from_whnf (Ok_v (VCon (c_ok, [ v ])))) rest
 
   (* Exceptional return through [t]'s frames: run releases and handlers,
      or kill the thread at the bottom. *)
@@ -243,6 +262,11 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
         else unwind_t t e rest
     | F_rethrow _ :: rest -> unwind_t t e rest
     | F_restore _ :: rest -> unwind_t t e rest
+    | F_catch :: rest ->
+        if Obs.on tr then Obs.record tr (Obs.Ev_catch (Some e));
+        pop_t t
+          (from_whnf (Ok_v (VCon (c_bad, [ from_whnf (exn_to_value e) ]))))
+          rest
   in
 
   let find_thread tid = List.find (fun t -> t.tid = tid) !threads in
@@ -269,6 +293,38 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
     | Runnable _ | Sleeping _ | Finished -> ())
   in
 
+  let find_thread_opt tid = List.find_opt (fun t -> t.tid = tid) !threads in
+
+  (* Forget a thread that is being woken exceptionally: it no longer
+     waits on any MVar. *)
+  let scrub_waiters tid =
+    Hashtbl.iter
+      (fun _ m ->
+        m.take_waiters <- List.filter (fun x -> x <> tid) m.take_waiters;
+        m.put_waiters <- List.filter (fun x -> x <> tid) m.put_waiters)
+      mvars
+  in
+
+  let take_pending_exn (t : thread) =
+    if t.mask > 0 then None
+    else
+      match t.pending_exns with
+      | [] -> None
+      | x :: rest ->
+          t.pending_exns <- rest;
+          Some x
+  in
+
+  (* Thread-targeted delivery by unwinding [t]'s frames: releases and
+     handlers run, an [F_catch] (getException-on-IO) stops it. *)
+  let deliver_unwind (t : thread) (x : Exn.t) (frames : frame list) =
+    counters.throwtos_delivered <- counters.throwtos_delivered + 1;
+    if Obs.on tr then Obs.record tr (Obs.Ev_kill_delivered (t.tid, x));
+    emit (E_async (t.tid, x));
+    scrub_waiters t.tid;
+    unwind_t t x frames
+  in
+
   let as_mvar_id (w : whnf) : (int, string) Result.t =
     match w with
     | Ok_v (VCon (c, [ idt ])) when String.equal c mvar_con -> (
@@ -292,14 +348,37 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
         incr clock;
         (* Fresh per-transition budget; see Iosem. *)
         Denot.refill fuel_handle;
-        if expired t frames then begin
-          counters.timeouts_fired <- counters.timeouts_fired + 1;
-          if Obs.on tr then Obs.record tr (Obs.Ev_io "timeout fired");
-          unwind_t t Exn.Timeout frames;
-          true
-        end
-        else
-          match force m_thunk with
+        match take_pending_exn t with
+        | Some x ->
+            (* A thread-targeted exception is due (thread is unmasked).
+               If the interrupted action is a [getException] it is caught
+               right here — §5.1 delivery at getException; otherwise
+               unwind the thread's frames (releases and handlers run). *)
+            (match force m_thunk with
+            | Ok_v (VCon (c, [ _ ])) when String.equal c c_get_exception ->
+                counters.throwtos_delivered <-
+                  counters.throwtos_delivered + 1;
+                if Obs.on tr then begin
+                  Obs.record tr (Obs.Ev_kill_delivered (t.tid, x));
+                  Obs.record tr (Obs.Ev_catch (Some x))
+                end;
+                emit (E_async (t.tid, x));
+                t.state <-
+                  Runnable
+                    ( return_thunk
+                        (Ok_v (VCon (c_bad, [ from_whnf (exn_to_value x) ]))),
+                      frames )
+            | _ -> deliver_unwind t x frames);
+            true
+        | None -> (
+            if expired t frames then begin
+              counters.timeouts_fired <- counters.timeouts_fired + 1;
+              if Obs.on tr then Obs.record tr (Obs.Ev_io "timeout fired");
+              unwind_t t Exn.Timeout frames;
+              true
+            end
+            else
+              match force m_thunk with
           | Bad s ->
               if Oracle.diverge_on_non_termination oracle s then begin
                 main_result := Some Diverged;
@@ -355,20 +434,34 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
                           (Ok_v (VCon (c_bad, [ from_whnf (exn_to_value x) ]))),
                         frames );
                   true
-              | None ->
-                  (let w =
-                     match force v with
-                     | Ok_v value ->
-                         if Obs.on tr then Obs.record tr (Obs.Ev_catch None);
-                         Ok_v (VCon (c_ok, [ from_whnf (Ok_v value) ]))
-                     | Bad s ->
-                         let x = pick s in
-                         if Obs.on tr then
-                           Obs.record tr (Obs.Ev_catch (Some x));
-                         Ok_v (VCon (c_bad, [ from_whnf (exn_to_value x) ]))
-                   in
-                   t.state <- Runnable (return_thunk w, frames));
-                  true)
+              | None -> (
+                  match force v with
+                  | Ok_v (VCon (cn, _)) as w when is_io_action_constructor cn
+                    ->
+                      (* getException of an IO action (GHC's [try]):
+                         perform it under a catch frame so exceptions it
+                         raises — or that are delivered to this thread
+                         while it blocks — come back as [Bad]. *)
+                      t.state <- Runnable (from_whnf w, F_catch :: frames);
+                      true
+                  | Ok_v value ->
+                      if Obs.on tr then Obs.record tr (Obs.Ev_catch None);
+                      t.state <-
+                        Runnable
+                          ( return_thunk
+                              (Ok_v (VCon (c_ok, [ from_whnf (Ok_v value) ]))),
+                            frames );
+                      true
+                  | Bad s ->
+                      let x = pick s in
+                      if Obs.on tr then Obs.record tr (Obs.Ev_catch (Some x));
+                      t.state <-
+                        Runnable
+                          ( return_thunk
+                              (Ok_v
+                                 (VCon (c_bad, [ from_whnf (exn_to_value x) ]))),
+                            frames );
+                      true))
           | Ok_v (VCon (c, [ acq; rel; use ])) when String.equal c c_bracket
             ->
               enter_mask t;
@@ -413,6 +506,10 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
                   true)
           | Ok_v (VCon (c, [ m1 ])) when String.equal c "Fork" ->
               let child = new_thread m1 [] in
+              (* The child starts at the parent's mask depth: a thread
+                 forked inside an acquire is born protected, so an async
+                 exception cannot slip in before its own mask/bracket. *)
+              child.mask <- t.mask;
               if Obs.on tr then
                 Obs.record tr
                   (Obs.Ev_io (Printf.sprintf "fork thread %d" child.tid));
@@ -480,9 +577,74 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
                       m.put_waiters <- t.tid :: m.put_waiters;
                       t.state <- Blocked_put (id, v, frames);
                       true))
-          | Ok_v _ ->
-              main_result := Some (Stuck "not an IO value");
-              true)
+          | Ok_v (VCon (c, [])) when String.equal c "MyThreadId" ->
+              t.state <-
+                Runnable
+                  ( return_thunk
+                      (Ok_v
+                         (VCon ("ThreadId", [ from_whnf (Ok_v (VInt t.tid)) ]))),
+                    frames );
+              true
+          | Ok_v (VCon (c, [ tt; et ])) when String.equal c "ThrowTo" -> (
+              match force tt with
+              | Ok_v (VCon (ct, [ nt ])) when String.equal ct "ThreadId" -> (
+                  match force nt with
+                  | Ok_v (VInt target) -> (
+                      match exn_of_whnf (force et) with
+                      | Ok x ->
+                          if Obs.on tr then
+                            Obs.record tr (Obs.Ev_throwto (t.tid, target, x));
+                          emit (E_throwto (t.tid, target, x));
+                          if target = t.tid then begin
+                            (* throwTo to oneself is synchronous (GHC):
+                               deliver regardless of masking. *)
+                            counters.throwtos_delivered <-
+                              counters.throwtos_delivered + 1;
+                            if Obs.on tr then
+                              Obs.record tr (Obs.Ev_kill_delivered (t.tid, x));
+                            emit (E_async (t.tid, x));
+                            unwind_t t x frames
+                          end
+                          else begin
+                            (match find_thread_opt target with
+                            | Some tgt -> (
+                                match tgt.state with
+                                | Finished ->
+                                    () (* dead target: send is a no-op *)
+                                | _ ->
+                                    tgt.pending_exns <-
+                                      tgt.pending_exns @ [ x ])
+                            | None -> () (* unknown target: no-op *));
+                            t.state <-
+                              Runnable
+                                ( return_thunk (Ok_v (VCon (c_unit, []))),
+                                  frames )
+                          end;
+                          true
+                      | Error (Bad s) ->
+                          unwind_t t (pick s) frames;
+                          true
+                      | Error _ ->
+                          unwind_t t
+                            (Exn.Type_error "throwTo: not an exception")
+                            frames;
+                          true)
+                  | Ok_v _ ->
+                      unwind_t t (Exn.Type_error "throwTo: not a ThreadId")
+                        frames;
+                      true
+                  | Bad s ->
+                      unwind_t t (pick s) frames;
+                      true)
+              | Ok_v _ ->
+                  unwind_t t (Exn.Type_error "throwTo: not a ThreadId") frames;
+                  true
+              | Bad s ->
+                  unwind_t t (pick s) frames;
+                  true)
+              | Ok_v _ ->
+                  main_result := Some (Stuck "not an IO value");
+                  true))
   in
 
   let wake_sleepers () =
@@ -503,31 +665,102 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
         if steps >= max_steps then Diverged
         else begin
           wake_sleepers ();
-          let runnable =
-            List.filter
-              (fun t -> match t.state with Runnable _ -> true | _ -> false)
-              !threads
+          (* Due kill-schedule entries become pending thread-targeted
+             exceptions (the fault-injection axis; sends to finished or
+             unknown threads are dropped, like a dead [throwTo]). *)
+          let due, later =
+            List.partition (fun (k, _, _) -> !clock >= k) !kills
           in
-          let sleepers =
-            List.filter_map
-              (fun t ->
-                match t.state with
-                | Sleeping (until, _, _) -> Some until
-                | _ -> None)
-              !threads
-          in
-          if runnable = [] then
-            match sleepers with
-            | [] -> Deadlock
-            | _ :: _ ->
-                (* Nothing to run but sleepers exist: fast-forward the
-                   clock to the earliest wake-up instead of deadlocking. *)
-                clock := List.fold_left min max_int sleepers;
+          kills := later;
+          List.iter
+            (fun (_, target, x) ->
+              match find_thread_opt target with
+              | Some tgt -> (
+                  match tgt.state with
+                  | Finished -> ()
+                  | _ -> tgt.pending_exns <- tgt.pending_exns @ [ x ])
+              | None -> ())
+            due;
+          (* Blocked and sleeping threads cannot reach a delivery point on
+             their own: interrupt them here (masked threads keep their
+             pending exceptions and stay blocked). *)
+          List.iter
+            (fun t ->
+              match t.state with
+              | Blocked_take (_, frames)
+              | Blocked_put (_, _, frames)
+              | Sleeping (_, _, frames) -> (
+                  match take_pending_exn t with
+                  | Some x -> deliver_unwind t x frames
+                  | None -> ())
+              | Runnable _ | Finished -> ())
+            !threads;
+          match !main_result with
+          | Some o -> o
+          | None ->
+              let runnable =
+                List.filter
+                  (fun t ->
+                    match t.state with Runnable _ -> true | _ -> false)
+                  !threads
+              in
+              let sleepers =
+                List.filter_map
+                  (fun t ->
+                    match t.state with
+                    | Sleeping (until, _, _) -> Some until
+                    | _ -> None)
+                  !threads
+              in
+              if runnable = [] then
+                match sleepers with
+                | [] -> (
+                    (* Irrecoverably blocked. Instead of giving up with a
+                       global [Deadlock], deliver [BlockedIndefinitely] to
+                       every unmasked blocked thread (tid order) as a
+                       catchable imprecise exception and keep scheduling;
+                       only when every blocked thread is masked is this a
+                       true deadlock. *)
+                    let victims =
+                      List.filter
+                        (fun t ->
+                          t.mask = 0
+                          &&
+                          match t.state with
+                          | Blocked_take _ | Blocked_put _ -> true
+                          | _ -> false)
+                        !threads
+                    in
+                    match victims with
+                    | [] -> Deadlock
+                    | _ :: _ ->
+                        List.iter
+                          (fun t ->
+                            let frames =
+                              match t.state with
+                              | Blocked_take (_, fs) -> fs
+                              | Blocked_put (_, _, fs) -> fs
+                              | _ -> []
+                            in
+                            counters.blocked_recoveries <-
+                              counters.blocked_recoveries + 1;
+                            if Obs.on tr then
+                              Obs.record tr (Obs.Ev_blocked_recover t.tid);
+                            emit (E_async (t.tid, Exn.Blocked_indefinitely));
+                            scrub_waiters t.tid;
+                            unwind_t t Exn.Blocked_indefinitely frames)
+                          victims;
+                        scheduler (steps + 1))
+                | _ :: _ ->
+                    (* Nothing to run but sleepers exist: fast-forward the
+                       clock to the earliest wake-up instead of
+                       deadlocking. *)
+                    clock := List.fold_left min max_int sleepers;
+                    scheduler (steps + 1)
+              else begin
+                List.iter (fun t -> ignore (step t)) runnable;
                 scheduler (steps + 1)
-          else begin
-            List.iter (fun t -> ignore (step t)) runnable;
-            scheduler (steps + 1)
-          end
+              end
         end
   in
   let outcome =

@@ -21,7 +21,30 @@
     Exceptions interact with concurrency exactly as in the paper: an
     uncaught exceptional value kills only the thread that performed it
     (the main thread's death ends the program), and [getException] behaves
-    as in Section 4.4 within each thread. *)
+    as in Section 4.4 within each thread.
+
+    Thread-to-thread asynchronous exceptions (Prelude aliases
+    [myThreadId], [throwTo t e], [killThread t]):
+
+    {v
+    MyThreadId             : IO ThreadId -- this thread's identity
+    ThrowTo ThreadId Exn   : IO Unit     -- async send; no-op if dead
+    v}
+
+    [throwTo] is a non-blocking send: the exception is queued on the
+    target and delivered at the target's next scheduling point while its
+    mask depth is zero ([mask]/[bracket] acquire-and-release sections
+    defer delivery — Section 5.1's interruptible-operation discipline,
+    made strict). A [throwTo] to oneself is synchronous, delivered
+    regardless of masking, as in GHC. Delivery at a [getException] is
+    caught right there as [Bad e]; anywhere else it unwinds the thread's
+    frames, running releases and handlers.
+
+    When no thread can ever run again, blocked threads with mask depth
+    zero receive the catchable [BlockedIndefinitely] exception instead of
+    the program reporting a global [Deadlock] (GHC's
+    [BlockedIndefinitelyOnMVar]); [Deadlock] remains only for the case
+    where every blocked thread is masked. *)
 
 type event =
   | E_write of int * char  (** thread, character written *)
@@ -36,11 +59,15 @@ type event =
       (** An asynchronous event was delivered to this thread. *)
   | E_sleep of int * int
       (** Thread sleeping until the given clock tick ([Retry] backoff). *)
+  | E_throwto of int * int * Lang.Exn.t
+      (** [throwTo]: sender, target, exception (send, not delivery). *)
 
 type outcome =
   | Done of Sem_value.deep  (** The main thread's result. *)
   | Uncaught of Lang.Exn.t  (** The main thread died. *)
-  | Deadlock  (** No thread runnable, some blocked. *)
+  | Deadlock
+      (** No thread can ever run again and every blocked thread is
+          masked, so not even [BlockedIndefinitely] can be delivered. *)
   | Diverged
   | Stuck of string
 
@@ -62,13 +89,20 @@ val run :
   ?trace:Obs.t ->
   ?input:string ->
   ?async:Iosem.schedule ->
+  ?kills:(int * int * Lang.Exn.t) list ->
   ?max_steps:int ->
   Lang.Syntax.expr ->
   result
 (** Perform a closed [IO] expression with the concurrent scheduler
     (round-robin, one transition per thread per turn). [trace] receives
     structured oracle-pick, catch, async, mask, bracket, fork and
-    timeout events. *)
+    timeout events.
+
+    [kills] is a fault-injection schedule of [(clock, tid, exn)]
+    triples: once the global clock reaches [clock], [exn] is queued on
+    thread [tid] exactly as if a live thread had performed
+    [ThrowTo (ThreadId tid) exn]. Entries naming finished or unknown
+    threads are dropped silently. *)
 
 val output_string_of : result -> string
 (** Characters written by all threads, in global order. *)

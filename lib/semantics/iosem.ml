@@ -17,6 +17,8 @@ type counters = {
   mutable timeouts_fired : int;
   mutable masked_sections : int;
   mutable retries : int;
+  mutable throwtos_delivered : int;
+  mutable blocked_recoveries : int;
 }
 
 let fresh_counters () =
@@ -27,6 +29,8 @@ let fresh_counters () =
     timeouts_fired = 0;
     masked_sections = 0;
     retries = 0;
+    throwtos_delivered = 0;
+    blocked_recoveries = 0;
   }
 
 type result = { trace : event list; outcome : outcome; counters : counters }
@@ -87,6 +91,10 @@ type frame =
   | F_restore of thunk
       (** Continue popping with this saved value once the cleanup above
           finishes (the cleanup's own result is discarded). *)
+  | F_catch
+      (** [getException] on an IO action (GHC's [try]): the action runs
+          above this frame; a normal result pops as [OK v], an unwinding
+          exception is stopped here and pops as [Bad e]. *)
 
 let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
     ?(trace = Obs.create ()) ?(input = "") ?(async = [])
@@ -205,6 +213,13 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
                   stack
             | None -> (
                 match force t with
+                | Ok_v (VCon (cn, _) as v) when is_io_action_constructor cn ->
+                    (* getException on an IO action: perform it under a
+                       catch frame (GHC's [try]) so an exception raised
+                       anywhere in the action — including one delivered
+                       while it is blocked, in the concurrent layers —
+                       pops here as [Bad]. *)
+                    perform (from_whnf (Ok_v v)) (F_catch :: stack)
                 | Ok_v v ->
                     if Obs.on tr then Obs.record tr (Obs.Ev_catch None);
                     perform
@@ -251,6 +266,46 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
                   (F_retry (m1, max 0 attempts, max 1 backoff) :: stack)
             | Bad s, _ | _, Bad s -> unwind (pick s) stack
             | _ -> Stuck "retry: attempts/backoff are not integers")
+        | Ok_v (VCon (c, [])) when String.equal c "MyThreadId" ->
+            (* The single-threaded layer is its own main thread 0. *)
+            perform
+              (return_thunk
+                 (Ok_v
+                    (VCon ("ThreadId", [ from_whnf (Ok_v (VInt 0)) ]))))
+              stack
+        | Ok_v (VCon (c, [ tt; et ])) when String.equal c "ThrowTo" -> (
+            match force tt with
+            | Ok_v (VCon (ct, [ nt ])) when String.equal ct "ThreadId" -> (
+                match force nt with
+                | Ok_v (VInt tid) -> (
+                    match exn_of_whnf (force et) with
+                    | Ok x ->
+                        if tid = 0 then begin
+                          (* throwTo to oneself is synchronous (GHC):
+                             deliver regardless of masking. *)
+                          counters.throwtos_delivered <-
+                            counters.throwtos_delivered + 1;
+                          if Obs.on tr then begin
+                            Obs.record tr (Obs.Ev_throwto (0, 0, x));
+                            Obs.record tr (Obs.Ev_kill_delivered (0, x))
+                          end;
+                          unwind x stack
+                        end
+                        else
+                          (* No such thread here: a send to a dead or
+                             unknown ThreadId is a no-op. *)
+                          perform (return_thunk (vcon0 c_unit)) stack
+                    | Error (Bad s) -> unwind (pick s) stack
+                    | Error _ ->
+                        unwind
+                          (Exn.Type_error "throwTo: not an exception")
+                          stack)
+                | Ok_v _ ->
+                    unwind (Exn.Type_error "throwTo: not a ThreadId") stack
+                | Bad s -> unwind (pick s) stack)
+            | Ok_v _ ->
+                unwind (Exn.Type_error "throwTo: not a ThreadId") stack
+            | Bad s -> unwind (pick s) stack)
         | Ok_v _ -> Stuck "not an IO value"
     end
   (* Normal return: pop administrative frames until the next [>>=]
@@ -287,6 +342,9 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
     | F_retry _ :: rest -> pop v rest
     | F_rethrow e :: rest -> unwind e rest
     | F_restore saved :: rest -> pop saved rest
+    | F_catch :: rest ->
+        if Obs.on tr then Obs.record tr (Obs.Ev_catch None);
+        pop (from_whnf (Ok_v (VCon (c_ok, [ v ])))) rest
   (* Exceptional return: trim the stack, running releases and handlers. *)
   and unwind (e : Exn.t) (stack : frame list) : outcome =
     match stack with
@@ -328,6 +386,10 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
         (* A cleanup raised while unwinding: the newer exception wins. *)
         unwind e rest
     | F_restore _ :: rest -> unwind e rest
+    | F_catch :: rest ->
+        if Obs.on tr then Obs.record tr (Obs.Ev_catch (Some e));
+        pop (from_whnf (Ok_v (VCon (c_bad, [ from_whnf (exn_to_value e) ]))))
+          rest
   in
   let outcome = perform main_thunk [] in
   { trace = List.rev st.trace_rev; outcome; counters }

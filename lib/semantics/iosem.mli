@@ -59,6 +59,12 @@ type counters = {
       (** Times async delivery was masked (explicit [Mask], bracket
           acquire, every cleanup). *)
   mutable retries : int;  (** [Retry] re-attempts actually taken. *)
+  mutable throwtos_delivered : int;
+      (** Thread-targeted exceptions that reached their target (only the
+          concurrent layer {!Conc} can deliver them). *)
+  mutable blocked_recoveries : int;
+      (** Blocked threads woken exceptionally with [BlockedIndefinitely]
+          ({!Conc}'s per-thread deadlock recovery). *)
 }
 
 val fresh_counters : unit -> counters

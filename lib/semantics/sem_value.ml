@@ -67,7 +67,7 @@ let exn_to_value (e : Exn.t) =
       Ok_v (VCon (name, [ from_whnf (Ok_v (VString s)) ]))
   | Exn.Divide_by_zero | Exn.Overflow | Exn.Non_termination | Exn.Interrupt
   | Exn.Timeout | Exn.Stack_overflow_exn | Exn.Heap_exhaustion
-  | Exn.Heap_overflow ->
+  | Exn.Heap_overflow | Exn.Thread_killed | Exn.Blocked_indefinitely ->
       vcon0 name
 
 let exn_of_whnf (w : whnf) : (Exn.t, whnf) result =

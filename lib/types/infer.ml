@@ -199,7 +199,11 @@ let builtin_data : data_decl list =
           ("StackOverflow", []);
           ("HeapExhaustion", []);
           ("HeapOverflow", []);
+          ("ThreadKilled", []);
+          ("BlockedIndefinitely", []);
         ] };
+    { type_name = "ThreadId"; type_params = [];
+      constructors = [ ("ThreadId", [ c "Int" [] ]) ] };
     { type_name = "ExVal"; type_params = [ "a" ];
       constructors =
         [ ("OK", [ v "a" ]); ("Bad", [ c "Exception" [] ]) ] };
@@ -437,8 +441,16 @@ let rec infer_exn (env : env) (e : expr) : ty =
   | Con (c, [ v ]) when String.equal c c_put_char ->
       unify (infer_exn env v) t_char;
       t_io t_unit
-  | Con (c, [ v ]) when String.equal c c_get_exception ->
-      t_io (t_exval (infer_exn env v))
+  | Con (c, [ v ]) when String.equal c c_get_exception -> (
+      (* getException on a value catches its exceptions; on an IO action
+         it performs the action under a catch (GHC's [try]), so the OK
+         payload is the action's *result*. The IO view only applies when
+         the argument is concretely IO — a type-variable argument keeps
+         the pure view (an HM approximation, documented in DESIGN). *)
+      let tv = infer_exn env v in
+      match repr tv with
+      | T_con ("IO", [ a ]) -> t_io (t_exval a)
+      | _ -> t_io (t_exval tv))
   | Con (c, [ acq; rel; use ]) when String.equal c c_bracket ->
       let a = fresh_var () and b = fresh_var () and r = fresh_var () in
       unify (infer_exn env acq) (t_io a);
@@ -478,6 +490,11 @@ let rec infer_exn (env : env) (e : expr) : ty =
       let a = fresh_var () in
       unify (infer_exn env r) (T_con ("MVar", [ a ]));
       unify (infer_exn env v) a;
+      t_io t_unit
+  | Con ("MyThreadId", []) -> t_io (T_con ("ThreadId", []))
+  | Con ("ThrowTo", [ t; x ]) ->
+      unify (infer_exn env t) (T_con ("ThreadId", []));
+      unify (infer_exn env x) t_exception;
       t_io t_unit
   | Con (c, args) ->
       let fields, result =

@@ -56,19 +56,51 @@ let suite =
               forkIO (putMVar mv 1 >> putMVar mv 2) >>\n\
               takeMVar mv >>= \\x -> takeMVar mv >>= \\y ->\n\
               return (x, y)"));
-    tc "deadlock is detected" (fun () ->
+    tc "an irrecoverably blocked thread dies of BlockedIndefinitely" (fun () ->
+        (* Previously a global Deadlock; now the blocked thread receives
+           the catchable BlockedIndefinitely, uncaught here. *)
         match (run "newEmptyMVar >>= \\mv -> takeMVar mv").Conc.outcome with
-        | Conc.Deadlock -> ()
+        | Conc.Uncaught E.Blocked_indefinitely -> ()
         | o -> Alcotest.failf "unexpected %a" Conc.pp_outcome o);
-    tc "two takers deadlock after one put" (fun () ->
+    tc "two takers: the starved second take gets BlockedIndefinitely"
+      (fun () ->
         match
           (run
              "newEmptyMVar >>= \\mv -> putMVar mv 1 >>\n\
               takeMVar mv >>= \\a -> takeMVar mv")
             .Conc.outcome
         with
+        | Conc.Uncaught E.Blocked_indefinitely -> ()
+        | o -> Alcotest.failf "unexpected %a" Conc.pp_outcome o);
+    tc "BlockedIndefinitely is caught at getException; fallback completes"
+      (fun () ->
+        let src =
+          "newEmptyMVar >>= \\mv -> getException (takeMVar mv) >>= \\r ->\n\
+           case r of { OK x -> return 0 ; Bad e ->\n\
+           (if eqExn e BlockedIndefinitely then putChar 'f' else putChar \
+           '?') >>= \\u -> return 7 }"
+        in
+        let r = run src in
+        check_done "fallback ran" (dint 7) r;
+        Alcotest.(check string) "marker" "f" (Conc.output_string_of r);
+        Alcotest.(check int)
+          "recovery counted" 1 r.Conc.counters.Io.blocked_recoveries;
+        let m = Machine_conc.run (parse src) in
+        (match m.Machine_conc.outcome with
+        | Machine_conc.Done d -> Alcotest.check deep "machine" (dint 7) d
+        | o -> Alcotest.failf "unexpected %a" Machine_conc.pp_outcome o);
+        Alcotest.(check string) "machine marker" "f" m.Machine_conc.output);
+    tc "Deadlock survives only when every blocked thread is masked"
+      (fun () ->
+        (* A masked blocked thread defers BlockedIndefinitely forever, so
+           the old global outcome is still reachable. *)
+        let src = "newEmptyMVar >>= \\mv -> mask (takeMVar mv)" in
+        (match (run src).Conc.outcome with
         | Conc.Deadlock -> ()
         | o -> Alcotest.failf "unexpected %a" Conc.pp_outcome o);
+        match (Machine_conc.run (parse src)).Machine_conc.outcome with
+        | Machine_conc.Deadlock -> ()
+        | o -> Alcotest.failf "unexpected %a" Machine_conc.pp_outcome o);
     tc "a child's uncaught exception kills only that thread" (fun () ->
         let r = run "forkIO (putInt (1/0)) >> putChar 'k' >> return 5" in
         check_done "main survives" (dint 5) r;
@@ -173,6 +205,14 @@ let suite =
             "newEmptyMVar >>= \\a -> newEmptyMVar >>= \\b ->\n\
              forkIO (takeMVar a >>= \\x -> putMVar b (x * 2)) >>\n\
              putMVar a 21 >> takeMVar b >>= \\r -> return r";
+            (* A self-throw is synchronous in both layers. *)
+            "getException (myThreadId >>= \\t -> throwTo t (UserError \
+             \"boom\") >>= \\u -> return 1) >>= \\r ->\n\
+             case r of { OK x -> return x ; Bad e -> return 77 }";
+            (* Blocked-forever recovers identically in both layers. *)
+            "newEmptyMVar >>= \\mv -> getException (takeMVar mv) >>= \\r \
+             ->\n\
+             case r of { OK x -> return x ; Bad e -> return 5 }";
           ]
         in
         List.iter
@@ -282,4 +322,180 @@ let suite =
               (Printf.sprintf "threads deterministic (seed %d)" seed)
               r1.Conc.threads_spawned r2.Conc.threads_spawned)
           [ 1; 7; 42; 1999 ]);
+    tc "killThread on yourself is ThreadKilled, even under mask" (fun () ->
+        (* Section 5.1-style asynchronous exceptions, self-directed: a
+           self-throw is synchronous and ignores the mask depth. *)
+        let plain =
+          "getException (myThreadId >>= \\t -> killThread t >>= \\u -> \
+           return 1) >>= \\r -> case r of { OK x -> return 0 ; Bad e -> (if \
+           eqExn e ThreadKilled then return 7 else return 8) }"
+        in
+        let masked =
+          "mask (getException (myThreadId >>= \\t -> killThread t >>= \\u \
+           -> return 1)) >>= \\r -> case r of { OK x -> return 0 ; Bad e \
+           -> return 3 }"
+        in
+        check_done "caught as ThreadKilled" (dint 7) (run plain);
+        check_done "mask does not defer a self-throw" (dint 3) (run masked);
+        List.iter
+          (fun (src, expect) ->
+            match (Machine_conc.run (parse src)).Machine_conc.outcome with
+            | Machine_conc.Done d -> Alcotest.check deep "machine" expect d
+            | o -> Alcotest.failf "unexpected %a" Machine_conc.pp_outcome o)
+          [ (plain, dint 7); (masked, dint 3) ]);
+    tc "throwTo to a finished thread is a no-op" (fun () ->
+        (* The child hands its ThreadId over an MVar and exits; by the
+           time the parent throws, the target is dead — like GHC, the
+           send just evaporates. *)
+        let src =
+          "newEmptyMVar >>= \\mv ->\n\
+           forkIO (myThreadId >>= \\t -> putMVar mv t) >>= \\u ->\n\
+           takeMVar mv >>= \\t ->\n\
+           putInt (sum (enumFromTo 1 100)) >>= \\u2 ->\n\
+           killThread t >>= \\u3 -> putChar 'd' >>= \\u4 -> return 9"
+        in
+        let r = run src in
+        check_done "parent unaffected" (dint 9) r;
+        Alcotest.(check string) "output" "5050d" (Conc.output_string_of r);
+        let m = Machine_conc.run (parse src) in
+        (match m.Machine_conc.outcome with
+        | Machine_conc.Done d -> Alcotest.check deep "machine" (dint 9) d
+        | o -> Alcotest.failf "unexpected %a" Machine_conc.pp_outcome o);
+        Alcotest.(check string) "machine output" "5050d" m.Machine_conc.output);
+    tc "a forked child inherits the parent's mask depth" (fun () ->
+        (* Forked under mask, the child is born protected: a scheduled
+           kill stays pending forever and the child's output survives
+           complete. The unmasked twin is torn by the same schedule. *)
+        let masked =
+          "mask (forkIO (putChar 'w' >> putChar 'x' >> putChar 'y' >> \
+           putChar 'z')) >>= \\u -> putInt (sum (enumFromTo 1 50)) >>= \
+           \\u2 -> return 3"
+        in
+        let unmasked =
+          "forkIO (putChar 'w' >> putChar 'x' >> putChar 'y' >> putChar \
+           'z') >>= \\u -> putInt (sum (enumFromTo 1 50)) >>= \\u2 -> \
+           return 3"
+        in
+        (* Clocks count micro-transitions, which differ per layer; a
+           spread of thresholds guarantees at least one entry falls due
+           while the child is alive (earlier entries aimed at a tid not
+           yet spawned are dropped, like a dead throwTo). *)
+        let kills =
+          [ (2, 1, E.Thread_killed); (4, 1, E.Thread_killed);
+            (6, 1, E.Thread_killed) ]
+        in
+        let rm = Conc.run ~kills (parse masked) in
+        check_done "masked child's parent" (dint 3) rm;
+        let out = Conc.output_string_of rm in
+        List.iter
+          (fun c ->
+            Alcotest.(check bool)
+              (Printf.sprintf "masked child wrote %c" c)
+              true (String.contains out c))
+          [ 'w'; 'x'; 'y'; 'z' ];
+        Alcotest.(check int)
+          "deferred forever" 0 rm.Conc.counters.Io.throwtos_delivered;
+        let ru = Conc.run ~kills (parse unmasked) in
+        check_done "unmasked child's parent" (dint 3) ru;
+        Alcotest.(check int)
+          "kill delivered" 1 ru.Conc.counters.Io.throwtos_delivered;
+        Alcotest.(check bool)
+          "child torn" false
+          (String.contains (Conc.output_string_of ru) 'z');
+        (* Machine layer: same story, transition-counted schedule. *)
+        let mm = Machine_conc.run ~kills (parse masked) in
+        (match mm.Machine_conc.outcome with
+        | Machine_conc.Done d -> Alcotest.check deep "machine masked" (dint 3) d
+        | o -> Alcotest.failf "unexpected %a" Machine_conc.pp_outcome o);
+        List.iter
+          (fun c ->
+            Alcotest.(check bool)
+              (Printf.sprintf "machine masked child wrote %c" c)
+              true
+              (String.contains mm.Machine_conc.output c))
+          [ 'w'; 'x'; 'y'; 'z' ];
+        let mu = Machine_conc.run ~kills (parse unmasked) in
+        (match mu.Machine_conc.outcome with
+        | Machine_conc.Done d ->
+            Alcotest.check deep "machine unmasked" (dint 3) d
+        | o -> Alcotest.failf "unexpected %a" Machine_conc.pp_outcome o);
+        Alcotest.(check int)
+          "machine kill delivered" 1
+          mu.Machine_conc.stats.Stats.throwtos_delivered;
+        Alcotest.(check bool)
+          "machine child torn" false
+          (String.contains mu.Machine_conc.output 'z'));
+    tc "a killed worker leaves the supervisor a catchable blocked join"
+      (fun () ->
+        (* The kill schedule murders the worker mid-sum; the join on its
+           MVar then blocks forever, BlockedIndefinitely lands at the
+           supervisor's getException, and the fallback completes. *)
+        let src =
+          "newEmptyMVar >>= \\mv ->\n\
+           forkIO (putInt (sum (enumFromTo 1 200)) >>= \\u -> putMVar mv \
+           1) >>= \\u ->\n\
+           getException (takeMVar mv) >>= \\r ->\n\
+           case r of { OK x -> return x ; Bad e -> putChar 'F' >>= \\u2 -> \
+           return 42 }"
+        in
+        let kills =
+          [ (3, 1, E.Thread_killed); (5, 1, E.Thread_killed);
+            (7, 1, E.Thread_killed) ]
+        in
+        let r = Conc.run ~kills (parse src) in
+        check_done "fallback value" (dint 42) r;
+        Alcotest.(check bool)
+          "fallback marker" true
+          (String.contains (Conc.output_string_of r) 'F');
+        Alcotest.(check int)
+          "kill delivered" 1 r.Conc.counters.Io.throwtos_delivered;
+        Alcotest.(check int)
+          "blocked join recovered" 1 r.Conc.counters.Io.blocked_recoveries;
+        let m = Machine_conc.run ~kills (parse src) in
+        (match m.Machine_conc.outcome with
+        | Machine_conc.Done d -> Alcotest.check deep "machine" (dint 42) d
+        | o -> Alcotest.failf "unexpected %a" Machine_conc.pp_outcome o);
+        Alcotest.(check int)
+          "machine kill delivered" 1
+          m.Machine_conc.stats.Stats.throwtos_delivered;
+        Alcotest.(check int)
+          "machine blocked join recovered" 1
+          m.Machine_conc.stats.Stats.blocked_recoveries);
+    tc "failing outcomes keep the output accumulated so far" (fun () ->
+        (* Uncaught and Deadlock results still carry the partial output
+           and stats — a crashed program's trail is not discarded. *)
+        let uncaught =
+          "putChar 'a' >>= \\u -> putChar 'b' >>= \\u2 -> putChar (head [])"
+        in
+        let r = run uncaught in
+        (match r.Conc.outcome with
+        | Conc.Uncaught (E.Pattern_match_fail "head") -> ()
+        | o -> Alcotest.failf "unexpected %a" Conc.pp_outcome o);
+        Alcotest.(check string) "partial output" "ab"
+          (Conc.output_string_of r);
+        let m = Machine_conc.run (parse uncaught) in
+        (match m.Machine_conc.outcome with
+        | Machine_conc.Uncaught (E.Pattern_match_fail "head") -> ()
+        | o -> Alcotest.failf "unexpected %a" Machine_conc.pp_outcome o);
+        Alcotest.(check string) "machine partial output" "ab"
+          m.Machine_conc.output;
+        Alcotest.(check bool)
+          "stats survive the crash" true
+          (m.Machine_conc.stats.Stats.steps > 0);
+        let stuck =
+          "putChar 'a' >>= \\u -> newEmptyMVar >>= \\mv -> mask (takeMVar \
+           mv)"
+        in
+        let rd = run stuck in
+        (match rd.Conc.outcome with
+        | Conc.Deadlock -> ()
+        | o -> Alcotest.failf "unexpected %a" Conc.pp_outcome o);
+        Alcotest.(check string) "deadlock keeps output" "a"
+          (Conc.output_string_of rd);
+        let md = Machine_conc.run (parse stuck) in
+        (match md.Machine_conc.outcome with
+        | Machine_conc.Deadlock -> ()
+        | o -> Alcotest.failf "unexpected %a" Machine_conc.pp_outcome o);
+        Alcotest.(check string) "machine deadlock keeps output" "a"
+          md.Machine_conc.output);
   ]

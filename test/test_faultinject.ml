@@ -37,4 +37,38 @@ let suite =
           "ran at least 200 schedules plus baselines" true
           (r.Faultinject.runs >= 200);
         Alcotest.(check bool) "checks counted" true (r.Faultinject.checks > 0));
+    tc "100 seeded kill schedules respect the invariants" (fun () ->
+        (* The throwTo/killThread fault axis specifically: generate
+           schedules until 100 of them carry thread-targeted kills, and
+           check every applicable concurrent layer. *)
+        let conc_templates =
+          List.filter (fun t -> t.Faultinject.conc_only) Faultinject.templates
+        in
+        Alcotest.(check bool)
+          "concurrent templates exist" true
+          (conc_templates <> []);
+        let scheduled = ref 0 and checks = ref 0 and vs = ref [] in
+        let seed = ref 0 in
+        while !scheduled < 100 && !seed < 10_000 do
+          List.iter
+            (fun t ->
+              if !scheduled < 100 then
+                let f = Faultinject.gen_fault ~seed:!seed t in
+                if f.Faultinject.kills <> [] then begin
+                  incr scheduled;
+                  List.iter
+                    (fun layer ->
+                      let n, v = Faultinject.check_one t f layer in
+                      checks := !checks + n;
+                      vs := v @ !vs)
+                    (Faultinject.layers_for t)
+                end)
+            conc_templates;
+          incr seed
+        done;
+        Alcotest.(check int) "kill schedules executed" 100 !scheduled;
+        if !vs <> [] then
+          Alcotest.failf "%d violations:@.%s" (List.length !vs)
+            (show_violations !vs);
+        Alcotest.(check bool) "checks counted" true (!checks > 0));
   ]

@@ -98,6 +98,36 @@ let suite =
             | Ok (M.MInt 4501500) -> ()
             | _ -> Alcotest.fail "resume after gc")
         | _ -> Alcotest.fail "roots");
+    tc "pause cells are traced and survive relocation" (fun () ->
+        (* Satellite of the async-exception work: an interrupt mid-sum
+           parks a pause cell (Ev_pause); the cell must survive the
+           copying collector and resume (Ev_resume) to the exact value,
+           proving relocation preserved the captured continuation. *)
+        let trace = Obs.create ~on:true () in
+        let m = M.create ~trace () in
+        M.inject_async m ~at_step:2_000 E.Timeout;
+        let a = M.alloc m (parse "sum (enumFromTo 1 3000)") in
+        (match M.force_catch m a with
+        | Error (M.Fail_async E.Timeout) -> ()
+        | _ -> Alcotest.fail "interrupt");
+        let paused =
+          List.exists
+            (function Obs.Ev_pause _ -> true | _ -> false)
+            (Obs.events trace)
+        in
+        Alcotest.(check bool) "pause recorded" true paused;
+        match M.gc m ~roots:[ a ] with
+        | [ a' ] -> (
+            (match M.force_catch m a' with
+            | Ok (M.MInt 4501500) -> ()
+            | _ -> Alcotest.fail "resume after gc");
+            let resumed =
+              List.exists
+                (function Obs.Ev_resume _ -> true | _ -> false)
+                (Obs.events trace)
+            in
+            Alcotest.(check bool) "resume recorded" true resumed)
+        | _ -> Alcotest.fail "roots");
     tc "unrooted data is dropped" (fun () ->
         let m = M.create () in
         let _garbage = M.alloc m (parse "sum (enumFromTo 1 100)") in
