@@ -15,6 +15,10 @@
 
 open Imprecise
 
+(* The raw nanosecond clock from bechamel.monotonic_clock — aliased
+   before [open Toolkit] shadows the name with the MEASURE instance. *)
+module Mono_clock = Monotonic_clock
+
 let line = String.make 78 '-'
 
 let header title =
@@ -364,23 +368,31 @@ open Toolkit
 let ols =
   Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
 
-(* One-off wall-clock estimate (ns/run) for a single thunk. *)
-let measure_ns name f =
-  let test = Test.make ~name (Staged.stage f) in
-  let cfg =
-    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:(Some 500) ()
+(* Monotonic-clock timing mode: warmup runs, then at least five timed
+   trials, reporting mean and standard deviation. Unlike the Bechamel
+   estimates (which need a sampling budget and are skipped under
+   [--smoke]), this is cheap enough to run always — so the ns_* fields
+   in BENCH_2.json/BENCH_K.json carry real nanoseconds in every mode,
+   with the trial variance alongside to make them honest. *)
+type timing = { mean_ns : float; sd_ns : float; trials : int }
+
+let time_ns ?(warmup = 2) ?(trials = 5) (f : unit -> unit) : timing =
+  for _ = 1 to warmup do
+    f ()
+  done;
+  let samples =
+    List.init trials (fun _ ->
+        let t0 = Mono_clock.now () in
+        f ();
+        let t1 = Mono_clock.now () in
+        Int64.to_float (Int64.sub t1 t0))
   in
-  let results =
-    Benchmark.all cfg Instance.[ monotonic_clock ] test
-    |> Hashtbl.to_seq |> List.of_seq
+  let n = float_of_int trials in
+  let mean = List.fold_left ( +. ) 0.0 samples /. n in
+  let var =
+    List.fold_left (fun a s -> a +. (((s -. mean) ** 2.0) /. n)) 0.0 samples
   in
-  match results with
-  | [ (_, v) ] -> (
-      match Analyze.OLS.estimates (Analyze.one ols Instance.monotonic_clock v)
-      with
-      | Some [ est ] -> Some est
-      | _ -> None)
-  | _ -> None
+  { mean_ns = mean; sd_ns = sqrt var; trials }
 
 (* ------------------------------------------------------------------ *)
 (* Table R' — the compile-to-slots pass (resolution + array envs)      *)
@@ -390,9 +402,11 @@ let measure_ns name f =
    machine (string-keyed map environments, every variable a map lookup)
    vs the slot-compiled machine (pre-resolved IR, array environments,
    zero string-map lookups at runtime — asserted here, not assumed).
-   Steps and counters are deterministic; the wall-clock columns are
-   Bechamel estimates and are skipped under [--smoke]. The whole table
-   is also emitted as machine-readable BENCH_2.json. *)
+   Steps and counters are deterministic; the wall-clock columns come
+   from the monotonic-clock timing mode (warmup + five trials, mean and
+   standard deviation) and are filled in every mode, [--smoke]
+   included. The whole table is also emitted as machine-readable
+   BENCH_2.json. *)
 let slot_workloads =
   [
     ("fib 16", fib 16, false);
@@ -401,7 +415,7 @@ let slot_workloads =
     ("raise at 5000", raise_at_depth 5000, true);
   ]
 
-let table_slots ~wallclock () =
+let table_slots () =
   header
     "Table R' (compile-to-slots): pre-resolved IR + array environments \
      vs name-based map environments";
@@ -436,46 +450,29 @@ let table_slots ~wallclock () =
         if sts.Stats.env_lookups <> 0 then
           Fmt.failwith "slot machine paid %d string-map lookups on %s"
             sts.Stats.env_lookups name;
-        let ns_ref, ns_slot =
-          if wallclock then
-            ( measure_ns ("ref/" ^ name) (fun () -> ignore (run_ref ())),
-              measure_ns ("slot/" ^ name) (fun () -> ignore (run_slot ())) )
-          else (None, None)
-        in
+        let t_ref = time_ns (fun () -> ignore (run_ref ())) in
+        let t_slot = time_ns (fun () -> ignore (run_slot ())) in
         let speedup =
-          match (ns_ref, ns_slot) with
-          | Some r, Some s when s > 0.0 -> Some (r /. s)
-          | _ -> None
+          if t_slot.mean_ns > 0.0 then t_ref.mean_ns /. t_slot.mean_ns
+          else 0.0
         in
-        let fopt = function
-          | Some x -> Printf.sprintf "%.0f" x
-          | None -> "-"
-        in
-        Fmt.pr "%-20s %12d %12d %12d %12d %10s %10s %8s@." name
+        Fmt.pr "%-20s %12d %12d %12d %12d %10.0f %10.0f %7.2fx@." name
           str.Stats.steps sts.Stats.steps str.Stats.env_lookups
-          sts.Stats.slot_reads (fopt ns_ref) (fopt ns_slot)
-          (match speedup with
-          | Some x -> Printf.sprintf "%.2fx" x
-          | None -> "-");
-        (name, str, sts, ns_ref, ns_slot, speedup))
+          sts.Stats.slot_reads t_ref.mean_ns t_slot.mean_ns speedup;
+        (name, str, sts, t_ref, t_slot, speedup))
       slot_workloads
-  in
-  let jopt = function
-    | Some x -> Printf.sprintf "%.1f" x
-    | None -> "null"
   in
   let json =
     Printf.sprintf
-      "{\"bench\":\"compile_to_slots\",\"wallclock\":%b,\"rows\":[%s]}\n"
-      wallclock
+      "{\"bench\":\"compile_to_slots\",\"wallclock\":true,\"rows\":[%s]}\n"
       (String.concat ","
          (List.map
-            (fun (name, (str : Stats.t), (sts : Stats.t), nr, ns, sp) ->
+            (fun (name, (str : Stats.t), (sts : Stats.t), tr, ts, sp) ->
               Printf.sprintf
-                "{\"workload\":%S,\"steps_ref\":%d,\"steps_slot\":%d,\"env_lookups_ref\":%d,\"env_lookups_slot\":%d,\"slot_reads\":%d,\"ns_ref\":%s,\"ns_slot\":%s,\"speedup\":%s}"
+                "{\"workload\":%S,\"steps_ref\":%d,\"steps_slot\":%d,\"env_lookups_ref\":%d,\"env_lookups_slot\":%d,\"slot_reads\":%d,\"ns_ref\":%.1f,\"ns_ref_sd\":%.1f,\"ns_slot\":%.1f,\"ns_slot_sd\":%.1f,\"trials\":%d,\"speedup\":%.2f}"
                 name str.Stats.steps sts.Stats.steps str.Stats.env_lookups
-                sts.Stats.env_lookups sts.Stats.slot_reads (jopt nr)
-                (jopt ns) (jopt sp))
+                sts.Stats.env_lookups sts.Stats.slot_reads tr.mean_ns
+                tr.sd_ns ts.mean_ns ts.sd_ns tr.trials sp)
             rows))
   in
   let oc = open_out "BENCH_2.json" in
@@ -491,9 +488,9 @@ let table_slots ~wallclock () =
    machine's step counts untouched (asserted, not assumed — including
    under [--smoke]); ON it pays only on the exceptional/administrative
    transitions, never on plain steps, so exception-free workloads record
-   zero events even when enabled. Wall-clock columns are Bechamel
-   estimates, skipped under [--smoke]. *)
-let table_tracing ~wallclock () =
+   zero events even when enabled. Wall-clock columns come from the
+   monotonic-clock timing mode, filled in every mode. *)
+let table_tracing () =
   header
     "Table T (observability): flight recorder off vs on                      (slot machine, Table R' workloads)";
   Fmt.pr "%-20s %12s %10s %10s %10s %9s@." "workload" "steps" "events on"
@@ -520,26 +517,16 @@ let table_tracing ~wallclock () =
         Fmt.failwith
           "tracing changed the step count on %s: %d off vs %d on" name
           s_off.Stats.steps s_on.Stats.steps;
-      let ns_off, ns_on =
-        if wallclock then
-          ( measure_ns ("trace-off/" ^ name) (fun () ->
-                ignore (run ~on:false ())),
-            measure_ns ("trace-on/" ^ name) (fun () ->
-                ignore (run ~on:true ())) )
-        else (None, None)
-      in
-      let fopt = function
-        | Some x -> Printf.sprintf "%.0f" x
-        | None -> "-"
-      in
+      let t_off = time_ns (fun () -> ignore (run ~on:false ())) in
+      let t_on = time_ns (fun () -> ignore (run ~on:true ())) in
       let overhead =
-        match (ns_off, ns_on) with
-        | Some off, Some on when off > 0.0 ->
-            Printf.sprintf "%+.1f%%" (100.0 *. (on -. off) /. off)
-        | _ -> "-"
+        if t_off.mean_ns > 0.0 then
+          Printf.sprintf "%+.1f%%"
+            (100.0 *. (t_on.mean_ns -. t_off.mean_ns) /. t_off.mean_ns)
+        else "-"
       in
-      Fmt.pr "%-20s %12d %10d %10s %10s %9s@." name s_off.Stats.steps
-        (Obs.seen tr_on) (fopt ns_off) (fopt ns_on) overhead)
+      Fmt.pr "%-20s %12d %10d %10.0f %10.0f %9s@." name s_off.Stats.steps
+        (Obs.seen tr_on) t_off.mean_ns t_on.mean_ns overhead)
     slot_workloads;
   Fmt.pr "(asserted: tracing off records 0 events and identical steps)@."
 
@@ -551,9 +538,9 @@ let table_tracing ~wallclock () =
    fires is free — identical machine step counts and zero deliveries,
    asserted (not assumed) including under [--smoke] — and a used one
    pays a bounded per-delivery cost, reported here as machine steps per
-   delivered throwTo. Wall-clock columns are Bechamel estimates,
-   skipped under [--smoke]. The table is emitted as machine-readable
-   BENCH_K.json. *)
+   delivered throwTo. Wall-clock columns come from the monotonic-clock
+   timing mode (warmup + five trials, mean and deviation), filled in
+   every mode. The table is emitted as machine-readable BENCH_K.json. *)
 
 let k_pingpong =
   "newEmptyMVar >>= \\a -> newEmptyMVar >>= \\b ->\n\
@@ -581,15 +568,13 @@ let k_selfbase =
   "mapM2 (\\i -> getException (return i) >>= \\u -> return Unit) \
    (enumFromTo 1 50)"
 
-let table_asyncexn ~wallclock () =
+let table_asyncexn () =
   header
     "Table K (Section 5.1): throwTo/killThread — free when unused,          bounded steps per delivery";
   Fmt.pr "%-18s %12s %12s %10s %10s %12s %10s %10s@." "workload" "steps"
     "steps armed" "delivered" "recovered" "per-deliver" "plain ns"
     "faulted ns";
   let run ?(kills = []) src = Machine_conc.run ~kills (parse src) in
-  let fopt = function Some x -> Printf.sprintf "%.0f" x | None -> "-" in
-  let jopt = function Some x -> Printf.sprintf "%.1f" x | None -> "null" in
   (* Row 1: an unused schedule must not cost a single machine step. The
      armed run carries kill entries aimed at a tid that never spawns. *)
   let plain = run k_pingpong in
@@ -607,17 +592,14 @@ let table_asyncexn ~wallclock () =
   if armed.Machine_conc.stats.Stats.throwtos_delivered <> 0 then
     Fmt.failwith "an unused kill schedule delivered %d exceptions"
       armed.Machine_conc.stats.Stats.throwtos_delivered;
-  let ns_plain, ns_armed =
-    if wallclock then
-      ( measure_ns "asyncexn/pingpong" (fun () -> ignore (run k_pingpong)),
-        measure_ns "asyncexn/pingpong-armed" (fun () ->
-            ignore
-              (run ~kills:[ (5, 99, Exn.Thread_killed) ] k_pingpong)) )
-    else (None, None)
+  let t_plain = time_ns (fun () -> ignore (run k_pingpong)) in
+  let t_armed =
+    time_ns (fun () ->
+        ignore (run ~kills:[ (5, 99, Exn.Thread_killed) ] k_pingpong))
   in
-  Fmt.pr "%-18s %12d %12d %10d %10d %12s %10s %10s@." "pingpong"
+  Fmt.pr "%-18s %12d %12d %10d %10d %12s %10.0f %10.0f@." "pingpong"
     plain.Machine_conc.stats.Stats.steps armed.Machine_conc.stats.Stats.steps
-    0 0 "-" (fopt ns_plain) (fopt ns_armed);
+    0 0 "-" t_plain.mean_ns t_armed.mean_ns;
   (* Row 2: a supervised worker murdered twice; the supervisor restarts
      it and the third incarnation finishes. *)
   let wplain = run k_worker in
@@ -626,17 +608,14 @@ let table_asyncexn ~wallclock () =
   let recovered = wkill.Machine_conc.stats.Stats.blocked_recoveries in
   if delivered = 0 then
     Fmt.failwith "the worker kill schedule delivered nothing";
-  let ns_wplain, ns_wkill =
-    if wallclock then
-      ( measure_ns "asyncexn/worker" (fun () -> ignore (run k_worker)),
-        measure_ns "asyncexn/worker-killed" (fun () ->
-            ignore (run ~kills:k_worker_kills k_worker)) )
-    else (None, None)
+  let t_wplain = time_ns (fun () -> ignore (run k_worker)) in
+  let t_wkill =
+    time_ns (fun () -> ignore (run ~kills:k_worker_kills k_worker))
   in
-  Fmt.pr "%-18s %12d %12d %10d %10d %12s %10s %10s@." "worker-killed"
+  Fmt.pr "%-18s %12d %12d %10d %10d %12s %10.0f %10.0f@." "worker-killed"
     wplain.Machine_conc.stats.Stats.steps
     wkill.Machine_conc.stats.Stats.steps delivered recovered "-"
-    (fopt ns_wplain) (fopt ns_wkill);
+    t_wplain.mean_ns t_wkill.mean_ns;
   (* Row 3: per-delivery machine steps, from 50 self-throws. *)
   let sthrow = run k_selfthrow in
   let sbase = run k_selfbase in
@@ -649,49 +628,173 @@ let table_asyncexn ~wallclock () =
       - sbase.Machine_conc.stats.Stats.steps)
     /. 50.0
   in
-  let ns_sbase, ns_sthrow =
-    if wallclock then
-      ( measure_ns "asyncexn/selfbase" (fun () -> ignore (run k_selfbase)),
-        measure_ns "asyncexn/selfthrow" (fun () -> ignore (run k_selfthrow))
-      )
-    else (None, None)
-  in
-  Fmt.pr "%-18s %12d %12d %10d %10d %12.1f %10s %10s@." "selfthrow-x50"
+  let t_sbase = time_ns (fun () -> ignore (run k_selfbase)) in
+  let t_sthrow = time_ns (fun () -> ignore (run k_selfthrow)) in
+  Fmt.pr "%-18s %12d %12d %10d %10d %12.1f %10.0f %10.0f@." "selfthrow-x50"
     sbase.Machine_conc.stats.Stats.steps
     sthrow.Machine_conc.stats.Stats.steps 50
     sthrow.Machine_conc.stats.Stats.blocked_recoveries per_delivery
-    (fopt ns_sbase) (fopt ns_sthrow);
+    t_sbase.mean_ns t_sthrow.mean_ns;
   Fmt.pr
     "(asserted: an unused schedule leaves steps identical and delivers \
      nothing)@.";
   let json =
     Printf.sprintf
-      "{\"bench\":\"async_exceptions\",\"wallclock\":%b,\"rows\":[%s]}\n"
-      wallclock
+      "{\"bench\":\"async_exceptions\",\"wallclock\":true,\"rows\":[%s]}\n"
       (String.concat ","
          [
            Printf.sprintf
-             "{\"workload\":\"pingpong\",\"steps_plain\":%d,\"steps_armed\":%d,\"delivered\":0,\"recovered\":0,\"per_delivery_steps\":null,\"ns_plain\":%s,\"ns_faulted\":%s}"
+             "{\"workload\":\"pingpong\",\"steps_plain\":%d,\"steps_armed\":%d,\"delivered\":0,\"recovered\":0,\"per_delivery_steps\":null,\"ns_plain\":%.1f,\"ns_plain_sd\":%.1f,\"ns_faulted\":%.1f,\"ns_faulted_sd\":%.1f,\"trials\":%d}"
              plain.Machine_conc.stats.Stats.steps
-             armed.Machine_conc.stats.Stats.steps (jopt ns_plain)
-             (jopt ns_armed);
+             armed.Machine_conc.stats.Stats.steps t_plain.mean_ns
+             t_plain.sd_ns t_armed.mean_ns t_armed.sd_ns t_plain.trials;
            Printf.sprintf
-             "{\"workload\":\"worker-killed\",\"steps_plain\":%d,\"steps_armed\":%d,\"delivered\":%d,\"recovered\":%d,\"per_delivery_steps\":null,\"ns_plain\":%s,\"ns_faulted\":%s}"
+             "{\"workload\":\"worker-killed\",\"steps_plain\":%d,\"steps_armed\":%d,\"delivered\":%d,\"recovered\":%d,\"per_delivery_steps\":null,\"ns_plain\":%.1f,\"ns_plain_sd\":%.1f,\"ns_faulted\":%.1f,\"ns_faulted_sd\":%.1f,\"trials\":%d}"
              wplain.Machine_conc.stats.Stats.steps
              wkill.Machine_conc.stats.Stats.steps delivered recovered
-             (jopt ns_wplain) (jopt ns_wkill);
+             t_wplain.mean_ns t_wplain.sd_ns t_wkill.mean_ns t_wkill.sd_ns
+             t_wplain.trials;
            Printf.sprintf
-             "{\"workload\":\"selfthrow-x50\",\"steps_plain\":%d,\"steps_armed\":%d,\"delivered\":50,\"recovered\":%d,\"per_delivery_steps\":%.1f,\"ns_plain\":%s,\"ns_faulted\":%s}"
+             "{\"workload\":\"selfthrow-x50\",\"steps_plain\":%d,\"steps_armed\":%d,\"delivered\":50,\"recovered\":%d,\"per_delivery_steps\":%.1f,\"ns_plain\":%.1f,\"ns_plain_sd\":%.1f,\"ns_faulted\":%.1f,\"ns_faulted_sd\":%.1f,\"trials\":%d}"
              sbase.Machine_conc.stats.Stats.steps
              sthrow.Machine_conc.stats.Stats.steps
              sthrow.Machine_conc.stats.Stats.blocked_recoveries per_delivery
-             (jopt ns_sbase) (jopt ns_sthrow);
+             t_sbase.mean_ns t_sbase.sd_ns t_sthrow.mean_ns t_sthrow.sd_ns
+             t_sbase.trials;
          ])
   in
   let oc = open_out "BENCH_K.json" in
   output_string oc json;
   close_out oc;
   Fmt.pr "(BENCH_K.json written)@."
+
+(* ---- Table S: evaluation-as-a-service under load ------------------ *)
+
+(* Replays the fuzz corpus (falling back to the built-in dictionary)
+   through one serve engine — every program twice, so the second round
+   exercises the compiled-program cache — measuring per-request
+   wall-clock latency and overall throughput. A second, fault-mode
+   round mixes the five canonical killers (heap bomb, stack bomb, fuel
+   burner, black hole, spinner-with-timeout) with well-behaved
+   requests and asserts the latter still succeed: degradation is
+   per-request, never service-wide. Emitted as BENCH_S.json. *)
+let table_serve () =
+  header "Table S: serve daemon under corpus replay + fault mix";
+  let entries, _unparsable = Corpus.load_dir "fuzz/corpus" in
+  let entries = if entries = [] then Corpus.dictionary () else entries in
+  let pure =
+    List.filter
+      (fun e ->
+        match e.Corpus.mode with
+        | Corpus.M_int | Corpus.M_list | Corpus.M_any -> true
+        | _ -> false)
+      entries
+  in
+  let engine = Serve.create () in
+  let sess = Serve.session engine in
+  let submit id opts src =
+    Serve.feed sess
+      (if opts = "" then Printf.sprintf "eval %s" id
+       else Printf.sprintf "eval %s %s" id opts);
+    List.iter (Serve.feed sess) (String.split_on_char '\n' src);
+    Serve.feed sess "."
+  in
+  (* Round-trip load generator: submit, run to completion, drain; the
+     latency of one request is the full submit-to-reply wall time. *)
+  let latencies = ref [] in
+  let t_start = Mono_clock.now () in
+  List.iter
+    (fun round ->
+      List.iteri
+        (fun i e ->
+          let src = Pretty.expr_to_string e.Corpus.expr in
+          let t0 = Mono_clock.now () in
+          submit (Printf.sprintf "%s%d" round i) "" src;
+          Serve.run_all engine;
+          ignore (Serve.drain sess);
+          let t1 = Mono_clock.now () in
+          latencies := Int64.to_float (Int64.sub t1 t0) :: !latencies)
+        pure)
+    [ "a"; "b" ];
+  let total_ns =
+    Int64.to_float (Int64.sub (Mono_clock.now ()) t_start)
+  in
+  let n_requests = 2 * List.length pure in
+  let rps =
+    if total_ns > 0.0 then float_of_int n_requests /. (total_ns /. 1e9)
+    else 0.0
+  in
+  let sorted = Array.of_list !latencies in
+  Array.sort compare sorted;
+  let pct p =
+    let n = Array.length sorted in
+    if n = 0 then 0.0
+    else
+      let k = int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1 in
+      sorted.(max 0 (min (n - 1) k))
+  in
+  let p50 = pct 50.0 and p99 = pct 99.0 in
+  (* Fault mode: the killers interleaved with survivors; every
+     survivor must still answer [ok]. *)
+  let killers =
+    [
+      ("heap=2000", "length (replicate 100000 1)");
+      ("stack=500 fuel=5000000 heap=2000000", "sum (enumFromTo 1 20000)");
+      ("fuel=20000", "sum (enumFromTo 1 200000)");
+      ("", "let rec black = black + 1 in black");
+      ( "fuel=1000000000 timeout=200",
+        "let rec go n = if n > 0 then go n else 0 in go 1" );
+    ]
+  in
+  let fault_ok = ref true in
+  List.iteri
+    (fun i (opts, src) ->
+      submit (Printf.sprintf "kill%d" i) opts src;
+      submit (Printf.sprintf "good%d" i) "" "sum (enumFromTo 1 100)";
+      Serve.run_all engine;
+      List.iter
+        (fun reply ->
+          match String.split_on_char ' ' reply with
+          | "err" :: id :: _ when String.length id >= 4
+                                  && String.sub id 0 4 = "good" ->
+              fault_ok := false;
+              Fmt.epr "table_serve FAULT-MODE FAIL: %s@." reply
+          | _ -> ())
+        (Serve.drain sess))
+    killers;
+  let c = Serve.counters engine in
+  let hits = c.Serve.cache_hits and misses = c.Serve.cache_misses in
+  let hit_rate =
+    if hits + misses > 0 then
+      float_of_int hits /. float_of_int (hits + misses)
+    else 0.0
+  in
+  Fmt.pr "%-26s %10s@." "metric" "value";
+  Fmt.pr "%-26s %10d@." "requests (replay)" n_requests;
+  Fmt.pr "%-26s %10.1f@." "requests/sec" rps;
+  Fmt.pr "%-26s %10.0f@." "p50 latency (ns)" p50;
+  Fmt.pr "%-26s %10.0f@." "p99 latency (ns)" p99;
+  Fmt.pr "%-26s %10.2f@." "cache hit rate" hit_rate;
+  Fmt.pr "%-26s %10d@." "quota kills" (c.Serve.quota_heap
+                                       + c.Serve.quota_stack
+                                       + c.Serve.quota_fuel);
+  Fmt.pr "%-26s %10d@." "timeouts" c.Serve.timeouts;
+  Fmt.pr "%-26s %10s@." "fault-mode survivors"
+    (if !fault_ok then "all ok" else "FAILED");
+  if c.Serve.crashes > 0 then
+    Fmt.epr "table_serve: unexpected crashes: %d@." c.Serve.crashes;
+  let json =
+    Printf.sprintf
+      "{\"bench\":\"serve\",\"wallclock\":true,\"requests\":%d,\"requests_per_sec\":%.1f,\"p50_latency_ns\":%.0f,\"p99_latency_ns\":%.0f,\"cache_hit_rate\":%.3f,\"cache_hits\":%d,\"cache_misses\":%d,\"quota_heap\":%d,\"quota_stack\":%d,\"quota_fuel\":%d,\"timeouts\":%d,\"crashes\":%d,\"fault_mode_ok\":%b}\n"
+      n_requests rps p50 p99 hit_rate hits misses c.Serve.quota_heap
+      c.Serve.quota_stack c.Serve.quota_fuel c.Serve.timeouts
+      c.Serve.crashes !fault_ok
+  in
+  let oc = open_out "BENCH_S.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pr "(BENCH_S.json written)@.";
+  if not !fault_ok then exit 1
 
 let make_tests () =
   let t name f = Test.make ~name (Staged.stage f) in
@@ -781,9 +884,9 @@ let run_bechamel () =
     (make_tests ())
 
 let () =
-  (* [--smoke]: deterministic counters only — no Bechamel wall-clock
-     anywhere (CI-friendly); BENCH_2.json is still written, with null
-     wall-clock fields. *)
+  (* [--smoke]: skip the Bechamel estimator (CI-friendly). The
+     monotonic-clock timing mode still runs — BENCH_2/BENCH_K/BENCH_S
+     carry real nanosecond fields in every mode. *)
   let smoke = Array.exists (String.equal "--smoke") Sys.argv in
   let skip_bechamel = smoke || Sys.getenv_opt "SKIP_BECHAMEL" <> None in
   Fmt.pr "imprecise-exceptions benchmark harness%s@."
@@ -798,9 +901,10 @@ let () =
   table_gc ();
   table_conc ();
   table_fault ();
-  table_slots ~wallclock:(not skip_bechamel) ();
-  table_tracing ~wallclock:(not skip_bechamel) ();
-  table_asyncexn ~wallclock:(not skip_bechamel) ();
+  table_slots ();
+  table_tracing ();
+  table_asyncexn ();
+  table_serve ();
   if skip_bechamel then Fmt.pr "@.(bechamel skipped)@."
   else run_bechamel ();
   Fmt.pr "@.done.@."

@@ -563,13 +563,362 @@ let faults_cmd =
           schedule.")
     Term.(const run $ count_arg $ kills_arg $ quiet_arg)
 
+(* ------------------------------------------------------------------ *)
+(* impexn serve: evaluation-as-a-service                               *)
+(* ------------------------------------------------------------------ *)
+
+let flat s = String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+(* Single-client mode: the line protocol over stdin/stdout. Each input
+   line is fed to the session and the engine then runs to quiescence —
+   with one client there is nobody to interleave with, but evaluation is
+   still sliced, so wall-clock timeouts and the crash barrier behave
+   exactly as in socket mode. *)
+let serve_stdio engine =
+  let sess = Serve.session engine in
+  let flush () =
+    List.iter print_endline (Serve.drain sess);
+    flush stdout
+  in
+  (try
+     while not (Serve.closed sess) do
+       let line = input_line stdin in
+       Serve.feed sess line;
+       Serve.run_all engine;
+       flush ()
+     done
+   with End_of_file ->
+     Serve.run_all engine;
+     flush ());
+  0
+
+(* Multi-client mode: a select loop on 127.0.0.1. Between IO rounds the
+   engine advances a bounded burst of slices, so one client's divergent
+   program cannot starve another's [ping] — the scheduling quantum is
+   the engine's slice, not the request. *)
+let serve_tcp engine port =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen sock 64;
+  Fmt.epr "impexn serve: listening on 127.0.0.1:%d@." port;
+  (* fd, session, partial-line buffer *)
+  let conns : (Unix.file_descr * Serve.session * Buffer.t) list ref =
+    ref []
+  in
+  let drop fd =
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    conns := List.filter (fun (fd', _, _) -> fd' <> fd) !conns
+  in
+  let feed_chunk sess buf bytes n =
+    for i = 0 to n - 1 do
+      let c = Bytes.get bytes i in
+      if c = '\n' then begin
+        Serve.feed sess (Buffer.contents buf);
+        Buffer.clear buf
+      end
+      else if c <> '\r' then Buffer.add_char buf c
+    done
+  in
+  let write_all fd s =
+    let b = Bytes.of_string (s ^ "\n") in
+    let rec go off =
+      if off < Bytes.length b then
+        let n = Unix.write fd b off (Bytes.length b - off) in
+        go (off + n)
+    in
+    go 0
+  in
+  while true do
+    let timeout = if Serve.inflight engine > 0 then 0.0 else 0.2 in
+    let fds = sock :: List.map (fun (fd, _, _) -> fd) !conns in
+    let ready, _, _ =
+      try Unix.select fds [] [] timeout
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    if List.mem sock ready then begin
+      let c, _ = Unix.accept sock in
+      conns := (c, Serve.session engine, Buffer.create 256) :: !conns
+    end;
+    List.iter
+      (fun (fd, sess, buf) ->
+        if fd <> sock && List.mem fd ready then
+          let bytes = Bytes.create 4096 in
+          match Unix.read fd bytes 0 4096 with
+          | 0 -> drop fd
+          | n -> feed_chunk sess buf bytes n
+          | exception Unix.Unix_error _ -> drop fd)
+      (List.filter (fun (fd, _, _) -> fd <> sock) !conns);
+    let rec burst n = if n > 0 && Serve.tick engine then burst (n - 1) in
+    burst 64;
+    List.iter
+      (fun (fd, sess, _) ->
+        List.iter
+          (fun line ->
+            try write_all fd line with Unix.Unix_error _ -> drop fd)
+          (Serve.drain sess);
+        if Serve.closed sess then drop fd)
+      !conns
+  done;
+  0
+
+(* CI self-check: replay the built-in corpus dictionary through the
+   engine twice (so the compiled-program cache must hit), differentially
+   check every pure reply against a one-shot evaluation, then interleave
+   quota-violating, divergent and timing-out programs and demand the
+   engine answers each with the right structured error — all on the one
+   engine instance, which must survive the lot. *)
+let smoke_serve engine =
+  let sess = Serve.session engine in
+  let submit id opts src =
+    Serve.feed sess
+      (if opts = "" then Printf.sprintf "eval %s" id
+       else Printf.sprintf "eval %s %s" id opts);
+    List.iter (Serve.feed sess) (String.split_on_char '\n' src);
+    Serve.feed sess "."
+  in
+  let failures = ref 0 in
+  let check what cond =
+    if not cond then begin
+      incr failures;
+      Fmt.epr "smoke FAIL: %s@." what
+    end
+  in
+  (* Reference: one-shot evaluation under a catch, same shape as the
+     serve reply, with quotas high enough that only the program's own
+     behaviour shows. *)
+  let reference id e =
+    let m = Machine.create () in
+    let a = Machine.alloc m e in
+    match Machine.force_catch m a with
+    | Ok _ ->
+        Printf.sprintf "ok %s %s" id
+          (flat (Fmt.str "%a" Value.pp_deep (Machine.deep m a)))
+    | Error (Machine.Fail_exn x) | Error (Machine.Fail_async x) ->
+        Printf.sprintf "err %s exn %s" id (flat (Fmt.str "%a" Exn.pp x))
+    | Error Machine.Fail_diverged ->
+        Printf.sprintf "err %s quota:fuel" id
+  in
+  let pure =
+    List.filter
+      (fun e ->
+        match e.Corpus.mode with
+        | Corpus.M_int | Corpus.M_list | Corpus.M_any -> true
+        | _ -> false)
+      (Corpus.dictionary ())
+  in
+  let expected = Hashtbl.create 64 in
+  let submit_round round =
+    List.iteri
+      (fun i e ->
+        let id = Printf.sprintf "%s%d" round i in
+        let src = Pretty.expr_to_string e.Corpus.expr in
+        Hashtbl.replace expected id
+          (reference id (Prelude.wrap e.Corpus.expr));
+        submit id "" src)
+      pure
+  in
+  submit_round "a";
+  Serve.run_all engine;
+  submit_round "b";
+  Serve.run_all engine;
+  let replies = Serve.drain sess in
+  List.iter
+    (fun reply ->
+      match String.split_on_char ' ' reply with
+      | _ :: id :: _ -> (
+          match Hashtbl.find_opt expected id with
+          | Some want ->
+              check
+                (Printf.sprintf "%s: got %S want %S" id reply want)
+                (String.length reply >= String.length want
+                && String.sub reply 0 (String.length want) = want)
+          | None -> check ("unexpected reply id " ^ id) false)
+      | _ -> check ("malformed reply " ^ reply) false)
+    replies;
+  check
+    (Printf.sprintf "all %d pure replies arrive (got %d)"
+       (2 * List.length pure) (List.length replies))
+    (List.length replies = 2 * List.length pure);
+  (* Fault mode: the four ways a request can be killed, plus a survivor
+     riding along. *)
+  let expect_err id opts src kind =
+    submit id opts src;
+    Serve.run_all engine;
+    match Serve.drain sess with
+    | [ reply ] ->
+        let prefix = Printf.sprintf "err %s %s" id kind in
+        check
+          (Printf.sprintf "%s: got %S want prefix %S" id reply prefix)
+          (String.length reply >= String.length prefix
+          && String.sub reply 0 (String.length prefix) = prefix)
+    | rs ->
+        check
+          (Printf.sprintf "%s: expected one reply, got %d" id
+             (List.length rs))
+          false
+  in
+  expect_err "heapbomb" "heap=2000" "length (replicate 100000 1)"
+    "quota:heap";
+  expect_err "stackbomb" "stack=500 fuel=5000000 heap=2000000"
+    "sum (enumFromTo 1 20000)" "quota:stack";
+  expect_err "fuelburn" "fuel=20000" "sum (enumFromTo 1 200000)"
+    "quota:fuel";
+  expect_err "blackhole" "" "let rec black = black + 1 in black"
+    "quota:fuel";
+  expect_err "spinner" "fuel=1000000000 timeout=200"
+    "let rec go n = if n > 0 then go n else 0 in go 1" "timeout";
+  submit "survivor" "" "sum (enumFromTo 1 100)";
+  Serve.run_all engine;
+  (match Serve.drain sess with
+  | [ r ] -> check ("survivor: " ^ r) (r = "ok survivor 5050")
+  | rs ->
+      check
+        (Printf.sprintf "survivor: %d replies" (List.length rs))
+        false);
+  let c = Serve.counters engine in
+  check "cache hits > 0" (c.Serve.cache_hits > 0);
+  check "quota_heap counted" (c.Serve.quota_heap >= 1);
+  check "quota_stack counted" (c.Serve.quota_stack >= 1);
+  check "quota_fuel counted" (c.Serve.quota_fuel >= 2);
+  check "timeouts counted" (c.Serve.timeouts >= 1);
+  check "no crashes" (c.Serve.crashes = 0);
+  Fmt.pr "serve smoke: %d requests, %d ok, cache %d/%d, %s@." c.Serve.requests
+    c.Serve.ok c.Serve.cache_hits
+    (c.Serve.cache_hits + c.Serve.cache_misses)
+    (if !failures = 0 then "all checks passed" else "CHECKS FAILED");
+  Fmt.pr "%s@." (Serve.stats_json engine);
+  if !failures = 0 then 0 else 1
+
+let serve_cmd =
+  let port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:
+            "Listen on 127.0.0.1:$(docv) (multi-client). Without it the \
+             protocol runs over stdin/stdout.")
+  in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "CI self-check: replay the built-in corpus through the engine \
+             (twice, so the compiled-program cache must hit), \
+             differentially check replies against one-shot evaluation, \
+             then a fault-mode round of quota violators, divergers and a \
+             timing-out spinner. Exit 0 iff every check holds.")
+  in
+  let fuel_q =
+    Arg.(
+      value & opt int Serve.default_config.Serve.fuel
+      & info [ "fuel" ] ~docv:"N" ~doc:"Default per-request step quota.")
+  in
+  let heap_q =
+    Arg.(
+      value & opt int Serve.default_config.Serve.heap
+      & info [ "heap" ] ~docv:"N"
+          ~doc:"Default per-request heap quota (cells).")
+  in
+  let stack_q =
+    Arg.(
+      value & opt int Serve.default_config.Serve.stack
+      & info [ "stack" ] ~docv:"N"
+          ~doc:"Default per-request stack quota (frames).")
+  in
+  let timeout_q =
+    Arg.(
+      value & opt int Serve.default_config.Serve.timeout_ms
+      & info [ "timeout" ] ~docv:"MS"
+          ~doc:"Default per-request wall-clock deadline (0 disables).")
+  in
+  let slice_q =
+    Arg.(
+      value & opt int Serve.default_config.Serve.slice
+      & info [ "slice" ] ~docv:"N"
+          ~doc:"Steps per scheduling quantum between interrupt checks.")
+  in
+  let inflight_q =
+    Arg.(
+      value & opt int Serve.default_config.Serve.max_inflight
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:"Admission bound; beyond it requests answer overloaded.")
+  in
+  let mem_q =
+    Arg.(
+      value & opt int Serve.default_config.Serve.mem_budget
+      & info [ "mem-budget" ] ~docv:"CELLS"
+          ~doc:
+            "Paused-heap budget; past it the oldest paused request is \
+             evicted.")
+  in
+  let cache_q =
+    Arg.(
+      value & opt int Serve.default_config.Serve.cache_capacity
+      & info [ "cache" ] ~docv:"N"
+          ~doc:"Compiled-program cache capacity (LRU entries).")
+  in
+  let dump_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump-dir" ] ~docv:"DIR"
+          ~doc:"Write crash-barrier flight-recorder dumps here.")
+  in
+  let trace_arg =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:"Run request machines with the flight recorder enabled.")
+  in
+  let run port smoke fuel heap stack timeout_ms slice max_inflight
+      mem_budget cache_capacity dump_dir trace =
+    let config =
+      {
+        Serve.default_config with
+        Serve.fuel;
+        heap;
+        stack;
+        timeout_ms;
+        slice;
+        max_inflight;
+        mem_budget;
+        cache_capacity;
+        dump_dir;
+        trace;
+      }
+    in
+    let engine = Serve.create ~config () in
+    if smoke then smoke_serve engine
+    else
+      match port with
+      | Some p -> serve_tcp engine p
+      | None -> serve_stdio engine
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Evaluation-as-a-service: a long-running, multi-tenant daemon \
+          over a line protocol. Per-request fuel/heap/stack quotas via \
+          the resource latches, wall-clock timeouts via pause-cell \
+          suspension, admission control and oldest-paused eviction under \
+          memory pressure, a crash barrier writing flight-recorder \
+          dumps, and a compiled-program cache keyed by source hash. \
+          Verbs: eval, stats, ping, quit.")
+    Term.(
+      const run $ port_arg $ smoke_arg $ fuel_q $ heap_q $ stack_q
+      $ timeout_q $ slice_q $ inflight_q $ mem_q $ cache_q $ dump_arg
+      $ trace_arg)
+
 let main_cmd =
   let doc = "A semantics for imprecise exceptions (PLDI 1999), executable." in
   Cmd.group
     (Cmd.info "impexn" ~version:"1.0.0" ~doc)
     [
       eval_cmd; set_cmd; run_cmd; laws_cmd; encode_cmd; optimize_cmd;
-      typecheck_cmd; trace_cmd; fuzz_cmd; faults_cmd;
+      typecheck_cmd; trace_cmd; fuzz_cmd; faults_cmd; serve_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

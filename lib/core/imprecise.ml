@@ -24,7 +24,10 @@
     - {!Gen}: random well-typed term generation for testing.
     - {!Fuzz} (with {!Coverage}, {!Corpus}, {!Metamorph}, {!Differ}): the
       coverage-guided metamorphic differential fuzzer over all five
-      evaluators. *)
+      evaluators.
+    - {!Serve}: evaluation-as-a-service — the quota-enforcing,
+      degrade-gracefully engine behind [impexn serve], with its
+      compiled-program cache. *)
 
 module Syntax = Lang.Syntax
 module Token = Lang.Token
@@ -67,6 +70,7 @@ module Corpus = Fuzz.Corpus
 module Metamorph = Fuzz.Metamorph
 module Differ = Fuzz.Differ
 module Fuzz = Fuzz.Engine
+module Serve = Serve
 
 (** {1 High-level API} *)
 

@@ -73,29 +73,53 @@ and rpat =
 (* Constructor interning                                               *)
 (* ------------------------------------------------------------------ *)
 
-let con_table : (string, int) Hashtbl.t = Hashtbl.create 64
-let con_names : (int, string) Hashtbl.t = Hashtbl.create 64
-let next_tag = ref 0
+(* The interning state is an explicit context record, not module-level
+   globals: the serve daemon's re-entrancy audit requires that nothing a
+   machine touches is hidden process state. One shared [global_context]
+   remains the default everywhere (the compiled-program cache and the
+   cross-machine differentials depend on tags meaning the same thing in
+   every machine), but an embedder can sandbox with [new_context] — and
+   because every context pre-interns {!Con_info.builtin_list} in the
+   same order, the [t_*] tags below are valid in all of them. *)
+type context = {
+  con_table : (string, int) Hashtbl.t;
+  con_names : (int, string) Hashtbl.t;
+  mutable next_tag : int;
+}
 
-let con_tag c =
-  match Hashtbl.find_opt con_table c with
+let new_context () =
+  let ctx =
+    {
+      con_table = Hashtbl.create 64;
+      con_names = Hashtbl.create 64;
+      next_tag = 0;
+    }
+  in
+  List.iter
+    (fun (c, _) ->
+      let t = ctx.next_tag in
+      ctx.next_tag <- t + 1;
+      Hashtbl.add ctx.con_table c t;
+      Hashtbl.add ctx.con_names t c)
+    Con_info.builtin_list;
+  ctx
+
+let global_context = new_context ()
+
+let con_tag ?(ctx = global_context) c =
+  match Hashtbl.find_opt ctx.con_table c with
   | Some t -> t
   | None ->
-      let t = !next_tag in
-      incr next_tag;
-      Hashtbl.add con_table c t;
-      Hashtbl.add con_names t c;
+      let t = ctx.next_tag in
+      ctx.next_tag <- t + 1;
+      Hashtbl.add ctx.con_table c t;
+      Hashtbl.add ctx.con_names t c;
       t
 
-let con_name t =
-  match Hashtbl.find_opt con_names t with
+let con_name ?(ctx = global_context) t =
+  match Hashtbl.find_opt ctx.con_names t with
   | Some c -> c
   | None -> Printf.sprintf "<con:%d>" t
-
-(* Builtins are interned first, in {!Con_info.builtin_list} order, so
-   their tags are stable process-wide and the drivers below can bind
-   them once. *)
-let () = List.iter (fun (c, _) -> ignore (con_tag c)) Con_info.builtin_list
 
 let t_true = con_tag c_true
 let t_false = con_tag c_false
@@ -209,14 +233,18 @@ let captures (scope : scope) (e : expr) : string array * slot array =
 (* Raise-site labels                                                   *)
 (* ------------------------------------------------------------------ *)
 
-(* Each [raise] occurrence gets a process-wide site number (like the
-   constructor tags above) plus a hint of what it raises, so exception
-   provenance can name the site: "raise#3:UserError". *)
-let next_raise_site = ref 0
+(* Each [raise] occurrence gets a site number scoped to the top-level
+   {!expr} call plus a hint of what it raises, so exception provenance
+   can name the site: "raise#3:UserError". Numbering restarts at 0 for
+   every resolution, so resolving the same source twice yields
+   structurally identical IR — the property the serve daemon's
+   compiled-program cache keys on (a cache hit and a fresh resolution
+   must be indistinguishable, provenance labels included). *)
+type pass_state = { rctx : context; mutable next_site : int }
 
-let raise_label (e : expr) : string =
-  let n = !next_raise_site in
-  incr next_raise_site;
+let raise_label (st : pass_state) (e : expr) : string =
+  let n = st.next_site in
+  st.next_site <- n + 1;
   let hint =
     match e with
     | Con (c, _) -> ":" ^ c
@@ -229,7 +257,7 @@ let raise_label (e : expr) : string =
 (* The pass                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let rec resolve (scope : scope) (e : expr) : rexpr =
+let rec resolve (st : pass_state) (scope : scope) (e : expr) : rexpr =
   match e with
   | Var x -> (
       match find_slot scope x with
@@ -238,37 +266,39 @@ let rec resolve (scope : scope) (e : expr) : rexpr =
   | Lit l -> RLit l
   | Lam (x, body) ->
       let names, lcaps = captures scope e in
-      RLam { lcaps; lbody = resolve [ [| x |]; names ] body; lname = x }
-  | App (f, a) -> RApp (resolve scope f, resolve_arg scope a)
+      RLam { lcaps; lbody = resolve st [ [| x |]; names ] body; lname = x }
+  | App (f, a) -> RApp (resolve st scope f, resolve_arg st scope a)
   | Con (c, es) ->
-      RCon (con_tag c, Array.of_list (List.map (resolve_arg scope) es))
+      RCon
+        ( con_tag ~ctx:st.rctx c,
+          Array.of_list (List.map (resolve_arg st scope) es) )
   | Case (scrut, alts) ->
       RCase
-        ( resolve scope scrut,
-          Array.of_list (List.map (resolve_alt scope) alts) )
+        ( resolve st scope scrut,
+          Array.of_list (List.map (resolve_alt st scope) alts) )
   | Let (x, e1, e2) ->
-      RLet (resolve_arg scope e1, resolve ([| x |] :: scope) e2)
+      RLet (resolve_arg st scope e1, resolve st ([| x |] :: scope) e2)
   | Letrec (binds, body) ->
       let frame = Array.of_list (List.map fst binds) in
       let scope' = frame :: scope in
       let specs =
         Array.of_list
-          (List.map (fun (_, rhs) -> thunk_spec scope' rhs) binds)
+          (List.map (fun (_, rhs) -> thunk_spec st scope' rhs) binds)
       in
-      RLetrec (specs, resolve scope' body)
+      RLetrec (specs, resolve st scope' body)
   | Fix e1 ->
       (* fix e ≡ letrec x = e x in x — the machine's own reading,
          desugared here so the IR needs no fixpoint node. *)
-      resolve scope
+      resolve st scope
         (Letrec ([ ("$fix", App (e1, Var "$fix")) ], Var "$fix"))
-  | Raise e1 -> RRaise (raise_label e1, resolve scope e1)
+  | Raise e1 -> RRaise (raise_label st e1, resolve st scope e1)
   | Prim (Prim.Map_exception, [ f; v ]) ->
-      RMapexn (resolve_arg scope f, resolve scope v)
-  | Prim (Prim.Unsafe_is_exception, [ v ]) -> RIsexn (resolve scope v)
-  | Prim (Prim.Unsafe_get_exception, [ v ]) -> RGetexn (resolve scope v)
-  | Prim (p, es) -> RPrim (p, List.map (resolve scope) es)
+      RMapexn (resolve_arg st scope f, resolve st scope v)
+  | Prim (Prim.Unsafe_is_exception, [ v ]) -> RIsexn (resolve st scope v)
+  | Prim (Prim.Unsafe_get_exception, [ v ]) -> RGetexn (resolve st scope v)
+  | Prim (p, es) -> RPrim (p, List.map (resolve st scope) es)
 
-and resolve_arg scope e =
+and resolve_arg st scope e =
   match e with
   | Var x -> (
       (* alloc_in's "variables are already in the heap" fast path,
@@ -276,24 +306,28 @@ and resolve_arg scope e =
       match find_slot scope x with
       | Some s -> Aslot s
       | None -> Athunk { caps = [||]; tbody = RUnbound x })
-  | _ -> Athunk (thunk_spec scope e)
+  | _ -> Athunk (thunk_spec st scope e)
 
-and thunk_spec scope e =
+and thunk_spec st scope e =
   let names, caps = captures scope e in
-  { caps; tbody = resolve [ names ] e }
+  { caps; tbody = resolve st [ names ] e }
 
-and resolve_alt scope (a : alt) : ralt =
+and resolve_alt st scope (a : alt) : ralt =
   match a.pat with
   | Pcon (c, xs) ->
       let n = List.length xs in
       let scope' = if n = 0 then scope else Array.of_list xs :: scope in
-      { rpat = Rpcon (con_tag c, n); rrhs = resolve scope' a.rhs }
-  | Plit l -> { rpat = Rplit l; rrhs = resolve scope a.rhs }
-  | Pany None -> { rpat = Rpany false; rrhs = resolve scope a.rhs }
+      {
+        rpat = Rpcon (con_tag ~ctx:st.rctx c, n);
+        rrhs = resolve st scope' a.rhs;
+      }
+  | Plit l -> { rpat = Rplit l; rrhs = resolve st scope a.rhs }
+  | Pany None -> { rpat = Rpany false; rrhs = resolve st scope a.rhs }
   | Pany (Some x) ->
-      { rpat = Rpany true; rrhs = resolve ([| x |] :: scope) a.rhs }
+      { rpat = Rpany true; rrhs = resolve st ([| x |] :: scope) a.rhs }
 
-let expr (e : expr) : rexpr = resolve [] e
+let expr ?(ctx = global_context) (e : expr) : rexpr =
+  resolve { rctx = ctx; next_site = 0 } [] e
 
 (* ------------------------------------------------------------------ *)
 (* Static accounting (for tests and docs)                              *)

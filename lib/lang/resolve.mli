@@ -54,14 +54,35 @@ and rpat =
   | Rplit of Syntax.lit
   | Rpany of bool  (** [true] when the wildcard binds the scrutinee. *)
 
-val expr : Syntax.expr -> rexpr
-(** Resolve a (usually closed) top-level expression. *)
+type context
+(** Constructor-interning state, as an explicit record instead of hidden
+    module globals (the serve daemon's re-entrancy audit). Interning is
+    monotone and idempotent, so any number of machines may share a
+    context; what a context buys is an explicit boundary — an embedder
+    can sandbox a tenant's constructor vocabulary, and tests can prove
+    two contexts never bleed into each other. *)
 
-val con_tag : string -> int
+val global_context : context
+(** The shared default. The compiled-program cache and every
+    cross-machine differential rely on resolving against one context, so
+    this is what all entry points use unless told otherwise. *)
+
+val new_context : unit -> context
+(** A fresh context with {!Con_info.builtin_list} pre-interned in the
+    same stable order as {!global_context}, so the [t_*] tags below are
+    valid in every context. *)
+
+val expr : ?ctx:context -> Syntax.expr -> rexpr
+(** Resolve a (usually closed) top-level expression. Resolution is
+    deterministic: the same source yields structurally identical IR
+    (raise-site numbering restarts per call), which is what lets a
+    compiled-program cache substitute for a fresh resolution. *)
+
+val con_tag : ?ctx:context -> string -> int
 (** Intern a constructor name (idempotent; builtins are pre-interned in
     {!Con_info.builtin_list} order, so their tags are stable). *)
 
-val con_name : int -> string
+val con_name : ?ctx:context -> int -> string
 (** The name a tag was interned from. *)
 
 (** {2 Pre-interned tags for the machine and its IO drivers} *)

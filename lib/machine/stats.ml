@@ -70,6 +70,59 @@ let reset t =
   t.throwtos_delivered <- 0;
   t.blocked_recoveries <- 0
 
+let add acc t =
+  acc.steps <- acc.steps + t.steps;
+  acc.allocations <- acc.allocations + t.allocations;
+  acc.updates <- acc.updates + t.updates;
+  acc.max_stack <- max acc.max_stack t.max_stack;
+  acc.frames_trimmed <- acc.frames_trimmed + t.frames_trimmed;
+  acc.thunks_poisoned <- acc.thunks_poisoned + t.thunks_poisoned;
+  acc.thunks_paused <- acc.thunks_paused + t.thunks_paused;
+  acc.catches <- acc.catches + t.catches;
+  acc.collections <- acc.collections + t.collections;
+  acc.live_copied <- acc.live_copied + t.live_copied;
+  acc.async_delivered <- acc.async_delivered + t.async_delivered;
+  acc.brackets_entered <- acc.brackets_entered + t.brackets_entered;
+  acc.brackets_released <- acc.brackets_released + t.brackets_released;
+  acc.timeouts_fired <- acc.timeouts_fired + t.timeouts_fired;
+  acc.masked_sections <- acc.masked_sections + t.masked_sections;
+  acc.heap_overflows <- acc.heap_overflows + t.heap_overflows;
+  acc.stack_overflows <- acc.stack_overflows + t.stack_overflows;
+  acc.env_lookups <- acc.env_lookups + t.env_lookups;
+  acc.slot_reads <- acc.slot_reads + t.slot_reads;
+  acc.throwtos_delivered <- acc.throwtos_delivered + t.throwtos_delivered;
+  acc.blocked_recoveries <- acc.blocked_recoveries + t.blocked_recoveries
+
+let fields t =
+  [
+    ("steps", t.steps);
+    ("allocations", t.allocations);
+    ("updates", t.updates);
+    ("max_stack", t.max_stack);
+    ("frames_trimmed", t.frames_trimmed);
+    ("thunks_poisoned", t.thunks_poisoned);
+    ("thunks_paused", t.thunks_paused);
+    ("catches", t.catches);
+    ("collections", t.collections);
+    ("live_copied", t.live_copied);
+    ("async_delivered", t.async_delivered);
+    ("brackets_entered", t.brackets_entered);
+    ("brackets_released", t.brackets_released);
+    ("timeouts_fired", t.timeouts_fired);
+    ("masked_sections", t.masked_sections);
+    ("heap_overflows", t.heap_overflows);
+    ("stack_overflows", t.stack_overflows);
+    ("env_lookups", t.env_lookups);
+    ("slot_reads", t.slot_reads);
+    ("throwtos_delivered", t.throwtos_delivered);
+    ("blocked_recoveries", t.blocked_recoveries);
+  ]
+
+let pp_json ppf t =
+  Fmt.pf ppf "{%a}"
+    (Fmt.list ~sep:Fmt.comma (fun ppf (k, v) -> Fmt.pf ppf "%S:%d" k v))
+    (fields t)
+
 let pp ppf t =
   Fmt.pf ppf
     "steps=%d allocs=%d updates=%d max_stack=%d trimmed=%d poisoned=%d \

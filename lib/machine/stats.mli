@@ -56,4 +56,16 @@ type t = {
 
 val create : unit -> t
 val reset : t -> unit
+
+val add : t -> t -> unit
+(** [add acc t] accumulates [t]'s counters into [acc] field-wise
+    ([max_stack] takes the max). Lets the serve daemon expose machine
+    totals across requests whose per-request machines are long gone. *)
+
+val fields : t -> (string * int) list
+(** All counters as (name, value), in declaration order. *)
+
 val pp : t Fmt.t
+
+val pp_json : t Fmt.t
+(** One-line JSON object, for the serve [stats] verb and bench tables. *)

@@ -82,6 +82,12 @@ type t = {
   mutable heap : cell Growarray.t;
   stats : Stats.t;
   cfg : config;
+  rctx : R.context;
+      (* The interning context this machine's IR was resolved against.
+         Defaults to {!R.global_context}; every piece of per-machine
+         state (heap, stats, async queue, provenance, trace) lives in
+         this record — the serve daemon's re-entrancy audit holds the
+         machine to "no hidden process state". *)
   mutable fuel_left : int;
   mutable async : (int * Exn.t) list;
   mutable mask_depth : int;
@@ -114,11 +120,13 @@ let pp_failure ppf = function
    its own (a payload that raises propagates that exception). *)
 type to_exn_error = Not_exn | Exn_err of Exn.t
 
-let create ?(config = default_config) ?(trace = Obs.create ()) () =
+let create ?(config = default_config) ?(trace = Obs.create ())
+    ?(rctx = R.global_context) () =
   {
     heap = Growarray.create ~dummy:Cell_unused ();
     stats = Stats.create ();
     cfg = config;
+    rctx;
     fuel_left = config.fuel;
     async = [];
     mask_depth = 0;
@@ -210,7 +218,7 @@ let arg_addr m env = function
   | R.Athunk spec -> alloc_spec m env spec
 
 let alloc_resolved m r = alloc_cell m (Cell_thunk (r, Env_nil))
-let alloc m e = alloc_resolved m (R.expr e)
+let alloc m e = alloc_resolved m (R.expr ~ctx:m.rctx e)
 
 (* Pre-resolved [$f $x] template shared by [alloc_app] and the nested
    mapException application: frame 0 holds [|f; x|]. *)
@@ -222,9 +230,10 @@ let alloc_app m f x =
   alloc_cell m (Cell_thunk (app01, Env_frame ([| f; x |], Env_nil)))
 
 let inject_async m ~at_step e = m.async <- m.async @ [ (at_step, e) ]
+let clear_async m = m.async <- []
 
 let exn_to_mvalue m (e : Exn.t) : mvalue =
-  let tag = R.con_tag (Exn.constructor_name e) in
+  let tag = R.con_tag ~ctx:m.rctx (Exn.constructor_name e) in
   match e with
   | Exn.Pattern_match_fail s | Exn.Assertion_failed s | Exn.User_error s
   | Exn.Type_error s ->
@@ -387,7 +396,12 @@ let rec run (m : t) ~(catch : bool) (code0 : code) : (mvalue, failure) result
       | [ MCon (a, [||]); MCon (b, [||]) ] ->
           (* Nullary constructors compare by name, as before interning:
              tag order is interning order, not lexicographic. *)
-          C_ret (mbool (k (String.compare (R.con_name a) (R.con_name b))))
+          C_ret
+            (mbool
+               (k
+                  (String.compare
+                     (R.con_name ~ctx:m.rctx a)
+                     (R.con_name ~ctx:m.rctx b))))
       | _ -> type_error (P.name p ^ ": uncomparable values")
     in
     match p with
@@ -655,7 +669,7 @@ and mvalue_to_exn (m : t) (v : mvalue) : (Exn.t, to_exn_error) result =
       match payload with
       | Error e -> Error (Exn_err e)
       | Ok p -> (
-          let name = R.con_name tag in
+          let name = R.con_name ~ctx:m.rctx tag in
           match Exn.of_constructor name p with
           | Some e -> Ok e
           | None ->
@@ -696,7 +710,7 @@ let rec deep ?(depth = 64) m a : SV.deep =
         | MClo _ -> SV.DFun
         | MCon (tag, addrs) ->
             SV.DCon
-              ( R.con_name tag,
+              ( R.con_name ~ctx:m.rctx tag,
                 List.map
                   (fun a' -> deep ~depth:(depth - 1) m a')
                   (Array.to_list addrs) ))

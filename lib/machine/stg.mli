@@ -79,10 +79,15 @@ val default_config : config
 type t
 (** A machine: heap + counters + pending asynchronous events. *)
 
-val create : ?config:config -> ?trace:Obs.t -> unit -> t
+val create :
+  ?config:config -> ?trace:Obs.t -> ?rctx:Lang.Resolve.context -> unit -> t
 (** [trace] is the flight recorder this machine reports into (default: a
     fresh, disabled recorder — tracing costs one dead branch on the
-    exceptional paths and nothing on the per-step fast path). *)
+    exceptional paths and nothing on the per-step fast path). [rctx] is
+    the constructor-interning context the machine's IR was resolved
+    against (default {!Lang.Resolve.global_context}); a machine only
+    reads names through its own context, so embedders can sandbox a
+    tenant's constructor vocabulary. *)
 
 val stats : t -> Stats.t
 val heap_size : t -> int
@@ -140,6 +145,12 @@ val inject_async : t -> at_step:int -> Lang.Exn.t -> unit
 (** Schedule an asynchronous event: it fires at the first step at or after
     [at_step] *while a catch mark is active* (events are delivered only to
     [getException], Section 5.1); otherwise it stays pending. *)
+
+val clear_async : t -> unit
+(** Drop every pending asynchronous event. The serve daemon slices
+    evaluation by injecting an interrupt each [slice] steps; once a
+    request reaches WHNF the unfired interrupt must be withdrawn before
+    deep-forcing, or it would tear a structure field mid-print. *)
 
 type failure =
   | Fail_exn of Lang.Exn.t  (** Uncaught synchronous exception. *)

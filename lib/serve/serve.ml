@@ -1,0 +1,572 @@
+(* Evaluation-as-a-service: the quota-enforcing, degrade-gracefully
+   engine behind [impexn serve].
+
+   The engine is deliberately driver-agnostic: it knows nothing about
+   sockets or file descriptors. A driver creates one {!session} per
+   client, [feed]s it complete protocol lines, [drain]s the replies, and
+   calls [tick] whenever it has spare time. Everything observable —
+   admission, shedding, eviction, timeouts, crashes — happens inside the
+   engine, so the whole daemon is testable in-process with an injected
+   clock and no IO at all.
+
+   Robustness design, in one paragraph: every request runs on its own
+   {!Machine.Stg.t} (fresh heap, fresh counters, fresh provenance — the
+   re-entrancy audit made that a machine invariant), under its own fuel,
+   heap and stack quotas, so a quota breach is an ordinary imprecise
+   exception inside that machine and nothing else. Wall-clock timeouts
+   reuse the paper's Section 5.1 machinery verbatim: the engine injects
+   an asynchronous interrupt every [slice] steps, which unwinds the
+   request into resumable pause cells; at each such boundary the engine
+   checks the deadline and either answers [timeout] or re-arms the next
+   slice and requeues. Because pause cells persist, a paused request is
+   also the unit of load shedding: when the sum of paused heaps exceeds
+   the memory budget, the oldest paused request is evicted with a
+   structured reply instead of letting the daemon's memory collapse.
+   Anything unexpected — a machine invariant violation, a native stack
+   overflow — hits the crash barrier, which writes a flight-recorder
+   dump and answers [crash] to that client only. The daemon never
+   dies. *)
+
+module M = Machine.Stg
+module Stats = Machine.Stats
+module R = Lang.Resolve
+module Exn = Lang.Exn
+module SV = Semantics.Sem_value
+
+type config = {
+  fuel : int;  (** Default per-request machine-step quota. *)
+  heap : int;  (** Default per-request heap quota, in cells. *)
+  stack : int;  (** Default per-request stack quota, in frames. *)
+  timeout_ms : int;
+      (** Default per-request wall-clock deadline; [0] disables. *)
+  depth : int;  (** Deep-forcing print depth for [ok] replies. *)
+  slice : int;
+      (** Steps between interrupt injections — the scheduling quantum.
+          Smaller is fairer and checks deadlines more often; larger
+          amortises the pause/resume cost. *)
+  max_inflight : int;
+      (** Admission control: requests beyond this answer [overloaded]. *)
+  mem_budget : int;
+      (** Load shedding: when the paused requests' heaps sum past this
+          many cells, evict oldest-paused until back under (a lone
+          over-budget request is kept — its own heap quota bounds it). *)
+  cache_capacity : int;  (** Compiled-program cache entries (LRU). *)
+  dump_dir : string option;
+      (** Where the crash barrier writes flight-recorder dumps. *)
+  trace : bool;  (** Run request machines with the recorder enabled. *)
+  now : unit -> int64;
+      (** Clock, in nanoseconds. Injectable so tests drive timeouts
+          deterministically. *)
+}
+
+let default_now () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+let default_config =
+  {
+    fuel = 500_000;
+    heap = 100_000;
+    stack = 10_000;
+    timeout_ms = 2_000;
+    depth = 64;
+    slice = 4_096;
+    max_inflight = 64;
+    mem_budget = 2_000_000;
+    cache_capacity = 256;
+    dump_dir = None;
+    trace = false;
+    now = default_now;
+  }
+
+type counters = {
+  mutable requests : int;
+  mutable ok : int;
+  mutable failed : int;  (** [err ... exn] replies (ordinary raises). *)
+  mutable quota_heap : int;
+  mutable quota_stack : int;
+  mutable quota_fuel : int;
+  mutable timeouts : int;
+  mutable sheds : int;  (** [overloaded] replies (admission control). *)
+  mutable evictions : int;  (** Oldest-paused evictions (memory). *)
+  mutable parse_errors : int;
+  mutable proto_errors : int;
+  mutable crashes : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable cache_evictions : int;
+}
+
+let new_counters () =
+  {
+    requests = 0;
+    ok = 0;
+    failed = 0;
+    quota_heap = 0;
+    quota_stack = 0;
+    quota_fuel = 0;
+    timeouts = 0;
+    sheds = 0;
+    evictions = 0;
+    parse_errors = 0;
+    proto_errors = 0;
+    crashes = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_evictions = 0;
+  }
+
+type cache_entry = { rx : R.rexpr; mutable last_used : int }
+
+type t = {
+  cfg : config;
+  cache : (string, cache_entry) Hashtbl.t;
+  mutable cache_clock : int;
+  c : counters;
+  agg : Stats.t;
+      (* Machine counters accumulated over every finished request —
+         including timed-out, evicted and crashed ones, whose machines
+         are gone by the time anyone asks. *)
+  mutable inflight : request list;  (* run queue, front = next to run *)
+  mutable next_seq : int;
+}
+
+and request = {
+  rid : string;
+  rsession : session;
+  m : M.t;
+  root : M.addr;
+  deadline : int64;
+  seq : int;  (* admission order: the eviction victim is the min seq *)
+  rdepth : int;
+}
+
+and session = {
+  engine : t;
+  mutable out : string list;  (* reverse order *)
+  mutable mode : mode;
+  mutable closed : bool;
+}
+
+and mode = Idle | Collect of collect
+
+and collect = {
+  cid : string;
+  copts : opts;
+  mutable body : string list;  (* reverse order *)
+}
+
+and opts = {
+  o_fuel : int;
+  o_heap : int;
+  o_stack : int;
+  o_timeout_ms : int;
+  o_depth : int;
+}
+
+let create ?(config = default_config) () =
+  {
+    cfg = config;
+    cache = Hashtbl.create 64;
+    cache_clock = 0;
+    c = new_counters ();
+    agg = Stats.create ();
+    inflight = [];
+    next_seq = 0;
+  }
+
+let counters t = t.c
+let machine_totals t = t.agg
+let inflight t = List.length t.inflight
+let cache_size t = Hashtbl.length t.cache
+let config t = t.cfg
+
+(* ------------------------------------------------------------------ *)
+(* Replies                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Replies are strictly one line each; a deep value or an error detail
+   that somehow contains a newline is flattened rather than letting one
+   reply masquerade as two. *)
+let one_line s =
+  String.map (function '\n' | '\r' -> ' ' | ch -> ch) s
+
+let emit (s : session) line = s.out <- one_line line :: s.out
+
+let drain (s : session) =
+  let r = List.rev s.out in
+  s.out <- [];
+  r
+
+let closed (s : session) = s.closed
+
+let reply_ok s id d = emit s (Fmt.str "ok %s %a" id SV.pp_deep d)
+
+let reply_err s id kind detail =
+  if detail = "" then emit s (Fmt.str "err %s %s" id kind)
+  else emit s (Fmt.str "err %s %s %s" id kind detail)
+
+(* ------------------------------------------------------------------ *)
+(* Compiled-program cache                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Keyed by the MD5 of the raw source text; the value is the resolved
+   slot IR. Resolution is deterministic and the IR is immutable, so a
+   cached program is shared by any number of request machines — this is
+   exactly the compile-once/run-many contract of
+   {!M.alloc_resolved}. Resolution always uses
+   {!R.global_context}: a shared cache requires a shared constructor
+   vocabulary. *)
+
+let cache_touch t e =
+  t.cache_clock <- t.cache_clock + 1;
+  e.last_used <- t.cache_clock
+
+let cache_insert t key rx =
+  if Hashtbl.length t.cache >= t.cfg.cache_capacity then begin
+    (* Evict the least-recently-used entry. *)
+    let victim =
+      Hashtbl.fold
+        (fun k e acc ->
+          match acc with
+          | Some (_, e') when e'.last_used <= e.last_used -> acc
+          | _ -> Some (k, e))
+        t.cache None
+    in
+    match victim with
+    | Some (k, _) ->
+        Hashtbl.remove t.cache k;
+        t.c.cache_evictions <- t.c.cache_evictions + 1
+    | None -> ()
+  end;
+  let e = { rx; last_used = 0 } in
+  cache_touch t e;
+  Hashtbl.replace t.cache key e
+
+(* Parse as a bare expression first; if that fails, as a whole program
+   (declarations defining [main]); either way close under the Prelude.
+   The first error wins when both parses fail — the expression form is
+   the common case and its message points at the right column. *)
+let parse_source src =
+  try Lang.Prelude.wrap (Lang.Parser.parse_expr src)
+  with Lang.Parser.Error _ as first -> (
+    try Lang.Prelude.wrap_program (Lang.Parser.parse_program src)
+    with Lang.Parser.Error _ -> raise first)
+
+let compile t src : (R.rexpr, string) result =
+  let key = Digest.string src in
+  match Hashtbl.find_opt t.cache key with
+  | Some e ->
+      t.c.cache_hits <- t.c.cache_hits + 1;
+      cache_touch t e;
+      Ok e.rx
+  | None -> (
+      t.c.cache_misses <- t.c.cache_misses + 1;
+      match parse_source src with
+      | exception Lang.Parser.Error (msg, line, col) ->
+          Error (Printf.sprintf "%d:%d: %s" line col msg)
+      | e ->
+          let rx = R.expr e in
+          cache_insert t key rx;
+          Ok rx)
+
+(* ------------------------------------------------------------------ *)
+(* The crash barrier                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let dump_counter = ref 0
+
+let write_dump t (req : request) (text : string) : string option =
+  match t.cfg.dump_dir with
+  | None -> None
+  | Some dir ->
+      incr dump_counter;
+      let safe_id =
+        String.map
+          (fun ch ->
+            match ch with
+            | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> ch
+            | _ -> '_')
+          req.rid
+      in
+      let file =
+        Filename.concat dir
+          (Printf.sprintf "crash-%d-%s.dump" !dump_counter safe_id)
+      in
+      (try
+         (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+         let oc = open_out file in
+         output_string oc text;
+         output_string oc "\n";
+         close_out oc
+       with Sys_error _ | Unix.Unix_error _ -> ());
+      Some file
+
+(* The per-request failure that must never take the daemon down: write
+   the flight-recorder dump (the invariant exception already carries
+   one; anything else gets a fresh dump of the request's recorder) and
+   answer [crash] to this client only. *)
+let crash t (req : request) (what : string) (dump : string) =
+  t.c.crashes <- t.c.crashes + 1;
+  Stats.add t.agg (M.stats req.m);
+  let where = write_dump t req dump in
+  let detail =
+    match where with
+    | Some file -> Printf.sprintf "%s dump=%s" what file
+    | None -> what
+  in
+  reply_err req.rsession req.rid "crash" detail
+
+(* ------------------------------------------------------------------ *)
+(* Request lifecycle                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let finish t (req : request) = Stats.add t.agg (M.stats req.m)
+
+let arm_slice t (req : request) =
+  M.inject_async req.m ~at_step:((M.stats req.m).Stats.steps + t.cfg.slice)
+    Exn.Timeout
+
+(* Oldest-paused eviction: the paused requests are the only elastic
+   memory the daemon holds, so when their heaps sum past the budget the
+   ones that have been waiting longest are shed with a structured
+   reply. A single over-budget request is never self-evicted — its own
+   heap quota already bounds it. *)
+let shed_memory t =
+  let total () =
+    List.fold_left (fun acc r -> acc + M.heap_size r.m) 0 t.inflight
+  in
+  let rec go () =
+    if List.length t.inflight > 1 && total () > t.cfg.mem_budget then begin
+      let victim =
+        List.fold_left
+          (fun acc r ->
+            match acc with Some v when v.seq <= r.seq -> acc | _ -> Some r)
+          None t.inflight
+      in
+      match victim with
+      | None -> ()
+      | Some v ->
+          t.inflight <- List.filter (fun r -> r.seq <> v.seq) t.inflight;
+          t.c.evictions <- t.c.evictions + 1;
+          finish t v;
+          reply_err v.rsession v.rid "evicted"
+            (Printf.sprintf "memory-pressure heap=%d" (M.heap_size v.m));
+          go ()
+    end
+  in
+  go ()
+
+(* One scheduling quantum for one request: resume it (re-entering its
+   pause cells), and classify how the slice ended. *)
+let run_slice t (req : request) =
+  match M.force_catch req.m req.root with
+  | Ok _ ->
+      (* WHNF reached. Withdraw the unfired slice interrupt, then
+         deep-force for the reply; quota breaches inside the structure
+         surface as [DBad] fields, exactly as one-shot [run_deep] would
+         report them. *)
+      M.clear_async req.m;
+      let d = M.deep ~depth:req.rdepth req.m req.root in
+      finish t req;
+      t.c.ok <- t.c.ok + 1;
+      reply_ok req.rsession req.rid d
+  | Error (M.Fail_async _) ->
+      (* Our slice interrupt — the only source of asynchronous events in
+         a pure serve evaluation. The request is now a bundle of pause
+         cells; decide whether its wall clock has run out. *)
+      if t.cfg.now () >= req.deadline then begin
+        finish t req;
+        t.c.timeouts <- t.c.timeouts + 1;
+        reply_err req.rsession req.rid "timeout"
+          (Printf.sprintf "steps=%d" (M.stats req.m).Stats.steps)
+      end
+      else begin
+        arm_slice t req;
+        t.inflight <- t.inflight @ [ req ];
+        shed_memory t
+      end
+  | Error M.Fail_diverged ->
+      finish t req;
+      t.c.quota_fuel <- t.c.quota_fuel + 1;
+      reply_err req.rsession req.rid "quota:fuel" "diverged-or-exhausted"
+  | Error (M.Fail_exn e) -> (
+      finish t req;
+      let st = M.stats req.m in
+      (* The latch counters distinguish a limit-triggered overflow from
+         a program that merely raised the same constant. *)
+      match e with
+      | Exn.Heap_overflow when st.Stats.heap_overflows > 0 ->
+          t.c.quota_heap <- t.c.quota_heap + 1;
+          reply_err req.rsession req.rid "quota:heap"
+            (Printf.sprintf "cells=%d" (M.heap_size req.m))
+      | Exn.Stack_overflow_exn when st.Stats.stack_overflows > 0 ->
+          t.c.quota_stack <- t.c.quota_stack + 1;
+          reply_err req.rsession req.rid "quota:stack"
+            (Printf.sprintf "max_stack=%d" st.Stats.max_stack)
+      | _ ->
+          t.c.failed <- t.c.failed + 1;
+          reply_err req.rsession req.rid "exn" (Fmt.str "%a" Exn.pp e))
+
+let tick t =
+  (match t.inflight with
+  | [] -> ()
+  | req :: rest -> (
+      t.inflight <- rest;
+      try run_slice t req with
+      | Obs.Machine_invariant dump -> crash t req "machine-invariant" dump
+      | Stack_overflow ->
+          crash t req "native-stack-overflow"
+            (Obs.dump ~note:"native stack overflow in serve slice"
+               (M.trace req.m))
+      | e ->
+          crash t req
+            ("unexpected:" ^ one_line (Printexc.to_string e))
+            (Obs.dump
+               ~note:("unexpected exception: " ^ Printexc.to_string e)
+               (M.trace req.m))));
+  t.inflight <> []
+
+let rec run_all t = if tick t then run_all t else ()
+
+(* ------------------------------------------------------------------ *)
+(* Admission                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let submit t (s : session) (id : string) (o : opts) (src : string) =
+  t.c.requests <- t.c.requests + 1;
+  if List.length t.inflight >= t.cfg.max_inflight then begin
+    (* Shed at the door: a bounded run queue and an honest [overloaded]
+       beat an unbounded queue that collapses later. *)
+    t.c.sheds <- t.c.sheds + 1;
+    reply_err s id "overloaded"
+      (Printf.sprintf "inflight=%d" (List.length t.inflight))
+  end
+  else
+    match compile t src with
+    | Error msg ->
+        t.c.parse_errors <- t.c.parse_errors + 1;
+        reply_err s id "parse" msg
+    | Ok rx ->
+        let mcfg =
+          {
+            M.default_config with
+            M.fuel = o.o_fuel;
+            heap_limit = Some o.o_heap;
+            stack_limit = Some o.o_stack;
+          }
+        in
+        let m =
+          M.create ~config:mcfg ~trace:(Obs.create ~on:t.cfg.trace ()) ()
+        in
+        let root = M.alloc_resolved m rx in
+        let deadline =
+          if o.o_timeout_ms <= 0 then Int64.max_int
+          else
+            Int64.add (t.cfg.now ())
+              (Int64.mul (Int64.of_int o.o_timeout_ms) 1_000_000L)
+        in
+        let req =
+          {
+            rid = id;
+            rsession = s;
+            m;
+            root;
+            deadline;
+            seq = t.next_seq;
+            rdepth = o.o_depth;
+          }
+        in
+        t.next_seq <- t.next_seq + 1;
+        arm_slice t req;
+        t.inflight <- t.inflight @ [ req ]
+
+(* ------------------------------------------------------------------ *)
+(* The line protocol                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let default_opts cfg =
+  {
+    o_fuel = cfg.fuel;
+    o_heap = cfg.heap;
+    o_stack = cfg.stack;
+    o_timeout_ms = cfg.timeout_ms;
+    o_depth = cfg.depth;
+  }
+
+let parse_opts cfg tokens : (opts, string) result =
+  let pos_int k v =
+    match int_of_string_opt v with
+    | Some n when n > 0 -> Ok n
+    | _ -> Error (Printf.sprintf "bad value for %s: %s" k v)
+  in
+  List.fold_left
+    (fun acc tok ->
+      match acc with
+      | Error _ -> acc
+      | Ok o -> (
+          match String.index_opt tok '=' with
+          | None -> Error ("bad option (want key=value): " ^ tok)
+          | Some i -> (
+              let k = String.sub tok 0 i in
+              let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+              match k with
+              | "fuel" ->
+                  Result.map (fun n -> { o with o_fuel = n }) (pos_int k v)
+              | "heap" ->
+                  Result.map (fun n -> { o with o_heap = n }) (pos_int k v)
+              | "stack" ->
+                  Result.map (fun n -> { o with o_stack = n }) (pos_int k v)
+              | "timeout" -> (
+                  match int_of_string_opt v with
+                  | Some n when n >= 0 -> Ok { o with o_timeout_ms = n }
+                  | _ -> Error ("bad value for timeout: " ^ v))
+              | "depth" ->
+                  Result.map (fun n -> { o with o_depth = n }) (pos_int k v)
+              | _ -> Error ("unknown option: " ^ k))))
+    (Ok (default_opts cfg)) tokens
+
+let stats_json t =
+  let c = t.c in
+  Fmt.str
+    "{\"requests\":%d,\"ok\":%d,\"exn\":%d,\"quota_heap\":%d,\"quota_stack\":%d,\"quota_fuel\":%d,\"timeouts\":%d,\"sheds\":%d,\"evictions\":%d,\"parse_errors\":%d,\"proto_errors\":%d,\"crashes\":%d,\"inflight\":%d,\"cache\":{\"hits\":%d,\"misses\":%d,\"evictions\":%d,\"entries\":%d},\"machine\":%a}"
+    c.requests c.ok c.failed c.quota_heap c.quota_stack c.quota_fuel
+    c.timeouts c.sheds c.evictions c.parse_errors c.proto_errors c.crashes
+    (List.length t.inflight) c.cache_hits c.cache_misses c.cache_evictions
+    (Hashtbl.length t.cache) Stats.pp_json t.agg
+
+let session t = { engine = t; out = []; mode = Idle; closed = false }
+
+let feed (s : session) (line : string) =
+  if s.closed then ()
+  else
+    let t = s.engine in
+    match s.mode with
+    | Collect c ->
+        if String.trim line = "." then begin
+          s.mode <- Idle;
+          submit t s c.cid c.copts (String.concat "\n" (List.rev c.body))
+        end
+        else c.body <- line :: c.body
+    | Idle -> (
+        let words =
+          String.split_on_char ' ' (String.trim line)
+          |> List.filter (fun w -> w <> "")
+        in
+        match words with
+        | [] -> ()
+        | [ "ping" ] -> emit s "pong"
+        | [ "stats" ] -> emit s (stats_json t)
+        | [ "quit" ] ->
+            s.closed <- true;
+            emit s "bye"
+        | "eval" :: id :: opt_tokens -> (
+            match parse_opts t.cfg opt_tokens with
+            | Ok o -> s.mode <- Collect { cid = id; copts = o; body = [] }
+            | Error msg ->
+                t.c.proto_errors <- t.c.proto_errors + 1;
+                reply_err s id "proto" msg)
+        | [ "eval" ] ->
+            t.c.proto_errors <- t.c.proto_errors + 1;
+            reply_err s "-" "proto" "eval needs a request id"
+        | verb :: _ ->
+            t.c.proto_errors <- t.c.proto_errors + 1;
+            reply_err s "-" "proto" ("unknown verb: " ^ verb))

@@ -30,4 +30,6 @@ let () =
       ("faultinject", Test_faultinject.suite);
       ("obs", Test_obs.suite);
       ("fuzz", Test_fuzz.suite);
+      ("serve", Test_serve.suite);
+      ("reentrancy", Test_reentrancy.suite);
     ]

@@ -1,0 +1,381 @@
+open Imprecise
+open Helpers
+
+(* The serve engine: the line protocol, per-request quota enforcement,
+   wall-clock timeouts over pause cells, admission control, memory-
+   pressure eviction, the compiled-program cache, and — the acceptance
+   bar — one engine surviving hundreds of mixed hostile requests with
+   zero restarts while well-behaved requests keep answering exactly
+   what one-shot evaluation answers. *)
+
+let flat s =
+  String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+(* Submit one request: the eval header, the program lines, the dot. *)
+let submit sess id opts src =
+  Serve.feed sess
+    (if opts = "" then Printf.sprintf "eval %s" id
+     else Printf.sprintf "eval %s %s" id opts);
+  List.iter (Serve.feed sess) (String.split_on_char '\n' src);
+  Serve.feed sess "."
+
+(* Submit, run to completion, expect exactly one reply. *)
+let eval_one engine sess id opts src =
+  submit sess id opts src;
+  Serve.run_all engine;
+  match Serve.drain sess with
+  | [ r ] -> r
+  | rs -> Alcotest.failf "%s: expected one reply, got %d" id (List.length rs)
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let check_prefix what prefix reply =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: got %S want prefix %S" what reply prefix)
+    true (starts_with prefix reply)
+
+(* One-shot reference evaluation, formatted exactly like a serve
+   reply: the differential oracle for well-behaved requests. *)
+let reference id e =
+  let m = Machine.create () in
+  let a = Machine.alloc m e in
+  match Machine.force_catch m a with
+  | Ok _ ->
+      Printf.sprintf "ok %s %s" id
+        (flat (Fmt.str "%a" Value.pp_deep (Machine.deep m a)))
+  | Error (Machine.Fail_exn x) | Error (Machine.Fail_async x) ->
+      Printf.sprintf "err %s exn %s" id (flat (Fmt.str "%a" Exn.pp x))
+  | Error Machine.Fail_diverged ->
+      (* Matches the serve reply's detail for fuel exhaustion. *)
+      Printf.sprintf "err %s quota:fuel diverged-or-exhausted" id
+
+(* The canonical killers (each breaches exactly one defence). *)
+let heapbomb = ("heap=2000", "length (replicate 100000 1)")
+let stackbomb = ("stack=500 fuel=5000000 heap=2000000", "sum (enumFromTo 1 20000)")
+let fuelburn = ("fuel=20000", "sum (enumFromTo 1 200000)")
+let blackhole = ("", "let rec black = black + 1 in black")
+
+let spinner =
+  ("fuel=1000000000 timeout=200", "let rec go n = if n > 0 then go n else 0 in go 1")
+
+let suite =
+  [
+    tc "protocol: ping, stats, quit, proto errors" (fun () ->
+        let engine = Serve.create () in
+        let sess = Serve.session engine in
+        Serve.feed sess "ping";
+        Alcotest.(check (list string)) "pong" [ "pong" ] (Serve.drain sess);
+        Serve.feed sess "stats";
+        (match Serve.drain sess with
+        | [ s ] -> check_prefix "stats is JSON" "{\"requests\":" s
+        | rs -> Alcotest.failf "stats: %d replies" (List.length rs));
+        Serve.feed sess "frobnicate";
+        (match Serve.drain sess with
+        | [ r ] -> check_prefix "unknown verb" "err - proto" r
+        | rs -> Alcotest.failf "verb: %d replies" (List.length rs));
+        Serve.feed sess "eval";
+        (match Serve.drain sess with
+        | [ r ] -> check_prefix "eval without id" "err - proto" r
+        | rs -> Alcotest.failf "eval: %d replies" (List.length rs));
+        Alcotest.(check int)
+          "proto errors counted" 2 (Serve.counters engine).Serve.proto_errors;
+        Serve.feed sess "quit";
+        Alcotest.(check (list string)) "bye" [ "bye" ] (Serve.drain sess);
+        Alcotest.(check bool) "closed" true (Serve.closed sess);
+        (* A closed session ignores further input. *)
+        Serve.feed sess "ping";
+        Alcotest.(check (list string)) "silent" [] (Serve.drain sess));
+    tc "parse errors answer [parse], daemon continues" (fun () ->
+        let engine = Serve.create () in
+        let sess = Serve.session engine in
+        check_prefix "parse" "err p1 parse"
+          (eval_one engine sess "p1" "" "let let let");
+        Alcotest.(check string) "next request fine" "ok p2 7"
+          (eval_one engine sess "p2" "" "3 + 4"));
+    tc "differential: dictionary replies match one-shot evaluation"
+      (fun () ->
+        let engine = Serve.create () in
+        let sess = Serve.session engine in
+        let pure =
+          List.filter
+            (fun e ->
+              match e.Corpus.mode with
+              | Corpus.M_int | Corpus.M_list | Corpus.M_any -> true
+              | _ -> false)
+            (Corpus.dictionary ())
+        in
+        Alcotest.(check bool) "dictionary non-trivial" true
+          (List.length pure > 10);
+        List.iter
+          (fun round ->
+            List.iteri
+              (fun i e ->
+                let id = Printf.sprintf "%s%d" round i in
+                let want = reference id (Prelude.wrap e.Corpus.expr) in
+                let got =
+                  eval_one engine sess id ""
+                    (Pretty.expr_to_string e.Corpus.expr)
+                in
+                Alcotest.(check string) id want got)
+              pure)
+          [ "a"; "b" ];
+        let c = Serve.counters engine in
+        Alcotest.(check bool) "second round hit the cache" true
+          (c.Serve.cache_hits >= List.length pure);
+        Alcotest.(check int) "no crashes" 0 c.Serve.crashes);
+    tc "quota kills: heap, stack, fuel, black hole" (fun () ->
+        let engine = Serve.create () in
+        let sess = Serve.session engine in
+        let kill id (opts, src) kind =
+          check_prefix id ("err " ^ id ^ " " ^ kind)
+            (eval_one engine sess id opts src)
+        in
+        kill "h" heapbomb "quota:heap";
+        kill "s" stackbomb "quota:stack";
+        kill "f" fuelburn "quota:fuel";
+        kill "b" blackhole "quota:fuel";
+        let c = Serve.counters engine in
+        Alcotest.(check int) "heap" 1 c.Serve.quota_heap;
+        Alcotest.(check int) "stack" 1 c.Serve.quota_stack;
+        Alcotest.(check int) "fuel" 2 c.Serve.quota_fuel;
+        Alcotest.(check int) "no crashes" 0 c.Serve.crashes;
+        (* The daemon still answers afterwards. *)
+        Alcotest.(check string) "alive" "ok z 5050"
+          (eval_one engine sess "z" "" "sum (enumFromTo 1 100)"));
+    tc "timeout: injected clock, pause-cell suspension" (fun () ->
+        (* A fake clock the test advances by hand: the spinner runs
+           under a 100ms deadline; while the clock stands still it just
+           keeps getting sliced and requeued, and the moment the clock
+           jumps past the deadline the next slice boundary answers
+           [timeout]. *)
+        let t = ref 0L in
+        let cfg =
+          { Serve.default_config with Serve.now = (fun () -> !t) }
+        in
+        let engine = Serve.create ~config:cfg () in
+        let sess = Serve.session engine in
+        submit sess "spin" "fuel=1000000000 timeout=100"
+          "let rec go n = if n > 0 then go n else 0 in go 1";
+        (* A few quanta with time frozen: still inflight, no reply. *)
+        for _ = 1 to 3 do
+          ignore (Serve.tick engine)
+        done;
+        Alcotest.(check int) "still inflight" 1 (Serve.inflight engine);
+        Alcotest.(check (list string)) "no reply yet" [] (Serve.drain sess);
+        (* Advance past the 100ms deadline; the next slice kills it. *)
+        t := 200_000_000L;
+        Serve.run_all engine;
+        (match Serve.drain sess with
+        | [ r ] -> check_prefix "timeout" "err spin timeout" r
+        | rs -> Alcotest.failf "%d replies" (List.length rs));
+        Alcotest.(check int) "timeout counted" 1
+          (Serve.counters engine).Serve.timeouts);
+    tc "admission control: overloaded past max_inflight" (fun () ->
+        let cfg = { Serve.default_config with Serve.max_inflight = 2 } in
+        let engine = Serve.create ~config:cfg () in
+        let sess = Serve.session engine in
+        submit sess "a" "" "1 + 1";
+        submit sess "b" "" "2 + 2";
+        submit sess "c" "" "3 + 3";
+        (* The third was shed immediately, before any tick. *)
+        (match Serve.drain sess with
+        | [ r ] -> check_prefix "shed" "err c overloaded" r
+        | rs -> Alcotest.failf "%d early replies" (List.length rs));
+        Serve.run_all engine;
+        Alcotest.(check (list string)) "admitted ones answer"
+          [ "ok a 2"; "ok b 4" ]
+          (List.sort compare (Serve.drain sess));
+        Alcotest.(check int) "shed counted" 1
+          (Serve.counters engine).Serve.sheds);
+    tc "load shedding: oldest paused request evicted under memory pressure"
+      (fun () ->
+        (* Two allocation-heavy requests under a tiny paused-heap
+           budget: once both are paused, the older one is evicted; the
+           younger still finishes with the right answer. *)
+        let cfg =
+          {
+            Serve.default_config with
+            Serve.mem_budget = 500;
+            Serve.heap = 1_000_000;
+            Serve.fuel = 100_000_000;
+            Serve.timeout_ms = 0;
+            Serve.slice = 512;
+          }
+        in
+        let engine = Serve.create ~config:cfg () in
+        let sess = Serve.session engine in
+        submit sess "old" "" "sum (enumFromTo 1 30000)";
+        submit sess "young" "" "sum (enumFromTo 1 200)";
+        Serve.run_all engine;
+        (match List.sort compare (Serve.drain sess) with
+        | [ ev; ok ] ->
+            check_prefix "oldest evicted" "err old evicted" ev;
+            Alcotest.(check string) "survivor exact" "ok young 20100" ok
+        | rs -> Alcotest.failf "%d replies" (List.length rs));
+        Alcotest.(check int) "eviction counted" 1
+          (Serve.counters engine).Serve.evictions);
+    tc "compiled-program cache: hits, LRU eviction" (fun () ->
+        let cfg = { Serve.default_config with Serve.cache_capacity = 2 } in
+        let engine = Serve.create ~config:cfg () in
+        let sess = Serve.session engine in
+        let run id src = ignore (eval_one engine sess id "" src) in
+        run "a1" "1 + 1";
+        run "a2" "1 + 1";
+        let c = Serve.counters engine in
+        Alcotest.(check int) "hit on resubmission" 1 c.Serve.cache_hits;
+        Alcotest.(check int) "one compilation" 1 c.Serve.cache_misses;
+        (* Two more distinct programs overflow capacity 2 and evict the
+           least recently used entry. *)
+        run "b" "2 + 2";
+        run "c" "3 + 3";
+        Alcotest.(check bool) "LRU eviction counted" true
+          (c.Serve.cache_evictions >= 1);
+        Alcotest.(check bool) "cache bounded" true
+          (Serve.cache_size engine <= 2);
+        (* The evicted program recompiles and still answers. *)
+        run "a3" "1 + 1";
+        Alcotest.(check bool) "recompiled" true (c.Serve.cache_misses >= 3));
+    tc "quota recovery: heap latch re-arms across sequential requests"
+      (fun () ->
+        (* Satellite 3: repeated heap-latch trips on one engine. Every
+           odd request is a heap bomb, every even request must still
+           answer exactly right — no poisoned heap bleeds across
+           requests, the latch re-arms every time. *)
+        let engine = Serve.create () in
+        let sess = Serve.session engine in
+        let opts, bomb = heapbomb in
+        for i = 1 to 8 do
+          check_prefix
+            (Printf.sprintf "bomb %d" i)
+            (Printf.sprintf "err b%d quota:heap" i)
+            (eval_one engine sess (Printf.sprintf "b%d" i) opts bomb);
+          Alcotest.(check string)
+            (Printf.sprintf "good %d" i)
+            (Printf.sprintf "ok g%d 5050" i)
+            (eval_one engine sess
+               (Printf.sprintf "g%d" i)
+               "" "sum (enumFromTo 1 100)")
+        done;
+        let c = Serve.counters engine in
+        Alcotest.(check int) "eight trips" 8 c.Serve.quota_heap;
+        Alcotest.(check int) "eight recoveries" 8 c.Serve.ok;
+        Alcotest.(check int) "no crashes" 0 c.Serve.crashes);
+    tc "quota recovery: in-request catch of the heap latch" (fun () ->
+        (* unsafeGetException turns the latch's Heap_overflow into a
+           value; after the latch fires the same request keeps
+           allocating (the handler arm) and answers ok. *)
+        let engine = Serve.create () in
+        let sess = Serve.session engine in
+        Alcotest.(check string) "caught in-request" "ok r 42"
+          (eval_one engine sess "r" "heap=2000"
+             "case unsafeGetException (length (replicate 100000 1)) of { \
+              OK n -> 0 - 1; Bad e -> 40 + 2 }");
+        Alcotest.(check string) "next request unaffected" "ok n 5050"
+          (eval_one engine sess "n" "" "sum (enumFromTo 1 100)"));
+    tc "survival: 200 mixed hostile requests, zero restarts" (fun () ->
+        (* The acceptance bar: one engine, one session, 200 requests
+           cycling through every kill mode with well-behaved requests
+           interleaved; every well-behaved reply is differentially
+           checked against one-shot evaluation, and the daemon never
+           crashes or restarts (it is the same OCaml value throughout —
+           surviving is simply never raising). *)
+        let engine = Serve.create () in
+        let sess = Serve.session engine in
+        let goods =
+          [
+            "sum (enumFromTo 1 50)";
+            "length (map (\\x -> x * x) (enumFromTo 1 20))";
+            "1/0 + error \"Urk\"";
+            "take 3 (iterate (\\x -> x * 2) 1)";
+          ]
+        in
+        let kills = [ heapbomb; stackbomb; fuelburn; blackhole; spinner ] in
+        let answered = ref 0 in
+        let expected_ok = ref 0 in
+        for i = 0 to 199 do
+          let id = Printf.sprintf "r%d" i in
+          let reply =
+            if i mod 2 = 0 then begin
+              let src = List.nth goods (i / 2 mod List.length goods) in
+              let want = reference id (parse src) in
+              if starts_with "ok" want then incr expected_ok;
+              let got = eval_one engine sess id "" src in
+              Alcotest.(check string) id want got;
+              got
+            end
+            else begin
+              let opts, src = List.nth kills (i / 2 mod List.length kills) in
+              let got = eval_one engine sess id opts src in
+              check_prefix id ("err " ^ id) got;
+              got
+            end
+          in
+          if reply <> "" then incr answered
+        done;
+        let c = Serve.counters engine in
+        Alcotest.(check int) "every request answered" 200 !answered;
+        Alcotest.(check int) "200 admitted" 200 c.Serve.requests;
+        (* One of the four well-behaved programs legitimately answers
+           [err .. exn ..] (its value IS an exception), so the ok count
+           is what the one-shot references predict, not a flat 100. *)
+        Alcotest.(check int) "ok count as predicted" !expected_ok c.Serve.ok;
+        Alcotest.(check int) "zero crashes" 0 c.Serve.crashes;
+        Alcotest.(check bool) "every kill mode exercised" true
+          (c.Serve.quota_heap > 0 && c.Serve.quota_stack > 0
+          && c.Serve.quota_fuel > 0 && c.Serve.timeouts > 0);
+        Alcotest.(check int) "queue drained" 0 (Serve.inflight engine));
+    tc "crash barrier: machine invariant violation answers [crash]"
+      (fun () ->
+        (* Nothing in the language can trip the barrier from outside —
+           that is rather the point — so the test reaches into the
+           request's machine via the injected clock hook, the one piece
+           of engine-visible code a test controls, and raises from
+           there mid-request. The daemon must convert it into a [crash]
+           reply and keep serving. *)
+        let calls = ref 0 in
+        let cfg =
+          {
+            Serve.default_config with
+            Serve.now =
+              (fun () ->
+                incr calls;
+                if !calls = 2 then failwith "injected fault"
+                else Serve.default_now ());
+          }
+        in
+        let engine = Serve.create ~config:cfg () in
+        let sess = Serve.session engine in
+        check_prefix "crash reply" "err c1 crash"
+          (eval_one engine sess "c1" "timeout=1000" "sum (enumFromTo 1 100)");
+        Alcotest.(check int) "crash counted" 1
+          (Serve.counters engine).Serve.crashes;
+        Alcotest.(check string) "daemon survives its own barrier"
+          "ok c2 5050"
+          (eval_one engine sess "c2" "timeout=0" "sum (enumFromTo 1 100)"));
+    tc "stats verb reflects the counters" (fun () ->
+        let engine = Serve.create () in
+        let sess = Serve.session engine in
+        ignore (eval_one engine sess "a" "" "1 + 2");
+        let opts, bomb = heapbomb in
+        ignore (eval_one engine sess "b" opts bomb);
+        Serve.feed sess "stats";
+        match Serve.drain sess with
+        | [ s ] ->
+            let has needle =
+              Alcotest.(check bool)
+                (Printf.sprintf "stats contains %s" needle)
+                true
+                (let n = String.length needle and l = String.length s in
+                 let rec go i =
+                   i + n <= l && (String.sub s i n = needle || go (i + 1))
+                 in
+                 go 0)
+            in
+            has "\"requests\":2";
+            has "\"ok\":1";
+            has "\"quota_heap\":1";
+            has "\"machine\":"
+        | rs -> Alcotest.failf "stats: %d replies" (List.length rs));
+  ]
