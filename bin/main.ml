@@ -478,7 +478,7 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
-         "Coverage-guided metamorphic differential fuzzing across all five \
+         "Coverage-guided metamorphic differential fuzzing across all six \
           evaluators (denotational, slot machine, reference machine, fixed \
           orders) and the four IO layers, with flight-recorder event-kind \
           coverage, transformation-law oracles, fault schedules, corpus \
@@ -873,11 +873,24 @@ let serve_cmd =
       & info [ "trace" ]
           ~doc:"Run request machines with the flight recorder enabled.")
   in
+  let backend_arg =
+    Arg.(
+      value
+      & opt (enum [ ("slot", Serve.Slot); ("bytecode", Serve.Bytecode) ])
+          Serve.default_config.Serve.backend
+      & info [ "backend" ] ~docv:"BACKEND"
+          ~doc:
+            "Request evaluator: $(b,slot) (the tree-walking slot machine) \
+             or $(b,bytecode) (the flat compiled backend — same \
+             quota/timeout contract, measured multi-x faster; the \
+             compiled-program cache then stores bytecode).")
+  in
   let run port smoke fuel heap stack timeout_ms slice max_inflight
-      mem_budget cache_capacity dump_dir trace =
+      mem_budget cache_capacity dump_dir trace backend =
     let config =
       {
         Serve.default_config with
+        Serve.backend;
         Serve.fuel;
         heap;
         stack;
@@ -910,7 +923,7 @@ let serve_cmd =
     Term.(
       const run $ port_arg $ smoke_arg $ fuel_q $ heap_q $ stack_q
       $ timeout_q $ slice_q $ inflight_q $ mem_q $ cache_q $ dump_arg
-      $ trace_arg)
+      $ trace_arg $ backend_arg)
 
 let main_cmd =
   let doc = "A semantics for imprecise exceptions (PLDI 1999), executable." in

@@ -9,6 +9,7 @@ module V = Semantics.Sem_value
 module Refine = Semantics.Refine
 module Stg = Machine.Stg
 module Stg_ref = Machine.Stg_ref
+module Bytecode = Machine.Bytecode
 module Machine_io = Machine.Machine_io
 module Machine_conc = Machine.Machine_conc
 
@@ -190,7 +191,7 @@ let finish ?(extra = []) tr note violations =
   { violations; dump }
 
 (* ------------------------------------------------------------------ *)
-(* Pure terms: five evaluators                                         *)
+(* Pure terms: six evaluators                                          *)
 (* ------------------------------------------------------------------ *)
 
 let check_pure ?cov v t =
@@ -209,6 +210,13 @@ let check_pure ?cov v t =
   let mr = Stg_ref.create ~config:(ref_config v) ~trace:tr () in
   let d_ref = Stg_ref.deep ~depth:v.depth mr (Stg_ref.alloc mr w) in
   let ref_stats = Stg_ref.stats mr in
+  (* The sixth evaluator: the flat bytecode backend, under the same
+     machine config (it shares the slot machine's config record). *)
+  let mb =
+    Bytecode.create ~config:(stg_config v) ~trace:tr (Bytecode.compile (Lang.Resolve.expr w))
+  in
+  let d_bc = Bytecode.deep ~depth:v.depth mb (Bytecode.entry mb) in
+  ignore (Bytecode.force_catch mb (Bytecode.entry mb));
   let fo_l = Fixed.run_deep ~fuel:v.fixed_fuel ~depth:v.depth Fixed.Left_to_right w in
   let fo_r = Fixed.run_deep ~fuel:v.fixed_fuel ~depth:v.depth Fixed.Right_to_left w in
   let pd = Fmt.str "%a" V.pp_deep in
@@ -224,6 +232,9 @@ let check_pure ?cov v t =
   if not (fixed_implements fo_r dl) then
     flag "fixed-r2l-implements-denot"
       (Fmt.str "fixed R2L %a !⊑ denot %s" Fixed.pp_outcome fo_r (pd dl));
+  if not (Refine.implements_deep d_bc dl) then
+    flag "bytecode-implements-denot"
+      (Printf.sprintf "bytecode %s !⊑ denot %s" (pd d_bc) (pd dl));
   if
     (not (contains_bottom d_stg))
     && (not (contains_bottom d_ref))
@@ -232,6 +243,13 @@ let check_pure ?cov v t =
     flag "stg-vs-stg-ref"
       (Printf.sprintf "slot machine %s <> reference machine %s" (pd d_stg)
          (pd d_ref));
+  if
+    (not (contains_bottom d_stg))
+    && (not (contains_bottom d_bc))
+    && not (V.deep_equal d_stg d_bc)
+  then
+    flag "stg-vs-bytecode"
+      (Printf.sprintf "slot machine %s <> bytecode %s" (pd d_stg) (pd d_bc));
   (let fd_l = Fixed.outcome_to_deep fo_l in
    if
      (not (uses_get_exception t))
@@ -243,7 +261,7 @@ let check_pure ?cov v t =
    then
      flag "stg-vs-fixed-l2r"
        (Printf.sprintf "machine %s <> fixed L2R %s" (pd d_stg) (pd fd_l)));
-  note_cov cov tr [ Stg.stats m; ref_stats ] [];
+  note_cov cov tr [ Stg.stats m; ref_stats; Bytecode.stats mb ] [];
   finish
     ~extra:[ ("term", Lang.Pretty.expr_to_string t); ("denot", pd dl) ]
     tr "pure differential violation" !violations

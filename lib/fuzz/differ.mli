@@ -1,14 +1,14 @@
 (** The differential driver: one term, every evaluator, one verdict.
 
-    Pure terms run through all five engines — the imprecise denotational
+    Pure terms run through all six engines — the imprecise denotational
     semantics (the reference), the slot-compiled machine {!Machine.Stg},
-    the name-based machine {!Machine.Stg_ref}, and the precise
-    fixed-order evaluator under both orders — and the results are
-    cross-checked:
+    the name-based machine {!Machine.Stg_ref}, the flat bytecode backend
+    {!Machine.Bytecode}, and the precise fixed-order evaluator under
+    both orders — and the results are cross-checked:
 
     - every implementation result {e implements} the denotation (C13,
       via {!Semantics.Refine.implements_deep});
-    - the two machines agree exactly (same representative member);
+    - the three machines agree exactly (same representative member);
     - the machine agrees with fixed-order left-to-right (both are
       deterministic left-to-right call-by-need evaluators).
 

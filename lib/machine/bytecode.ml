@@ -1,0 +1,1075 @@
+(* The flat bytecode backend. One compile pass flattens the resolved IR
+   into a contiguous int array (opcode + inline operand words, emitted
+   through a growarray code buffer and frozen); the evaluator is a
+   register machine — mode, program counter, environment, accumulator —
+   that dispatches straight off the code array with no per-step variant
+   allocation ({!Stg} allocates a [C_eval]/[C_ret] cell on every
+   transition; this machine writes four registers).
+
+   Three superinstructions fuse the slot machine's measured hot pairs:
+
+   - [op_app_enter]   push-apply of an argument + enter a variable
+                      callee ([RApp (RVar f, a)] — every saturated call
+                      in CPS-free code hits this).
+   - [op_let_thunk]   allocate an argument thunk + bind it in a fresh
+                      1-slot frame ([RLet (Athunk _, _)] — the
+                      alloc+move pair of every let).
+   - [op_case_enter]  push a case frame + force a variable scrutinee
+                      ([RCase (RVar _, _)] — the force+branch pair of
+                      every case on a bound variable).
+
+   Every case site owns a monomorphic inline cache (tag, binder count,
+   branch pc): constructor returns check it first ([Stats.ic_hits]) and
+   fall back to the alternative-table walk on a miss, which refills the
+   cache ([Stats.ic_misses]). The cache lives in the shared program —
+   sound across machines, because a site's tag-to-branch mapping is a
+   pure function of the static table.
+
+   The exception machinery is transition-for-transition the slot
+   machine's: synchronous unwinding poisons update frames (Section 3.3),
+   asynchronous unwinding leaves resumable pause cells (Section 5.1),
+   resource latches raise catchable overflows through the same
+   trim-the-stack path, and provenance/flight-recorder events fire on
+   every exceptional transition. *)
+
+open Lang.Syntax
+module Exn = Lang.Exn
+module R = Lang.Resolve
+
+type addr = int
+
+type mvalue =
+  | MInt of int
+  | MChar of char
+  | MString of string
+  | MCon of int * addr array
+  | MClo of int * addr array
+
+and env = Env_nil | Env_frame of addr array * env
+
+(* ------------------------------------------------------------------ *)
+(* The compiled program                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Opcodes. Operand words follow inline; every expression's code ends in
+   a control transfer (enter or return), so blocks never fall off their
+   end. *)
+let op_enter = 0 (* slotw *)
+let op_ret_int = 1 (* n *)
+let op_ret_char = 2 (* char code *)
+let op_ret_str = 3 (* string pool idx *)
+let op_ret_clo = 4 (* lam pool idx *)
+let op_ret_con = 5 (* tag, n, n arg words *)
+let op_ret_con0 = 6 (* tag *)
+let op_push_apply = 7 (* argw; falls through to the callee *)
+let op_app_enter = 8 (* argw, slotw — superinstruction *)
+let op_let_slot = 9 (* slotw; falls through to the body *)
+let op_let_thunk = 10 (* tspec idx — superinstruction *)
+let op_letrec = 11 (* n, n tspec idxs; falls through to the body *)
+let op_push_case = 12 (* case idx; falls through to the scrutinee *)
+let op_case_enter = 13 (* case idx, slotw — superinstruction *)
+let op_push_prim = 14 (* prim-site idx; falls through to argument 0 *)
+let op_prim0 = 15 (* prim-site idx (zero arguments: a type error) *)
+let op_push_raise = 16 (* label pool idx; falls through to the payload *)
+let op_push_mapexn = 17 (* argw; falls through to the protected value *)
+let op_push_isexn = 18
+let op_push_catch = 19
+let op_unbound = 20 (* string pool idx *)
+
+(* A slot packs to one word: frame in the high bits, index in the low 16
+   (static lexical depth and frame width never approach 2^16). An
+   argument word [argw] is a thunk-template index when non-negative and
+   [-(packed slot) - 1] when the argument reuses a variable's address. *)
+let pack (s : R.slot) = (s.R.frame lsl 16) lor s.R.idx
+
+type lam_info = {
+  l_caps : int array;  (* packed capture slots *)
+  mutable l_pc : int;  (* body entry, patched after the body is emitted *)
+  l_name : string;
+}
+
+type tspec_info = { t_caps : int array; mutable t_pc : int }
+
+type bpat = Bp_con of int * int | Bp_lit of lit | Bp_any of bool
+
+type balt = { bpat : bpat; mutable bpc : int }
+
+type case_site = {
+  c_alts : balt array;
+  (* The monomorphic inline cache: last constructor (tag, binder count)
+     seen here and the branch it selected. [-1] = empty. *)
+  mutable ic_tag : int;
+  mutable ic_nb : int;
+  mutable ic_pc : int;
+}
+
+type prim_site = {
+  ps_prim : Lang.Prim.t;
+  ps_args : int array;  (* entry pcs of arguments 1..n-1 (0 falls through) *)
+}
+
+type program = {
+  code : int array;
+  entry : int;
+  app_pc : int;  (* the [$f $x] template for alloc_app / mapException *)
+  strs : string array;  (* string literals, unbound names, raise labels *)
+  lams : lam_info array;
+  tspecs : tspec_info array;
+  cases : case_site array;
+  prims : prim_site array;
+}
+
+let code_words p = Array.length p.code
+
+(* ------------------------------------------------------------------ *)
+(* The compiler                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* An accumulating pool: add returns the index, freeze returns the
+   array in insertion order. *)
+let pool () =
+  let items = ref [] and n = ref 0 in
+  let add x =
+    let i = !n in
+    items := x :: !items;
+    incr n;
+    i
+  in
+  let freeze () = Array.of_list (List.rev !items) in
+  (add, freeze)
+
+let compile (root : R.rexpr) : program =
+  let code = Growarray.create ~dummy:0 () in
+  let emit w = ignore (Growarray.push code w) in
+  let here () = Growarray.length code in
+  let add_str, freeze_strs = pool () in
+  let add_lam, freeze_lams = pool () in
+  let add_tspec_info, freeze_tspecs = pool () in
+  let add_case, freeze_cases = pool () in
+  let add_prim, freeze_prims = pool () in
+  (* Sub-blocks (λ and thunk bodies, case branches, prim arguments past
+     the first) are queued and emitted after the current linear block,
+     each job patching its entry pc into the pool record that owns it. *)
+  let pending : (unit -> unit) Queue.t = Queue.create () in
+  let rec add_tspec (sp : R.tspec) : int =
+    let info = { t_caps = Array.map pack sp.R.caps; t_pc = -1 } in
+    let i = add_tspec_info info in
+    Queue.add
+      (fun () ->
+        info.t_pc <- here ();
+        emit_tail sp.R.tbody)
+      pending;
+    i
+  and arg_word = function
+    | R.Aslot s -> -pack s - 1
+    | R.Athunk sp -> add_tspec sp
+  and emit_tail (e : R.rexpr) : unit =
+    match e with
+    | R.RVar s ->
+        emit op_enter;
+        emit (pack s)
+    | R.RUnbound x ->
+        emit op_unbound;
+        emit (add_str x)
+    | R.RLit (Lit_int n) ->
+        emit op_ret_int;
+        emit n
+    | R.RLit (Lit_char c) ->
+        emit op_ret_char;
+        emit (Char.code c)
+    | R.RLit (Lit_string s) ->
+        emit op_ret_str;
+        emit (add_str s)
+    | R.RLam l ->
+        let info =
+          { l_caps = Array.map pack l.R.lcaps; l_pc = -1; l_name = l.R.lname }
+        in
+        let i = add_lam info in
+        Queue.add
+          (fun () ->
+            info.l_pc <- here ();
+            emit_tail l.R.lbody)
+          pending;
+        emit op_ret_clo;
+        emit i
+    | R.RApp (R.RVar s, a) ->
+        (* Superinstruction: push the argument's apply frame and enter
+           the callee in one dispatch. *)
+        let aw = arg_word a in
+        emit op_app_enter;
+        emit aw;
+        emit (pack s)
+    | R.RApp (f, a) ->
+        let aw = arg_word a in
+        emit op_push_apply;
+        emit aw;
+        emit_tail f
+    | R.RCon (tag, [||]) ->
+        emit op_ret_con0;
+        emit tag
+    | R.RCon (tag, args) ->
+        let ws = Array.map arg_word args in
+        emit op_ret_con;
+        emit tag;
+        emit (Array.length ws);
+        Array.iter emit ws
+    | R.RCase (scrut, alts) ->
+        let balts =
+          Array.map
+            (fun (a : R.ralt) ->
+              let b =
+                {
+                  bpat =
+                    (match a.R.rpat with
+                    | R.Rpcon (t, nb) -> Bp_con (t, nb)
+                    | R.Rplit l -> Bp_lit l
+                    | R.Rpany bind -> Bp_any bind);
+                  bpc = -1;
+                }
+              in
+              Queue.add
+                (fun () ->
+                  b.bpc <- here ();
+                  emit_tail a.R.rrhs)
+                pending;
+              b)
+            alts
+        in
+        let ci =
+          add_case { c_alts = balts; ic_tag = -1; ic_nb = -1; ic_pc = -1 }
+        in
+        (match scrut with
+        | R.RVar s ->
+            (* Superinstruction: force+branch — push the case frame and
+               enter the scrutinee in one dispatch. *)
+            emit op_case_enter;
+            emit ci;
+            emit (pack s)
+        | _ ->
+            emit op_push_case;
+            emit ci;
+            emit_tail scrut)
+    | R.RLet (R.Aslot s, body) ->
+        emit op_let_slot;
+        emit (pack s);
+        emit_tail body
+    | R.RLet (R.Athunk sp, body) ->
+        (* Superinstruction: alloc+move — allocate the bound thunk and
+           bind it in a fresh 1-slot frame in one dispatch. *)
+        emit op_let_thunk;
+        emit (add_tspec sp);
+        emit_tail body
+    | R.RLetrec (specs, body) ->
+        emit op_letrec;
+        emit (Array.length specs);
+        Array.iter (fun sp -> emit (add_tspec sp)) specs;
+        emit_tail body
+    | R.RPrim (p, []) ->
+        emit op_prim0;
+        emit (add_prim { ps_prim = p; ps_args = [||] })
+    | R.RPrim (p, a0 :: rest) ->
+        let ps_args = Array.make (List.length rest) (-1) in
+        List.iteri
+          (fun i a ->
+            Queue.add
+              (fun () ->
+                ps_args.(i) <- here ();
+                emit_tail a)
+              pending)
+          rest;
+        emit op_push_prim;
+        emit (add_prim { ps_prim = p; ps_args });
+        emit_tail a0
+    | R.RRaise (lbl, e1) ->
+        emit op_push_raise;
+        emit (add_str lbl);
+        emit_tail e1
+    | R.RMapexn (f, v) ->
+        let aw = arg_word f in
+        emit op_push_mapexn;
+        emit aw;
+        emit_tail v
+    | R.RIsexn v ->
+        emit op_push_isexn;
+        emit_tail v
+    | R.RGetexn v ->
+        emit op_push_catch;
+        emit_tail v
+  in
+  let entry = here () in
+  emit_tail root;
+  (* The shared application template [$f $x] over a [|f; x|] frame. *)
+  let app_pc = here () in
+  emit op_app_enter;
+  emit (-pack { R.frame = 0; R.idx = 1 } - 1);
+  emit (pack { R.frame = 0; R.idx = 0 });
+  while not (Queue.is_empty pending) do
+    (Queue.pop pending) ()
+  done;
+  {
+    code = Array.init (Growarray.length code) (Growarray.get code);
+    entry;
+    app_pc;
+    strs = freeze_strs ();
+    lams = freeze_lams ();
+    tspecs = freeze_tspecs ();
+    cases = freeze_cases ();
+    prims = freeze_prims ();
+  }
+
+let compile_expr ?ctx e = compile (R.expr ?ctx e)
+
+(* ------------------------------------------------------------------ *)
+(* The machine                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type cell =
+  | Cell_thunk of int * env  (* body pc + captured environment *)
+  | Cell_value of mvalue
+  | Cell_blackhole
+  | Cell_raise of Exn.t * Obs.origin
+  | Cell_paused of bcode * bframe list
+  | Cell_unused
+
+(* A suspended position: the three register modes, reified only when a
+   pause cell must capture the continuation. *)
+and bcode = B_exec of int * env | B_enter of addr | B_ret of mvalue
+
+and bframe =
+  | BF_update of addr
+  | BF_apply of addr
+  | BF_case of int * env  (* case-site index *)
+  | BF_prim of int * mvalue array * int * env
+      (* prim-site index, argument accumulator (filled in place, one
+         slot per argument), index of the next slot to fill — which is
+         also the index of the next argument pc in [ps_args] *)
+  | BF_raise of int  (* raise-label pool index *)
+  | BF_mapexn of addr
+  | BF_isexn
+  | BF_catch
+
+type config = Stg.config
+
+let default_config = Stg.default_config
+
+type failure = Stg.failure =
+  | Fail_exn of Exn.t
+  | Fail_async of Exn.t
+  | Fail_diverged
+
+let pp_failure = Stg.pp_failure
+
+type to_exn_error = Not_exn | Exn_err of Exn.t
+
+type t = {
+  prog : program;
+  mutable heap : cell Growarray.t;
+  stats : Stats.t;
+  cfg : config;
+  rctx : R.context;
+  mutable fuel_left : int;
+  mutable async : (int * Exn.t) list;
+  mutable mask_depth : int;
+  mutable heap_check_armed : bool;
+  trace : Obs.t;
+  prov : Obs.provenance;
+}
+
+let create ?(config = default_config) ?(trace = Obs.create ())
+    ?(rctx = R.global_context) prog =
+  {
+    prog;
+    heap = Growarray.create ~dummy:Cell_unused ();
+    stats = Stats.create ();
+    cfg = config;
+    rctx;
+    fuel_left = config.Stg.fuel;
+    async = [];
+    mask_depth = 0;
+    heap_check_armed = true;
+    trace;
+    prov = Obs.new_provenance ();
+  }
+
+let stats m = m.stats
+let heap_size m = Growarray.length m.heap
+let trace m = m.trace
+let origin_of m e = Obs.find_origin m.prov e
+let pp_exn_with_origin m = Obs.pp_exn_with m.prov
+
+let invariant_failure (m : t) (msg : string) : 'a =
+  let extra =
+    [
+      ("stats", Fmt.str "%a" Stats.pp m.stats);
+      ("heap", Printf.sprintf "%d cells" (Growarray.length m.heap));
+      ("mask-depth", string_of_int m.mask_depth);
+    ]
+  in
+  raise
+    (Obs.Machine_invariant
+       (Obs.dump ~note:("machine invariant violated: " ^ msg) ~extra m.trace))
+
+let refuel m = m.fuel_left <- m.cfg.Stg.fuel
+let mask_depth m = m.mask_depth
+
+let push_mask m =
+  m.mask_depth <- m.mask_depth + 1;
+  m.stats.Stats.masked_sections <- m.stats.Stats.masked_sections + 1;
+  if Obs.on m.trace then Obs.record m.trace Obs.Ev_mask_push
+
+let pop_mask m =
+  if m.mask_depth > 0 then begin
+    m.mask_depth <- m.mask_depth - 1;
+    if Obs.on m.trace then Obs.record m.trace Obs.Ev_mask_pop
+  end
+
+let set_mask_depth m d = m.mask_depth <- max 0 d
+
+exception Machine_stuck of failure
+
+exception Prim_type_error of string
+
+(* The environment walk off a packed slot word — the bytecode
+   counterpart of {!Stg.lookup}, counted in the same bucket. *)
+let lookup (m : t) (env : env) (w : int) : addr =
+  m.stats.Stats.slot_reads <- m.stats.Stats.slot_reads + 1;
+  let rec go env n =
+    match env with
+    | Env_frame (arr, up) ->
+        if n = 0 then Array.unsafe_get arr (w land 0xffff) else go up (n - 1)
+    | Env_nil ->
+        raise
+          (Machine_stuck (Fail_exn (Exn.Type_error "corrupt environment")))
+  in
+  go env (w lsr 16)
+
+let alloc_cell m cell =
+  m.stats.Stats.allocations <- m.stats.Stats.allocations + 1;
+  Growarray.push m.heap cell
+
+let alloc_value m v = alloc_cell m (Cell_value v)
+
+(* Resolve every packed slot in [caps] — a counted loop rather than
+   [Array.map (lookup m env)], which would allocate a closure per call
+   on the thunk-allocation hot path. *)
+let lookup_all (m : t) (env : env) (caps : int array) : addr array =
+  let n = Array.length caps in
+  if n = 0 then [||]
+  else begin
+    let arr = Array.make n 0 in
+    for i = 0 to n - 1 do
+      Array.unsafe_set arr i (lookup m env (Array.unsafe_get caps i))
+    done;
+    arr
+  end
+
+let capture m env (caps : int array) : env =
+  if Array.length caps = 0 then Env_nil
+  else Env_frame (lookup_all m env caps, Env_nil)
+
+let alloc_tspec m env (ti : int) : addr =
+  let sp = m.prog.tspecs.(ti) in
+  alloc_cell m (Cell_thunk (sp.t_pc, capture m env sp.t_caps))
+
+(* Decode an argument word: a negative word reuses a variable's address,
+   a non-negative word allocates its thunk template. *)
+let arg_addr m env (w : int) : addr =
+  if w < 0 then lookup m env (-w - 1) else alloc_tspec m env w
+
+let alloc_app m f x =
+  alloc_cell m (Cell_thunk (m.prog.app_pc, Env_frame ([| f; x |], Env_nil)))
+
+let entry m = alloc_cell m (Cell_thunk (m.prog.entry, Env_nil))
+
+let inject_async m ~at_step e = m.async <- m.async @ [ (at_step, e) ]
+let clear_async m = m.async <- []
+
+let exn_to_mvalue m (e : Exn.t) : mvalue =
+  let tag = R.con_tag ~ctx:m.rctx (Exn.constructor_name e) in
+  match e with
+  | Exn.Pattern_match_fail s | Exn.Assertion_failed s | Exn.User_error s
+  | Exn.Type_error s ->
+      MCon (tag, [| alloc_value m (MString s) |])
+  | _ -> MCon (tag, [||])
+
+(* The per-transition preamble's verdict: proceed, a resource latch
+   tripped, or an asynchronous exception is due. [Go] is the constant
+   hot result; the other arms allocate only on their (rare) paths. *)
+type guard = Go | Trip of string * Exn.t | Async of Exn.t
+
+(* The dispatch loop, in direct tail-call style: three mutually
+   recursive functions — [exec] (run instructions at a pc), [enter]
+   (force a heap address), [ret] (return a value to the top frame) —
+   carry the machine state in their arguments, so a transition is a
+   tail call with the state in registers: no per-step variant
+   allocation, no mode cell, no dispatch-on-a-dispatch. Every
+   transition still runs the same preamble as the slot machine (fuel,
+   stack latch, heap latch, async poll, in that order), so the two
+   backends hit their latches and deliver asynchronous exceptions under
+   identical rules. [catch] marks the bottom of this run's stack as a
+   getException catch mark, exactly as in the slot machine. *)
+let rec run (m : t) ~(catch : bool) (code0 : bcode) : (mvalue, failure) result
+    =
+  let prog = m.prog in
+  let codea = prog.code in
+  let stats = m.stats in
+  let stack : bframe list ref = ref [] in
+  let depth = ref 0 in
+  (* Latch bounds and the arithmetic overflow bound, hoisted out of the
+     preamble: an absent limit becomes [max_int], so the per-step check
+     is one integer compare instead of an option match. *)
+  let stack_lim =
+    match m.cfg.Stg.stack_limit with Some l -> l | None -> max_int
+  in
+  let heap_lim =
+    match m.cfg.Stg.heap_limit with Some l -> l | None -> max_int
+  in
+  let arith_bound = 1 lsl (m.cfg.Stg.int_bits - 1) in
+  let poison = m.cfg.Stg.poison_thunks in
+  let push f =
+    stack := f :: !stack;
+    incr depth;
+    if !depth > stats.Stats.max_stack then stats.Stats.max_stack <- !depth
+  in
+  let type_error msg = raise (Prim_type_error msg) in
+
+  let note_raise label exn =
+    let o = Obs.origin ~label ~depth:!depth ~step:stats.Stats.steps in
+    Obs.set_origin m.prov exn o;
+    if Obs.on m.trace then Obs.record m.trace (Obs.Ev_raise (exn, o));
+    o
+  in
+
+  let mbool b = MCon ((if b then R.t_true else R.t_false), [||]) in
+
+  (* The preamble, shared by all three transition functions: count the
+     step, burn fuel, check the latches, poll for an asynchronous
+     delivery — one call, one branch on the hot path.
+     [Stats.bc_dispatches] is not bumped here: for this machine it is
+     identically [steps], so the run synchronises it once at exit
+     instead of paying a second counter store per dispatch. *)
+  let check () : guard =
+    stats.Stats.steps <- stats.Stats.steps + 1;
+    m.fuel_left <- m.fuel_left - 1;
+    if m.fuel_left <= 0 then raise (Machine_stuck Fail_diverged);
+    if !depth > stack_lim then begin
+      stats.Stats.stack_overflows <- stats.Stats.stack_overflows + 1;
+      Trip ("stack-limit", Exn.Stack_overflow_exn)
+    end
+    else if m.heap_check_armed && Growarray.length m.heap >= heap_lim
+    then begin
+      m.heap_check_armed <- false;
+      stats.Stats.heap_overflows <- stats.Stats.heap_overflows + 1;
+      Trip ("heap-limit", Exn.Heap_overflow)
+    end
+    else if catch && m.mask_depth = 0 then
+      match m.async with
+      | (k, x) :: rest when stats.Stats.steps >= k ->
+          m.async <- rest;
+          Async x
+      | _ -> Go
+    else Go
+  in
+
+  (* Synchronous unwinding: trim to the mark, poisoning update frames
+     (Section 3.3). Continues execution at the mark's continuation, or
+     raises [Machine_stuck] when the stack is fully unwound. *)
+  let rec unwind_sync (o : Obs.origin) (exn : Exn.t) : mvalue =
+    match !stack with
+    | [] -> raise (Machine_stuck (Fail_exn exn))
+    | f :: rest -> (
+        stack := rest;
+        decr depth;
+        stats.Stats.frames_trimmed <- stats.Stats.frames_trimmed + 1;
+        match f with
+        | BF_update a ->
+            if poison then begin
+              Growarray.fast_set m.heap a (Cell_raise (exn, o));
+              stats.Stats.thunks_poisoned <- stats.Stats.thunks_poisoned + 1;
+              if Obs.on m.trace then
+                Obs.record m.trace (Obs.Ev_poison (a, exn))
+            end;
+            unwind_sync o exn
+        | BF_isexn -> ret (MCon (R.t_true, [||]))
+        | BF_catch ->
+            ret (MCon (R.t_bad, [| alloc_value m (exn_to_mvalue m exn) |]))
+        | BF_mapexn f_addr -> (
+            let e_addr = alloc_value m (exn_to_mvalue m exn) in
+            let a = alloc_app m f_addr e_addr in
+            match run m ~catch:false (B_enter a) with
+            | Ok v -> (
+                match mvalue_to_exn m v with
+                | Ok exn' -> unwind_sync (note_raise "mapException" exn') exn'
+                | Error Not_exn ->
+                    let exn' = Exn.Type_error "raise: not an exception" in
+                    unwind_sync (note_raise "mapException" exn') exn'
+                | Error (Exn_err exn') ->
+                    unwind_sync (note_raise "mapException" exn') exn')
+            | Error (Fail_exn exn') ->
+                unwind_sync (note_raise "mapException" exn') exn'
+            | Error (Fail_async _ | Fail_diverged) ->
+                raise (Machine_stuck Fail_diverged))
+        | BF_apply _ | BF_case _ | BF_prim _ | BF_raise _ ->
+            unwind_sync o exn)
+
+  and raise_to ?(label = "raise") exn : mvalue =
+    unwind_sync (note_raise label exn) exn
+
+  and reraise o exn : mvalue =
+    Obs.set_origin m.prov exn o;
+    if Obs.on m.trace then Obs.record m.trace (Obs.Ev_rethrow (exn, o));
+    unwind_sync o exn
+
+  (* Asynchronous unwinding (Section 5.1): every update frame on the way
+     down pauses its thunk with the stack segment above it, so the
+     abandoned work resumes exactly where it stopped. [cur] is the
+     interrupted transition, allocated only on this (rare) path. *)
+  and unwind_async (cur : bcode) (exn : Exn.t) : mvalue =
+    stats.Stats.async_delivered <- stats.Stats.async_delivered + 1;
+    ignore (note_raise "async" exn);
+    if Obs.on m.trace then Obs.record m.trace (Obs.Ev_async exn);
+    let rec go cur buf st =
+      match st with
+      | [] ->
+          stack := [];
+          depth := 0;
+          raise (Machine_stuck (Fail_async exn))
+      | BF_update a :: rest ->
+          Growarray.fast_set m.heap a (Cell_paused (cur, List.rev buf));
+          stats.Stats.thunks_paused <- stats.Stats.thunks_paused + 1;
+          if Obs.on m.trace then Obs.record m.trace (Obs.Ev_pause a);
+          go (B_enter a) [] rest
+      | f :: rest -> go cur (f :: buf) rest
+    in
+    go cur [] !stack
+
+  and arith (n : int) : mvalue =
+    if n >= -arith_bound && n < arith_bound then ret_fused (MInt n)
+    else raise_to ~label:"arith-overflow" Exn.Overflow
+
+  (* Comparison over the comparable value shapes; nullary constructors
+     compare by interned name, as in the slot machine. *)
+  and compare2 (p : Lang.Prim.t) (a : mvalue) (b : mvalue) : mvalue =
+    let c =
+      match (a, b) with
+      | MInt x, MInt y -> Int.compare x y
+      | MChar x, MChar y -> Char.compare x y
+      | MString x, MString y -> String.compare x y
+      | MCon (x, [||]), MCon (y, [||]) ->
+          String.compare
+            (R.con_name ~ctx:m.rctx x)
+            (R.con_name ~ctx:m.rctx y)
+      | _ -> type_error (Lang.Prim.name p ^ ": uncomparable values")
+    in
+    let module P = Lang.Prim in
+    ret_fused
+      (mbool
+         (match p with
+         | P.Eq -> c = 0
+         | P.Ne -> c <> 0
+         | P.Lt -> c < 0
+         | P.Le -> c <= 0
+         | P.Gt -> c > 0
+         | P.Ge -> c >= 0
+         | _ -> c = 0))
+
+  and apply_prim (p : Lang.Prim.t) (vs : mvalue array) : mvalue =
+    let module P = Lang.Prim in
+    match (p, vs) with
+    | P.Add, [| MInt a; MInt b |] -> arith (a + b)
+    | P.Sub, [| MInt a; MInt b |] -> arith (a - b)
+    | P.Mul, [| MInt a; MInt b |] -> arith (a * b)
+    | P.Div, [| MInt _; MInt 0 |] -> raise_to ~label:"div" Exn.Divide_by_zero
+    | P.Div, [| MInt a; MInt b |] -> arith (a / b)
+    | P.Mod, [| MInt _; MInt 0 |] -> raise_to ~label:"mod" Exn.Divide_by_zero
+    | P.Mod, [| MInt a; MInt b |] -> arith (a mod b)
+    | P.Neg, [| MInt a |] -> arith (-a)
+    | (P.Add | P.Sub | P.Mul | P.Div | P.Mod), _ ->
+        type_error (P.name p ^ ": expected integers")
+    | P.Neg, _ -> type_error "negate: expected an integer"
+    | (P.Eq | P.Ne | P.Lt | P.Le | P.Gt | P.Ge), [| a; b |] -> compare2 p a b
+    | (P.Eq | P.Ne | P.Lt | P.Le | P.Gt | P.Ge), _ ->
+        type_error (P.name p ^ ": uncomparable values")
+    | P.Seq, [| _; v2 |] -> ret_fused v2
+    | P.Seq, _ -> type_error "seq: arity"
+    | P.Chr, [| MInt a |] when a >= 0 && a < 256 ->
+        ret_fused (MChar (Char.chr a))
+    | P.Chr, [| MInt _ |] -> type_error "chr: out of range"
+    | P.Chr, _ -> type_error "chr: expected an integer"
+    | P.Ord, [| MChar c |] -> ret_fused (MInt (Char.code c))
+    | P.Ord, _ -> type_error "ord: expected a character"
+    | (P.Map_exception | P.Unsafe_is_exception | P.Unsafe_get_exception), _
+      ->
+        type_error (P.name p ^ ": not strict-applied")
+
+  (* The constructor-return path of a case frame: inline cache first,
+     table walk on a miss (which refills the cache on a constructor
+     match). The walk is exactly {!Stg.select_alt}. *)
+  and sel_alt (c : case_site) (cenv : env) (v : mvalue) (i : int) : mvalue =
+    if i >= Array.length c.c_alts then
+      raise_to ~label:"case" (Exn.Pattern_match_fail "case")
+    else
+      let a = c.c_alts.(i) in
+      match (a.bpat, v) with
+      | Bp_con (t, nb), MCon (t', addrs)
+        when t = t' && Array.length addrs = nb ->
+          c.ic_tag <- t;
+          c.ic_nb <- nb;
+          c.ic_pc <- a.bpc;
+          exec a.bpc (if nb = 0 then cenv else Env_frame (addrs, cenv))
+      | Bp_lit (Lit_int k), MInt n when k = n -> exec a.bpc cenv
+      | Bp_lit (Lit_char ch), MChar ch' when ch = ch' -> exec a.bpc cenv
+      | Bp_lit (Lit_string s), MString s' when String.equal s s' ->
+          exec a.bpc cenv
+      | Bp_any false, _ -> exec a.bpc cenv
+      | Bp_any true, _ ->
+          exec a.bpc (Env_frame ([| alloc_value m v |], cenv))
+      | (Bp_con _ | Bp_lit _), _ -> sel_alt c cenv v (i + 1)
+
+  and ret_case (ci : int) (cenv : env) (v : mvalue) : mvalue =
+    let c = Array.unsafe_get prog.cases ci in
+    match v with
+    | MCon (tag, addrs) ->
+        let nb = Array.length addrs in
+        if c.ic_tag = tag && c.ic_nb = nb then begin
+          stats.Stats.ic_hits <- stats.Stats.ic_hits + 1;
+          exec c.ic_pc (if nb = 0 then cenv else Env_frame (addrs, cenv))
+        end
+        else begin
+          stats.Stats.ic_misses <- stats.Stats.ic_misses + 1;
+          sel_alt c cenv v 0
+        end
+    | MInt _ | MChar _ | MString _ | MClo _ -> sel_alt c cenv v 0
+
+  (* Execute the instruction at [p]. *)
+  and exec (p : int) (env : env) : mvalue =
+    match check () with
+    | Trip (label, exn) -> raise_to ~label exn
+    | Async x -> unwind_async (B_exec (p, env)) x
+    | Go -> (
+        match Array.unsafe_get codea p with
+            | 0 (* enter *) -> enter (lookup m env codea.(p + 1))
+            | 1 (* ret_int *) -> ret_fused (MInt codea.(p + 1))
+            | 2 (* ret_char *) -> ret_fused (MChar (Char.chr codea.(p + 1)))
+            | 3 (* ret_str *) ->
+                ret_fused (MString prog.strs.(codea.(p + 1)))
+            | 4 (* ret_clo *) ->
+                let li = codea.(p + 1) in
+                let l = prog.lams.(li) in
+                ret_fused (MClo (li, lookup_all m env l.l_caps))
+            | 5 (* ret_con *) ->
+                let tag = codea.(p + 1) and n = codea.(p + 2) in
+                let args = Array.make n 0 in
+                for i = 0 to n - 1 do
+                  Array.unsafe_set args i (arg_addr m env codea.(p + 3 + i))
+                done;
+                ret_fused (MCon (tag, args))
+            | 6 (* ret_con0 *) -> ret_fused (MCon (codea.(p + 1), [||]))
+            | 7 (* push_apply *) ->
+                push (BF_apply (arg_addr m env codea.(p + 1)));
+                exec (p + 2) env
+            | 8 (* app_enter *) ->
+                push (BF_apply (arg_addr m env codea.(p + 1)));
+                enter (lookup m env codea.(p + 2))
+            | 9 (* let_slot *) ->
+                exec (p + 2)
+                  (Env_frame ([| lookup m env codea.(p + 1) |], env))
+            | 10 (* let_thunk *) ->
+                exec (p + 2)
+                  (Env_frame ([| alloc_tspec m env codea.(p + 1) |], env))
+            | 11 (* letrec *) ->
+                let n = codea.(p + 1) in
+                let addrs =
+                  Array.init n (fun _ -> alloc_cell m Cell_unused)
+                in
+                let env' = Env_frame (addrs, env) in
+                for i = 0 to n - 1 do
+                  let sp = prog.tspecs.(codea.(p + 2 + i)) in
+                  Growarray.fast_set m.heap addrs.(i)
+                    (Cell_thunk (sp.t_pc, capture m env' sp.t_caps))
+                done;
+                exec (p + 2 + n) env'
+            | 12 (* push_case *) ->
+                push (BF_case (codea.(p + 1), env));
+                exec (p + 2) env
+            | 13 (* case_enter *) ->
+                push (BF_case (codea.(p + 1), env));
+                enter (lookup m env codea.(p + 2))
+            | 14 (* push_prim *) ->
+                let si = codea.(p + 1) in
+                let ps = Array.unsafe_get prog.prims si in
+                push
+                  (BF_prim
+                     ( si,
+                       Array.make (Array.length ps.ps_args + 1) (MInt 0),
+                       0,
+                       env ));
+                exec (p + 2) env
+            | 15 (* prim0 *) ->
+                type_error
+                  (Lang.Prim.name prog.prims.(codea.(p + 1)).ps_prim
+                  ^ ": no arguments")
+            | 16 (* push_raise *) ->
+                push (BF_raise codea.(p + 1));
+                exec (p + 2) env
+            | 17 (* push_mapexn *) ->
+                push (BF_mapexn (arg_addr m env codea.(p + 1)));
+                exec (p + 2) env
+            | 18 (* push_isexn *) ->
+                push BF_isexn;
+                exec (p + 1) env
+            | 19 (* push_catch *) ->
+                push BF_catch;
+                exec (p + 1) env
+            | 20 (* unbound *) ->
+                raise_to ~label:"unbound"
+                  (Exn.Type_error
+                     (Printf.sprintf "unbound variable %s"
+                        prog.strs.(codea.(p + 1))))
+            | _ -> invariant_failure m "corrupt opcode")
+
+  (* Force the heap address [a]. *)
+  and enter (a : addr) : mvalue =
+    match check () with
+    | Trip (label, exn) -> raise_to ~label exn
+    | Async x -> unwind_async (B_enter a) x
+    | Go -> (
+        match Growarray.fast_get m.heap a with
+            | Cell_value v -> ret_fused v
+            | Cell_thunk (tpc, tenv) ->
+                Growarray.fast_set m.heap a Cell_blackhole;
+                push (BF_update a);
+                exec tpc tenv
+            | Cell_blackhole ->
+                if m.cfg.Stg.blackhole_nontermination then
+                  raise_to ~label:"blackhole" Exn.Non_termination
+                else raise (Machine_stuck Fail_diverged)
+            | Cell_raise (exn, o) -> reraise o exn
+            | Cell_paused (code', seg) ->
+                Growarray.fast_set m.heap a Cell_blackhole;
+                push (BF_update a);
+                List.iter push (List.rev seg);
+                if Obs.on m.trace then Obs.record m.trace (Obs.Ev_resume a);
+                goto code'
+            | Cell_unused -> type_error "dangling address")
+
+  (* Return the value [v] to the top stack frame. An empty stack is the
+     terminal state — no transition is charged for it, matching the
+     slot machine's loop. [ret] charges a transition; [ret_fused] pops
+     under a preamble the caller already paid — the fused path taken
+     when the producing dispatch (a ret_* instruction, a memoised
+     [Cell_value], a prim application) hands its value straight to the
+     waiting frame. Fusion is bounded: the popped frame's continuation
+     re-enters [exec]/[ret]/[enter], each of which charges normally. *)
+  and ret (v : mvalue) : mvalue =
+    match !stack with
+    | [] -> v
+    | f :: rest -> (
+        match check () with
+        | Trip (label, exn) -> raise_to ~label exn
+        | Async x -> unwind_async (B_ret v) x
+        | Go -> pop_ret f rest v)
+
+  and ret_fused (v : mvalue) : mvalue =
+    match !stack with [] -> v | f :: rest -> pop_ret f rest v
+
+  and pop_ret (f : bframe) (rest : bframe list) (v : mvalue) : mvalue =
+    stack := rest;
+    decr depth;
+    match f with
+    | BF_update a ->
+        Growarray.fast_set m.heap a (Cell_value v);
+        stats.Stats.updates <- stats.Stats.updates + 1;
+        ret v
+    | BF_apply a -> (
+        match v with
+        | MClo (li, caps) ->
+            exec
+              (Array.unsafe_get prog.lams li).l_pc
+              (Env_frame ([| a |], Env_frame (caps, Env_nil)))
+        | MInt _ | MChar _ | MString _ | MCon _ ->
+            type_error "application of a non-function")
+    | BF_case (ci, cenv) -> ret_case ci cenv v
+    | BF_prim (si, vals, i, penv) ->
+        let ps = Array.unsafe_get prog.prims si in
+        Array.unsafe_set vals i v;
+        if i >= Array.length ps.ps_args then apply_prim ps.ps_prim vals
+        else begin
+          push (BF_prim (si, vals, i + 1, penv));
+          exec ps.ps_args.(i) penv
+        end
+    | BF_raise li -> (
+        let label = prog.strs.(li) in
+        match mvalue_to_exn m v with
+        | Ok exn -> raise_to ~label exn
+        | Error Not_exn ->
+            raise_to ~label (Exn.Type_error "raise: not an exception")
+        | Error (Exn_err e) -> raise_to ~label e)
+    | BF_mapexn _ ->
+        (* Normal value: mapException is the identity. *)
+        ret v
+    | BF_isexn -> ret (mbool false)
+    | BF_catch -> ret (MCon (R.t_ok, [| alloc_value m v |]))
+
+  and goto : bcode -> mvalue = function
+    | B_exec (p, e) -> exec p e
+    | B_enter a -> enter a
+    | B_ret v -> ret v
+  in
+  (* A prim type error unwinds like an ordinary raise from the point of
+     the error — the machine stack is intact when the OCaml exception
+     reaches here, so [raise_to] resumes the run; the next type error
+     (if any) re-enters the same handler. *)
+  let rec protect f =
+    try f ()
+    with Prim_type_error msg ->
+      protect (fun () -> raise_to ~label:"type-error" (Exn.Type_error msg))
+  in
+  (* Synchronise the dispatch counter on every exit — including
+     escaping exceptions, which the serve crash barrier turns into
+     replies whose machine stats are still harvested. *)
+  Fun.protect
+    ~finally:(fun () -> stats.Stats.bc_dispatches <- stats.Stats.steps)
+    (fun () ->
+      try Ok (protect (fun () -> goto code0))
+      with Machine_stuck failure -> Error failure)
+
+and mvalue_to_exn (m : t) (v : mvalue) : (Exn.t, to_exn_error) result =
+  match v with
+  | MCon (tag, args) -> (
+      let payload =
+        match args with
+        | [||] -> Ok None
+        | [| a |] -> (
+            match run m ~catch:false (B_enter a) with
+            | Ok (MString s) -> Ok (Some s)
+            | Ok _ ->
+                Error (Exn.Type_error "exception payload is not a string")
+            | Error (Fail_exn e) | Error (Fail_async e) -> Error e
+            | Error Fail_diverged ->
+                Error (Exn.Type_error "exception payload failed to evaluate"))
+        | _ -> Error (Exn.Type_error "exception constructor arity")
+      in
+      match payload with
+      | Error e -> Error (Exn_err e)
+      | Ok p -> (
+          let name = R.con_name ~ctx:m.rctx tag in
+          match Exn.of_constructor name p with
+          | Some e -> Ok e
+          | None ->
+              Error
+                (Exn_err
+                   (Exn.Type_error
+                      (name ^ " is not an exception constructor")))))
+  | MInt _ | MChar _ | MString _ | MClo _ -> Error Not_exn
+
+let force m a = run m ~catch:false (B_enter a)
+
+let force_catch m a =
+  m.stats.Stats.catches <- m.stats.Stats.catches + 1;
+  let r = run m ~catch:true (B_enter a) in
+  (if Obs.on m.trace then
+     match r with
+     | Error (Fail_exn e) | Error (Fail_async e) ->
+         Obs.record m.trace (Obs.Ev_catch (Some e))
+     | Ok _ | Error Fail_diverged -> Obs.record m.trace (Obs.Ev_catch None));
+  r
+
+module SV = Semantics.Sem_value
+
+let rec deep ?(depth = 64) m a : SV.deep =
+  if depth <= 0 then SV.DCut
+  else
+    match force m a with
+    | Error (Fail_exn e) -> SV.DBad (Semantics.Exn_set.singleton e)
+    | Error (Fail_async e) -> SV.DBad (Semantics.Exn_set.singleton e)
+    | Error Fail_diverged -> SV.DBad Semantics.Exn_set.bottom
+    | Ok v -> (
+        match v with
+        | MInt n -> SV.DInt n
+        | MChar c -> SV.DChar c
+        | MString s -> SV.DString s
+        | MClo _ -> SV.DFun
+        | MCon (tag, addrs) ->
+            SV.DCon
+              ( R.con_name ~ctx:m.rctx tag,
+                List.map
+                  (fun a' -> deep ~depth:(depth - 1) m a')
+                  (Array.to_list addrs) ))
+
+let run_expr ?config e =
+  let m = create ?config (compile_expr e) in
+  let a = entry m in
+  let r = force m a in
+  (r, m.stats)
+
+let run_deep ?config ?depth e =
+  let m = create ?config (compile_expr e) in
+  let a = entry m in
+  let d = deep ?depth m a in
+  (d, m.stats)
+
+(* ------------------------------------------------------------------ *)
+(* Garbage collection: the same semi-space copying collector as the    *)
+(* slot machine, over bytecode cells. Code positions are ints into the *)
+(* shared program, so only addresses move.                             *)
+(* ------------------------------------------------------------------ *)
+
+let gc (m : t) ~(roots : addr list) : addr list =
+  let old_heap = m.heap in
+  let old_len = Growarray.length old_heap in
+  let new_heap =
+    Growarray.create ~capacity:(max 16 old_len) ~dummy:Cell_unused ()
+  in
+  let forward = Array.make (max 1 old_len) (-1) in
+  let rec copy (a : addr) : addr =
+    if a < 0 || a >= old_len then a
+    else if forward.(a) >= 0 then forward.(a)
+    else begin
+      let a' = Growarray.push new_heap (Growarray.get old_heap a) in
+      forward.(a) <- a';
+      Growarray.set new_heap a' (copy_cell (Growarray.get old_heap a));
+      a'
+    end
+  and copy_env = function
+    | Env_nil -> Env_nil
+    | Env_frame (arr, up) -> Env_frame (Array.map copy arr, copy_env up)
+  and copy_value = function
+    | (MInt _ | MChar _ | MString _) as v -> v
+    | MCon (tag, addrs) -> MCon (tag, Array.map copy addrs)
+    | MClo (li, caps) -> MClo (li, Array.map copy caps)
+  and copy_code = function
+    | B_exec (p, env) -> B_exec (p, copy_env env)
+    | B_enter a -> B_enter (copy a)
+    | B_ret v -> B_ret (copy_value v)
+  and copy_frame = function
+    | BF_update a -> BF_update (copy a)
+    | BF_apply a -> BF_apply (copy a)
+    | BF_case (ci, env) -> BF_case (ci, copy_env env)
+    | BF_prim (si, vals, i, env) ->
+        BF_prim (si, Array.map copy_value vals, i, copy_env env)
+    | BF_raise _ as f -> f
+    | BF_mapexn a -> BF_mapexn (copy a)
+    | BF_isexn -> BF_isexn
+    | BF_catch -> BF_catch
+  and copy_cell = function
+    | Cell_thunk (p, env) -> Cell_thunk (p, copy_env env)
+    | Cell_value v -> Cell_value (copy_value v)
+    | Cell_blackhole -> Cell_blackhole
+    | Cell_raise _ as c -> c
+    | Cell_paused (code, frames) ->
+        Cell_paused (copy_code code, List.map copy_frame frames)
+    | Cell_unused -> Cell_unused
+  in
+  let roots' = List.map copy roots in
+  m.heap <- new_heap;
+  m.stats.Stats.collections <- m.stats.Stats.collections + 1;
+  m.stats.Stats.live_copied <-
+    m.stats.Stats.live_copied + Growarray.length new_heap;
+  if Obs.on m.trace then
+    Obs.record m.trace (Obs.Ev_gc (old_len, Growarray.length new_heap));
+  (match m.cfg.Stg.heap_limit with
+  | Some lim when Growarray.length new_heap < lim ->
+      m.heap_check_armed <- true
+  | _ -> ());
+  roots'

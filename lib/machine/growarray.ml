@@ -21,6 +21,9 @@ let set t i v =
   check t i;
   t.data.(i) <- v
 
+let fast_get t i = t.data.(i)
+let fast_set t i v = t.data.(i) <- v
+
 let grow t =
   let cap = Array.length t.data in
   let data = Array.make (2 * cap) t.dummy in

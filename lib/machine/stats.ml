@@ -20,6 +20,9 @@ type t = {
   mutable slot_reads : int;
   mutable throwtos_delivered : int;
   mutable blocked_recoveries : int;
+  mutable bc_dispatches : int;
+  mutable ic_hits : int;
+  mutable ic_misses : int;
 }
 
 let create () =
@@ -45,6 +48,9 @@ let create () =
     slot_reads = 0;
     throwtos_delivered = 0;
     blocked_recoveries = 0;
+    bc_dispatches = 0;
+    ic_hits = 0;
+    ic_misses = 0;
   }
 
 let reset t =
@@ -68,7 +74,10 @@ let reset t =
   t.env_lookups <- 0;
   t.slot_reads <- 0;
   t.throwtos_delivered <- 0;
-  t.blocked_recoveries <- 0
+  t.blocked_recoveries <- 0;
+  t.bc_dispatches <- 0;
+  t.ic_hits <- 0;
+  t.ic_misses <- 0
 
 let add acc t =
   acc.steps <- acc.steps + t.steps;
@@ -91,7 +100,10 @@ let add acc t =
   acc.env_lookups <- acc.env_lookups + t.env_lookups;
   acc.slot_reads <- acc.slot_reads + t.slot_reads;
   acc.throwtos_delivered <- acc.throwtos_delivered + t.throwtos_delivered;
-  acc.blocked_recoveries <- acc.blocked_recoveries + t.blocked_recoveries
+  acc.blocked_recoveries <- acc.blocked_recoveries + t.blocked_recoveries;
+  acc.bc_dispatches <- acc.bc_dispatches + t.bc_dispatches;
+  acc.ic_hits <- acc.ic_hits + t.ic_hits;
+  acc.ic_misses <- acc.ic_misses + t.ic_misses
 
 let fields t =
   [
@@ -116,6 +128,9 @@ let fields t =
     ("slot_reads", t.slot_reads);
     ("throwtos_delivered", t.throwtos_delivered);
     ("blocked_recoveries", t.blocked_recoveries);
+    ("bc_dispatches", t.bc_dispatches);
+    ("ic_hits", t.ic_hits);
+    ("ic_misses", t.ic_misses);
   ]
 
 let pp_json ppf t =
@@ -128,9 +143,10 @@ let pp ppf t =
     "steps=%d allocs=%d updates=%d max_stack=%d trimmed=%d poisoned=%d \
      paused=%d catches=%d gcs=%d async=%d brackets=%d/%d timeouts=%d \
      masked=%d heap_ovf=%d stack_ovf=%d env_lookups=%d slot_reads=%d \
-     throwtos=%d blocked_rec=%d"
+     throwtos=%d blocked_rec=%d bc_dispatches=%d ic=%d/%d"
     t.steps t.allocations t.updates t.max_stack t.frames_trimmed
     t.thunks_poisoned t.thunks_paused t.catches t.collections
     t.async_delivered t.brackets_entered t.brackets_released
     t.timeouts_fired t.masked_sections t.heap_overflows t.stack_overflows
     t.env_lookups t.slot_reads t.throwtos_delivered t.blocked_recoveries
+    t.bc_dispatches t.ic_hits t.ic_misses

@@ -52,6 +52,17 @@ type t = {
   mutable blocked_recoveries : int;
       (** Irrecoverably blocked threads woken exceptionally with
           [BlockedIndefinitely] instead of deadlocking the program. *)
+  mutable bc_dispatches : int;
+      (** Instruction dispatches by the flat bytecode backend
+          ({!Bytecode}); every other machine reports exactly 0. *)
+  mutable ic_hits : int;
+      (** Case-site inline-cache hits on constructor tag dispatch
+          (bytecode backend only; the fast path skipped the alternative
+          table walk). *)
+  mutable ic_misses : int;
+      (** Constructor scrutinees that fell back to the alternative table
+          walk (cache empty or a different tag/arity; the walk refills
+          the cache on a constructor match). *)
 }
 
 val create : unit -> t

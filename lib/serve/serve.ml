@@ -28,12 +28,21 @@
    dies. *)
 
 module M = Machine.Stg
+module B = Machine.Bytecode
 module Stats = Machine.Stats
 module R = Lang.Resolve
 module Exn = Lang.Exn
 module SV = Semantics.Sem_value
 
+type backend = Slot | Bytecode
+
 type config = {
+  backend : backend;
+      (** Which machine evaluates requests. [Slot] is the tree-walking
+          slot machine; [Bytecode] is the flat compiled backend — same
+          machine contract (latches, pause cells, provenance), measured
+          multi-x faster. The compiled-program cache stores whichever
+          representation the backend needs. *)
   fuel : int;  (** Default per-request machine-step quota. *)
   heap : int;  (** Default per-request heap quota, in cells. *)
   stack : int;  (** Default per-request stack quota, in frames. *)
@@ -63,6 +72,7 @@ let default_now () = Int64.of_float (Unix.gettimeofday () *. 1e9)
 
 let default_config =
   {
+    backend = Slot;
     fuel = 500_000;
     heap = 100_000;
     stack = 10_000;
@@ -114,7 +124,15 @@ let new_counters () =
     cache_evictions = 0;
   }
 
-type cache_entry = { rx : R.rexpr; mutable last_used : int }
+type cache_entry = {
+  rx : R.rexpr;
+  mutable bc : B.program option;
+      (* Bytecode is compiled lazily, on the first submission that runs
+         under the [Bytecode] backend, and then shared: the program
+         (with its warm inline caches) serves any number of request
+         machines, exactly like the slot IR does. *)
+  mutable last_used : int;
+}
 
 type t = {
   cfg : config;
@@ -132,12 +150,18 @@ type t = {
 and request = {
   rid : string;
   rsession : session;
-  m : M.t;
-  root : M.addr;
+  rm : rmachine;
   deadline : int64;
   seq : int;  (* admission order: the eviction victim is the min seq *)
   rdepth : int;
 }
+
+(* A request machine, either backend. [Bytecode.failure] and
+   [Bytecode.config] are re-exported equalities to the slot machine's
+   types, so everything downstream of [force_catch] — quota
+   classification, timeout handling, stats aggregation — is one code
+   path; only the half-dozen accessors below dispatch. *)
+and rmachine = Rm_slot of M.t * M.addr | Rm_bc of B.t * B.addr
 
 and session = {
   engine : t;
@@ -178,6 +202,39 @@ let machine_totals t = t.agg
 let inflight t = List.length t.inflight
 let cache_size t = Hashtbl.length t.cache
 let config t = t.cfg
+
+(* ------------------------------------------------------------------ *)
+(* Backend dispatch                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rm_stats = function
+  | Rm_slot (m, _) -> M.stats m
+  | Rm_bc (m, _) -> B.stats m
+
+let rm_heap_size = function
+  | Rm_slot (m, _) -> M.heap_size m
+  | Rm_bc (m, _) -> B.heap_size m
+
+let rm_trace = function
+  | Rm_slot (m, _) -> M.trace m
+  | Rm_bc (m, _) -> B.trace m
+
+let rm_inject_async rm ~at_step x =
+  match rm with
+  | Rm_slot (m, _) -> M.inject_async m ~at_step x
+  | Rm_bc (m, _) -> B.inject_async m ~at_step x
+
+let rm_clear_async = function
+  | Rm_slot (m, _) -> M.clear_async m
+  | Rm_bc (m, _) -> B.clear_async m
+
+let rm_force_catch = function
+  | Rm_slot (m, a) -> Result.map ignore (M.force_catch m a)
+  | Rm_bc (m, a) -> Result.map ignore (B.force_catch m a)
+
+let rm_deep ~depth = function
+  | Rm_slot (m, a) -> M.deep ~depth m a
+  | Rm_bc (m, a) -> B.deep ~depth m a
 
 (* ------------------------------------------------------------------ *)
 (* Replies                                                             *)
@@ -237,9 +294,10 @@ let cache_insert t key rx =
         t.c.cache_evictions <- t.c.cache_evictions + 1
     | None -> ()
   end;
-  let e = { rx; last_used = 0 } in
+  let e = { rx; bc = None; last_used = 0 } in
   cache_touch t e;
-  Hashtbl.replace t.cache key e
+  Hashtbl.replace t.cache key e;
+  e
 
 (* Parse as a bare expression first; if that fails, as a whole program
    (declarations defining [main]); either way close under the Prelude.
@@ -251,13 +309,13 @@ let parse_source src =
     try Lang.Prelude.wrap_program (Lang.Parser.parse_program src)
     with Lang.Parser.Error _ -> raise first)
 
-let compile t src : (R.rexpr, string) result =
+let compile t src : (cache_entry, string) result =
   let key = Digest.string src in
   match Hashtbl.find_opt t.cache key with
   | Some e ->
       t.c.cache_hits <- t.c.cache_hits + 1;
       cache_touch t e;
-      Ok e.rx
+      Ok e
   | None -> (
       t.c.cache_misses <- t.c.cache_misses + 1;
       match parse_source src with
@@ -265,8 +323,18 @@ let compile t src : (R.rexpr, string) result =
           Error (Printf.sprintf "%d:%d: %s" line col msg)
       | e ->
           let rx = R.expr e in
-          cache_insert t key rx;
-          Ok rx)
+          Ok (cache_insert t key rx))
+
+(* Under the [Bytecode] backend the cache's unit of reuse is the
+   compiled program, not the slot IR: compile on first use, then share
+   (the program's inline caches stay warm across requests). *)
+let bytecode_of (entry : cache_entry) =
+  match entry.bc with
+  | Some p -> p
+  | None ->
+      let p = B.compile entry.rx in
+      entry.bc <- Some p;
+      p
 
 (* ------------------------------------------------------------------ *)
 (* The crash barrier                                                   *)
@@ -306,7 +374,7 @@ let write_dump t (req : request) (text : string) : string option =
    answer [crash] to this client only. *)
 let crash t (req : request) (what : string) (dump : string) =
   t.c.crashes <- t.c.crashes + 1;
-  Stats.add t.agg (M.stats req.m);
+  Stats.add t.agg (rm_stats req.rm);
   let where = write_dump t req dump in
   let detail =
     match where with
@@ -319,10 +387,11 @@ let crash t (req : request) (what : string) (dump : string) =
 (* Request lifecycle                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let finish t (req : request) = Stats.add t.agg (M.stats req.m)
+let finish t (req : request) = Stats.add t.agg (rm_stats req.rm)
 
 let arm_slice t (req : request) =
-  M.inject_async req.m ~at_step:((M.stats req.m).Stats.steps + t.cfg.slice)
+  rm_inject_async req.rm
+    ~at_step:((rm_stats req.rm).Stats.steps + t.cfg.slice)
     Exn.Timeout
 
 (* Oldest-paused eviction: the paused requests are the only elastic
@@ -332,7 +401,7 @@ let arm_slice t (req : request) =
    heap quota already bounds it. *)
 let shed_memory t =
   let total () =
-    List.fold_left (fun acc r -> acc + M.heap_size r.m) 0 t.inflight
+    List.fold_left (fun acc r -> acc + rm_heap_size r.rm) 0 t.inflight
   in
   let rec go () =
     if List.length t.inflight > 1 && total () > t.cfg.mem_budget then begin
@@ -349,7 +418,7 @@ let shed_memory t =
           t.c.evictions <- t.c.evictions + 1;
           finish t v;
           reply_err v.rsession v.rid "evicted"
-            (Printf.sprintf "memory-pressure heap=%d" (M.heap_size v.m));
+            (Printf.sprintf "memory-pressure heap=%d" (rm_heap_size v.rm));
           go ()
     end
   in
@@ -358,14 +427,14 @@ let shed_memory t =
 (* One scheduling quantum for one request: resume it (re-entering its
    pause cells), and classify how the slice ended. *)
 let run_slice t (req : request) =
-  match M.force_catch req.m req.root with
+  match rm_force_catch req.rm with
   | Ok _ ->
       (* WHNF reached. Withdraw the unfired slice interrupt, then
          deep-force for the reply; quota breaches inside the structure
          surface as [DBad] fields, exactly as one-shot [run_deep] would
          report them. *)
-      M.clear_async req.m;
-      let d = M.deep ~depth:req.rdepth req.m req.root in
+      rm_clear_async req.rm;
+      let d = rm_deep ~depth:req.rdepth req.rm in
       finish t req;
       t.c.ok <- t.c.ok + 1;
       reply_ok req.rsession req.rid d
@@ -377,7 +446,7 @@ let run_slice t (req : request) =
         finish t req;
         t.c.timeouts <- t.c.timeouts + 1;
         reply_err req.rsession req.rid "timeout"
-          (Printf.sprintf "steps=%d" (M.stats req.m).Stats.steps)
+          (Printf.sprintf "steps=%d" (rm_stats req.rm).Stats.steps)
       end
       else begin
         arm_slice t req;
@@ -390,14 +459,14 @@ let run_slice t (req : request) =
       reply_err req.rsession req.rid "quota:fuel" "diverged-or-exhausted"
   | Error (M.Fail_exn e) -> (
       finish t req;
-      let st = M.stats req.m in
+      let st = rm_stats req.rm in
       (* The latch counters distinguish a limit-triggered overflow from
          a program that merely raised the same constant. *)
       match e with
       | Exn.Heap_overflow when st.Stats.heap_overflows > 0 ->
           t.c.quota_heap <- t.c.quota_heap + 1;
           reply_err req.rsession req.rid "quota:heap"
-            (Printf.sprintf "cells=%d" (M.heap_size req.m))
+            (Printf.sprintf "cells=%d" (rm_heap_size req.rm))
       | Exn.Stack_overflow_exn when st.Stats.stack_overflows > 0 ->
           t.c.quota_stack <- t.c.quota_stack + 1;
           reply_err req.rsession req.rid "quota:stack"
@@ -416,13 +485,13 @@ let tick t =
       | Stack_overflow ->
           crash t req "native-stack-overflow"
             (Obs.dump ~note:"native stack overflow in serve slice"
-               (M.trace req.m))
+               (rm_trace req.rm))
       | e ->
           crash t req
             ("unexpected:" ^ one_line (Printexc.to_string e))
             (Obs.dump
                ~note:("unexpected exception: " ^ Printexc.to_string e)
-               (M.trace req.m))));
+               (rm_trace req.rm))));
   t.inflight <> []
 
 let rec run_all t = if tick t then run_all t else ()
@@ -445,7 +514,7 @@ let submit t (s : session) (id : string) (o : opts) (src : string) =
     | Error msg ->
         t.c.parse_errors <- t.c.parse_errors + 1;
         reply_err s id "parse" msg
-    | Ok rx ->
+    | Ok entry ->
         let mcfg =
           {
             M.default_config with
@@ -454,10 +523,23 @@ let submit t (s : session) (id : string) (o : opts) (src : string) =
             stack_limit = Some o.o_stack;
           }
         in
-        let m =
-          M.create ~config:mcfg ~trace:(Obs.create ~on:t.cfg.trace ()) ()
+        let rm =
+          match t.cfg.backend with
+          | Slot ->
+              let m =
+                M.create ~config:mcfg
+                  ~trace:(Obs.create ~on:t.cfg.trace ())
+                  ()
+              in
+              Rm_slot (m, M.alloc_resolved m entry.rx)
+          | Bytecode ->
+              let m =
+                B.create ~config:mcfg
+                  ~trace:(Obs.create ~on:t.cfg.trace ())
+                  (bytecode_of entry)
+              in
+              Rm_bc (m, B.entry m)
         in
-        let root = M.alloc_resolved m rx in
         let deadline =
           if o.o_timeout_ms <= 0 then Int64.max_int
           else
@@ -468,8 +550,7 @@ let submit t (s : session) (id : string) (o : opts) (src : string) =
           {
             rid = id;
             rsession = s;
-            m;
-            root;
+            rm;
             deadline;
             seq = t.next_seq;
             rdepth = o.o_depth;

@@ -43,7 +43,15 @@
     hit a compiled-program cache (source-hash → resolved slot IR, LRU)
     and skip parse/resolve entirely. *)
 
+type backend = Slot | Bytecode
+(** Which machine evaluates requests: the tree-walking slot machine
+    ({!Machine.Stg}) or the flat compiled backend ({!Machine.Bytecode}).
+    Both honour the identical quota/timeout/pause-cell contract; the
+    bytecode backend is measured multi-x faster and caches compiled
+    programs (with warm inline caches) instead of slot IR. *)
+
 type config = {
+  backend : backend;  (** Request evaluator; default [Slot]. *)
   fuel : int;  (** Default per-request machine-step quota. *)
   heap : int;  (** Default per-request heap quota, in cells. *)
   stack : int;  (** Default per-request stack quota, in frames. *)

@@ -17,6 +17,7 @@ let () =
       ("programs", Test_programs.suite);
       ("machine", Test_machine.suite);
       ("resolve", Test_resolve.suite);
+      ("bytecode", Test_bytecode.suite);
       ("machine_io", Test_machine_io.suite);
       ("gc", Test_gc.suite);
       ("strictness", Test_strictness.suite);

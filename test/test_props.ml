@@ -96,10 +96,18 @@ let suite =
     qtest ~count:80 "seq of a term with itself has the same set"
       (Gen.gen_int ())
       (fun e ->
+        (* [seq e e] evaluates [e] twice, so near the fuel bound the two
+           sides can disagree spuriously. Skip terms whose set has not
+           converged (it still changes when the fuel doubles), and give
+           the doubled term double fuel. *)
         let w = Prelude.wrap e in
-        Exn_set.equal
-          (Denot.exception_set ~config:cfg20 w)
-          (Denot.exception_set ~config:cfg20 (Prelude.wrap (B.seq e e))));
+        let s1 = Denot.exception_set ~config:cfg20 w in
+        let s2 = Denot.exception_set ~config:(Denot.with_fuel 24_000) w in
+        (not (Exn_set.equal s1 s2))
+        || Exn_set.equal s2
+             (Denot.exception_set
+                ~config:(Denot.with_fuel 48_000)
+                (Prelude.wrap (B.seq e e))));
     (* getException in the IO monad restores beta (Section 3.5): the
        substituted and shared forms perform identically under the same
        oracle. *)

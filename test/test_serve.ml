@@ -326,6 +326,115 @@ let suite =
           (c.Serve.quota_heap > 0 && c.Serve.quota_stack > 0
           && c.Serve.quota_fuel > 0 && c.Serve.timeouts > 0);
         Alcotest.(check int) "queue drained" 0 (Serve.inflight engine));
+    tc "backend differential: slot and bytecode engines answer alike"
+      (fun () ->
+        (* Satellite: one corpus, two engines — the same requests go
+           through [--backend slot] and [--backend bytecode] and every
+           reply pair must agree. [ok] and [err .. exn] replies are
+           compared exactly (same deep value, same exception). Fault
+           replies are compared by id and kind: the detail field embeds
+           backend-dependent cost numbers (steps at the timeout slice,
+           cells at the latch), which differ because superinstructions
+           fuse transitions. *)
+        let mk backend =
+          Serve.create
+            ~config:{ Serve.default_config with Serve.backend } ()
+        in
+        let slot = mk Serve.Slot and bc = mk Serve.Bytecode in
+        let s_slot = Serve.session slot and s_bc = Serve.session bc in
+        let kind_of r =
+          match String.split_on_char ' ' r with
+          | verb :: id :: rest -> (
+              ( verb,
+                id,
+                match rest with k :: _ -> k | [] -> "" ))
+          | _ -> ("", "", "")
+        in
+        let agree id opts src =
+          let r_slot = eval_one slot s_slot id opts src in
+          let r_bc = eval_one bc s_bc id opts src in
+          let verb, _, kind = kind_of r_slot in
+          if verb = "ok" || (verb = "err" && kind = "exn") then
+            Alcotest.(check string) (id ^ ": exact") r_slot r_bc
+          else
+            let verb', id', kind' = kind_of r_bc in
+            Alcotest.(check (triple string string string))
+              (Printf.sprintf "%s: fault kind (%s vs %s)" id r_slot r_bc)
+              (verb, id, kind)
+              (verb', id', kind')
+        in
+        let pure =
+          List.filter
+            (fun e ->
+              match e.Corpus.mode with
+              | Corpus.M_int | Corpus.M_list | Corpus.M_any -> true
+              | _ -> false)
+            (Corpus.dictionary ())
+        in
+        List.iteri
+          (fun i e ->
+            agree
+              (Printf.sprintf "d%d" i)
+              ""
+              (Pretty.expr_to_string e.Corpus.expr))
+          pure;
+        (* The fault modes: every quota and timeout defence classifies
+           identically on both backends. *)
+        List.iteri
+          (fun i (opts, src) ->
+            agree (Printf.sprintf "k%d" i) opts src)
+          [ heapbomb; stackbomb; fuelburn; blackhole; spinner ];
+        let cs = Serve.counters slot and cb = Serve.counters bc in
+        Alcotest.(check int) "same ok count" cs.Serve.ok cb.Serve.ok;
+        Alcotest.(check int) "same exn count" cs.Serve.failed cb.Serve.failed;
+        Alcotest.(check int) "same heap kills" cs.Serve.quota_heap
+          cb.Serve.quota_heap;
+        Alcotest.(check int) "same stack kills" cs.Serve.quota_stack
+          cb.Serve.quota_stack;
+        Alcotest.(check int) "same fuel kills" cs.Serve.quota_fuel
+          cb.Serve.quota_fuel;
+        Alcotest.(check int) "same timeouts" cs.Serve.timeouts
+          cb.Serve.timeouts;
+        Alcotest.(check int) "no crashes (slot)" 0 cs.Serve.crashes;
+        Alcotest.(check int) "no crashes (bytecode)" 0 cb.Serve.crashes;
+        (* The bytecode engine really ran bytecode. *)
+        Alcotest.(check bool) "bytecode dispatches counted" true
+          ((Serve.machine_totals bc).Stats.bc_dispatches > 0);
+        Alcotest.(check int) "slot engine reports zero dispatches" 0
+          (Serve.machine_totals slot).Stats.bc_dispatches);
+    tc "backend bytecode: quota recovery and cache survive" (fun () ->
+        (* The bytecode engine under the hostile-request drumbeat: latch
+           trips, in-request catches, and resubmission cache hits — the
+           compiled-program cache now stores bytecode programs. *)
+        let engine =
+          Serve.create
+            ~config:
+              { Serve.default_config with Serve.backend = Serve.Bytecode }
+            ()
+        in
+        let sess = Serve.session engine in
+        let opts, bomb = heapbomb in
+        for i = 1 to 4 do
+          check_prefix
+            (Printf.sprintf "bomb %d" i)
+            (Printf.sprintf "err b%d quota:heap" i)
+            (eval_one engine sess (Printf.sprintf "b%d" i) opts bomb);
+          Alcotest.(check string)
+            (Printf.sprintf "good %d" i)
+            (Printf.sprintf "ok g%d 5050" i)
+            (eval_one engine sess
+               (Printf.sprintf "g%d" i)
+               "" "sum (enumFromTo 1 100)")
+        done;
+        Alcotest.(check string) "caught in-request" "ok r 42"
+          (eval_one engine sess "r" "heap=2000"
+             "case unsafeGetException (length (replicate 100000 1)) of { \
+              OK n -> 0 - 1; Bad e -> 40 + 2 }");
+        let c = Serve.counters engine in
+        Alcotest.(check int) "four trips" 4 c.Serve.quota_heap;
+        Alcotest.(check bool) "resubmissions hit the cache" true
+          (c.Serve.cache_hits >= 6);
+        Alcotest.(check int) "no crashes" 0 c.Serve.crashes);
     tc "crash barrier: machine invariant violation answers [crash]"
       (fun () ->
         (* Nothing in the language can trip the barrier from outside —
