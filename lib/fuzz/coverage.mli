@@ -7,8 +7,9 @@
       have ever been recorded by any run — raise, rethrow, catch, poison,
       pause, resume, mask push/pop, async delivery, gc, bracket
       acquire/release, oracle pick, throwTo, kill delivery, blocked
-      recovery, other IO. 17 kinds; a campaign exercising all the
-      machinery hits all 17.
+      recovery, other IO, lint failure. 18 kinds; a campaign exercising
+      all the machinery hits the 17 non-failure kinds (lint-fail is a
+      failure kind and is excluded from {!kind_coverage}).
     - {e stats buckets}: each {!Machine.Stats} counter (and the IO-layer
       {!Semantics.Iosem.counters}) quantised to a power-of-two bucket.
       An input that drives a counter into a bucket never seen before
@@ -23,7 +24,7 @@ type t
 val create : unit -> t
 
 val n_kinds : int
-(** Number of {!Obs.event} constructors (17). *)
+(** Number of {!Obs.event} constructors (18). *)
 
 val kind_name : int -> string
 
@@ -45,9 +46,10 @@ val signature : t -> int * int
 val kinds_hit : t -> int
 
 val kind_coverage : t -> float
-(** Fraction of event kinds hit, in [0,1]. *)
+(** Fraction of non-failure event kinds hit, in [0,1]. *)
 
 val missing_kinds : t -> string list
+(** Non-failure kinds never recorded. *)
 
 val kind_counts : t -> (string * int) list
 (** Events recorded per kind, for the campaign report. *)

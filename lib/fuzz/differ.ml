@@ -22,6 +22,8 @@ type vconfig = {
   poison_thunks : bool;
   app_union : bool;
   case_finding : bool;
+  optimize_variants : bool;
+  break_pass : string option;
 }
 
 let default_vconfig =
@@ -34,6 +36,8 @@ let default_vconfig =
     poison_thunks = true;
     app_union = true;
     case_finding = true;
+    optimize_variants = true;
+    break_pass = None;
   }
 
 type violation = { check : string; detail : string }
@@ -262,6 +266,75 @@ let check_pure ?cov v t =
      flag "stg-vs-fixed-l2r"
        (Printf.sprintf "machine %s <> fixed L2R %s" (pd d_stg) (pd fd_l)));
   note_cov cov tr [ Stg.stats m; ref_stats; Bytecode.stats mb ] [];
+  (* Optimized variants: run the imprecise pipeline (every pass
+     linted) and re-run each evaluator on its output. The optimiser
+     may only gain information (denot ⊑ denot of optimised), every
+     implementation must still implement the optimised denotation
+     (C13), and the deterministic machines must keep agreeing with
+     each other. A lint rejection surfaces as a structured violation
+     instead of killing the campaign. *)
+  (if v.optimize_variants then
+     match
+       Transform.Pipeline.optimize ?break_pass:v.break_pass ~trace:tr
+         Transform.Pipeline.Imprecise w
+     with
+     | exception Transform.Lint.Lint_error { pass; violations = lvs; _ } ->
+         flag "optimizer-lint"
+           (Fmt.str "lint rejected pass %s: %a" pass
+              Fmt.(list ~sep:(any "; ") Transform.Lint.pp_violation)
+              lvs)
+     | wo, _report ->
+         let dlo = Denot.run_deep ~config:(denot_config v) ~depth:v.depth wo in
+         if not (V.deep_leq dl dlo) then
+           flag "optimized-denot-leq"
+             (Printf.sprintf "optimised term lost information: %s !⊑ %s"
+                (pd dl) (pd dlo));
+         let mo = Stg.create ~config:(stg_config v) ~trace:tr () in
+         let d_so = Stg.deep ~depth:v.depth mo (Stg.alloc mo wo) in
+         let mro = Stg_ref.create ~config:(ref_config v) ~trace:tr () in
+         let d_ro = Stg_ref.deep ~depth:v.depth mro (Stg_ref.alloc mro wo) in
+         let mbo =
+           Bytecode.create ~config:(stg_config v) ~trace:tr
+             (Bytecode.compile (Lang.Resolve.expr wo))
+         in
+         let d_bo = Bytecode.deep ~depth:v.depth mbo (Bytecode.entry mbo) in
+         let fo_lo =
+           Fixed.run_deep ~fuel:v.fixed_fuel ~depth:v.depth Fixed.Left_to_right
+             wo
+         in
+         let fo_ro =
+           Fixed.run_deep ~fuel:v.fixed_fuel ~depth:v.depth Fixed.Right_to_left
+             wo
+         in
+         if not (Refine.implements_deep d_so dlo) then
+           flag "optimized-stg-implements-denot"
+             (Printf.sprintf "machine %s !⊑ optimised denot %s" (pd d_so)
+                (pd dlo));
+         if not (Refine.implements_deep d_ro dlo) then
+           flag "optimized-stg-ref-implements-denot"
+             (Printf.sprintf "reference machine %s !⊑ optimised denot %s"
+                (pd d_ro) (pd dlo));
+         if not (Refine.implements_deep d_bo dlo) then
+           flag "optimized-bytecode-implements-denot"
+             (Printf.sprintf "bytecode %s !⊑ optimised denot %s" (pd d_bo)
+                (pd dlo));
+         if not (fixed_implements fo_lo dlo) then
+           flag "optimized-fixed-l2r-implements-denot"
+             (Fmt.str "fixed L2R %a !⊑ optimised denot %s" Fixed.pp_outcome
+                fo_lo (pd dlo));
+         if not (fixed_implements fo_ro dlo) then
+           flag "optimized-fixed-r2l-implements-denot"
+             (Fmt.str "fixed R2L %a !⊑ optimised denot %s" Fixed.pp_outcome
+                fo_ro (pd dlo));
+         if
+           (not (contains_bottom d_so))
+           && (not (contains_bottom d_bo))
+           && not (V.deep_equal d_so d_bo)
+         then
+           flag "optimized-stg-vs-bytecode"
+             (Printf.sprintf "slot machine %s <> bytecode %s on optimised term"
+                (pd d_so) (pd d_bo));
+         note_cov cov tr [ Stg.stats mo; Stg_ref.stats mro; Bytecode.stats mbo ] []);
   finish
     ~extra:[ ("term", Lang.Pretty.expr_to_string t); ("denot", pd dl) ]
     tr "pure differential violation" !violations

@@ -26,6 +26,12 @@
     whose result contains [DBad All] (bottom) is exempt from exact
     agreement — the {e implements} direction still applies.
 
+    When [optimize_variants] is on (the default), pure terms are
+    additionally optimised by the linted imprecise pipeline and re-run
+    through all six engines against the optimised denotation; a
+    {!Transform.Lint.Lint_error} is reported as an ["optimizer-lint"]
+    violation.
+
     All runs feed the optional {!Coverage} accumulator with recorded
     events and stats; on any violation the shared recorder's crash dump
     rides along in the result. *)
@@ -41,6 +47,15 @@ type vconfig = {
           poison-replay bug in both machines. *)
   app_union : bool;  (** Bug-injection: the rejected Section 4.2 design. *)
   case_finding : bool;  (** Bug-injection: the rejected Section 4.3 design. *)
+  optimize_variants : bool;
+      (** Also run every pure evaluator on the imprecise pipeline's
+          output (linted, {!Transform.Pipeline.optimize}): the optimised
+          denotation may only gain information, every implementation
+          must implement it, and the machines must keep agreeing. *)
+  break_pass : string option;
+      (** Bug-injection: thread a {!Transform.Pipeline.ablations} name
+          into the pipeline — the linter must catch it (flagged as
+          ["optimizer-lint"] rather than crashing the campaign). *)
 }
 
 val default_vconfig : vconfig

@@ -29,13 +29,24 @@ let default_config =
     log = ignore;
   }
 
-let bug_names = [ "no-poison"; "no-app-union"; "no-case-finding" ]
+let bug_names =
+  [ "no-poison"; "no-app-union"; "no-case-finding"; "broken-opt-pass" ]
 
 let inject_bug name (v : Differ.vconfig) =
   match name with
   | "no-poison" -> Ok { v with Differ.poison_thunks = false }
   | "no-app-union" -> Ok { v with Differ.app_union = false }
   | "no-case-finding" -> Ok { v with Differ.case_finding = false }
+  | "broken-opt-pass" ->
+      (* A deliberately corrupted optimiser pass: the lint ablation
+         drops a live binder, which the post-pass checker must catch
+         and report as an optimizer-lint violation. *)
+      Ok
+        {
+          v with
+          Differ.optimize_variants = true;
+          break_pass = Some "unbind-var";
+        }
   | _ ->
       Error
         (Printf.sprintf "unknown bug %S (known: %s)" name

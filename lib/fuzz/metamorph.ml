@@ -176,16 +176,23 @@ let check_pure ?(config = Denot.default_config) ?(depth = 24) (st : state) t =
        flag "roundtrip" t t
          (Printf.sprintf "pretty output fails to parse at %d:%d: %s (%s)"
             line col msg printed));
-  (* --- pipeline: the optimiser may only gain information ----------- *)
-  (let opt, _report = Transform.Pipeline.optimize Transform.Pipeline.Imprecise w in
-   let ta = tally st "pipeline" in
+  (* --- pipeline: every pass linted, and the optimiser may only gain
+     information ---------------------------------------------------- *)
+  (let ta = tally st "pipeline" in
    ta.applied <- ta.applied + 1;
-   if not (Lang.Syntax.equal opt w) then
-     let dr = run opt in
-     if not (V.deep_leq dl dr) then
-       flag "pipeline" t opt
-         (Fmt.str "optimised term lost information: %a vs %a" V.pp_deep dl
-            V.pp_deep dr));
+   match Transform.Pipeline.optimize Transform.Pipeline.Imprecise w with
+   | opt, _report ->
+       if not (Lang.Syntax.equal opt w) then
+         let dr = run opt in
+         if not (V.deep_leq dl dr) then
+           flag "pipeline" t opt
+             (Fmt.str "optimised term lost information: %a vs %a" V.pp_deep
+                dl V.pp_deep dr)
+   | exception Transform.Lint.Lint_error { pass; violations = lvs; _ } ->
+       flag "pipeline-lint" t t
+         (Fmt.str "lint rejected pass %s: %a" pass
+            Fmt.(list ~sep:(any "; ") Transform.Lint.pp_violation)
+            lvs));
   List.rev !violations
 
 let summary (st : state) =

@@ -79,6 +79,9 @@ type event =
       (** An irrecoverably blocked thread was woken exceptionally with
           [BlockedIndefinitely] instead of deadlocking the program. *)
   | Ev_io of string  (** Other IO-layer transition (timeout, fork...). *)
+  | Ev_lint_fail of string * string
+      (** The post-pass IR linter rejected an optimizer pass's output:
+          pass name, first violation. *)
 
 let pp_event ppf = function
   | Ev_raise (e, o) -> Fmt.pf ppf "raise %a \xe2\x86\x90 %a" Exn.pp e pp_origin o
@@ -106,6 +109,7 @@ let pp_event ppf = function
       Fmt.pf ppf "deliver to t%d: %a" t Exn.pp e
   | Ev_blocked_recover t -> Fmt.pf ppf "t%d blocked-indefinitely recovery" t
   | Ev_io s -> Fmt.pf ppf "io %s" s
+  | Ev_lint_fail (pass, v) -> Fmt.pf ppf "lint FAIL after %s: %s" pass v
 
 (* ------------------------------------------------------------------ *)
 (* The ring buffer                                                     *)

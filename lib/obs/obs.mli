@@ -73,6 +73,10 @@ type event =
       (** An irrecoverably blocked thread was woken exceptionally with
           [BlockedIndefinitely] instead of deadlocking the program. *)
   | Ev_io of string  (** Other IO-layer transition (timeout, fork...). *)
+  | Ev_lint_fail of string * string
+      (** The post-pass IR linter rejected an optimizer pass's output:
+          pass name, first violation. Recorded just before the pipeline
+          aborts with a [Transform.Lint.Lint_error] crash dump. *)
 
 val pp_event : event Fmt.t
 

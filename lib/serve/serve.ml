@@ -60,6 +60,14 @@ type config = {
           many cells, evict oldest-paused until back under (a lone
           over-budget request is kept — its own heap quota bounds it). *)
   cache_capacity : int;  (** Compiled-program cache entries (LRU). *)
+  optimize : bool;
+      (** Run the linted imprecise optimisation pipeline
+          ({!Transform.Pipeline.optimize}) on each program between
+          parsing and resolution. The optimisation mode is part of the
+          compiled-program cache key, so optimised and unoptimised
+          submissions of the same source never share an entry; a lint
+          rejection answers [err ... lint] with a crash dump, leaving
+          the daemon up. *)
   dump_dir : string option;
       (** Where the crash barrier writes flight-recorder dumps. *)
   trace : bool;  (** Run request machines with the recorder enabled. *)
@@ -82,6 +90,7 @@ let default_config =
     max_inflight = 64;
     mem_budget = 2_000_000;
     cache_capacity = 256;
+    optimize = false;
     dump_dir = None;
     trace = false;
     now = default_now;
@@ -98,6 +107,8 @@ type counters = {
   mutable sheds : int;  (** [overloaded] replies (admission control). *)
   mutable evictions : int;  (** Oldest-paused evictions (memory). *)
   mutable parse_errors : int;
+  mutable lint_rejects : int;
+      (** Programs the optimiser's post-pass linter refused to ship. *)
   mutable proto_errors : int;
   mutable crashes : int;
   mutable cache_hits : int;
@@ -117,6 +128,7 @@ let new_counters () =
     sheds = 0;
     evictions = 0;
     parse_errors = 0;
+    lint_rejects = 0;
     proto_errors = 0;
     crashes = 0;
     cache_hits = 0;
@@ -309,8 +321,16 @@ let parse_source src =
     try Lang.Prelude.wrap_program (Lang.Parser.parse_program src)
     with Lang.Parser.Error _ -> raise first)
 
-let compile t src : (cache_entry, string) result =
-  let key = Digest.string src in
+(* [Error (kind, msg, dump)]: [kind] is the reply's error category
+   ("parse" or "lint"); a lint rejection carries the flight-recorder
+   crash dump for the barrier to write out. *)
+let compile t src : (cache_entry, string * string * string option) result =
+  (* The optimisation mode is part of the key: an optimised and an
+     unoptimised submission of the same source must never share a
+     compiled entry. *)
+  let key =
+    Digest.string ((if t.cfg.optimize then "O1:" else "O0:") ^ src)
+  in
   match Hashtbl.find_opt t.cache key with
   | Some e ->
       t.c.cache_hits <- t.c.cache_hits + 1;
@@ -320,10 +340,26 @@ let compile t src : (cache_entry, string) result =
       t.c.cache_misses <- t.c.cache_misses + 1;
       match parse_source src with
       | exception Lang.Parser.Error (msg, line, col) ->
-          Error (Printf.sprintf "%d:%d: %s" line col msg)
-      | e ->
-          let rx = R.expr e in
-          Ok (cache_insert t key rx))
+          t.c.parse_errors <- t.c.parse_errors + 1;
+          Error ("parse", Printf.sprintf "%d:%d: %s" line col msg, None)
+      | e -> (
+          if not t.cfg.optimize then Ok (cache_insert t key (R.expr e))
+          else
+            let tr = Obs.create ~capacity:256 ~on:true () in
+            match
+              Transform.Pipeline.optimize ~trace:tr
+                Transform.Pipeline.Imprecise e
+            with
+            | eo, _report -> Ok (cache_insert t key (R.expr eo))
+            | exception
+                Transform.Lint.Lint_error { pass; violations; dump } ->
+                t.c.lint_rejects <- t.c.lint_rejects + 1;
+                Error
+                  ( "lint",
+                    Fmt.str "pass %s: %a" pass
+                      Fmt.(list ~sep:(any "; ") Transform.Lint.pp_violation)
+                      violations,
+                    Some dump )))
 
 (* Under the [Bytecode] backend the cache's unit of reuse is the
    compiled program, not the slot IR: compile on first use, then share
@@ -342,7 +378,7 @@ let bytecode_of (entry : cache_entry) =
 
 let dump_counter = ref 0
 
-let write_dump t (req : request) (text : string) : string option =
+let write_dump t ~rid (text : string) : string option =
   match t.cfg.dump_dir with
   | None -> None
   | Some dir ->
@@ -353,7 +389,7 @@ let write_dump t (req : request) (text : string) : string option =
             match ch with
             | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> ch
             | _ -> '_')
-          req.rid
+          rid
       in
       let file =
         Filename.concat dir
@@ -375,7 +411,7 @@ let write_dump t (req : request) (text : string) : string option =
 let crash t (req : request) (what : string) (dump : string) =
   t.c.crashes <- t.c.crashes + 1;
   Stats.add t.agg (rm_stats req.rm);
-  let where = write_dump t req dump in
+  let where = write_dump t ~rid:req.rid dump in
   let detail =
     match where with
     | Some file -> Printf.sprintf "%s dump=%s" what file
@@ -511,9 +547,16 @@ let submit t (s : session) (id : string) (o : opts) (src : string) =
   end
   else
     match compile t src with
-    | Error msg ->
-        t.c.parse_errors <- t.c.parse_errors + 1;
-        reply_err s id "parse" msg
+    | Error (kind, msg, dump) ->
+        let msg =
+          match dump with
+          | None -> msg
+          | Some text -> (
+              match write_dump t ~rid:id text with
+              | Some file -> Printf.sprintf "%s dump=%s" msg file
+              | None -> msg)
+        in
+        reply_err s id kind msg
     | Ok entry ->
         let mcfg =
           {
@@ -608,11 +651,12 @@ let parse_opts cfg tokens : (opts, string) result =
 let stats_json t =
   let c = t.c in
   Fmt.str
-    "{\"requests\":%d,\"ok\":%d,\"exn\":%d,\"quota_heap\":%d,\"quota_stack\":%d,\"quota_fuel\":%d,\"timeouts\":%d,\"sheds\":%d,\"evictions\":%d,\"parse_errors\":%d,\"proto_errors\":%d,\"crashes\":%d,\"inflight\":%d,\"cache\":{\"hits\":%d,\"misses\":%d,\"evictions\":%d,\"entries\":%d},\"machine\":%a}"
+    "{\"requests\":%d,\"ok\":%d,\"exn\":%d,\"quota_heap\":%d,\"quota_stack\":%d,\"quota_fuel\":%d,\"timeouts\":%d,\"sheds\":%d,\"evictions\":%d,\"parse_errors\":%d,\"lint_rejects\":%d,\"proto_errors\":%d,\"crashes\":%d,\"inflight\":%d,\"cache\":{\"hits\":%d,\"misses\":%d,\"evictions\":%d,\"entries\":%d},\"machine\":%a}"
     c.requests c.ok c.failed c.quota_heap c.quota_stack c.quota_fuel
-    c.timeouts c.sheds c.evictions c.parse_errors c.proto_errors c.crashes
-    (List.length t.inflight) c.cache_hits c.cache_misses c.cache_evictions
-    (Hashtbl.length t.cache) Stats.pp_json t.agg
+    c.timeouts c.sheds c.evictions c.parse_errors c.lint_rejects
+    c.proto_errors c.crashes (List.length t.inflight) c.cache_hits
+    c.cache_misses c.cache_evictions (Hashtbl.length t.cache) Stats.pp_json
+    t.agg
 
 let session t = { engine = t; out = []; mode = Idle; closed = false }
 

@@ -25,7 +25,8 @@
 
     Replies: [ok <id> <deep value>] or [err <id> <kind> [detail]] where
     [kind] is one of [exn], [quota:heap], [quota:stack], [quota:fuel],
-    [timeout], [overloaded], [evicted], [parse], [crash], [proto].
+    [timeout], [overloaded], [evicted], [parse], [lint], [crash],
+    [proto].
 
     {1 Robustness model}
 
@@ -62,6 +63,13 @@ type config = {
   max_inflight : int;  (** Admission bound; beyond it: [overloaded]. *)
   mem_budget : int;  (** Paused-heap cell budget; beyond it: evict. *)
   cache_capacity : int;  (** Compiled-program cache entries (LRU). *)
+  optimize : bool;
+      (** Run the linted imprecise optimisation pipeline
+          ({!Transform.Pipeline.optimize}) between parsing and
+          resolution. The mode is part of the cache key (optimised and
+          unoptimised submissions never share an entry); a lint
+          rejection answers [err ... lint] with a crash dump, and the
+          daemon stays up. Default [false]. *)
   dump_dir : string option;  (** Crash-barrier dump directory. *)
   trace : bool;  (** Enable each request machine's flight recorder. *)
   now : unit -> int64;  (** Nanosecond clock (injectable for tests). *)
@@ -81,6 +89,7 @@ type counters = {
   mutable sheds : int;
   mutable evictions : int;
   mutable parse_errors : int;
+  mutable lint_rejects : int;
   mutable proto_errors : int;
   mutable crashes : int;
   mutable cache_hits : int;

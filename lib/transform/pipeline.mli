@@ -7,19 +7,30 @@
       provably exception-free and terminating, mirroring what compilers
       for precise-exception languages must do.
 
-    The difference in enabled sites is experiment C8. *)
+    The difference in enabled sites is experiment C8.
+
+    The driver iterates the pass sequence (prune, simplify, inline,
+    case-of-case, case-commute, cbv, simplify) to a fixpoint, and after
+    {e every} pass output runs the {!Lint} checker against the pass
+    input — a violation aborts with {!Lint.Lint_error} naming the
+    offending pass instead of letting a corrupted term reach a machine. *)
 
 type mode = Imprecise | Fixed_order_with_effect_analysis
 
 type report = {
   mode : mode;
-  rounds : int;
+  rounds : int;  (** Pass-sequence iterations actually executed. *)
   sites : (string * int) list;  (** Rewrites applied, per pass. *)
   blocked_sites : int;
       (** Order-changing rewrites that fired under [Imprecise] but were
           rejected by the effect analysis under fixed order. *)
   size_before : int;
   size_after : int;
+  lint_checks : int;
+      (** Post-pass lint runs (0 when linting is off). A pass returning
+          its input unchanged is not re-checked — that term was blessed
+          by the previous check. *)
+  lint_time : float;  (** Wall-clock seconds spent in the linter. *)
 }
 
 val pp_report : report Fmt.t
@@ -32,7 +43,8 @@ val cbv_pass : mode -> Lang.Syntax.expr -> Lang.Syntax.expr * int * int
 
 val simplify_pass : Lang.Syntax.expr -> Lang.Syntax.expr * int
 (** Order-preserving cleanups, safe in every design: beta on trivial
-    arguments, case-of-known-constructor, dead lets, case-of-case. *)
+    arguments, case-of-known-constructor, dead lets. (Case-of-case is
+    {e not} part of this pass — it lives in {!case_of_case_pass}.) *)
 
 val inline_pass : Lang.Syntax.expr -> Lang.Syntax.expr * int
 (** Occurrence-guided inlining: [let]-bindings used exactly once (outside
@@ -46,8 +58,51 @@ val prune_pass : Lang.Syntax.expr -> Lang.Syntax.expr * int
     wrapper down to the functions a program actually uses). Returns the
     number of bindings removed. *)
 
-val optimize : mode -> Lang.Syntax.expr -> Lang.Syntax.expr * report
+val case_of_case_pass : Lang.Syntax.expr -> Lang.Syntax.expr * int
+(** [case (case s of {p -> a}) of alts] becomes
+    [case s of {p -> case a of alts}] ({!Rules.case_of_case}, an
+    identity in every design), unblocking case-of-known-constructor.
+    Outer alternatives are duplicated into several inner branches only
+    when they are small. *)
+
+val case_commute_pass :
+  mode -> Lang.Syntax.expr -> Lang.Syntax.expr * int * int
+(** Swap two nested single-constructor cases so the smaller scrutinee
+    is evaluated first ({!Rules.case_commute}, the Section 4 motivating
+    equation). Guarded in the improving direction by the strictness
+    analysis: the hoisted case's binders must feed a demand in the
+    body. Returns (result, applied, blocked); an identity only under
+    imprecise semantics, so the fixed-order pipeline additionally
+    requires both scrutinees provably pure and counts refusals as
+    blocked. *)
+
+val ablations : string list
+(** Deliberately broken pseudo-passes, one per lint check category:
+    ["unbind-var"] (scope), ["drop-con-arg"] (arity),
+    ["dup-pattern-binder"] (binder uniqueness), ["int-to-string"] (type
+    preservation). For negative tests à la [Fuzz.inject_bug]. *)
+
+val sabotage : string -> Lang.Syntax.expr -> Lang.Syntax.expr option
+(** Apply the named ablation's corruption to the first eligible site;
+    [None] when the term has no such site. *)
+
+val optimize :
+  ?lint:bool ->
+  ?break_pass:string ->
+  ?trace:Obs.t ->
+  mode ->
+  Lang.Syntax.expr ->
+  Lang.Syntax.expr * report
+(** Run the pipeline to a fixpoint (bounded rounds), linting after
+    every pass ([lint] defaults to [true]).
+    [break_pass] injects the named {!ablations} corruption as its own
+    pseudo-pass after the first simplify — the linter must then raise
+    {!Lint.Lint_error} naming it. [trace] receives
+    {!Obs.Ev_lint_fail} events and provides the crash-dump history.
+    @raise Lint.Lint_error when a pass output fails the checker. *)
 
 val count_cbv_opportunities : Lang.Syntax.expr -> int * int
-(** (sites available to the imprecise pipeline, sites provable for the
-    fixed-order pipeline) — the headline numbers of C8. *)
+(** (sites applied by the imprecise pipeline, sites applied by the
+    fixed-order pipeline) — the headline numbers of C8, read off the
+    two {!optimize} reports so they cannot disagree with the pipeline's
+    own [sites] accounting on the same program. *)

@@ -1,18 +1,65 @@
 open Lang.Syntax
 
-let map_children f = function
-  | (Var _ | Lit _) as e -> e
-  | Lam (x, e) -> Lam (x, f e)
-  | App (e1, e2) -> App (f e1, f e2)
-  | Con (c, es) -> Con (c, List.map f es)
-  | Case (e, alts) ->
-      Case (f e, List.map (fun a -> { a with rhs = f a.rhs }) alts)
-  | Let (x, e1, e2) -> Let (x, f e1, f e2)
+(* [map_children] preserves physical identity: an untouched node (no
+   child changed) is returned as-is, not rebuilt. Downstream consumers
+   lean on this — the pipeline's no-op detection and the linter's
+   pristine-prelude fast paths start with pointer comparisons, which
+   only hit if rewriting shares what it does not change. *)
+let map_sharing f xs =
+  let changed = ref false in
+  let ys =
+    List.map
+      (fun x ->
+        let y = f x in
+        if y != x then changed := true;
+        y)
+      xs
+  in
+  if !changed then ys else xs
+
+let map_children f e =
+  match e with
+  | Var _ | Lit _ -> e
+  | Lam (x, b) ->
+      let b' = f b in
+      if b' == b then e else Lam (x, b')
+  | App (e1, e2) ->
+      let e1' = f e1 and e2' = f e2 in
+      if e1' == e1 && e2' == e2 then e else App (e1', e2')
+  | Con (c, es) ->
+      let es' = map_sharing f es in
+      if es' == es then e else Con (c, es')
+  | Case (s, alts) ->
+      let s' = f s
+      and alts' =
+        map_sharing
+          (fun a ->
+            let rhs' = f a.rhs in
+            if rhs' == a.rhs then a else { a with rhs = rhs' })
+          alts
+      in
+      if s' == s && alts' == alts then e else Case (s', alts')
+  | Let (x, e1, e2) ->
+      let e1' = f e1 and e2' = f e2 in
+      if e1' == e1 && e2' == e2 then e else Let (x, e1', e2')
   | Letrec (binds, body) ->
-      Letrec (List.map (fun (x, e1) -> (x, f e1)) binds, f body)
-  | Prim (p, es) -> Prim (p, List.map f es)
-  | Raise e -> Raise (f e)
-  | Fix e -> Fix (f e)
+      let binds' =
+        map_sharing
+          (fun ((x, e1) as b) ->
+            let e1' = f e1 in
+            if e1' == e1 then b else (x, e1'))
+          binds
+      and body' = f body in
+      if binds' == binds && body' == body then e else Letrec (binds', body')
+  | Prim (p, es) ->
+      let es' = map_sharing f es in
+      if es' == es then e else Prim (p, es')
+  | Raise b ->
+      let b' = f b in
+      if b' == b then e else Raise b'
+  | Fix b ->
+      let b' = f b in
+      if b' == b then e else Fix b'
 
 let bottom_up rule e =
   let count = ref 0 in

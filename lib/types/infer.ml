@@ -609,6 +609,11 @@ let infer env e =
   | t -> Ok t
   | exception Type_error te -> Error te
 
+let extend_letrec env binds =
+  match infer_letrec env binds with
+  | env' -> Ok env'
+  | exception Type_error te -> Error te
+
 let with_prelude_cache : env option ref = ref None
 
 let with_prelude () =

@@ -62,6 +62,13 @@ val infer : env -> Lang.Syntax.expr -> (ty, error) result
 (** Infer the type of an expression whose free variables are bound in
     [env]. *)
 
+val extend_letrec :
+  env -> (string * Lang.Syntax.expr) list -> (env, error) result
+(** Extend [env] with a [letrec] group, per-SCC generalised — exactly
+    what {!infer} does for a [Letrec] before typing its body. Exposed so
+    a caller typing many bodies under one unchanged group (the
+    optimiser's {!Transform.Lint}) can pay for the group once. *)
+
 val infer_program : Lang.Syntax.program -> ((string * ty) list, error) result
 (** Check a whole program under the Prelude: returns the inferred type of
     every top-level definition (including [main], which must be [IO t]). *)

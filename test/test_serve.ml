@@ -487,4 +487,62 @@ let suite =
             has "\"quota_heap\":1";
             has "\"machine\":"
         | rs -> Alcotest.failf "stats: %d replies" (List.length rs));
+    tc "optimize: optimized replies equal unoptimized, both backends"
+      (fun () ->
+        (* The differential for [serve --optimize]: the same programs
+           through an optimizing and a plain engine must answer
+           identically on each backend. Programs here have one
+           deterministic outcome — optimisation may legally {e refine}
+           a multi-exception set, which would be a refinement check,
+           not an equality. *)
+        List.iter
+          (fun backend ->
+            let mk optimize =
+              Serve.create
+                ~config:
+                  { Serve.default_config with Serve.backend; optimize }
+                ()
+            in
+            let eng_o = mk true and eng_u = mk false in
+            let s_o = Serve.session eng_o and s_u = Serve.session eng_u in
+            List.iteri
+              (fun i src ->
+                let id = Printf.sprintf "d%d" i in
+                let r_o = eval_one eng_o s_o id "" src in
+                let r_u = eval_one eng_u s_u id "" src in
+                Alcotest.(check string)
+                  (Printf.sprintf "%s: %s" (flat src) r_u)
+                  r_u r_o)
+              [
+                "sum (enumFromTo 1 50)";
+                "let x = 2 + 3 in x * x";
+                "zipWith (\\a b -> a + b) [1,2] [10,20]";
+                "case (1 / 0, 2) of { Pair a b -> b }";
+                "head []";
+                "1 / 0";
+              ];
+            Alcotest.(check int)
+              "no lint rejects" 0
+              (Serve.counters eng_o).Serve.lint_rejects)
+          [ Serve.Slot; Serve.Bytecode ]);
+    tc "optimize: compiled-program cache still hits under -O" (fun () ->
+        (* The cache key is mode-prefixed (O1:/O0:), so an optimizing
+           engine caches the optimised compilation and reuses it. *)
+        let engine =
+          Serve.create
+            ~config:{ Serve.default_config with Serve.optimize = true }
+            ()
+        in
+        let sess = Serve.session engine in
+        let payload r =
+          match String.split_on_char ' ' r with
+          | verb :: _id :: rest -> verb :: rest
+          | parts -> parts
+        in
+        let r1 = eval_one engine sess "c1" "" "sum (enumFromTo 1 50)" in
+        let r2 = eval_one engine sess "c2" "" "sum (enumFromTo 1 50)" in
+        Alcotest.(check (list string))
+          "same answer from the cache" (payload r1) (payload r2);
+        Alcotest.(check int) "second request hit the cache" 1
+          (Serve.counters engine).Serve.cache_hits);
   ]

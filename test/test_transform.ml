@@ -195,4 +195,100 @@ let suite =
         Alcotest.(check bool)
           (Printf.sprintf "imp %d >= fix %d" imp fix)
           true (imp >= fix));
+    tc "count_cbv_opportunities equals the reports' own cbv sites" (fun () ->
+        (* The headline C8 numbers are read off the optimize reports, so
+           they can never drift from the pipeline's own accounting. *)
+        let e =
+          parse "let a = sum (enumFromTo 1 10) in let b = 1 in a + b"
+        in
+        let imp, fix = Pipeline.count_cbv_opportunities e in
+        let _, ri = Pipeline.optimize ~lint:false Pipeline.Imprecise e in
+        let _, rf =
+          Pipeline.optimize ~lint:false
+            Pipeline.Fixed_order_with_effect_analysis e
+        in
+        Alcotest.(check int)
+          "imprecise" (List.assoc "cbv" ri.Pipeline.sites) imp;
+        Alcotest.(check int) "fixed" (List.assoc "cbv" rf.Pipeline.sites) fix);
+    tc "report counts the rounds actually executed" (fun () ->
+        (* A literal program: round 1 prunes the prelude away, round 2
+           is the no-change round that stops the driver. *)
+        let _, r = Pipeline.optimize Pipeline.Imprecise (parse "42") in
+        Alcotest.(check int) "literal takes two rounds" 2 r.Pipeline.rounds;
+        let _, r =
+          Pipeline.optimize Pipeline.Imprecise (parse "sum (enumFromTo 1 20)")
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "bounded rounds (got %d)" r.Pipeline.rounds)
+          true
+          (r.Pipeline.rounds >= 2 && r.Pipeline.rounds <= 8));
+    tc "optimizer idempotence: a fixpoint re-optimises to itself" (fun () ->
+        List.iter
+          (fun src ->
+            let e = parse src in
+            let o1, _ = Pipeline.optimize Pipeline.Imprecise e in
+            let o2, _ = Pipeline.optimize Pipeline.Imprecise o1 in
+            Alcotest.check expr (Printf.sprintf "idempotent: %s" src) o1 o2)
+          [
+            "sum (enumFromTo 1 20)";
+            "let x = 2 + 3 in x * x";
+            "zipWith (\\a b -> a + b) [1,2] [10,20]";
+            "case (1 / 0, 2) of { Pair a b -> b }";
+          ]);
+    tc "lint ablations: every broken pass is caught and blamed by name"
+      (fun () ->
+        let cases =
+          [
+            ("unbind-var", "scope", "let x = sum (enumFromTo 1 3) in x + x");
+            ("drop-con-arg", "arity", "1 : 2 : []");
+            ( "dup-pattern-binder",
+              "binder-uniqueness",
+              "case enumFromTo 1 2 of { Cons h t -> h; Nil -> 0 }" );
+            ("int-to-string", "type-preservation", "sum (enumFromTo 1 3)");
+          ]
+        in
+        List.iter
+          (fun (abl, cat, src) ->
+            Alcotest.(check bool)
+              (abl ^ " is a published ablation")
+              true
+              (List.mem abl Pipeline.ablations);
+            match
+              Pipeline.optimize ~break_pass:abl Pipeline.Imprecise (parse src)
+            with
+            | exception Lint.Lint_error { pass; violations; _ } ->
+                Alcotest.(check string) (abl ^ ": blamed pass") abl pass;
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s: fires the %s check" abl cat)
+                  true
+                  (List.exists (fun v -> String.equal v.Lint.check cat)
+                     violations)
+            | _ -> Alcotest.failf "%s: lint did not fire" abl)
+          cases);
+    tc "case-of-known skips a same-name wrong-arity alternative" (fun () ->
+        (* A [Pcon] alternative at the wrong arity is legal unreachable
+           input: the machines fall through it, so case-of-known must
+           too — and the linter must tolerate it. *)
+        let scrut = Con ("Cons", [ B.int 7; Con ("Nil", []) ]) in
+        let wrong = { pat = Pcon ("Cons", [ "h" ]); rhs = Var "h" } in
+        let deflt = { pat = Pany None; rhs = B.int 99 } in
+        let right = { pat = Pcon ("Cons", [ "h"; "t" ]); rhs = Var "h" } in
+        let to_default = Case (scrut, [ wrong; deflt ]) in
+        let to_right = Case (scrut, [ wrong; right; deflt ]) in
+        List.iter
+          (fun (name, e, expected) ->
+            let e', n = Pipeline.simplify_pass e in
+            Alcotest.(check bool) (name ^ ": fired") true (n > 0);
+            Alcotest.check deep (name ^ ": matches the machines") expected
+              (Denot.run_deep e');
+            Alcotest.check deep (name ^ ": meaning unchanged")
+              (Denot.run_deep e) (Denot.run_deep e');
+            (* The full linted pipeline accepts the wrong-arity input. *)
+            let o, _ = Pipeline.optimize Pipeline.Imprecise e in
+            Alcotest.check deep (name ^ ": linted pipeline agrees") expected
+              (Denot.run_deep o))
+          [
+            ("falls to default", to_default, dint 99);
+            ("falls to matching alt", to_right, dint 7);
+          ]);
   ]
