@@ -422,6 +422,114 @@ let table_conc () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Table C' — scheduler scaling on producer/consumer networks          *)
+(* ------------------------------------------------------------------ *)
+
+(* The PR-9 tentpole measured: [n] forked producers write through a
+   bounded channel, the main thread drains. Schedule length (one count
+   per thread-step; identical by construction on both layers) must grow
+   linearly in [n] — the indexed runtime's O(1) scheduling, waiter
+   queues and incremental blocked-on graph are exactly what removes the
+   seed's O(n) per-step scans. Asserted (not just printed): the
+   schedule-count ratio between decade sizes stays within 1.3x of
+   linear, and the two layers' counts agree exactly. Emitted as
+   machine-readable BENCH_C.json; smoke mode runs 1k/10k, the full mode
+   adds 100k. *)
+let table_conc_scale ~smoke () =
+  header
+    "Table C' (scheduler scaling): n producers through a bounded channel    (indexed runtime)";
+  let sizes = if smoke then [ 1_000; 10_000 ] else [ 1_000; 10_000; 100_000 ] in
+  let src n =
+    Printf.sprintf
+      "newChan 64 >>= \\ch ->\n\
+       mapM2 (\\i -> forkIO (writeChan ch i)) (enumFromTo 1 %d) >>= \\u ->\n\
+       mapM2 (\\i -> readChan ch) (enumFromTo 1 %d) >>= \\u2 ->\n\
+       putInt 0" n n
+  in
+  let now_s () = Int64.to_float (Mono_clock.now ()) /. 1e9 in
+  Fmt.pr "%-10s %10s %12s %12s %10s %10s@." "threads" "spawned" "switches"
+    "transitions" "conc s" "machine s";
+  let rows =
+    List.map
+      (fun n ->
+        let e = parse (src n) in
+        let budget = 60 * (n + 1) in
+        let t0 = now_s () in
+        let r = Conc.run ~max_steps:budget e in
+        let t1 = now_s () in
+        let m = Machine_conc.run ~max_transitions:budget e in
+        let t2 = now_s () in
+        (match (r.Conc.outcome, m.Machine_conc.outcome) with
+        | Conc.Done _, Machine_conc.Done _ -> ()
+        | o1, o2 ->
+            Fmt.epr "table_conc_scale: n=%d conc %a, machine %a@." n
+              Conc.pp_outcome o1 Machine_conc.pp_outcome o2;
+            exit 1);
+        Fmt.pr "%-10d %10d %12d %12d %10.3f %10.3f@." n
+          r.Conc.threads_spawned r.Conc.context_switches
+          m.Machine_conc.transitions (t1 -. t0) (t2 -. t1);
+        (n, r.Conc.threads_spawned, r.Conc.context_switches,
+         m.Machine_conc.transitions, t1 -. t0, t2 -. t1))
+      sizes
+  in
+  let ratios =
+    let rec pair = function
+      | (n1, _, s1, _, _, _) :: ((n2, _, s2, _, _, _) :: _ as rest) ->
+          let linear = float_of_int n2 /. float_of_int n1 in
+          let actual = float_of_int s2 /. float_of_int s1 in
+          (n1, n2, actual /. linear) :: pair rest
+      | _ -> []
+    in
+    pair rows
+  in
+  List.iter
+    (fun (n1, n2, r) ->
+      Fmt.pr "scaling %dk -> %dk: %.3fx linear@." (n1 / 1000) (n2 / 1000) r)
+    ratios;
+  let json =
+    Printf.sprintf
+      "{\"bench\":\"conc_scale\",\"wallclock\":true,\"smoke\":%b,\"rows\":[%s],\"scaling\":[%s]}\n"
+      smoke
+      (String.concat ","
+         (List.map
+            (fun (n, sp, sw, trn, cs, ms) ->
+              Printf.sprintf
+                "{\"threads\":%d,\"spawned\":%d,\"switches\":%d,\"transitions\":%d,\"conc_wall_s\":%.4f,\"machine_wall_s\":%.4f}"
+                n sp sw trn cs ms)
+            rows))
+      (String.concat ","
+         (List.map
+            (fun (n1, n2, r) ->
+              Printf.sprintf
+                "{\"from\":%d,\"to\":%d,\"ratio_vs_linear\":%.4f}" n1 n2 r)
+            ratios))
+  in
+  let oc = open_out "BENCH_C.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pr "(BENCH_C.json written)@.";
+  List.iter
+    (fun (_, _, sw, trn, _, _) ->
+      if sw <> trn then begin
+        Fmt.epr
+          "table_conc_scale: schedule lengths diverged (conc %d, machine \
+           %d)@."
+          sw trn;
+        exit 1
+      end)
+    rows;
+  List.iter
+    (fun (n1, n2, r) ->
+      if r > 1.3 then begin
+        Fmt.epr
+          "table_conc_scale: %d -> %d schedule count is %.2fx linear \
+           (budget 1.3x)@."
+          n1 n2 r;
+        exit 1
+      end)
+    ratios
+
+(* ------------------------------------------------------------------ *)
 (* Table F — bracket/mask hot-path overhead (robustness layer)          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1208,6 +1316,7 @@ let () =
   table_finding ();
   table_gc ();
   table_conc ();
+  table_conc_scale ~smoke ();
   table_fault ();
   table_slots ();
   table_bytecode ();

@@ -380,6 +380,81 @@ let t_blocked_recover =
         else []);
   }
 
+(* T12: a channel handoff under kills. The guarded read resolves either
+   to the forked writer's element or — if a kill took the writer out
+   before it deposited — to the catchable BlockedIndefinitely fallback;
+   under any resource-clean fault that spares the main thread there is
+   no third possibility. *)
+let t_chan_handoff =
+  {
+    name = "chan-handoff";
+    source =
+      "newChan 1 >>= \\ch -> forkIO (writeChan ch 7) >>= \\u -> \
+       getException (readChan ch) >>= \\r -> case r of { OK v -> putInt v \
+       >>= \\u2 -> return v ; Bad e -> putChar 'F' >>= \\u3 -> return 0 }";
+    base_input = "";
+    core = None;
+    conc_only = true;
+    deterministic = true;
+    special =
+      (fun fault obs ->
+        let spares_main =
+          List.for_all (fun (_, tid, _) -> tid <> 0) fault.kills
+        in
+        if
+          fault.heap_limit = None && fault.stack_limit = None
+          && fault.starved_fuel = None && spares_main
+          && not (obs.status = S_done
+                  && (obs.output = "7" || obs.output = "F"))
+        then
+          [
+            Fmt.str "channel handoff neither delivered nor recovered: %s \
+                     with output %S"
+              (status_name obs.status) obs.output;
+          ]
+        else []);
+  }
+
+(* T13: killing a blocked writer must not lose the element already in
+   the buffer. The main thread buffers 5, a forked writer blocks on the
+   full buffer with 9; the first drain must always see 5, the second
+   sees 9 — or the recovery marker if the blocked writer was killed
+   before it could deposit. *)
+let t_chan_kill_writer =
+  {
+    name = "chan-kill-writer";
+    source =
+      "newChan 1 >>= \\ch -> writeChan ch 5 >>= \\u -> forkIO (writeChan \
+       ch 9) >>= \\u2 -> getException (readChan ch) >>= \\r -> (case r of \
+       { OK v -> putInt v ; Bad e -> putChar 'F' }) >>= \\u3 -> \
+       getException (readChan ch) >>= \\r2 -> (case r2 of { OK w -> \
+       putInt w ; Bad e2 -> putChar 'G' }) >>= \\u4 -> return 1";
+    base_input = "";
+    core = None;
+    conc_only = true;
+    deterministic = true;
+    special =
+      (fun fault obs ->
+        let spares_main =
+          List.for_all (fun (_, tid, _) -> tid <> 0) fault.kills
+        in
+        if
+          fault.heap_limit = None && fault.stack_limit = None
+          && fault.starved_fuel = None && spares_main
+        then
+          if obs.status <> S_done then
+            [
+              Fmt.str "channel drain did not complete: %s"
+                (status_name obs.status);
+            ]
+          else if not (obs.output = "59" || obs.output = "5G") then
+            [ Fmt.str "buffered element lost: output %S" obs.output ]
+          else if fault.kills = [] && obs.output <> "59" then
+            [ Fmt.str "unkilled writer never deposited: %S" obs.output ]
+          else []
+        else []);
+  }
+
 (* T9: truncated input — every layer must report the same stuck-on-EOF
    behaviour. *)
 let t_echo =
@@ -413,7 +488,7 @@ let templates =
       [ ("pure", "sum (enumFromTo 1 200)"); ("headnil", "head []") ]
   @ List.map t_retry [ ("pure", List.assoc "pure" cores); ("mixed", List.assoc "mixed" cores) ]
   @ [ t_fork_bracket; t_mask_shield; t_supervised_kill; t_blocked_recover;
-      t_echo ]
+      t_chan_handoff; t_chan_kill_writer; t_echo ]
 
 (* ------------------------------------------------------------------ *)
 (* Running one template under one layer                                *)

@@ -364,6 +364,45 @@ let rec gen_io_node cfg env depth : expr G.t =
         let r = fresh_name () in
         [
           ( 1,
+            (* Sequential channel roundtrip: buffered write then read,
+               exercising the channel path of the single-threaded layers. *)
+            let c = fresh_name () and v = fresh_name () in
+            G.map2
+              (fun e rest ->
+                B.io_bind
+                  (Con ("NewChan", [ B.int 1 ]))
+                  (B.lam c
+                     (B.io_bind
+                        (Con ("WriteChan", [ Var c; e ]))
+                        (B.lam "_"
+                           (B.io_bind
+                              (Con ("ReadChan", [ Var c ]))
+                              (B.lam v
+                                 (B.io_bind
+                                    (App (Var "putInt", Var v))
+                                    (B.lam "_" rest))))))))
+              int_e
+              (gen_io_node cfg env (depth - 1)) );
+          ( 1,
+            (* A read on an empty channel is hopeless in a sequential
+               driver: it must come back as a catchable
+               BlockedIndefinitely in every layer. *)
+            let c = fresh_name () and rn = fresh_name () in
+            G.map
+              (fun e ->
+                B.io_bind
+                  (Con ("NewChan", [ B.int 1 ]))
+                  (B.lam c
+                     (B.io_bind
+                        (B.get_exception (Con ("ReadChan", [ Var c ])))
+                        (B.lam rn
+                           (B.case (Var rn)
+                              [
+                                (B.pcon "OK" [ "x" ], B.io_return (Var "x"));
+                                (B.pcon "Bad" [ "e" ], B.io_return e);
+                              ])))))
+              int_e );
+          ( 1,
             (* bracket: acquire returns a resource, release writes a
                marker, use continues the program — releases must balance
                acquires on every exit path. *)
@@ -505,6 +544,69 @@ let gen_conc_node cfg env depth : expr G.t =
                       ])))))
       int_e
   in
+  let chan_handoff =
+    (* newChan 1 >>= \c -> forkIO (writeChan c e) >> (readChan c >>= putInt) *)
+    let c = fresh_name () and v = fresh_name () in
+    G.map
+      (fun e ->
+        B.io_bind
+          (Con ("NewChan", [ B.int 1 ]))
+          (B.lam c
+             (B.io_bind
+                (Con ("Fork", [ Con ("WriteChan", [ Var c; e ]) ]))
+                (B.lam "_"
+                   (B.io_bind
+                      (Con ("ReadChan", [ Var c ]))
+                      (B.lam v (App (Var "putInt", Var v))))))))
+      int_e
+  in
+  let chan_fan_in =
+    (* Two producers into a buffer of one: the second writer blocks on the
+       full buffer and is woken when the drain makes room, so the wake
+       path and the deposit-on-wake path both run. *)
+    let c = fresh_name () and v = fresh_name () and w = fresh_name () in
+    G.map2
+      (fun e1 e2 ->
+        B.io_bind
+          (Con ("NewChan", [ B.int 1 ]))
+          (B.lam c
+             (B.io_bind
+                (Con ("Fork", [ Con ("WriteChan", [ Var c; e1 ]) ]))
+                (B.lam "_"
+                   (B.io_bind
+                      (Con ("Fork", [ Con ("WriteChan", [ Var c; e2 ]) ]))
+                      (B.lam "_"
+                         (B.io_bind
+                            (Con ("ReadChan", [ Var c ]))
+                            (B.lam v
+                               (B.io_bind
+                                  (Con ("ReadChan", [ Var c ]))
+                                  (B.lam w
+                                     (B.io_bind
+                                        (App (Var "putInt", Var v))
+                                        (B.lam "_"
+                                           (App (Var "putInt", Var w))))))))))))))
+      int_e int_e
+  in
+  let chan_blocked_recover =
+    (* Nobody ever writes: the blocked read must come back as a catchable
+       BlockedIndefinitely, like the MVar case above. *)
+    let c = fresh_name () and rn = fresh_name () in
+    G.map
+      (fun e ->
+        B.io_bind
+          (Con ("NewChan", [ B.int 1 ]))
+          (B.lam c
+             (B.io_bind
+                (B.get_exception (Con ("ReadChan", [ Var c ])))
+                (B.lam rn
+                   (B.case (Var rn)
+                      [
+                        (B.pcon "OK" [ "x" ], App (Var "putInt", Var "x"));
+                        (B.pcon "Bad" [ "e" ], App (Var "putInt", e));
+                      ])))))
+      int_e
+  in
   G.frequency
     [
       (3, handoff);
@@ -513,6 +615,9 @@ let gen_conc_node cfg env depth : expr G.t =
       (2, self_throw_caught);
       (2, kill_child);
       (1, blocked_recover);
+      (2, chan_handoff);
+      (1, chan_fan_in);
+      (1, chan_blocked_recover);
     ]
 
 (* Size accounting: QCheck2's [sized] parameter maps *monotonically* to

@@ -47,6 +47,12 @@ let builtin_list =
     ("ThreadId", 1);
     ("ThreadKilled", 0);
     ("BlockedIndefinitely", 0);
+    (* PR-9 bounded channels, appended for the same tag-stability
+       reason. *)
+    ("NewChan", 1);
+    ("ReadChan", 1);
+    ("WriteChan", 2);
+    ("ChanRef", 1);
   ]
 
 let builtins () =

@@ -155,6 +155,9 @@ putMVar r v = PutMVar r v;
 myThreadId = MyThreadId;
 throwTo t e = ThrowTo t e;
 killThread t = ThrowTo t ThreadKilled;
+newChan n = NewChan n;
+readChan c = ReadChan c;
+writeChan c v = WriteChan c v;
 
 bracket acq rel use = Bracket acq rel use;
 bracket2 before after use = Bracket before (\u -> after) (\u -> use);

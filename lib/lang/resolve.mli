@@ -116,6 +116,10 @@ val t_mvar_ref : int
 val t_my_thread_id : int
 val t_throw_to : int
 val t_thread_id : int
+val t_new_chan : int
+val t_read_chan : int
+val t_write_chan : int
+val t_chan_ref : int
 
 val is_io_action_tag : int -> bool
 (** Tags whose constructor is an IO action the drivers can perform

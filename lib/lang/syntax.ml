@@ -114,7 +114,17 @@ let is_io_constructor c =
 let is_io_action_constructor c =
   is_io_constructor c
   || List.mem c
-       [ "Fork"; "NewMVar"; "TakeMVar"; "PutMVar"; "MyThreadId"; "ThrowTo" ]
+       [
+         "Fork";
+         "NewMVar";
+         "TakeMVar";
+         "PutMVar";
+         "MyThreadId";
+         "ThrowTo";
+         "NewChan";
+         "ReadChan";
+         "WriteChan";
+       ]
 
 let bool_expr b = Con ((if b then c_true else c_false), [])
 let int_expr n = Lit (Lit_int n)

@@ -1,6 +1,9 @@
 open Lang.Syntax
 module Exn = Lang.Exn
 module R = Lang.Resolve
+module Fifo = Sched.Fifo
+module Bitq = Sched.Bitq
+module Heap = Sched.Heap
 
 type outcome =
   | Done of Semantics.Sem_value.deep
@@ -45,6 +48,9 @@ type thread_state =
   | Runnable of Stg.addr * frame list  (** IO value, continuation frames *)
   | Blocked_take of int * frame list
   | Blocked_put of int * Stg.addr * frame list
+  | Blocked_read of int * frame list  (** channel, frames *)
+  | Blocked_write of int * Stg.addr * frame list
+      (** channel, value to deposit, frames *)
   | Sleeping of int * Stg.addr * frame list
       (** Wake at the given transition count ([Retry] backoff). *)
   | Finished
@@ -55,30 +61,87 @@ type thread = {
   mutable mask : int;
   mutable pending_exns : Exn.t list;
       (** Thread-targeted asynchronous exceptions ([throwTo], kill
-          schedules), FIFO, delivered only while [mask = 0]. *)
+          schedules), FIFO, delivered only while [mask = 0] (channel
+          blocking is interruptible regardless of mask). *)
+  mutable stamp : int;
+      (** Round in which the thread last became runnable; the stepping
+          cursor skips current-round stamps, reproducing the seed's
+          snapshot-per-round schedule. See {!Semantics.Conc}. *)
+  mutable blocked_on : (int Fifo.t * int Fifo.node) option;
+      (** The incrementally maintained blocked-on edge. *)
 }
 
 type mvar = {
   mutable contents : Stg.addr option;
-  mutable take_waiters : int list;
-  mutable put_waiters : int list;
+  take_waiters : int Fifo.t;
+  put_waiters : int Fifo.t;
 }
 
+(* A bounded channel; see {!Semantics.Conc} for the invariants. *)
+type chan = {
+  cap : int;
+  buf : Stg.addr Queue.t;
+  readers : int Fifo.t;
+  writers : int Fifo.t;
+}
+
+let debug_default () = Sys.getenv_opt "IMPEXN_SCHED_DEBUG" <> None
+
 let run ?config ?trace ?(input = "") ?(async = []) ?(kills = [])
-    ?(max_transitions = 100_000) (e : expr) =
+    ?(check_invariants = debug_default ()) ?(max_transitions = 100_000)
+    (e : expr) =
   let m = Stg.create ?config ?trace () in
   let tr = Stg.trace m in
   List.iter (fun (k, x) -> Stg.inject_async m ~at_step:k x) async;
   let stats = Stg.stats m in
   let buf = Buffer.create 64 in
   let input_pos = ref 0 in
-  let threads : thread list ref = ref [] in
+  let threads : (int, thread) Hashtbl.t = Hashtbl.create 64 in
   let next_tid = ref 0 in
   let spawned = ref 0 in
   let transitions = ref 0 in
+  let round = ref 0 in
   let mvars : (int, mvar) Hashtbl.t = Hashtbl.create 8 in
   let next_mvar = ref 0 in
+  let chans : (int, chan) Hashtbl.t = Hashtbl.create 8 in
+  let next_chan = ref 0 in
   let main_result : outcome option ref = ref None in
+
+  (* The scheduler indices; see {!Semantics.Conc} for the discipline. *)
+  let runq = Bitq.create () in
+  let blockedq = Bitq.create () in
+  let signaled = Bitq.create () in
+  let sleep_heap = Heap.create () in
+  let n_sleeping = ref 0 in
+
+  let find_thread tid = Hashtbl.find threads tid in
+  let find_thread_opt tid = Hashtbl.find_opt threads tid in
+
+  let set_state (t : thread) (st : thread_state) =
+    (match t.state with
+    | Runnable _ -> Bitq.remove runq t.tid
+    | Blocked_take _ | Blocked_put _ | Blocked_read _ | Blocked_write _ ->
+        Bitq.remove blockedq t.tid;
+        (match t.blocked_on with
+        | Some (q, n) -> Fifo.remove q n
+        | None -> ());
+        t.blocked_on <- None
+    | Sleeping _ -> decr n_sleeping
+    | Finished -> ());
+    t.state <- st;
+    match st with
+    | Runnable _ ->
+        Bitq.add runq t.tid;
+        t.stamp <- !round
+    | Blocked_take _ | Blocked_put _ | Blocked_read _ | Blocked_write _ ->
+        Bitq.add blockedq t.tid;
+        if t.pending_exns <> [] then Bitq.add signaled t.tid
+    | Sleeping (until, _, _) ->
+        incr n_sleeping;
+        Heap.push sleep_heap until t.tid;
+        if t.pending_exns <> [] then Bitq.add signaled t.tid
+    | Finished -> ()
+  in
 
   let kills = ref kills in
   let new_thread addr frames =
@@ -86,9 +149,17 @@ let run ?config ?trace ?(input = "") ?(async = []) ?(kills = [])
     incr next_tid;
     incr spawned;
     let t =
-      { tid; state = Runnable (addr, frames); mask = 0; pending_exns = [] }
+      {
+        tid;
+        state = Finished;
+        mask = 0;
+        pending_exns = [];
+        stamp = 0;
+        blocked_on = None;
+      }
     in
-    threads := !threads @ [ t ];
+    Hashtbl.replace threads tid t;
+    set_state t (Runnable (addr, frames));
     t
   in
   let main_thread = new_thread (Stg.alloc m e) [] in
@@ -102,11 +173,11 @@ let run ?config ?trace ?(input = "") ?(async = []) ?(kills = [])
   let finish (t : thread) (value_addr : Stg.addr) =
     if t.tid = main_thread.tid then
       main_result := Some (Done (Stg.deep m value_addr));
-    t.state <- Finished
+    set_state t Finished
   in
   let die (t : thread) exn =
     if t.tid = main_thread.tid then main_result := Some (Uncaught exn);
-    t.state <- Finished
+    set_state t Finished
   in
 
   let restore_mask () = Stg.set_mask_depth m (Stg.mask_depth m + 1) in
@@ -118,7 +189,8 @@ let run ?config ?trace ?(input = "") ?(async = []) ?(kills = [])
     | [] -> finish t v
     | F_k k :: rest -> (
         match Stg.force m k with
-        | Ok (Stg.MClo _) -> t.state <- Runnable (Stg.alloc_app m k v, rest)
+        | Ok (Stg.MClo _) ->
+            set_state t (Runnable (Stg.alloc_app m k v, rest))
         | Ok _ -> main_result := Some (Stuck ">>=: not a function")
         | Error (Stg.Fail_exn exn) -> unwind_t t exn rest
         | Error _ -> unwind_t t Exn.Non_termination rest)
@@ -126,14 +198,14 @@ let run ?config ?trace ?(input = "") ?(async = []) ?(kills = [])
         stats.Stats.brackets_entered <- stats.Stats.brackets_entered + 1;
         if Obs.on tr then Obs.record tr Obs.Ev_acquire;
         Stg.pop_mask m;
-        t.state <-
-          Runnable
-            (Stg.alloc_app m use v, F_release (Stg.alloc_app m rel v) :: rest)
+        set_state t
+          (Runnable
+             (Stg.alloc_app m use v, F_release (Stg.alloc_app m rel v) :: rest))
     | F_release r :: rest ->
         stats.Stats.brackets_released <- stats.Stats.brackets_released + 1;
         if Obs.on tr then Obs.record tr Obs.Ev_release;
         Stg.push_mask m;
-        t.state <- Runnable (r, F_mask_pop :: F_restore v :: rest)
+        set_state t (Runnable (r, F_mask_pop :: F_restore v :: rest))
     | F_onexn _ :: rest -> pop_t t v rest
     | F_mask_pop :: rest ->
         Stg.pop_mask m;
@@ -161,10 +233,10 @@ let run ?config ?trace ?(input = "") ?(async = []) ?(kills = [])
         stats.Stats.brackets_released <- stats.Stats.brackets_released + 1;
         if Obs.on tr then Obs.record tr Obs.Ev_release;
         Stg.push_mask m;
-        t.state <- Runnable (r, F_mask_pop :: F_rethrow exn :: rest)
+        set_state t (Runnable (r, F_mask_pop :: F_rethrow exn :: rest))
     | F_onexn h :: rest ->
         Stg.push_mask m;
-        t.state <- Runnable (h, F_mask_pop :: F_rethrow exn :: rest)
+        set_state t (Runnable (h, F_mask_pop :: F_rethrow exn :: rest))
     | F_mask_pop :: rest ->
         Stg.pop_mask m;
         unwind_t t exn rest
@@ -176,11 +248,11 @@ let run ?config ?trace ?(input = "") ?(async = []) ?(kills = [])
     | F_timeout _ :: rest -> unwind_t t exn rest
     | F_retry (action, attempts, backoff) :: rest ->
         if attempts > 0 then
-          t.state <-
-            Sleeping
-              ( !transitions + backoff,
-                action,
-                F_retry (action, attempts - 1, 2 * backoff) :: rest )
+          set_state t
+            (Sleeping
+               ( !transitions + backoff,
+                 action,
+                 F_retry (action, attempts - 1, 2 * backoff) :: rest ))
         else unwind_t t exn rest
     | F_rethrow _ :: rest -> unwind_t t exn rest
     | F_restore _ :: rest -> unwind_t t exn rest
@@ -190,8 +262,8 @@ let run ?config ?trace ?(input = "") ?(async = []) ?(kills = [])
         pop_t t (Stg.alloc_value m (Stg.MCon (R.t_bad, [| ev |]))) rest
   in
 
-  let find_thread tid = List.find (fun t -> t.tid = tid) !threads in
-
+  (* A normal (value-carrying) wake of an MVar waiter: the caller has
+     already popped [tid] from the waiter queue. *)
   let wake tid =
     let t = find_thread tid in
     match t.state with
@@ -200,34 +272,39 @@ let run ?config ?trace ?(input = "") ?(async = []) ?(kills = [])
         match s.contents with
         | Some v ->
             s.contents <- None;
-            t.state <- Runnable (ret_addr v, frames)
+            set_state t (Runnable (ret_addr v, frames))
         | None -> ())
     | Blocked_put (mv, v, frames) -> (
         let s = Hashtbl.find mvars mv in
         match s.contents with
         | None ->
             s.contents <- Some v;
-            t.state <- Runnable (ret_value unit_v, frames)
+            set_state t (Runnable (ret_value unit_v, frames))
         | Some _ -> ())
-    | Runnable _ | Sleeping _ | Finished -> ()
+    | Runnable _ | Blocked_read _ | Blocked_write _ | Sleeping _ | Finished
+      ->
+        ()
   in
 
-  let pop_waiter waiters =
-    match List.rev waiters with
-    | [] -> (None, waiters)
-    | w :: _ -> (Some w, List.filter (fun x -> x <> w) waiters)
+  (* Channel wakes; the invariants guarantee the preconditions (see
+     {!Semantics.Conc}). *)
+  let wake_reader tid =
+    let t = find_thread tid in
+    match t.state with
+    | Blocked_read (id, frames) ->
+        let c = Hashtbl.find chans id in
+        let v = Queue.pop c.buf in
+        set_state t (Runnable (ret_addr v, frames))
+    | _ -> ()
   in
-
-  let find_thread_opt tid = List.find_opt (fun t -> t.tid = tid) !threads in
-
-  (* Forget a thread that is being woken exceptionally: it no longer
-     waits on any MVar. *)
-  let scrub_waiters tid =
-    Hashtbl.iter
-      (fun _ s ->
-        s.take_waiters <- List.filter (fun x -> x <> tid) s.take_waiters;
-        s.put_waiters <- List.filter (fun x -> x <> tid) s.put_waiters)
-      mvars
+  let wake_writer tid =
+    let t = find_thread tid in
+    match t.state with
+    | Blocked_write (id, v, frames) ->
+        let c = Hashtbl.find chans id in
+        Queue.push v c.buf;
+        set_state t (Runnable (ret_value unit_v, frames))
+    | _ -> ()
   in
 
   let take_pending_exn (t : thread) =
@@ -240,17 +317,41 @@ let run ?config ?trace ?(input = "") ?(async = []) ?(kills = [])
           Some x
   in
 
+  (* Channel blocking is interruptible regardless of mask (PLDI'01). *)
+  let take_pending_exn_interruptible (t : thread) =
+    match t.pending_exns with
+    | [] -> None
+    | x :: rest ->
+        t.pending_exns <- rest;
+        Some x
+  in
+
   (* Thread-targeted delivery by unwinding [t]'s frames: releases and
      handlers run, an [F_catch] (getException-on-IO) stops it. The
      machine mask depth is synced to [t] for the duration, since this
-     may run from the scheduler, outside [step]. *)
+     may run from the scheduler, outside [step]; the blocked-on edge is
+     detached by [set_state] when the unwind leaves the blocked state. *)
   let deliver_unwind (t : thread) (x : Exn.t) (frames : frame list) =
     stats.Stats.throwtos_delivered <- stats.Stats.throwtos_delivered + 1;
     if Obs.on tr then Obs.record tr (Obs.Ev_kill_delivered (t.tid, x));
-    scrub_waiters t.tid;
     Stg.set_mask_depth m t.mask;
     unwind_t t x frames;
     t.mask <- Stg.mask_depth m
+  in
+
+  (* Queue a thread-targeted exception and flag the target for
+     round-start delivery if it cannot reach a delivery point itself. *)
+  let enqueue_pending (target : int) (x : Exn.t) =
+    match find_thread_opt target with
+    | None -> () (* unknown target: no-op *)
+    | Some tgt -> (
+        match tgt.state with
+        | Finished -> () (* dead target: send is a no-op *)
+        | Runnable _ -> tgt.pending_exns <- tgt.pending_exns @ [ x ]
+        | Blocked_take _ | Blocked_put _ | Blocked_read _ | Blocked_write _
+        | Sleeping _ ->
+            tgt.pending_exns <- tgt.pending_exns @ [ x ];
+            Bitq.add signaled tgt.tid)
   in
 
   let as_mvar_id v =
@@ -260,6 +361,15 @@ let run ?config ?trace ?(input = "") ?(async = []) ?(kills = [])
         | Ok (Stg.MInt id) -> Result.Ok id
         | _ -> Result.Error "corrupt MVar reference")
     | _ -> Result.Error "not an MVar"
+  in
+
+  let as_chan_id v =
+    match v with
+    | Stg.MCon (c, [| idt |]) when c = R.t_chan_ref -> (
+        match Stg.force m idt with
+        | Ok (Stg.MInt id) -> Result.Ok id
+        | _ -> Result.Error "corrupt channel reference")
+    | _ -> Result.Error "not a channel"
   in
 
   let expired (t : thread) stack =
@@ -285,20 +395,20 @@ let run ?config ?trace ?(input = "") ?(async = []) ?(kills = [])
       | Ok (Stg.MCon (c, [| v |])) when c = R.t_return ->
           pop_t t v frames
       | Ok (Stg.MCon (c, [| m1; k |])) when c = R.t_bind ->
-          t.state <- Runnable (m1, F_k k :: frames)
+          set_state t (Runnable (m1, F_k k :: frames))
       | Ok (Stg.MCon (c, [||])) when c = R.t_get_char ->
           if !input_pos >= String.length input then
             main_result := Some (Stuck "getChar: end of input")
           else begin
             let ch = input.[!input_pos] in
             incr input_pos;
-            t.state <- Runnable (ret_value (Stg.MChar ch), frames)
+            set_state t (Runnable (ret_value (Stg.MChar ch), frames))
           end
       | Ok (Stg.MCon (c, [| v |])) when c = R.t_put_char -> (
           match Stg.force m v with
           | Ok (Stg.MChar ch) ->
               Buffer.add_char buf ch;
-              t.state <- Runnable (ret_value unit_v, frames)
+              set_state t (Runnable (ret_value unit_v, frames))
           | Ok _ -> main_result := Some (Stuck "putChar: not a character")
           | Error (Stg.Fail_exn exn) -> unwind_t t exn frames
           | Error _ -> unwind_t t Exn.Non_termination frames)
@@ -307,36 +417,36 @@ let run ?config ?trace ?(input = "") ?(async = []) ?(kills = [])
           | Ok (Stg.MCon (ca, _)) when R.is_io_action_tag ca ->
               (* getException of an IO action (GHC's [try]): perform it
                  under a catch frame; [v] is updated to its WHNF. *)
-              t.state <- Runnable (v, F_catch :: frames)
+              set_state t (Runnable (v, F_catch :: frames))
           | Ok _ ->
-              t.state <-
-                Runnable (ret_value (Stg.MCon (R.t_ok, [| v |])), frames)
+              set_state t
+                (Runnable (ret_value (Stg.MCon (R.t_ok, [| v |])), frames))
           | Error (Stg.Fail_exn exn) | Error (Stg.Fail_async exn) ->
               let ev = Stg.alloc_value m (Stg.exn_to_mvalue m exn) in
-              t.state <-
-                Runnable (ret_value (Stg.MCon (R.t_bad, [| ev |])), frames)
+              set_state t
+                (Runnable (ret_value (Stg.MCon (R.t_bad, [| ev |])), frames))
           | Error Stg.Fail_diverged ->
               let ev =
                 Stg.alloc_value m (Stg.exn_to_mvalue m Exn.Non_termination)
               in
-              t.state <-
-                Runnable (ret_value (Stg.MCon (R.t_bad, [| ev |])), frames))
+              set_state t
+                (Runnable (ret_value (Stg.MCon (R.t_bad, [| ev |])), frames)))
       | Ok (Stg.MCon (c, [| acq; rel; use |])) when c = R.t_bracket ->
           Stg.push_mask m;
-          t.state <- Runnable (acq, F_bracket (rel, use) :: frames)
+          set_state t (Runnable (acq, F_bracket (rel, use) :: frames))
       | Ok (Stg.MCon (c, [| m1; h |])) when c = R.t_on_exception ->
-          t.state <- Runnable (m1, F_onexn h :: frames)
+          set_state t (Runnable (m1, F_onexn h :: frames))
       | Ok (Stg.MCon (c, [| m1 |])) when c = R.t_mask ->
           Stg.push_mask m;
-          t.state <- Runnable (m1, F_mask_pop :: frames)
+          set_state t (Runnable (m1, F_mask_pop :: frames))
       | Ok (Stg.MCon (c, [| m1 |])) when c = R.t_unmask ->
           Stg.pop_mask m;
-          t.state <- Runnable (m1, F_unmask_pop :: frames)
+          set_state t (Runnable (m1, F_unmask_pop :: frames))
       | Ok (Stg.MCon (c, [| nt; m1 |])) when c = R.t_timeout -> (
           match Stg.force m nt with
           | Ok (Stg.MInt k) ->
-              t.state <-
-                Runnable (m1, F_timeout (!transitions + max 0 k) :: frames)
+              set_state t
+                (Runnable (m1, F_timeout (!transitions + max 0 k) :: frames))
           | Ok _ ->
               main_result := Some (Stuck "timeout: budget is not an integer")
           | Error (Stg.Fail_exn exn) -> unwind_t t exn frames
@@ -344,9 +454,9 @@ let run ?config ?trace ?(input = "") ?(async = []) ?(kills = [])
       | Ok (Stg.MCon (c, [| nt; bt; m1 |])) when c = R.t_retry -> (
           match (Stg.force m nt, Stg.force m bt) with
           | Ok (Stg.MInt attempts), Ok (Stg.MInt backoff) ->
-              t.state <-
-                Runnable
-                  (m1, F_retry (m1, max 0 attempts, max 1 backoff) :: frames)
+              set_state t
+                (Runnable
+                   (m1, F_retry (m1, max 0 attempts, max 1 backoff) :: frames))
           | Error (Stg.Fail_exn exn), _ | _, Error (Stg.Fail_exn exn) ->
               unwind_t t exn frames
           | Error _, _ | _, Error _ ->
@@ -363,15 +473,19 @@ let run ?config ?trace ?(input = "") ?(async = []) ?(kills = [])
           if Obs.on tr then
             Obs.record tr
               (Obs.Ev_io (Printf.sprintf "fork thread %d" child.tid));
-          t.state <- Runnable (ret_value unit_v, frames)
+          set_state t (Runnable (ret_value unit_v, frames))
       | Ok (Stg.MCon (c, [||])) when c = R.t_new_mvar ->
           let id = !next_mvar in
           incr next_mvar;
           Hashtbl.replace mvars id
-            { contents = None; take_waiters = []; put_waiters = [] };
+            {
+              contents = None;
+              take_waiters = Fifo.create ();
+              put_waiters = Fifo.create ();
+            };
           let idv = Stg.alloc_value m (Stg.MInt id) in
-          t.state <-
-            Runnable (ret_value (Stg.MCon (R.t_mvar_ref, [| idv |])), frames)
+          set_state t
+            (Runnable (ret_value (Stg.MCon (R.t_mvar_ref, [| idv |])), frames))
       | Ok (Stg.MCon (c, [| r |])) when c = R.t_take_mvar -> (
           match Stg.force m r with
           | Ok rv -> (
@@ -382,13 +496,15 @@ let run ?config ?trace ?(input = "") ?(async = []) ?(kills = [])
                   match s.contents with
                   | Some v ->
                       s.contents <- None;
-                      let w, rest = pop_waiter s.put_waiters in
-                      s.put_waiters <- rest;
-                      Option.iter wake w;
-                      t.state <- Runnable (ret_addr v, frames)
+                      (match Fifo.pop_head s.put_waiters with
+                      | Some w -> wake w
+                      | None -> ());
+                      set_state t (Runnable (ret_addr v, frames))
                   | None ->
-                      s.take_waiters <- t.tid :: s.take_waiters;
-                      t.state <- Blocked_take (id, frames)))
+                      set_state t (Blocked_take (id, frames));
+                      t.blocked_on <-
+                        Some
+                          (s.take_waiters, Fifo.push_tail s.take_waiters t.tid)))
           | Error (Stg.Fail_exn exn) -> unwind_t t exn frames
           | Error _ -> unwind_t t Exn.Non_termination frames)
       | Ok (Stg.MCon (c, [| r; v |])) when c = R.t_put_mvar -> (
@@ -401,19 +517,84 @@ let run ?config ?trace ?(input = "") ?(async = []) ?(kills = [])
                   match s.contents with
                   | None ->
                       s.contents <- Some v;
-                      let w, rest = pop_waiter s.take_waiters in
-                      s.take_waiters <- rest;
-                      Option.iter wake w;
-                      t.state <- Runnable (ret_value unit_v, frames)
+                      (match Fifo.pop_head s.take_waiters with
+                      | Some w -> wake w
+                      | None -> ());
+                      set_state t (Runnable (ret_value unit_v, frames))
                   | Some _ ->
-                      s.put_waiters <- t.tid :: s.put_waiters;
-                      t.state <- Blocked_put (id, v, frames)))
+                      set_state t (Blocked_put (id, v, frames));
+                      t.blocked_on <-
+                        Some
+                          (s.put_waiters, Fifo.push_tail s.put_waiters t.tid)))
+          | Error (Stg.Fail_exn exn) -> unwind_t t exn frames
+          | Error _ -> unwind_t t Exn.Non_termination frames)
+      | Ok (Stg.MCon (c, [| nt |])) when c = R.t_new_chan -> (
+          match Stg.force m nt with
+          | Ok (Stg.MInt k) ->
+              let id = !next_chan in
+              incr next_chan;
+              Hashtbl.replace chans id
+                {
+                  cap = max 1 k;
+                  buf = Queue.create ();
+                  readers = Fifo.create ();
+                  writers = Fifo.create ();
+                };
+              let idv = Stg.alloc_value m (Stg.MInt id) in
+              set_state t
+                (Runnable
+                   (ret_value (Stg.MCon (R.t_chan_ref, [| idv |])), frames))
+          | Ok _ ->
+              main_result :=
+                Some (Stuck "newChan: capacity is not an integer")
+          | Error (Stg.Fail_exn exn) -> unwind_t t exn frames
+          | Error _ -> unwind_t t Exn.Non_termination frames)
+      | Ok (Stg.MCon (c, [| r |])) when c = R.t_read_chan -> (
+          match Stg.force m r with
+          | Ok rv -> (
+              match as_chan_id rv with
+              | Result.Error msg -> unwind_t t (Exn.Type_error msg) frames
+              | Result.Ok id ->
+                  let ch = Hashtbl.find chans id in
+                  if not (Queue.is_empty ch.buf) then begin
+                    let v = Queue.pop ch.buf in
+                    (match Fifo.pop_head ch.writers with
+                    | Some w -> wake_writer w
+                    | None -> ());
+                    set_state t (Runnable (ret_addr v, frames))
+                  end
+                  else begin
+                    set_state t (Blocked_read (id, frames));
+                    t.blocked_on <-
+                      Some (ch.readers, Fifo.push_tail ch.readers t.tid)
+                  end)
+          | Error (Stg.Fail_exn exn) -> unwind_t t exn frames
+          | Error _ -> unwind_t t Exn.Non_termination frames)
+      | Ok (Stg.MCon (c, [| r; v |])) when c = R.t_write_chan -> (
+          match Stg.force m r with
+          | Ok rv -> (
+              match as_chan_id rv with
+              | Result.Error msg -> unwind_t t (Exn.Type_error msg) frames
+              | Result.Ok id ->
+                  let ch = Hashtbl.find chans id in
+                  if Queue.length ch.buf < ch.cap then begin
+                    Queue.push v ch.buf;
+                    (match Fifo.pop_head ch.readers with
+                    | Some w -> wake_reader w
+                    | None -> ());
+                    set_state t (Runnable (ret_value unit_v, frames))
+                  end
+                  else begin
+                    set_state t (Blocked_write (id, v, frames));
+                    t.blocked_on <-
+                      Some (ch.writers, Fifo.push_tail ch.writers t.tid)
+                  end)
           | Error (Stg.Fail_exn exn) -> unwind_t t exn frames
           | Error _ -> unwind_t t Exn.Non_termination frames)
       | Ok (Stg.MCon (c, [||])) when c = R.t_my_thread_id ->
           let ida = Stg.alloc_value m (Stg.MInt t.tid) in
-          t.state <-
-            Runnable (ret_value (Stg.MCon (R.t_thread_id, [| ida |])), frames)
+          set_state t
+            (Runnable (ret_value (Stg.MCon (R.t_thread_id, [| ida |])), frames))
       | Ok (Stg.MCon (c, [| tt; et |])) when c = R.t_throw_to -> (
           match Stg.force m tt with
           | Ok (Stg.MCon (ct, [| nt |])) when ct = R.t_thread_id -> (
@@ -436,16 +617,8 @@ let run ?config ?trace ?(input = "") ?(async = []) ?(kills = [])
                             unwind_t t x frames
                           end
                           else begin
-                            (match find_thread_opt target with
-                            | Some tgt -> (
-                                match tgt.state with
-                                | Finished ->
-                                    () (* dead target: send is a no-op *)
-                                | _ ->
-                                    tgt.pending_exns <-
-                                      tgt.pending_exns @ [ x ])
-                            | None -> () (* unknown target: no-op *));
-                            t.state <- Runnable (ret_value unit_v, frames)
+                            enqueue_pending target x;
+                            set_state t (Runnable (ret_value unit_v, frames))
                           end
                       | Error (Stg.Exn_err x) -> unwind_t t x frames
                       | Error Stg.Not_exn ->
@@ -467,7 +640,9 @@ let run ?config ?trace ?(input = "") ?(async = []) ?(kills = [])
 
   let step (t : thread) =
     match t.state with
-    | Finished | Blocked_take _ | Blocked_put _ | Sleeping _ -> ()
+    | Finished | Blocked_take _ | Blocked_put _ | Blocked_read _
+    | Blocked_write _ | Sleeping _ ->
+        ()
     | Runnable (addr, frames) ->
         (* Each thread carries its own mask depth; sync it into the
            machine for the duration of the step so force_catch defers
@@ -489,21 +664,161 @@ let run ?config ?trace ?(input = "") ?(async = []) ?(kills = [])
                   Obs.record tr (Obs.Ev_catch (Some x))
                 end;
                 let ev = Stg.alloc_value m (Stg.exn_to_mvalue m x) in
-                t.state <-
-                  Runnable (ret_value (Stg.MCon (R.t_bad, [| ev |])), frames)
+                set_state t
+                  (Runnable
+                     (ret_value (Stg.MCon (R.t_bad, [| ev |])), frames))
             | _ -> deliver_unwind t x frames)
         | None -> step_runnable t addr frames);
         t.mask <- Stg.mask_depth m
   in
 
-  let wake_sleepers () =
+  (* Round-start phase 1: wake due sleepers (lazy heap deletion). *)
+  let rec wake_due_sleepers () =
+    match Heap.peek sleep_heap with
+    | Some (until, tid) when until <= !transitions ->
+        ignore (Heap.pop sleep_heap);
+        let t = find_thread tid in
+        (match t.state with
+        | Sleeping (u, action, frames) when u = until ->
+            set_state t (Runnable (action, frames))
+        | _ -> () (* stale entry *));
+        wake_due_sleepers ()
+    | _ -> ()
+  in
+
+  let rec earliest_sleeper () =
+    match Heap.peek sleep_heap with
+    | None -> None
+    | Some (until, tid) -> (
+        match (find_thread tid).state with
+        | Sleeping (u, _, _) when u = until -> Some until
+        | _ ->
+            ignore (Heap.pop sleep_heap);
+            earliest_sleeper ())
+  in
+
+  (* Round-start phase 3: deliver to flagged blocked/sleeping threads
+     (masked MVar waiters and sleepers keep their pending exceptions;
+     channel waiters are interruptible regardless of mask). *)
+  let drain_signaled () =
+    let flagged = Bitq.to_list signaled in
     List.iter
-      (fun t ->
+      (fun tid ->
+        Bitq.remove signaled tid;
+        let t = find_thread tid in
         match t.state with
-        | Sleeping (until, action, frames) when until <= !transitions ->
-            t.state <- Runnable (action, frames)
-        | _ -> ())
-      !threads
+        | Blocked_take (_, frames)
+        | Blocked_put (_, _, frames)
+        | Sleeping (_, _, frames) -> (
+            match take_pending_exn t with
+            | Some x -> deliver_unwind t x frames
+            | None -> ())
+        | Blocked_read (_, frames) | Blocked_write (_, _, frames) -> (
+            match take_pending_exn_interruptible t with
+            | Some x -> deliver_unwind t x frames
+            | None -> ())
+        | Runnable _ | Finished ->
+            () (* woke up meanwhile: its own step delivers *))
+      flagged
+  in
+
+  (* Debug-flag invariant checks; see {!Semantics.Conc}. *)
+  let sched_violation msg =
+    let extra =
+      [
+        ("round", string_of_int !round);
+        ("transitions", string_of_int !transitions);
+        ("threads", string_of_int !spawned);
+        ("runnable", string_of_int (Bitq.cardinal runq));
+        ("blocked", string_of_int (Bitq.cardinal blockedq));
+        ("sleeping", string_of_int !n_sleeping);
+      ]
+    in
+    raise
+      (Obs.Machine_invariant
+         (Obs.dump ~extra ~note:("scheduler invariant: " ^ msg) tr))
+  in
+  let check_indices () =
+    let sleeping = ref 0 in
+    Hashtbl.iter
+      (fun tid t ->
+        (match t.state with
+        | Runnable _ ->
+            if not (Bitq.mem runq tid) then
+              sched_violation
+                (Printf.sprintf "runnable t%d missing from run queue" tid)
+        | Blocked_take _ | Blocked_put _ | Blocked_read _ | Blocked_write _
+          -> (
+            if not (Bitq.mem blockedq tid) then
+              sched_violation
+                (Printf.sprintf "blocked t%d missing from blocked set" tid);
+            match t.blocked_on with
+            | None ->
+                sched_violation
+                  (Printf.sprintf "blocked t%d has no blocked-on edge" tid)
+            | Some (_, n) ->
+                if not n.Fifo.in_q then
+                  sched_violation
+                    (Printf.sprintf
+                       "blocked t%d's blocked-on edge is detached" tid);
+                if n.Fifo.value <> tid then
+                  sched_violation
+                    (Printf.sprintf
+                       "blocked t%d's blocked-on edge names t%d" tid
+                       n.Fifo.value))
+        | Sleeping _ -> incr sleeping
+        | Finished -> ());
+        (match t.state with
+        | Blocked_take _ | Blocked_put _ | Blocked_read _ | Blocked_write _
+          ->
+            ()
+        | _ ->
+            if t.blocked_on <> None then
+              sched_violation
+                (Printf.sprintf "non-blocked t%d holds a blocked-on edge"
+                   tid));
+        match t.state with
+        | Runnable _ -> ()
+        | _ ->
+            if Bitq.mem runq tid then
+              sched_violation
+                (Printf.sprintf "non-runnable t%d in run queue" tid))
+      threads;
+    if !sleeping <> !n_sleeping then
+      sched_violation
+        (Printf.sprintf "sleeper count %d but %d threads sleeping"
+           !n_sleeping !sleeping);
+    Bitq.iter
+      (fun tid ->
+        match (find_thread tid).state with
+        | Runnable _ -> ()
+        | _ ->
+            sched_violation
+              (Printf.sprintf "run queue names non-runnable t%d" tid))
+      runq;
+    Bitq.iter
+      (fun tid ->
+        match (find_thread tid).state with
+        | Blocked_take _ | Blocked_put _ | Blocked_read _ | Blocked_write _
+          ->
+            ()
+        | _ ->
+            sched_violation
+              (Printf.sprintf "blocked set names non-blocked t%d" tid))
+      blockedq;
+    Hashtbl.iter
+      (fun id c ->
+        if Queue.length c.buf > c.cap then
+          sched_violation
+            (Printf.sprintf "channel %d holds %d > cap %d" id
+               (Queue.length c.buf) c.cap);
+        if Fifo.length c.readers > 0 && not (Queue.is_empty c.buf) then
+          sched_violation
+            (Printf.sprintf "channel %d has readers waiting on data" id);
+        if Fifo.length c.writers > 0 && Queue.length c.buf < c.cap then
+          sched_violation
+            (Printf.sprintf "channel %d has writers waiting on room" id))
+      chans
   in
 
   let rec scheduler () =
@@ -512,7 +827,7 @@ let run ?config ?trace ?(input = "") ?(async = []) ?(kills = [])
     | None ->
         if !transitions >= max_transitions then Diverged
         else begin
-          wake_sleepers ();
+          wake_due_sleepers ();
           (* Due kill-schedule entries become pending thread-targeted
              exceptions (the fault-injection axis; sends to finished or
              unknown threads are dropped, like a dead [throwTo]). *)
@@ -520,97 +835,81 @@ let run ?config ?trace ?(input = "") ?(async = []) ?(kills = [])
             List.partition (fun (k, _, _) -> !transitions >= k) !kills
           in
           kills := later;
-          List.iter
-            (fun (_, target, x) ->
-              match find_thread_opt target with
-              | Some tgt -> (
-                  match tgt.state with
-                  | Finished -> ()
-                  | _ -> tgt.pending_exns <- tgt.pending_exns @ [ x ])
-              | None -> ())
-            due;
-          (* Blocked and sleeping threads cannot reach a delivery point on
-             their own: interrupt them here (masked threads keep their
-             pending exceptions and stay blocked). *)
-          List.iter
-            (fun t ->
-              match t.state with
-              | Blocked_take (_, frames)
-              | Blocked_put (_, _, frames)
-              | Sleeping (_, _, frames) -> (
-                  match take_pending_exn t with
-                  | Some x -> deliver_unwind t x frames
-                  | None -> ())
-              | Runnable _ | Finished -> ())
-            !threads;
+          List.iter (fun (_, target, x) -> enqueue_pending target x) due;
+          drain_signaled ();
           match !main_result with
           | Some o -> o
           | None ->
-              let runnable =
-                List.filter
-                  (fun t ->
-                    match t.state with Runnable _ -> true | _ -> false)
-                  !threads
-              in
-              let sleepers =
-                List.filter_map
-                  (fun t ->
-                    match t.state with
-                    | Sleeping (until, _, _) -> Some until
-                    | _ -> None)
-                  !threads
-              in
-              if runnable = [] then
-                match sleepers with
-                | [] -> (
-                    (* Irrecoverably blocked. Instead of giving up with a
-                       global [Deadlock], deliver [BlockedIndefinitely] to
-                       every unmasked blocked thread (tid order) as a
-                       catchable imprecise exception and keep scheduling;
-                       only when every blocked thread is masked is this a
-                       true deadlock. *)
-                    let victims =
-                      List.filter
+              if check_invariants then check_indices ();
+              if Bitq.is_empty runq then begin
+                if !n_sleeping > 0 then begin
+                  (* Only sleepers left: fast-forward to the earliest
+                     wake-up. *)
+                  (match earliest_sleeper () with
+                  | Some until -> transitions := until
+                  | None -> sched_violation "sleeper heap lost an entry");
+                  scheduler ()
+                end
+                else begin
+                  (* Irrecoverably blocked. Deliver [BlockedIndefinitely]
+                     to every unmasked blocked thread — and every
+                     channel-blocked thread, masked or not — in tid
+                     order as a catchable imprecise exception and keep
+                     scheduling; only when every blocked thread is a
+                     masked MVar waiter is this a true deadlock. *)
+                  let victims = ref [] in
+                  Bitq.iter
+                    (fun tid ->
+                      let t = find_thread tid in
+                      match t.state with
+                      | (Blocked_take _ | Blocked_put _) when t.mask = 0 ->
+                          victims := t :: !victims
+                      | Blocked_read _ | Blocked_write _ ->
+                          victims := t :: !victims
+                      | _ -> ())
+                    blockedq;
+                  match List.rev !victims with
+                  | [] -> Deadlock
+                  | victims ->
+                      List.iter
                         (fun t ->
-                          t.mask = 0
-                          &&
-                          match t.state with
-                          | Blocked_take _ | Blocked_put _ -> true
-                          | _ -> false)
-                        !threads
-                    in
-                    match victims with
-                    | [] -> Deadlock
-                    | _ :: _ ->
-                        List.iter
-                          (fun t ->
-                            let frames =
-                              match t.state with
-                              | Blocked_take (_, fs) -> fs
-                              | Blocked_put (_, _, fs) -> fs
-                              | _ -> []
-                            in
-                            stats.Stats.blocked_recoveries <-
-                              stats.Stats.blocked_recoveries + 1;
-                            if Obs.on tr then
-                              Obs.record tr (Obs.Ev_blocked_recover t.tid);
-                            scrub_waiters t.tid;
-                            Stg.set_mask_depth m t.mask;
-                            unwind_t t Exn.Blocked_indefinitely frames;
-                            t.mask <- Stg.mask_depth m)
-                          victims;
-                        scheduler ())
-                | _ :: _ ->
-                    (* Only sleepers left: fast-forward to the earliest
-                       wake-up. *)
-                    transitions := List.fold_left min max_int sleepers;
-                    scheduler ()
+                          let frames =
+                            match t.state with
+                            | Blocked_take (_, fs) | Blocked_read (_, fs) ->
+                                fs
+                            | Blocked_put (_, _, fs)
+                            | Blocked_write (_, _, fs) ->
+                                fs
+                            | _ -> []
+                          in
+                          stats.Stats.blocked_recoveries <-
+                            stats.Stats.blocked_recoveries + 1;
+                          if Obs.on tr then
+                            Obs.record tr (Obs.Ev_blocked_recover t.tid);
+                          Stg.set_mask_depth m t.mask;
+                          unwind_t t Exn.Blocked_indefinitely frames;
+                          t.mask <- Stg.mask_depth m)
+                        victims;
+                      scheduler ()
+                end
+              end
               else begin
-                List.iter
-                  (fun t ->
-                    incr transitions;
-                    step t)
-                  runnable;
+                (* The stepping round; see {!Semantics.Conc} for the
+                   round-stamp discipline that reproduces the seed's
+                   snapshot schedule. *)
+                round := !round + 1;
+                let rec go i =
+                  match Bitq.next_geq runq i with
+                  | None -> ()
+                  | Some tid ->
+                      let t = find_thread tid in
+                      if t.stamp <> !round then begin
+                        incr transitions;
+                        step t
+                      end;
+                      go (tid + 1)
+                in
+                go 0;
                 scheduler ()
               end
         end

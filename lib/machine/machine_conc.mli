@@ -16,7 +16,21 @@
     [Bad e]; anywhere else it unwinds the target's frames, running
     releases and handlers. Irrecoverably blocked unmasked threads receive
     the catchable [BlockedIndefinitely] exception instead of a global
-    [Deadlock]. *)
+    [Deadlock].
+
+    Bounded channels ([newChan n], [readChan], [writeChan]) follow
+    {!Semantics.Conc}: channel blocking is an interruptible point that
+    receives asynchronous exceptions and [BlockedIndefinitely] even
+    under a positive mask depth, and a blocked writer's element enters
+    the buffer only when the deposit succeeds.
+
+    The scheduler runs on the same indexed runtime as
+    {!Semantics.Conc} (bitmap run queue, tid hash table, intrusive
+    waiter FIFOs, incremental blocked-on edges) with the seed's exact
+    round-based schedule; [check_invariants] (default: set when
+    [IMPEXN_SCHED_DEBUG] is present) validates the indices every round
+    and raises {!Obs.Machine_invariant} with a flight-recorder dump on
+    violation. *)
 
 type outcome =
   | Done of Semantics.Sem_value.deep  (** Main thread's result. *)
@@ -43,6 +57,7 @@ val run :
   ?input:string ->
   ?async:(int * Lang.Exn.t) list ->
   ?kills:(int * int * Lang.Exn.t) list ->
+  ?check_invariants:bool ->
   ?max_transitions:int ->
   Lang.Syntax.expr ->
   result

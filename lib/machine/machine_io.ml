@@ -74,6 +74,8 @@ let relocate_frames (fs : frame list) (addrs : Stg.addr list) : frame list =
           f)
     fs
 
+type chan = { cap : int; buf : Stg.addr Queue.t }
+
 let run ?config ?trace ?(input = "") ?(async = [])
     ?(max_transitions = 100_000) ?gc_every e =
   let m = Stg.create ?config ?trace () in
@@ -83,24 +85,59 @@ let run ?config ?trace ?(input = "") ?(async = [])
   let reads = ref 0 in
   let stats = Stg.stats m in
   let main_addr = Stg.alloc m e in
-  (* Optional heap housekeeping between transitions: the only live
-     addresses are the current action and the frames' addresses. *)
+  (* Bounded channels in the single-threaded driver (see
+     {!Semantics.Iosem}): a blocking operation is hopeless and receives
+     the catchable [Blocked_indefinitely] at once, mask or no mask. *)
+  let chans : (int, chan) Hashtbl.t = Hashtbl.create 8 in
+  let next_chan = ref 0 in
+  let as_chan_id v =
+    match v with
+    | Stg.MCon (c, [| idt |]) when c = R.t_chan_ref -> (
+        match Stg.force m idt with
+        | Ok (Stg.MInt id) -> Result.Ok id
+        | _ -> Result.Error "corrupt channel reference")
+    | _ -> Result.Error "not a channel"
+  in
+  (* Heap housekeeping: the live addresses are the current action, the
+     frames' addresses and every element buffered in a channel; the
+     buffered elements are relocated in place. *)
+  let collect a stack =
+    let chan_list = Hashtbl.fold (fun _ ch acc -> ch :: acc) chans [] in
+    let chan_addrs =
+      List.concat_map (fun ch -> List.of_seq (Queue.to_seq ch.buf)) chan_list
+    in
+    let frame_roots = frame_addrs stack in
+    match Stg.gc m ~roots:((a :: frame_roots) @ chan_addrs) with
+    | a' :: rest ->
+        let rem = ref rest in
+        let next () =
+          match !rem with
+          | x :: r ->
+              rem := r;
+              x
+          | [] -> assert false
+        in
+        let frame_roots' = List.map (fun _ -> next ()) frame_roots in
+        List.iter
+          (fun ch ->
+            let len = Queue.length ch.buf in
+            Queue.clear ch.buf;
+            for _ = 1 to len do
+              Queue.push (next ()) ch.buf
+            done)
+          chan_list;
+        (a', relocate_frames stack frame_roots')
+    | [] -> assert false
+  in
   let maybe_gc a stack n =
     match gc_every with
-    | Some k when k > 0 && n > 0 && n mod k = 0 -> (
-        match Stg.gc m ~roots:(a :: frame_addrs stack) with
-        | a' :: addrs' -> (a', relocate_frames stack addrs')
-        | [] -> assert false)
+    | Some k when k > 0 && n > 0 && n mod k = 0 -> collect a stack
     | _ -> (a, stack)
   in
   (* Recovery point for catchable resource exhaustion: a HeapOverflow just
      surfaced at a getException, so collect from the driver's roots. This
      both frees the abandoned allocations and re-arms the heap limit. *)
-  let emergency_gc a stack =
-    match Stg.gc m ~roots:(a :: frame_addrs stack) with
-    | a' :: addrs' -> (a', relocate_frames stack addrs')
-    | [] -> assert false
-  in
+  let emergency_gc a stack = collect a stack in
   let ret_addr v_addr =
     Stg.alloc_value m (Stg.MCon (R.t_return, [| v_addr |]))
   in
@@ -256,7 +293,62 @@ let run ?config ?trace ?(input = "") ?(async = [])
           | Error Stg.Fail_diverged -> Io_diverged
           | Error (Stg.Fail_async _) ->
               Stuck "async event outside getException")
+      | Ok (Stg.MCon (c, [| nt |])) when c = R.t_new_chan -> (
+          match Stg.force m nt with
+          | Ok (Stg.MInt k) ->
+              let id = !next_chan in
+              incr next_chan;
+              Hashtbl.replace chans id
+                { cap = max 1 k; buf = Queue.create () };
+              let ida = Stg.alloc_value m (Stg.MInt id) in
+              let ra =
+                Stg.alloc_value m (Stg.MCon (R.t_chan_ref, [| ida |]))
+              in
+              perform (ret_addr ra) stack (n + 1)
+          | Ok _ -> Stuck "newChan: capacity is not an integer"
+          | Error (Stg.Fail_exn exn) -> unwind exn stack n
+          | Error Stg.Fail_diverged -> Io_diverged
+          | Error (Stg.Fail_async _) ->
+              Stuck "async event outside getException")
+      | Ok (Stg.MCon (c, [| r |])) when c = R.t_read_chan -> (
+          match Stg.force m r with
+          | Ok rv -> (
+              match as_chan_id rv with
+              | Result.Error msg ->
+                  unwind (Exn.Type_error msg) stack n
+              | Result.Ok id ->
+                  let ch = Hashtbl.find chans id in
+                  if Queue.is_empty ch.buf then blocked_forever stack n
+                  else perform (ret_addr (Queue.pop ch.buf)) stack (n + 1))
+          | Error (Stg.Fail_exn exn) -> unwind exn stack n
+          | Error Stg.Fail_diverged -> Io_diverged
+          | Error (Stg.Fail_async _) ->
+              Stuck "async event outside getException")
+      | Ok (Stg.MCon (c, [| r; v |])) when c = R.t_write_chan -> (
+          match Stg.force m r with
+          | Ok rv -> (
+              match as_chan_id rv with
+              | Result.Error msg ->
+                  unwind (Exn.Type_error msg) stack n
+              | Result.Ok id ->
+                  let ch = Hashtbl.find chans id in
+                  if Queue.length ch.buf >= ch.cap then
+                    blocked_forever stack n
+                  else begin
+                    Queue.push v ch.buf;
+                    let ua = Stg.alloc_value m (Stg.MCon (R.t_unit, [||])) in
+                    perform (ret_addr ua) stack (n + 1)
+                  end)
+          | Error (Stg.Fail_exn exn) -> unwind exn stack n
+          | Error Stg.Fail_diverged -> Io_diverged
+          | Error (Stg.Fail_async _) ->
+              Stuck "async event outside getException")
       | Ok _ -> Stuck "not an IO value"
+  (* A channel operation that would block can never be woken here. *)
+  and blocked_forever (stack : frame list) (n : int) : outcome =
+    stats.Stats.blocked_recoveries <- stats.Stats.blocked_recoveries + 1;
+    if Obs.on tr then Obs.record tr (Obs.Ev_blocked_recover 0);
+    unwind Exn.Blocked_indefinitely stack n
   and pop (v : Stg.addr) (stack : frame list) (n : int) : outcome =
     match stack with
     | [] -> Done (Stg.deep m v)

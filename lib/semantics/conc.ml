@@ -1,6 +1,9 @@
 open Lang.Syntax
 open Sem_value
 module Exn = Lang.Exn
+module Fifo = Sched.Fifo
+module Bitq = Sched.Bitq
+module Heap = Sched.Heap
 
 type event =
   | E_write of int * char
@@ -48,7 +51,7 @@ let pp_outcome ppf = function
   | Diverged -> Fmt.string ppf "Diverged"
   | Stuck msg -> Fmt.pf ppf "Stuck %S" msg
 
-(* Thread and MVar bookkeeping. *)
+(* Thread, MVar and channel bookkeeping. *)
 
 (* Same IO continuation frames as {!Iosem}, one stack per thread. *)
 type frame =
@@ -72,6 +75,9 @@ type thread_state =
   | Blocked_take of int * frame list
   | Blocked_put of int * thunk * frame list
       (** mvar, value to deposit, frames *)
+  | Blocked_read of int * frame list  (** channel, frames *)
+  | Blocked_write of int * thunk * frame list
+      (** channel, value to deposit, frames *)
   | Sleeping of int * thunk * frame list
       (** Wake at the given clock tick and re-perform the action
           ([Retry]'s deterministic backoff). *)
@@ -83,34 +89,109 @@ type thread = {
   mutable mask : int;
   mutable pending_exns : Exn.t list;
       (** Thread-targeted asynchronous exceptions ([throwTo], kill
-          schedules), FIFO, delivered only while [mask = 0]. *)
+          schedules), FIFO, delivered only while [mask = 0] (channel
+          blocking is interruptible regardless of mask). *)
+  mutable stamp : int;
+      (** Round in which the thread last became runnable. A thread woken
+          or forked mid-round carries the current round's stamp and is
+          skipped by the stepping cursor — reproducing the seed
+          scheduler's runnable-snapshot-per-round semantics without
+          building the snapshot. *)
+  mutable blocked_on : (int Fifo.t * int Fifo.node) option;
+      (** The blocked-on edge: the waiter queue this thread sits in and
+          its node there. Maintained incrementally, so exceptional
+          wakeups detach in O(1) instead of scanning every cell. *)
 }
 
 type mvar = {
   mutable contents : thunk option;
-  mutable take_waiters : int list;  (** FIFO: oldest last *)
-  mutable put_waiters : int list;
+  take_waiters : int Fifo.t;
+  put_waiters : int Fifo.t;
+}
+
+(* A bounded channel: a FIFO buffer of at most [cap] elements, plus
+   waiter queues for readers of an empty buffer and writers of a full
+   one. Invariants (checked under the debug flag): readers wait only
+   while the buffer is empty, writers only while it is full, so a wake
+   never cascades. A blocked writer's element lives in its thread state,
+   not the buffer, until the deposit actually happens — killing a
+   blocked writer can therefore never lose a buffered element. *)
+type chan = {
+  cap : int;
+  buf : thunk Queue.t;
+  readers : int Fifo.t;
+  writers : int Fifo.t;
 }
 
 let mvar_con = "MVarRef"
+let chan_con = "ChanRef"
+
+let debug_default () = Sys.getenv_opt "IMPEXN_SCHED_DEBUG" <> None
 
 let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
     ?(trace = Obs.create ()) ?(input = "") ?(async = []) ?(kills = [])
-    ?(max_steps = 200_000) (e : expr) =
+    ?(check_invariants = debug_default ()) ?(max_steps = 200_000) (e : expr)
+    =
   let tr = trace in
   let trace_rev = ref [] in
   let emit ev = trace_rev := ev :: !trace_rev in
-  let threads : thread list ref = ref [] in
+  let threads : (int, thread) Hashtbl.t = Hashtbl.create 64 in
   let next_tid = ref 0 in
   let spawned = ref 0 in
   let switches = ref 0 in
   let clock = ref 0 in
+  let round = ref 0 in
   let pending = ref async in
   let counters = Iosem.fresh_counters () in
   let mvars : (int, mvar) Hashtbl.t = Hashtbl.create 8 in
   let next_mvar = ref 0 in
+  let chans : (int, chan) Hashtbl.t = Hashtbl.create 8 in
+  let next_chan = ref 0 in
   let input_pos = ref 0 in
   let main_result : outcome option ref = ref None in
+
+  (* The scheduler indices. [runq] holds exactly the Runnable tids,
+     [blockedq] exactly the Blocked_* tids, [signaled] the blocked or
+     sleeping tids that may have a deliverable pending exception;
+     sleepers sit in a (wake_at, tid) min-heap with lazy deletion. *)
+  let runq = Bitq.create () in
+  let blockedq = Bitq.create () in
+  let signaled = Bitq.create () in
+  let sleep_heap = Heap.create () in
+  let n_sleeping = ref 0 in
+
+  let find_thread tid = Hashtbl.find threads tid in
+  let find_thread_opt tid = Hashtbl.find_opt threads tid in
+
+  (* Every state change goes through here so the indices stay exact:
+     leaving a state retires its index entry (including the blocked-on
+     edge — this is the O(1) replacement for scrubbing every MVar), and
+     entering one installs it. *)
+  let set_state (t : thread) (st : thread_state) =
+    (match t.state with
+    | Runnable _ -> Bitq.remove runq t.tid
+    | Blocked_take _ | Blocked_put _ | Blocked_read _ | Blocked_write _ ->
+        Bitq.remove blockedq t.tid;
+        (match t.blocked_on with
+        | Some (q, n) -> Fifo.remove q n
+        | None -> ());
+        t.blocked_on <- None
+    | Sleeping _ -> decr n_sleeping
+    | Finished -> ());
+    t.state <- st;
+    match st with
+    | Runnable _ ->
+        Bitq.add runq t.tid;
+        t.stamp <- !round
+    | Blocked_take _ | Blocked_put _ | Blocked_read _ | Blocked_write _ ->
+        Bitq.add blockedq t.tid;
+        if t.pending_exns <> [] then Bitq.add signaled t.tid
+    | Sleeping (until, _, _) ->
+        incr n_sleeping;
+        Heap.push sleep_heap until t.tid;
+        if t.pending_exns <> [] then Bitq.add signaled t.tid
+    | Finished -> ()
+  in
 
   let kills = ref kills in
   let new_thread m_thunk frames =
@@ -118,9 +199,17 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
     incr next_tid;
     incr spawned;
     let t =
-      { tid; state = Runnable (m_thunk, frames); mask = 0; pending_exns = [] }
+      {
+        tid;
+        state = Finished;
+        mask = 0;
+        pending_exns = [];
+        stamp = 0;
+        blocked_on = None;
+      }
     in
-    threads := !threads @ [ t ];
+    Hashtbl.replace threads tid t;
+    set_state t (Runnable (m_thunk, frames));
     t
   in
 
@@ -179,13 +268,13 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
     emit (E_thread_done t.tid);
     if t.tid = main_thread.tid then
       main_result := Some (Done (deep_force ~depth:64 value));
-    t.state <- Finished
+    set_state t Finished
   in
 
   let die (t : thread) (exn : Exn.t) =
     if t.tid = main_thread.tid then main_result := Some (Uncaught exn)
     else emit (E_thread_died (t.tid, exn));
-    t.state <- Finished
+    set_state t Finished
   in
 
   (* Normal return [v] through thread [t]'s frames; installs the next
@@ -195,19 +284,20 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
     | [] -> finish t v
     | F_k k :: rest -> (
         match force k with
-        | Ok_v (VFun f) -> t.state <- Runnable (delay (fun () -> f v), rest)
+        | Ok_v (VFun f) ->
+            set_state t (Runnable (delay (fun () -> f v), rest))
         | Ok_v _ -> main_result := Some (Stuck ">>=: not a function")
         | Bad s -> unwind_t t (pick s) rest)
     | F_bracket (rel, use) :: rest ->
         counters.brackets_entered <- counters.brackets_entered + 1;
         if Obs.on tr then Obs.record tr Obs.Ev_acquire;
         leave_mask t;
-        t.state <- Runnable (apply use v, F_release (apply rel v) :: rest)
+        set_state t (Runnable (apply use v, F_release (apply rel v) :: rest))
     | F_release r :: rest ->
         counters.brackets_released <- counters.brackets_released + 1;
         if Obs.on tr then Obs.record tr Obs.Ev_release;
         enter_mask t;
-        t.state <- Runnable (r, F_mask_pop :: F_restore v :: rest)
+        set_state t (Runnable (r, F_mask_pop :: F_restore v :: rest))
     | F_onexn _ :: rest -> pop_t t v rest
     | F_mask_pop :: rest ->
         leave_mask t;
@@ -237,10 +327,10 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
         counters.brackets_released <- counters.brackets_released + 1;
         if Obs.on tr then Obs.record tr Obs.Ev_release;
         enter_mask t;
-        t.state <- Runnable (r, F_mask_pop :: F_rethrow e :: rest)
+        set_state t (Runnable (r, F_mask_pop :: F_rethrow e :: rest))
     | F_onexn h :: rest ->
         enter_mask t;
-        t.state <- Runnable (h, F_mask_pop :: F_rethrow e :: rest)
+        set_state t (Runnable (h, F_mask_pop :: F_rethrow e :: rest))
     | F_mask_pop :: rest ->
         leave_mask t;
         unwind_t t e rest
@@ -255,9 +345,11 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
           counters.retries <- counters.retries + 1;
           let until = !clock + backoff in
           emit (E_sleep (t.tid, until));
-          t.state <-
-            Sleeping
-              (until, action, F_retry (action, attempts - 1, 2 * backoff) :: rest)
+          set_state t
+            (Sleeping
+               ( until,
+                 action,
+                 F_retry (action, attempts - 1, 2 * backoff) :: rest ))
         end
         else unwind_t t e rest
     | F_rethrow _ :: rest -> unwind_t t e rest
@@ -269,18 +361,18 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
           rest
   in
 
-  let find_thread tid = List.find (fun t -> t.tid = tid) !threads in
-
+  (* A normal (value-carrying) wake of an MVar waiter: the caller has
+     already popped [tid] from the waiter queue. *)
   let wake tid =
     let t = find_thread tid in
-    (match t.state with
+    match t.state with
     | Blocked_take (mv, frames) -> (
         let m = Hashtbl.find mvars mv in
         match m.contents with
         | Some v ->
             m.contents <- None;
             emit (E_wake tid);
-            t.state <- Runnable (return_thunk (force v), frames)
+            set_state t (Runnable (return_thunk (force v), frames))
         | None -> () (* someone else won the race; stay blocked *))
     | Blocked_put (mv, v, frames) -> (
         let m = Hashtbl.find mvars mv in
@@ -288,21 +380,39 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
         | None ->
             m.contents <- Some v;
             emit (E_wake tid);
-            t.state <- Runnable (return_thunk (Ok_v (VCon (c_unit, []))), frames)
+            set_state t
+              (Runnable (return_thunk (Ok_v (VCon (c_unit, []))), frames))
         | Some _ -> ())
-    | Runnable _ | Sleeping _ | Finished -> ())
+    | Runnable _ | Blocked_read _ | Blocked_write _ | Sleeping _ | Finished
+      ->
+        ()
   in
 
-  let find_thread_opt tid = List.find_opt (fun t -> t.tid = tid) !threads in
-
-  (* Forget a thread that is being woken exceptionally: it no longer
-     waits on any MVar. *)
-  let scrub_waiters tid =
-    Hashtbl.iter
-      (fun _ m ->
-        m.take_waiters <- List.filter (fun x -> x <> tid) m.take_waiters;
-        m.put_waiters <- List.filter (fun x -> x <> tid) m.put_waiters)
-      mvars
+  (* Channel wakes. The channel invariants (readers wait only on empty,
+     writers only on full) guarantee the precondition of each: when a
+     writer wakes a reader it has just pushed, so the buffer is
+     non-empty; when a reader wakes a writer it has just popped, so
+     there is room. Neither wake can strand a further waiter. *)
+  let wake_reader tid =
+    let t = find_thread tid in
+    match t.state with
+    | Blocked_read (id, frames) ->
+        let c = Hashtbl.find chans id in
+        let v = Queue.pop c.buf in
+        emit (E_wake tid);
+        set_state t (Runnable (return_thunk (force v), frames))
+    | _ -> ()
+  in
+  let wake_writer tid =
+    let t = find_thread tid in
+    match t.state with
+    | Blocked_write (id, v, frames) ->
+        let c = Hashtbl.find chans id in
+        Queue.push v c.buf;
+        emit (E_wake tid);
+        set_state t
+          (Runnable (return_thunk (Ok_v (VCon (c_unit, []))), frames))
+    | _ -> ()
   in
 
   let take_pending_exn (t : thread) =
@@ -315,14 +425,42 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
           Some x
   in
 
+  (* Channel blocking is an interruptible point in the PLDI'01 sense:
+     delivery there ignores the mask (unlike MVar blocking, which keeps
+     this runtime's strict masked-block discipline). *)
+  let take_pending_exn_interruptible (t : thread) =
+    match t.pending_exns with
+    | [] -> None
+    | x :: rest ->
+        t.pending_exns <- rest;
+        Some x
+  in
+
   (* Thread-targeted delivery by unwinding [t]'s frames: releases and
-     handlers run, an [F_catch] (getException-on-IO) stops it. *)
+     handlers run, an [F_catch] (getException-on-IO) stops it. The
+     blocked-on edge is detached by [set_state] when the unwind leaves
+     the blocked state. *)
   let deliver_unwind (t : thread) (x : Exn.t) (frames : frame list) =
     counters.throwtos_delivered <- counters.throwtos_delivered + 1;
     if Obs.on tr then Obs.record tr (Obs.Ev_kill_delivered (t.tid, x));
     emit (E_async (t.tid, x));
-    scrub_waiters t.tid;
     unwind_t t x frames
+  in
+
+  (* Queue a thread-targeted exception ([throwTo], kill schedules) and
+     flag the target for round-start delivery if it cannot reach a
+     delivery point on its own. *)
+  let enqueue_pending (target : int) (x : Exn.t) =
+    match find_thread_opt target with
+    | None -> () (* unknown target: no-op *)
+    | Some tgt -> (
+        match tgt.state with
+        | Finished -> () (* dead target: send is a no-op *)
+        | Runnable _ -> tgt.pending_exns <- tgt.pending_exns @ [ x ]
+        | Blocked_take _ | Blocked_put _ | Blocked_read _ | Blocked_write _
+        | Sleeping _ ->
+            tgt.pending_exns <- tgt.pending_exns @ [ x ];
+            Bitq.add signaled tgt.tid)
   in
 
   let as_mvar_id (w : whnf) : (int, string) Result.t =
@@ -334,6 +472,15 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
     | _ -> Result.Error "not an MVar"
   in
 
+  let as_chan_id (w : whnf) : (int, string) Result.t =
+    match w with
+    | Ok_v (VCon (c, [ idt ])) when String.equal c chan_con -> (
+        match force idt with
+        | Ok_v (VInt id) -> Result.Ok id
+        | _ -> Result.Error "corrupt channel reference")
+    | _ -> Result.Error "not a channel"
+  in
+
   let expired (t : thread) stack =
     t.mask = 0
     && List.exists (function F_timeout d -> d <= !clock | _ -> false) stack
@@ -342,7 +489,9 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
   (* One transition for one thread. Returns [true] if it made progress. *)
   let step (t : thread) : bool =
     match t.state with
-    | Finished | Blocked_take _ | Blocked_put _ | Sleeping _ -> false
+    | Finished | Blocked_take _ | Blocked_put _ | Blocked_read _
+    | Blocked_write _ | Sleeping _ ->
+        false
     | Runnable (m_thunk, frames) -> (
         incr switches;
         incr clock;
@@ -363,11 +512,11 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
                   Obs.record tr (Obs.Ev_catch (Some x))
                 end;
                 emit (E_async (t.tid, x));
-                t.state <-
-                  Runnable
-                    ( return_thunk
-                        (Ok_v (VCon (c_bad, [ from_whnf (exn_to_value x) ]))),
-                      frames )
+                set_state t
+                  (Runnable
+                     ( return_thunk
+                         (Ok_v (VCon (c_bad, [ from_whnf (exn_to_value x) ]))),
+                       frames ))
             | _ -> deliver_unwind t x frames);
             true
         | None -> (
@@ -392,7 +541,7 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
               pop_t t v frames;
               true
           | Ok_v (VCon (c, [ m1; k ])) when String.equal c c_bind ->
-              t.state <- Runnable (m1, F_k k :: frames);
+              set_state t (Runnable (m1, F_k k :: frames));
               true
           | Ok_v (VCon (c, [])) when String.equal c c_get_char ->
               if !input_pos >= String.length input then begin
@@ -403,15 +552,17 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
                 let ch = input.[!input_pos] in
                 incr input_pos;
                 emit (E_read (t.tid, ch));
-                t.state <- Runnable (return_thunk (Ok_v (VChar ch)), frames);
+                set_state t
+                  (Runnable (return_thunk (Ok_v (VChar ch)), frames));
                 true
               end
           | Ok_v (VCon (c, [ v ])) when String.equal c c_put_char -> (
               match force v with
               | Ok_v (VChar ch) ->
                   emit (E_write (t.tid, ch));
-                  t.state <-
-                    Runnable (return_thunk (Ok_v (VCon (c_unit, []))), frames);
+                  set_state t
+                    (Runnable
+                       (return_thunk (Ok_v (VCon (c_unit, []))), frames));
                   true
               | Ok_v _ ->
                   main_result := Some (Stuck "putChar: not a character");
@@ -428,11 +579,12 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
                     Obs.record tr (Obs.Ev_catch (Some x))
                   end;
                   emit (E_async (t.tid, x));
-                  t.state <-
-                    Runnable
-                      ( return_thunk
-                          (Ok_v (VCon (c_bad, [ from_whnf (exn_to_value x) ]))),
-                        frames );
+                  set_state t
+                    (Runnable
+                       ( return_thunk
+                           (Ok_v
+                              (VCon (c_bad, [ from_whnf (exn_to_value x) ]))),
+                         frames ));
                   true
               | None -> (
                   match force v with
@@ -442,50 +594,51 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
                          perform it under a catch frame so exceptions it
                          raises — or that are delivered to this thread
                          while it blocks — come back as [Bad]. *)
-                      t.state <- Runnable (from_whnf w, F_catch :: frames);
+                      set_state t (Runnable (from_whnf w, F_catch :: frames));
                       true
                   | Ok_v value ->
                       if Obs.on tr then Obs.record tr (Obs.Ev_catch None);
-                      t.state <-
-                        Runnable
-                          ( return_thunk
-                              (Ok_v (VCon (c_ok, [ from_whnf (Ok_v value) ]))),
-                            frames );
+                      set_state t
+                        (Runnable
+                           ( return_thunk
+                               (Ok_v (VCon (c_ok, [ from_whnf (Ok_v value) ]))),
+                             frames ));
                       true
                   | Bad s ->
                       let x = pick s in
                       if Obs.on tr then Obs.record tr (Obs.Ev_catch (Some x));
-                      t.state <-
-                        Runnable
-                          ( return_thunk
-                              (Ok_v
-                                 (VCon (c_bad, [ from_whnf (exn_to_value x) ]))),
-                            frames );
+                      set_state t
+                        (Runnable
+                           ( return_thunk
+                               (Ok_v
+                                  (VCon (c_bad, [ from_whnf (exn_to_value x) ]))),
+                             frames ));
                       true))
           | Ok_v (VCon (c, [ acq; rel; use ])) when String.equal c c_bracket
             ->
               enter_mask t;
-              t.state <- Runnable (acq, F_bracket (rel, use) :: frames);
+              set_state t (Runnable (acq, F_bracket (rel, use) :: frames));
               true
           | Ok_v (VCon (c, [ m1; h ])) when String.equal c c_on_exception ->
-              t.state <- Runnable (m1, F_onexn h :: frames);
+              set_state t (Runnable (m1, F_onexn h :: frames));
               true
           | Ok_v (VCon (c, [ m1 ])) when String.equal c c_mask ->
               enter_mask t;
-              t.state <- Runnable (m1, F_mask_pop :: frames);
+              set_state t (Runnable (m1, F_mask_pop :: frames));
               true
           | Ok_v (VCon (c, [ m1 ])) when String.equal c c_unmask ->
               leave_mask t;
-              t.state <- Runnable (m1, F_unmask_pop :: frames);
+              set_state t (Runnable (m1, F_unmask_pop :: frames));
               true
           | Ok_v (VCon (c, [ n; m1 ])) when String.equal c c_timeout -> (
               match force n with
               | Ok_v (VInt k) ->
-                  t.state <-
-                    Runnable (m1, F_timeout (!clock + max 0 k) :: frames);
+                  set_state t
+                    (Runnable (m1, F_timeout (!clock + max 0 k) :: frames));
                   true
               | Ok_v _ ->
-                  main_result := Some (Stuck "timeout: budget is not an integer");
+                  main_result :=
+                    Some (Stuck "timeout: budget is not an integer");
                   true
               | Bad s ->
                   unwind_t t (pick s) frames;
@@ -493,9 +646,9 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
           | Ok_v (VCon (c, [ n; b; m1 ])) when String.equal c c_retry -> (
               match (force n, force b) with
               | Ok_v (VInt attempts), Ok_v (VInt backoff) ->
-                  t.state <-
-                    Runnable
-                      (m1, F_retry (m1, max 0 attempts, max 1 backoff) :: frames);
+                  set_state t
+                    (Runnable
+                       (m1, F_retry (m1, max 0 attempts, max 1 backoff) :: frames));
                   true
               | Bad s, _ | _, Bad s ->
                   unwind_t t (pick s) frames;
@@ -514,19 +667,23 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
                 Obs.record tr
                   (Obs.Ev_io (Printf.sprintf "fork thread %d" child.tid));
               emit (E_fork (t.tid, child.tid));
-              t.state <-
-                Runnable (return_thunk (Ok_v (VCon (c_unit, []))), frames);
+              set_state t
+                (Runnable (return_thunk (Ok_v (VCon (c_unit, []))), frames));
               true
           | Ok_v (VCon (c, [])) when String.equal c "NewMVar" ->
               let id = !next_mvar in
               incr next_mvar;
               Hashtbl.replace mvars id
-                { contents = None; take_waiters = []; put_waiters = [] };
-              t.state <-
-                Runnable
-                  ( return_thunk
-                      (Ok_v (VCon (mvar_con, [ from_whnf (Ok_v (VInt id)) ]))),
-                    frames );
+                {
+                  contents = None;
+                  take_waiters = Fifo.create ();
+                  put_waiters = Fifo.create ();
+                };
+              set_state t
+                (Runnable
+                   ( return_thunk
+                       (Ok_v (VCon (mvar_con, [ from_whnf (Ok_v (VInt id)) ]))),
+                     frames ));
               true
           | Ok_v (VCon (c, [ r ])) when String.equal c "TakeMVar" -> (
               match as_mvar_id (force r) with
@@ -539,18 +696,18 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
                   | Some v ->
                       m.contents <- None;
                       (* a blocked putter can now deposit *)
-                      (match List.rev m.put_waiters with
-                      | w :: _ ->
-                          m.put_waiters <-
-                            List.filter (fun x -> x <> w) m.put_waiters;
-                          wake w
-                      | [] -> ());
-                      t.state <- Runnable (return_thunk (force v), frames);
+                      (match Fifo.pop_head m.put_waiters with
+                      | Some w -> wake w
+                      | None -> ());
+                      set_state t (Runnable (return_thunk (force v), frames));
                       true
                   | None ->
                       emit (E_block t.tid);
-                      m.take_waiters <- t.tid :: m.take_waiters;
-                      t.state <- Blocked_take (id, frames);
+                      set_state t (Blocked_take (id, frames));
+                      t.blocked_on <-
+                        Some
+                          ( m.take_waiters,
+                            Fifo.push_tail m.take_waiters t.tid );
                       true))
           | Ok_v (VCon (c, [ r; v ])) when String.equal c "PutMVar" -> (
               match as_mvar_id (force r) with
@@ -562,28 +719,97 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
                   match m.contents with
                   | None ->
                       m.contents <- Some v;
-                      (match List.rev m.take_waiters with
-                      | w :: _ ->
-                          m.take_waiters <-
-                            List.filter (fun x -> x <> w) m.take_waiters;
-                          wake w
-                      | [] -> ());
-                      t.state <-
-                        Runnable
-                          (return_thunk (Ok_v (VCon (c_unit, []))), frames);
+                      (match Fifo.pop_head m.take_waiters with
+                      | Some w -> wake w
+                      | None -> ());
+                      set_state t
+                        (Runnable
+                           (return_thunk (Ok_v (VCon (c_unit, []))), frames));
                       true
                   | Some _ ->
                       emit (E_block t.tid);
-                      m.put_waiters <- t.tid :: m.put_waiters;
-                      t.state <- Blocked_put (id, v, frames);
+                      set_state t (Blocked_put (id, v, frames));
+                      t.blocked_on <-
+                        Some (m.put_waiters, Fifo.push_tail m.put_waiters t.tid);
                       true))
+          | Ok_v (VCon (c, [ n ])) when String.equal c "NewChan" -> (
+              match force n with
+              | Ok_v (VInt k) ->
+                  let id = !next_chan in
+                  incr next_chan;
+                  Hashtbl.replace chans id
+                    {
+                      cap = max 1 k;
+                      buf = Queue.create ();
+                      readers = Fifo.create ();
+                      writers = Fifo.create ();
+                    };
+                  set_state t
+                    (Runnable
+                       ( return_thunk
+                           (Ok_v
+                              (VCon (chan_con, [ from_whnf (Ok_v (VInt id)) ]))),
+                         frames ));
+                  true
+              | Ok_v _ ->
+                  main_result :=
+                    Some (Stuck "newChan: capacity is not an integer");
+                  true
+              | Bad s ->
+                  unwind_t t (pick s) frames;
+                  true)
+          | Ok_v (VCon (c, [ r ])) when String.equal c "ReadChan" -> (
+              match as_chan_id (force r) with
+              | Result.Error msg ->
+                  unwind_t t (Exn.Type_error msg) frames;
+                  true
+              | Result.Ok id ->
+                  let ch = Hashtbl.find chans id in
+                  if not (Queue.is_empty ch.buf) then begin
+                    let v = Queue.pop ch.buf in
+                    (* room appeared: the oldest blocked writer deposits *)
+                    (match Fifo.pop_head ch.writers with
+                    | Some w -> wake_writer w
+                    | None -> ());
+                    set_state t (Runnable (return_thunk (force v), frames))
+                  end
+                  else begin
+                    emit (E_block t.tid);
+                    set_state t (Blocked_read (id, frames));
+                    t.blocked_on <-
+                      Some (ch.readers, Fifo.push_tail ch.readers t.tid)
+                  end;
+                  true)
+          | Ok_v (VCon (c, [ r; v ])) when String.equal c "WriteChan" -> (
+              match as_chan_id (force r) with
+              | Result.Error msg ->
+                  unwind_t t (Exn.Type_error msg) frames;
+                  true
+              | Result.Ok id ->
+                  let ch = Hashtbl.find chans id in
+                  if Queue.length ch.buf < ch.cap then begin
+                    Queue.push v ch.buf;
+                    (match Fifo.pop_head ch.readers with
+                    | Some w -> wake_reader w
+                    | None -> ());
+                    set_state t
+                      (Runnable
+                         (return_thunk (Ok_v (VCon (c_unit, []))), frames))
+                  end
+                  else begin
+                    emit (E_block t.tid);
+                    set_state t (Blocked_write (id, v, frames));
+                    t.blocked_on <-
+                      Some (ch.writers, Fifo.push_tail ch.writers t.tid)
+                  end;
+                  true)
           | Ok_v (VCon (c, [])) when String.equal c "MyThreadId" ->
-              t.state <-
-                Runnable
-                  ( return_thunk
-                      (Ok_v
-                         (VCon ("ThreadId", [ from_whnf (Ok_v (VInt t.tid)) ]))),
-                    frames );
+              set_state t
+                (Runnable
+                   ( return_thunk
+                       (Ok_v
+                          (VCon ("ThreadId", [ from_whnf (Ok_v (VInt t.tid)) ]))),
+                     frames ));
               true
           | Ok_v (VCon (c, [ tt; et ])) when String.equal c "ThrowTo" -> (
               match force tt with
@@ -606,19 +832,11 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
                             unwind_t t x frames
                           end
                           else begin
-                            (match find_thread_opt target with
-                            | Some tgt -> (
-                                match tgt.state with
-                                | Finished ->
-                                    () (* dead target: send is a no-op *)
-                                | _ ->
-                                    tgt.pending_exns <-
-                                      tgt.pending_exns @ [ x ])
-                            | None -> () (* unknown target: no-op *));
-                            t.state <-
-                              Runnable
-                                ( return_thunk (Ok_v (VCon (c_unit, []))),
-                                  frames )
+                            enqueue_pending target x;
+                            set_state t
+                              (Runnable
+                                 ( return_thunk (Ok_v (VCon (c_unit, []))),
+                                   frames ))
                           end;
                           true
                       | Error (Bad s) ->
@@ -647,15 +865,166 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
                   true))
   in
 
-  let wake_sleepers () =
+  (* Round-start phase 1: wake every sleeper whose deadline passed.
+     Heap entries are validated against the thread's live state (lazy
+     deletion); ties pop in (deadline, tid) order. *)
+  let rec wake_due_sleepers () =
+    match Heap.peek sleep_heap with
+    | Some (until, tid) when until <= !clock ->
+        ignore (Heap.pop sleep_heap);
+        let t = find_thread tid in
+        (match t.state with
+        | Sleeping (u, action, frames) when u = until ->
+            emit (E_wake tid);
+            set_state t (Runnable (action, frames))
+        | _ -> () (* stale entry *));
+        wake_due_sleepers ()
+    | _ -> ()
+  in
+
+  (* The earliest deadline of a live sleeper, discarding stale heap
+     entries on the way. *)
+  let rec earliest_sleeper () =
+    match Heap.peek sleep_heap with
+    | None -> None
+    | Some (until, tid) -> (
+        match (find_thread tid).state with
+        | Sleeping (u, _, _) when u = until -> Some until
+        | _ ->
+            ignore (Heap.pop sleep_heap);
+            earliest_sleeper ())
+  in
+
+  (* Round-start phase 3: blocked and sleeping threads cannot reach a
+     delivery point on their own; deliver to the flagged ones (masked
+     MVar waiters and sleepers keep their pending exceptions — their
+     mask cannot change while they are not runnable, so there is no
+     point re-flagging them; channel waiters are interruptible
+     regardless). *)
+  let drain_signaled () =
+    let flagged = Bitq.to_list signaled in
     List.iter
-      (fun t ->
+      (fun tid ->
+        Bitq.remove signaled tid;
+        let t = find_thread tid in
         match t.state with
-        | Sleeping (until, action, frames) when until <= !clock ->
-            emit (E_wake t.tid);
-            t.state <- Runnable (action, frames)
-        | _ -> ())
-      !threads
+        | Blocked_take (_, frames)
+        | Blocked_put (_, _, frames)
+        | Sleeping (_, _, frames) -> (
+            match take_pending_exn t with
+            | Some x -> deliver_unwind t x frames
+            | None -> ())
+        | Blocked_read (_, frames) | Blocked_write (_, _, frames) -> (
+            match take_pending_exn_interruptible t with
+            | Some x -> deliver_unwind t x frames
+            | None -> ())
+        | Runnable _ | Finished ->
+            () (* woke up meanwhile: its own step delivers *))
+      flagged
+  in
+
+  (* ---------------------------------------------------------------- *)
+  (* Debug-flag invariant checks (satellite: every runnable thread in   *)
+  (* the run queue exactly once, every blocked thread with exactly one  *)
+  (* blocked-on edge, channel bounds), with a flight-recorder dump on   *)
+  (* violation.                                                         *)
+  (* ---------------------------------------------------------------- *)
+  let sched_violation msg =
+    let extra =
+      [
+        ("round", string_of_int !round);
+        ("clock", string_of_int !clock);
+        ("threads", string_of_int !spawned);
+        ("runnable", string_of_int (Bitq.cardinal runq));
+        ("blocked", string_of_int (Bitq.cardinal blockedq));
+        ("sleeping", string_of_int !n_sleeping);
+      ]
+    in
+    raise
+      (Obs.Machine_invariant
+         (Obs.dump ~extra ~note:("scheduler invariant: " ^ msg) tr))
+  in
+  let check_indices () =
+    let sleeping = ref 0 in
+    Hashtbl.iter
+      (fun tid t ->
+        (match t.state with
+        | Runnable _ ->
+            if not (Bitq.mem runq tid) then
+              sched_violation
+                (Printf.sprintf "runnable t%d missing from run queue" tid)
+        | Blocked_take _ | Blocked_put _ | Blocked_read _ | Blocked_write _
+          -> (
+            if not (Bitq.mem blockedq tid) then
+              sched_violation
+                (Printf.sprintf "blocked t%d missing from blocked set" tid);
+            match t.blocked_on with
+            | None ->
+                sched_violation
+                  (Printf.sprintf "blocked t%d has no blocked-on edge" tid)
+            | Some (_, n) ->
+                if not n.Fifo.in_q then
+                  sched_violation
+                    (Printf.sprintf
+                       "blocked t%d's blocked-on edge is detached" tid);
+                if n.Fifo.value <> tid then
+                  sched_violation
+                    (Printf.sprintf
+                       "blocked t%d's blocked-on edge names t%d" tid
+                       n.Fifo.value))
+        | Sleeping _ -> incr sleeping
+        | Finished -> ());
+        (match t.state with
+        | Blocked_take _ | Blocked_put _ | Blocked_read _ | Blocked_write _
+          ->
+            ()
+        | _ ->
+            if t.blocked_on <> None then
+              sched_violation
+                (Printf.sprintf "non-blocked t%d holds a blocked-on edge"
+                   tid));
+        match t.state with
+        | Runnable _ -> ()
+        | _ ->
+            if Bitq.mem runq tid then
+              sched_violation
+                (Printf.sprintf "non-runnable t%d in run queue" tid))
+      threads;
+    if !sleeping <> !n_sleeping then
+      sched_violation
+        (Printf.sprintf "sleeper count %d but %d threads sleeping"
+           !n_sleeping !sleeping);
+    Bitq.iter
+      (fun tid ->
+        match (find_thread tid).state with
+        | Runnable _ -> ()
+        | _ ->
+            sched_violation
+              (Printf.sprintf "run queue names non-runnable t%d" tid))
+      runq;
+    Bitq.iter
+      (fun tid ->
+        match (find_thread tid).state with
+        | Blocked_take _ | Blocked_put _ | Blocked_read _ | Blocked_write _
+          ->
+            ()
+        | _ ->
+            sched_violation
+              (Printf.sprintf "blocked set names non-blocked t%d" tid))
+      blockedq;
+    Hashtbl.iter
+      (fun id c ->
+        if Queue.length c.buf > c.cap then
+          sched_violation
+            (Printf.sprintf "channel %d holds %d > cap %d" id
+               (Queue.length c.buf) c.cap);
+        if Fifo.length c.readers > 0 && not (Queue.is_empty c.buf) then
+          sched_violation
+            (Printf.sprintf "channel %d has readers waiting on data" id);
+        if Fifo.length c.writers > 0 && Queue.length c.buf < c.cap then
+          sched_violation
+            (Printf.sprintf "channel %d has writers waiting on room" id))
+      chans
   in
 
   let rec scheduler steps =
@@ -664,7 +1033,7 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
     | None ->
         if steps >= max_steps then Diverged
         else begin
-          wake_sleepers ();
+          wake_due_sleepers ();
           (* Due kill-schedule entries become pending thread-targeted
              exceptions (the fault-injection axis; sends to finished or
              unknown threads are dropped, like a dead [throwTo]). *)
@@ -672,93 +1041,81 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
             List.partition (fun (k, _, _) -> !clock >= k) !kills
           in
           kills := later;
-          List.iter
-            (fun (_, target, x) ->
-              match find_thread_opt target with
-              | Some tgt -> (
-                  match tgt.state with
-                  | Finished -> ()
-                  | _ -> tgt.pending_exns <- tgt.pending_exns @ [ x ])
-              | None -> ())
-            due;
-          (* Blocked and sleeping threads cannot reach a delivery point on
-             their own: interrupt them here (masked threads keep their
-             pending exceptions and stay blocked). *)
-          List.iter
-            (fun t ->
-              match t.state with
-              | Blocked_take (_, frames)
-              | Blocked_put (_, _, frames)
-              | Sleeping (_, _, frames) -> (
-                  match take_pending_exn t with
-                  | Some x -> deliver_unwind t x frames
-                  | None -> ())
-              | Runnable _ | Finished -> ())
-            !threads;
+          List.iter (fun (_, target, x) -> enqueue_pending target x) due;
+          drain_signaled ();
           match !main_result with
           | Some o -> o
           | None ->
-              let runnable =
-                List.filter
-                  (fun t ->
-                    match t.state with Runnable _ -> true | _ -> false)
-                  !threads
-              in
-              let sleepers =
-                List.filter_map
-                  (fun t ->
-                    match t.state with
-                    | Sleeping (until, _, _) -> Some until
-                    | _ -> None)
-                  !threads
-              in
-              if runnable = [] then
-                match sleepers with
-                | [] -> (
-                    (* Irrecoverably blocked. Instead of giving up with a
-                       global [Deadlock], deliver [BlockedIndefinitely] to
-                       every unmasked blocked thread (tid order) as a
-                       catchable imprecise exception and keep scheduling;
-                       only when every blocked thread is masked is this a
-                       true deadlock. *)
-                    let victims =
-                      List.filter
+              if check_invariants then check_indices ();
+              if Bitq.is_empty runq then begin
+                if !n_sleeping > 0 then begin
+                  (* Only sleepers left: fast-forward the clock to the
+                     earliest wake-up instead of deadlocking. *)
+                  (match earliest_sleeper () with
+                  | Some until -> clock := until
+                  | None -> sched_violation "sleeper heap lost an entry");
+                  scheduler (steps + 1)
+                end
+                else begin
+                  (* Irrecoverably blocked. Instead of giving up with a
+                     global [Deadlock], deliver [BlockedIndefinitely] to
+                     every unmasked blocked thread — and every
+                     channel-blocked thread, masked or not — in tid
+                     order, as a catchable imprecise exception, and keep
+                     scheduling; only when every blocked thread is a
+                     masked MVar waiter is this a true deadlock. *)
+                  let victims = ref [] in
+                  Bitq.iter
+                    (fun tid ->
+                      let t = find_thread tid in
+                      match t.state with
+                      | (Blocked_take _ | Blocked_put _) when t.mask = 0 ->
+                          victims := t :: !victims
+                      | Blocked_read _ | Blocked_write _ ->
+                          victims := t :: !victims
+                      | _ -> ())
+                    blockedq;
+                  match List.rev !victims with
+                  | [] -> Deadlock
+                  | victims ->
+                      List.iter
                         (fun t ->
-                          t.mask = 0
-                          &&
-                          match t.state with
-                          | Blocked_take _ | Blocked_put _ -> true
-                          | _ -> false)
-                        !threads
-                    in
-                    match victims with
-                    | [] -> Deadlock
-                    | _ :: _ ->
-                        List.iter
-                          (fun t ->
-                            let frames =
-                              match t.state with
-                              | Blocked_take (_, fs) -> fs
-                              | Blocked_put (_, _, fs) -> fs
-                              | _ -> []
-                            in
-                            counters.blocked_recoveries <-
-                              counters.blocked_recoveries + 1;
-                            if Obs.on tr then
-                              Obs.record tr (Obs.Ev_blocked_recover t.tid);
-                            emit (E_async (t.tid, Exn.Blocked_indefinitely));
-                            scrub_waiters t.tid;
-                            unwind_t t Exn.Blocked_indefinitely frames)
-                          victims;
-                        scheduler (steps + 1))
-                | _ :: _ ->
-                    (* Nothing to run but sleepers exist: fast-forward the
-                       clock to the earliest wake-up instead of
-                       deadlocking. *)
-                    clock := List.fold_left min max_int sleepers;
-                    scheduler (steps + 1)
+                          let frames =
+                            match t.state with
+                            | Blocked_take (_, fs) | Blocked_read (_, fs) ->
+                                fs
+                            | Blocked_put (_, _, fs)
+                            | Blocked_write (_, _, fs) ->
+                                fs
+                            | _ -> []
+                          in
+                          counters.blocked_recoveries <-
+                            counters.blocked_recoveries + 1;
+                          if Obs.on tr then
+                            Obs.record tr (Obs.Ev_blocked_recover t.tid);
+                          emit (E_async (t.tid, Exn.Blocked_indefinitely));
+                          unwind_t t Exn.Blocked_indefinitely frames)
+                        victims;
+                      scheduler (steps + 1)
+                end
+              end
               else begin
-                List.iter (fun t -> ignore (step t)) runnable;
+                (* The stepping round. Bumping the round counter here —
+                   after the wake/kill/delivery phases — stamps threads
+                   woken by those phases as steppable this round, while
+                   threads woken mid-round by another thread's step are
+                   stamped with the new round and skipped: exactly the
+                   seed's snapshot-then-step schedule. *)
+                round := !round + 1;
+                let rec go i =
+                  match Bitq.next_geq runq i with
+                  | None -> ()
+                  | Some tid ->
+                      let t = find_thread tid in
+                      if t.stamp <> !round then ignore (step t);
+                      go (tid + 1)
+                in
+                go 0;
                 scheduler (steps + 1)
               end
         end

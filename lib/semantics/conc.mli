@@ -18,6 +18,31 @@
     PutMVar (MVar a) a     : IO Unit     -- blocks while full
     v}
 
+    Bounded channels (Prelude aliases [newChan n], [readChan],
+    [writeChan]):
+
+    {v
+    NewChan Int            : IO (Chan a) -- buffer capacity (min 1)
+    ReadChan (Chan a)      : IO a        -- blocks while empty
+    WriteChan (Chan a) a   : IO Unit     -- blocks while full
+    v}
+
+    Channel blocking is an {e interruptible point} in the sense of
+    Marlow et al. (PLDI'01): a thread blocked on a channel receives
+    pending asynchronous exceptions and [BlockedIndefinitely] even while
+    its mask depth is positive, unlike MVar blocking, which keeps this
+    runtime's stricter masked-block discipline (a masked blocked MVar
+    thread is deaf until woken). A blocked writer's element enters the
+    buffer only when the deposit succeeds, so killing a blocked writer
+    never loses a buffered element.
+
+    The scheduler itself runs on an indexed runtime — a bitmap run
+    queue iterated in tid order, a tid-to-thread hash table, intrusive
+    per-cell FIFO waiter queues and an incrementally maintained
+    blocked-on edge per thread — with the exact same round-based
+    schedule as the original list-scanning implementation (see DESIGN
+    §4i).
+
     Exceptions interact with concurrency exactly as in the paper: an
     uncaught exceptional value kills only the thread that performed it
     (the main thread's death ends the program), and [getException] behaves
@@ -90,6 +115,7 @@ val run :
   ?input:string ->
   ?async:Iosem.schedule ->
   ?kills:(int * int * Lang.Exn.t) list ->
+  ?check_invariants:bool ->
   ?max_steps:int ->
   Lang.Syntax.expr ->
   result
@@ -102,7 +128,15 @@ val run :
     triples: once the global clock reaches [clock], [exn] is queued on
     thread [tid] exactly as if a live thread had performed
     [ThrowTo (ThreadId tid) exn]. Entries naming finished or unknown
-    threads are dropped silently. *)
+    threads are dropped silently.
+
+    [check_invariants] (default: set when the [IMPEXN_SCHED_DEBUG]
+    environment variable is present) validates the scheduler indices
+    every round — every runnable thread in the run queue exactly once,
+    every blocked thread with exactly one attached blocked-on edge,
+    channel buffers within bounds — and raises
+    {!Obs.Machine_invariant} carrying a flight-recorder dump on
+    violation. *)
 
 val output_string_of : result -> string
 (** Characters written by all threads, in global order. *)

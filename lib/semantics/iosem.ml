@@ -48,6 +48,8 @@ let pp_outcome ppf = function
   | Io_diverged -> Fmt.string ppf "Io_diverged"
   | Stuck msg -> Fmt.pf ppf "Stuck %S" msg
 
+type chan = { cap : int; buf : Sem_value.thunk Queue.t }
+
 type state = {
   oracle : Oracle.t;
   mutable input : char list;
@@ -125,6 +127,22 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
       Obs.record tr (Obs.Ev_oracle_pick (x, unchosen))
     end;
     x
+  in
+  (* Bounded channels in a single-threaded driver: a buffered operation
+     proceeds immediately, while a blocking one is hopeless — nobody else
+     can ever fill or drain the buffer — so it receives the catchable
+     [Blocked_indefinitely] at once, matching {!Conc}'s quiescence
+     behaviour on the same term (channel blocking is interruptible even
+     under a mask, so delivery here ignores the mask too). *)
+  let chans : (int, chan) Hashtbl.t = Hashtbl.create 8 in
+  let next_chan = ref 0 in
+  let as_chan_id (w : whnf) : (int, string) Result.t =
+    match w with
+    | Ok_v (VCon (c, [ idt ])) when String.equal c "ChanRef" -> (
+        match force idt with
+        | Ok_v (VInt id) -> Result.Ok id
+        | _ -> Result.Error "corrupt channel reference")
+    | _ -> Result.Error "not a channel"
   in
   let mask = ref 0 in
   let enter_mask () =
@@ -306,8 +324,44 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
             | Ok_v _ ->
                 unwind (Exn.Type_error "throwTo: not a ThreadId") stack
             | Bad s -> unwind (pick s) stack)
+        | Ok_v (VCon (c, [ n ])) when String.equal c "NewChan" -> (
+            match force n with
+            | Ok_v (VInt k) ->
+                let id = !next_chan in
+                incr next_chan;
+                Hashtbl.replace chans id
+                  { cap = max 1 k; buf = Queue.create () };
+                perform
+                  (return_thunk
+                     (Ok_v (VCon ("ChanRef", [ from_whnf (Ok_v (VInt id)) ]))))
+                  stack
+            | Ok_v _ -> Stuck "newChan: capacity is not an integer"
+            | Bad s -> unwind (pick s) stack)
+        | Ok_v (VCon (c, [ r ])) when String.equal c "ReadChan" -> (
+            match as_chan_id (force r) with
+            | Result.Error msg -> unwind (Exn.Type_error msg) stack
+            | Result.Ok id ->
+                let ch = Hashtbl.find chans id in
+                if Queue.is_empty ch.buf then blocked_forever stack
+                else perform (return_thunk (force (Queue.pop ch.buf))) stack)
+        | Ok_v (VCon (c, [ r; v ])) when String.equal c "WriteChan" -> (
+            match as_chan_id (force r) with
+            | Result.Error msg -> unwind (Exn.Type_error msg) stack
+            | Result.Ok id ->
+                let ch = Hashtbl.find chans id in
+                if Queue.length ch.buf >= ch.cap then blocked_forever stack
+                else begin
+                  Queue.push v ch.buf;
+                  perform (return_thunk (vcon0 c_unit)) stack
+                end)
         | Ok_v _ -> Stuck "not an IO value"
     end
+  (* A channel operation that would block can never be woken here. *)
+  and blocked_forever (stack : frame list) : outcome =
+    counters.blocked_recoveries <- counters.blocked_recoveries + 1;
+    if Obs.on tr then Obs.record tr (Obs.Ev_blocked_recover 0);
+    emit st (E_async Exn.Blocked_indefinitely);
+    unwind Exn.Blocked_indefinitely stack
   (* Normal return: pop administrative frames until the next [>>=]
      continuation (or the bottom of the stack). *)
   and pop (v : thunk) (stack : frame list) : outcome =

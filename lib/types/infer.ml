@@ -210,7 +210,14 @@ let builtin_data : data_decl list =
   ]
 
 let primitive_type_arities =
-  [ ("Int", 0); ("Char", 0); ("String", 0); ("IO", 1); ("MVar", 1) ]
+  [
+    ("Int", 0);
+    ("Char", 0);
+    ("String", 0);
+    ("IO", 1);
+    ("MVar", 1);
+    ("Chan", 1);
+  ]
 
 (* Convert a surface type expression under a parameter mapping. *)
 let rec conv_ty env (params : ty SMap.t) (t : ty_expr) : ty =
@@ -489,6 +496,18 @@ let rec infer_exn (env : env) (e : expr) : ty =
   | Con ("PutMVar", [ r; v ]) ->
       let a = fresh_var () in
       unify (infer_exn env r) (T_con ("MVar", [ a ]));
+      unify (infer_exn env v) a;
+      t_io t_unit
+  | Con ("NewChan", [ n ]) ->
+      unify (infer_exn env n) t_int;
+      t_io (T_con ("Chan", [ fresh_var () ]))
+  | Con ("ReadChan", [ r ]) ->
+      let a = fresh_var () in
+      unify (infer_exn env r) (T_con ("Chan", [ a ]));
+      t_io a
+  | Con ("WriteChan", [ r; v ]) ->
+      let a = fresh_var () in
+      unify (infer_exn env r) (T_con ("Chan", [ a ]));
       unify (infer_exn env v) a;
       t_io t_unit
   | Con ("MyThreadId", []) -> t_io (T_con ("ThreadId", []))

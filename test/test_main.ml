@@ -33,4 +33,5 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("serve", Test_serve.suite);
       ("reentrancy", Test_reentrancy.suite);
+      ("conc_scale", Test_conc_scale.suite);
     ]
