@@ -422,6 +422,163 @@ let table_conc () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Table H — open exception vocabulary and supervision overhead        *)
+(* ------------------------------------------------------------------ *)
+
+(* The extensible-hierarchy PR's costs, both asserted:
+
+   - a closed-vocabulary program (only builtin exceptions) executes the
+     IDENTICAL number of machine steps whether the global registry
+     holds zero or 64 user-declared constructors — dispatch is by
+     constructor name in the term, never a search of the vocabulary, so
+     the open hierarchy is free for programs that don't use it;
+
+   - [catches] handler dispatch costs per *handler tried*, not per
+     declared exception: steps grow with the fall-through distance down
+     the handler list;
+
+   - supervision overhead: the marginal schedule length per restart is
+     a small constant (asserted stable within 2x between the 1-restart
+     and 4-restart trees on both concurrent layers). *)
+let table_hierarchy () =
+  header
+    "Table H (extensible hierarchy): dispatch cost of the open vocabulary   and supervision overhead per restart";
+  (* A closed-vocabulary workload: 60 throwIO/catches round trips over
+     builtin exceptions only, measured on the sequential machine. *)
+  let closed_src =
+    "mapM2 (\\i -> catches\n\
+    \         (if i % 2 == 0 then throwIO DivideByZero\n\
+    \          else throwIO (UserError \"urk\"))\n\
+    \         [ handler matchArith (\\e -> return 1),\n\
+    \           handler matchAny (\\e -> return 2) ])\n\
+    \      (enumFromTo 1 60) >>= \\u -> putInt 0"
+  in
+  let machine_io_steps e =
+    let r = Machine_io.run e in
+    (match r.Machine_io.outcome with
+    | Machine_io.Done _ -> ()
+    | o ->
+        Fmt.epr "table_hierarchy: closed workload %a@." Machine_io.pp_outcome
+          o;
+        exit 1);
+    r.Machine_io.stats.Stats.steps
+  in
+  let e_closed = parse closed_src in
+  let before = machine_io_steps e_closed in
+  (* Grow the vocabulary (the registry is global and monotone; bench
+     names are namespaced so reruns are idempotent). *)
+  for i = 1 to 64 do
+    Lang.Exn.declare (Printf.sprintf "BenchExn%d" i) Lang.Exn.K_int
+  done;
+  (* Re-parse: same source, now under the larger constructor table. *)
+  let after = machine_io_steps (parse closed_src) in
+  Fmt.pr "closed-vocabulary steps: %d with 0 user decls, %d with 64@." before
+    after;
+  if before <> after then begin
+    Fmt.epr
+      "table_hierarchy: declaring exceptions changed a closed program's \
+       step count (%d -> %d)@."
+      before after;
+    exit 1
+  end;
+  (* Fall-through distance: the matching handler sits at position k. *)
+  let dispatch_src k =
+    let miss = "handler matchArith (\\e -> return 0)" in
+    let hit = "handler matchUserError (\\e -> return 1)" in
+    let hs = List.init k (fun i -> if i = k - 1 then hit else miss) in
+    Printf.sprintf
+      "mapM2 (\\i -> catches (throwIO (UserError \"u\")) [%s])\n\
+       (enumFromTo 1 60) >>= \\u -> putInt 0"
+      (String.concat ", " hs)
+  in
+  Fmt.pr "%-24s %12s@." "handler position" "steps";
+  let dispatch_rows =
+    List.map
+      (fun k ->
+        let s = machine_io_steps (parse (dispatch_src k)) in
+        Fmt.pr "%-24d %12d@." k s;
+        (k, s))
+      [ 1; 2; 4; 8 ]
+  in
+  (* Supervision: a single child that fails exactly [k] times, so the
+     tree performs [k] restarts and then comes down cleanly. *)
+  let tree_src k =
+    Printf.sprintf
+      "newEmptyMVar >>= \\c -> putMVar c 0 >>= \\u ->\n\
+       supervisorTree OneForOne %d 1000\n\
+       [ takeMVar c >>= \\n -> putMVar c (n + 1) >>= \\u2 ->\n\
+       if n < %d then throwIO DivideByZero else return 1 ]"
+      (k + 1) k
+  in
+  Fmt.pr "%-10s %14s %20s@." "restarts" "conc switches" "machine transitions";
+  let tree_rows =
+    List.map
+      (fun k ->
+        let e = parse (tree_src k) in
+        let r = Conc.run e in
+        let m = Machine_conc.run e in
+        (match (r.Conc.outcome, m.Machine_conc.outcome) with
+        | Conc.Done _, Machine_conc.Done _ -> ()
+        | o1, o2 ->
+            Fmt.epr "table_hierarchy: k=%d conc %a, machine %a@." k
+              Conc.pp_outcome o1 Machine_conc.pp_outcome o2;
+            exit 1);
+        (k, r.Conc.context_switches, m.Machine_conc.transitions))
+      [ 0; 1; 2; 4 ]
+  in
+  let base_conc, base_mach =
+    match tree_rows with
+    | (0, c, m) :: _ -> (c, m)
+    | _ -> assert false
+  in
+  let per_restart =
+    List.filter_map
+      (fun (k, c, m) ->
+        if k = 0 then begin
+          Fmt.pr "%-10d %14d %20d@." k c m;
+          None
+        end
+        else begin
+          let pc = float_of_int (c - base_conc) /. float_of_int k in
+          let pm = float_of_int (m - base_mach) /. float_of_int k in
+          Fmt.pr "%-10d %14d %20d   (%.1f / %.1f per restart)@." k c m pc pm;
+          Some (k, pc, pm)
+        end)
+      tree_rows
+  in
+  (match (per_restart, List.rev per_restart) with
+  | (k1, pc1, pm1) :: _, (kn, pcn, pmn) :: _ when k1 <> kn ->
+      if pc1 <= 0. || pm1 <= 0. || pcn /. pc1 > 2. || pmn /. pm1 > 2. then begin
+        Fmt.epr
+          "table_hierarchy: per-restart overhead is not a stable constant \
+           (conc %.1f -> %.1f, machine %.1f -> %.1f)@."
+          pc1 pcn pm1 pmn;
+        exit 1
+      end
+  | _ -> ());
+  let json =
+    Printf.sprintf
+      "{\"bench\":\"exn_hierarchy\",\"closed_vocab\":{\"steps_no_decls\":%d,\"steps_64_decls\":%d,\"zero_dispatch_cost\":%b},\"dispatch\":[%s],\"supervision\":[%s]}\n"
+      before after (before = after)
+      (String.concat ","
+         (List.map
+            (fun (k, s) ->
+              Printf.sprintf "{\"handler_position\":%d,\"steps\":%d}" k s)
+            dispatch_rows))
+      (String.concat ","
+         (List.map
+            (fun (k, c, m) ->
+              Printf.sprintf
+                "{\"restarts\":%d,\"conc_switches\":%d,\"machine_transitions\":%d}"
+                k c m)
+            tree_rows))
+  in
+  let oc = open_out "BENCH_H.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pr "(BENCH_H.json written)@."
+
+(* ------------------------------------------------------------------ *)
 (* Table C' — scheduler scaling on producer/consumer networks          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1317,6 +1474,7 @@ let () =
   table_gc ();
   table_conc ();
   table_conc_scale ~smoke ();
+  table_hierarchy ();
   table_fault ();
   table_slots ();
   table_bytecode ();

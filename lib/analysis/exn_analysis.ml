@@ -32,6 +32,8 @@ type binding = B_fun of t | B_val of t
 let literal_exn = function
   | Con (name, []) -> Exn.of_constructor name None
   | Con (name, [ Lit (Lit_string s) ]) -> Exn.of_constructor name (Some s)
+  | Con (name, [ Lit (Lit_int n) ]) ->
+      Exn.of_constructor_p name (Some (Exn.P_int n))
   | _ -> None
 
 let rec spine acc = function

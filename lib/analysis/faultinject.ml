@@ -438,9 +438,13 @@ let t_chan_kill_writer =
         let spares_main =
           List.for_all (fun (_, tid, _) -> tid <> 0) fault.kills
         in
+        (* The exact-output claim is about kills: it additionally needs
+           an async-free schedule, because a Timeout landing inside the
+           reader's own getException legitimately turns a drain into an
+           'F' marker without losing anything. *)
         if
           fault.heap_limit = None && fault.stack_limit = None
-          && fault.starved_fuel = None && spares_main
+          && fault.starved_fuel = None && spares_main && fault.async = []
         then
           if obs.status <> S_done then
             [
@@ -453,6 +457,133 @@ let t_chan_kill_writer =
             [ Fmt.str "unkilled writer never deposited: %S" obs.output ]
           else []
         else []);
+  }
+
+(* T14: restart storm, intensity-window exhaustion. A supervised child
+   that always fails forces the supervisor through its restart budget
+   (maxR=2 in a window of 8 events); the intensity limit must then shed
+   the load — kill the tree and surface SupervisorLimit, which the
+   template catches and converts to the 'L' marker. The storm must
+   never turn into divergence or deadlock: that is precisely the load
+   the limiter exists to shed. Kills aimed at the child only change
+   which exception each generation reports (still a failure, still a
+   restart), so the limiter fires regardless. *)
+let t_restart_storm_exhaust =
+  {
+    name = "restart-storm-exhaust";
+    source =
+      "catchIO (supervisorTree OneForOne 2 8 [putChar 'w' >>= \\u -> \
+       throwIO DivideByZero]) (\\e -> case matchSupervisorLimit e of { \
+       Just n -> putChar 'L' >>= \\u2 -> return n ; Nothing -> throwIO e \
+       })";
+    base_input = "";
+    core = None;
+    conc_only = true;
+    deterministic = true;
+    special =
+      (fun fault obs ->
+        let spares_main =
+          List.for_all (fun (_, tid, _) -> tid <> 0) fault.kills
+        in
+        let resource_clean =
+          fault.heap_limit = None && fault.stack_limit = None
+          && fault.starved_fuel = None
+        in
+        if not (resource_clean && spares_main) then []
+        else
+          let shed =
+            match obs.status with
+            | S_done -> []
+            | S_uncaught e when Exn.is_asynchronous e ->
+                (* An async event or a pre-mask kill can take the
+                   supervisor's handshake out from under it; the
+                   catchable BlockedIndefinitely (or the event itself)
+                   surfacing is fine — unbounded restarting is not. *)
+                []
+            | s ->
+                [
+                  Fmt.str "restart storm not shed: %s with output %S"
+                    (status_name s) obs.output;
+                ]
+          in
+          let budget =
+            (* maxR=2: at most the initial spawn plus two restarts ever
+               run the child, whatever the fault schedule does. *)
+            if count 'w' obs.output > 3 then
+              [
+                Fmt.str
+                  "intensity window exceeded: %d child generations in %S"
+                  (count 'w' obs.output) obs.output;
+              ]
+            else []
+          in
+          let exact =
+            if clean fault && fault.async = [] && fault.kills = [] then
+              if obs.status = S_done && obs.output = "wwwL" then []
+              else
+                [
+                  Fmt.str "fault-free storm expected Done %S, got %s %S"
+                    "wwwL" (status_name obs.status) obs.output;
+                ]
+            else []
+          in
+          shed @ budget @ exact);
+  }
+
+(* T15: kill during restart. A one_for_all tree whose first child fails
+   once (then succeeds) drives the supervisor through a full
+   kill-and-respawn cycle; injected kills land on the children before,
+   during and after that cycle — including between the supervisor's
+   killAll and the respawn, the classic lost-report window the masked
+   handshake in [spawnChild] exists to close. Whatever the schedule,
+   the tree must come down in an orderly way: completion, or a
+   SupervisorLimit census, or a catchable async event — never
+   divergence, never a global deadlock. *)
+let t_restart_storm_kill =
+  {
+    name = "restart-storm-kill";
+    source =
+      "newEmptyMVar >>= \\cell -> putMVar cell 0 >>= \\u0 -> catchIO \
+       (supervisorTree OneForAll 3 12 [takeMVar cell >>= \\n -> putMVar \
+       cell (n + 1) >>= \\u1 -> (if n < 1 then throwIO Overflow else \
+       putChar 'a' >>= \\u2 -> return 1), putChar 'b' >>= \\u3 -> return \
+       2]) (\\e -> case matchSupervisorLimit e of { Just n -> putChar 'L' \
+       >>= \\u4 -> return n ; Nothing -> throwIO e }) >>= \\v -> putChar \
+       'S' >>= \\u5 -> return v";
+    base_input = "";
+    core = None;
+    conc_only = true;
+    (* Output interleaving of the two children depends on the layer's
+       scheduler clock. *)
+    deterministic = false;
+    special =
+      (fun fault obs ->
+        let spares_main =
+          List.for_all (fun (_, tid, _) -> tid <> 0) fault.kills
+        in
+        let resource_clean =
+          fault.heap_limit = None && fault.stack_limit = None
+          && fault.starved_fuel = None
+        in
+        if not (resource_clean && spares_main) then []
+        else
+          match obs.status with
+          | S_done ->
+              (* Orderly shutdown always stamps the final marker. *)
+              if count 'S' obs.output = 1 || count 'L' obs.output = 1 then
+                []
+              else
+                [
+                  Fmt.str "supervised run completed without its marker: %S"
+                    obs.output;
+                ]
+          | S_uncaught e when Exn.is_asynchronous e -> []
+          | s ->
+              [
+                Fmt.str "restart cycle did not shut down cleanly: %s \
+                         with output %S"
+                  (status_name s) obs.output;
+              ]);
   }
 
 (* T9: truncated input — every layer must report the same stuck-on-EOF
@@ -488,7 +619,8 @@ let templates =
       [ ("pure", "sum (enumFromTo 1 200)"); ("headnil", "head []") ]
   @ List.map t_retry [ ("pure", List.assoc "pure" cores); ("mixed", List.assoc "mixed" cores) ]
   @ [ t_fork_bracket; t_mask_shield; t_supervised_kill; t_blocked_recover;
-      t_chan_handoff; t_chan_kill_writer; t_echo ]
+      t_chan_handoff; t_chan_kill_writer; t_restart_storm_exhaust;
+      t_restart_storm_kill; t_echo ]
 
 (* ------------------------------------------------------------------ *)
 (* Running one template under one layer                                *)

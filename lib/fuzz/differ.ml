@@ -90,6 +90,8 @@ let raised_implements e d =
 let exn_of_deep = function
   | V.DCon (name, []) -> Lang.Exn.of_constructor name None
   | V.DCon (name, [ V.DString s ]) -> Lang.Exn.of_constructor name (Some s)
+  | V.DCon (name, [ V.DInt n ]) ->
+      Lang.Exn.of_constructor_p name (Some (Lang.Exn.P_int n))
   | _ -> None
 
 (* Denot and the machines leave pure [getException] uninterpreted (a
@@ -141,9 +143,10 @@ let rec has_nested_bad inside = function
    carried into the result) compare equal regardless of which exception
    they hold. *)
 let is_exn_con name =
-  List.exists
-    (fun e -> String.equal (Lang.Exn.constructor_name e) name)
-    Lang.Exn.all_known
+  Lang.Exn.is_declared name
+  || List.exists
+       (fun e -> String.equal (Lang.Exn.constructor_name e) name)
+       Lang.Exn.all_known
 
 let rec agree_modulo_exn a b =
   match (a, b) with

@@ -49,6 +49,15 @@ let fresh_name =
     incr c;
     Printf.sprintf "g%d" !c
 
+(* The generator owns three declared exception constructors so every
+   fuzz campaign exercises the open vocabulary: a bare tag, an Int
+   payload and a String payload. [Exn.declare] is idempotent, so
+   re-linking the module is harmless. *)
+let () =
+  Lang.Exn.declare "GenExnA" Lang.Exn.K_none;
+  Lang.Exn.declare "GenExnB" Lang.Exn.K_int;
+  Lang.Exn.declare "GenExnC" Lang.Exn.K_string
+
 let gen_exn_site : expr G.t =
   G.oneof
     [
@@ -57,6 +66,17 @@ let gen_exn_site : expr G.t =
         G.small_int;
       G.return (B.raise_exn Lang.Exn.Overflow);
       G.return B.(int 1 / int 0);
+      G.return (B.raise_exn (Lang.Exn.User_exception ("GenExnA", None)));
+      G.map
+        (fun n ->
+          B.raise_exn
+            (Lang.Exn.User_exception
+               ("GenExnB", Some (Lang.Exn.P_int (abs n mod 8)))))
+        G.small_int;
+      G.return
+        (B.raise_exn
+           (Lang.Exn.User_exception
+              ("GenExnC", Some (Lang.Exn.P_string "gen"))));
     ]
 
 let small_lit = G.map (fun n -> B.int n) (G.int_range (-20) 20)
@@ -70,6 +90,9 @@ let gen_mapper : expr G.t =
       B.lam "e" (B.var "e");
       B.lam "e" (B.exn_con Lang.Exn.Overflow);
       B.lam "e" (B.exn_con (Lang.Exn.User_error "mapped"));
+      B.lam "e"
+        (B.exn_con
+           (Lang.Exn.User_exception ("GenExnB", Some (Lang.Exn.P_int 1))));
     ]
 
 let rec gen_ty cfg (env : env) depth ty : expr G.t =
@@ -165,6 +188,14 @@ and gen_int_node cfg env depth : expr G.t =
   let apply_fun =
     G.map2 (fun f a -> App (f, a)) (sub T_fun_ii) (sub T_int)
   in
+  let seq_evaluate =
+    (* [seq (evaluate a) b]: as a value [evaluate a] is a WHNF
+       constructor whatever [a] denotes, so this reaches the
+       evaluate_is_seq_return law site in pure terms. *)
+    G.map2
+      (fun a b -> B.seq (Con (c_evaluate, [ a ])) b)
+      (sub T_int) (sub T_int)
+  in
   let seq_e =
     G.map2 (fun a b -> B.seq a b) (sub T_int) (sub T_int)
   in
@@ -233,6 +264,7 @@ and gen_int_node cfg env depth : expr G.t =
       (2, beta_redex);
       (2, apply_fun);
       (1, seq_e);
+      (1, seq_evaluate);
       (cfg.map_exception_weight, map_exc);
       (cfg.letrec_weight, letrec_e);
       (2, case_list);
@@ -425,6 +457,68 @@ let rec gen_io_node cfg env depth : expr G.t =
               (fun m ->
                 B.io_on_exception m (App (Var "putInt", B.int 8)))
               (gen_io_node cfg env (depth - 1)) );
+          ( 1,
+            (* evaluate: the argument is forced at the perform point,
+               under the catch when one is present. *)
+            let rn = fresh_name () in
+            G.map
+              (fun e ->
+                B.io_bind
+                  (B.get_exception (Con (c_evaluate, [ e ])))
+                  (B.lam rn
+                     (B.case (Var rn)
+                        [
+                          (B.pcon "OK" [ "x" ], App (Var "putInt", Var "x"));
+                          (B.pcon "Bad" [ "_e" ],
+                           App (Var "putInt", B.int 0));
+                        ])))
+              int_e );
+          ( 1,
+            (* Typed handler dispatch: an arithmetic handler first, the
+               catch-all second, over an arbitrary body. *)
+            G.map
+              (fun m ->
+                B.apps (Var "catches")
+                  [
+                    m;
+                    B.list
+                      [
+                        B.apps (Var "handler")
+                          [
+                            Var "matchArith";
+                            B.lam "_e" (B.io_return (B.int 1));
+                          ];
+                        B.apps (Var "handler")
+                          [
+                            Var "matchAny";
+                            B.lam "_e" (B.io_return (B.int 2));
+                          ];
+                      ];
+                  ])
+              (gen_io_node cfg env (depth - 1)) );
+          ( 1,
+            (* try: Either-shaped recovery, plus a declared-exception
+               throw site under it. *)
+            let rn = fresh_name () in
+            G.map2
+              (fun e m ->
+                let body =
+                  B.io_bind m
+                    (B.lam "_"
+                       (App (Var "throwIO", Con ("GenExnB", [ e ]))))
+                in
+                B.io_bind
+                  (App (Var "try", body))
+                  (B.lam rn
+                     (B.case (Var rn)
+                        [
+                          (B.pcon "Left" [ "_e" ],
+                           App (Var "putInt", B.int 3));
+                          (B.pcon "Right" [ "x" ],
+                           App (Var "putInt", Var "x"));
+                        ])))
+              int_e
+              (gen_io_node cfg env (depth - 1)) );
         ]
     in
     G.frequency
@@ -607,6 +701,34 @@ let gen_conc_node cfg env depth : expr G.t =
                       ])))))
       int_e
   in
+  let supervised =
+    (* A two-child supervision tree under a chosen strategy: one healthy
+       child and one that either also completes or storms. Any
+       SupervisorLimit shed by the intensity window is absorbed, so the
+       observable is just the completion marker — identical under every
+       fair schedule. *)
+    let strat =
+      G.oneofl
+        [ Con ("OneForOne", []); Con ("OneForAll", []); Con ("RestForOne", []) ]
+    in
+    G.bind strat (fun s ->
+        G.map2
+          (fun e bad ->
+            let child_ok = B.io_return e in
+            let child_other =
+              if bad then App (Var "throwIO", Con ("GenExnA", []))
+              else B.io_return (B.int 0)
+            in
+            let sup =
+              B.apps (Var "supervisorTree")
+                [ s; B.int 2; B.int 8; B.list [ child_ok; child_other ] ]
+            in
+            B.io_bind
+              (B.apps (Var "catchIO")
+                 [ sup; B.lam "_e" (B.io_return B.unit_) ])
+              (B.lam "_" (App (Var "putInt", B.int 1))))
+          int_e G.bool)
+  in
   G.frequency
     [
       (3, handoff);
@@ -618,6 +740,7 @@ let gen_conc_node cfg env depth : expr G.t =
       (2, chan_handoff);
       (1, chan_fan_in);
       (1, chan_blocked_recover);
+      (1, supervised);
     ]
 
 (* Size accounting: QCheck2's [sized] parameter maps *monotonically* to

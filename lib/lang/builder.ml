@@ -50,14 +50,10 @@ let raise_ e = Raise e
 
 let exn_con (e : Exn.t) =
   let name = Exn.constructor_name e in
-  match e with
-  | Exn.Pattern_match_fail s | Exn.Assertion_failed s | Exn.User_error s
-  | Exn.Type_error s ->
-      Con (name, [ str s ])
-  | Exn.Divide_by_zero | Exn.Overflow | Exn.Non_termination | Exn.Interrupt
-  | Exn.Timeout | Exn.Stack_overflow_exn | Exn.Heap_exhaustion
-  | Exn.Heap_overflow | Exn.Thread_killed | Exn.Blocked_indefinitely ->
-      Con (name, [])
+  match Exn.payload e with
+  | Some (Exn.P_string s) -> Con (name, [ str s ])
+  | Some (Exn.P_int n) -> Con (name, [ int n ])
+  | None -> Con (name, [])
 
 let raise_exn e = Raise (exn_con e)
 let error s = raise_exn (Exn.User_error s)

@@ -53,6 +53,20 @@ let builtin_list =
     ("ReadChan", 1);
     ("WriteChan", 2);
     ("ChanRef", 1);
+    (* Extensible-hierarchy PR, appended for the same tag-stability
+       reason: typed handlers ([Handler], [Left]/[Right] for [try]),
+       the [Evaluate] IO action with its precise forcing point, the
+       [SomeException] root, supervision-tree restart strategies, and
+       the runtime's own [SupervisorLimit] exception. *)
+    ("SomeException", 1);
+    ("Handler", 1);
+    ("Left", 1);
+    ("Right", 1);
+    ("Evaluate", 1);
+    ("OneForOne", 0);
+    ("OneForAll", 0);
+    ("RestForOne", 0);
+    ("SupervisorLimit", 1);
   ]
 
 let builtins () =

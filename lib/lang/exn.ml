@@ -1,3 +1,6 @@
+type payload = P_int of int | P_string of string
+type payload_kind = K_none | K_int | K_string
+
 type t =
   | Divide_by_zero
   | Overflow
@@ -13,21 +16,67 @@ type t =
   | Heap_overflow
   | Thread_killed
   | Blocked_indefinitely
+  | User_exception of string * payload option
 
 let compare = Stdlib.compare
 let equal a b = compare a b = 0
+
+(* The open part of the vocabulary: a global, monotone registry of
+   declared exception constructors (surface [exception Name of ty;]),
+   following the same global-default pattern as [Resolve.global_context].
+   Declarations are additive and keyed by name, so concurrent [serve]
+   sessions interleave safely: a name means the same payload kind
+   everywhere once declared, and redeclaration at a different kind is
+   rejected. *)
+let declared : (string, payload_kind) Hashtbl.t = Hashtbl.create 16
+
+let declare name kind =
+  match Hashtbl.find_opt declared name with
+  | None -> Hashtbl.replace declared name kind
+  | Some k when k = kind -> ()
+  | Some _ ->
+      invalid_arg
+        (Printf.sprintf
+           "Exn.declare: %s redeclared with a different payload kind" name)
+
+let is_declared name = Hashtbl.mem declared name
+let declared_kind name = Hashtbl.find_opt declared name
+
+(* Pre-declared by the runtime itself: raised by the prelude's
+   [supervisorTree] when a restart-intensity window is exhausted. The
+   payload counts restarts inside the window. *)
+let () = Hashtbl.replace declared "SupervisorLimit" K_int
+
+let declared_list () =
+  Hashtbl.fold (fun n k acc -> (n, k) :: acc) declared []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let is_asynchronous = function
   | Interrupt | Timeout | Stack_overflow_exn | Heap_exhaustion
   | Heap_overflow | Thread_killed | Blocked_indefinitely ->
       true
   | Divide_by_zero | Overflow | Pattern_match_fail _ | Assertion_failed _
-  | User_error _ | Type_error _ | Non_termination ->
+  | User_error _ | Type_error _ | Non_termination | User_exception _ ->
       false
 
 let is_synchronous e = not (is_asynchronous e)
 
+(* The coarse class a typed handler list dispatches on: the serve layer
+   reports it with every exceptional reply so clients can route
+   failures without parsing constructor names. *)
+let class_name = function
+  | Divide_by_zero | Overflow -> "arith"
+  | Interrupt | Timeout | Stack_overflow_exn | Heap_exhaustion
+  | Heap_overflow | Thread_killed | Blocked_indefinitely ->
+      "async"
+  | Pattern_match_fail _ | Assertion_failed _ | Type_error _
+  | Non_termination ->
+      "runtime"
+  | User_error _ -> "user"
+  | User_exception _ -> "declared"
+
 let constructor_name = function
+  | User_exception (n, _) -> n
   | Divide_by_zero -> "DivideByZero"
   | Overflow -> "Overflow"
   | Pattern_match_fail _ -> "PatternMatchFail"
@@ -43,15 +92,23 @@ let constructor_name = function
   | Thread_killed -> "ThreadKilled"
   | Blocked_indefinitely -> "BlockedIndefinitely"
 
-let of_constructor name payload =
-  let s = Option.value payload ~default:"" in
+let of_constructor_p name (p : payload option) =
+  let str () =
+    (* Builtin payload constructors take exactly a string; a missing
+       payload defaults to "" (historic call sites), a non-string one is
+       a kind mismatch reported as [None]. *)
+    match p with
+    | None -> Some ""
+    | Some (P_string s) -> Some s
+    | Some (P_int _) -> None
+  in
   match name with
   | "DivideByZero" -> Some Divide_by_zero
   | "Overflow" -> Some Overflow
-  | "PatternMatchFail" -> Some (Pattern_match_fail s)
-  | "AssertionFailed" -> Some (Assertion_failed s)
-  | "UserError" -> Some (User_error s)
-  | "TypeError" -> Some (Type_error s)
+  | "PatternMatchFail" -> Option.map (fun s -> Pattern_match_fail s) (str ())
+  | "AssertionFailed" -> Option.map (fun s -> Assertion_failed s) (str ())
+  | "UserError" -> Option.map (fun s -> User_error s) (str ())
+  | "TypeError" -> Option.map (fun s -> Type_error s) (str ())
   | "NonTermination" -> Some Non_termination
   | "Interrupt" -> Some Interrupt
   | "Timeout" -> Some Timeout
@@ -60,7 +117,22 @@ let of_constructor name payload =
   | "HeapOverflow" -> Some Heap_overflow
   | "ThreadKilled" -> Some Thread_killed
   | "BlockedIndefinitely" -> Some Blocked_indefinitely
-  | _ -> None
+  | _ -> (
+      match Hashtbl.find_opt declared name with
+      | None -> None
+      | Some kind -> (
+          (* Strict payload-kind check: every evaluator reports the same
+             Type_error on mismatch, keeping differentials coherent. *)
+          match (kind, p) with
+          | K_none, None -> Some (User_exception (name, None))
+          | K_int, Some (P_int _ as pv) ->
+              Some (User_exception (name, Some pv))
+          | K_string, Some (P_string _ as pv) ->
+              Some (User_exception (name, Some pv))
+          | _ -> None))
+
+let of_constructor name payload =
+  of_constructor_p name (Option.map (fun s -> P_string s) payload)
 
 let pp ppf e =
   match e with
@@ -68,6 +140,9 @@ let pp ppf e =
   | Assertion_failed s -> Fmt.pf ppf "AssertionFailed %S" s
   | User_error s -> Fmt.pf ppf "UserError %S" s
   | Type_error s -> Fmt.pf ppf "TypeError %S" s
+  | User_exception (n, None) -> Fmt.string ppf n
+  | User_exception (n, Some (P_int i)) -> Fmt.pf ppf "%s %d" n i
+  | User_exception (n, Some (P_string s)) -> Fmt.pf ppf "%s %S" n s
   | Divide_by_zero | Overflow | Non_termination | Interrupt | Timeout
   | Stack_overflow_exn | Heap_exhaustion | Heap_overflow | Thread_killed
   | Blocked_indefinitely ->
@@ -96,3 +171,20 @@ let all_known =
     Thread_killed;
     Blocked_indefinitely;
   ]
+
+let payload = function
+  | Pattern_match_fail s | Assertion_failed s | User_error s | Type_error s
+    ->
+      Some (P_string s)
+  | User_exception (_, p) -> p
+  | Divide_by_zero | Overflow | Non_termination | Interrupt | Timeout
+  | Stack_overflow_exn | Heap_exhaustion | Heap_overflow | Thread_killed
+  | Blocked_indefinitely ->
+      None
+
+let representative name =
+  match declared_kind name with
+  | None -> None
+  | Some K_none -> Some (User_exception (name, None))
+  | Some K_int -> Some (User_exception (name, Some (P_int 0)))
+  | Some K_string -> Some (User_exception (name, Some (P_string "rep")))

@@ -14,7 +14,23 @@
     exceptions (Section 4.1). The asynchronous constructors are those of
     Section 5.1. [Type_error] is our (documented) addition: the paper assumes
     well-typed programs, but an interpreter for an untyped term language
-    needs a constructor for ill-typed redexes. *)
+    needs a constructor for ill-typed redexes.
+
+    Since the extensible-hierarchy PR the vocabulary is {e open}: surface
+    programs may declare new exception constructors ([exception Name of
+    ty;]), which evaluate to the structural [User_exception] constructor
+    below. The member set E of the paper's lattice was always infinite
+    ([User_error] carries a string); openness only adds new names, so
+    {!Exn_set} and every evaluator extend pointwise with no change to the
+    ordering. *)
+
+type payload = P_int of int | P_string of string
+(** Payload carried by a declared exception constructor (and, uniformly,
+    by the string-carrying builtins). *)
+
+type payload_kind = K_none | K_int | K_string
+(** Declared payload type of an [exception] declaration: [exception E;],
+    [exception E of Int;], [exception E of String;]. *)
 
 type t =
   | Divide_by_zero
@@ -47,15 +63,41 @@ type t =
           pitch applied to deadlock: an ordinary catchable imprecise
           exception instead of a global abort (GHC's
           [BlockedIndefinitelyOnMVar]). *)
+  | User_exception of string * payload option
+      (** A user-declared exception constructor (open vocabulary),
+          carrying its declared payload. Always synchronous: user code
+          raises these; external events do not. *)
 
 val compare : t -> t -> int
 val equal : t -> t -> bool
+
+val declare : string -> payload_kind -> unit
+(** Register a declared exception constructor. The registry is global and
+    monotone (names accumulate; a redeclaration at the same kind is a
+    no-op). Redeclaring a name at a {e different} kind raises
+    [Invalid_argument] — a name must mean one thing across every program
+    a process evaluates (the serve daemon interleaves tenants). *)
+
+val is_declared : string -> bool
+val declared_kind : string -> payload_kind option
+
+val declared_list : unit -> (string * payload_kind) list
+(** All declared exception constructors, sorted by name. *)
+
+val representative : string -> t option
+(** A canonical member for a declared name (payload 0 / "rep"), used where
+    an enumeration of representatives of E is needed. *)
 
 val is_asynchronous : t -> bool
 (** [is_asynchronous e] is true for the Section 5.1 constructors that are
     injected by external events rather than by evaluation. *)
 
 val is_synchronous : t -> bool
+
+val class_name : t -> string
+(** The coarse hierarchy class a typed handler list dispatches on:
+    ["arith"], ["async"], ["runtime"], ["user"], or ["declared"] (the
+    open vocabulary). Reported with exceptional serve replies. *)
 
 val constructor_name : t -> string
 (** Name of the corresponding source-language constructor, e.g.
@@ -64,7 +106,17 @@ val constructor_name : t -> string
 val of_constructor : string -> string option -> t option
 (** [of_constructor name payload] maps a source-language constructor
     application back to an exception constant; [payload] supplies the
-    string argument for [UserError] and friends. *)
+    string argument for [UserError] and friends. String-payload special
+    case of {!of_constructor_p}. *)
+
+val of_constructor_p : string -> payload option -> t option
+(** Generalised conversion covering declared exceptions and integer
+    payloads. Returns [None] both for unknown names and for a payload
+    whose kind mismatches the declaration — callers uniformly report the
+    latter as a runtime [Type_error], so all evaluators agree. *)
+
+val payload : t -> payload option
+(** The payload carried by [e], if any. *)
 
 val pp : t Fmt.t
 

@@ -45,6 +45,7 @@ let keyword_of = function
   | "raise" -> Some Kw_raise
   | "fix" -> Some Kw_fix
   | "data" -> Some Kw_data
+  | "exception" -> Some Kw_exception
   | _ -> None
 
 let read_while st pred =

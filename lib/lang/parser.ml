@@ -547,11 +547,57 @@ let parse_data st : Syntax.data_decl =
   let constructors = con_decls [] in
   { Syntax.type_name; type_params; constructors }
 
-type decl = D_def of string * expr | D_data of Syntax.data_decl
+(* [exception Name;] / [exception Name of Int;] / [exception Name of
+   String;]. Registers the constructor's arity in this parse's
+   constructor table AND declares the name in the global [Exn] registry
+   (monotone; a kind clash with an earlier declaration is a parse
+   error), so every evaluator recognises it at a [raise]. *)
+let parse_exception st : Syntax.exn_decl =
+  expect st Kw_exception;
+  let exn_name =
+    match peek_tok st with
+    | Upper n ->
+        advance st;
+        n
+    | t ->
+        fail st
+          (Printf.sprintf "expected an exception constructor but found %s"
+             (Token.describe t))
+  in
+  let exn_payload =
+    match peek_tok st with
+    | Kw_of -> (
+        advance st;
+        match parse_ty_atom_opt st with
+        | Some t -> Some t
+        | None -> fail st "expected a payload type after 'of'")
+    | _ -> None
+  in
+  let kind =
+    match exn_payload with
+    | None -> Exn.K_none
+    | Some (Syntax.Ty_con ("Int", [])) -> Exn.K_int
+    | Some (Syntax.Ty_con ("String", [])) -> Exn.K_string
+    | Some _ ->
+        fail st
+          (Printf.sprintf
+             "exception %s: payload type must be Int or String" exn_name)
+  in
+  (try Exn.declare exn_name kind
+   with Invalid_argument msg -> fail st msg);
+  Con_info.register st.cons exn_name
+    (match exn_payload with None -> 0 | Some _ -> 1);
+  { Syntax.exn_name; exn_payload }
+
+type decl =
+  | D_def of string * expr
+  | D_data of Syntax.data_decl
+  | D_exn of Syntax.exn_decl
 
 let parse_decl st : decl =
   match peek_tok st with
   | Kw_data -> D_data (parse_data st)
+  | Kw_exception -> D_exn (parse_exception st)
   | _ ->
       let name = binder st in
       let rec params acc =
@@ -567,6 +613,16 @@ let parse_decl st : decl =
 
 let make_state ?cons src =
   let cons = match cons with Some c -> c | None -> Con_info.builtins () in
+  (* The exception vocabulary is global and monotone: constructors
+     declared in any previously parsed program (or registered directly,
+     as the fuzzer does) stay parseable, so pretty-printed terms
+     mentioning them round-trip. *)
+  List.iter
+    (fun (name, kind) ->
+      let arity = match kind with Exn.K_none -> 0 | _ -> 1 in
+      if Con_info.arity cons name = None then
+        Con_info.register cons name arity)
+    (Exn.declared_list ());
   let toks =
     try Lexer.tokenize src
     with Lexer.Error (msg, line, col) -> raise (Error (msg, line, col))
@@ -583,9 +639,9 @@ let parse_expr ?cons src =
 
 let parse_program ?cons src =
   let st = make_state ?cons src in
-  let rec decls defs datas =
+  let rec decls defs datas exns =
     match peek_tok st with
-    | Eof -> (List.rev defs, List.rev datas)
+    | Eof -> (List.rev defs, List.rev datas, List.rev exns)
     | _ -> (
         let d = parse_decl st in
         (match peek_tok st with
@@ -596,13 +652,14 @@ let parse_program ?cons src =
               (Printf.sprintf "expected ';' after declaration but found %s"
                  (Token.describe t)));
         match d with
-        | D_def (name, e) -> decls ((name, e) :: defs) datas
-        | D_data dd -> decls defs (dd :: datas))
+        | D_def (name, e) -> decls ((name, e) :: defs) datas exns
+        | D_data dd -> decls defs (dd :: datas) exns
+        | D_exn ed -> decls defs datas (ed :: exns))
   in
-  let defs, datas = decls [] [] in
+  let defs, datas, exns = decls [] [] [] in
   match List.assoc_opt "main" defs with
   | None -> raise (Error ("program has no 'main' definition", 0, 0))
-  | Some _ -> { defs; datas; main = Var "main" }
+  | Some _ -> { defs; datas; exns; main = Var "main" }
 
-let expr_of_program { defs; main; datas = _ } =
+let expr_of_program { defs; main; datas = _; exns = _ } =
   match defs with [] -> main | _ -> Letrec (defs, main)

@@ -117,6 +117,8 @@ eqExn a b = case a of
     ThreadKilled -> case b of { ThreadKilled -> True; z -> False };
     BlockedIndefinitely ->
       case b of { BlockedIndefinitely -> True; z -> False };
+    SupervisorLimit n1 ->
+      case b of { SupervisorLimit n2 -> n1 == n2; z -> False };
     UserError s1 -> case b of { UserError s2 -> s1 == s2; z -> False };
     TypeError s1 -> case b of { TypeError s2 -> s1 == s2; z -> False };
     PatternMatchFail s1 ->
@@ -182,6 +184,113 @@ superviseWorker n worker fallback = if n <= 0 then fallback
     forkIO (worker >>= \x -> putMVar mv x) >>= \u ->
     catchIO (takeMVar mv)
       (\e -> superviseWorker (n - 1) worker fallback);
+
+evaluate e = Evaluate e;
+throwIO e = Evaluate (raise e);
+tryIO m = GetException (m >>= \x -> Return x) >>= \r ->
+  case r of { OK x -> Return (Right x); Bad e -> Return (Left e) };
+try m = tryIO m;
+
+toException e = SomeException e;
+fromException se = case se of { SomeException e -> Just e };
+
+handler match act = Handler (\e -> case match e of
+  { Nothing -> Nothing; Just x -> Just (act x) });
+dispatchHandlers e hs = case hs of
+  { Nil -> throwIO e;
+    Cons h rest -> case h of
+      { Handler f -> case f e of
+          { Nothing -> dispatchHandlers e rest;
+            Just act -> act } } };
+catches m hs = catchIO m (\e -> dispatchHandlers e hs);
+
+matchAny e = Just e;
+matchArith e = case e of
+  { DivideByZero -> Just e; Overflow -> Just e; z -> Nothing };
+matchAsync e = case e of
+  { Interrupt -> Just e; Timeout -> Just e; StackOverflow -> Just e;
+    HeapExhaustion -> Just e; HeapOverflow -> Just e;
+    ThreadKilled -> Just e; BlockedIndefinitely -> Just e;
+    z -> Nothing };
+matchUserError e = case e of { UserError s -> Just s; z -> Nothing };
+matchSupervisorLimit e =
+  case e of { SupervisorLimit n -> Just n; z -> Nothing };
+
+spawnChild ch i m =
+  newEmptyMVar >>= \tidCell ->
+  forkIO (mask (myThreadId >>= \tid -> putMVar tidCell tid >>= \u ->
+          tryIO (unmask m) >>= \r -> writeChan ch (i, r))) >>= \u ->
+  takeMVar tidCell;
+spawnAll ch retries backoff specs idxs = mapM
+  (\i -> spawnChild ch i (retryWithBackoff retries backoff (index specs i))
+    >>= \tid -> Return (i, tid))
+  idxs;
+killAll tids = mapM2 (\p -> killThread (snd p)) tids;
+drainSiblings ch idxs k kept =
+  if k <= 0 then Return kept
+  else readChan ch >>= \msg -> case msg of
+    { Pair j r -> if elem j idxs
+        then drainSiblings ch idxs (k - 1) kept
+        else drainSiblings ch idxs k (append kept [msg]) };
+
+supervisorLoop strat maxR window retries backoff ch specs tids events
+  stamps pending =
+  case pending of
+    { Cons msg rest -> supervisorStep strat maxR window retries backoff ch
+        specs tids events stamps rest msg;
+      Nil -> readChan ch >>= \msg -> supervisorStep strat maxR window
+        retries backoff ch specs tids events stamps [] msg };
+supervisorStep strat maxR window retries backoff ch specs tids events
+  stamps pending msg =
+  case msg of { Pair i r -> case r of
+    { Right v ->
+        let tids2 = filter (\p -> fst p /= i) tids in
+        if null tids2 then Return Unit
+        else supervisorLoop strat maxR window retries backoff ch specs
+          tids2 (events + 1) stamps pending;
+      Left e -> supervisorRestart strat maxR window retries backoff ch
+        specs tids (events + 1) stamps pending i } };
+supervisorRestart strat maxR window retries backoff ch specs tids events
+  stamps pending i =
+  let live = filter (\s -> s > (events - window)) stamps in
+  if length live >= maxR
+  then killAll (filter (\p -> fst p /= i) tids) >>= \u ->
+       throwIO (SupervisorLimit (length live))
+  else
+    let stamps2 = events : live in
+    case strat of
+      { OneForOne ->
+          spawnChild ch i
+            (retryWithBackoff retries backoff (index specs i)) >>= \tid ->
+          supervisorLoop strat maxR window retries backoff ch specs
+            ((i, tid) : filter (\p -> fst p /= i) tids)
+            events stamps2 pending;
+        OneForAll ->
+          restartGroup strat maxR window retries backoff ch specs
+            (filter (\p -> fst p /= i) tids) [] events stamps2 pending i;
+        RestForOne ->
+          restartGroup strat maxR window retries backoff ch specs
+            (filter (\p -> fst p > i) tids)
+            (filter (\p -> fst p < i) tids)
+            events stamps2 pending i };
+restartGroup strat maxR window retries backoff ch specs doomed kept events
+  stamps pending i =
+  let idxs = map fst doomed in
+  let drained = count (\msg -> elem (fst msg) idxs) pending in
+  let pending2 = filter (\msg -> not (elem (fst msg) idxs)) pending in
+  killAll doomed >>= \u ->
+  drainSiblings ch idxs ((length doomed) - drained) pending2 >>= \pending3 ->
+  spawnAll ch retries backoff specs (i : idxs) >>= \tids2 ->
+  supervisorLoop strat maxR window retries backoff ch specs
+    (append kept tids2) events stamps pending3;
+
+supervisorTreeB strat maxR window retries backoff specs =
+  newChan ((length specs) + 1) >>= \ch ->
+  spawnAll ch retries backoff specs (enumFromTo 0 ((length specs) - 1))
+    >>= \tids ->
+  supervisorLoop strat maxR window retries backoff ch specs tids 0 [] [];
+supervisorTree strat maxR window specs =
+  supervisorTreeB strat maxR window 0 1 specs;
 
 putList cs = case cs of
   { Nil -> Return Unit;

@@ -158,7 +158,12 @@ let pp_data ppf (d : data_decl) =
     Fmt.(list ~sep:(any "@ | ") pp_con)
     d.constructors
 
-let pp_program ppf ({ defs; datas; main = _ } : program) =
+let pp_exn_decl ppf (d : exn_decl) =
+  match d.exn_payload with
+  | None -> Fmt.pf ppf "exception %s;" d.exn_name
+  | Some t -> Fmt.pf ppf "exception %s of %a;" d.exn_name pp_ty t
+
+let pp_program ppf ({ defs; datas; exns; main = _ } : program) =
   let pp_def ppf (name, e) =
     (* Re-sugar leading lambdas into parameters. *)
     let rec collect acc = function
@@ -171,6 +176,12 @@ let pp_program ppf ({ defs; datas; main = _ } : program) =
       Fmt.pf ppf "@[<hv 2>%s %s =@ %a;@]" name (String.concat " " ps) pp_expr
         body
   in
+  (match exns with
+  | [] -> ()
+  | _ ->
+      Fmt.pf ppf "@[<v>%a@]@,@,"
+        Fmt.(list ~sep:(any "@,@,") pp_exn_decl)
+        exns);
   (match datas with
   | [] -> ()
   | _ ->

@@ -154,13 +154,14 @@ let t_new_chan = con_tag "NewChan"
 let t_read_chan = con_tag "ReadChan"
 let t_write_chan = con_tag "WriteChan"
 let t_chan_ref = con_tag "ChanRef"
+let t_evaluate = con_tag c_evaluate
 
 let io_action_tags =
   [
     t_return; t_bind; t_get_char; t_put_char; t_get_exception; t_bracket;
     t_on_exception; t_mask; t_unmask; t_timeout; t_retry; t_fork;
     t_new_mvar; t_take_mvar; t_put_mvar; t_my_thread_id; t_throw_to;
-    t_new_chan; t_read_chan; t_write_chan;
+    t_new_chan; t_read_chan; t_write_chan; t_evaluate;
   ]
 
 let is_io_action_tag t = List.mem t io_action_tags

@@ -120,6 +120,7 @@ val t_new_chan : int
 val t_read_chan : int
 val t_write_chan : int
 val t_chan_ref : int
+val t_evaluate : int
 
 val is_io_action_tag : int -> bool
 (** Tags whose constructor is an IO action the drivers can perform

@@ -28,9 +28,16 @@ type data_decl = {
   constructors : (string * ty_expr list) list;
 }
 
+(* [exception Name;] / [exception Name of Int;] / [exception Name of
+   String;] — an open-vocabulary extension of the prelude's Exception
+   type. The payload is restricted to Int/String so that every exception
+   value can cross the language/Exn.t boundary at a [raise]. *)
+type exn_decl = { exn_name : string; exn_payload : ty_expr option }
+
 type program = {
   defs : (string * expr) list;
   datas : data_decl list;
+  exns : exn_decl list;
   main : expr;
 }
 
@@ -91,6 +98,11 @@ let c_mask = "Mask"
 let c_unmask = "Unmask"
 let c_timeout = "WithTimeout"
 let c_retry = "Retry"
+let c_evaluate = "Evaluate"
+let c_handler = "Handler"
+let c_left = "Left"
+let c_right = "Right"
+let c_some_exception = "SomeException"
 
 let is_io_constructor c =
   List.mem c
@@ -124,6 +136,7 @@ let is_io_action_constructor c =
          "NewChan";
          "ReadChan";
          "WriteChan";
+         c_evaluate;
        ]
 
 let bool_expr b = Con ((if b then c_true else c_false), [])

@@ -57,13 +57,19 @@ type data_decl = {
 (** A [data] declaration: name, parameters, and each constructor's field
     types. *)
 
+type exn_decl = { exn_name : string; exn_payload : ty_expr option }
+(** An [exception] declaration: a new member of the open exception
+    vocabulary, optionally carrying an [Int] or [String] payload. *)
+
 type program = {
   defs : (string * expr) list;
   datas : data_decl list;
+  exns : exn_decl list;
   main : expr;
 }
-(** A parsed module: [data] declarations, top-level definitions (mutually
-    recursive) and the expression bound to [main]. *)
+(** A parsed module: [data] and [exception] declarations, top-level
+    definitions (mutually recursive) and the expression bound to
+    [main]. *)
 
 val equal : expr -> expr -> bool
 (** Structural equality (not alpha-equivalence; see {!Subst.alpha_equal}). *)
@@ -102,6 +108,11 @@ val c_mask : string
 val c_unmask : string
 val c_timeout : string
 val c_retry : string
+val c_evaluate : string
+val c_handler : string
+val c_left : string
+val c_right : string
+val c_some_exception : string
 
 val is_io_constructor : string -> bool
 (** True for the constructors of the [IO] data type, including the

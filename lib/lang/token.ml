@@ -16,6 +16,7 @@ type t =
   | Kw_raise
   | Kw_fix
   | Kw_data
+  | Kw_exception
   | Backslash
   | Arrow
   | Equals
@@ -52,6 +53,7 @@ let describe = function
   | Kw_raise -> "'raise'"
   | Kw_fix -> "'fix'"
   | Kw_data -> "'data'"
+  | Kw_exception -> "'exception'"
   | Backslash -> "'\\'"
   | Arrow -> "'->'"
   | Equals -> "'='"

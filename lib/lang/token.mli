@@ -19,6 +19,7 @@ type t =
   | Kw_raise
   | Kw_fix
   | Kw_data
+  | Kw_exception
   | Backslash
   | Arrow  (** [->] *)
   | Equals

@@ -431,6 +431,17 @@ let run ?config ?trace ?(input = "") ?(async = []) ?(kills = [])
               in
               set_state t
                 (Runnable (ret_value (Stg.MCon (R.t_bad, [| ev |])), frames)))
+      | Ok (Stg.MCon (c, [| v |])) when c = R.t_evaluate -> (
+          (* evaluate e: force the argument at exactly this point in the
+             thread's IO sequence (see Machine_io). *)
+          match Stg.force m v with
+          | Ok value ->
+              let va = Stg.alloc_value m value in
+              set_state t (Runnable (ret_addr va, frames))
+          | Error (Stg.Fail_exn exn) -> unwind_t t exn frames
+          | Error Stg.Fail_diverged -> unwind_t t Exn.Non_termination frames
+          | Error (Stg.Fail_async _) ->
+              main_result := Some (Stuck "async outside getException"))
       | Ok (Stg.MCon (c, [| acq; rel; use |])) when c = R.t_bracket ->
           Stg.push_mask m;
           set_state t (Runnable (acq, F_bracket (rel, use) :: frames))

@@ -207,6 +207,18 @@ let run ?config ?trace ?(input = "") ?(async = [])
               let bad = Stg.alloc_value m (Stg.MCon (R.t_bad, [| ev |])) in
               perform (ret_addr bad) stack (n + 1)
           | Error Stg.Fail_diverged -> Io_diverged)
+      | Ok (Stg.MCon (c, [| t |])) when c = R.t_evaluate -> (
+          (* evaluate e: the precise forcing point — the argument is
+             forced here, as the action is performed, so its exception
+             (if any) unwinds at exactly this point in the IO sequence. *)
+          match Stg.force m t with
+          | Ok v ->
+              let va = Stg.alloc_value m v in
+              perform (ret_addr va) stack (n + 1)
+          | Error (Stg.Fail_exn exn) -> unwind exn stack n
+          | Error Stg.Fail_diverged -> Io_diverged
+          | Error (Stg.Fail_async _) ->
+              Stuck "async event outside getException")
       | Ok (Stg.MCon (c, [| acq; rel; use |])) when c = R.t_bracket ->
           Stg.push_mask m;
           perform acq (F_bracket (rel, use) :: stack) (n + 1)

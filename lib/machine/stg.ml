@@ -234,11 +234,10 @@ let clear_async m = m.async <- []
 
 let exn_to_mvalue m (e : Exn.t) : mvalue =
   let tag = R.con_tag ~ctx:m.rctx (Exn.constructor_name e) in
-  match e with
-  | Exn.Pattern_match_fail s | Exn.Assertion_failed s | Exn.User_error s
-  | Exn.Type_error s ->
-      MCon (tag, [| alloc_value m (MString s) |])
-  | _ -> MCon (tag, [||])
+  match Exn.payload e with
+  | Some (Exn.P_string s) -> MCon (tag, [| alloc_value m (MString s) |])
+  | Some (Exn.P_int n) -> MCon (tag, [| alloc_value m (MInt n) |])
+  | None -> MCon (tag, [||])
 
 (* The machine loop. [catch] marks the bottom of this run's stack as a
    getException catch mark: synchronous raises and asynchronous events
@@ -658,7 +657,8 @@ and mvalue_to_exn (m : t) (v : mvalue) : (Exn.t, to_exn_error) result =
         | [||] -> Ok None
         | [| a |] -> (
             match run m ~catch:false (C_enter a) with
-            | Ok (MString s) -> Ok (Some s)
+            | Ok (MString s) -> Ok (Some (Exn.P_string s))
+            | Ok (MInt n) -> Ok (Some (Exn.P_int n))
             | Ok _ ->
                 Error (Exn.Type_error "exception payload is not a string")
             | Error (Fail_exn e) | Error (Fail_async e) -> Error e
@@ -670,7 +670,7 @@ and mvalue_to_exn (m : t) (v : mvalue) : (Exn.t, to_exn_error) result =
       | Error e -> Error (Exn_err e)
       | Ok p -> (
           let name = R.con_name ~ctx:m.rctx tag in
-          match Exn.of_constructor name p with
+          match Exn.of_constructor_p name p with
           | Some e -> Ok e
           | None ->
               Error

@@ -179,11 +179,10 @@ let inject_async m ~at_step e = m.async <- m.async @ [ (at_step, e) ]
 
 let exn_to_mvalue m (e : Exn.t) : mvalue =
   let name = Exn.constructor_name e in
-  match e with
-  | Exn.Pattern_match_fail s | Exn.Assertion_failed s | Exn.User_error s
-  | Exn.Type_error s ->
-      MCon (name, [ alloc_value m (MString s) ])
-  | _ -> MCon (name, [])
+  match Exn.payload e with
+  | Some (Exn.P_string s) -> MCon (name, [ alloc_value m (MString s) ])
+  | Some (Exn.P_int n) -> MCon (name, [ alloc_value m (MInt n) ])
+  | None -> MCon (name, [])
 
 exception Machine_stuck of failure
 
@@ -614,7 +613,8 @@ and mvalue_to_exn (m : t) (v : mvalue) : (Exn.t, to_exn_error) result =
         | [] -> Ok None
         | [ a ] -> (
             match run m ~catch:false (C_enter a) with
-            | Ok (MString s) -> Ok (Some s)
+            | Ok (MString s) -> Ok (Some (Exn.P_string s))
+            | Ok (MInt n) -> Ok (Some (Exn.P_int n))
             | Ok _ ->
                 Error (Exn.Type_error "exception payload is not a string")
             | Error (Fail_exn e) | Error (Fail_async e) -> Error e
@@ -625,7 +625,7 @@ and mvalue_to_exn (m : t) (v : mvalue) : (Exn.t, to_exn_error) result =
       match payload with
       | Error e -> Error (Exn_err e)
       | Ok p -> (
-          match Exn.of_constructor name p with
+          match Exn.of_constructor_p name p with
           | Some e -> Ok e
           | None ->
               Error

@@ -266,8 +266,11 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
 
   let finish (t : thread) (value : thunk) =
     emit (E_thread_done t.tid);
-    if t.tid = main_thread.tid then
-      main_result := Some (Done (deep_force ~depth:64 value));
+    if t.tid = main_thread.tid then begin
+      (* Fresh budget for the final deep force; see Iosem.pop. *)
+      Denot.refill fuel_handle;
+      main_result := Some (Done (deep_force ~depth:64 value))
+    end;
     set_state t Finished
   in
 
@@ -283,6 +286,10 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
     match stack with
     | [] -> finish t v
     | F_k k :: rest -> (
+        (* Fresh budget: the previous action may have exhausted the
+           fuel, and forcing [k] on the leftovers would collapse a
+           healthy continuation to [Bad All]; see Iosem.pop. *)
+        Denot.refill fuel_handle;
         match force k with
         | Ok_v (VFun f) ->
             set_state t (Runnable (delay (fun () -> f v), rest))
@@ -614,6 +621,23 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
                                   (VCon (c_bad, [ from_whnf (exn_to_value x) ]))),
                              frames ));
                       true))
+          | Ok_v (VCon (c, [ v ])) when String.equal c c_evaluate -> (
+              (* evaluate e: force the argument at exactly this point in
+                 the thread's IO sequence (see Iosem). *)
+              match force v with
+              | Ok_v value ->
+                  set_state t
+                    (Runnable (return_thunk (Ok_v value), frames));
+                  true
+              | Bad s ->
+                  if Oracle.diverge_on_non_termination oracle s then begin
+                    main_result := Some Diverged;
+                    true
+                  end
+                  else begin
+                    unwind_t t (pick s) frames;
+                    true
+                  end)
           | Ok_v (VCon (c, [ acq; rel; use ])) when String.equal c c_bracket
             ->
               enter_mask t;

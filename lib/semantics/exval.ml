@@ -143,6 +143,8 @@ let exn_of_encoded_deep (d : deep) : Exn.t option =
   | DCon (name, []) -> Exn.of_constructor name None
   | DCon (name, [ DCon (okc, [ DString s ]) ]) when String.equal okc c_ok ->
       Exn.of_constructor name (Some s)
+  | DCon (name, [ DCon (okc, [ DInt n ]) ]) when String.equal okc c_ok ->
+      Exn.of_constructor_p name (Some (Exn.P_int n))
   | _ -> None
 
 let rec decode_deep (d : deep) : deep =

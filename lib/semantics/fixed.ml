@@ -148,11 +148,10 @@ and select_alt v alts =
 
 and exn_to_fvalue (e : Exn.t) : fvalue =
   let name = Exn.constructor_name e in
-  match e with
-  | Exn.Pattern_match_fail s | Exn.Assertion_failed s | Exn.User_error s
-  | Exn.Type_error s ->
-      FCon (name, [ from_value (FString s) ])
-  | _ -> FCon (name, [])
+  match Exn.payload e with
+  | Some (Exn.P_string s) -> FCon (name, [ from_value (FString s) ])
+  | Some (Exn.P_int n) -> FCon (name, [ from_value (FInt n) ])
+  | None -> FCon (name, [])
 
 and exn_of_fvalue (v : fvalue) : Exn.t =
   match v with
@@ -162,11 +161,12 @@ and exn_of_fvalue (v : fvalue) : Exn.t =
         | [] -> None
         | [ t ] -> (
             match force t with
-            | FString s -> Some s
+            | FString s -> Some (Exn.P_string s)
+            | FInt n -> Some (Exn.P_int n)
             | _ -> type_error "exception payload is not a string")
         | _ -> type_error "exception constructor arity"
       in
-      match Exn.of_constructor name payload with
+      match Exn.of_constructor_p name payload with
       | Some e -> e
       | None -> type_error (name ^ " is not an exception constructor"))
   | _ -> type_error "raise: not an exception"

@@ -257,6 +257,22 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
                            (Ok_v
                               (VCon (c_bad, [ from_whnf (exn_to_value x) ]))))
                         stack))
+        | Ok_v (VCon (c, [ t ])) when String.equal c c_evaluate -> (
+            (* evaluate e: the precise forcing point. The argument is
+               forced to WHNF *as this action is performed*, so its
+               imprecise exception set collapses to a member at exactly
+               this point in the IO sequence — unlike [return e], whose
+               payload stays lazy, and observably unlike the pure value
+               [Evaluate e] (an OK constructor even when e is Bad; see
+               the evaluate_is_seq_return law). *)
+            match force t with
+            | Ok_v v -> perform (return_thunk (Ok_v v)) stack
+            | Bad s ->
+                if Oracle.diverge_on_non_termination st.oracle s then
+                  Io_diverged
+                else if Exn_set.is_empty s then
+                  Stuck "evaluate: empty exception set"
+                else unwind (pick s) stack)
         | Ok_v (VCon (c, [ acq; rel; use ])) when String.equal c c_bracket ->
             (* The acquire phase runs masked, so an async event cannot slip
                in between acquire completing and the release being
@@ -366,8 +382,18 @@ let run ?(config = Denot.default_config) ?(oracle = Oracle.first ())
      continuation (or the bottom of the stack). *)
   and pop (v : thunk) (stack : frame list) : outcome =
     match stack with
-    | [] -> Done (deep_force ~depth:64 v)
+    | [] ->
+        (* The final deep force is its own transition: it must not run on
+           whatever fuel the last action left over. *)
+        Denot.refill fuel_handle;
+        Done (deep_force ~depth:64 v)
     | F_k k :: rest -> (
+        (* Looking up the next continuation starts a new transition.
+           Without the refill, an action whose forcing exhausted the
+           budget (so it collapsed to [Bad All]) would poison the force
+           of [k] too — and an exception an enclosing [F_catch] just
+           caught would spuriously escape as uncaught. *)
+        Denot.refill fuel_handle;
         match force k with
         | Ok_v (VFun f) -> perform (delay (fun () -> f v)) rest
         | Ok_v _ -> Stuck ">>=: continuation is not a function"

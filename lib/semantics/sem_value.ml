@@ -61,14 +61,11 @@ let vbool b = vcon0 (if b then Lang.Syntax.c_true else Lang.Syntax.c_false)
 
 let exn_to_value (e : Exn.t) =
   let name = Exn.constructor_name e in
-  match e with
-  | Exn.Pattern_match_fail s | Exn.Assertion_failed s | Exn.User_error s
-  | Exn.Type_error s ->
+  match Exn.payload e with
+  | Some (Exn.P_string s) ->
       Ok_v (VCon (name, [ from_whnf (Ok_v (VString s)) ]))
-  | Exn.Divide_by_zero | Exn.Overflow | Exn.Non_termination | Exn.Interrupt
-  | Exn.Timeout | Exn.Stack_overflow_exn | Exn.Heap_exhaustion
-  | Exn.Heap_overflow | Exn.Thread_killed | Exn.Blocked_indefinitely ->
-      vcon0 name
+  | Some (Exn.P_int n) -> Ok_v (VCon (name, [ from_whnf (Ok_v (VInt n)) ]))
+  | None -> vcon0 name
 
 let exn_of_whnf (w : whnf) : (Exn.t, whnf) result =
   match w with
@@ -79,7 +76,8 @@ let exn_of_whnf (w : whnf) : (Exn.t, whnf) result =
         | [] -> Ok None
         | [ t ] -> (
             match force t with
-            | Ok_v (VString s) -> Ok (Some s)
+            | Ok_v (VString s) -> Ok (Some (Exn.P_string s))
+            | Ok_v (VInt n) -> Ok (Some (Exn.P_int n))
             | Ok_v _ ->
                 Result.Error
                   (Bad
@@ -95,7 +93,7 @@ let exn_of_whnf (w : whnf) : (Exn.t, whnf) result =
       match payload with
       | Result.Error e -> Error e
       | Ok p -> (
-          match Exn.of_constructor name p with
+          match Exn.of_constructor_p name p with
           | Some e -> Ok e
           | None ->
               Error

@@ -509,7 +509,10 @@ let run_slice t (req : request) =
             (Printf.sprintf "max_stack=%d" st.Stats.max_stack)
       | _ ->
           t.c.failed <- t.c.failed + 1;
-          reply_err req.rsession req.rid "exn" (Fmt.str "%a" Exn.pp e))
+          (* Typed classification rides with every exceptional reply:
+             the coarse hierarchy class first, then the printed value. *)
+          reply_err req.rsession req.rid "exn"
+            (Fmt.str "class=%s %a" (Exn.class_name e) Exn.pp e))
 
 let tick t =
   (match t.inflight with

@@ -512,6 +512,34 @@ let strictness_cbv =
       ];
   }
 
+let evaluate_is_seq_return =
+  {
+    name = "evaluate_is_seq_return";
+    description =
+      "evaluate e  ==>  seq e (Return e).  Haskell folklore treats \
+       [evaluate] as strict [return], but the two differ as values: \
+       [evaluate e] is already a constructor (its forcing point is the \
+       moment the action is performed), while [seq e (Return e)] forces \
+       e when the action value itself is demanded. With exception sets \
+       the left side is a WHNF even when e is Bad, so the rewrite is \
+       invalid in every design; only the performed behaviours agree.";
+    paper_ref = "4.4";
+    imprecise = Invalid;
+    fixed_order = Invalid;
+    nondet = Invalid;
+    applies =
+      (function
+      | Con (c, [ e ]) when String.equal c c_evaluate ->
+          Some (B.seq e (Con (c_return, [ e ])))
+      | _ -> None);
+    instances =
+      [
+        Con (c_evaluate, [ e_div0 ]);
+        Con (c_evaluate, [ B.(e_div0 + e_err "Urk") ]);
+        Con (c_evaluate, [ B.int 3 ]);
+      ];
+  }
+
 let all =
   [
     beta;
@@ -526,6 +554,7 @@ let all =
     case_of_case;
     eta_expand;
     strictness_cbv;
+    evaluate_is_seq_return;
   ]
 
 let find name = List.find_opt (fun r -> String.equal r.name name) all

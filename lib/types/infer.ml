@@ -201,9 +201,31 @@ let builtin_data : data_decl list =
           ("HeapOverflow", []);
           ("ThreadKilled", []);
           ("BlockedIndefinitely", []);
+          ("SupervisorLimit", [ c "Int" [] ]);
         ] };
     { type_name = "ThreadId"; type_params = [];
       constructors = [ ("ThreadId", [ c "Int" [] ]) ] };
+    (* Extensible-hierarchy PR: the SomeException root (Marlow '06 —
+       here a plain wrapper, since Exception is already the universal
+       exception type), Either for [try], typed handler lists for
+       [catches], and supervision-tree restart strategies. *)
+    { type_name = "SomeException"; type_params = [];
+      constructors = [ ("SomeException", [ c "Exception" [] ]) ] };
+    { type_name = "Either"; type_params = [ "a"; "b" ];
+      constructors = [ ("Left", [ v "a" ]); ("Right", [ v "b" ]) ] };
+    { type_name = "Handler"; type_params = [ "a" ];
+      constructors =
+        [
+          ("Handler",
+           [
+             Ty_fun
+               (c "Exception" [],
+                c "Maybe" [ c "IO" [ v "a" ] ]);
+           ]);
+        ] };
+    { type_name = "Strategy"; type_params = [];
+      constructors =
+        [ ("OneForOne", []); ("OneForAll", []); ("RestForOne", []) ] };
     { type_name = "ExVal"; type_params = [ "a" ];
       constructors =
         [ ("OK", [ v "a" ]); ("Bad", [ c "Exception" [] ]) ] };
@@ -278,10 +300,56 @@ let initial_env () =
           SMap.empty primitive_type_arities;
     }
   in
-  List.fold_left add_data_exn env builtin_data
+  let env = List.fold_left add_data_exn env builtin_data in
+  (* The exception vocabulary is global and monotone: constructors
+     declared by any previously checked program (or registered directly,
+     as the fuzzer does) stay in scope, mirroring the parser's
+     constructor table. *)
+  List.fold_left
+    (fun env (name, kind) ->
+      if SMap.mem name env.cons then env
+      else
+        let fields =
+          match kind with
+          | Lang.Exn.K_none -> []
+          | Lang.Exn.K_int -> [ Ty_con ("Int", []) ]
+          | Lang.Exn.K_string -> [ Ty_con ("String", []) ]
+        in
+        {
+          env with
+          cons =
+            SMap.add name
+              { result_name = "Exception"; params = []; fields }
+              env.cons;
+        })
+    env
+    (Lang.Exn.declared_list ())
 
 let add_data env d =
   match add_data_exn env d with
+  | env' -> Ok env'
+  | exception Type_error e -> Error e
+
+(* An [exception] declaration adds a constructor to the existing
+   Exception type. Redeclaration is idempotent (the open vocabulary is
+   monotone and the parser has already checked the payload kind is
+   consistent), so programs sharing a declared name type-check
+   independently. *)
+let add_exn_decl_exn env (d : exn_decl) : env =
+  let fields = match d.exn_payload with None -> [] | Some t -> [ t ] in
+  List.iter (fun f -> ignore (conv_ty env SMap.empty f)) fields;
+  if SMap.mem d.exn_name env.cons then env
+  else
+    {
+      env with
+      cons =
+        SMap.add d.exn_name
+          { result_name = "Exception"; params = []; fields }
+          env.cons;
+    }
+
+let add_exn_decl env d =
+  match add_exn_decl_exn env d with
   | env' -> Ok env'
   | exception Type_error e -> Error e
 
@@ -510,6 +578,10 @@ let rec infer_exn (env : env) (e : expr) : ty =
       unify (infer_exn env r) (T_con ("Chan", [ a ]));
       unify (infer_exn env v) a;
       t_io t_unit
+  | Con (c, [ v ]) when String.equal c c_evaluate ->
+      (* evaluate :: a -> IO a — forcing the argument is the performed
+         effect; the result is the forced value itself. *)
+      t_io (infer_exn env v)
   | Con ("MyThreadId", []) -> t_io (T_con ("ThreadId", []))
   | Con ("ThrowTo", [ t; x ]) ->
       unify (infer_exn env t) (T_con ("ThreadId", []));
@@ -652,6 +724,7 @@ let infer_program (p : program) =
   match
     let env0 = with_prelude () in
     let env1 = List.fold_left add_data_exn env0 p.datas in
+    let env1 = List.fold_left add_exn_decl_exn env1 p.exns in
     let env2 = infer_letrec env1 p.defs in
     let tys =
       List.map

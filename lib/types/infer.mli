@@ -53,6 +53,11 @@ val add_data : env -> Lang.Syntax.data_decl -> (env, error) result
 (** Register a user [data] declaration (checks that field types are
     well-formed and arities match). *)
 
+val add_exn_decl : env -> Lang.Syntax.exn_decl -> (env, error) result
+(** Register a user [exception] declaration: a new constructor of the
+    existing [Exception] type (idempotent — the open vocabulary is
+    monotone, so programs sharing a name type-check independently). *)
+
 val with_prelude : unit -> env
 (** [initial_env] extended with the types of every Prelude binding
     (obtained by inferring the Prelude itself — which is therefore

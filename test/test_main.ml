@@ -34,4 +34,5 @@ let () =
       ("serve", Test_serve.suite);
       ("reentrancy", Test_reentrancy.suite);
       ("conc_scale", Test_conc_scale.suite);
+      ("supervision", Test_supervision.suite);
     ]

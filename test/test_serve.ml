@@ -46,7 +46,8 @@ let reference id e =
       Printf.sprintf "ok %s %s" id
         (flat (Fmt.str "%a" Value.pp_deep (Machine.deep m a)))
   | Error (Machine.Fail_exn x) | Error (Machine.Fail_async x) ->
-      Printf.sprintf "err %s exn %s" id (flat (Fmt.str "%a" Exn.pp x))
+      Printf.sprintf "err %s exn class=%s %s" id (Exn.class_name x)
+        (flat (Fmt.str "%a" Exn.pp x))
   | Error Machine.Fail_diverged ->
       (* Matches the serve reply's detail for fuel exhaustion. *)
       Printf.sprintf "err %s quota:fuel diverged-or-exhausted" id
